@@ -1,0 +1,18 @@
+//! Approximating and learning ranking functions (Section 5).
+//!
+//! * [`dft`] — approximate any decaying PRFω weight function by a mixture
+//!   of `L` PRFe terms via a refined DFT (damping, initial scaling,
+//!   extend-and-shift), turning `O(n·h)` exact evaluation into
+//!   `O(n·L)` — orders of magnitude faster at paper scale (Figure 11);
+//! * [`learn`] — learn PRFe's `α` by recursive grid search on the Kendall
+//!   distance, or PRFω(h) weights by pairwise hinge-loss descent over
+//!   positional-probability features.
+
+pub mod dft;
+pub mod learn;
+
+pub use dft::{approximate_weights, DftApproxConfig, ExpMixture};
+pub use learn::{
+    learn_prf_omega, learn_prfe_alpha, learn_prfe_alpha_topk, omega_ranking_distance,
+    RankLearnConfig,
+};

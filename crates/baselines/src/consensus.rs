@@ -1,0 +1,232 @@
+//! Consensus top-k answers (Section 6; Li & Deshpande, PODS 2009).
+//!
+//! A consensus answer minimises the *expected distance* to the top-k of a
+//! random world: `τ* = argmin_τ E[dis(τ, τ_pw)]`. Two theorems tie this to
+//! the PRF framework:
+//!
+//! * **Theorem 2** — under the symmetric-difference metric
+//!   `dis_Δ(τ₁, τ₂) = |τ₁ Δ τ₂|`, the consensus top-k is exactly the PT(k)
+//!   answer (the `k` tuples with the largest `Pr(r(t) ≤ k)`);
+//! * **Theorem 3** — under the *weighted* symmetric difference
+//!   `dis_ω(τ, τ_pw) = Σᵢ ω(i)·δ(τ_pw(i) ∉ τ)`, the consensus top-k is the
+//!   PRFω answer for the same weights.
+//!
+//! This module provides the consensus answers (via the PRF machinery) and
+//! exact expected-distance evaluators over world enumerations, used to
+//! verify the theorems.
+
+use prf_core::topk::Ranking;
+use prf_core::weights::{StepWeight, TabulatedWeight};
+use prf_pdb::{IndependentDb, TupleId, WorldEnumeration};
+
+/// The consensus top-k under symmetric difference — by Theorem 2, PT(k)'s
+/// answer.
+pub fn consensus_topk(db: &IndependentDb, k: usize) -> Vec<TupleId> {
+    crate::pt::pt_topk(db, k, k)
+}
+
+/// The consensus top-k under the weighted symmetric difference with weights
+/// `ω(1..=k)` — by Theorem 3, the PRFω answer for the same weight table.
+///
+/// `weights[i]` is `ω(i+1)` and must be non-negative.
+pub fn consensus_topk_weighted(db: &IndependentDb, weights: &[f64]) -> Vec<TupleId> {
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "weighted symmetric difference requires non-negative weights"
+    );
+    let k = weights.len();
+    let w = TabulatedWeight::from_real(weights);
+    let ups = prf_core::independent::prf_rank(db, &w);
+    Ranking::from_values(&ups, prf_core::topk::ValueOrder::RealPart)
+        .top_k(k)
+        .to_vec()
+}
+
+/// Exact `E[dis_Δ(τ, τ_pw)]` for a candidate top-k set `τ` over an
+/// enumerated world distribution (both `τ_pw` and `τ` are treated as sets;
+/// worlds with fewer than `k` tuples contribute their whole content).
+pub fn expected_symmetric_difference(
+    worlds: &WorldEnumeration,
+    answer: &[TupleId],
+    k: usize,
+    scores: &[f64],
+) -> f64 {
+    worlds
+        .worlds
+        .iter()
+        .map(|(w, p)| {
+            let top = w.top_k(scores, k);
+            let in_both = top.iter().filter(|t| answer.contains(t)).count();
+            let d = (top.len() - in_both) + (answer.len() - in_both);
+            p * d as f64
+        })
+        .sum()
+}
+
+/// Exact `E[dis_ω(τ, τ_pw)]` for a candidate set `τ`:
+/// `Σ_pw Pr(pw)·Σᵢ ω(i)·δ(τ_pw(i) ∉ τ)` (Definition 5).
+pub fn expected_weighted_symmetric_difference(
+    worlds: &WorldEnumeration,
+    answer: &[TupleId],
+    weights: &[f64],
+    scores: &[f64],
+) -> f64 {
+    let k = weights.len();
+    worlds
+        .worlds
+        .iter()
+        .map(|(w, p)| {
+            let top = w.top_k(scores, k);
+            let penalty: f64 = top
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !answer.contains(t))
+                .map(|(i, _)| weights[i])
+                .sum();
+            p * penalty
+        })
+        .sum()
+}
+
+/// Keeps the step-weight connection visible: PT(k) ≡ consensus under
+/// unweighted symmetric difference, i.e. `ω(i) = δ(i ≤ k)`.
+pub fn consensus_weight_for_symmetric_difference(k: usize) -> StepWeight {
+    StepWeight { h: k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Every k-subset of the tuples, as sorted vectors.
+    fn all_subsets(n: usize, k: usize) -> Vec<Vec<TupleId>> {
+        let mut out = Vec::new();
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize == k {
+                out.push(
+                    (0..n)
+                        .filter(|&i| mask >> i & 1 == 1)
+                        .map(|i| TupleId(i as u32))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn theorem_2_pt_k_minimises_expected_symmetric_difference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for trial in 0..6 {
+            let n = 6;
+            let db = IndependentDb::from_pairs(
+                (0..n).map(|i| (100.0 - i as f64, rng.gen_range(0.05..1.0))),
+            )
+            .unwrap();
+            let worlds = db.enumerate_worlds(1 << 16).unwrap();
+            let scores = db.scores();
+            for k in 1..=3 {
+                let consensus = consensus_topk(&db, k);
+                let d_star =
+                    expected_symmetric_difference(&worlds, &consensus, k, &scores);
+                for cand in all_subsets(n, k) {
+                    let d = expected_symmetric_difference(&worlds, &cand, k, &scores);
+                    assert!(
+                        d_star <= d + 1e-9,
+                        "trial {trial} k={k}: PT(k) answer {d_star} beaten by {cand:?} at {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_prf_omega_minimises_weighted_distance() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for trial in 0..6 {
+            let n = 6;
+            let db = IndependentDb::from_pairs(
+                (0..n).map(|i| (100.0 - i as f64, rng.gen_range(0.05..1.0))),
+            )
+            .unwrap();
+            let worlds = db.enumerate_worlds(1 << 16).unwrap();
+            let scores = db.scores();
+            // Random positive decreasing-ish weights.
+            let k = 3;
+            let mut weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.1..2.0)).collect();
+            weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let consensus = consensus_topk_weighted(&db, &weights);
+            let d_star = expected_weighted_symmetric_difference(
+                &worlds, &consensus, &weights, &scores,
+            );
+            for cand in all_subsets(n, k) {
+                let d =
+                    expected_weighted_symmetric_difference(&worlds, &cand, &weights, &scores);
+                assert!(
+                    d_star <= d + 1e-9,
+                    "trial {trial}: PRFω answer {d_star} beaten by {cand:?} at {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example_6_expected_distance() {
+        // Figure 1 database, k = 2, symmetric difference: the most
+        // consensus answer is {t2, t5} with expected distance 1.376.
+        use prf_pdb::{NodeKind, TreeBuilder};
+        let mut b = TreeBuilder::new(NodeKind::And);
+        let root = b.root();
+        let x1 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x1, 0.4, 120.0).unwrap(); // t1 (id 0)
+        let x2 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x2, 0.7, 130.0).unwrap(); // t2 (id 1)
+        b.add_leaf(x2, 0.3, 80.0).unwrap(); // t3 (id 2)
+        let x3 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x3, 0.4, 95.0).unwrap(); // t4 (id 3)
+        b.add_leaf(x3, 0.6, 110.0).unwrap(); // t5 (id 4)
+        let x4 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x4, 1.0, 105.0).unwrap(); // t6 (id 5)
+        let tree = b.build().unwrap();
+        let worlds = tree.enumerate_worlds(1 << 12).unwrap();
+        let scores = tree.scores();
+        let answer = vec![TupleId(1), TupleId(4)]; // {t2, t5}
+        let d = expected_symmetric_difference(&worlds, &answer, 2, scores);
+        // Example 6 prints .112·2+.168·2+.048·4+.072·4+.168·2+.252·0+.072·4
+        // +.108·2 = 1.88, but the pw4 term is a typo in the paper: pw4 =
+        // {t1, t5, t6, t3} has top-2 {t1, t5}, whose symmetric difference
+        // from {t2, t5} is {t1, t2} — distance 2, not 4. The correct
+        // expectation is therefore 1.88 − .072·2 = 1.736.
+        let expect = 0.112 * 2.0
+            + 0.168 * 2.0
+            + 0.048 * 4.0
+            + 0.072 * 2.0
+            + 0.168 * 2.0
+            + 0.252 * 0.0
+            + 0.072 * 4.0
+            + 0.108 * 2.0;
+        assert!((d - expect).abs() < 1e-12, "{d} vs {expect}");
+        // And it is the minimum over all 2-subsets.
+        for cand in all_subsets(6, 2) {
+            let dc = expected_symmetric_difference(&worlds, &cand, 2, scores);
+            assert!(d <= dc + 1e-12, "{cand:?} at {dc}");
+        }
+    }
+
+    #[test]
+    fn unweighted_is_special_case_of_weighted() {
+        let db = IndependentDb::from_pairs([(10.0, 0.6), (9.0, 0.5), (8.0, 0.9), (7.0, 0.2)])
+            .unwrap();
+        let k = 2;
+        let a = consensus_topk(&db, k);
+        let b = consensus_topk_weighted(&db, &vec![1.0; k]);
+        let mut a: Vec<u32> = a.iter().map(|t| t.0).collect();
+        let mut b: Vec<u32> = b.iter().map(|t| t.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        let _ = consensus_weight_for_symmetric_difference(k);
+    }
+}

@@ -1,0 +1,89 @@
+//! Expected Score — E-Score: rank by `Pr(t)·score(t)`.
+//!
+//! The simplest semantics, also studied by Cormode et al. Being a function
+//! of each tuple's marginal alone it is *invariant to correlations* — a
+//! drawback Section 8.3 highlights — and `O(n log n)` everywhere.
+
+use prf_core::topk::Ranking;
+use prf_pdb::{AndXorTree, IndependentDb, TupleId};
+
+/// `Pr(t)·score(t)` per tuple.
+pub fn expected_scores(db: &IndependentDb) -> Vec<f64> {
+    db.tuples().iter().map(|t| t.prob * t.score).collect()
+}
+
+/// Expected scores on an and/xor tree (marginals × scores).
+pub fn expected_scores_tree(tree: &AndXorTree) -> Vec<f64> {
+    tree.marginals()
+        .iter()
+        .zip(tree.scores())
+        .map(|(&p, &s)| p * s)
+        .collect()
+}
+
+/// The E-Score ranking.
+pub fn escore_ranking(db: &IndependentDb) -> Ranking {
+    Ranking::from_keys(&expected_scores(db))
+}
+
+/// The E-Score ranking on an and/xor tree.
+pub fn escore_ranking_tree(tree: &AndXorTree) -> Ranking {
+    Ranking::from_keys(&expected_scores_tree(tree))
+}
+
+/// The E-Score top-k answer.
+pub fn escore_topk(db: &IndependentDb, k: usize) -> Vec<TupleId> {
+    escore_ranking(db).top_k(k).to_vec()
+}
+
+/// Ranking by raw score (ignoring probabilities) — the deterministic
+/// baseline plotted in Figure 7.
+pub fn score_ranking(db: &IndependentDb) -> Ranking {
+    Ranking::from_keys(&db.scores())
+}
+
+/// Ranking by existence probability (ignoring scores) — PRFe(1), also in
+/// Figure 7.
+pub fn probability_ranking(db: &IndependentDb) -> Ranking {
+    Ranking::from_keys(&db.probabilities())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escore_matches_prf_special_case() {
+        let db = IndependentDb::from_pairs([(10.0, 0.4), (5.0, 0.9), (3.0, 1.0)]).unwrap();
+        let direct = expected_scores(&db);
+        let via_prf = prf_core::independent::prf_rank(&db, &prf_core::weights::ScoreWeight);
+        for i in 0..db.len() {
+            assert!((direct[i] - via_prf[i].re).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invariant_to_correlations() {
+        // Same marginals, different correlation structure ⇒ same E-Score.
+        let groups_corr = vec![vec![(10.0, 0.5), (5.0, 0.5)]];
+        let tree_corr = AndXorTree::from_x_tuples(&groups_corr).unwrap();
+        let groups_ind = vec![vec![(10.0, 0.5)], vec![(5.0, 0.5)]];
+        let tree_ind = AndXorTree::from_x_tuples(&groups_ind).unwrap();
+        assert_eq!(
+            expected_scores_tree(&tree_corr),
+            expected_scores_tree(&tree_ind)
+        );
+    }
+
+    #[test]
+    fn risk_reward_example_from_section_3_3() {
+        // t1(score 100, p .5) vs t2(score 50, p 1.0): E-Score ties them —
+        // the knife-edge of the risk/reward trade-off.
+        let db = IndependentDb::from_pairs([(100.0, 0.5), (50.0, 1.0)]).unwrap();
+        let es = expected_scores(&db);
+        assert_eq!(es[0], es[1]);
+        // Score ranking prefers t1, probability ranking prefers t2.
+        assert_eq!(score_ranking(&db).order()[0], TupleId(0));
+        assert_eq!(probability_ranking(&db).order()[0], TupleId(1));
+    }
+}

@@ -1,0 +1,170 @@
+//! k-selection queries (Liu et al., DASFAA 2010).
+//!
+//! Returns the *set* of `k` tuples maximising the expected score of the
+//! best available (present) member:
+//!
+//! ```text
+//! V(S) = E[ max_{t ∈ S ∩ pw} score(t) ]
+//!      = Σ_{t ∈ S} score(t)·p(t)·Π_{t' ∈ S, score(t') > score(t)} (1 − p(t'))
+//! ```
+//!
+//! (absent max contributes 0). Unlike the other semantics, the answer
+//! depends on the actual score *values*. For independent tuples the optimal
+//! set satisfies a suffix recurrence over tuples in score order —
+//! `f(i, j) = max(f(i+1, j), pᵢ·sᵢ + (1−pᵢ)·f(i+1, j−1))` — an `O(n·k)`
+//! dynamic program.
+
+use prf_pdb::tuple::sort_indices_by_score_desc;
+use prf_pdb::{IndependentDb, TupleId};
+
+/// The optimal k-selection set (score-descending order) and its expected
+/// best-available score. Returns `None` for `k = 0`.
+///
+/// Scores are assumed non-negative, matching the "best available tuple"
+/// semantics of the original definition (an empty selection scores 0).
+pub fn k_selection(db: &IndependentDb, k: usize) -> Option<(Vec<TupleId>, f64)> {
+    let n = db.len();
+    if k == 0 || n == 0 {
+        return None;
+    }
+    let k = k.min(n);
+    let order = sort_indices_by_score_desc(&db.scores());
+    // f[j] after processing suffix i.. = best value choosing j from suffix.
+    // choice[i][j] records whether tuple at sorted position i is taken when
+    // j slots remain.
+    let mut f = vec![0.0f64; k + 1];
+    let mut choice = vec![false; n * (k + 1)];
+    for i in (0..n).rev() {
+        let t = db.tuple(TupleId(order[i] as u32));
+        // Process j downwards so f[j-1] is still the i+1 suffix value.
+        for j in (1..=k).rev() {
+            let take = t.prob * t.score + (1.0 - t.prob) * f[j - 1];
+            if take > f[j] {
+                f[j] = take;
+                choice[i * (k + 1) + j] = true;
+            }
+        }
+    }
+    // Reconstruct.
+    let mut set = Vec::with_capacity(k);
+    let mut j = k;
+    for i in 0..n {
+        if j == 0 {
+            break;
+        }
+        if choice[i * (k + 1) + j] {
+            set.push(TupleId(order[i] as u32));
+            j -= 1;
+        }
+    }
+    Some((set, f[k]))
+}
+
+/// Evaluates `V(S)` for an explicit selection (any order).
+pub fn selection_value(db: &IndependentDb, set: &[TupleId]) -> f64 {
+    let mut members: Vec<TupleId> = set.to_vec();
+    members.sort_by(|a, b| {
+        db.tuple(*b)
+            .score
+            .partial_cmp(&db.tuple(*a).score)
+            .expect("no NaN scores")
+            .then(a.cmp(b))
+    });
+    let mut value = 0.0;
+    let mut all_above_absent = 1.0;
+    for t in members {
+        let t = db.tuple(t);
+        value += t.score * t.prob * all_above_absent;
+        all_above_absent *= 1.0 - t.prob;
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(db: &IndependentDb, k: usize) -> (Vec<TupleId>, f64) {
+        let n = db.len();
+        let mut best: Option<(Vec<TupleId>, f64)> = None;
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != k {
+                continue;
+            }
+            let set: Vec<TupleId> = (0..n)
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| TupleId(i as u32))
+                .collect();
+            let v = selection_value(db, &set);
+            if best.as_ref().is_none_or(|(_, bv)| v > *bv + 1e-15) {
+                best = Some((set, v));
+            }
+        }
+        best.unwrap()
+    }
+
+    #[test]
+    fn dp_matches_exhaustive() {
+        let db = IndependentDb::from_pairs([
+            (100.0, 0.2),
+            (90.0, 0.5),
+            (80.0, 0.9),
+            (40.0, 1.0),
+            (30.0, 0.7),
+        ])
+        .unwrap();
+        for k in 1..=4 {
+            let (set, v) = k_selection(&db, k).unwrap();
+            let (bset, bv) = brute(&db, k);
+            assert!((v - bv).abs() < 1e-12, "k={k}: {v} vs {bv}");
+            let mut s1: Vec<u32> = set.iter().map(|t| t.0).collect();
+            let mut s2: Vec<u32> = bset.iter().map(|t| t.0).collect();
+            s1.sort_unstable();
+            s2.sort_unstable();
+            assert_eq!(s1, s2, "k={k}");
+        }
+    }
+
+    #[test]
+    fn selection_value_matches_world_expectation() {
+        let db = IndependentDb::from_pairs([(10.0, 0.5), (6.0, 0.8), (2.0, 0.9)]).unwrap();
+        let set = vec![TupleId(0), TupleId(2)];
+        let v = selection_value(&db, &set);
+        let worlds = db.enumerate_worlds(1 << 10).unwrap();
+        let scores = db.scores();
+        let expect: f64 = worlds
+            .worlds
+            .iter()
+            .map(|(w, p)| {
+                let best = set
+                    .iter()
+                    .filter(|t| w.contains(**t))
+                    .map(|t| scores[t.index()])
+                    .fold(0.0f64, f64::max);
+                p * best
+            })
+            .sum();
+        assert!((v - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn risky_high_score_vs_safe_low_score() {
+        // With one slot, a safe mid score can beat a risky high score.
+        let db = IndependentDb::from_pairs([(100.0, 0.1), (40.0, 1.0)]).unwrap();
+        let (set, v) = k_selection(&db, 1).unwrap();
+        assert_eq!(set, vec![TupleId(1)]);
+        assert!((v - 40.0).abs() < 1e-12);
+        // With two slots we take both; the risky one shields nothing.
+        let (set2, v2) = k_selection(&db, 2).unwrap();
+        assert_eq!(set2.len(), 2);
+        assert!((v2 - (0.1 * 100.0 + 0.9 * 40.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let db = IndependentDb::from_pairs([(10.0, 0.5)]).unwrap();
+        assert!(k_selection(&db, 0).is_none());
+        let (set, _) = k_selection(&db, 5).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Prior ranking semantics for probabilistic databases.
+//!
+//! The PRF framework of `prf-core` unifies most of these as weight-function
+//! special cases; this crate provides them as first-class, independently
+//! tested implementations — both because the paper's experiments (Table 1,
+//! Figures 7–11) compare against them directly, and because two of them
+//! (U-Top and k-selection) are *set* semantics that fall outside the PRF
+//! family.
+//!
+//! | module | semantics | source |
+//! |--------|-----------|--------|
+//! | [`pt`] | PT(h): top-k by `Pr(r(t) ≤ h)` | Hua et al. 2008 / Zhang & Chomicki |
+//! | [`urank`] | U-Rank: per-position argmax of `Pr(r(t) = i)` | Soliman et al. 2007 |
+//! | [`utop`] | U-Top: most probable top-k *set* | Soliman et al. 2007 |
+//! | [`erank`] | expected ranks | Cormode et al. 2009 |
+//! | [`escore`] | expected score, raw score, raw probability | folklore / Cormode et al. |
+//! | [`kselect`] | k-selection: best expected max-score set | Liu et al. 2010 |
+//! | [`consensus`] | consensus top-k ≡ PT(k) / PRFω (Theorems 2–3) | Li & Deshpande 2009 |
+
+pub mod consensus;
+pub mod erank;
+pub mod escore;
+pub mod kselect;
+pub mod pt;
+pub mod urank;
+pub mod utop;
+
+pub use consensus::{
+    consensus_topk, consensus_topk_weighted, expected_symmetric_difference,
+    expected_weighted_symmetric_difference,
+};
+pub use erank::{erank_ranking, erank_ranking_tree, erank_topk, expected_ranks};
+pub use escore::{
+    escore_ranking, escore_ranking_tree, escore_topk, expected_scores, probability_ranking,
+    score_ranking,
+};
+pub use kselect::{k_selection, selection_value};
+pub use pt::{pt_ranking, pt_ranking_tree, pt_topk, pt_topk_tree, pt_values, pt_values_tree};
+pub use urank::{urank_topk, urank_topk_tree, urank_topk_with_duplicates};
+pub use utop::{utop_topk, utop_topk_monte_carlo};

@@ -1,0 +1,112 @@
+//! Probabilistic Threshold top-k — PT(h) (Hua et al., SIGMOD 2008), a close
+//! relative of Global-Top-k (Zhang & Chomicki).
+//!
+//! Ranks tuples by `Pr(r(t) ≤ h)` and returns the best `k`. This is exactly
+//! the PRF special case `ω(i) = δ(i ≤ h)`, so the implementation dispatches
+//! to the truncated generating-function algorithms of `prf-core`:
+//! `O(n·h + n log n)` for independent tuples and x-tuples, `O(n²·h)` for
+//! general and/xor trees.
+
+use prf_core::topk::{Ranking, ValueOrder};
+use prf_core::weights::StepWeight;
+use prf_pdb::{AndXorTree, IndependentDb, TupleId};
+
+/// `Pr(r(t) ≤ h)` for every tuple of an independent relation.
+pub fn pt_values(db: &IndependentDb, h: usize) -> Vec<f64> {
+    prf_core::independent::prf_rank(db, &StepWeight { h })
+        .into_iter()
+        .map(|v| v.re)
+        .collect()
+}
+
+/// The PT(h) ranking of an independent relation.
+pub fn pt_ranking(db: &IndependentDb, h: usize) -> Ranking {
+    Ranking::from_keys(&pt_values(db, h))
+}
+
+/// The PT(h) top-k answer (k tuples with the largest `Pr(r(t) ≤ h)`).
+pub fn pt_topk(db: &IndependentDb, h: usize, k: usize) -> Vec<TupleId> {
+    pt_ranking(db, h).top_k(k).to_vec()
+}
+
+/// `Pr(r(t) ≤ h)` on an and/xor tree. Uses the `O(n·h·log n)` x-tuple fast path
+/// when the tree is in x-tuple form and the generic truncated expansion
+/// otherwise.
+pub fn pt_values_tree(tree: &AndXorTree, h: usize) -> Vec<f64> {
+    let w = StepWeight { h };
+    let vals = match prf_core::xtuple::prf_omega_rank_xtuple(tree, &w) {
+        Some(v) => v,
+        None => prf_core::tree::prf_rank_tree(tree, &w),
+    };
+    vals.into_iter().map(|v| v.re).collect()
+}
+
+/// The PT(h) ranking on an and/xor tree.
+pub fn pt_ranking_tree(tree: &AndXorTree, h: usize) -> Ranking {
+    Ranking::from_keys(&pt_values_tree(tree, h))
+}
+
+/// The PT(h) top-k answer on an and/xor tree.
+pub fn pt_topk_tree(tree: &AndXorTree, h: usize, k: usize) -> Vec<TupleId> {
+    pt_ranking_tree(tree, h).top_k(k).to_vec()
+}
+
+/// The original thresholded form of the query: all tuples with
+/// `Pr(r(t) ≤ h) > threshold`, in decreasing probability order.
+pub fn pt_threshold(db: &IndependentDb, h: usize, threshold: f64) -> Vec<TupleId> {
+    let values = pt_values(db, h);
+    let ranking = Ranking::from_keys(&values);
+    ranking
+        .order()
+        .iter()
+        .copied()
+        .take_while(|t| values[t.index()] > threshold)
+        .collect()
+}
+
+/// Keeps `ValueOrder` linked into the module's documentation (PT values are
+/// real and non-negative, so magnitude and real-part orders coincide).
+const _: fn(prf_numeric::Complex) -> f64 = |v| ValueOrder::Magnitude.key(v);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pt_values_are_prefix_sums_of_rank_distributions() {
+        let db = IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5), (6.0, 0.99)])
+            .unwrap();
+        let d = prf_core::independent::rank_distributions(&db);
+        for h in 1..=4 {
+            let v = pt_values(&db, h);
+            for t in 0..db.len() {
+                let want: f64 = d[t][..h].iter().sum();
+                assert!((v[t] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn topk_and_threshold_forms_agree() {
+        let db = IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5), (6.0, 0.99)])
+            .unwrap();
+        let by_k = pt_topk(&db, 2, 4);
+        let by_threshold = pt_threshold(&db, 2, 0.0);
+        assert_eq!(by_k, by_threshold);
+        // A high threshold filters.
+        let strict = pt_threshold(&db, 2, 0.9);
+        assert!(strict.len() < by_threshold.len());
+    }
+
+    #[test]
+    fn tree_dispatch_matches_independent() {
+        let db = IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5)]).unwrap();
+        let tree = AndXorTree::from_independent(&db);
+        let a = pt_values(&db, 2);
+        let b = pt_values_tree(&tree, 2);
+        for t in 0..db.len() {
+            assert!((a[t] - b[t]).abs() < 1e-10);
+        }
+        assert_eq!(pt_topk(&db, 2, 2), pt_topk_tree(&tree, 2, 2));
+    }
+}

@@ -1,0 +1,304 @@
+//! Uncertain Top-k — U-Top (Soliman et al., ICDE 2007).
+//!
+//! Returns the `k`-tuple *set* with the highest probability of being the
+//! exact top-k of a random world.
+//!
+//! For independent tuples sorted by score (`t₁ … tₙ`), a set `S` whose
+//! lowest-scored member sits at position `i` is the top-k iff every member
+//! is present and every non-member above position `i` is absent:
+//!
+//! ```text
+//! Pr(S top-k) = Π_{t∈S} p_t · Π_{t∉S, pos(t)<i} (1 − p_t)
+//!             = (Π_{j<i} (1−p_j)) · (Π_{j∈S, j<i} p_j/(1−p_j)) · p_i
+//! ```
+//!
+//! so the optimum fixes `i` and takes the `k−1` largest odds-ratios
+//! `p_j/(1−p_j)` above it. Sweeping `i` with a two-heap top-m structure
+//! gives `O(n log n)` exactly. Certain tuples (`p = 1`) have infinite odds
+//! and are forced into the set; the computation runs in log-space so
+//! nothing under- or overflows.
+//!
+//! For correlated (and/xor tree) data we provide a Monte-Carlo estimator —
+//! the paper evaluates U-Top only on independent datasets.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use prf_pdb::tuple::sort_indices_by_score_desc;
+use prf_pdb::{AndXorTree, IndependentDb, TupleId};
+
+/// Maintains the sum of the `m` largest values in a growing multiset, with
+/// `m` adjustable downwards — a pair of heaps ("top" min-heap, "rest"
+/// max-heap).
+struct TopM {
+    m: usize,
+    top: std::collections::BinaryHeap<std::cmp::Reverse<OrdF64>>,
+    rest: std::collections::BinaryHeap<OrdF64>,
+    top_sum: f64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("no NaN keys")
+    }
+}
+
+impl TopM {
+    fn new(m: usize) -> Self {
+        TopM {
+            m,
+            top: Default::default(),
+            rest: Default::default(),
+            top_sum: 0.0,
+        }
+    }
+
+    fn rebalance(&mut self) {
+        while self.top.len() > self.m {
+            let std::cmp::Reverse(v) = self.top.pop().expect("non-empty");
+            self.top_sum -= v.0;
+            self.rest.push(v);
+        }
+        while self.top.len() < self.m {
+            match self.rest.pop() {
+                Some(v) => {
+                    self.top_sum += v.0;
+                    self.top.push(std::cmp::Reverse(v));
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn insert(&mut self, v: f64) {
+        self.top.push(std::cmp::Reverse(OrdF64(v)));
+        self.top_sum += v;
+        self.rebalance();
+    }
+
+    fn shrink_m(&mut self) {
+        assert!(self.m > 0, "cannot shrink below zero");
+        self.m -= 1;
+        self.rebalance();
+    }
+
+    /// Sum of the top `min(m, len)` values.
+    fn sum(&self) -> f64 {
+        self.top_sum
+    }
+
+    fn len_total(&self) -> usize {
+        self.top.len() + self.rest.len()
+    }
+}
+
+/// The U-Top answer on an independent relation: the top-k set (score
+/// descending) and the natural log of its probability of being the exact
+/// top-k. Returns `None` when `k` exceeds the number of tuples or no set
+/// has positive probability.
+pub fn utop_topk(db: &IndependentDb, k: usize) -> Option<(Vec<TupleId>, f64)> {
+    let n = db.len();
+    if k == 0 || k > n {
+        return None;
+    }
+    let order = sort_indices_by_score_desc(&db.scores());
+    let probs: Vec<f64> = order
+        .iter()
+        .map(|&i| db.tuple(TupleId(i as u32)).prob)
+        .collect();
+
+    // Sweep the position of the lowest-scored member.
+    let mut best: Option<(usize, f64)> = None; // (last position, log prob)
+    let mut base = 0.0f64; // Σ_{j<i, p<1} ln(1−p_j)
+    let mut forced = 0usize; // count of p=1 tuples above i
+    let mut ratios = TopM::new(k - 1);
+
+    for (i, &p_i) in probs.iter().enumerate() {
+        if p_i > 0.0 && i + 1 >= k && forced < k {
+            // Need k−1−forced optional members from the uncertain prefix.
+            let need = k - 1 - forced;
+            if ratios.len_total() >= need {
+                // `ratios` is maintained with m = k−1−forced (see below), so
+                // its sum is exactly what we need.
+                debug_assert_eq!(ratios.m, need);
+                let logp = base + ratios.sum() + p_i.ln();
+                if best.is_none_or(|(_, b)| logp > b) {
+                    best = Some((i, logp));
+                }
+            }
+        }
+        // Fold tuple i into the prefix structures.
+        if p_i >= 1.0 {
+            forced += 1;
+            if forced > k - 1 {
+                // Any further candidate set must include > k−1 certain
+                // tuples above its last member — impossible; stop.
+                break;
+            }
+            ratios.shrink_m();
+        } else if p_i > 0.0 {
+            base += (1.0 - p_i).ln();
+            ratios.insert(p_i.ln() - (1.0 - p_i).ln());
+        }
+        // p_i == 0 tuples can never appear; they contribute nothing.
+    }
+
+    let (last_pos, logp) = best?;
+    // Reconstruct: all certain tuples above last_pos, plus the top
+    // (k−1−forced) odds ratios among uncertain ones, plus the last tuple.
+    let mut forced_ids = Vec::new();
+    let mut optional: Vec<(f64, usize)> = Vec::new();
+    for (j, &p) in probs.iter().enumerate().take(last_pos) {
+        if p >= 1.0 {
+            forced_ids.push(j);
+        } else if p > 0.0 {
+            optional.push((p.ln() - (1.0 - p).ln(), j));
+        }
+    }
+    optional.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN").then(a.1.cmp(&b.1)));
+    let need = k - 1 - forced_ids.len();
+    let mut members: Vec<usize> = forced_ids;
+    members.extend(optional.into_iter().take(need).map(|(_, j)| j));
+    members.push(last_pos);
+    members.sort_unstable();
+    Some((
+        members
+            .into_iter()
+            .map(|pos| TupleId(order[pos] as u32))
+            .collect(),
+        logp,
+    ))
+}
+
+/// Monte-Carlo U-Top on an and/xor tree: samples `samples` worlds and
+/// returns the most frequent top-k set (score-descending order) with its
+/// empirical frequency.
+pub fn utop_topk_monte_carlo(
+    tree: &AndXorTree,
+    k: usize,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> Option<(Vec<TupleId>, f64)> {
+    if k == 0 || samples == 0 {
+        return None;
+    }
+    let scores = tree.scores();
+    let mut counts: HashMap<Vec<TupleId>, usize> = HashMap::new();
+    for _ in 0..samples {
+        let w = tree.sample_world(rng);
+        if w.len() < k {
+            continue;
+        }
+        let top = w.top_k(scores, k);
+        *counts.entry(top).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        .map(|(set, c)| (set, c as f64 / samples as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Exhaustive oracle: try every k-subset.
+    fn brute_utop(db: &IndependentDb, k: usize) -> Option<(Vec<TupleId>, f64)> {
+        let worlds = db.enumerate_worlds(1 << 22).unwrap();
+        let scores = db.scores();
+        let n = db.len();
+        let mut best: Option<(Vec<TupleId>, f64)> = None;
+        // Enumerate subsets of size k.
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != k {
+                continue;
+            }
+            let set: Vec<TupleId> = (0..n)
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| TupleId(i as u32))
+                .collect();
+            let mut sorted = set.clone();
+            sorted.sort_by(|a, b| {
+                scores[b.index()]
+                    .partial_cmp(&scores[a.index()])
+                    .unwrap()
+                    .then(a.cmp(b))
+            });
+            let p: f64 = worlds
+                .worlds
+                .iter()
+                .filter(|(w, _)| w.len() >= k && w.top_k(&scores, k) == sorted)
+                .map(|(_, p)| p)
+                .sum();
+            if p > 0.0 && best.as_ref().is_none_or(|(_, bp)| p > *bp + 1e-15) {
+                best = Some((sorted, p));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_exhaustive_oracle() {
+        let dbs = [
+            IndependentDb::from_pairs([(10.0, 0.4), (9.0, 0.9), (8.0, 0.5), (7.0, 0.7)]).unwrap(),
+            IndependentDb::from_pairs([
+                (10.0, 0.2),
+                (9.0, 0.2),
+                (8.0, 0.95),
+                (7.0, 0.3),
+                (6.0, 0.8),
+            ])
+            .unwrap(),
+        ];
+        for db in &dbs {
+            for k in 1..=3 {
+                let (set, logp) = utop_topk(db, k).unwrap();
+                let (bset, bp) = brute_utop(db, k).unwrap();
+                assert_eq!(set, bset, "k={k}");
+                assert!((logp.exp() - bp).abs() < 1e-10, "k={k}: {} vs {bp}", logp.exp());
+            }
+        }
+    }
+
+    #[test]
+    fn certain_tuples_are_forced() {
+        let db =
+            IndependentDb::from_pairs([(10.0, 0.1), (9.0, 1.0), (8.0, 0.9), (7.0, 1.0)]).unwrap();
+        for k in 2..=3 {
+            let (set, logp) = utop_topk(&db, k).unwrap();
+            let (bset, bp) = brute_utop(&db, k).unwrap();
+            assert_eq!(set, bset, "k={k}");
+            assert!((logp.exp() - bp).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let db = IndependentDb::from_pairs([(1.0, 0.5)]).unwrap();
+        assert!(utop_topk(&db, 2).is_none());
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact_on_independent_data() {
+        let db = IndependentDb::from_pairs([(10.0, 0.9), (9.0, 0.85), (8.0, 0.2), (7.0, 0.6)])
+            .unwrap();
+        let tree = AndXorTree::from_independent(&db);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mc_set, freq) = utop_topk_monte_carlo(&tree, 2, 30_000, &mut rng).unwrap();
+        let (exact_set, logp) = utop_topk(&db, 2).unwrap();
+        assert_eq!(mc_set, exact_set);
+        assert!((freq - logp.exp()).abs() < 0.02);
+    }
+}

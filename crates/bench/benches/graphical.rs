@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the Section 9 algorithms: the Markov-chain
+//! specialisation vs the generic junction-tree DP (the paper's
+//! O(n³) vs O(n⁴·2^tw) trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prf_graphical::{rank_distributions_network, MarkovChain};
+
+fn make_chain(m: usize) -> MarkovChain {
+    let transitions = (0..m - 1)
+        .map(|j| {
+            let stay = 0.6 + 0.3 * ((j % 5) as f64 / 5.0);
+            [[stay, 1.0 - stay], [1.0 - stay, stay]]
+        })
+        .collect();
+    MarkovChain::new([0.45, 0.55], transitions)
+}
+
+fn scores(m: usize) -> Vec<f64> {
+    (0..m).map(|i| ((i * 7919) % m) as f64).collect()
+}
+
+fn bench_chain_specialisation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("markov_rank_distributions");
+    g.sample_size(10);
+    for m in [40usize, 80] {
+        let chain = make_chain(m);
+        let sc = scores(m);
+        g.bench_with_input(
+            BenchmarkId::new("chain_O_n3", m),
+            &(&chain, &sc),
+            |b, (chain, sc)| b.iter(|| black_box(chain.rank_distributions(sc))),
+        );
+        let net = chain.to_network();
+        g.bench_with_input(
+            BenchmarkId::new("junction_generic", m),
+            &(&net, &sc),
+            |b, (net, sc)| b.iter(|| black_box(rank_distributions_network(net, sc))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("junction_calibrate");
+    g.sample_size(20);
+    for m in [100usize, 400] {
+        let net = make_chain(m).to_network();
+        g.bench_with_input(BenchmarkId::from_parameter(m), &net, |b, net| {
+            b.iter(|| black_box(net.junction_tree()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain_specialisation, bench_calibration);
+criterion_main!(benches);

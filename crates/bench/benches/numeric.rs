@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the numeric substrate: the Appendix B.1
+//! polynomial-product strategies and the scaled-arithmetic overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prf_numeric::{Complex, GfValue, Poly, Scaled};
+
+fn bench_poly_products(c: &mut Criterion) {
+    // Appendix B.1: naive sequential vs divide-and-conquer (+FFT) product
+    // of many linear factors.
+    let mut g = c.benchmark_group("poly_product_of_linears");
+    g.sample_size(10);
+    for k in [256usize, 1024] {
+        let factors: Vec<Poly> = (0..k)
+            .map(|i| Poly::linear(0.3 + (i % 7) as f64 * 0.1, 0.7))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("sequential", k), &factors, |b, f| {
+            b.iter(|| black_box(Poly::product_sequential(f)))
+        });
+        g.bench_with_input(BenchmarkId::new("divide_conquer_fft", k), &factors, |b, f| {
+            b.iter(|| black_box(Poly::product(f.clone())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft_multiply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poly_pair_multiply");
+    g.sample_size(20);
+    for n in [512usize, 4096] {
+        let a = Poly::from_coeffs((0..n).map(|i| (i as f64 * 0.37).sin()).collect());
+        let b = Poly::from_coeffs((0..n).map(|i| (i as f64 * 0.11).cos()).collect());
+        g.bench_with_input(BenchmarkId::new("naive", n), &(a.clone(), b.clone()), |bch, (a, b)| {
+            bch.iter(|| black_box(a.mul_naive(b)))
+        });
+        g.bench_with_input(BenchmarkId::new("fft", n), &(a, b), |bch, (a, b)| {
+            bch.iter(|| black_box(a.mul_fft(b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaled_overhead(c: &mut Criterion) {
+    // How much does underflow-proof arithmetic cost per operation?
+    let mut g = c.benchmark_group("scalar_product_chain_100k");
+    g.sample_size(20);
+    let factors: Vec<f64> = (0..100_000).map(|i| 0.5 + (i % 10) as f64 * 0.049).collect();
+    g.bench_function("plain_f64", |b| {
+        b.iter(|| {
+            let mut acc = 1.0f64;
+            for &f in &factors {
+                acc *= f;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("scaled_f64", |b| {
+        b.iter(|| {
+            let mut acc = Scaled::<f64>::one();
+            for &f in &factors {
+                acc = acc.mul(&Scaled::new(f));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("scaled_complex", |b| {
+        b.iter(|| {
+            let mut acc = Scaled::<Complex>::one();
+            for &f in &factors {
+                acc = acc.mul(&Scaled::new(Complex::real(f)));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_poly_products, bench_fft_multiply, bench_scaled_overhead);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the and/xor-tree algorithms: the ablations
+//! DESIGN.md calls out — incremental (Algorithm 3) vs recompute PRFe, and
+//! the x-tuple PT fast path vs the generic truncated expansion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prf_core::tree::{prfe_rank_tree, prfe_rank_tree_recompute, prfe_rank_tree_scaled};
+use prf_core::weights::StepWeight;
+use prf_core::xtuple::prf_omega_rank_xtuple;
+use prf_datasets::{syn_med_tree, syn_xor_tree};
+use prf_numeric::Complex;
+
+fn bench_incremental_vs_recompute(c: &mut Criterion) {
+    // The ablation for Algorithm 3: the incremental path updates O(depth)
+    // nodes per tuple; the recompute baseline folds the whole tree.
+    let tree = syn_med_tree(2_000, 3);
+    let alpha = Complex::real(0.9);
+    let mut g = c.benchmark_group("tree_prfe_2k");
+    g.sample_size(12);
+    g.bench_function("incremental_alg3", |b| {
+        b.iter(|| black_box(prfe_rank_tree(&tree, alpha)))
+    });
+    g.bench_function("incremental_scaled", |b| {
+        b.iter(|| black_box(prfe_rank_tree_scaled(&tree, alpha)))
+    });
+    g.bench_function("recompute_per_tuple", |b| {
+        b.iter(|| black_box(prfe_rank_tree_recompute(&tree, alpha)))
+    });
+    g.finish();
+}
+
+fn bench_xtuple_fast_path(c: &mut Criterion) {
+    // PT(h) on x-tuples: O(n·h) linear-factor path vs O(n²·h) generic
+    // expansion.
+    let tree = syn_xor_tree(2_000, 3);
+    let w = StepWeight { h: 50 };
+    let mut g = c.benchmark_group("xtuple_pt50_2k");
+    g.sample_size(10);
+    g.bench_function("fast_path", |b| {
+        b.iter(|| black_box(prf_omega_rank_xtuple(&tree, &w).expect("x-tuple")))
+    });
+    g.bench_function("generic_expansion", |b| {
+        b.iter(|| black_box(prf_core::tree::prf_rank_tree(&tree, &w)))
+    });
+    g.finish();
+}
+
+fn bench_tree_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_prfe_scaling");
+    g.sample_size(10);
+    for n in [5_000usize, 20_000, 80_000] {
+        let tree = syn_xor_tree(n, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            b.iter(|| black_box(prfe_rank_tree_scaled(tree, Complex::real(0.9))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_vs_recompute,
+    bench_xtuple_fast_path,
+    bench_tree_scaling
+);
+criterion_main!(benches);

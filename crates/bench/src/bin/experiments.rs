@@ -1,0 +1,68 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments <table1|fig4|fig5|fig7|fig8|fig9|fig10|fig11|all> [--scale quick|full]
+//! ```
+
+use prf_bench::{Scale, timed};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("full") => Scale::Full,
+                    Some("quick") => Scale::Quick,
+                    other => {
+                        eprintln!("unknown scale {other:?}; use quick|full");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            name => which.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+
+    let run_one = |name: &str| -> bool {
+        match name {
+            "table1" => prf_bench::table1::run(scale),
+            "fig4" => prf_bench::fig4::run(scale),
+            "fig5" => prf_bench::fig5::run(scale),
+            "fig7" => prf_bench::fig7::run(scale),
+            "fig8" => prf_bench::fig8::run(scale),
+            "fig9" => prf_bench::fig9::run(scale),
+            "fig10" => prf_bench::fig10::run(scale),
+            "fig11" => prf_bench::fig11::run(scale),
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!("available: table1 fig4 fig5 fig7 fig8 fig9 fig10 fig11 all");
+                return false;
+            }
+        }
+        true
+    };
+
+    for name in &which {
+        if name == "all" {
+            for exp in ["table1", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11"] {
+                let (_, t) = timed(|| run_one(exp));
+                println!("\n[{exp} completed in {t:.1}s]");
+            }
+        } else {
+            let (ok, t) = timed(|| run_one(name));
+            if !ok {
+                std::process::exit(2);
+            }
+            println!("\n[{name} completed in {t:.1}s]");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Figure 10 — the cost of ignoring correlations.
+//!
+//! For each correlated dataset, compare the top-100 computed *with* the
+//! and/xor-tree correlations against the top-100 computed on the
+//! independent projection (same marginals, correlations dropped).
+//!
+//! (i) PRFe(α) across the α sweep, on all four synthetic tree datasets.
+//! (ii) PRFe(0.9), PT(100) and U-Rank on Syn-LOW/MED/HIGH.
+//!
+//! Paper's reading: the error grows with correlation strength (HIGH ≫ MED ≫
+//! LOW), stays small for x-tuples (Syn-XOR), and vanishes as α → 1 (where
+//! PRFe degenerates to ranking by marginal probability).
+
+use prf_baselines::{pt_topk, pt_topk_tree, urank_topk, urank_topk_tree};
+use prf_core::independent::prfe_rank_log;
+use prf_core::topk::Ranking;
+use prf_core::tree::prfe_rank_tree_scaled;
+use prf_datasets::{syn_high_tree, syn_low_tree, syn_med_tree, syn_xor_tree};
+use prf_metrics::kendall_topk;
+use prf_numeric::Complex;
+use prf_pdb::AndXorTree;
+
+use crate::{fmt, header, Scale, SEED};
+
+/// Kendall distance between correlation-aware and independence-assuming
+/// PRFe(α) top-k on a tree.
+pub fn prfe_correlation_gap(tree: &AndXorTree, alpha: f64, k: usize) -> f64 {
+    let aware_vals = prfe_rank_tree_scaled(tree, Complex::real(alpha));
+    let keys: Vec<f64> = aware_vals.iter().map(|v| v.magnitude_key()).collect();
+    let aware = Ranking::from_keys(&keys).top_k_u32(k);
+    let ind_db = tree.to_independent();
+    let ind = Ranking::from_keys(&prfe_rank_log(&ind_db, alpha)).top_k_u32(k);
+    kendall_topk(&aware, &ind, k)
+}
+
+/// Runs the Figure 10 experiments.
+pub fn run(scale: Scale) {
+    header("Figure 10(i): PRFe correlation sensitivity across α");
+    let n = scale.pick(20_000, 100_000);
+    let k = 100;
+    let datasets: Vec<(&str, AndXorTree)> = vec![
+        ("Syn-XOR", syn_xor_tree(n, SEED)),
+        ("Syn-LOW", syn_low_tree(n, SEED)),
+        ("Syn-MED", syn_med_tree(n, SEED)),
+        ("Syn-HIGH", syn_high_tree(n, SEED)),
+    ];
+    // Stop short of α = 1.0: there PRFe degenerates to ranking by marginal
+    // probability on both sides, and datasets with many exactly-tied
+    // marginals (p = 1 tuples under pure-∧ paths) reduce the comparison to
+    // float-roundoff tie-breaking noise.
+    let mut alphas: Vec<f64> = (1..=19).map(|i| i as f64 / 20.0).collect();
+    alphas.push(0.99);
+
+    print!("{:>8}", "alpha");
+    for (name, _) in &datasets {
+        print!("{name:>10}");
+    }
+    println!("   (top-100 Kendall distance, correlated vs independent)");
+    for &alpha in &alphas {
+        print!("{:>8}", format!("{alpha:.2}"));
+        for (_, tree) in &datasets {
+            print!("{:>10}", fmt(prfe_correlation_gap(tree, alpha, k)));
+        }
+        println!();
+    }
+
+    header("Figure 10(ii): correlation sensitivity of PRFe(0.9), PT(100), U-Rank");
+    // Exact PT/U-Rank on general trees cost O(n²·h); run at a reduced n
+    // (the gap *shape* across LOW/MED/HIGH is scale-stable — see
+    // EXPERIMENTS.md).
+    let n2 = scale.pick(2_000, 4_000);
+    let seeds = [SEED, SEED + 1, SEED + 2];
+    type Gen = fn(usize, u64) -> AndXorTree;
+    let small: Vec<(&str, Gen)> = vec![
+        ("Syn-LOW", syn_low_tree as Gen),
+        ("Syn-MED", syn_med_tree as Gen),
+        ("Syn-HIGH", syn_high_tree as Gen),
+    ];
+    println!("(n = {n2}, k = 100, mean over {} seeds)", seeds.len());
+    println!(
+        "{:>10}{:>12}{:>12}{:>12}",
+        "dataset", "PRFe(0.9)", "PT(100)", "U-Rank"
+    );
+    for (name, gen) in &small {
+        let mut sums = [0.0f64; 3];
+        for &seed in &seeds {
+            let tree = gen(n2, seed);
+            sums[0] += prfe_correlation_gap(&tree, 0.9, k);
+            let ind_db = tree.to_independent();
+
+            let pt_aware: Vec<u32> = pt_topk_tree(&tree, k, k).iter().map(|t| t.0).collect();
+            let pt_ind: Vec<u32> = pt_topk(&ind_db, k, k).iter().map(|t| t.0).collect();
+            sums[1] += kendall_topk(&pt_aware, &pt_ind, k);
+
+            let ur_aware: Vec<u32> = urank_topk_tree(&tree, k).iter().map(|t| t.0).collect();
+            let ur_ind: Vec<u32> = urank_topk(&ind_db, k).iter().map(|t| t.0).collect();
+            sums[2] += kendall_topk(&ur_aware, &ur_ind, k);
+        }
+        let m = seeds.len() as f64;
+        println!(
+            "{name:>10}{:>12}{:>12}{:>12}",
+            fmt(sums[0] / m),
+            fmt(sums[1] / m),
+            fmt(sums[2] / m)
+        );
+    }
+    println!(
+        "\nShape check (paper): gaps grow LOW → MED → HIGH; Syn-XOR stays \
+         small (mutually exclusive groups rarely co-populate the top-k); all \
+         PRFe gaps shrink toward 0 as α → 1."
+    );
+}

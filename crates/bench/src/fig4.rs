@@ -1,0 +1,91 @@
+//! Figure 4 — the effect of the approximation refinements on the step
+//! function (N = 1000, L = 20, a = 2).
+//!
+//! Prints the reconstruction `ω̃(x)` of each pipeline stage over
+//! `x ∈ [0, 2500]`, plus per-stage error summaries (bias inside the
+//! support, mass beyond it, RMS) — the quantities one reads off the paper's
+//! plot.
+
+use prf_approx::{approximate_weights, DftApproxConfig, ExpMixture};
+
+use crate::{fmt, header, Scale};
+
+/// The five pipeline stages (the paper's four + our LS-refined variant).
+pub fn stages(l: usize) -> Vec<(&'static str, DftApproxConfig)> {
+    vec![
+        ("DFT", DftApproxConfig::dft_only(l)),
+        ("DFT+DF", DftApproxConfig::dft_df(l)),
+        ("DFT+DF+IS", DftApproxConfig::dft_df_is(l)),
+        ("DFT+DF+IS+ES", DftApproxConfig::full(l)),
+        ("refined(LS)", DftApproxConfig::refined(l)),
+    ]
+}
+
+/// Error summary of a mixture against the step function with support `n`.
+pub fn summarize(mix: &ExpMixture, n: usize) -> (f64, f64, f64) {
+    let step = |i: usize| if i < n { 1.0 } else { 0.0 };
+    let mut bias = 0.0;
+    for i in 0..n {
+        bias += (mix.weight_at(i).re - 1.0).abs();
+    }
+    bias /= n as f64;
+    let mut beyond = 0.0f64;
+    // Sample far beyond the domain to expose periodic images.
+    let mut count = 0;
+    let mut i = 2 * n;
+    while i < 6 * n {
+        beyond += mix.weight_at(i).re.abs();
+        count += 1;
+        i += 13;
+    }
+    beyond /= count as f64;
+    let rms = mix.rms_error(&step, 5 * n / 2);
+    (bias, beyond, rms)
+}
+
+/// Runs the Figure 4 experiment.
+pub fn run(_scale: Scale) {
+    header("Figure 4: refinement stages on the step function (N=1000, L=20)");
+    let n = 1000;
+    let l = 20;
+    let step = move |i: usize| if i < n { 1.0 } else { 0.0 };
+
+    let mixes: Vec<(&'static str, ExpMixture)> = stages(l)
+        .into_iter()
+        .map(|(name, cfg)| (name, approximate_weights(&step, n, &cfg)))
+        .collect();
+
+    // Curves, sampled every 100 points.
+    print!("{:>6}{:>8}", "x", "w(x)");
+    for (name, _) in &mixes {
+        print!("{name:>14}");
+    }
+    println!();
+    for x in (0..=2500).step_by(100) {
+        print!("{x:>6}{:>8}", fmt(step(x)));
+        for (_, mix) in &mixes {
+            print!("{:>14}", fmt(mix.weight_at(x).re));
+        }
+        println!();
+    }
+
+    println!(
+        "\n{:>14}{:>14}{:>16}{:>10}",
+        "stage", "support bias", "beyond-domain", "rms"
+    );
+    for (name, mix) in &mixes {
+        let (bias, beyond, rms) = summarize(mix, n);
+        println!(
+            "{name:>14}{:>14}{:>16}{:>10}",
+            fmt(bias),
+            fmt(beyond),
+            fmt(rms)
+        );
+    }
+    println!(
+        "\nPaper's reading: raw DFT is periodic (large beyond-domain error); DF \
+         kills the images but biases the support; IS removes the bias; ES fixes \
+         the x=0 boundary. The LS-refined variant is the configuration the \
+         ranking experiments use."
+    );
+}

@@ -1,0 +1,129 @@
+//! Ranking tuples with uncertain scores (Section 4.4).
+//!
+//! Attribute-level uncertainty is compiled into an and/xor tree — each
+//! `(tuple, score)` alternative becomes a leaf, alternatives of one tuple
+//! are xor'ed — and the tree algorithms run unchanged. The Υ value of an
+//! original tuple is the sum over its alternatives:
+//! `Υ(tᵢ) = Σⱼ Υ(tᵢⱼ)`.
+
+use prf_numeric::{Complex, GfField};
+use prf_pdb::{AttributeUncertainDb, PdbError};
+
+use crate::tree::{prf_rank_tree, prfe_rank_tree};
+use crate::weights::WeightFunction;
+
+/// Υ values per original tuple under an arbitrary PRF weight function.
+///
+/// Complexity is that of the underlying tree algorithm in the *total number
+/// of alternatives*: `O(m²)` for general ω, `O(m·h·log m)` when truncated (the
+/// compiled tree is in x-tuple form, so the fast path of
+/// [`crate::xtuple`] applies when a truncation is available).
+pub fn prf_rank_uncertain(
+    db: &AttributeUncertainDb,
+    omega: &dyn WeightFunction,
+) -> Result<Vec<Complex>, PdbError> {
+    let compiled = db.compile()?;
+    // Prefer the x-tuple fast path for truncated weights.
+    let per_alt = match crate::xtuple::prf_omega_rank_xtuple(&compiled.tree, omega) {
+        Some(v) => v,
+        None => prf_rank_tree(&compiled.tree, omega),
+    };
+    Ok(compiled.aggregate(&per_alt))
+}
+
+/// PRFe(α) per original tuple, via the incremental tree algorithm —
+/// `O(m log m)` in the total number of alternatives `m`.
+pub fn prfe_rank_uncertain<T: GfField>(
+    db: &AttributeUncertainDb,
+    alpha: T,
+) -> Result<Vec<T>, PdbError> {
+    let compiled = db.compile()?;
+    let per_alt = prfe_rank_tree(&compiled.tree, alpha);
+    Ok(compiled.aggregate(&per_alt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{ExponentialWeight, StepWeight};
+    use prf_pdb::{TupleId, UncertainTuple};
+
+    fn db() -> AttributeUncertainDb {
+        AttributeUncertainDb::new(vec![
+            UncertainTuple::new(vec![(10.0, 0.5), (5.0, 0.3)]).unwrap(),
+            UncertainTuple::new(vec![(8.0, 1.0)]).unwrap(),
+            UncertainTuple::new(vec![(12.0, 0.2), (7.0, 0.4), (3.0, 0.4)]).unwrap(),
+        ])
+    }
+
+    /// Brute-force Υ for original tuple `i`: sum over compiled-tree worlds of
+    /// ω(rank of whichever alternative of i is present).
+    fn brute_upsilon(db: &AttributeUncertainDb, omega: &dyn WeightFunction) -> Vec<f64> {
+        let compiled = db.compile().unwrap();
+        let worlds = compiled.tree.enumerate_worlds(1 << 20).unwrap();
+        let scores = compiled.tree.scores();
+        let mut out = vec![0.0; db.len()];
+        for (w, p) in &worlds.worlds {
+            for &alt in w.tuples() {
+                let orig = compiled.owner[alt.index()];
+                let r = w.rank_of(alt, scores).expect("present");
+                let tv = prf_pdb::Tuple {
+                    id: alt,
+                    score: scores[alt.index()],
+                    prob: 0.0,
+                };
+                out[orig] += p * omega.weight(&tv, r).re;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pt_h_on_uncertain_scores_matches_brute_force() {
+        let db = db();
+        let w = StepWeight { h: 2 };
+        let got = prf_rank_uncertain(&db, &w).unwrap();
+        let want = brute_upsilon(&db, &w);
+        for i in 0..db.len() {
+            assert!(
+                (got[i].re - want[i]).abs() < 1e-10,
+                "tuple {i}: {} vs {}",
+                got[i].re,
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn prfe_on_uncertain_scores_matches_brute_force() {
+        let db = db();
+        let alpha = 0.7;
+        let got = prfe_rank_uncertain(&db, Complex::real(alpha)).unwrap();
+        let want = brute_upsilon(&db, &ExponentialWeight::real(alpha));
+        for i in 0..db.len() {
+            assert!(
+                (got[i].re - want[i]).abs() < 1e-10,
+                "tuple {i}: {} vs {}",
+                got[i].re,
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn certain_scores_reduce_to_independent_tuples() {
+        // One alternative per tuple ≡ independent tuples with those scores.
+        let a = AttributeUncertainDb::new(vec![
+            UncertainTuple::new(vec![(10.0, 0.5)]).unwrap(),
+            UncertainTuple::new(vec![(8.0, 0.9)]).unwrap(),
+        ]);
+        let ind = prf_pdb::IndependentDb::from_pairs([(10.0, 0.5), (8.0, 0.9)]).unwrap();
+        let w = StepWeight { h: 1 };
+        let got = prf_rank_uncertain(&a, &w).unwrap();
+        let want = crate::independent::prf_rank(&ind, &w);
+        for i in 0..2 {
+            assert!(got[i].approx_eq(want[i], 1e-12));
+        }
+        let _ = TupleId(0);
+    }
+}

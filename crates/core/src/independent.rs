@@ -1,0 +1,454 @@
+//! Generating-function ranking over tuple-independent relations
+//! (Section 4.1 and 4.3 of the paper).
+//!
+//! With tuples sorted by score descending (`t₁ … tₙ`) and
+//! `Tᵢ = {t₁ … tᵢ}`, the generating function
+//!
+//! ```text
+//! Fⁱ(x) = ( Π_{t ∈ Tᵢ₋₁} (1 − p(t) + p(t)·x) ) · p(tᵢ)·x
+//! ```
+//!
+//! has `Pr(r(tᵢ) = j)` as its coefficient of `xʲ` (Algorithm 1). The prefix
+//! product `Gᵢ(x) = Π_{t ∈ Tᵢ₋₁}(…)` is maintained incrementally — one
+//! `O(i)` linear-factor multiplication per step — giving `O(n²)` for a
+//! general PRF, `O(n·h)` for PRFω(h) (only the first `h` coefficients are
+//! read), and `O(n)` for PRFe after sorting, since PRFe only needs the
+//! *numeric value* `Gᵢ(α)`.
+//!
+//! Unlike Eq. (2) of the paper we never divide by `Pr(tᵢ₋₁)`, so zero
+//! probabilities need no special-casing.
+
+use prf_numeric::{Complex, GfValue, Poly, Scaled};
+use prf_pdb::{IndependentDb, Tuple};
+
+use crate::weights::WeightFunction;
+
+/// Υ values for every tuple under an arbitrary PRF weight function.
+///
+/// Dispatches to the truncated `O(n·h)` algorithm when
+/// [`WeightFunction::truncation`] is available and to the full `O(n²)`
+/// expansion otherwise. The result is indexed by tuple id.
+///
+/// ```
+/// use prf_core::{prf_rank, StepWeight};
+/// use prf_pdb::IndependentDb;
+///
+/// let db = IndependentDb::from_pairs([(30.0, 0.5), (20.0, 0.6), (10.0, 0.4)])?;
+/// // PT(1): Υ(t) = Pr(r(t) = 1).
+/// let v = prf_rank(&db, &StepWeight { h: 1 });
+/// assert!((v[0].re - 0.5).abs() < 1e-12);          // top scorer: just its own probability
+/// assert!((v[1].re - 0.5 * 0.6).abs() < 1e-12);    // needs t0 absent
+/// # Ok::<(), prf_pdb::PdbError>(())
+/// ```
+pub fn prf_rank(db: &IndependentDb, omega: &dyn WeightFunction) -> Vec<Complex> {
+    match omega.truncation() {
+        Some(h) => prf_rank_truncated(db, omega, h),
+        None => prf_rank_full(db, omega),
+    }
+}
+
+/// Full `O(n²)` PRF evaluation (Algorithm 1, IND-PRF-RANK).
+pub fn prf_rank_full(db: &IndependentDb, omega: &dyn WeightFunction) -> Vec<Complex> {
+    prf_rank_truncated(db, omega, db.len())
+}
+
+/// Truncated `O(n·h)` PRF evaluation: coefficients of rank `> h` are never
+/// materialised because `ω` vanishes there.
+pub fn prf_rank_truncated(
+    db: &IndependentDb,
+    omega: &dyn WeightFunction,
+    h: usize,
+) -> Vec<Complex> {
+    let n = db.len();
+    let mut result = vec![Complex::ZERO; n];
+    if n == 0 || h == 0 {
+        return result;
+    }
+    let order = db.ids_by_score_desc();
+    // G holds the first h coefficients of Π (1 − p + p·x) over tuples seen
+    // so far.
+    let mut g = Poly::one();
+    for &tid in &order {
+        let t = db.tuple(tid);
+        // Υ(t) = p(t)·Σ_{j=1..h} ω(t, j)·G[j−1].
+        let mut upsilon = Complex::ZERO;
+        for (m, &c) in g.coeffs().iter().enumerate().take(h) {
+            if c != 0.0 {
+                upsilon += omega.weight(t, m + 1) * c;
+            }
+        }
+        result[tid.index()] = upsilon * t.prob;
+        g.mul_linear_in_place(1.0 - t.prob, t.prob, h);
+    }
+    result
+}
+
+/// The full positional-probability matrix: `result[t][j−1] = Pr(r(t) = j)`.
+///
+/// `O(n²)` time **and** memory — intended for moderate `n` (test oracles,
+/// feature extraction for learning-to-rank on samples).
+pub fn rank_distributions(db: &IndependentDb) -> Vec<Vec<f64>> {
+    let n = db.len();
+    let mut result = vec![Vec::new(); n];
+    let order = db.ids_by_score_desc();
+    let mut g = Poly::one();
+    for &tid in &order {
+        let t = db.tuple(tid);
+        let mut dist = vec![0.0; n];
+        for (m, &c) in g.coeffs().iter().enumerate() {
+            if m < n {
+                dist[m] = c * t.prob;
+            }
+        }
+        result[tid.index()] = dist;
+        g.mul_linear_in_place(1.0 - t.prob, t.prob, n);
+    }
+    result
+}
+
+/// PRFe(α) with a complex base: `O(n)` after sorting (Section 4.3).
+///
+/// Returns plain complex Υ values; for large `n` and `|α| < 1` these
+/// underflow (they shrink like `|α|`-weighted products) — use
+/// [`prfe_rank_scaled`] when the *full* ranking matters, not just the top.
+///
+/// ```
+/// use prf_core::prfe_rank;
+/// use prf_numeric::Complex;
+/// use prf_pdb::IndependentDb;
+///
+/// // Example 5 of the paper: Υ(t₃) = F³(0.6) = 0.14592.
+/// let db = IndependentDb::from_pairs([(30.0, 0.5), (20.0, 0.6), (10.0, 0.4)])?;
+/// let v = prfe_rank(&db, Complex::real(0.6));
+/// assert!((v[2].re - 0.14592).abs() < 1e-12);
+/// # Ok::<(), prf_pdb::PdbError>(())
+/// ```
+pub fn prfe_rank(db: &IndependentDb, alpha: Complex) -> Vec<Complex> {
+    let n = db.len();
+    let mut result = vec![Complex::ZERO; n];
+    let order = db.ids_by_score_desc();
+    let mut g = Complex::ONE; // Gᵢ(α)
+    for &tid in &order {
+        let t = db.tuple(tid);
+        result[tid.index()] = g * alpha * t.prob;
+        g *= Complex::real(1.0 - t.prob) + alpha * t.prob;
+    }
+    result
+}
+
+/// PRFe(α) in scaled arithmetic: immune to underflow at any `n`.
+///
+/// Returns `Scaled<Complex>` Υ values whose
+/// [`magnitude_key`](Scaled::magnitude_key) /
+/// [`real_part_key`](prf_numeric::Scaled::real_part_key) give exact ranking
+/// keys.
+pub fn prfe_rank_scaled(db: &IndependentDb, alpha: Complex) -> Vec<Scaled<Complex>> {
+    let n = db.len();
+    let mut result = vec![Scaled::<Complex>::zero(); n];
+    let order = db.ids_by_score_desc();
+    let alpha_s = Scaled::new(alpha);
+    let mut g = Scaled::<Complex>::one();
+    for &tid in &order {
+        let t = db.tuple(tid);
+        result[tid.index()] = g.mul(&alpha_s).scale(t.prob);
+        let factor = Scaled::new(Complex::real(1.0 - t.prob) + alpha * t.prob);
+        g = g.mul(&factor);
+    }
+    result
+}
+
+/// Real-α PRFe ranking keys in log space: `ln Υ(tᵢ) = ln pᵢ + ln α +
+/// Σ_{j<i} ln(1 − pⱼ + pⱼα)` — the cheapest underflow-free form
+/// for `α ∈ (0, 1]`.
+///
+/// Tuples with `p = 0` (or `α = 0` beyond the first position) get
+/// `-∞` keys. Returns keys indexed by tuple id; higher key = better rank.
+pub fn prfe_rank_log(db: &IndependentDb, alpha: f64) -> Vec<f64> {
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "prfe_rank_log requires α ∈ [0, 1], got {alpha}"
+    );
+    let n = db.len();
+    let mut result = vec![f64::NEG_INFINITY; n];
+    let order = db.ids_by_score_desc();
+    let mut log_g = 0.0f64;
+    for &tid in &order {
+        let t = db.tuple(tid);
+        if t.prob > 0.0 && alpha > 0.0 && log_g > f64::NEG_INFINITY {
+            result[tid.index()] = log_g + t.prob.ln() + alpha.ln();
+        }
+        let factor = 1.0 - t.prob + t.prob * alpha;
+        log_g += factor.ln(); // ln(0) = -inf propagates correctly
+    }
+    result
+}
+
+/// Positional probabilities for *one* tuple (`O(n)` memory): used by
+/// brute-force comparisons and by feature extraction.
+pub fn rank_distribution_of(db: &IndependentDb, target: prf_pdb::TupleId) -> Vec<f64> {
+    let n = db.len();
+    let order = db.ids_by_score_desc();
+    let mut g = Poly::one();
+    for &tid in &order {
+        let t = db.tuple(tid);
+        if tid == target {
+            let mut dist = vec![0.0; n];
+            for (m, &c) in g.coeffs().iter().enumerate() {
+                if m < n {
+                    dist[m] = c * t.prob;
+                }
+            }
+            return dist;
+        }
+        g.mul_linear_in_place(1.0 - t.prob, t.prob, n);
+    }
+    unreachable!("target tuple not in database");
+}
+
+/// Evaluates Υ from an explicit rank distribution — the textbook definition,
+/// used as the oracle against the generating-function algorithms.
+pub fn upsilon_from_distribution(
+    tuple: &Tuple,
+    dist: &[f64],
+    omega: &dyn WeightFunction,
+) -> Complex {
+    let mut acc = Complex::ZERO;
+    for (j0, &p) in dist.iter().enumerate() {
+        if p != 0.0 {
+            acc += omega.weight(tuple, j0 + 1) * p;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // oracle comparisons over parallel arrays
+mod tests {
+    use super::*;
+    use crate::weights::*;
+    use prf_pdb::TupleId;
+
+    fn example1_db() -> IndependentDb {
+        IndependentDb::from_pairs([(30.0, 0.5), (20.0, 0.6), (10.0, 0.4)]).unwrap()
+    }
+
+    #[test]
+    fn rank_distributions_match_example_1() {
+        let db = example1_db();
+        let d = rank_distributions(&db);
+        // t3 (id 2): F³(x) = (.5+.5x)(.4+.6x)(.4x) → .08, .2, .12.
+        assert!((d[2][0] - 0.08).abs() < 1e-12);
+        assert!((d[2][1] - 0.20).abs() < 1e-12);
+        assert!((d[2][2] - 0.12).abs() < 1e-12);
+        // Each tuple's distribution sums to its probability.
+        for (i, t) in db.tuples().iter().enumerate() {
+            let sum: f64 = d[i].iter().sum();
+            assert!((sum - t.prob).abs() < 1e-12);
+        }
+        // Single-tuple variant agrees.
+        for i in 0..3 {
+            let one = rank_distribution_of(&db, TupleId(i));
+            assert_eq!(one, d[i as usize]);
+        }
+    }
+
+    #[test]
+    fn rank_distributions_match_brute_force() {
+        let db = IndependentDb::from_pairs([
+            (9.0, 0.3),
+            (8.0, 1.0),
+            (7.0, 0.0),
+            (5.0, 0.9),
+            (2.0, 0.55),
+        ])
+        .unwrap();
+        let worlds = db.enumerate_worlds(1 << 20).unwrap();
+        let scores = db.scores();
+        let d = rank_distributions(&db);
+        for i in 0..db.len() {
+            let brute = worlds.rank_distribution(TupleId(i as u32), db.len(), &scores);
+            for j in 0..db.len() {
+                assert!(
+                    (d[i][j] - brute[j]).abs() < 1e-12,
+                    "tuple {i} rank {j}: {} vs {}",
+                    d[i][j],
+                    brute[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prfe_matches_example_5() {
+        // Example 5: Υ(t₃) = F³(0.6) = .14592 for ω(i) = .6^i.
+        let db = example1_db();
+        let u = prfe_rank(&db, Complex::real(0.6));
+        assert!((u[2].re - 0.14592).abs() < 1e-12, "got {}", u[2].re);
+        assert!(u[2].im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn prfe_agrees_with_generic_prf() {
+        let db = IndependentDb::from_pairs([
+            (10.0, 0.9),
+            (9.0, 0.1),
+            (8.0, 0.5),
+            (7.0, 1.0),
+            (6.0, 0.25),
+        ])
+        .unwrap();
+        for &alpha in &[0.0, 0.3, 0.95, 1.0] {
+            let fast = prfe_rank(&db, Complex::real(alpha));
+            let generic = prf_rank(&db, &ExponentialWeight::real(alpha));
+            for i in 0..db.len() {
+                assert!(
+                    fast[i].approx_eq(generic[i], 1e-10),
+                    "α={alpha} tuple {i}: {} vs {}",
+                    fast[i],
+                    generic[i]
+                );
+            }
+        }
+        // Complex α as well.
+        let alpha = Complex::new(0.4, 0.3);
+        let fast = prfe_rank(&db, alpha);
+        let generic = prf_rank(&db, &ExponentialWeight { alpha });
+        for i in 0..db.len() {
+            assert!(fast[i].approx_eq(generic[i], 1e-10));
+        }
+    }
+
+    #[test]
+    fn truncated_matches_full_for_step_weight() {
+        let db = IndependentDb::from_pairs([
+            (10.0, 0.9),
+            (9.0, 0.1),
+            (8.0, 0.5),
+            (7.0, 1.0),
+            (6.0, 0.25),
+            (5.0, 0.66),
+        ])
+        .unwrap();
+        let w = StepWeight { h: 3 };
+        let trunc = prf_rank(&db, &w);
+        // Oracle: Υ = Pr(r(t) ≤ 3) from the distribution matrix.
+        let d = rank_distributions(&db);
+        for (i, t) in db.tuples().iter().enumerate() {
+            let expect: f64 = d[i][..3].iter().sum();
+            assert!(
+                (trunc[i].re - expect).abs() < 1e-12,
+                "tuple {i}: {} vs {expect}",
+                trunc[i].re
+            );
+            let _ = t;
+        }
+    }
+
+    #[test]
+    fn generic_prf_matches_distribution_oracle() {
+        let db = IndependentDb::from_pairs([(4.0, 0.8), (3.0, 0.2), (2.0, 0.7), (1.0, 0.4)])
+            .unwrap();
+        let d = rank_distributions(&db);
+        let weights: Vec<Box<dyn WeightFunction>> = vec![
+            Box::new(ConstantWeight),
+            Box::new(ScoreWeight),
+            Box::new(LinearWeight),
+            Box::new(DcgWeight),
+            Box::new(PositionWeight { j: 2 }),
+            Box::new(TopScoreWeight),
+            Box::new(TabulatedWeight::from_real(&[0.9, 0.5, 0.1])),
+        ];
+        for w in &weights {
+            let got = prf_rank(&db, w.as_ref());
+            for (i, t) in db.tuples().iter().enumerate() {
+                let want = upsilon_from_distribution(t, &d[i], w.as_ref());
+                assert!(
+                    got[i].approx_eq(want, 1e-10),
+                    "{}: tuple {i}: {} vs {want}",
+                    w.name(),
+                    got[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_weight_equals_probability() {
+        let db = example1_db();
+        let u = prf_rank(&db, &ConstantWeight);
+        for (i, t) in db.tuples().iter().enumerate() {
+            assert!((u[i].re - t.prob).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn escore_weight_equals_expected_score() {
+        let db = example1_db();
+        let u = prf_rank(&db, &ScoreWeight);
+        for (i, t) in db.tuples().iter().enumerate() {
+            assert!((u[i].re - t.prob * t.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaled_and_log_agree_with_plain_on_small_input() {
+        let db = example1_db();
+        let alpha = 0.7;
+        let plain = prfe_rank(&db, Complex::real(alpha));
+        let scaled = prfe_rank_scaled(&db, Complex::real(alpha));
+        let logs = prfe_rank_log(&db, alpha);
+        for i in 0..db.len() {
+            assert!((scaled[i].to_plain().re - plain[i].re).abs() < 1e-12);
+            assert!((logs[i] - plain[i].re.ln()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaled_survives_underflow_scale() {
+        // 20_000 tuples with α = 0.5: plain f64 underflows, scaled does not,
+        // and the log variant agrees with the scaled keys.
+        let n = 20_000;
+        let db = IndependentDb::from_pairs(
+            (0..n).map(|i| ((n - i) as f64, 0.3 + 0.4 * ((i % 7) as f64 / 7.0))),
+        )
+        .unwrap();
+        let alpha = 0.5;
+        let scaled = prfe_rank_scaled(&db, Complex::real(alpha));
+        let logs = prfe_rank_log(&db, alpha);
+        let mut saw_underflow_region = false;
+        for i in 0..n {
+            let key = scaled[i].magnitude_key();
+            assert!(key.is_finite(), "scaled key must stay finite");
+            // log2 vs ln: convert.
+            assert!(
+                (key * std::f64::consts::LN_2 - logs[i]).abs() < 1e-6 * logs[i].abs().max(1.0),
+                "tuple {i}: {} vs {}",
+                key * std::f64::consts::LN_2,
+                logs[i]
+            );
+            if logs[i] < -800.0 {
+                saw_underflow_region = true;
+            }
+        }
+        assert!(saw_underflow_region, "test must actually exercise underflow");
+    }
+
+    #[test]
+    fn zero_probability_tuples_are_handled() {
+        let db = IndependentDb::from_pairs([(3.0, 0.0), (2.0, 0.5), (1.0, 0.8)]).unwrap();
+        let u = prfe_rank(&db, Complex::real(0.5));
+        assert_eq!(u[0], Complex::ZERO);
+        // t with p=0 contributes nothing to later prefixes: t2's Υ treats it
+        // as a (1−0+0·α)=1 factor.
+        assert!((u[1].re - 0.5 * 0.5).abs() < 1e-12);
+        let d = rank_distributions(&db);
+        assert!(d[0].iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = IndependentDb::from_pairs(std::iter::empty::<(f64, f64)>()).unwrap();
+        assert!(prf_rank(&db, &ConstantWeight).is_empty());
+        assert!(prfe_rank(&db, Complex::real(0.5)).is_empty());
+    }
+}

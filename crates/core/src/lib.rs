@@ -1,0 +1,68 @@
+//! Parameterized ranking functions for probabilistic databases —
+//! the core contribution of Li, Saha & Deshpande,
+//! *“A Unified Approach to Ranking in Probabilistic Databases”* (VLDB 2009).
+//!
+//! # The PRF framework
+//!
+//! Ranking uncertain data is a multi-criteria problem: score and probability
+//! trade off, and no single fixed ranking function fits every dataset or
+//! user. The paper's answer is a *parameterized* family,
+//!
+//! ```text
+//! Υ_ω(t) = Σ_{i>0} ω(t, i) · Pr(r(t) = i)
+//! ```
+//!
+//! over the positional-probability features `Pr(r(t) = i)`, with a top-k
+//! query returning the `k` tuples with the largest `|Υ_ω|`. Choosing `ω`
+//! recovers ranking by probability, expected score, PT(h)/Global-top-k,
+//! U-Rank, expected-rank-style functions and k-selection
+//! ([`weights`]); two sub-families get special treatment:
+//!
+//! * **PRFω(h)** — arbitrary weights on ranks `≤ h`, evaluated in `O(n·h)`
+//!   for independent tuples and `O(n·h·log n)` for x-tuples ([`xtuple`]);
+//! * **PRFe(α)** — `ω(i) = αⁱ`, evaluated in `O(n log n)` even on
+//!   correlated data modelled by probabilistic and/xor trees ([`tree`]),
+//!   because `Υ = Fⁱ(α)` needs only the generating function's *value*.
+//!
+//! # Module map
+//!
+//! * [`weights`] — the `ω` families and the [`weights::WeightFunction`]
+//!   trait;
+//! * [`independent`] — Algorithm 1 (IND-PRF-RANK) and the PRFe/PRFω fast
+//!   paths for tuple-independent data;
+//! * [`tree`] — Algorithm 2 (symbolic + interpolation expansion) and
+//!   Algorithm 3 (incremental PRFe) on and/xor trees; expected ranks via
+//!   dual numbers;
+//! * [`xtuple`] — `O(n·h·log n)` PRFω(h) on x-tuples by a division-free
+//!   divide-and-conquer over the score sweep;
+//! * [`attribute`] — ranking with uncertain scores (Section 4.4);
+//! * [`spectrum`] — Theorem 4: the single-crossing structure of PRFe
+//!   rankings as `α` sweeps 0→1;
+//! * [`topk`] — turning Υ values into ranked answers.
+
+pub mod attribute;
+pub mod independent;
+pub mod parallel;
+pub mod spectrum;
+pub mod topk;
+pub mod tree;
+pub mod weights;
+pub mod xtuple;
+
+pub use attribute::{prf_rank_uncertain, prfe_rank_uncertain};
+pub use parallel::prf_rank_tree_parallel;
+pub use independent::{
+    prf_rank, prf_rank_full, prf_rank_truncated, prfe_rank, prfe_rank_log, prfe_rank_scaled,
+    rank_distributions,
+};
+pub use spectrum::{crossing_point, prfe_spectrum, spectrum_endpoints, Crossing};
+pub use topk::{Ranking, ValueOrder};
+pub use tree::{
+    expected_ranks_tree, prf_rank_tree, prf_rank_tree_interp, prfe_rank_tree,
+    prfe_rank_tree_recompute, prfe_rank_tree_scaled, rank_distributions_tree, IncrementalGf,
+};
+pub use weights::{
+    ConstantWeight, DcgWeight, ExponentialWeight, LinearWeight, PositionWeight, ScoreWeight,
+    StepWeight, TabulatedWeight, TopScoreWeight, WeightFunction,
+};
+pub use xtuple::prf_omega_rank_xtuple;

@@ -1,0 +1,129 @@
+//! Thread-parallel variants of the embarrassingly parallel algorithms.
+//!
+//! The per-tuple expansions of Algorithm 2 (`O(n·h)` *per tuple* on general
+//! and/xor trees) are independent of one another, so PRFω(h) on correlated
+//! data parallelises perfectly across tuples. This module shards the tuple
+//! range over `std::thread::scope` workers — no extra dependencies, no
+//! unsafe — and is the practical answer to the `O(n²·h)` wall the exact
+//! tree algorithms hit (see EXPERIMENTS.md, Figure 10(ii)/11(iii) notes).
+
+use prf_numeric::{Complex, RankPoly};
+use prf_pdb::{AndXorTree, Tuple, TupleId};
+
+use crate::tree::score_order;
+use crate::weights::WeightFunction;
+
+/// Parallel ANDXOR-PRF-RANK: identical output to
+/// [`crate::tree::prf_rank_tree`], computed with `threads` workers.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn prf_rank_tree_parallel(
+    tree: &AndXorTree,
+    omega: &(dyn WeightFunction + Sync),
+    threads: usize,
+) -> Vec<Complex> {
+    assert!(threads > 0, "need at least one thread");
+    let n = tree.n_tuples();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cap = omega.truncation().unwrap_or(n).min(n);
+    if cap == 0 {
+        return vec![Complex::ZERO; n];
+    }
+    let (order, pos) = score_order(tree);
+    let marginals = tree.marginals();
+
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Vec<(TupleId, Complex)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            let order = &order;
+            let pos = &pos;
+            let marginals = &marginals;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                for (i, &t) in order.iter().enumerate().take(hi).skip(lo) {
+                    let gf = tree.generating_function(|u| {
+                        if u == t {
+                            RankPoly::y().with_cap(cap)
+                        } else if pos[u.index()] < i {
+                            RankPoly::x().with_cap(cap)
+                        } else {
+                            RankPoly::one().with_cap(cap)
+                        }
+                    });
+                    let tv = Tuple {
+                        id: t,
+                        score: tree.score(t),
+                        prob: marginals[t.index()],
+                    };
+                    let mut ups = Complex::ZERO;
+                    for j in 1..=cap {
+                        let c = gf.rank_probability(j);
+                        if c != 0.0 {
+                            ups += omega.weight(&tv, j) * c;
+                        }
+                    }
+                    out.push((t, ups));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    });
+
+    let mut out = vec![Complex::ZERO; n];
+    for shard in results {
+        for (t, v) in shard {
+            out[t.index()] = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::prf_rank_tree;
+    use crate::weights::StepWeight;
+    use prf_pdb::AndXorTree;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let tree = AndXorTree::from_x_tuples(&[
+            vec![(10.0, 0.4), (9.0, 0.3)],
+            vec![(8.0, 0.9)],
+            vec![(7.0, 0.5), (6.0, 0.2), (5.0, 0.1)],
+            vec![(4.0, 1.0)],
+        ])
+        .unwrap();
+        let w = StepWeight { h: 4 };
+        let serial = prf_rank_tree(&tree, &w);
+        for threads in [1usize, 2, 4, 16] {
+            let par = prf_rank_tree_parallel(&tree, &w, threads);
+            for t in 0..tree.n_tuples() {
+                assert!(
+                    par[t].approx_eq(serial[t], 1e-12),
+                    "threads={threads} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let tree = AndXorTree::from_x_tuples(&[vec![(1.0, 0.5)]]).unwrap();
+        let w = StepWeight { h: 1 };
+        let par = prf_rank_tree_parallel(&tree, &w, 8);
+        assert_eq!(par.len(), 1);
+        assert!((par[0].re - 0.5).abs() < 1e-12);
+    }
+}

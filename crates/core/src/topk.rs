@@ -1,0 +1,158 @@
+//! Turning per-tuple Υ values into ranked answers.
+//!
+//! Definition 3: a top-k query returns the `k` tuples with the highest `|Υ|`
+//! values. When Υ is real and non-negative (every classical special case),
+//! `|Υ|` and `ℜ(Υ)` agree; PRFe-mixture approximations produce tiny spurious
+//! imaginary parts and are ranked by real part instead ([`ValueOrder`]).
+
+use prf_numeric::Complex;
+use prf_pdb::TupleId;
+
+/// How complex Υ values are mapped to the totally ordered ranking key.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValueOrder {
+    /// Rank by `|Υ|` (the paper's Definition 3).
+    #[default]
+    Magnitude,
+    /// Rank by `ℜ(Υ)` — appropriate for mixtures of conjugate PRFe terms,
+    /// whose imaginary parts cancel up to rounding.
+    RealPart,
+}
+
+impl ValueOrder {
+    /// The ranking key of a Υ value.
+    #[inline]
+    pub fn key(self, v: Complex) -> f64 {
+        match self {
+            ValueOrder::Magnitude => v.abs(),
+            ValueOrder::RealPart => v.re,
+        }
+    }
+}
+
+/// A complete ranking of tuples by Υ value.
+#[derive(Clone, Debug)]
+pub struct Ranking {
+    /// Tuple ids ordered best-first.
+    order: Vec<TupleId>,
+    /// The ranking key of each tuple in [`Ranking::order`]'s order.
+    keys: Vec<f64>,
+}
+
+impl Ranking {
+    /// Ranks tuples by the given Υ values (indexed by tuple id), using
+    /// `order`'s key and breaking ties by tuple id for determinism.
+    pub fn from_values(values: &[Complex], order: ValueOrder) -> Self {
+        let keys_by_id: Vec<f64> = values.iter().map(|&v| order.key(v)).collect();
+        Self::from_keys(&keys_by_id)
+    }
+
+    /// Ranks tuples by pre-computed real keys (higher is better).
+    pub fn from_keys(keys_by_id: &[f64]) -> Self {
+        let mut idx: Vec<usize> = (0..keys_by_id.len()).collect();
+        idx.sort_by(|&a, &b| {
+            keys_by_id[b]
+                .partial_cmp(&keys_by_id[a])
+                .expect("ranking keys must not be NaN")
+                .then(a.cmp(&b))
+        });
+        Ranking {
+            keys: idx.iter().map(|&i| keys_by_id[i]).collect(),
+            order: idx.into_iter().map(|i| TupleId(i as u32)).collect(),
+        }
+    }
+
+    /// Ranks tuples by arbitrary partially ordered keys (higher is better,
+    /// ties by tuple id). `display` maps each key to the `f64` reported by
+    /// [`Ranking::key_at`] — used with exponent-carrying keys such as
+    /// [`prf_numeric::scaled::SignedLogKey`] that cannot be collapsed into a
+    /// single `f64` without losing precision.
+    pub fn from_keys_by<K: PartialOrd + Copy>(
+        keys_by_id: &[K],
+        display: impl Fn(K) -> f64,
+    ) -> Self {
+        let mut idx: Vec<usize> = (0..keys_by_id.len()).collect();
+        idx.sort_by(|&a, &b| {
+            keys_by_id[b]
+                .partial_cmp(&keys_by_id[a])
+                .expect("ranking keys must be comparable")
+                .then(a.cmp(&b))
+        });
+        Ranking {
+            keys: idx.iter().map(|&i| display(keys_by_id[i])).collect(),
+            order: idx.into_iter().map(|i| TupleId(i as u32)).collect(),
+        }
+    }
+
+    /// The full order, best first.
+    pub fn order(&self) -> &[TupleId] {
+        &self.order
+    }
+
+    /// The top-`k` tuple ids.
+    pub fn top_k(&self, k: usize) -> &[TupleId] {
+        &self.order[..k.min(self.order.len())]
+    }
+
+    /// The top-`k` as raw `u32` ids — the form the metrics crate consumes.
+    pub fn top_k_u32(&self, k: usize) -> Vec<u32> {
+        self.top_k(k).iter().map(|t| t.0).collect()
+    }
+
+    /// The ranking key of the tuple at `position` (0-based).
+    pub fn key_at(&self, position: usize) -> f64 {
+        self.keys[position]
+    }
+
+    /// Position (0-based) of a tuple in the ranking.
+    pub fn position_of(&self, t: TupleId) -> Option<usize> {
+        self.order.iter().position(|&x| x == t)
+    }
+
+    /// Number of ranked tuples.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when no tuples were ranked.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_by_magnitude_with_id_ties() {
+        let values = [
+            Complex::real(1.0),
+            Complex::real(-2.0), // |.|=2 ranks first
+            Complex::real(1.0),  // ties with id 0 — id 0 wins
+        ];
+        let r = Ranking::from_values(&values, ValueOrder::Magnitude);
+        assert_eq!(r.order(), &[TupleId(1), TupleId(0), TupleId(2)]);
+        assert_eq!(r.top_k(2), &[TupleId(1), TupleId(0)]);
+        assert_eq!(r.top_k_u32(2), vec![1, 0]);
+        assert_eq!(r.key_at(0), 2.0);
+        assert_eq!(r.position_of(TupleId(2)), Some(2));
+    }
+
+    #[test]
+    fn real_part_order_differs_from_magnitude() {
+        let values = [Complex::real(-2.0), Complex::real(1.0)];
+        let mag = Ranking::from_values(&values, ValueOrder::Magnitude);
+        let re = Ranking::from_values(&values, ValueOrder::RealPart);
+        assert_eq!(mag.order()[0], TupleId(0));
+        assert_eq!(re.order()[0], TupleId(1));
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let r = Ranking::from_keys(&[0.5, 0.2]);
+        assert_eq!(r.top_k(10).len(), 2);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+}

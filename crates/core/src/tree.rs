@@ -1,0 +1,671 @@
+//! Ranking over probabilistic and/xor trees (Sections 4.2–4.3).
+//!
+//! For a tuple `t` at sorted position `i`, label leaves of the tree as
+//! follows: leaves ranked above `t` (higher score) get the variable `x`, the
+//! leaf `t` itself gets `y`, everything else gets the constant `1`. By
+//! Theorem 1 the resulting generating function `Fⁱ(x, y) = A(x) + B(x)·y`
+//! satisfies `Pr(r(t) = j) = [x^{j−1}] B(x)`.
+//!
+//! Four evaluation strategies are provided:
+//!
+//! 1. [`prf_rank_tree`] — symbolic bottom-up expansion with truncated
+//!    bivariate polynomials (Algorithm 2): exact, `O(n²)`–`O(n²·d)` per
+//!    tuple untruncated, `O(n·h)` per tuple for PRFω(h);
+//! 2. [`prf_rank_tree_interp`] — evaluate the tree at the roots of unity and
+//!    recover coefficients with one inverse FFT per tuple (Appendix B.2);
+//! 3. [`prfe_rank_tree`] — the incremental Algorithm 3: maintain the two
+//!    numeric values `F(α, α)` and `F(α, 0)` at every node and update only
+//!    the two leaf-to-root paths that change per step, `O(Σᵢ dᵢ + n log n)`
+//!    total, with zero-count bookkeeping making the ∧-node divisions safe;
+//! 4. [`prfe_rank_tree_recompute`] — the `O(n)`-per-tuple recompute baseline
+//!    that Algorithm 3 is measured against.
+//!
+//! [`expected_ranks_tree`] evaluates the same machinery over dual numbers to
+//! produce expected ranks (Cormode et al.) on correlated data — the
+//! generalisation Section 3.3 calls for.
+
+#![allow(clippy::needless_range_loop)] // index loops pair several parallel arrays
+
+use prf_numeric::{Complex, Dual, GfField, GfValue, RankPoly, Scaled, YLin};
+use prf_numeric::fft::interpolate_from_roots_of_unity;
+use prf_pdb::tuple::sort_indices_by_score_desc;
+use prf_pdb::{AndXorTree, NodeId, NodeKind, Tuple, TupleId};
+
+use crate::weights::WeightFunction;
+
+/// Tuple processing order (score descending, id ascending) and its inverse
+/// permutation, shared by all tree algorithms. Public so that callers that
+/// evaluate many PRFe instances over one tree (PRFe mixtures) can sort once.
+pub fn score_order(tree: &AndXorTree) -> (Vec<TupleId>, Vec<usize>) {
+    let order: Vec<TupleId> = sort_indices_by_score_desc(tree.scores())
+        .into_iter()
+        .map(|i| TupleId(i as u32))
+        .collect();
+    let mut pos = vec![0usize; order.len()];
+    for (i, t) in order.iter().enumerate() {
+        pos[t.index()] = i;
+    }
+    (order, pos)
+}
+
+fn tuple_view(tree: &AndXorTree, marginals: &[f64], t: TupleId) -> Tuple {
+    Tuple {
+        id: t,
+        score: tree.score(t),
+        prob: marginals[t.index()],
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. Symbolic expansion (Algorithm 2)
+// ---------------------------------------------------------------------
+
+/// Υ values for every tuple of a correlated relation under an arbitrary PRF
+/// weight function, by symbolic expansion of the per-tuple generating
+/// function (ANDXOR-PRF-RANK, Algorithm 2).
+///
+/// Respects [`WeightFunction::truncation`]: PT(h)/PRFω(h)/U-Rank only expand
+/// the first `h` coefficients.
+pub fn prf_rank_tree(tree: &AndXorTree, omega: &dyn WeightFunction) -> Vec<Complex> {
+    let n = tree.n_tuples();
+    let mut out = vec![Complex::ZERO; n];
+    if n == 0 {
+        return out;
+    }
+    let cap = omega.truncation().unwrap_or(n).min(n);
+    if cap == 0 {
+        return out;
+    }
+    let (order, pos) = score_order(tree);
+    let marginals = tree.marginals();
+    for (i, &t) in order.iter().enumerate() {
+        let gf = tree.generating_function(|u| {
+            if u == t {
+                RankPoly::y().with_cap(cap)
+            } else if pos[u.index()] < i {
+                RankPoly::x().with_cap(cap)
+            } else {
+                RankPoly::one().with_cap(cap)
+            }
+        });
+        let tv = tuple_view(tree, &marginals, t);
+        let mut ups = Complex::ZERO;
+        for j in 1..=cap {
+            let c = gf.rank_probability(j);
+            if c != 0.0 {
+                ups += omega.weight(&tv, j) * c;
+            }
+        }
+        out[t.index()] = ups;
+    }
+    out
+}
+
+/// The full positional-probability matrix on a tree:
+/// `result[t][j−1] = Pr(r(t) = j)`. `O(n³)`-ish — test oracle scale.
+pub fn rank_distributions_tree(tree: &AndXorTree) -> Vec<Vec<f64>> {
+    let n = tree.n_tuples();
+    let (order, pos) = score_order(tree);
+    let mut out = vec![Vec::new(); n];
+    for (i, &t) in order.iter().enumerate() {
+        let gf = tree.generating_function(|u| {
+            if u == t {
+                RankPoly::y()
+            } else if pos[u.index()] < i {
+                RankPoly::x()
+            } else {
+                RankPoly::one()
+            }
+        });
+        out[t.index()] = gf.rank_distribution(n);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// 2. Roots-of-unity interpolation (Appendix B.2)
+// ---------------------------------------------------------------------
+
+/// Like [`prf_rank_tree`], but expands each `B(x)` by evaluating the tree at
+/// the `m`-th roots of unity (`m` = next power of two `> n`) and applying one
+/// inverse FFT — `O(n)` per evaluation point, `O(n²)` per tuple regardless of
+/// tree shape (Appendix B.2, "Algorithm 2").
+pub fn prf_rank_tree_interp(tree: &AndXorTree, omega: &dyn WeightFunction) -> Vec<Complex> {
+    let n = tree.n_tuples();
+    let mut out = vec![Complex::ZERO; n];
+    if n == 0 {
+        return out;
+    }
+    let (order, pos) = score_order(tree);
+    let marginals = tree.marginals();
+    let m = (n + 1).next_power_of_two();
+    // Precompute the m-th roots of unity ω^k (forward orientation e^{+2πi/m},
+    // matching interpolate_from_roots_of_unity).
+    let roots: Vec<Complex> = (0..m)
+        .map(|k| Complex::cis(2.0 * std::f64::consts::PI * k as f64 / m as f64))
+        .collect();
+    let h = omega.truncation().unwrap_or(n).min(n);
+    let mut bvals = vec![Complex::ZERO; m];
+    for (i, &t) in order.iter().enumerate() {
+        for (k, &x) in roots.iter().enumerate() {
+            let v: YLin<Complex> = tree.generating_function(|u| {
+                if u == t {
+                    YLin::y()
+                } else if pos[u.index()] < i {
+                    YLin::pure(x)
+                } else {
+                    YLin::<Complex>::one()
+                }
+            });
+            bvals[k] = v.b;
+        }
+        let coeffs = interpolate_from_roots_of_unity(&bvals);
+        let tv = tuple_view(tree, &marginals, t);
+        let mut ups = Complex::ZERO;
+        for (j0, &c) in coeffs.iter().enumerate().take(h) {
+            ups += omega.weight(&tv, j0 + 1) * c;
+        }
+        out[t.index()] = ups;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// 3. Incremental PRFe (Algorithm 3)
+// ---------------------------------------------------------------------
+
+/// Per-node state of the incremental evaluator. Component 0 tracks
+/// `F(α, y=α)`, component 1 tracks `F(α, y=0)`.
+enum NState<T> {
+    /// Leaf or ∨ node: the materialised value per component.
+    Value([T; 2]),
+    /// ∧ node: product of the *non-zero* child factors plus a count of
+    /// exactly-zero factors per component. The materialised value is zero
+    /// whenever `zeros > 0` — this is what makes the divide-out-stale-factor
+    /// update safe in the presence of exact zeros (`p = 1` leaves, `α = 0`).
+    And { prod: [T; 2], zeros: [u32; 2] },
+}
+
+/// Incremental generating-function evaluator over an and/xor tree
+/// (the data structure behind ANDXOR-PRFe-RANK, Algorithm 3).
+///
+/// Maintains, for every node, the pair `(F(α, α), F(α, 0))` under the
+/// current leaf labelling; [`IncrementalGf::set_leaf`] relabels one leaf and
+/// updates the `O(depth)` ancestors.
+pub struct IncrementalGf<'a, T: GfField> {
+    tree: &'a AndXorTree,
+    state: Vec<NState<T>>,
+}
+
+impl<'a, T: GfField> IncrementalGf<'a, T> {
+    /// Builds the evaluator with every leaf assigned `init` (component
+    /// pair).
+    pub fn new(tree: &'a AndXorTree, init: [T; 2]) -> Self {
+        let nn = tree.node_count();
+        let mut state: Vec<NState<T>> = Vec::with_capacity(nn);
+        for _ in 0..nn {
+            state.push(NState::Value([T::zero(), T::zero()]));
+        }
+        // Bottom-up initialisation (children have larger ids than parents).
+        for idx in (0..nn).rev() {
+            let node = NodeId(idx as u32);
+            let s = match tree.kind(node) {
+                NodeKind::Leaf(_) => NState::Value(init.clone()),
+                NodeKind::Xor => {
+                    let mut vals = [
+                        T::from_scalar(tree.xor_slack(node)),
+                        T::from_scalar(tree.xor_slack(node)),
+                    ];
+                    for &c in tree.children(node) {
+                        let p = tree.edge_prob(c);
+                        let cv = Self::materialize_in(&state, c);
+                        vals[0] = vals[0].add(&cv[0].scale(p));
+                        vals[1] = vals[1].add(&cv[1].scale(p));
+                    }
+                    NState::Value(vals)
+                }
+                NodeKind::And => {
+                    let mut prod = [T::one(), T::one()];
+                    let mut zeros = [0u32; 2];
+                    for &c in tree.children(node) {
+                        let cv = Self::materialize_in(&state, c);
+                        for comp in 0..2 {
+                            if cv[comp].is_zero() {
+                                zeros[comp] += 1;
+                            } else {
+                                prod[comp] = prod[comp].mul(&cv[comp]);
+                            }
+                        }
+                    }
+                    NState::And { prod, zeros }
+                }
+            };
+            state[idx] = s;
+        }
+        IncrementalGf { tree, state }
+    }
+
+    fn materialize_in(state: &[NState<T>], node: NodeId) -> [T; 2] {
+        match &state[node.index()] {
+            NState::Value(v) => v.clone(),
+            NState::And { prod, zeros } => [
+                if zeros[0] > 0 { T::zero() } else { prod[0].clone() },
+                if zeros[1] > 0 { T::zero() } else { prod[1].clone() },
+            ],
+        }
+    }
+
+    /// Current materialised value of a node (component pair).
+    pub fn value(&self, node: NodeId) -> [T; 2] {
+        Self::materialize_in(&self.state, node)
+    }
+
+    /// Current root value of the given component (0: `y = α`, 1: `y = 0`).
+    pub fn root(&self, comp: usize) -> T {
+        self.value(self.tree.root())[comp].clone()
+    }
+
+    /// Relabels the leaf of tuple `t` to the value pair `new`, updating all
+    /// ancestors in `O(depth(t))` ring operations.
+    pub fn set_leaf(&mut self, t: TupleId, new: [T; 2]) {
+        let leaf = self.tree.leaf_of(t);
+        let old = Self::materialize_in(&self.state, leaf);
+        self.state[leaf.index()] = NState::Value(new.clone());
+        let mut child = leaf;
+        let mut old_vals = old;
+        let mut new_vals = new;
+        while let Some(parent) = self.tree.parent(child) {
+            let parent_old = Self::materialize_in(&self.state, parent);
+            match &mut self.state[parent.index()] {
+                NState::Value(vals) => {
+                    // ∨ node: val += p · (new − old).
+                    let p = self.tree.edge_prob(child);
+                    for comp in 0..2 {
+                        let delta = new_vals[comp].add(&old_vals[comp].scale(-1.0));
+                        vals[comp] = vals[comp].add(&delta.scale(p));
+                    }
+                }
+                NState::And { prod, zeros } => {
+                    for comp in 0..2 {
+                        if old_vals[comp].is_zero() {
+                            zeros[comp] -= 1;
+                        } else {
+                            prod[comp] = prod[comp].div(&old_vals[comp]);
+                        }
+                        if new_vals[comp].is_zero() {
+                            zeros[comp] += 1;
+                        } else {
+                            prod[comp] = prod[comp].mul(&new_vals[comp]);
+                        }
+                    }
+                }
+            }
+            let parent_new = Self::materialize_in(&self.state, parent);
+            child = parent;
+            old_vals = parent_old;
+            new_vals = parent_new;
+        }
+    }
+}
+
+/// PRFe(α) over an and/xor tree — the incremental ANDXOR-PRFe-RANK
+/// (Algorithm 3), generic over the scalar field.
+///
+/// Total cost `O(Σᵢ dᵢ + n log n)` where `dᵢ` is the depth of tuple `i`.
+/// Use [`Complex`] / `f64` directly at small scale, or
+/// [`Scaled`] scalars (see [`prfe_rank_tree_scaled`]) when products may
+/// underflow.
+pub fn prfe_rank_tree<T: GfField>(tree: &AndXorTree, alpha: T) -> Vec<T> {
+    let n = tree.n_tuples();
+    let mut out = vec![T::zero(); n];
+    if n == 0 {
+        return out;
+    }
+    let (order, _) = score_order(tree);
+    let mut inc = IncrementalGf::new(tree, [T::one(), T::one()]);
+    for (i, &t) in order.iter().enumerate() {
+        if i > 0 {
+            // Previous tuple's label moves from y to x.
+            inc.set_leaf(order[i - 1], [alpha.clone(), alpha.clone()]);
+        }
+        // Current tuple's label moves from 1 to y: (α, 0).
+        inc.set_leaf(t, [alpha.clone(), T::zero()]);
+        // Υ(t) = F(α, α) − F(α, 0) = B(α)·α.
+        out[t.index()] = inc.root(0).add(&inc.root(1).scale(-1.0));
+    }
+    out
+}
+
+/// [`prfe_rank_tree`] in scaled-complex arithmetic — underflow-proof at any
+/// scale; keys for ranking come from
+/// [`Scaled::magnitude_key`](prf_numeric::Scaled::magnitude_key).
+pub fn prfe_rank_tree_scaled(tree: &AndXorTree, alpha: Complex) -> Vec<Scaled<Complex>> {
+    prfe_rank_tree(tree, Scaled::new(alpha))
+}
+
+/// Recompute-from-scratch PRFe on a tree: one full `O(node count)` fold per
+/// tuple using [`YLin`] values. `O(n²)` total — the ablation baseline that
+/// shows what Algorithm 3's incrementality buys.
+pub fn prfe_rank_tree_recompute(tree: &AndXorTree, alpha: Complex) -> Vec<Complex> {
+    let n = tree.n_tuples();
+    let mut out = vec![Complex::ZERO; n];
+    if n == 0 {
+        return out;
+    }
+    let (order, pos) = score_order(tree);
+    for (i, &t) in order.iter().enumerate() {
+        let v: YLin<Complex> = tree.generating_function(|u| {
+            if u == t {
+                YLin::y()
+            } else if pos[u.index()] < i {
+                YLin::pure(alpha)
+            } else {
+                YLin::<Complex>::one()
+            }
+        });
+        // Υ = B(α)·α.
+        out[t.index()] = v.b * alpha;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// 4. Expected ranks on trees (dual numbers)
+// ---------------------------------------------------------------------
+
+/// Expected ranks over an and/xor tree, in `O(Σᵢ dᵢ + n log n)`:
+/// `E-Rank(t) = er₁(t) + er₂(t)` with
+///
+/// * `er₁(t) = Σᵢ i·Pr(r(t) = i)` — the derivative at `α = 1` of the PRFe
+///   value `Υ_α(t) = Σᵢ Pr(r(t)=i)·αⁱ`, obtained by running Algorithm 3
+///   over dual numbers;
+/// * `er₂(t) = Σ_{pw: t∉pw} Pr(pw)·|pw|` — the derivative at `x = 1` of
+///   `A(x) = F(x, y=0)` under the labelling that marks *every* other leaf
+///   `x`, obtained from a second incremental pass.
+///
+/// Tuples absent from a world are charged that world's size, following
+/// Cormode et al. Lower is better; callers typically rank by `−E-Rank`.
+pub fn expected_ranks_tree(tree: &AndXorTree) -> Vec<f64> {
+    let n = tree.n_tuples();
+    if n == 0 {
+        return Vec::new();
+    }
+    let alpha = Dual::variable(1.0);
+
+    // er₁ via Algorithm 3 over duals.
+    let er1: Vec<Dual> = prfe_rank_tree(tree, alpha);
+
+    // er₂: all leaves labelled x = 1+ε, target labelled y; A = component 1.
+    let mut er2 = vec![0.0f64; n];
+    let mut inc = IncrementalGf::new(tree, [alpha, alpha]);
+    for t in 0..n {
+        if t > 0 {
+            inc.set_leaf(TupleId((t - 1) as u32), [alpha, alpha]);
+        }
+        inc.set_leaf(TupleId(t as u32), [alpha, Dual::ZERO]);
+        er2[t] = inc.root(1).d;
+    }
+
+    (0..n).map(|t| er1[t].d + er2[t]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::*;
+    use prf_pdb::{IndependentDb, TreeBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Figure 1 tree (see prf-pdb tests for the construction).
+    fn figure1_tree() -> AndXorTree {
+        let mut b = TreeBuilder::new(NodeKind::And);
+        let root = b.root();
+        let x1 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x1, 0.4, 120.0).unwrap();
+        let x2 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x2, 0.7, 130.0).unwrap();
+        b.add_leaf(x2, 0.3, 80.0).unwrap();
+        let x3 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x3, 0.4, 95.0).unwrap();
+        b.add_leaf(x3, 0.6, 110.0).unwrap();
+        let x4 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x4, 1.0, 105.0).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A random and/xor tree with explicit kind tracking, for differential
+    /// testing against brute-force world enumeration.
+    fn random_tree2(seed: u64, target_leaves: usize, max_depth: usize) -> AndXorTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root_kind = if rng.gen_bool(0.5) {
+            NodeKind::And
+        } else {
+            NodeKind::Xor
+        };
+        let mut b = TreeBuilder::new(root_kind);
+        // Frontier of (node, kind, depth, remaining xor budget).
+        let mut frontier = vec![(b.root(), root_kind, 0usize, 1.0f64)];
+        let mut leaves = 0usize;
+        while leaves < target_leaves {
+            let idx = rng.gen_range(0..frontier.len());
+            let (node, kind, depth, budget) = frontier[idx];
+            let is_xor = matches!(kind, NodeKind::Xor);
+            // Probability for this child's edge.
+            let p = if is_xor {
+                let p = rng.gen_range(0.0..budget.min(0.6));
+                frontier[idx].3 -= p;
+                p
+            } else {
+                1.0
+            };
+            let make_leaf = depth >= max_depth || rng.gen_bool(0.65);
+            if make_leaf {
+                let score = rng.gen_range(0.0..100.0);
+                b.add_leaf(node, p, score).unwrap();
+                leaves += 1;
+            } else {
+                let child_kind = if rng.gen_bool(0.5) {
+                    NodeKind::And
+                } else {
+                    NodeKind::Xor
+                };
+                let child = b.add_inner(node, child_kind, p).unwrap();
+                frontier.push((child, child_kind, depth + 1, 1.0));
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn symbolic_rank_distributions_match_enumeration() {
+        for seed in 0..8u64 {
+            let tree = random_tree2(seed, 7, 3);
+            let worlds = tree.enumerate_worlds(1 << 18).unwrap();
+            let scores = tree.scores();
+            let dists = rank_distributions_tree(&tree);
+            for t in 0..tree.n_tuples() {
+                let brute = worlds.rank_distribution(TupleId(t as u32), tree.n_tuples(), scores);
+                for j in 0..tree.n_tuples() {
+                    assert!(
+                        (dists[t][j] - brute[j]).abs() < 1e-9,
+                        "seed {seed} tuple {t} rank {j}: {} vs {}",
+                        dists[t][j],
+                        brute[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_example_4_rank_probability() {
+        let tree = figure1_tree();
+        let d = rank_distributions_tree(&tree);
+        // Pr(r(t₄)=3) = 0.216 — t₄ is our TupleId(3) (score 95).
+        assert!((d[3][2] - 0.216).abs() < 1e-12, "got {}", d[3][2]);
+    }
+
+    #[test]
+    fn incremental_prfe_matches_recompute() {
+        for seed in 0..10u64 {
+            let tree = random_tree2(seed, 12, 4);
+            for &alpha in &[0.3, 0.9, 1.0] {
+                let a = Complex::real(alpha);
+                let inc = prfe_rank_tree(&tree, a);
+                let rec = prfe_rank_tree_recompute(&tree, a);
+                for t in 0..tree.n_tuples() {
+                    assert!(
+                        inc[t].approx_eq(rec[t], 1e-9),
+                        "seed {seed} α={alpha} t{t}: {} vs {}",
+                        inc[t],
+                        rec[t]
+                    );
+                }
+            }
+            // Complex α.
+            let a = Complex::new(0.5, 0.4);
+            let inc = prfe_rank_tree(&tree, a);
+            let rec = prfe_rank_tree_recompute(&tree, a);
+            for t in 0..tree.n_tuples() {
+                assert!(inc[t].approx_eq(rec[t], 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_prfe_matches_symbolic_oracle() {
+        let tree = figure1_tree();
+        let alpha = 0.6;
+        let inc = prfe_rank_tree(&tree, Complex::real(alpha));
+        let dists = rank_distributions_tree(&tree);
+        for t in 0..tree.n_tuples() {
+            let oracle: f64 = dists[t]
+                .iter()
+                .enumerate()
+                .map(|(j0, &p)| p * alpha.powi(j0 as i32 + 1))
+                .sum();
+            assert!(
+                (inc[t].re - oracle).abs() < 1e-10,
+                "t{t}: {} vs {oracle}",
+                inc[t].re
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_handles_certain_tuples_alpha_zero() {
+        // p = 1 leaves make factors exactly zero at α = 0 — exercises the
+        // zero-count bookkeeping.
+        let tree = figure1_tree(); // t6 has p = 1
+        let inc = prfe_rank_tree(&tree, Complex::real(0.0));
+        let rec = prfe_rank_tree_recompute(&tree, Complex::real(0.0));
+        for t in 0..tree.n_tuples() {
+            assert!(inc[t].approx_eq(rec[t], 1e-12), "t{t}");
+        }
+        // At α=0, Υ(t)·1/α → only rank-1 probability survives... with ω=αⁱ
+        // every Υ is 0; check exact zeros rather than NaNs.
+        for t in 0..tree.n_tuples() {
+            assert!(!inc[t].is_nan(), "t{t} must not be NaN");
+        }
+    }
+
+    #[test]
+    fn interp_matches_symbolic() {
+        for seed in [3u64, 11, 42] {
+            let tree = random_tree2(seed, 9, 3);
+            let w = StepWeight { h: 4 };
+            let sym = prf_rank_tree(&tree, &w);
+            let itp = prf_rank_tree_interp(&tree, &w);
+            for t in 0..tree.n_tuples() {
+                assert!(
+                    sym[t].approx_eq(itp[t], 1e-8),
+                    "seed {seed} t{t}: {} vs {}",
+                    sym[t],
+                    itp[t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_prf_matches_independent_prf_on_independent_data() {
+        let db = IndependentDb::from_pairs([
+            (10.0, 0.9),
+            (9.0, 0.1),
+            (8.0, 0.5),
+            (7.0, 1.0),
+            (6.0, 0.25),
+        ])
+        .unwrap();
+        let tree = AndXorTree::from_independent(&db);
+        let weights: Vec<Box<dyn WeightFunction>> = vec![
+            Box::new(StepWeight { h: 3 }),
+            Box::new(ConstantWeight),
+            Box::new(PositionWeight { j: 2 }),
+            Box::new(ExponentialWeight::real(0.8)),
+        ];
+        for w in &weights {
+            let via_tree = prf_rank_tree(&tree, w.as_ref());
+            let via_ind = crate::independent::prf_rank(&db, w.as_ref());
+            for t in 0..db.len() {
+                assert!(
+                    via_tree[t].approx_eq(via_ind[t], 1e-9),
+                    "{} t{t}: {} vs {}",
+                    w.name(),
+                    via_tree[t],
+                    via_ind[t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_tree_prfe_matches_plain_at_small_scale() {
+        let tree = figure1_tree();
+        let alpha = Complex::real(0.85);
+        let plain = prfe_rank_tree(&tree, alpha);
+        let scaled = prfe_rank_tree_scaled(&tree, alpha);
+        for t in 0..tree.n_tuples() {
+            assert!((scaled[t].to_plain().re - plain[t].re).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn expected_ranks_match_brute_force() {
+        for seed in 0..6u64 {
+            let tree = random_tree2(seed, 8, 3);
+            let worlds = tree.enumerate_worlds(1 << 18).unwrap();
+            let scores = tree.scores();
+            let got = expected_ranks_tree(&tree);
+            for t in 0..tree.n_tuples() {
+                let tid = TupleId(t as u32);
+                let brute: f64 = worlds
+                    .worlds
+                    .iter()
+                    .map(|(w, p)| match w.rank_of(tid, scores) {
+                        Some(r) => p * r as f64,
+                        None => p * w.len() as f64,
+                    })
+                    .sum();
+                assert!(
+                    (got[t] - brute).abs() < 1e-8,
+                    "seed {seed} t{t}: {} vs {brute}",
+                    got[t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_tree_prf_reads_only_low_ranks() {
+        let tree = figure1_tree();
+        let full = prf_rank_tree(&tree, &StepWeight { h: 2 });
+        let dists = rank_distributions_tree(&tree);
+        for t in 0..tree.n_tuples() {
+            let expect: f64 = dists[t][..2].iter().sum();
+            assert!((full[t].re - expect).abs() < 1e-10);
+        }
+    }
+
+}

@@ -1,0 +1,21 @@
+//! Seeded dataset generators for the `prf` workspace (Section 8 workloads).
+//!
+//! * [`iip`] — a simulated International Ice Patrol iceberg-sighting
+//!   dataset reproducing the paper's preprocessing (drift days as score,
+//!   confidence-level probabilities); the substitution for the original
+//!   (non-redistributable) data is documented in DESIGN.md;
+//! * [`synthetic`] — Syn-IND and the random and/xor tree family Syn-XOR /
+//!   Syn-LOW / Syn-MED / Syn-HIGH, plus sampling utilities for the
+//!   learning experiments.
+//!
+//! Every generator takes an explicit seed; runs are reproducible
+//! bit-for-bit.
+
+pub mod iip;
+pub mod synthetic;
+
+pub use iip::{generate_sightings, iip_db, Sighting, Source};
+pub use synthetic::{
+    random_andxor_tree, subsample_independent, syn_high_tree, syn_ind, syn_low_tree,
+    syn_med_tree, syn_xor_tree, TreeGenConfig,
+};

@@ -1,0 +1,366 @@
+//! Synthetic datasets: Syn-IND and the random and/xor tree family
+//! (Section 8, "Datasets").
+//!
+//! The correlated datasets are random probabilistic and/xor trees generated
+//! by controlling the height `L`, the maximum fanout `d` of non-root nodes,
+//! and the proportion `X/A` of ∨ to ∧ inner nodes:
+//!
+//! | dataset | L | X/A | d |
+//! |---------|---|-----|---|
+//! | Syn-XOR  | 2 | ∞  | 5 |
+//! | Syn-LOW  | 3 | 10 | 2 |
+//! | Syn-MED  | 5 | 3  | 5 |
+//! | Syn-HIGH | 5 | 1  | 10 |
+//!
+//! Scores are uniform on `[0, 10000]`; Syn-IND draws probabilities uniform
+//! on `[0, 1]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prf_pdb::{AndXorTree, IndependentDb, NodeId, NodeKind, TreeBuilder};
+
+/// Configuration for the random and/xor tree generator.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeGenConfig {
+    /// Number of tuples (leaves).
+    pub n_tuples: usize,
+    /// Maximum leaf depth (root at depth 0). Must be ≥ 2.
+    pub height: usize,
+    /// Maximum fanout of non-root inner nodes. The root's fanout is
+    /// unbounded so generation can always place the requested leaves.
+    pub max_fanout: usize,
+    /// Ratio of ∨ to ∧ inner nodes below the root; `f64::INFINITY` makes
+    /// every inner node a ∨ (the x-tuple regime).
+    pub xor_to_and: f64,
+    /// Score range (uniform).
+    pub score_range: (f64, f64),
+}
+
+impl TreeGenConfig {
+    /// Syn-XOR: x-tuples (height 2, all-∨, fanout 5).
+    pub fn syn_xor(n: usize) -> Self {
+        TreeGenConfig {
+            n_tuples: n,
+            height: 2,
+            max_fanout: 5,
+            xor_to_and: f64::INFINITY,
+            score_range: (0.0, 10_000.0),
+        }
+    }
+
+    /// Syn-LOW: light correlation (L=3, X/A=10, d=2).
+    pub fn syn_low(n: usize) -> Self {
+        TreeGenConfig {
+            n_tuples: n,
+            height: 3,
+            max_fanout: 2,
+            xor_to_and: 10.0,
+            score_range: (0.0, 10_000.0),
+        }
+    }
+
+    /// Syn-MED: medium correlation (L=5, X/A=3, d=5).
+    pub fn syn_med(n: usize) -> Self {
+        TreeGenConfig {
+            n_tuples: n,
+            height: 5,
+            max_fanout: 5,
+            xor_to_and: 3.0,
+            score_range: (0.0, 10_000.0),
+        }
+    }
+
+    /// Syn-HIGH: heavy correlation (L=5, X/A=1, d=10).
+    pub fn syn_high(n: usize) -> Self {
+        TreeGenConfig {
+            n_tuples: n,
+            height: 5,
+            max_fanout: 10,
+            xor_to_and: 1.0,
+            score_range: (0.0, 10_000.0),
+        }
+    }
+}
+
+/// Syn-IND: `n` independent tuples, scores `U[0, 10000]`, probabilities
+/// `U[0, 1]`.
+pub fn syn_ind(n: usize, seed: u64) -> IndependentDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    IndependentDb::from_pairs((0..n).map(|_| {
+        (
+            rng.gen_range(0.0..10_000.0),
+            rng.gen_range(0.0..1.0f64),
+        )
+    }))
+    .expect("generated tuples are valid")
+}
+
+/// Generates a random probabilistic and/xor tree per the configuration.
+///
+/// The tree has an ∧ root (unbounded fanout — the paper bounds only
+/// *non-root* degrees) whose children are densely grown correlation
+/// *blocks*: each block is filled towards its capacity `d^{L−1}` before a
+/// new one is started, so that high-scoring tuples genuinely share ∨/∧
+/// ancestors — the entanglement the Figure 10 experiments measure. Inner
+/// nodes are ∨ with probability `X/A / (1 + X/A)`; ∨-edge probabilities are
+/// drawn from the node's remaining budget so `Σp ≤ 1` holds by
+/// construction. Leaves appear at depth ≥ 2 and are forced at `cfg.height`.
+pub fn random_andxor_tree(cfg: &TreeGenConfig, seed: u64) -> AndXorTree {
+    assert!(cfg.height >= 2, "height must be at least 2");
+    assert!(cfg.max_fanout >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::new(NodeKind::And);
+    let root = b.root();
+    let p_xor = if cfg.xor_to_and.is_infinite() {
+        1.0
+    } else {
+        cfg.xor_to_and / (1.0 + cfg.xor_to_and)
+    };
+    // Capacity of one block; keep at least ~4 blocks so exclusivity between
+    // blocks also exists.
+    let capacity = (cfg.max_fanout as f64)
+        .powi(cfg.height as i32 - 1)
+        .min(1e9) as usize;
+    let block_target = capacity.max(1).min((cfg.n_tuples / 4).max(1));
+
+    struct Slot {
+        node: NodeId,
+        is_xor: bool,
+        depth: usize,
+        children: usize,
+        budget: f64,
+    }
+
+    let mut leaves = 0usize;
+    while leaves < cfg.n_tuples {
+        // Start a new top-level block.
+        let kind = if rng.gen_bool(p_xor) {
+            NodeKind::Xor
+        } else {
+            NodeKind::And
+        };
+        let top = b.add_inner(root, kind, 1.0).expect("root accepts children");
+        let mut frontier = vec![Slot {
+            node: top,
+            is_xor: matches!(kind, NodeKind::Xor),
+            depth: 1,
+            children: 0,
+            budget: 1.0,
+        }];
+        let goal = block_target.min(cfg.n_tuples - leaves);
+        let mut grown = 0usize;
+        while grown < goal && !frontier.is_empty() {
+            let idx = rng.gen_range(0..frontier.len());
+            let slot = &mut frontier[idx];
+            let depth = slot.depth;
+            let edge_prob = if slot.is_xor {
+                // Aim for ~d children per ∨ node (each taking ~1/d of the
+                // unit budget): wide exclusive groups are what distinguish
+                // MED/HIGH from LOW.
+                let frac = rng
+                    .gen_range(0.5 / cfg.max_fanout as f64..1.5 / cfg.max_fanout as f64)
+                    .min(0.85);
+                let p = slot.budget * frac;
+                slot.budget -= p;
+                p
+            } else {
+                1.0
+            };
+            let node = slot.node;
+            // Fill blocks densely: inner nodes strongly preferred above the
+            // height limit.
+            let make_leaf = depth + 1 >= cfg.height || rng.gen_bool(0.15);
+            if make_leaf {
+                let score = rng.gen_range(cfg.score_range.0..cfg.score_range.1);
+                b.add_leaf(node, edge_prob, score).expect("valid leaf");
+                grown += 1;
+            } else {
+                let kind = if rng.gen_bool(p_xor) {
+                    NodeKind::Xor
+                } else {
+                    NodeKind::And
+                };
+                let child = b.add_inner(node, kind, edge_prob).expect("valid inner");
+                let child_is_xor = matches!(kind, NodeKind::Xor);
+                frontier.push(Slot {
+                    node: child,
+                    is_xor: child_is_xor,
+                    depth: depth + 1,
+                    children: 0,
+                    budget: 1.0,
+                });
+            }
+            let slot = &mut frontier[idx];
+            slot.children += 1;
+            let saturated = slot.children >= cfg.max_fanout
+                || (slot.is_xor && slot.budget < 0.02);
+            if saturated {
+                frontier.swap_remove(idx);
+            }
+        }
+        leaves += grown;
+        // A block whose frontier saturated early simply comes out smaller;
+        // the outer loop starts another one.
+        if grown == 0 {
+            // Degenerate capacity (e.g. d = 1): fall back to a single leaf
+            // chain to guarantee progress.
+            let score = rng.gen_range(cfg.score_range.0..cfg.score_range.1);
+            let chain = b.add_inner(root, NodeKind::Xor, 1.0).expect("inner");
+            b.add_leaf(chain, rng.gen_range(0.15..0.85), score)
+                .expect("valid leaf");
+            leaves += 1;
+        }
+    }
+    b.build().expect("generator respects ∨ budgets")
+}
+
+/// Convenience constructors matching the paper's four correlated datasets.
+pub fn syn_xor_tree(n: usize, seed: u64) -> AndXorTree {
+    random_andxor_tree(&TreeGenConfig::syn_xor(n), seed)
+}
+
+/// See [`TreeGenConfig::syn_low`].
+pub fn syn_low_tree(n: usize, seed: u64) -> AndXorTree {
+    random_andxor_tree(&TreeGenConfig::syn_low(n), seed)
+}
+
+/// See [`TreeGenConfig::syn_med`].
+pub fn syn_med_tree(n: usize, seed: u64) -> AndXorTree {
+    random_andxor_tree(&TreeGenConfig::syn_med(n), seed)
+}
+
+/// See [`TreeGenConfig::syn_high`].
+pub fn syn_high_tree(n: usize, seed: u64) -> AndXorTree {
+    random_andxor_tree(&TreeGenConfig::syn_high(n), seed)
+}
+
+/// A uniform random sample of `m` tuples from an independent relation,
+/// re-identified densely — the "small sample of the tuples" on which user
+/// preferences are collected in Section 5.2. Returns the sample and the
+/// original ids (`sample id → original id`).
+pub fn subsample_independent(
+    db: &IndependentDb,
+    m: usize,
+    seed: u64,
+) -> (IndependentDb, Vec<prf_pdb::TupleId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = db.len();
+    let m = m.min(n);
+    // Partial Fisher–Yates over indices.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..m {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    let chosen = &idx[..m];
+    let sample = IndependentDb::from_pairs(chosen.iter().map(|&i| {
+        let t = db.tuple(prf_pdb::TupleId(i as u32));
+        (t.score, t.prob)
+    }))
+    .expect("subsample of a valid relation is valid");
+    (
+        sample,
+        chosen.iter().map(|&i| prf_pdb::TupleId(i as u32)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syn_ind_shape() {
+        let db = syn_ind(1000, 3);
+        assert_eq!(db.len(), 1000);
+        for t in db.tuples() {
+            assert!((0.0..10_000.0).contains(&t.score));
+            assert!((0.0..=1.0).contains(&t.prob));
+        }
+        // Expected world size ≈ n/2 ("expected size ≈ 50000" for n=100k).
+        let c = db.expected_world_size();
+        assert!((c - 500.0).abs() < 50.0, "C = {c}");
+    }
+
+    #[test]
+    fn syn_xor_is_xtuple_form() {
+        let tree = syn_xor_tree(200, 5);
+        assert_eq!(tree.n_tuples(), 200);
+        assert!(tree.x_tuple_groups().is_some());
+        assert_eq!(tree.height(), 2);
+        // Fanout bound respected for non-root nodes.
+        let groups = tree.x_tuple_groups().unwrap();
+        assert!(groups.iter().all(|g| g.len() <= 5));
+    }
+
+    #[test]
+    fn height_bounds_respected() {
+        for (tree, h) in [
+            (syn_low_tree(300, 1), 3),
+            (syn_med_tree(300, 1), 5),
+            (syn_high_tree(300, 1), 5),
+        ] {
+            assert_eq!(tree.n_tuples(), 300);
+            assert!(tree.height() <= h, "height {} > {h}", tree.height());
+            assert!(tree.height() >= 2);
+        }
+    }
+
+    #[test]
+    fn xor_ratio_influences_node_mix() {
+        let n = 2000;
+        let count_kinds = |tree: &AndXorTree| {
+            let mut xor = 0usize;
+            let mut and = 0usize;
+            for i in 0..tree.node_count() {
+                match tree.kind(prf_pdb::NodeId(i as u32)) {
+                    NodeKind::Xor => xor += 1,
+                    NodeKind::And => and += 1,
+                    NodeKind::Leaf(_) => {}
+                }
+            }
+            (xor, and)
+        };
+        let (x_hi, a_hi) = count_kinds(&syn_high_tree(n, 2)); // ratio 1
+        let (x_low, a_low) = count_kinds(&syn_low_tree(n, 2)); // ratio 10
+        // Syn-LOW should be much more xor-dominated than Syn-HIGH.
+        let r_hi = x_hi as f64 / a_hi.max(1) as f64;
+        let r_low = x_low as f64 / a_low.max(1) as f64;
+        assert!(r_low > 2.0 * r_hi, "ratios: low {r_low} vs high {r_hi}");
+    }
+
+    #[test]
+    fn generated_trees_are_valid_distributions() {
+        // Marginals in range; sampling works; enumeration on a small one.
+        let tree = syn_med_tree(12, 9);
+        for m in tree.marginals() {
+            assert!((0.0..=1.0 + 1e-9).contains(&m));
+        }
+        let worlds = tree.enumerate_worlds(1 << 20).unwrap();
+        assert!((worlds.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = syn_high_tree(100, 42);
+        let b = syn_high_tree(100, 42);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.scores(), b.scores());
+    }
+
+    #[test]
+    fn subsample_draws_distinct_tuples() {
+        let db = syn_ind(100, 1);
+        let (sample, origin) = subsample_independent(&db, 30, 2);
+        assert_eq!(sample.len(), 30);
+        let mut o = origin.clone();
+        o.sort();
+        o.dedup();
+        assert_eq!(o.len(), 30, "no duplicates");
+        for (s, &oid) in sample.tuples().iter().zip(&origin) {
+            let t = db.tuple(oid);
+            assert_eq!(s.score, t.score);
+            assert_eq!(s.prob, t.prob);
+        }
+    }
+}

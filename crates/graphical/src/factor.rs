@@ -1,0 +1,283 @@
+//! Factors over binary variables.
+//!
+//! A factor is a non-negative table over the joint assignments of a small
+//! set of binary variables (the tuple-existence indicators `X_t` of
+//! Section 9.1). Tables are dense, indexed by bitmask: bit `i` of the index
+//! is the value of `vars[i]`.
+
+/// A binary random variable — in ranking use, the existence indicator of the
+/// tuple with the same index.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dense potential over a set of binary variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Factor {
+    /// The variables, in table-index bit order (bit `i` ↔ `vars[i]`).
+    vars: Vec<VarId>,
+    /// `2^{vars.len()}` non-negative entries.
+    table: Vec<f64>,
+}
+
+impl Factor {
+    /// Creates a factor after validating dimensions and non-negativity.
+    ///
+    /// # Panics
+    /// Panics if `table.len() != 2^vars.len()`, variables repeat, or any
+    /// entry is negative/NaN.
+    pub fn new(vars: Vec<VarId>, table: Vec<f64>) -> Self {
+        assert_eq!(table.len(), 1 << vars.len(), "table size mismatch");
+        let mut sorted = vars.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vars.len(), "duplicate variables in factor");
+        assert!(
+            table.iter().all(|&v| v >= 0.0 && v.is_finite()),
+            "factor entries must be finite and non-negative"
+        );
+        Factor { vars, table }
+    }
+
+    /// The constant factor `1` over no variables.
+    pub fn unit() -> Self {
+        Factor {
+            vars: Vec::new(),
+            table: vec![1.0],
+        }
+    }
+
+    /// A single-variable factor `[Pr(v=0), Pr(v=1)]`.
+    pub fn singleton(v: VarId, p0: f64, p1: f64) -> Self {
+        Factor::new(vec![v], vec![p0, p1])
+    }
+
+    /// The factor's variables (bit order).
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// The raw table.
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Position of a variable within this factor, if present.
+    pub fn position_of(&self, v: VarId) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+
+    /// Sum of all entries.
+    pub fn total(&self) -> f64 {
+        self.table.iter().sum()
+    }
+
+    /// Scales all entries in place.
+    pub fn scale(&mut self, c: f64) {
+        for v in &mut self.table {
+            *v *= c;
+        }
+    }
+
+    /// The entry for a full assignment given as a bitmask over this factor's
+    /// variable order.
+    #[inline]
+    pub fn at(&self, mask: usize) -> f64 {
+        self.table[mask]
+    }
+
+    /// Multiplies `other` into `self`. `other`'s variables must be a subset
+    /// of `self`'s.
+    pub fn multiply_subset(&mut self, other: &Factor) {
+        let positions: Vec<usize> = other
+            .vars
+            .iter()
+            .map(|&v| self.position_of(v).expect("other.vars ⊆ self.vars"))
+            .collect();
+        for (mask, entry) in self.table.iter_mut().enumerate() {
+            let mut sub = 0usize;
+            for (bit, &pos) in positions.iter().enumerate() {
+                if mask >> pos & 1 == 1 {
+                    sub |= 1 << bit;
+                }
+            }
+            *entry *= other.table[sub];
+        }
+    }
+
+    /// Divides `self` by `other` (variables ⊆ `self`'s), with the Hugin
+    /// convention `0/0 = 0`.
+    pub fn divide_subset(&mut self, other: &Factor) {
+        let positions: Vec<usize> = other
+            .vars
+            .iter()
+            .map(|&v| self.position_of(v).expect("other.vars ⊆ self.vars"))
+            .collect();
+        for (mask, entry) in self.table.iter_mut().enumerate() {
+            let mut sub = 0usize;
+            for (bit, &pos) in positions.iter().enumerate() {
+                if mask >> pos & 1 == 1 {
+                    sub |= 1 << bit;
+                }
+            }
+            let d = other.table[sub];
+            if d == 0.0 {
+                debug_assert!(
+                    *entry == 0.0,
+                    "x/0 with x ≠ 0 in factor division (inconsistent potentials)"
+                );
+                *entry = 0.0;
+            } else {
+                *entry /= d;
+            }
+        }
+    }
+
+    /// Marginalises onto a subset of this factor's variables.
+    pub fn marginalize_onto(&self, keep: &[VarId]) -> Factor {
+        let positions: Vec<usize> = keep
+            .iter()
+            .map(|&v| self.position_of(v).expect("keep ⊆ self.vars"))
+            .collect();
+        let mut out = Factor {
+            vars: keep.to_vec(),
+            table: vec![0.0; 1 << keep.len()],
+        };
+        for (mask, &entry) in self.table.iter().enumerate() {
+            let mut sub = 0usize;
+            for (bit, &pos) in positions.iter().enumerate() {
+                if mask >> pos & 1 == 1 {
+                    sub |= 1 << bit;
+                }
+            }
+            out.table[sub] += entry;
+        }
+        out
+    }
+
+    /// Restricts a variable to a fixed value, removing it from the factor.
+    /// Returns `self` unchanged if the variable is absent.
+    pub fn condition(&self, v: VarId, value: bool) -> Factor {
+        let Some(pos) = self.position_of(v) else {
+            return self.clone();
+        };
+        let mut vars = self.vars.clone();
+        vars.remove(pos);
+        let mut table = vec![0.0; 1 << vars.len()];
+        for (new_mask, slot) in table.iter_mut().enumerate() {
+            // Re-insert the conditioned bit at `pos`.
+            let low = new_mask & ((1 << pos) - 1);
+            let high = (new_mask >> pos) << (pos + 1);
+            let mask = low | high | ((value as usize) << pos);
+            *slot = self.table[mask];
+        }
+        Factor { vars, table }
+    }
+
+    /// The marginal `[Pr(v=0), Pr(v=1)]` of one variable (unnormalised if
+    /// the factor is unnormalised).
+    pub fn marginal(&self, v: VarId) -> [f64; 2] {
+        let m = self.marginalize_onto(&[v]);
+        [m.table[0], m.table[1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn construction_validation() {
+        let f = Factor::new(vec![v(0), v(1)], vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(f.arity(), 2);
+        assert!((f.total() - 1.0).abs() < 1e-12);
+        assert_eq!(f.at(0b01), 0.2); // v0=1, v1=0
+    }
+
+    #[test]
+    #[should_panic(expected = "table size mismatch")]
+    fn wrong_table_size() {
+        Factor::new(vec![v(0)], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn multiply_and_divide_roundtrip() {
+        let mut f = Factor::new(vec![v(0), v(1)], vec![0.1, 0.2, 0.3, 0.4]);
+        let g = Factor::singleton(v(1), 0.5, 2.0);
+        let original = f.clone();
+        f.multiply_subset(&g);
+        assert!((f.at(0b00) - 0.05).abs() < 1e-12);
+        assert!((f.at(0b10) - 0.6).abs() < 1e-12);
+        f.divide_subset(&g);
+        for m in 0..4 {
+            assert!((f.at(m) - original.at(m)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn marginalization() {
+        let f = Factor::new(vec![v(0), v(1)], vec![0.1, 0.2, 0.3, 0.4]);
+        let m0 = f.marginal(v(0));
+        assert!((m0[0] - 0.4).abs() < 1e-12); // v0=0: 0.1+0.3
+        assert!((m0[1] - 0.6).abs() < 1e-12);
+        let onto_both = f.marginalize_onto(&[v(1), v(0)]);
+        // Reordered variables: entry (v1=1, v0=0) = table[0b01 in new order].
+        assert!((onto_both.at(0b01) - f.at(0b10)).abs() < 1e-12);
+        let scalar = f.marginalize_onto(&[]);
+        assert!((scalar.at(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditioning_slices() {
+        let f = Factor::new(vec![v(0), v(1)], vec![0.1, 0.2, 0.3, 0.4]);
+        let c1 = f.condition(v(0), true);
+        assert_eq!(c1.vars(), &[v(1)]);
+        assert!((c1.at(0) - 0.2).abs() < 1e-12);
+        assert!((c1.at(1) - 0.4).abs() < 1e-12);
+        let c0 = f.condition(v(1), false);
+        assert!((c0.at(0) - 0.1).abs() < 1e-12);
+        assert!((c0.at(1) - 0.2).abs() < 1e-12);
+        // Conditioning an absent variable is the identity.
+        let same = f.condition(v(7), true);
+        assert_eq!(same, f);
+    }
+
+    #[test]
+    fn condition_middle_variable_bit_surgery() {
+        // Three variables; conditioning the middle one must splice bits
+        // correctly.
+        let table: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let f = Factor::new(vec![v(0), v(1), v(2)], table);
+        let c = f.condition(v(1), true);
+        assert_eq!(c.vars(), &[v(0), v(2)]);
+        // (v0, v2) = (0,0) → original mask 0b010 = 2.
+        assert_eq!(c.at(0b00), 2.0);
+        // (v0, v2) = (1,1) → original mask 0b111 = 7.
+        assert_eq!(c.at(0b11), 7.0);
+    }
+
+    #[test]
+    fn zero_over_zero_is_zero() {
+        let mut f = Factor::new(vec![v(0)], vec![0.0, 1.0]);
+        let g = Factor::new(vec![v(0)], vec![0.0, 0.5]);
+        f.divide_subset(&g);
+        assert_eq!(f.at(0), 0.0);
+        assert!((f.at(1) - 2.0).abs() < 1e-12);
+    }
+}

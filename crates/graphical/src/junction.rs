@@ -1,0 +1,316 @@
+//! Junction trees with Hugin calibration and conditioning (Section 9.1–9.2).
+//!
+//! A junction tree stores one potential per clique and one per separator.
+//! After [`JunctionTree::calibrate`], every clique potential equals the true
+//! marginal `Pr(C)` and every separator potential `Pr(S)`, so the joint
+//! factors as `Pr(X) = Π_C Pr(C) / Π_S Pr(S)`.
+//!
+//! [`JunctionTree::conditioned`] implements the conditioning step of
+//! Section 9.2: slice `X = v` out of every potential, keep the tree shape
+//! (separators may become empty — components are then genuinely independent,
+//! which is exactly what the partial-sum DP needs; no forest surgery), and
+//! recalibrate.
+
+use crate::factor::{Factor, VarId};
+
+/// One edge of the junction tree, with its separator potential.
+#[derive(Clone, Debug)]
+struct Edge {
+    a: usize,
+    b: usize,
+    separator: Factor,
+}
+
+/// A junction tree over binary variables.
+#[derive(Clone, Debug)]
+pub struct JunctionTree {
+    n_vars: usize,
+    cliques: Vec<Factor>,
+    edges: Vec<Edge>,
+    /// Adjacency: per clique, `(neighbor clique, edge index)`.
+    adjacency: Vec<Vec<(usize, usize)>>,
+    /// Total mass Z of the (unnormalised) model, set by calibration.
+    z: f64,
+}
+
+impl JunctionTree {
+    /// Assembles a junction tree from clique potentials and edges. Separator
+    /// scopes are the pairwise clique intersections. The caller must
+    /// guarantee the running intersection property (as the construction in
+    /// [`crate::network::MarkovNetwork::junction_tree`] does).
+    pub fn from_parts(n_vars: usize, cliques: Vec<Factor>, edge_list: Vec<(usize, usize)>) -> Self {
+        let mut adjacency = vec![Vec::new(); cliques.len()];
+        let mut edges = Vec::with_capacity(edge_list.len());
+        for (idx, (a, b)) in edge_list.into_iter().enumerate() {
+            let sep_vars: Vec<VarId> = cliques[a]
+                .vars()
+                .iter()
+                .copied()
+                .filter(|v| cliques[b].vars().contains(v))
+                .collect();
+            let separator = Factor::new(sep_vars.clone(), vec![1.0; 1 << sep_vars.len()]);
+            adjacency[a].push((b, idx));
+            adjacency[b].push((a, idx));
+            edges.push(Edge { a, b, separator });
+        }
+        JunctionTree {
+            n_vars,
+            cliques,
+            edges,
+            adjacency,
+            z: f64::NAN,
+        }
+    }
+
+    /// Number of variables in the underlying model.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of cliques.
+    pub fn n_cliques(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// The clique potentials (calibrated = marginals after
+    /// [`JunctionTree::calibrate`]).
+    pub fn clique(&self, i: usize) -> &Factor {
+        &self.cliques[i]
+    }
+
+    /// Treewidth: max clique size − 1.
+    pub fn treewidth(&self) -> usize {
+        self.cliques
+            .iter()
+            .map(|c| c.arity())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
+    }
+
+    /// The normalisation constant `Z` (1 for an already-normalised model).
+    ///
+    /// # Panics
+    /// Panics if the tree has not been calibrated.
+    pub fn normalization(&self) -> f64 {
+        assert!(!self.z.is_nan(), "call calibrate() first");
+        self.z
+    }
+
+    /// Neighbours of a clique: `(clique, edge index)` pairs.
+    pub fn neighbors(&self, clique: usize) -> &[(usize, usize)] {
+        &self.adjacency[clique]
+    }
+
+    /// The separator potential of an edge.
+    pub fn separator(&self, edge: usize) -> &Factor {
+        &self.edges[edge].separator
+    }
+
+    /// Hugin message passing: one collect pass into clique 0 and one
+    /// distribute pass out of it, followed by global normalisation. After
+    /// this, clique and separator potentials are exact (normalised)
+    /// marginals and [`JunctionTree::normalization`] returns the model's
+    /// previous total mass.
+    pub fn calibrate(&mut self) {
+        let n = self.cliques.len();
+        if n == 0 {
+            self.z = 1.0;
+            return;
+        }
+        // Iterative DFS orders (avoid recursion for deep trees).
+        let order = self.dfs_order(0);
+
+        // Collect: children → parents, deepest first.
+        for &(clique, parent_edge) in order.iter().rev() {
+            let Some(pe) = parent_edge else { continue };
+            let parent = self.edge_other(pe, clique);
+            self.pass_message(clique, parent, pe);
+        }
+        // Distribute: parents → children.
+        for &(clique, parent_edge) in &order {
+            let Some(pe) = parent_edge else { continue };
+            let parent = self.edge_other(pe, clique);
+            self.pass_message(parent, clique, pe);
+        }
+
+        // Normalise.
+        let z = self.cliques[0].total();
+        assert!(z > 0.0, "model has zero total mass");
+        for c in &mut self.cliques {
+            c.scale(1.0 / z);
+        }
+        for e in &mut self.edges {
+            e.separator.scale(1.0 / z);
+        }
+        self.z = z;
+    }
+
+    /// DFS preorder from `root`: `(clique, edge to parent)`.
+    fn dfs_order(&self, root: usize) -> Vec<(usize, Option<usize>)> {
+        let mut order = Vec::with_capacity(self.cliques.len());
+        let mut visited = vec![false; self.cliques.len()];
+        let mut stack = vec![(root, None::<usize>)];
+        while let Some((c, pe)) = stack.pop() {
+            if visited[c] {
+                continue;
+            }
+            visited[c] = true;
+            order.push((c, pe));
+            for &(nb, edge) in &self.adjacency[c] {
+                if !visited[nb] {
+                    stack.push((nb, Some(edge)));
+                }
+            }
+        }
+        assert!(
+            order.len() == self.cliques.len(),
+            "junction tree must be connected"
+        );
+        order
+    }
+
+    fn edge_other(&self, edge: usize, clique: usize) -> usize {
+        let e = &self.edges[edge];
+        if e.a == clique {
+            e.b
+        } else {
+            e.a
+        }
+    }
+
+    /// Passes a Hugin message from `src` to `dst` across `edge`.
+    fn pass_message(&mut self, src: usize, dst: usize, edge: usize) {
+        let sep_vars: Vec<VarId> = self.edges[edge].separator.vars().to_vec();
+        let new_sep = self.cliques[src].marginalize_onto(&sep_vars);
+        let mut update = new_sep.clone();
+        update.divide_subset(&self.edges[edge].separator);
+        self.cliques[dst].multiply_subset(&update);
+        self.edges[edge].separator = new_sep;
+    }
+
+    /// The marginal `Pr(X_v = 1)` (requires calibration).
+    pub fn marginal(&self, v: VarId) -> f64 {
+        assert!(!self.z.is_nan(), "call calibrate() first");
+        let home = self
+            .cliques
+            .iter()
+            .position(|c| c.position_of(v).is_some())
+            .expect("variable must appear in some clique");
+        let m = self.cliques[home].marginal(v);
+        m[1] / (m[0] + m[1])
+    }
+
+    /// Conditions on `X_v = value` (Section 9.2): slices the variable out of
+    /// every clique **and separator** (the joint factors as
+    /// `Π ψ_C / Π φ_S`, so both must be restricted to preserve the measure),
+    /// recalibrates, and returns the new tree together with the evidence
+    /// probability `Pr(X_v = value)`.
+    ///
+    /// Separators that contained only `v` become empty — their two sides are
+    /// conditionally independent, which downstream consumers (the
+    /// partial-sum DP) handle without splitting the tree.
+    pub fn conditioned(&self, v: VarId, value: bool) -> (JunctionTree, f64) {
+        assert!(!self.z.is_nan(), "call calibrate() first");
+        let mut jt = JunctionTree {
+            n_vars: self.n_vars,
+            cliques: self
+                .cliques
+                .iter()
+                .map(|c| c.condition(v, value))
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|e| Edge {
+                    a: e.a,
+                    b: e.b,
+                    separator: e.separator.condition(v, value),
+                })
+                .collect(),
+            adjacency: self.adjacency.clone(),
+            z: f64::NAN,
+        };
+        jt.calibrate();
+        // The parent tree was normalised, so the sliced measure's total mass
+        // is exactly Pr(X_v = value).
+        let evidence = jt.normalization();
+        (jt, evidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    /// A 3-variable chain: X0 — X1 — X2 with attractive couplings.
+    fn chain3() -> JunctionTree {
+        let c01 = Factor::new(vec![v(0), v(1)], vec![0.4, 0.1, 0.1, 0.4]);
+        let c12 = Factor::new(vec![v(1), v(2)], vec![0.8, 0.2, 0.2, 0.8]);
+        let mut jt =
+            JunctionTree::from_parts(3, vec![c01, c12], vec![(0, 1)]);
+        jt.calibrate();
+        jt
+    }
+
+    #[test]
+    fn calibration_makes_cliques_consistent() {
+        let jt = chain3();
+        // Both cliques must agree on Pr(X1).
+        let a = jt.clique(0).marginal(v(1));
+        let b = jt.clique(1).marginal(v(1));
+        assert!((a[0] - b[0]).abs() < 1e-12);
+        assert!((a[1] - b[1]).abs() < 1e-12);
+        // Cliques are normalised.
+        assert!((jt.clique(0).total() - 1.0).abs() < 1e-12);
+        assert!((jt.clique(1).total() - 1.0).abs() < 1e-12);
+        assert!(jt.normalization() > 0.0);
+    }
+
+    #[test]
+    fn marginals_match_hand_computation() {
+        // Unnormalised measure: μ(x0,x1,x2) = c01(x0,x1)·c12(x1,x2).
+        let jt = chain3();
+        // By symmetry Pr(X1=1) = 0.5.
+        assert!((jt.marginal(v(1)) - 0.5).abs() < 1e-12);
+        // Pr(X0=1) = Σ μ with x0=1 / Z. μ sums: x0=1: c01(1,x1)·Σ_{x2}c12(x1,x2)
+        // = 0.1·1.0 + 0.4·1.0 = 0.5; Z = 1.0·... compute: total μ = Σ_{x0,x1}
+        // c01·Σ_{x2} c12(x1,·) = (0.4+0.1)·1 + (0.1+0.4)·1 = 1.0.
+        assert!((jt.marginal(v(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditioning_reweights() {
+        let jt = chain3();
+        let (cond, p1) = jt.conditioned(v(1), true);
+        assert!((p1 - 0.5).abs() < 1e-12);
+        // Given X1=1: Pr(X0=1) = 0.4/0.5 = 0.8, Pr(X2=1) = 0.8.
+        assert!((cond.marginal(v(0)) - 0.8).abs() < 1e-12);
+        assert!((cond.marginal(v(2)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditioning_on_separator_variable_empties_separator() {
+        let jt = chain3();
+        let (cond, _) = jt.conditioned(v(1), false);
+        assert_eq!(cond.separator(0).arity(), 0);
+        // The two sides are independent given X1=0:
+        // Pr(X0=1 | X1=0) = 0.1/0.5 = 0.2.
+        assert!((cond.marginal(v(0)) - 0.2).abs() < 1e-12);
+        assert!((cond.marginal(v(2)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_clique_tree() {
+        let c = Factor::new(vec![v(0), v(1)], vec![0.1, 0.2, 0.3, 0.4]);
+        let mut jt = JunctionTree::from_parts(2, vec![c], vec![]);
+        jt.calibrate();
+        assert!((jt.marginal(v(0)) - 0.6).abs() < 1e-12);
+        assert!((jt.normalization() - 1.0).abs() < 1e-12);
+        assert_eq!(jt.treewidth(), 1);
+    }
+}

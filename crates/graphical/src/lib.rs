@@ -1,0 +1,34 @@
+//! Ranking under arbitrary correlations: graphical models and junction trees
+//! (Section 9 of the paper).
+//!
+//! Probabilistic and/xor trees capture mutual exclusion and co-existence,
+//! but Markov networks capture arbitrary correlations compactly. This crate
+//! provides the full pipeline the paper describes:
+//!
+//! * [`factor`] — potentials over binary tuple-existence variables,
+//! * [`network`] — Markov networks and junction-tree construction
+//!   (min-fill elimination + maximum-weight spanning tree),
+//! * [`junction`] — Hugin calibration and evidence conditioning,
+//! * [`markov`] — the `O(n³)` Markov-chain specialisation (Section 9.3),
+//! * [`rank`] — the bounded-treewidth partial-sum dynamic program
+//!   (Section 9.4) computing `Pr(r(t) = j)` in `O(n⁴·2^tw)`, and PRF
+//!   evaluation on top of it.
+//!
+//! The and/xor-tree algorithms of `prf-core` are *not* subsumed by this
+//! crate: an and/xor tree's moralised graph can have unbounded treewidth,
+//! which is why the paper develops both.
+
+pub mod factor;
+pub mod junction;
+pub mod markov;
+pub mod network;
+pub mod rank;
+
+pub use factor::{Factor, VarId};
+pub use junction::JunctionTree;
+pub use markov::MarkovChain;
+pub use network::MarkovNetwork;
+pub use rank::{
+    prf_rank_junction, prf_rank_markov_chain, rank_distributions_junction,
+    rank_distributions_network, sum_distribution,
+};

@@ -1,0 +1,288 @@
+//! Markov networks over binary tuple-existence variables, and junction-tree
+//! construction (Section 9.1).
+//!
+//! A [`MarkovNetwork`] is a product of [`Factor`]s; its (unnormalised) joint
+//! is `μ(x) = Π_f f(x)`. Junction trees are built the standard way: min-fill
+//! elimination over the moral graph yields the cliques, and a maximum-weight
+//! spanning tree over clique intersections satisfies the running
+//! intersection property (Jensen & Jensen).
+
+use std::collections::HashSet;
+
+use crate::factor::{Factor, VarId};
+use crate::junction::JunctionTree;
+
+/// A Markov network: `n_vars` binary variables and a set of factors.
+#[derive(Clone, Debug)]
+pub struct MarkovNetwork {
+    n_vars: usize,
+    factors: Vec<Factor>,
+}
+
+impl MarkovNetwork {
+    /// Creates a network; factor variables must lie in `0..n_vars`.
+    pub fn new(n_vars: usize, factors: Vec<Factor>) -> Self {
+        for f in &factors {
+            for v in f.vars() {
+                assert!(v.index() < n_vars, "factor variable out of range");
+            }
+        }
+        MarkovNetwork { n_vars, factors }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The factors.
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// Unnormalised measure of a full assignment (bit `i` of `mask` is
+    /// `X_i`).
+    pub fn unnormalized_measure(&self, mask: u64) -> f64 {
+        let mut acc = 1.0;
+        for f in &self.factors {
+            let mut sub = 0usize;
+            for (bit, v) in f.vars().iter().enumerate() {
+                if mask >> v.index() & 1 == 1 {
+                    sub |= 1 << bit;
+                }
+            }
+            acc *= f.at(sub);
+        }
+        acc
+    }
+
+    /// Brute-force joint distribution over all `2^n` assignments,
+    /// normalised. Test oracle only.
+    ///
+    /// # Panics
+    /// Panics if `n_vars > 24`.
+    pub fn enumerate_joint(&self) -> Vec<f64> {
+        assert!(self.n_vars <= 24, "enumeration oracle limited to 24 vars");
+        let mut joint: Vec<f64> = (0..1u64 << self.n_vars)
+            .map(|m| self.unnormalized_measure(m))
+            .collect();
+        let z: f64 = joint.iter().sum();
+        assert!(z > 0.0, "network has zero total mass");
+        for p in &mut joint {
+            *p /= z;
+        }
+        joint
+    }
+
+    /// Builds a calibrated junction tree via min-fill elimination.
+    pub fn junction_tree(&self) -> JunctionTree {
+        // Moral/interaction graph: adjacency sets.
+        let n = self.n_vars;
+        let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        for f in &self.factors {
+            let vs = f.vars();
+            for i in 0..vs.len() {
+                for j in i + 1..vs.len() {
+                    adj[vs[i].index()].insert(vs[j].index());
+                    adj[vs[j].index()].insert(vs[i].index());
+                }
+            }
+        }
+
+        // Min-fill elimination producing elimination cliques.
+        let mut eliminated = vec![false; n];
+        let mut cliques: Vec<Vec<VarId>> = Vec::new();
+        for _ in 0..n {
+            // Choose the uneliminated variable with the fewest fill-in
+            // edges (ties: smallest id, for determinism).
+            let mut best: Option<(usize, usize)> = None; // (fill, var)
+            for v in 0..n {
+                if eliminated[v] {
+                    continue;
+                }
+                let neigh: Vec<usize> = adj[v]
+                    .iter()
+                    .copied()
+                    .filter(|&u| !eliminated[u])
+                    .collect();
+                let mut fill = 0usize;
+                for i in 0..neigh.len() {
+                    for j in i + 1..neigh.len() {
+                        if !adj[neigh[i]].contains(&neigh[j]) {
+                            fill += 1;
+                        }
+                    }
+                }
+                if best.is_none_or(|(bf, bv)| (fill, v) < (bf, bv)) {
+                    best = Some((fill, v));
+                }
+            }
+            let (_, v) = best.expect("variables remain");
+            let neigh: Vec<usize> = adj[v]
+                .iter()
+                .copied()
+                .filter(|&u| !eliminated[u])
+                .collect();
+            // Record the elimination clique {v} ∪ neighbours.
+            let mut clique: Vec<VarId> = neigh.iter().map(|&u| VarId(u as u32)).collect();
+            clique.push(VarId(v as u32));
+            clique.sort_unstable();
+            cliques.push(clique);
+            // Connect the neighbours (fill-in).
+            for i in 0..neigh.len() {
+                for j in i + 1..neigh.len() {
+                    adj[neigh[i]].insert(neigh[j]);
+                    adj[neigh[j]].insert(neigh[i]);
+                }
+            }
+            eliminated[v] = true;
+        }
+
+        // Drop non-maximal cliques.
+        let mut maximal: Vec<Vec<VarId>> = Vec::new();
+        'outer: for c in &cliques {
+            for other in &cliques {
+                if other.len() > c.len() && c.iter().all(|v| other.contains(v)) {
+                    continue 'outer;
+                }
+            }
+            if !maximal.contains(c) {
+                maximal.push(c.clone());
+            }
+        }
+
+        // Max-weight spanning tree over |intersection| (Prim).
+        let nc = maximal.len();
+        let mut in_tree = vec![false; nc];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        in_tree[0] = true;
+        for _ in 1..nc {
+            let mut best: Option<(usize, usize, usize)> = None; // (weight, from, to)
+            for (a, _) in maximal.iter().enumerate().filter(|&(a, _)| in_tree[a]) {
+                for (b, _) in maximal.iter().enumerate().filter(|&(b, _)| !in_tree[b]) {
+                    let w = maximal[a]
+                        .iter()
+                        .filter(|v| maximal[b].contains(v))
+                        .count();
+                    if best.is_none_or(|(bw, _, _)| w > bw) {
+                        best = Some((w, a, b));
+                    }
+                }
+            }
+            let (_, a, b) = best.expect("connected by construction");
+            in_tree[b] = true;
+            edges.push((a, b));
+        }
+
+        // Assign each factor to one clique containing its variables.
+        let mut potentials: Vec<Factor> = maximal
+            .iter()
+            .map(|vars| Factor::new(vars.clone(), vec![1.0; 1 << vars.len()]))
+            .collect();
+        for f in &self.factors {
+            let home = maximal
+                .iter()
+                .position(|c| f.vars().iter().all(|v| c.contains(v)))
+                .expect("elimination cliques cover every factor");
+            potentials[home].multiply_subset(f);
+        }
+
+        let mut jt = JunctionTree::from_parts(self.n_vars, potentials, edges);
+        jt.calibrate();
+        jt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    /// The 5-variable chain-with-branches model of Figure 12.
+    pub(crate) fn figure12_network() -> MarkovNetwork {
+        // Pairwise joints (already consistent/calibrated in the paper).
+        MarkovNetwork::new(
+            5,
+            vec![
+                // Pr(X5, X4): order (X4, X3...) — use (X4, X5).
+                Factor::new(vec![v(4), v(3)], vec![0.3, 0.2, 0.2, 0.3]),
+                // Pr(X4, X3) joint over (X3, X4).
+                Factor::new(vec![v(3), v(2)], vec![0.1, 0.4, 0.3, 0.2]),
+                // Pr(X3, X2) over (X2, X3) — conditionals Pr(X2|X3).
+                Factor::new(
+                    vec![v(2), v(1)],
+                    // Pr(X2, X3)/Pr(X3): normalise inside the test instead;
+                    // here Pr(X2, X3) as joint then divided by Pr(X3).
+                    vec![0.1 / 0.4, 0.3 / 0.4, 0.5 / 0.6, 0.1 / 0.6],
+                ),
+                // Pr(X1, X3)/Pr(X3).
+                Factor::new(
+                    vec![v(2), v(0)],
+                    vec![0.1 / 0.4, 0.3 / 0.4, 0.4 / 0.6, 0.2 / 0.6],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn measure_is_product_of_factors() {
+        let net = figure12_network();
+        // X = (X1..X5) all zero: 0.3·0.1·(0.1/0.4)·(0.1/0.4).
+        let m = net.unnormalized_measure(0);
+        assert!((m - 0.3 * 0.1 * (0.1 / 0.4) * (0.1 / 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_normalises() {
+        let net = figure12_network();
+        let joint = net.enumerate_joint();
+        assert!((joint.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn junction_tree_marginals_match_enumeration() {
+        let net = figure12_network();
+        let jt = net.junction_tree();
+        let joint = net.enumerate_joint();
+        for var in 0..5u32 {
+            let brute: f64 = joint
+                .iter()
+                .enumerate()
+                .filter(|(m, _)| m >> var & 1 == 1)
+                .map(|(_, p)| p)
+                .sum();
+            let got = jt.marginal(VarId(var));
+            assert!(
+                (got - brute).abs() < 1e-10,
+                "X{var}: {got} vs {brute}"
+            );
+        }
+        // Figure 12's treewidth-1 model yields pairwise cliques.
+        assert!(jt.treewidth() <= 1, "treewidth {}", jt.treewidth());
+    }
+
+    #[test]
+    fn junction_tree_on_loopy_network() {
+        // A 4-cycle (treewidth 2 after triangulation).
+        let f = |a: u32, b: u32| {
+            Factor::new(vec![v(a), v(b)], vec![1.0, 0.4, 0.4, 1.2])
+        };
+        let net = MarkovNetwork::new(4, vec![f(0, 1), f(1, 2), f(2, 3), f(3, 0)]);
+        let jt = net.junction_tree();
+        let joint = net.enumerate_joint();
+        for var in 0..4u32 {
+            let brute: f64 = joint
+                .iter()
+                .enumerate()
+                .filter(|(m, _)| m >> var & 1 == 1)
+                .map(|(_, p)| p)
+                .sum();
+            let got = jt.marginal(VarId(var));
+            assert!((got - brute).abs() < 1e-10, "X{var}: {got} vs {brute}");
+        }
+        assert_eq!(jt.treewidth(), 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! A Fenwick tree (binary indexed tree) over `u64` counts.
+//!
+//! Used to count rank inversions between two top-k lists in `O(k log k)`.
+
+/// A Fenwick tree supporting point updates and prefix sums over
+/// `0..capacity`.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    /// Creates a tree covering indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Fenwick {
+            tree: vec![0; capacity + 1],
+        }
+    }
+
+    /// Adds `delta` at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn add(&mut self, index: usize, delta: u64) {
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of counts over `0..=index`.
+    pub fn prefix_sum(&self, index: usize) -> u64 {
+        let mut i = (index + 1).min(self.tree.len() - 1);
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Total count stored.
+    pub fn total(&self) -> u64 {
+        if self.tree.len() <= 1 {
+            0
+        } else {
+            self.prefix_sum(self.tree.len() - 2)
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // oracle comparisons over parallel arrays
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums() {
+        let mut f = Fenwick::new(10);
+        f.add(0, 1);
+        f.add(3, 2);
+        f.add(9, 5);
+        assert_eq!(f.prefix_sum(0), 1);
+        assert_eq!(f.prefix_sum(2), 1);
+        assert_eq!(f.prefix_sum(3), 3);
+        assert_eq!(f.prefix_sum(9), 8);
+        assert_eq!(f.total(), 8);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert_eq!(f.total(), 0);
+    }
+
+    #[test]
+    fn matches_naive_prefix_sums() {
+        let updates = [(2usize, 3u64), (5, 1), (2, 2), (7, 10), (0, 4)];
+        let mut f = Fenwick::new(8);
+        let mut naive = [0u64; 8];
+        for &(i, d) in &updates {
+            f.add(i, d);
+            naive[i] += d;
+        }
+        let mut acc = 0;
+        for i in 0..8 {
+            acc += naive[i];
+            assert_eq!(f.prefix_sum(i), acc, "prefix {i}");
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Distance metrics between top-k ranked lists.
+//!
+//! The paper compares ranking functions with the *normalized Kendall
+//! distance* for top-k lists (Fagin, Kumar & Sivakumar, SODA 2003 — the
+//! optimistic `K⁽⁰⁾` variant): count the unordered pairs of items whose
+//! relative order can be *inferred* to differ between the two underlying full
+//! rankings, then divide by `k²` so the distance lies in `[0, 1]` (0 =
+//! identical top-k lists, 1 = disjoint).
+//!
+//! If the distance is `δ`, the two lists share at least a `1 − √δ` fraction
+//! of their items — the bound quoted in Section 3.2 and verified by property
+//! test here.
+//!
+//! Also provided: the intersection metric and Spearman's footrule with
+//! location `k+1` for missing items, both from the same Fagin et al.
+//! framework, used when discussing consensus top-k answers.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+mod fenwick;
+
+pub use fenwick::Fenwick;
+
+/// Normalized Kendall distance between two top-k lists.
+///
+/// `a` and `b` are the top-k prefixes (highest rank first) of two full
+/// rankings; items must be distinct within each list. Only the first `k`
+/// entries of each list are considered, and the result is normalised by
+/// `k²`.
+///
+/// Pair penalties (`K⁽⁰⁾`):
+/// 1. both items in both lists → 1 if their relative order differs;
+/// 2. both in one list, one of them in the other → 1 if the shared-list
+///    order contradicts the membership information of the other list;
+/// 3. one item exclusive to each list → always 1;
+/// 4. both items exclusive to the same list → 0 (order in the other ranking
+///    cannot be inferred).
+///
+/// Runs in `O(k log k)`.
+///
+/// ```
+/// use prf_metrics::kendall_topk;
+/// assert_eq!(kendall_topk(&[1u32, 2, 3], &[1, 2, 3], 3), 0.0); // identical
+/// assert_eq!(kendall_topk(&[1u32, 2, 3], &[4, 5, 6], 3), 1.0); // disjoint
+/// // One adjacent swap in fully-shared lists: 1 discordant pair / k².
+/// assert!((kendall_topk(&[1u32, 2, 3], &[1, 3, 2], 3) - 1.0 / 9.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0` or either list contains duplicates among its first `k`
+/// entries.
+pub fn kendall_topk<T: Copy + Eq + Hash>(a: &[T], b: &[T], k: usize) -> f64 {
+    assert!(k > 0, "kendall_topk: k must be positive");
+    let a = &a[..a.len().min(k)];
+    let b = &b[..b.len().min(k)];
+
+    let pos_a: HashMap<T, usize> = a.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let pos_b: HashMap<T, usize> = b.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    assert_eq!(pos_a.len(), a.len(), "kendall_topk: duplicate items in first list");
+    assert_eq!(pos_b.len(), b.len(), "kendall_topk: duplicate items in second list");
+
+    let mut penalty = 0u64;
+
+    // Case 1: inversions among shared items. Collect shared items in
+    // `a`-order, then count inversions of their `b`-positions.
+    let shared_b_positions: Vec<usize> = a
+        .iter()
+        .filter_map(|t| pos_b.get(t).copied())
+        .collect();
+    let s = shared_b_positions.len();
+    penalty += count_inversions(&shared_b_positions);
+
+    // Case 2 (a-side): i shared, j in a only, with j ranked above i in a.
+    // Walking `a` in order, every a-exclusive item seen before a shared item
+    // contributes one penalty (list b says i beats j — i is in b's top-k and
+    // j is not — while list a says the opposite).
+    let mut a_exclusive_seen = 0u64;
+    for t in a {
+        if pos_b.contains_key(t) {
+            penalty += a_exclusive_seen;
+        } else {
+            a_exclusive_seen += 1;
+        }
+    }
+    // Case 2 (b-side), symmetric.
+    let mut b_exclusive_seen = 0u64;
+    for t in b {
+        if pos_a.contains_key(t) {
+            penalty += b_exclusive_seen;
+        } else {
+            b_exclusive_seen += 1;
+        }
+    }
+
+    // Case 3: one item exclusive to each list — every such pair disagrees.
+    let a_only = (a.len() - s) as u64;
+    let b_only = (b.len() - s) as u64;
+    penalty += a_only * b_only;
+
+    penalty as f64 / (k * k) as f64
+}
+
+/// Reference `O(u²)` implementation of [`kendall_topk`] enumerating every
+/// pair explicitly; used as the oracle in property tests and by callers that
+/// prefer obviously-correct code on tiny inputs.
+pub fn kendall_topk_naive<T: Copy + Eq + Hash>(a: &[T], b: &[T], k: usize) -> f64 {
+    assert!(k > 0);
+    let a = &a[..a.len().min(k)];
+    let b = &b[..b.len().min(k)];
+    let pos_a: HashMap<T, usize> = a.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let pos_b: HashMap<T, usize> = b.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut union: Vec<T> = Vec::new();
+    for &t in a.iter().chain(b.iter()) {
+        if !union.contains(&t) {
+            union.push(t);
+        }
+    }
+    let mut penalty = 0u64;
+    for (ui, &i) in union.iter().enumerate() {
+        for &j in &union[ui + 1..] {
+            let (ai, aj) = (pos_a.get(&i), pos_a.get(&j));
+            let (bi, bj) = (pos_b.get(&i), pos_b.get(&j));
+            let bad = match (ai, aj, bi, bj) {
+                (Some(ai), Some(aj), Some(bi), Some(bj)) => (ai < aj) != (bi < bj),
+                // i,j both in a; exactly one of them in b.
+                (Some(ai), Some(aj), Some(_), None) => aj < ai,
+                (Some(ai), Some(aj), None, Some(_)) => ai < aj,
+                // i,j both in b; exactly one of them in a.
+                (Some(_), None, Some(bi), Some(bj)) => bj < bi,
+                (None, Some(_), Some(bi), Some(bj)) => bi < bj,
+                // One exclusive to each list.
+                (Some(_), None, None, Some(_)) => true,
+                (None, Some(_), Some(_), None) => true,
+                // Both exclusive to the same list: nothing can be inferred.
+                _ => false,
+            };
+            if bad {
+                penalty += 1;
+            }
+        }
+    }
+    penalty as f64 / (k * k) as f64
+}
+
+/// Counts inversions in a sequence of distinct values via a Fenwick tree.
+fn count_inversions(xs: &[usize]) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    let max = xs.iter().copied().max().unwrap_or(0);
+    let mut bit = Fenwick::new(max + 1);
+    let mut inv = 0u64;
+    // Scan left to right; an inversion is an earlier element with a larger
+    // value.
+    for (i, &x) in xs.iter().enumerate() {
+        let le = bit.prefix_sum(x); // values ≤ x seen so far
+        inv += (i as u64) - le;
+        bit.add(x, 1);
+    }
+    inv
+}
+
+/// The intersection metric of Fagin et al.:
+/// `1 − (1/k)·Σ_{d=1..k} |A_d ∩ B_d| / d` where `A_d`, `B_d` are the depth-`d`
+/// prefixes. 0 for identical lists, 1 for disjoint.
+pub fn intersection_metric<T: Copy + Eq + Hash>(a: &[T], b: &[T], k: usize) -> f64 {
+    assert!(k > 0);
+    let a = &a[..a.len().min(k)];
+    let b = &b[..b.len().min(k)];
+    let mut seen_a: HashMap<T, ()> = HashMap::new();
+    let mut seen_b: HashMap<T, ()> = HashMap::new();
+    let mut overlap = 0usize;
+    let mut sum = 0.0;
+    for d in 0..k {
+        // Each shared item is counted exactly once: at the later of its two
+        // insertions (the a-side check runs before b inserts this depth's
+        // item, so an item at the same depth in both lists counts once, on
+        // the b side).
+        if let Some(&t) = a.get(d) {
+            seen_a.insert(t, ());
+            if seen_b.contains_key(&t) {
+                overlap += 1;
+            }
+        }
+        if let Some(&t) = b.get(d) {
+            seen_b.insert(t, ());
+            if seen_a.contains_key(&t) {
+                overlap += 1;
+            }
+        }
+        sum += overlap as f64 / (d + 1) as f64;
+    }
+    1.0 - sum / k as f64
+}
+
+/// Spearman's footrule with location `k+1` for missing items
+/// (`F⁽ᵏ⁺¹⁾` of Fagin et al.), normalised to `[0, 1]` by its maximum value
+/// `k·(k+1)`.
+pub fn footrule_topk<T: Copy + Eq + Hash>(a: &[T], b: &[T], k: usize) -> f64 {
+    assert!(k > 0);
+    let a = &a[..a.len().min(k)];
+    let b = &b[..b.len().min(k)];
+    let pos_a: HashMap<T, usize> = a.iter().enumerate().map(|(i, &t)| (t, i + 1)).collect();
+    let pos_b: HashMap<T, usize> = b.iter().enumerate().map(|(i, &t)| (t, i + 1)).collect();
+    let missing = (k + 1) as i64;
+    let mut sum = 0i64;
+    for (t, &pa) in &pos_a {
+        let pb = pos_b.get(t).map(|&p| p as i64).unwrap_or(missing);
+        sum += (pa as i64 - pb).abs();
+    }
+    for (t, &pb) in &pos_b {
+        if !pos_a.contains_key(t) {
+            sum += (missing - pb as i64).abs();
+        }
+    }
+    sum as f64 / (k * (k + 1)) as f64
+}
+
+/// Fraction of items shared between the two top-k lists, `|A ∩ B| / k`.
+pub fn overlap_fraction<T: Copy + Eq + Hash>(a: &[T], b: &[T], k: usize) -> f64 {
+    assert!(k > 0);
+    let a = &a[..a.len().min(k)];
+    let b = &b[..b.len().min(k)];
+    let set_b: HashMap<T, ()> = b.iter().map(|&t| (t, ())).collect();
+    let shared = a.iter().filter(|t| set_b.contains_key(t)).count();
+    shared as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_lists_have_zero_distance() {
+        let a = [1u32, 2, 3, 4];
+        assert_eq!(kendall_topk(&a, &a, 4), 0.0);
+        assert_eq!(kendall_topk_naive(&a, &a, 4), 0.0);
+        assert_eq!(intersection_metric(&a, &a, 4), 0.0);
+        assert_eq!(footrule_topk(&a, &a, 4), 0.0);
+    }
+
+    #[test]
+    fn disjoint_lists_have_distance_one() {
+        let a = [1u32, 2, 3];
+        let b = [4u32, 5, 6];
+        assert_eq!(kendall_topk(&a, &b, 3), 1.0);
+        assert_eq!(kendall_topk_naive(&a, &b, 3), 1.0);
+        assert!((intersection_metric(&a, &b, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(overlap_fraction(&a, &b, 3), 0.0);
+    }
+
+    #[test]
+    fn single_swap() {
+        // One adjacent transposition in fully shared lists = 1 pair / k².
+        let a = [1u32, 2, 3, 4];
+        let b = [1u32, 3, 2, 4];
+        assert!((kendall_topk(&a, &b, 4) - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversal_counts_all_pairs() {
+        let a = [1u32, 2, 3, 4];
+        let b = [4u32, 3, 2, 1];
+        // All C(4,2)=6 pairs inverted: 6/16.
+        assert!((kendall_topk(&a, &b, 4) - 6.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_matches_naive_on_mixed_lists() {
+        let a = [10u32, 3, 7, 1, 9];
+        let b = [3u32, 12, 10, 9, 4];
+        assert!((kendall_topk(&a, &b, 5) - kendall_topk_naive(&a, &b, 5)).abs() < 1e-12);
+        let c = [1u32, 2];
+        let d = [2u32, 3];
+        assert!((kendall_topk(&c, &d, 2) - kendall_topk_naive(&c, &d, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = [10u32, 3, 7, 1, 9];
+        let b = [3u32, 12, 10, 9, 4];
+        assert!((kendall_topk(&a, &b, 5) - kendall_topk(&b, &a, 5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_to_k() {
+        let a = [1u32, 2, 3, 4, 5, 6];
+        let b = [1u32, 2, 3, 9, 9, 9]; // differences beyond k=3 are invisible
+        assert_eq!(kendall_topk(&a, &b, 3), 0.0);
+    }
+
+    #[test]
+    fn overlap_bound_from_paper() {
+        // If distance is δ, the lists share ≥ 1 − √δ of their items.
+        let a = [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let b = [1u32, 2, 3, 4, 5, 11, 12, 13, 14, 15];
+        let k = 10;
+        let delta = kendall_topk(&a, &b, k);
+        let shared = overlap_fraction(&a, &b, k);
+        assert!(shared >= 1.0 - delta.sqrt() - 1e-12, "{shared} vs {delta}");
+    }
+
+    #[test]
+    fn footrule_detects_displacement() {
+        let a = [1u32, 2, 3];
+        let b = [3u32, 2, 1];
+        let f = footrule_topk(&a, &b, 3);
+        assert!(f > 0.0 && f <= 1.0);
+        let disjoint = footrule_topk(&[1u32, 2, 3], &[4u32, 5, 6], 3);
+        assert!(disjoint > f, "{disjoint} vs {f}");
+    }
+
+    #[test]
+    fn inversion_count() {
+        assert_eq!(count_inversions(&[]), 0);
+        assert_eq!(count_inversions(&[0, 1, 2]), 0);
+        assert_eq!(count_inversions(&[2, 1, 0]), 3);
+        assert_eq!(count_inversions(&[1, 0, 2]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        kendall_topk(&[1u32, 1], &[1u32, 2], 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random pair of duplicate-free top-k lists over a small universe.
+    fn two_lists(k: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+        let perm = proptest::sample::subsequence((0u32..30).collect::<Vec<_>>(), k)
+            .prop_shuffle();
+        (perm.clone(), perm)
+    }
+
+    proptest! {
+        #[test]
+        fn fast_equals_naive((a, b) in two_lists(8)) {
+            let fast = kendall_topk(&a, &b, 8);
+            let naive = kendall_topk_naive(&a, &b, 8);
+            prop_assert!((fast - naive).abs() < 1e-12, "{fast} vs {naive}");
+        }
+
+        #[test]
+        fn bounded_and_symmetric((a, b) in two_lists(6)) {
+            let d = kendall_topk(&a, &b, 6);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert!((d - kendall_topk(&b, &a, 6)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn identity_of_indiscernibles(a in proptest::sample::subsequence((0u32..30).collect::<Vec<_>>(), 6).prop_shuffle()) {
+            prop_assert_eq!(kendall_topk(&a, &a, 6), 0.0);
+        }
+
+        #[test]
+        fn overlap_bound_holds((a, b) in two_lists(8)) {
+            let d = kendall_topk(&a, &b, 8);
+            let shared = overlap_fraction(&a, &b, 8);
+            prop_assert!(shared >= 1.0 - d.sqrt() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Minimal but complete complex-number arithmetic.
+//!
+//! The workspace deliberately avoids external numeric crates; this module
+//! implements the subset of complex arithmetic the paper's algorithms need:
+//! field operations, conjugation, magnitude, integer powers, `exp`, and the
+//! unit roots used by the FFT and the DFT-based approximation of Section 5.1.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{iθ}` — a point on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// The primitive `n`-th root of unity `e^{2πi/n}` (or its inverse).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn root_of_unity(n: usize, inverse: bool) -> Self {
+        assert!(n > 0, "root_of_unity: n must be positive");
+        let sign = if inverse { -1.0 } else { 1.0 };
+        Complex::cis(sign * 2.0 * std::f64::consts::PI / n as f64)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns `NaN` components when `self` is zero, mirroring `1.0 / 0.0`
+    /// behaviour for floats (the caller is responsible for guarding zeros;
+    /// the ranking algorithms use explicit zero-count bookkeeping instead of
+    /// dividing by values that may be exactly zero).
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Integer power by binary exponentiation.
+    pub fn powi(self, mut n: i64) -> Self {
+        if n < 0 {
+            return self.inv().powi(-n);
+        }
+        let mut base = self;
+        let mut acc = Complex::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within absolute tolerance `tol` (per component).
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division = multiply by inverse
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: f64) -> Complex {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: f64) -> Complex {
+        Complex::new(self.re - rhs, self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn field_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert!((a + b).approx_eq(Complex::new(-2.0, 2.5), TOL));
+        assert!((a - b).approx_eq(Complex::new(4.0, 1.5), TOL));
+        assert!((a * b).approx_eq(Complex::new(-4.0, -5.5), TOL));
+        assert!((a * b / b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, 4.0));
+        assert!((z.abs() - 5.0).abs() < TOL);
+        assert!((z.norm_sqr() - 25.0).abs() < TOL);
+        assert!((z * z.conj()).approx_eq(Complex::real(25.0), TOL));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let z = Complex::new(0.7, -0.2);
+        assert!((z * z.inv()).approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, 1.1);
+        assert!((z.abs() - 2.0).abs() < TOL);
+        assert!((z.arg() - 1.1).abs() < TOL);
+    }
+
+    #[test]
+    fn powers() {
+        let z = Complex::new(0.0, 1.0);
+        assert!(z.powi(2).approx_eq(Complex::real(-1.0), TOL));
+        assert!(z.powi(4).approx_eq(Complex::ONE, TOL));
+        assert!(z.powi(-1).approx_eq(Complex::new(0.0, -1.0), TOL));
+        let w = Complex::new(1.5, -0.5);
+        assert!(w.powi(3).approx_eq(w * w * w, 1e-10));
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let z = Complex::new(0.0, std::f64::consts::PI);
+        assert!(z.exp().approx_eq(Complex::real(-1.0), 1e-12));
+        let w = Complex::new(1.0, 0.0);
+        assert!(w.exp().approx_eq(Complex::real(std::f64::consts::E), 1e-12));
+    }
+
+    #[test]
+    fn roots_of_unity_cycle() {
+        let n = 8;
+        let w = Complex::root_of_unity(n, false);
+        assert!(w.powi(n as i64).approx_eq(Complex::ONE, 1e-12));
+        let wi = Complex::root_of_unity(n, true);
+        assert!((w * wi).approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn sum_product_iterators() {
+        let xs = [Complex::real(1.0), Complex::real(2.0), Complex::new(0.0, 1.0)];
+        let s: Complex = xs.iter().copied().sum();
+        assert!(s.approx_eq(Complex::new(3.0, 1.0), TOL));
+        let p: Complex = xs.iter().copied().product();
+        assert!(p.approx_eq(Complex::new(0.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = Complex::new(1.0, 1.0);
+        assert!((z * 2.0).approx_eq(Complex::new(2.0, 2.0), TOL));
+        assert!((z / 2.0).approx_eq(Complex::new(0.5, 0.5), TOL));
+        assert!((z + 1.0).approx_eq(Complex::new(2.0, 1.0), TOL));
+        assert!((z - 1.0).approx_eq(Complex::new(0.0, 1.0), TOL));
+    }
+}

@@ -1,0 +1,220 @@
+//! Forward-mode dual numbers: `a + b·ε` with `ε² = 0`.
+//!
+//! Evaluating a generating function `F` over duals at `x = x₀ + ε` yields
+//! `F(x₀) + F′(x₀)·ε` in a single bottom-up pass. The workspace uses this to
+//! compute *expected ranks* on and/xor trees: both `er₁ = B(1) + B′(1)` and
+//! `er₂ = A′(1)` (Section 3.3 of the paper) are first derivatives of the same
+//! generating functions the PRFe algorithm already evaluates, so running that
+//! algorithm over [`Dual`] generalises Cormode et al.'s expected ranks to
+//! correlated data at no asymptotic cost.
+
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A dual number `v + d·ε` where `ε² = 0`.
+///
+/// `v` carries the value of the computation; `d` carries the derivative with
+/// respect to whichever seed variable was initialised with `d = 1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Dual {
+    /// The value component.
+    pub v: f64,
+    /// The derivative component.
+    pub d: f64,
+}
+
+impl Dual {
+    /// Additive identity.
+    pub const ZERO: Dual = Dual { v: 0.0, d: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Dual = Dual { v: 1.0, d: 0.0 };
+
+    /// A constant (derivative zero).
+    #[inline]
+    pub const fn constant(v: f64) -> Self {
+        Dual { v, d: 0.0 }
+    }
+
+    /// The seed variable `v + ε`: evaluating `F` at this point produces
+    /// `F(v) + F′(v)·ε`.
+    #[inline]
+    pub const fn variable(v: f64) -> Self {
+        Dual { v, d: 1.0 }
+    }
+
+    /// Creates a dual from explicit components.
+    #[inline]
+    pub const fn new(v: f64, d: f64) -> Self {
+        Dual { v, d }
+    }
+
+    /// Multiplicative inverse `1/(v + dε) = 1/v − (d/v²)ε`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let iv = 1.0 / self.v;
+        Dual::new(iv, -self.d * iv * iv)
+    }
+
+    /// `true` when the *value* component is exactly zero — used by the
+    /// zero-count bookkeeping in incremental ∧-node updates, where a zero
+    /// value would poison multiplicative caches. (A zero value with non-zero
+    /// derivative is still treated as zero for cache purposes; callers that
+    /// need exact derivatives through such points fall back to recomputing.)
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.v == 0.0
+    }
+
+    /// Approximate equality within per-component tolerance.
+    #[inline]
+    pub fn approx_eq(self, other: Dual, tol: f64) -> bool {
+        (self.v - other.v).abs() <= tol && (self.d - other.d).abs() <= tol
+    }
+}
+
+impl From<f64> for Dual {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Dual::constant(v)
+    }
+}
+
+impl Add for Dual {
+    type Output = Dual;
+    #[inline]
+    fn add(self, rhs: Dual) -> Dual {
+        Dual::new(self.v + rhs.v, self.d + rhs.d)
+    }
+}
+
+impl Sub for Dual {
+    type Output = Dual;
+    #[inline]
+    fn sub(self, rhs: Dual) -> Dual {
+        Dual::new(self.v - rhs.v, self.d - rhs.d)
+    }
+}
+
+impl Mul for Dual {
+    type Output = Dual;
+    #[inline]
+    fn mul(self, rhs: Dual) -> Dual {
+        Dual::new(self.v * rhs.v, self.v * rhs.d + self.d * rhs.v)
+    }
+}
+
+impl Div for Dual {
+    type Output = Dual;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division = multiply by inverse
+    fn div(self, rhs: Dual) -> Dual {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Dual {
+    type Output = Dual;
+    #[inline]
+    fn neg(self) -> Dual {
+        Dual::new(-self.v, -self.d)
+    }
+}
+
+impl Mul<f64> for Dual {
+    type Output = Dual;
+    #[inline]
+    fn mul(self, rhs: f64) -> Dual {
+        Dual::new(self.v * rhs, self.d * rhs)
+    }
+}
+
+impl AddAssign for Dual {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dual) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Dual {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dual) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Dual {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Dual) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Dual {
+    #[inline]
+    fn div_assign(&mut self, rhs: Dual) {
+        *self = *self / rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluate a polynomial with Horner's rule over any ring-ish type.
+    fn horner(coeffs: &[f64], x: Dual) -> Dual {
+        let mut acc = Dual::ZERO;
+        for &c in coeffs.iter().rev() {
+            acc = acc * x + Dual::constant(c);
+        }
+        acc
+    }
+
+    #[test]
+    fn derivative_of_polynomial() {
+        // p(x) = 2 + 3x + 5x², p'(x) = 3 + 10x.
+        let p = [2.0, 3.0, 5.0];
+        let at = horner(&p, Dual::variable(2.0));
+        assert!((at.v - (2.0 + 6.0 + 20.0)).abs() < 1e-12);
+        assert!((at.d - (3.0 + 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_rule() {
+        let x = Dual::variable(1.5);
+        // f(x) = x², g(x) = 3x + 1 ⇒ (fg)' = 2x(3x+1) + 3x².
+        let f = x * x;
+        let g = x * 3.0 + Dual::constant(1.0);
+        let fg = f * g;
+        let expect = 2.0 * 1.5 * (3.0 * 1.5 + 1.0) + 3.0 * 1.5 * 1.5;
+        assert!((fg.d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quotient_rule() {
+        let x = Dual::variable(2.0);
+        // f(x) = 1/x ⇒ f'(2) = -1/4.
+        let f = Dual::ONE / x;
+        assert!((f.v - 0.5).abs() < 1e-12);
+        assert!((f.d + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inv_roundtrip() {
+        let x = Dual::new(3.0, 2.0);
+        let y = x * x.inv();
+        assert!(y.approx_eq(Dual::ONE, 1e-12));
+    }
+
+    #[test]
+    fn generating_function_mean() {
+        // G(x) = Π (1-p + p·x): G'(1) = Σ p = expected count.
+        let ps = [0.3, 0.5, 0.9, 0.1];
+        let x = Dual::variable(1.0);
+        let mut g = Dual::ONE;
+        for &p in &ps {
+            g *= Dual::constant(1.0 - p) + x * p;
+        }
+        assert!((g.v - 1.0).abs() < 1e-12);
+        let mean: f64 = ps.iter().sum();
+        assert!((g.d - mean).abs() < 1e-12);
+    }
+}

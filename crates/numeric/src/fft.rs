@@ -1,0 +1,307 @@
+//! Fast Fourier transforms over [`Complex`].
+//!
+//! Used in three places in the workspace:
+//! 1. FFT-based polynomial multiplication (Appendix B.1 of the paper),
+//! 2. the roots-of-unity interpolation that expands and/xor-tree generating
+//!    functions in `O(n²)` per tuple (Appendix B.2, Algorithm 2),
+//! 3. the Discrete Fourier Transform that seeds the PRFe-mixture
+//!    approximation of arbitrary weight functions (Section 5.1).
+//!
+//! The convention throughout is the standard one:
+//! forward `X(k) = Σᵢ x(i)·e^{-2πi·ki/n}`, inverse
+//! `x(i) = (1/n)·Σₖ X(k)·e^{+2πi·ki/n}`.
+
+use crate::complex::Complex;
+
+/// In-place radix-2 Cooley–Tukey FFT.
+///
+/// `buf.len()` must be a power of two. When `inverse` is true the inverse
+/// transform is computed, including the `1/n` normalisation, so that
+/// `fft(fft(x, false), true) == x` up to rounding.
+///
+/// # Panics
+/// Panics if `buf.len()` is not a power of two.
+pub fn fft(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft: length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    let mut len = 2;
+    while len <= n {
+        let ang = 2.0 * std::f64::consts::PI / len as f64 * if inverse { 1.0 } else { -1.0 };
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in buf.iter_mut() {
+            *x = *x * inv_n;
+        }
+    }
+}
+
+/// Naive `O(n²)` discrete Fourier transform: `X(k) = Σᵢ x(i)·e^{-2πi·ki/n}`.
+///
+/// Works for any length (not just powers of two). Primarily used to
+/// cross-check [`fft`] and for the small transforms in the DFT-based weight
+/// approximation where clarity matters more than speed.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (i, &x) in input.iter().enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (k as f64) * (i as f64) / n as f64;
+            acc += x * Complex::cis(ang);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Forward DFT of arbitrary length: FFT for powers of two, naive otherwise.
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    if input.len().is_power_of_two() {
+        let mut buf = input.to_vec();
+        fft(&mut buf, false);
+        buf
+    } else {
+        dft_naive(input)
+    }
+}
+
+/// Inverse DFT matching [`dft`], including the `1/n` normalisation.
+pub fn idft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = input.to_vec();
+        fft(&mut buf, true);
+        buf
+    } else {
+        // Conjugate trick: IDFT(x) = conj(DFT(conj(x))) / n.
+        let conj: Vec<Complex> = input.iter().map(|z| z.conj()).collect();
+        dft_naive(&conj)
+            .into_iter()
+            .map(|z| z.conj() / n as f64)
+            .collect()
+    }
+}
+
+/// Multiplies two complex polynomials (dense coefficient vectors, lowest
+/// degree first) using the FFT. Output length is `a.len() + b.len() − 1`.
+pub fn multiply_fft(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let result_len = a.len() + b.len() - 1;
+    let size = result_len.next_power_of_two();
+    let mut fa = vec![Complex::ZERO; size];
+    let mut fb = vec![Complex::ZERO; size];
+    fa[..a.len()].copy_from_slice(a);
+    fb[..b.len()].copy_from_slice(b);
+    fft(&mut fa, false);
+    fft(&mut fb, false);
+    for (x, y) in fa.iter_mut().zip(fb.iter()) {
+        *x *= *y;
+    }
+    fft(&mut fa, true);
+    fa.truncate(result_len);
+    fa
+}
+
+/// Multiplies two real polynomials via the FFT, returning real coefficients.
+pub fn multiply_fft_real(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let ca: Vec<Complex> = a.iter().map(|&x| Complex::real(x)).collect();
+    let cb: Vec<Complex> = b.iter().map(|&x| Complex::real(x)).collect();
+    multiply_fft(&ca, &cb).into_iter().map(|z| z.re).collect()
+}
+
+/// Evaluates the polynomial with the given coefficients at every `m`-th root
+/// of unity, returning `values[k] = P(ω^k)` with `ω = e^{+2πi/m}`.
+///
+/// # Panics
+/// Panics if `m` is not a power of two or `coeffs.len() > m`.
+pub fn evaluate_at_roots_of_unity(coeffs: &[Complex], m: usize) -> Vec<Complex> {
+    assert!(m.is_power_of_two(), "m must be a power of two");
+    assert!(coeffs.len() <= m, "degree must be < m");
+    // P(ω^k) = Σᵢ cᵢ e^{+2πi·ki/m} = m · IFFT(c)[k].
+    let mut buf = vec![Complex::ZERO; m];
+    buf[..coeffs.len()].copy_from_slice(coeffs);
+    fft(&mut buf, true);
+    for v in buf.iter_mut() {
+        *v = *v * m as f64;
+    }
+    buf
+}
+
+/// Recovers the coefficients of a polynomial of degree `< m` from its values
+/// at the `m` power-of-two roots of unity (`values[k] = P(ω^k)` with
+/// `ω = e^{+2πi/m}`).
+///
+/// This is Algorithm 2 of Appendix B.2: evaluating a nested generating
+/// function bottom-up at each root of unity costs `O(n)` per point, and a
+/// single FFT then recovers every coefficient
+/// (`cᵢ = (1/m)·Σₖ values[k]·e^{-2πi·ki/m}`).
+///
+/// # Panics
+/// Panics if `values.len()` is not a power of two.
+pub fn interpolate_from_roots_of_unity(values: &[Complex]) -> Vec<Complex> {
+    let m = values.len();
+    assert!(m.is_power_of_two(), "values length must be a power of two");
+    let mut buf = values.to_vec();
+    fft(&mut buf, false);
+    for v in buf.iter_mut() {
+        *v = *v / m as f64;
+    }
+    buf
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // oracle comparisons over parallel arrays
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(x.approx_eq(*y, tol), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let original: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, (i * i) as f64 * 0.1))
+            .collect();
+        let mut buf = original.clone();
+        fft(&mut buf, false);
+        fft(&mut buf, true);
+        assert_close(&buf, &original, 1e-9);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let input: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(i as f64, -0.5 * i as f64))
+            .collect();
+        let mut viafft = input.clone();
+        fft(&mut viafft, false);
+        let naive = dft_naive(&input);
+        assert_close(&viafft, &naive, 1e-9);
+    }
+
+    #[test]
+    fn dft_idft_roundtrip_any_length() {
+        for n in [1usize, 2, 3, 7, 8, 12, 16] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+                .collect();
+            let back = idft(&dft(&input));
+            assert_close(&back, &input, 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiply_small() {
+        // (1 + 2x)(3 + x) = 3 + 7x + 2x².
+        let a = [Complex::real(1.0), Complex::real(2.0)];
+        let b = [Complex::real(3.0), Complex::real(1.0)];
+        let p = multiply_fft(&a, &b);
+        assert_close(
+            &p,
+            &[Complex::real(3.0), Complex::real(7.0), Complex::real(2.0)],
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn multiply_real_matches_schoolbook() {
+        let a = [0.5, -1.0, 2.0, 0.0, 3.0];
+        let b = [1.0, 4.0, -2.0];
+        let got = multiply_fft_real(&a, &b);
+        let mut want = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                want[i + j] += x * y;
+            }
+        }
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn roots_of_unity_evaluation_is_pointwise() {
+        let coeffs: Vec<Complex> = [0.2, -1.0, 1.5].iter().map(|&c| Complex::real(c)).collect();
+        let m = 4;
+        let values = evaluate_at_roots_of_unity(&coeffs, m);
+        for k in 0..m {
+            let w = Complex::cis(2.0 * std::f64::consts::PI * k as f64 / m as f64);
+            let mut direct = Complex::ZERO;
+            let mut pw = Complex::ONE;
+            for &c in &coeffs {
+                direct += c * pw;
+                pw *= w;
+            }
+            assert!(values[k].approx_eq(direct, 1e-9), "{} vs {}", values[k], direct);
+        }
+    }
+
+    #[test]
+    fn roots_of_unity_interpolation_roundtrip() {
+        let coeffs: Vec<Complex> = [0.2, 0.0, 1.5, -0.7, 0.0, 0.25]
+            .iter()
+            .map(|&c| Complex::real(c))
+            .collect();
+        let values = evaluate_at_roots_of_unity(&coeffs, 8);
+        let recovered = interpolate_from_roots_of_unity(&values);
+        for (i, c) in coeffs.iter().enumerate() {
+            assert!(recovered[i].approx_eq(*c, 1e-9));
+        }
+        for r in &recovered[coeffs.len()..] {
+            assert!(r.approx_eq(Complex::ZERO, 1e-9));
+        }
+    }
+
+    #[test]
+    fn empty_and_unit_cases() {
+        assert!(multiply_fft(&[], &[Complex::ONE]).is_empty());
+        let a = [Complex::real(5.0)];
+        let b = [Complex::real(3.0)];
+        let p = multiply_fft(&a, &b);
+        assert_eq!(p.len(), 1);
+        assert!(p[0].approx_eq(Complex::real(15.0), 1e-12));
+    }
+}

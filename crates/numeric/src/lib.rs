@@ -1,0 +1,47 @@
+//! Numeric substrate for the `prf` workspace.
+//!
+//! The ranking algorithms of Li, Saha & Deshpande (VLDB 2009) are built on
+//! *generating functions*: polynomials whose coefficients are probabilities of
+//! events over possible worlds. Evaluating, expanding, multiplying and
+//! interpolating those polynomials — over real, complex and dual-number
+//! scalars — is what this crate provides:
+//!
+//! * [`Complex`] — complex arithmetic (PRFe permits complex `α`, and the
+//!   DFT-based approximation of Section 5.1 requires it),
+//! * [`Dual`] — forward-mode dual numbers, used to evaluate first derivatives
+//!   of generating functions (expected ranks on and/xor trees),
+//! * [`fft`] — radix-2 FFT / inverse FFT and naive DFT,
+//! * [`poly`] — dense univariate polynomials with naive, divide-and-conquer
+//!   and FFT-based products (Appendix B.1 of the paper),
+//! * [`rankpoly`] — the truncated bivariate form `F(x, y) = A(x) + B(x)·y`
+//!   used by the and/xor-tree expansion algorithms (Section 4.2),
+//! * [`ring`] — the [`ring::GfValue`] abstraction that lets one generating-
+//!   function evaluator serve all scalar types above.
+
+pub mod complex;
+pub mod dual;
+pub mod fft;
+pub mod linalg;
+pub mod poly;
+pub mod rankpoly;
+pub mod ring;
+pub mod scaled;
+pub mod ylin;
+
+pub use complex::Complex;
+pub use dual::Dual;
+pub use poly::Poly;
+pub use rankpoly::RankPoly;
+pub use ring::{GfField, GfValue};
+pub use scaled::Scaled;
+pub use ylin::YLin;
+
+/// Default absolute tolerance used by approximate comparisons in tests and
+/// invariant checks throughout the workspace.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` are within `tol` of each other.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

@@ -1,0 +1,126 @@
+//! Small dense complex linear systems.
+//!
+//! Used by the least-squares refinement of the PRFe-mixture approximation:
+//! the normal equations over `L ≤ ~100` selected frequencies form a small
+//! dense Hermitian system, solved here by Gaussian elimination with partial
+//! pivoting. (Appendix B.2 of the paper also discusses Vandermonde systems;
+//! the roots-of-unity structure lets the FFT replace a general solver there,
+//! so this module intentionally stays minimal.)
+
+use crate::complex::Complex;
+
+/// Solves `A·x = b` for square complex `A` by Gaussian elimination with
+/// partial pivoting. Returns `None` when the matrix is (numerically)
+/// singular.
+///
+/// `a` is row-major and consumed; `O(n³)`.
+pub fn solve_complex(mut a: Vec<Vec<Complex>>, mut b: Vec<Complex>) -> Option<Vec<Complex>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector dimension mismatch");
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1][col]
+                    .abs()
+                    .partial_cmp(&a[r2][col].abs())
+                    .expect("finite pivots")
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor.abs() == 0.0 {
+                continue;
+            }
+            // Split the borrow: the pivot row is disjoint from `row`.
+            let (pivot_rows, rest) = a.split_at_mut(col + 1);
+            let pivot_row = &pivot_rows[col];
+            let target = &mut rest[row - col - 1];
+            for (t, &p) in target[col..].iter_mut().zip(&pivot_row[col..]) {
+                *t -= factor * p;
+            }
+            let sub = factor * b[col];
+            b[row] -= sub;
+        }
+    }
+    // Back substitution.
+    let mut x = vec![Complex::ZERO; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // oracle comparisons over parallel arrays
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_real_system() {
+        // [2 1; 1 3]·x = [5; 10] → x = [1; 3].
+        let a = vec![
+            vec![Complex::real(2.0), Complex::real(1.0)],
+            vec![Complex::real(1.0), Complex::real(3.0)],
+        ];
+        let b = vec![Complex::real(5.0), Complex::real(10.0)];
+        let x = solve_complex(a, b).unwrap();
+        assert!(x[0].approx_eq(Complex::real(1.0), 1e-12));
+        assert!(x[1].approx_eq(Complex::real(3.0), 1e-12));
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        let i = Complex::I;
+        let a = vec![vec![Complex::ONE, i], vec![i, Complex::ONE]];
+        // x = [1, -i] ⇒ b = [1 + i·(-i), i·1 + (-i)] = [2, 0].
+        let b = vec![Complex::real(2.0), Complex::ZERO];
+        let x = solve_complex(a, b).unwrap();
+        assert!(x[0].approx_eq(Complex::ONE, 1e-12));
+        assert!(x[1].approx_eq(-i, 1e-12));
+    }
+
+    #[test]
+    fn roundtrip_random_system() {
+        // Deterministic pseudo-random 8×8 system: verify A·x ≈ b.
+        let n = 8;
+        let mut state = 1u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a: Vec<Vec<Complex>> = (0..n)
+            .map(|_| (0..n).map(|_| Complex::new(next(), next())).collect())
+            .collect();
+        let b: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+        let x = solve_complex(a.clone(), b.clone()).unwrap();
+        for r in 0..n {
+            let mut acc = Complex::ZERO;
+            for c in 0..n {
+                acc += a[r][c] * x[c];
+            }
+            assert!(acc.approx_eq(b[r], 1e-9), "row {r}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = vec![
+            vec![Complex::real(1.0), Complex::real(2.0)],
+            vec![Complex::real(2.0), Complex::real(4.0)],
+        ];
+        let b = vec![Complex::real(1.0), Complex::real(2.0)];
+        assert!(solve_complex(a, b).is_none());
+    }
+}

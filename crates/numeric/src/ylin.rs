@@ -1,0 +1,134 @@
+//! `YLin<T>`: ring elements of the form `a + b·y` with `y² = 0`.
+//!
+//! When an and/xor-tree generating function is evaluated at a *numeric* `x`
+//! but keeps `y` formal, the result is linear in `y` (exactly one leaf
+//! carries the `y` label). `YLin` performs that evaluation in one bottom-up
+//! fold: it is the dual-number construction over an arbitrary
+//! [`GfValue`] ring, used by
+//!
+//! * the roots-of-unity interpolation of Appendix B.2 (evaluate `A` and `B`
+//!   at each root of unity simultaneously), and
+//! * the recompute-from-scratch PRFe baseline that the incremental
+//!   Algorithm 3 is benchmarked against.
+
+use crate::ring::GfValue;
+
+/// `a + b·y` with `y² = 0` over the ring `T`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct YLin<T> {
+    /// The `y⁰` component.
+    pub a: T,
+    /// The `y¹` component.
+    pub b: T,
+}
+
+impl<T: GfValue> YLin<T> {
+    /// Embeds a pure `y⁰` value.
+    pub fn pure(a: T) -> Self {
+        YLin { a, b: T::zero() }
+    }
+
+    /// The element `y`.
+    pub fn y() -> Self {
+        YLin {
+            a: T::zero(),
+            b: T::one(),
+        }
+    }
+}
+
+impl<T: GfValue> GfValue for YLin<T> {
+    fn zero() -> Self {
+        YLin {
+            a: T::zero(),
+            b: T::zero(),
+        }
+    }
+
+    fn one() -> Self {
+        YLin {
+            a: T::one(),
+            b: T::zero(),
+        }
+    }
+
+    fn from_scalar(c: f64) -> Self {
+        YLin {
+            a: T::from_scalar(c),
+            b: T::zero(),
+        }
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        YLin {
+            a: self.a.add(&rhs.a),
+            b: self.b.add(&rhs.b),
+        }
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        // (a₁ + b₁y)(a₂ + b₂y) = a₁a₂ + (a₁b₂ + b₁a₂)y  [y² = 0]
+        YLin {
+            a: self.a.mul(&rhs.a),
+            b: self.a.mul(&rhs.b).add(&self.b.mul(&rhs.a)),
+        }
+    }
+
+    fn scale(&self, c: f64) -> Self {
+        YLin {
+            a: self.a.scale(c),
+            b: self.b.scale(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+
+    #[test]
+    fn linear_in_y_product() {
+        // (2 + 3y)(4) = 8 + 12y; (2 + 3y)(y·0 + 5) same thing.
+        let p = YLin { a: 2.0f64, b: 3.0 };
+        let q = YLin::pure(4.0f64);
+        let r = p.mul(&q);
+        assert_eq!(r.a, 8.0);
+        assert_eq!(r.b, 12.0);
+    }
+
+    #[test]
+    fn y_squared_vanishes() {
+        let y = YLin::<f64>::y();
+        let yy = y.mul(&y);
+        assert_eq!(yy.a, 0.0);
+        assert_eq!(yy.b, 0.0);
+    }
+
+    #[test]
+    fn matches_manual_substitution() {
+        // F = (0.5 + 0.5·x)(0.4·x + 0.6·y) at x = 0.3:
+        // A = (0.5+0.15)·0.12... compute both ways.
+        let x = 0.3f64;
+        let f1 = YLin::pure(0.5 + 0.5 * x);
+        let f2 = YLin {
+            a: 0.4 * x,
+            b: 0.6,
+        };
+        let f = f1.mul(&f2);
+        let a_direct = (0.5 + 0.5 * x) * (0.4 * x);
+        let b_direct = (0.5 + 0.5 * x) * 0.6;
+        assert!((f.a - a_direct).abs() < 1e-12);
+        assert!((f.b - b_direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_over_complex() {
+        let i = Complex::new(0.0, 1.0);
+        let p = YLin { a: i, b: Complex::ONE };
+        let q = YLin::pure(i);
+        let r = p.mul(&q);
+        assert!(r.a.approx_eq(Complex::real(-1.0), 1e-12));
+        assert!(r.b.approx_eq(i, 1e-12));
+    }
+}

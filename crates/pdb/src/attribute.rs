@@ -1,0 +1,202 @@
+//! Attribute-level uncertainty: tuples with uncertain scores (Section 4.4).
+//!
+//! When the scoring attributes are themselves uncertain, each tuple carries a
+//! discrete distribution over possible scores. The paper handles this by
+//! *compiling* every `(tuple, score)` alternative into its own pseudo-tuple
+//! and adding a ∨ (xor) constraint over the alternatives of each original
+//! tuple — an and/xor tree the standard ranking algorithms then process
+//! directly. The Υ value of an original tuple is the sum of the Υ values of
+//! its alternatives.
+
+use prf_numeric::GfValue;
+
+use crate::andxor::{AndXorTree, NodeKind, TreeBuilder};
+use crate::tuple::TupleId;
+use crate::{check_probability, PdbError, PROB_SUM_TOL};
+
+/// A tuple whose score follows a discrete distribution.
+///
+/// Alternative `j` has score `alternatives[j].0` and probability
+/// `alternatives[j].1`; the probabilities may sum to less than one, the
+/// remainder being the probability that the tuple is absent entirely.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UncertainTuple {
+    /// `(score, probability)` alternatives; mutually exclusive.
+    pub alternatives: Vec<(f64, f64)>,
+}
+
+impl UncertainTuple {
+    /// Creates an uncertain tuple, validating probabilities and scores.
+    pub fn new(alternatives: Vec<(f64, f64)>) -> Result<Self, PdbError> {
+        let mut sum = 0.0;
+        for (j, &(score, prob)) in alternatives.iter().enumerate() {
+            if score.is_nan() {
+                return Err(PdbError::InvalidScore {
+                    context: format!("alternative {j}"),
+                });
+            }
+            check_probability(prob, || format!("alternative {j}"))?;
+            sum += prob;
+        }
+        if sum > 1.0 + PROB_SUM_TOL {
+            return Err(PdbError::XorProbabilityOverflow { sum, node: 0 });
+        }
+        Ok(UncertainTuple { alternatives })
+    }
+
+    /// Probability that the tuple exists at all.
+    pub fn existence_probability(&self) -> f64 {
+        self.alternatives.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Expected score contribution `Σⱼ scoreⱼ·probⱼ` (the E-Score of the
+    /// tuple).
+    pub fn expected_score(&self) -> f64 {
+        self.alternatives.iter().map(|&(s, p)| s * p).sum()
+    }
+}
+
+/// A relation of independent tuples with uncertain scores.
+#[derive(Clone, Debug, Default)]
+pub struct AttributeUncertainDb {
+    tuples: Vec<UncertainTuple>,
+}
+
+impl AttributeUncertainDb {
+    /// Builds the relation from per-tuple alternative lists.
+    pub fn new(tuples: Vec<UncertainTuple>) -> Self {
+        AttributeUncertainDb { tuples }
+    }
+
+    /// Number of original tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The original tuples.
+    pub fn tuples(&self) -> &[UncertainTuple] {
+        &self.tuples
+    }
+
+    /// Total number of alternatives across all tuples — the effective input
+    /// size `n` of the compiled ranking problem.
+    pub fn total_alternatives(&self) -> usize {
+        self.tuples.iter().map(|t| t.alternatives.len()).sum()
+    }
+
+    /// Compiles the relation into an and/xor tree: an ∧ root with one ∨ node
+    /// per original tuple whose children are the score alternatives.
+    pub fn compile(&self) -> Result<CompiledAlternatives, PdbError> {
+        let mut b = TreeBuilder::new(NodeKind::And);
+        let root = b.root();
+        let mut owner = Vec::with_capacity(self.total_alternatives());
+        for (i, t) in self.tuples.iter().enumerate() {
+            let xor = b.add_inner(root, NodeKind::Xor, 1.0)?;
+            for &(score, prob) in &t.alternatives {
+                b.add_leaf(xor, prob, score)?;
+                owner.push(i);
+            }
+        }
+        Ok(CompiledAlternatives {
+            tree: b.build()?,
+            owner,
+            n_original: self.tuples.len(),
+        })
+    }
+}
+
+/// The result of compiling attribute uncertainty into an and/xor tree.
+#[derive(Clone, Debug)]
+pub struct CompiledAlternatives {
+    /// The compiled tree; each leaf is one `(tuple, score)` alternative.
+    pub tree: AndXorTree,
+    /// `owner[alt] =` index of the original tuple owning alternative `alt`.
+    pub owner: Vec<usize>,
+    /// Number of original tuples.
+    pub n_original: usize,
+}
+
+impl CompiledAlternatives {
+    /// Aggregates per-alternative values to per-original-tuple values by
+    /// summation: `Υ(tᵢ) = Σⱼ Υ(tᵢⱼ)` (Section 4.4).
+    pub fn aggregate<T: GfValue>(&self, per_alternative: &[T]) -> Vec<T> {
+        assert_eq!(per_alternative.len(), self.owner.len());
+        let mut out = vec![T::zero(); self.n_original];
+        for (alt, v) in per_alternative.iter().enumerate() {
+            let o = self.owner[alt];
+            out[o] = out[o].add(v);
+        }
+        out
+    }
+
+    /// The compiled alternative ids owned by original tuple `i`.
+    pub fn alternatives_of(&self, i: usize) -> Vec<TupleId> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o == i)
+            .map(|(a, _)| TupleId(a as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tuple_db() -> AttributeUncertainDb {
+        AttributeUncertainDb::new(vec![
+            UncertainTuple::new(vec![(10.0, 0.5), (5.0, 0.3)]).unwrap(),
+            UncertainTuple::new(vec![(8.0, 1.0)]).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn validation() {
+        assert!(UncertainTuple::new(vec![(1.0, 0.6), (2.0, 0.5)]).is_err());
+        assert!(UncertainTuple::new(vec![(f64::NAN, 0.5)]).is_err());
+        assert!(UncertainTuple::new(vec![(1.0, -0.1)]).is_err());
+        let t = UncertainTuple::new(vec![(1.0, 0.6), (2.0, 0.4)]).unwrap();
+        assert!((t.existence_probability() - 1.0).abs() < 1e-12);
+        assert!((t.expected_score() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compile_produces_xor_groups() {
+        let db = two_tuple_db();
+        assert_eq!(db.total_alternatives(), 3);
+        let compiled = db.compile().unwrap();
+        assert_eq!(compiled.tree.n_tuples(), 3);
+        assert_eq!(compiled.owner, vec![0, 0, 1]);
+        let groups = compiled.tree.x_tuple_groups().unwrap();
+        assert_eq!(groups.len(), 2);
+        // Alternatives of a tuple are mutually exclusive: no world contains
+        // two alternatives of tuple 0.
+        let worlds = compiled.tree.enumerate_worlds(1 << 12).unwrap();
+        for (w, _) in &worlds.worlds {
+            assert!(!(w.contains(TupleId(0)) && w.contains(TupleId(1))));
+        }
+        // Marginals are the alternative probabilities.
+        assert!((worlds.marginal(TupleId(0)) - 0.5).abs() < 1e-12);
+        assert!((worlds.marginal(TupleId(1)) - 0.3).abs() < 1e-12);
+        assert!((worlds.marginal(TupleId(2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_sums_alternatives() {
+        let db = two_tuple_db();
+        let compiled = db.compile().unwrap();
+        let per_alt = vec![1.0f64, 10.0, 100.0];
+        let agg = compiled.aggregate(&per_alt);
+        assert_eq!(agg, vec![11.0, 100.0]);
+        assert_eq!(
+            compiled.alternatives_of(0),
+            vec![TupleId(0), TupleId(1)]
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Tuple-independent probabilistic relations.
+//!
+//! The simplest and most common uncertainty model: every tuple exists
+//! independently with its own probability. Most of the paper's experiments
+//! (IIP, Syn-IND) use this model; the and/xor tree of [`crate::andxor`]
+//! strictly generalises it.
+
+use rand::Rng;
+
+use crate::tuple::{sort_indices_by_score_desc, Tuple, TupleId};
+use crate::worlds::{PossibleWorld, WorldEnumeration};
+use crate::PdbError;
+
+/// A probabilistic relation with mutually independent tuples.
+#[derive(Clone, Debug, Default)]
+pub struct IndependentDb {
+    tuples: Vec<Tuple>,
+}
+
+impl IndependentDb {
+    /// Builds a relation from `(score, probability)` pairs, assigning dense
+    /// tuple ids in input order.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Result<Self, PdbError> {
+        let tuples = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (score, prob))| Tuple::new(TupleId(i as u32), score, prob))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(IndependentDb { tuples })
+    }
+
+    /// Builds a relation from already-validated tuples.
+    ///
+    /// # Panics
+    /// Panics in debug builds if tuple ids are not the dense range `0..n`.
+    pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
+        debug_assert!(tuples
+            .iter()
+            .enumerate()
+            .all(|(i, t)| t.id.index() == i));
+        IndependentDb { tuples }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples, in id order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The tuple with the given id.
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id.index()]
+    }
+
+    /// Scores indexed by tuple id.
+    pub fn scores(&self) -> Vec<f64> {
+        self.tuples.iter().map(|t| t.score).collect()
+    }
+
+    /// Probabilities indexed by tuple id.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.tuples.iter().map(|t| t.prob).collect()
+    }
+
+    /// Tuple ids sorted by score descending (ties by id) — the processing
+    /// order of every ranking algorithm.
+    pub fn ids_by_score_desc(&self) -> Vec<TupleId> {
+        let scores = self.scores();
+        sort_indices_by_score_desc(&scores)
+            .into_iter()
+            .map(|i| TupleId(i as u32))
+            .collect()
+    }
+
+    /// Expected size of a possible world, `C = Σᵢ pᵢ` (used by expected
+    /// ranks).
+    pub fn expected_world_size(&self) -> f64 {
+        self.tuples.iter().map(|t| t.prob).sum()
+    }
+
+    /// Draws one possible world.
+    pub fn sample_world(&self, rng: &mut impl Rng) -> PossibleWorld {
+        self.tuples
+            .iter()
+            .filter(|t| rng.gen::<f64>() < t.prob)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Enumerates all `2^n` possible worlds (skipping zero-probability ones).
+    ///
+    /// Intended for test oracles; fails when the world count would exceed
+    /// `limit`.
+    pub fn enumerate_worlds(&self, limit: usize) -> Result<WorldEnumeration, PdbError> {
+        // Tuples with p=1 are always present and p=0 never; only uncertain
+        // tuples multiply the world count.
+        let uncertain: Vec<&Tuple> = self
+            .tuples
+            .iter()
+            .filter(|t| t.prob > 0.0 && t.prob < 1.0)
+            .collect();
+        let certain: Vec<TupleId> = self
+            .tuples
+            .iter()
+            .filter(|t| t.prob >= 1.0)
+            .map(|t| t.id)
+            .collect();
+        let m = uncertain.len();
+        if m >= usize::BITS as usize || (1usize << m) > limit {
+            return Err(PdbError::TooManyWorlds { limit });
+        }
+        let mut worlds = Vec::with_capacity(1 << m);
+        for mask in 0u64..(1u64 << m) {
+            let mut prob = 1.0;
+            let mut present = certain.clone();
+            for (bit, t) in uncertain.iter().enumerate() {
+                if mask >> bit & 1 == 1 {
+                    prob *= t.prob;
+                    present.push(t.id);
+                } else {
+                    prob *= 1.0 - t.prob;
+                }
+            }
+            worlds.push((PossibleWorld::new(present), prob));
+        }
+        Ok(WorldEnumeration { worlds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db3() -> IndependentDb {
+        // Example 1 of the paper: p = .5, .6, .4 with descending scores.
+        IndependentDb::from_pairs([(30.0, 0.5), (20.0, 0.6), (10.0, 0.4)]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let db = db3();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.tuple(TupleId(1)).score, 20.0);
+        assert_eq!(db.scores(), vec![30.0, 20.0, 10.0]);
+        assert_eq!(db.probabilities(), vec![0.5, 0.6, 0.4]);
+        assert!((db.expected_world_size() - 1.5).abs() < 1e-12);
+        assert_eq!(
+            db.ids_by_score_desc(),
+            vec![TupleId(0), TupleId(1), TupleId(2)]
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(IndependentDb::from_pairs([(1.0, 1.5)]).is_err());
+        assert!(IndependentDb::from_pairs([(f64::NAN, 0.5)]).is_err());
+    }
+
+    #[test]
+    fn enumeration_probabilities_sum_to_one() {
+        let db = db3();
+        let worlds = db.enumerate_worlds(1 << 20).unwrap();
+        assert_eq!(worlds.len(), 8);
+        assert!((worlds.total_probability() - 1.0).abs() < 1e-12);
+        for (i, t) in db.tuples().iter().enumerate() {
+            assert!(
+                (worlds.marginal(TupleId(i as u32)) - t.prob).abs() < 1e-12,
+                "marginal mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_rank_distribution_matches_example_1() {
+        // Pr(r(t3)=1) = .08, =2 is .2, =3 is .12 (paper Example 1).
+        let db = db3();
+        let worlds = db.enumerate_worlds(1 << 20).unwrap();
+        let scores = db.scores();
+        let d = worlds.rank_distribution(TupleId(2), 3, &scores);
+        assert!((d[0] - 0.08).abs() < 1e-12);
+        assert!((d[1] - 0.20).abs() < 1e-12);
+        assert!((d[2] - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_tuples_do_not_blow_up_enumeration() {
+        let db = IndependentDb::from_pairs([(3.0, 1.0), (2.0, 1.0), (1.0, 0.5)]).unwrap();
+        let worlds = db.enumerate_worlds(16).unwrap();
+        assert_eq!(worlds.len(), 2);
+        assert!((worlds.marginal(TupleId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_limit_enforced() {
+        let db = IndependentDb::from_pairs((0..25).map(|i| (i as f64, 0.5))).unwrap();
+        assert!(matches!(
+            db.enumerate_worlds(1 << 20),
+            Err(PdbError::TooManyWorlds { limit }) if limit == 1 << 20
+        ));
+    }
+
+    #[test]
+    fn sampling_approximates_marginals() {
+        let db = db3();
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            let w = db.sample_world(&mut rng);
+            for (i, c) in counts.iter_mut().enumerate() {
+                if w.contains(TupleId(i as u32)) {
+                    *c += 1;
+                }
+            }
+        }
+        for (i, t) in db.tuples().iter().enumerate() {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!((freq - t.prob).abs() < 0.02, "tuple {i}: {freq} vs {}", t.prob);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Probabilistic database model for the `prf` workspace.
+//!
+//! Implements the data model of Section 3.1 of Li, Saha & Deshpande
+//! (VLDB 2009) under the prevalent *possible worlds* semantics:
+//!
+//! * [`tuple`](mod@tuple) — scored tuples with existence probabilities,
+//! * [`independent`] — tuple-independent probabilistic relations,
+//! * [`worlds`] — possible worlds, world probabilities and in-world ranks,
+//! * [`andxor`] — probabilistic and/xor trees (Definition 2): the
+//!   correlation model that captures mutual exclusivity (∨/xor) and
+//!   co-existence (∧/and), generalising x-tuples and block-independent
+//!   disjoint models, together with the generic generating-function fold of
+//!   Theorem 1,
+//! * [`attribute`] — attribute-level uncertainty (discrete score
+//!   distributions) compiled into and/xor trees per Section 4.4.
+
+pub mod andxor;
+pub mod attribute;
+pub mod independent;
+pub mod tuple;
+pub mod worlds;
+
+pub use andxor::{AndXorTree, NodeId, NodeKind, TreeBuilder};
+pub use attribute::{AttributeUncertainDb, CompiledAlternatives, UncertainTuple};
+pub use independent::IndependentDb;
+pub use tuple::{Tuple, TupleId};
+pub use worlds::{PossibleWorld, WorldEnumeration};
+
+/// Errors arising from constructing or manipulating probabilistic databases.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PdbError {
+    /// A probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Human-readable location (tuple index, node id, …).
+        context: String,
+    },
+    /// The edge probabilities of a ∨ (xor) node sum to more than one.
+    XorProbabilityOverflow {
+        /// The offending sum.
+        sum: f64,
+        /// The ∨ node.
+        node: usize,
+    },
+    /// A score was NaN (scores must be totally orderable).
+    InvalidScore {
+        /// Human-readable location.
+        context: String,
+    },
+    /// World enumeration would exceed the requested limit.
+    TooManyWorlds {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The key constraint of Definition 2 is violated: two leaves share a
+    /// possible-worlds key but their least common ancestor is not a ∨ node.
+    KeyConstraintViolated {
+        /// The two offending tuples.
+        tuples: (u32, u32),
+    },
+    /// A structural error in tree construction (e.g. adding a child to a
+    /// leaf, or referencing a node from a different builder).
+    Structure(String),
+}
+
+impl std::fmt::Display for PdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdbError::InvalidProbability { value, context } => {
+                write!(f, "invalid probability {value} at {context}")
+            }
+            PdbError::XorProbabilityOverflow { sum, node } => {
+                write!(f, "xor node {node}: edge probabilities sum to {sum} > 1")
+            }
+            PdbError::InvalidScore { context } => write!(f, "invalid (NaN) score at {context}"),
+            PdbError::TooManyWorlds { limit } => {
+                write!(f, "possible-world enumeration exceeds limit {limit}")
+            }
+            PdbError::KeyConstraintViolated { tuples } => write!(
+                f,
+                "key constraint violated: tuples {} and {} share a key but their LCA is not a xor node",
+                tuples.0, tuples.1
+            ),
+            PdbError::Structure(msg) => write!(f, "tree structure error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+/// Validates that `p` is a finite probability in `[0, 1]`.
+pub(crate) fn check_probability(p: f64, context: impl FnOnce() -> String) -> Result<(), PdbError> {
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return Err(PdbError::InvalidProbability {
+            value: p,
+            context: context(),
+        });
+    }
+    Ok(())
+}
+
+/// Tolerance for ∨-node probability sums (accumulated rounding).
+pub(crate) const PROB_SUM_TOL: f64 = 1e-9;

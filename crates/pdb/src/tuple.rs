@@ -1,0 +1,115 @@
+//! Tuples: the unit of ranking.
+//!
+//! Each tuple carries a *score* (computed by an arbitrary scoring function
+//! over its attributes — higher is better) and, in the tuple-independent
+//! model, an *existence probability*. Under correlation models the marginal
+//! probability is derived from the model instead.
+
+use crate::PdbError;
+
+/// Identifier of a tuple within one probabilistic relation.
+///
+/// Tuple ids are dense indices `0..n` assigned at construction time, which
+/// lets the ranking algorithms use plain vectors as tuple-indexed maps.
+#[derive(Clone, Copy, Debug, Default, Hash, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TupleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A scored tuple with a marginal existence probability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tuple {
+    /// Identity within the relation.
+    pub id: TupleId,
+    /// Ranking score; higher scores should rank higher in each world.
+    pub score: f64,
+    /// Marginal existence probability in `[0, 1]`.
+    pub prob: f64,
+}
+
+impl Tuple {
+    /// Creates a tuple after validating its score and probability.
+    pub fn new(id: TupleId, score: f64, prob: f64) -> Result<Self, PdbError> {
+        if score.is_nan() {
+            return Err(PdbError::InvalidScore {
+                context: format!("tuple {id}"),
+            });
+        }
+        crate::check_probability(prob, || format!("tuple {id}"))?;
+        Ok(Tuple { id, score, prob })
+    }
+}
+
+/// Sorts tuple indices by score, descending, breaking ties by tuple id so the
+/// order is total and deterministic.
+///
+/// All ranking algorithms in the workspace process tuples in this order; the
+/// paper assumes scores are totally ordered and treats ties as broken
+/// arbitrarily-but-consistently.
+pub fn sort_indices_by_score_desc(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Compares two tuples by `(score desc, id asc)` — the canonical ranking
+/// order used throughout the workspace.
+#[inline]
+pub fn score_desc_order(a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .expect("scores must not be NaN")
+        .then(a.id.cmp(&b.id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_validation() {
+        assert!(Tuple::new(TupleId(0), 1.0, 0.5).is_ok());
+        assert!(Tuple::new(TupleId(0), f64::NAN, 0.5).is_err());
+        assert!(Tuple::new(TupleId(0), 1.0, -0.1).is_err());
+        assert!(Tuple::new(TupleId(0), 1.0, 1.1).is_err());
+        assert!(Tuple::new(TupleId(0), 1.0, f64::NAN).is_err());
+        assert!(Tuple::new(TupleId(0), 1.0, 0.0).is_ok());
+        assert!(Tuple::new(TupleId(0), 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn sorting_is_deterministic_under_ties() {
+        let scores = [5.0, 9.0, 5.0, 1.0];
+        let order = sort_indices_by_score_desc(&scores);
+        assert_eq!(order, vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn order_comparator_matches_sort() {
+        let a = Tuple::new(TupleId(0), 5.0, 0.5).unwrap();
+        let b = Tuple::new(TupleId(1), 5.0, 0.9).unwrap();
+        let c = Tuple::new(TupleId(2), 7.0, 0.1).unwrap();
+        let mut v = [b, a, c];
+        v.sort_by(score_desc_order);
+        assert_eq!(v[0].id, TupleId(2));
+        assert_eq!(v[1].id, TupleId(0));
+        assert_eq!(v[2].id, TupleId(1));
+    }
+}

@@ -1,0 +1,81 @@
+//! Iceberg monitoring at scale: the paper's IIP workload end to end.
+//!
+//! Simulates an International Ice Patrol sighting database (drift days as
+//! score, sighting-source confidence as probability), compares what the
+//! classical ranking functions would tell an analyst, then shows the
+//! PRFe-mixture trick: approximating PT(1000) with 40 exponentials and
+//! ranking the whole dataset in a fraction of the exact cost.
+//!
+//! ```text
+//! cargo run --release --example iceberg_monitoring
+//! ```
+
+use std::time::Instant;
+
+use prf::approx::{approximate_weights, DftApproxConfig};
+use prf::baselines::{erank_ranking, escore_ranking, pt_ranking, urank_topk};
+use prf::core::{prfe_rank_log, Ranking};
+use prf::datasets::iip_db;
+use prf::metrics::kendall_topk;
+
+fn main() {
+    let n = 100_000;
+    let db = iip_db(n, 42);
+    println!(
+        "simulated IIP dataset: {n} sightings, expected world size {:.0}",
+        db.expected_world_size()
+    );
+
+    // What would each semantics monitor?
+    let k = 100;
+    let pt = pt_ranking(&db, k).top_k_u32(k);
+    let escore = escore_ranking(&db).top_k_u32(k);
+    let erank = erank_ranking(&db).top_k_u32(k);
+    let urank: Vec<u32> = urank_topk(&db, k).iter().map(|t| t.0).collect();
+    let prfe = Ranking::from_keys(&prfe_rank_log(&db, 0.95)).top_k_u32(k);
+
+    println!("\npairwise Kendall distance of the top-{k} watchlists:");
+    let lists = [
+        ("PT(100)", &pt),
+        ("E-Score", &escore),
+        ("E-Rank", &erank),
+        ("U-Rank", &urank),
+        ("PRFe(.95)", &prfe),
+    ];
+    print!("{:>10}", "");
+    for (name, _) in &lists {
+        print!("{name:>11}");
+    }
+    println!();
+    for (name_a, a) in &lists {
+        print!("{name_a:>10}");
+        for (_, b) in &lists {
+            print!("{:>11.4}", kendall_topk(a.as_slice(), b.as_slice(), k));
+        }
+        println!();
+    }
+
+    // The unified answer: pick PT(1000) semantics, but evaluate it as a
+    // 40-term PRFe mixture.
+    let h = 1000;
+    let start = Instant::now();
+    let exact = pt_ranking(&db, h);
+    let t_exact = start.elapsed().as_secs_f64();
+
+    let step = move |i: usize| if i < h { 1.0 } else { 0.0 };
+    let start = Instant::now();
+    let mix = approximate_weights(&step, h, &DftApproxConfig::refined(40));
+    let approx = mix.ranking_independent_fast(&db);
+    let t_approx = start.elapsed().as_secs_f64();
+
+    let d = kendall_topk(&exact.top_k_u32(h), &approx.top_k_u32(h), h);
+    println!("\nPT(1000) via 40-term PRFe mixture:");
+    println!("  exact:       {t_exact:.3}s");
+    println!("  mixture:     {t_approx:.3}s ({} terms)", mix.len());
+    println!("  top-1000 Kendall distance to exact: {d:.4}");
+    println!(
+        "  (the mixture's cost is independent of h: at h = 10000 the exact \
+         algorithm is ~20x slower while the mixture is unchanged — see \
+         Figure 11 in EXPERIMENTS.md)"
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: ranking a small uncertain relation every way the library
+//! knows how.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use prf::baselines::{
+    erank_ranking, escore_ranking, k_selection, pt_ranking, urank_topk, utop_topk,
+};
+use prf::core::{prf_rank, prfe_rank_log, Ranking, StepWeight, ValueOrder};
+use prf::pdb::IndependentDb;
+
+fn main() {
+    // A tiny purchasing decision: candidate offers with a quality score and
+    // a probability that the listing is still valid (the paper's House
+    // Search motivation).
+    let offers = [
+        ("penthouse, stale listing", 100.0, 0.35),
+        ("great condo", 85.0, 0.75),
+        ("solid townhouse", 70.0, 0.95),
+        ("fixer-upper", 50.0, 1.00),
+        ("mystery auction", 90.0, 0.50),
+    ];
+    let db = IndependentDb::from_pairs(offers.iter().map(|&(_, s, p)| (s, p)))
+        .expect("valid offers");
+    let name = |id: prf::pdb::TupleId| offers[id.index()].0;
+
+    println!("offers (score, probability):");
+    for (n, s, p) in &offers {
+        println!("  {n:<25} score {s:>5}  p {p:.2}");
+    }
+
+    // --- The PRF family -------------------------------------------------
+    // PT(2): probability of making the top 2.
+    let pt = Ranking::from_values(&prf_rank(&db, &StepWeight { h: 2 }), ValueOrder::RealPart);
+    println!("\nPT(2) ranking (by Pr(rank ≤ 2)):");
+    for (i, &t) in pt.order().iter().enumerate() {
+        println!("  {}. {} (Pr = {:.3})", i + 1, name(t), pt.key_at(i));
+    }
+
+    // PRFe(α) spans a spectrum between score-like and probability-like
+    // behaviour.
+    for alpha in [0.3, 0.9] {
+        let r = Ranking::from_keys(&prfe_rank_log(&db, alpha));
+        let names: Vec<&str> = r.order().iter().map(|&t| name(t)).collect();
+        println!("\nPRFe({alpha}) ranking: {}", names.join(" > "));
+    }
+
+    // --- Prior semantics, for comparison --------------------------------
+    println!("\nbaselines:");
+    let top2: Vec<&str> = pt_ranking(&db, 2).top_k(2).iter().map(|&t| name(t)).collect();
+    println!("  PT(2) top-2:      {}", top2.join(", "));
+    let u: Vec<&str> = urank_topk(&db, 2).iter().map(|&t| name(t)).collect();
+    println!("  U-Rank top-2:     {}", u.join(", "));
+    if let Some((set, logp)) = utop_topk(&db, 2) {
+        let names: Vec<&str> = set.iter().map(|&t| name(t)).collect();
+        println!(
+            "  U-Top top-2:      {} (Pr = {:.3})",
+            names.join(", "),
+            logp.exp()
+        );
+    }
+    let es = escore_ranking(&db);
+    println!("  E-Score winner:   {}", name(es.order()[0]));
+    let er = erank_ranking(&db);
+    println!("  E-Rank winner:    {}", name(er.order()[0]));
+    if let Some((set, v)) = k_selection(&db, 2) {
+        let names: Vec<&str> = set.iter().map(|&t| name(t)).collect();
+        println!(
+            "  k-selection(2):   {} (expected best score {v:.1})",
+            names.join(", ")
+        );
+    }
+
+    println!(
+        "\nNote how the answers disagree — the motivation for a parameterized \
+         family instead of any single fixed ranking function."
+    );
+}

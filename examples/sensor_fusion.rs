@@ -1,0 +1,97 @@
+//! Sensor fusion: attribute uncertainty and Markov-chain correlations.
+//!
+//! Two scenarios beyond plain tuple independence:
+//!
+//! 1. **Uncertain scores** (Section 4.4): each sensor's reading is a
+//!    discrete distribution over values; alternatives are compiled into an
+//!    and/xor tree and ranked with the standard algorithms.
+//! 2. **Temporal correlations** (Section 9.3): consecutive readings of a
+//!    flaky sensor are correlated (if it dropped out at time t it likely
+//!    drops out at t+1); a Markov chain models this, and the junction-tree
+//!    machinery ranks the readings exactly.
+//!
+//! ```text
+//! cargo run --release --example sensor_fusion
+//! ```
+
+use prf::core::{prf_rank_uncertain, prfe_rank_uncertain, Ranking, StepWeight, ValueOrder};
+use prf::graphical::{prf_rank_markov_chain, MarkovChain};
+use prf::numeric::Complex;
+use prf::pdb::{AttributeUncertainDb, UncertainTuple};
+
+fn main() {
+    // --- Scenario 1: uncertain readings ---------------------------------
+    // Each sensor reports a temperature with calibration uncertainty; we
+    // want the k sensors most likely to be among the hottest.
+    let sensors = AttributeUncertainDb::new(vec![
+        UncertainTuple::new(vec![(98.0, 0.6), (92.0, 0.4)]).unwrap(), // s0
+        UncertainTuple::new(vec![(99.5, 0.3), (90.0, 0.5)]).unwrap(), // s1 (may be offline)
+        UncertainTuple::new(vec![(95.0, 1.0)]).unwrap(),              // s2 (calibrated)
+        UncertainTuple::new(vec![(97.0, 0.5), (96.0, 0.5)]).unwrap(), // s3
+    ]);
+    println!("scenario 1: ranking sensors with uncertain readings");
+    let pt = prf_rank_uncertain(&sensors, &StepWeight { h: 2 }).expect("valid model");
+    let r = Ranking::from_values(&pt, ValueOrder::RealPart);
+    for (i, &t) in r.order().iter().enumerate() {
+        println!(
+            "  {}. sensor s{} — Pr(top-2) = {:.3}",
+            i + 1,
+            t.0,
+            r.key_at(i)
+        );
+    }
+    let prfe = prfe_rank_uncertain(&sensors, Complex::real(0.8)).expect("valid model");
+    let r2 = Ranking::from_values(&prfe, ValueOrder::Magnitude);
+    let order: Vec<String> = r2.order().iter().map(|t| format!("s{}", t.0)).collect();
+    println!("  PRFe(0.8) order: {}", order.join(" > "));
+
+    // --- Scenario 2: temporally correlated dropouts ----------------------
+    // One sensor's hourly readings: if the link was down at hour t it tends
+    // to stay down. Scores are the readings; we rank hours by PT(2) under
+    // the *correlated* model and under a (wrong) independence assumption.
+    println!("\nscenario 2: Markov-correlated availability across 6 hours");
+    let chain = MarkovChain::new(
+        [0.2, 0.8], // usually up at hour 0
+        vec![
+            [[0.7, 0.3], [0.1, 0.9]], // sticky states
+            [[0.7, 0.3], [0.1, 0.9]],
+            [[0.7, 0.3], [0.1, 0.9]],
+            [[0.7, 0.3], [0.1, 0.9]],
+            [[0.7, 0.3], [0.1, 0.9]],
+        ],
+    );
+    let scores = [55.0, 71.0, 64.0, 90.0, 62.0, 80.0];
+    let w = StepWeight { h: 2 };
+    let correlated = prf_rank_markov_chain(&chain, &scores, &w);
+    let rc = Ranking::from_values(&correlated, ValueOrder::RealPart);
+
+    // Independence projection: same marginals, correlations dropped.
+    let marginals = chain.marginals();
+    let ind = prf::pdb::IndependentDb::from_pairs(
+        scores.iter().zip(&marginals).map(|(&s, &p)| (s, p)),
+    )
+    .unwrap();
+    let ind_vals = prf::core::prf_rank(&ind, &w);
+    let ri = Ranking::from_values(&ind_vals, ValueOrder::RealPart);
+
+    println!("  hour  reading  Pr(up)  PT(2) corr  PT(2) indep");
+    for hour in 0..6 {
+        println!(
+            "  {hour:>4}  {:>7}  {:>6.3}  {:>10.4}  {:>11.4}",
+            scores[hour],
+            marginals[hour],
+            correlated[hour].re,
+            ind_vals[hour].re
+        );
+    }
+    let co: Vec<String> = rc.top_k(4).iter().map(|t| format!("h{}", t.0)).collect();
+    let io: Vec<String> = ri.top_k(4).iter().map(|t| format!("h{}", t.0)).collect();
+    println!("  top-4 with correlations:    {}", co.join(" > "));
+    println!("  top-4 assuming independence: {}", io.join(" > "));
+    println!(
+        "\nReading: sticky dropouts reshape the positional probabilities \
+         (hour 1's PT value drops by a third once the correlation is \
+         modelled) and flip the tail of the watchlist — Figure 10's message, \
+         here exact via the Section 9.3 Markov-chain algorithm."
+    );
+}

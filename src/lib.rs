@@ -1,0 +1,78 @@
+//! # prf — A Unified Approach to Ranking in Probabilistic Databases
+//!
+//! A complete Rust implementation of Li, Saha & Deshpande's VLDB 2009 paper
+//! *“A Unified Approach to Ranking in Probabilistic Databases”*
+//! (arXiv:0904.1366): the **parameterized ranking function** (PRF) framework
+//! and its two workhorse families **PRFω(h)** and **PRFe(α)**, together with
+//! every substrate the paper builds on — probabilistic and/xor trees,
+//! generating-function algorithms, DFT-based PRFe-mixture approximation,
+//! preference learning, prior ranking semantics, junction-tree inference,
+//! top-k distance metrics and seeded dataset generators.
+//!
+//! ## Thirty-second tour
+//!
+//! ```
+//! use prf::pdb::IndependentDb;
+//! use prf::core::{prfe_rank_log, prf_rank, StepWeight, Ranking, ValueOrder};
+//!
+//! // A probabilistic relation: (score, existence probability).
+//! let db = IndependentDb::from_pairs([
+//!     (100.0, 0.5), // great score, coin-flip existence
+//!     (50.0, 1.0),  // mediocre but certain
+//!     (80.0, 0.8),
+//! ]).unwrap();
+//!
+//! // PT(2): rank by the probability of making the top 2.
+//! let pt = prf_rank(&db, &StepWeight { h: 2 });
+//! let pt_rank = Ranking::from_values(&pt, ValueOrder::RealPart);
+//!
+//! // PRFe(0.9): the smooth, O(n log n) member of the family.
+//! let prfe = Ranking::from_keys(&prfe_rank_log(&db, 0.9));
+//!
+//! assert_eq!(pt_rank.order().len(), 3);
+//! assert_eq!(prfe.order().len(), 3);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module (re-export) | crate | contents |
+//! |---|---|---|
+//! | [`numeric`] | `prf-numeric` | complex/dual/scaled scalars, FFT, polynomials |
+//! | [`pdb`] | `prf-pdb` | tuples, possible worlds, and/xor trees, attribute uncertainty |
+//! | [`core`] | `prf-core` | PRF/PRFω/PRFe algorithms (the paper's contribution) |
+//! | [`baselines`] | `prf-baselines` | U-Top, U-Rank, PT(h), E-Rank, E-Score, k-selection, consensus |
+//! | [`approx`] | `prf-approx` | DFT-based PRFe mixtures, learning α / ω |
+//! | [`graphical`] | `prf-graphical` | Markov networks, junction trees, §9 algorithms |
+//! | [`metrics`] | `prf-metrics` | normalized Kendall top-k distance and friends |
+//! | [`datasets`] | `prf-datasets` | simulated IIP, Syn-IND, Syn-XOR/LOW/MED/HIGH |
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper lives in the `prf-bench` crate (`cargo run --release -p prf-bench
+//! --bin experiments -- all`); EXPERIMENTS.md records paper-vs-measured
+//! results.
+
+pub use prf_approx as approx;
+pub use prf_baselines as baselines;
+pub use prf_core as core;
+pub use prf_datasets as datasets;
+pub use prf_graphical as graphical;
+pub use prf_metrics as metrics;
+pub use prf_numeric as numeric;
+pub use prf_pdb as pdb;
+
+/// The most commonly used items, for glob import:
+/// `use prf::prelude::*;`.
+pub mod prelude {
+    pub use prf_approx::{approximate_weights, DftApproxConfig, ExpMixture};
+    pub use prf_core::{
+        prf_rank, prf_rank_tree, prfe_rank, prfe_rank_log, prfe_rank_tree, Ranking, ValueOrder,
+        WeightFunction,
+    };
+    pub use prf_core::{
+        ConstantWeight, ExponentialWeight, LinearWeight, PositionWeight, ScoreWeight, StepWeight,
+        TabulatedWeight,
+    };
+    pub use prf_metrics::kendall_topk;
+    pub use prf_numeric::Complex;
+    pub use prf_pdb::{AndXorTree, IndependentDb, NodeKind, TreeBuilder, Tuple, TupleId};
+}

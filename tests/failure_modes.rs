@@ -1,0 +1,188 @@
+//! Failure-injection and edge-case tests across the public API: invalid
+//! inputs must fail loudly and early, and degenerate-but-valid inputs must
+//! produce sensible answers.
+
+use prf::core::{prf_rank, prfe_rank_log, Ranking, StepWeight, ValueOrder};
+use prf::pdb::{
+    AndXorTree, AttributeUncertainDb, IndependentDb, NodeKind, PdbError, TreeBuilder, UncertainTuple,
+};
+
+// ---------------------------------------------------------------------
+// Invalid inputs
+// ---------------------------------------------------------------------
+
+#[test]
+fn invalid_probabilities_are_rejected_everywhere() {
+    assert!(matches!(
+        IndependentDb::from_pairs([(1.0, -0.5)]),
+        Err(PdbError::InvalidProbability { .. })
+    ));
+    assert!(matches!(
+        IndependentDb::from_pairs([(1.0, f64::INFINITY)]),
+        Err(PdbError::InvalidProbability { .. })
+    ));
+    assert!(matches!(
+        UncertainTuple::new(vec![(1.0, f64::NAN)]),
+        Err(PdbError::InvalidProbability { .. })
+    ));
+
+    let mut b = TreeBuilder::new(NodeKind::Xor);
+    let root = b.root();
+    assert!(matches!(
+        b.add_leaf(root, 1.5, 1.0),
+        Err(PdbError::InvalidProbability { .. })
+    ));
+}
+
+#[test]
+fn nan_scores_are_rejected() {
+    assert!(matches!(
+        IndependentDb::from_pairs([(f64::NAN, 0.5)]),
+        Err(PdbError::InvalidScore { .. })
+    ));
+    let mut b = TreeBuilder::new(NodeKind::And);
+    let root = b.root();
+    assert!(matches!(
+        b.add_leaf(root, 1.0, f64::NAN),
+        Err(PdbError::InvalidScore { .. })
+    ));
+}
+
+#[test]
+fn overfull_xor_nodes_fail_at_build() {
+    let mut b = TreeBuilder::new(NodeKind::Xor);
+    let root = b.root();
+    b.add_leaf(root, 0.6, 1.0).unwrap();
+    b.add_leaf(root, 0.6, 2.0).unwrap();
+    assert!(matches!(
+        b.build(),
+        Err(PdbError::XorProbabilityOverflow { .. })
+    ));
+}
+
+#[test]
+fn structural_misuse_is_reported() {
+    let mut b = TreeBuilder::new(NodeKind::And);
+    let root = b.root();
+    let _leaf = b.add_leaf(root, 1.0, 1.0).unwrap();
+    // Children under a leaf (node id 1 is the leaf).
+    assert!(matches!(
+        b.add_inner(prf::pdb::NodeId(1), NodeKind::Xor, 1.0),
+        Err(PdbError::Structure(_))
+    ));
+    // Probability-bearing edge under an ∧ node.
+    assert!(matches!(
+        b.add_leaf(root, 0.5, 2.0),
+        Err(PdbError::Structure(_))
+    ));
+    // Unknown parent id.
+    assert!(matches!(
+        b.add_leaf(prf::pdb::NodeId(99), 1.0, 2.0),
+        Err(PdbError::Structure(_))
+    ));
+}
+
+#[test]
+fn world_enumeration_limits_are_enforced() {
+    let db = IndependentDb::from_pairs((0..30).map(|i| (i as f64, 0.5))).unwrap();
+    assert!(matches!(
+        db.enumerate_worlds(1000),
+        Err(PdbError::TooManyWorlds { .. })
+    ));
+    let tree = AndXorTree::from_independent(&db);
+    assert!(matches!(
+        tree.enumerate_worlds(1000),
+        Err(PdbError::TooManyWorlds { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Degenerate-but-valid inputs
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_relation_everywhere() {
+    let db = IndependentDb::from_pairs(std::iter::empty::<(f64, f64)>()).unwrap();
+    assert!(prf_rank(&db, &StepWeight { h: 3 }).is_empty());
+    assert!(prfe_rank_log(&db, 0.5).is_empty());
+    assert!(prf::baselines::expected_ranks(&db).is_empty());
+    assert!(prf::baselines::utop_topk(&db, 1).is_none());
+    assert!(prf::baselines::k_selection(&db, 1).is_none());
+    let r = Ranking::from_keys(&[]);
+    assert!(r.is_empty());
+    assert!(r.top_k(5).is_empty());
+}
+
+#[test]
+fn all_certain_tuples_rank_by_score() {
+    let db = IndependentDb::from_pairs([(3.0, 1.0), (9.0, 1.0), (6.0, 1.0)]).unwrap();
+    // Deterministic data: every semantics must agree with the score order.
+    let score_order = prf::baselines::score_ranking(&db);
+    let pt = Ranking::from_values(&prf_rank(&db, &StepWeight { h: 2 }), ValueOrder::RealPart);
+    assert_eq!(pt.top_k(2), score_order.top_k(2));
+    let er = prf::baselines::erank_ranking(&db);
+    assert_eq!(er.order(), score_order.order());
+    let prfe = Ranking::from_keys(&prfe_rank_log(&db, 0.7));
+    assert_eq!(prfe.order(), score_order.order());
+    let (utop, logp) = prf::baselines::utop_topk(&db, 2).unwrap();
+    assert_eq!(&utop, score_order.top_k(2));
+    assert!((logp.exp() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn all_impossible_tuples() {
+    let db = IndependentDb::from_pairs([(3.0, 0.0), (9.0, 0.0)]).unwrap();
+    let v = prf_rank(&db, &StepWeight { h: 2 });
+    assert!(v.iter().all(|u| u.re == 0.0));
+    assert!(prf::baselines::utop_topk(&db, 1).is_none());
+    let worlds = db.enumerate_worlds(16).unwrap();
+    assert_eq!(worlds.len(), 1);
+    assert!(worlds.worlds[0].0.is_empty());
+}
+
+#[test]
+fn duplicate_scores_rank_deterministically() {
+    let db = IndependentDb::from_pairs([(5.0, 0.5), (5.0, 0.5), (5.0, 0.5)]).unwrap();
+    let a = Ranking::from_keys(&prfe_rank_log(&db, 0.8));
+    let b = Ranking::from_keys(&prfe_rank_log(&db, 0.8));
+    assert_eq!(a.order(), b.order());
+    // Tie-break is by tuple id.
+    assert_eq!(a.order()[0], prf::pdb::TupleId(0));
+}
+
+#[test]
+fn attribute_db_with_empty_alternatives() {
+    // A tuple with no alternatives never exists; ranking still works.
+    let db = AttributeUncertainDb::new(vec![
+        UncertainTuple::new(vec![]).unwrap(),
+        UncertainTuple::new(vec![(5.0, 0.7)]).unwrap(),
+    ]);
+    let v = prf::core::prf_rank_uncertain(&db, &StepWeight { h: 1 }).unwrap();
+    assert_eq!(v[0], prf::numeric::Complex::ZERO);
+    assert!((v[1].re - 0.7).abs() < 1e-12);
+}
+
+#[test]
+fn single_tuple_tree() {
+    let tree = AndXorTree::from_x_tuples(&[vec![(42.0, 0.25)]]).unwrap();
+    let d = prf::core::rank_distributions_tree(&tree);
+    assert!((d[0][0] - 0.25).abs() < 1e-12);
+    let er = prf::core::expected_ranks_tree(&tree);
+    // Present (rank 1) w.p. .25; absent contributes |pw| = 0.
+    assert!((er[0] - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn mixture_of_constant_zero_weight() {
+    // Approximating the zero function: every Υ is ~0 and ranking is by id.
+    let mix = prf::approx::approximate_weights(
+        &|_| 0.0,
+        16,
+        &prf::approx::DftApproxConfig::refined(4),
+    );
+    let db = IndependentDb::from_pairs([(2.0, 0.5), (1.0, 0.5)]).unwrap();
+    let ups = mix.upsilons_independent_fast(&db);
+    for u in &ups {
+        assert!(u.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests for the Section 9 pipeline on larger structures than
+//! the unit tests cover: chains, trees-with-branches and loopy networks,
+//! cross-checked through the full public API.
+
+#![allow(clippy::needless_range_loop)] // oracle comparisons over parallel arrays
+
+use prf::core::{Ranking, StepWeight, ValueOrder};
+use prf::graphical::{
+    prf_rank_junction, prf_rank_markov_chain, rank_distributions_junction, Factor, MarkovChain,
+    MarkovNetwork, VarId,
+};
+
+fn sticky_chain(m: usize, stay: f64) -> MarkovChain {
+    MarkovChain::new(
+        [0.5, 0.5],
+        (0..m - 1)
+            .map(|_| [[stay, 1.0 - stay], [1.0 - stay, stay]])
+            .collect(),
+    )
+}
+
+#[test]
+fn chain_and_junction_tree_rank_identically_at_scale() {
+    // 60 variables: far beyond enumeration, so the two independent
+    // implementations check each other.
+    let m = 60;
+    let chain = sticky_chain(m, 0.8);
+    let scores: Vec<f64> = (0..m).map(|i| ((i * 37) % m) as f64).collect();
+    let via_chain = chain.rank_distributions(&scores);
+    let jt = chain.to_network().junction_tree();
+    let via_jt = rank_distributions_junction(&jt, &scores);
+    for t in 0..m {
+        for r in 0..m {
+            assert!(
+                (via_chain[t][r] - via_jt[t][r]).abs() < 1e-8,
+                "t{t} r{r}: {} vs {}",
+                via_chain[t][r],
+                via_jt[t][r]
+            );
+        }
+    }
+}
+
+#[test]
+fn prf_values_agree_between_engines() {
+    let m = 40;
+    let chain = sticky_chain(m, 0.7);
+    let scores: Vec<f64> = (0..m).map(|i| ((i * 13) % m) as f64).collect();
+    let w = StepWeight { h: 5 };
+    let a = prf_rank_markov_chain(&chain, &scores, &w);
+    let jt = chain.to_network().junction_tree();
+    let b = prf_rank_junction(&jt, &scores, &w);
+    for t in 0..m {
+        assert!(a[t].approx_eq(b[t], 1e-8), "t{t}: {} vs {}", a[t], b[t]);
+    }
+    // The induced rankings agree up to exact ties (the symmetric chain makes
+    // distant positions analytically equal, so 1e-15 roundoff may permute
+    // them): every position swap must be between (near-)equal values.
+    let ra = Ranking::from_values(&a, ValueOrder::RealPart);
+    let rb = Ranking::from_values(&b, ValueOrder::RealPart);
+    for (x, y) in ra.order().iter().zip(rb.order()) {
+        if x != y {
+            assert!(
+                (a[x.index()].re - a[y.index()].re).abs() < 1e-9,
+                "non-tied tuples swapped: {x:?} vs {y:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn loopy_network_rank_distributions_are_proper() {
+    // A ladder with chords (treewidth ≥ 2): distributions must be valid
+    // even where enumeration is impractical.
+    let n = 14;
+    let mut factors = Vec::new();
+    let pair = |a: usize, b: usize, pull: f64| {
+        Factor::new(
+            vec![VarId(a as u32), VarId(b as u32)],
+            vec![pull, 1.0 - pull, 1.0 - pull, pull],
+        )
+    };
+    for i in 0..n - 1 {
+        factors.push(pair(i, i + 1, 0.7));
+    }
+    for i in (0..n - 2).step_by(3) {
+        factors.push(pair(i, i + 2, 0.35));
+    }
+    for i in 0..n {
+        factors.push(Factor::new(
+            vec![VarId(i as u32)],
+            vec![0.6, 0.4 + 0.02 * (i % 5) as f64],
+        ));
+    }
+    let net = MarkovNetwork::new(n, factors);
+    let jt = net.junction_tree();
+    assert!(jt.treewidth() >= 2, "chords must raise treewidth");
+    let scores: Vec<f64> = (0..n).map(|i| ((i * 29) % n) as f64).collect();
+    let dists = rank_distributions_junction(&jt, &scores);
+    for t in 0..n {
+        let sum: f64 = dists[t].iter().sum();
+        let marginal = jt.marginal(VarId(t as u32));
+        assert!(
+            (sum - marginal).abs() < 1e-9,
+            "t{t}: rank mass {sum} vs marginal {marginal}"
+        );
+        assert!(dists[t].iter().all(|&p| (-1e-12..=1.0 + 1e-9).contains(&p)));
+    }
+    // Rank-1 mass across tuples sums to Pr(at least one tuple exists).
+    let p_rank1: f64 = (0..n).map(|t| dists[t][0]).sum();
+    assert!((0.0..=1.0 + 1e-9).contains(&p_rank1));
+}
+
+#[test]
+fn extreme_correlations_collapse_worlds() {
+    // A perfectly sticky chain behaves like "all or nothing".
+    let m = 10;
+    let chain = MarkovChain::new(
+        [0.3, 0.7],
+        (0..m - 1).map(|_| [[1.0, 0.0], [0.0, 1.0]]).collect(),
+    );
+    let scores: Vec<f64> = (0..m).map(|i| i as f64).collect();
+    let d = chain.rank_distributions(&scores);
+    for t in 0..m {
+        // Tuple t exists only in the all-ones world, where its rank is
+        // (m − t) by score order.
+        let expect_rank = m - t;
+        for r in 1..=m {
+            let want = if r == expect_rank { 0.7 } else { 0.0 };
+            assert!(
+                (d[t][r - 1] - want).abs() < 1e-12,
+                "t{t} r{r}: {}",
+                d[t][r - 1]
+            );
+        }
+    }
+}

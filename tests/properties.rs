@@ -1,0 +1,124 @@
+//! Cross-crate property-based tests: randomized invariants over the public
+//! API.
+
+use proptest::prelude::*;
+
+use prf::core::{prf_rank, prfe_rank, rank_distributions, Ranking, StepWeight, ValueOrder};
+use prf::metrics::{kendall_topk, kendall_topk_naive, overlap_fraction};
+use prf::numeric::Complex;
+use prf::pdb::{AndXorTree, IndependentDb, TupleId};
+
+/// Strategy: a small random independent relation.
+fn small_db() -> impl Strategy<Value = IndependentDb> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..=1.0), 1..12).prop_map(|pairs| {
+        IndependentDb::from_pairs(pairs).expect("generated pairs are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Positional probabilities form a sub-distribution summing to the
+    /// tuple's existence probability.
+    #[test]
+    fn rank_distributions_are_subdistributions(db in small_db()) {
+        let dists = rank_distributions(&db);
+        for (t, dist) in dists.iter().enumerate() {
+            let sum: f64 = dist.iter().sum();
+            prop_assert!(dist.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+            prop_assert!((sum - db.tuple(TupleId(t as u32)).prob).abs() < 1e-9);
+        }
+    }
+
+    /// PT(h) values are monotone in h and bounded by the existence
+    /// probability.
+    #[test]
+    fn pt_values_monotone_in_h(db in small_db()) {
+        let n = db.len();
+        let mut prev = vec![0.0; n];
+        for h in 1..=n {
+            let v = prf_rank(&db, &StepWeight { h });
+            for t in 0..n {
+                prop_assert!(v[t].re + 1e-12 >= prev[t], "h={h} t={t}");
+                prop_assert!(v[t].re <= db.tuple(TupleId(t as u32)).prob + 1e-9);
+                prev[t] = v[t].re;
+            }
+        }
+    }
+
+    /// PRFe(1) equals the existence probability; PRFe(0) vanishes.
+    #[test]
+    fn prfe_endpoints(db in small_db()) {
+        let at1 = prfe_rank(&db, Complex::ONE);
+        for (t, v) in at1.iter().enumerate() {
+            prop_assert!((v.re - db.tuple(TupleId(t as u32)).prob).abs() < 1e-9);
+            prop_assert!(v.im.abs() < 1e-12);
+        }
+        let at0 = prfe_rank(&db, Complex::ZERO);
+        for v in &at0 {
+            prop_assert!(v.re.abs() < 1e-12);
+        }
+    }
+
+    /// The and/xor-tree embedding of an independent relation preserves every
+    /// PRF value.
+    #[test]
+    fn tree_embedding_preserves_prf(db in small_db(), h in 1usize..6) {
+        let tree = AndXorTree::from_independent(&db);
+        let w = StepWeight { h };
+        let via_db = prf_rank(&db, &w);
+        let via_tree = prf::core::prf_rank_tree(&tree, &w);
+        for t in 0..db.len() {
+            prop_assert!(via_db[t].approx_eq(via_tree[t], 1e-9));
+        }
+    }
+
+    /// Kendall distance: fast = naive, symmetric, bounded, triangle-ish
+    /// overlap bound.
+    #[test]
+    fn kendall_properties(
+        scores_a in proptest::collection::vec(0u32..40, 6..10),
+        scores_b in proptest::collection::vec(0u32..40, 6..10),
+    ) {
+        // Derive duplicate-free top-k lists from the raw draws.
+        let mut a: Vec<u32> = scores_a;
+        a.sort_unstable();
+        a.dedup();
+        let mut b: Vec<u32> = scores_b;
+        b.sort_unstable();
+        b.dedup();
+        b.reverse();
+        prop_assume!(a.len() >= 3 && b.len() >= 3);
+        let k = a.len().min(b.len()).min(5);
+        let d = kendall_topk(&a, &b, k);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - kendall_topk(&b, &a, k)).abs() < 1e-12);
+        prop_assert!((d - kendall_topk_naive(&a, &b, k)).abs() < 1e-12);
+        let overlap = overlap_fraction(&a, &b, k);
+        prop_assert!(overlap >= 1.0 - d.sqrt() - 1e-9);
+    }
+
+    /// Rankings are permutations and deterministic.
+    #[test]
+    fn rankings_are_permutations(db in small_db()) {
+        let v = prf_rank(&db, &StepWeight { h: 2 });
+        let r1 = Ranking::from_values(&v, ValueOrder::RealPart);
+        let r2 = Ranking::from_values(&v, ValueOrder::RealPart);
+        prop_assert_eq!(r1.order(), r2.order());
+        let mut seen: Vec<u32> = r1.order().iter().map(|t| t.0).collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..db.len() as u32).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Theorem 4 (single crossing) on random instances, via the public
+    /// spectrum API.
+    #[test]
+    fn prfe_single_crossing(db in small_db()) {
+        prop_assume!(db.len() >= 2);
+        let a = TupleId(0);
+        let b = TupleId(1);
+        let flips = prf::core::spectrum::count_order_flips(&db, a, b, 200);
+        prop_assert!(flips <= 1, "tuples crossed {flips} times");
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration tests: the PRF framework *unifies* the prior semantics
+//! (Section 3.3's table of special cases), across crate boundaries.
+
+use prf::baselines;
+use prf::core::{
+    prf_rank, ConstantWeight, PositionWeight, Ranking, ScoreWeight, StepWeight, TopScoreWeight,
+    ValueOrder,
+};
+use prf::datasets::syn_ind;
+use prf::pdb::{IndependentDb, TupleId};
+
+fn db() -> IndependentDb {
+    syn_ind(200, 99)
+}
+
+#[test]
+fn constant_weight_ranks_by_probability() {
+    let db = db();
+    let via_prf = Ranking::from_values(&prf_rank(&db, &ConstantWeight), ValueOrder::RealPart);
+    let direct = baselines::probability_ranking(&db);
+    assert_eq!(via_prf.order(), direct.order());
+}
+
+#[test]
+fn score_weight_is_escore() {
+    let db = db();
+    let via_prf = Ranking::from_values(&prf_rank(&db, &ScoreWeight), ValueOrder::RealPart);
+    let direct = baselines::escore_ranking(&db);
+    assert_eq!(via_prf.order(), direct.order());
+}
+
+#[test]
+fn step_weight_is_pt() {
+    let db = db();
+    for h in [1usize, 10, 50] {
+        let via_prf = Ranking::from_values(&prf_rank(&db, &StepWeight { h }), ValueOrder::RealPart);
+        let direct = baselines::pt_ranking(&db, h);
+        assert_eq!(via_prf.top_k(h), direct.top_k(h), "h = {h}");
+    }
+}
+
+#[test]
+fn position_weights_recover_urank() {
+    let db = db();
+    let k = 10;
+    // Greedy distinct selection over per-position argmaxes must equal the
+    // baseline implementation.
+    let mut chosen: Vec<TupleId> = Vec::new();
+    for j in 1..=k {
+        let ups = prf_rank(&db, &PositionWeight { j });
+        let best = (0..db.len())
+            .map(|t| TupleId(t as u32))
+            .filter(|t| !chosen.contains(t) && ups[t.index()].re > 0.0)
+            .max_by(|a, b| {
+                ups[a.index()]
+                    .re
+                    .partial_cmp(&ups[b.index()].re)
+                    .unwrap()
+                    .then(b.cmp(a))
+            });
+        chosen.extend(best);
+    }
+    assert_eq!(chosen, baselines::urank_topk(&db, k));
+}
+
+#[test]
+fn top_score_weight_orders_like_selection_value_for_singletons() {
+    let db = db();
+    // ω(t, i) = δ(i=1)·score(t): Υ(t) = Pr(r(t)=1)·score(t), which is the
+    // k-selection objective V({t}) restricted to... V({t}) = p·s; the PRF
+    // value additionally weights by the probability nothing outranks t.
+    // For k = 1 the k-selection DP maximises p·s directly:
+    let (set, v) = baselines::k_selection(&db, 1).unwrap();
+    let best_direct = db
+        .tuples()
+        .iter()
+        .max_by(|a, b| {
+            (a.prob * a.score)
+                .partial_cmp(&(b.prob * b.score))
+                .unwrap()
+                .then(b.id.cmp(&a.id))
+        })
+        .unwrap();
+    assert_eq!(set[0], best_direct.id);
+    assert!((v - best_direct.prob * best_direct.score).abs() < 1e-9);
+    // And the TopScoreWeight PRF is the "expected score of t as the best
+    // available" — it must never exceed V for the singleton.
+    let ups = prf_rank(&db, &TopScoreWeight);
+    for t in db.tuples() {
+        assert!(ups[t.id.index()].re <= t.prob * t.score + 1e-9);
+    }
+}
+
+#[test]
+fn linear_weight_matches_expected_rank_part() {
+    let db = db();
+    // er₁(t) = Σᵢ i·Pr(r(t)=i) = −Υ_{PRFℓ}(t); combined with er₂ it is the
+    // expected rank.
+    let ups = prf_rank(&db, &prf::core::LinearWeight);
+    let er = baselines::expected_ranks(&db);
+    let c = db.expected_world_size();
+    for t in db.tuples() {
+        let er1 = -ups[t.id.index()].re;
+        let er2 = (1.0 - t.prob) * (c - t.prob);
+        assert!(
+            (er1 + er2 - er[t.id.index()]).abs() < 1e-9,
+            "tuple {}: {} vs {}",
+            t.id,
+            er1 + er2,
+            er[t.id.index()]
+        );
+    }
+}
+
+#[test]
+fn consensus_theorems_hold_end_to_end() {
+    // Theorem 2/3 verified through the public APIs on a fresh dataset.
+    let db = syn_ind(7, 123);
+    let worlds = db.enumerate_worlds(1 << 10).unwrap();
+    let scores = db.scores();
+    let k = 3;
+    let consensus = baselines::consensus_topk(&db, k);
+    let d_star = baselines::expected_symmetric_difference(&worlds, &consensus, k, &scores);
+    // Exhaustive check over all 3-subsets.
+    for a in 0..7u32 {
+        for b in (a + 1)..7 {
+            for c in (b + 1)..7 {
+                let cand = vec![TupleId(a), TupleId(b), TupleId(c)];
+                let d = baselines::expected_symmetric_difference(&worlds, &cand, k, &scores);
+                assert!(d_star <= d + 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn prfe_log_scaled_and_plain_agree_on_top_k() {
+    let db = syn_ind(5_000, 7);
+    let alpha = 0.85;
+    let k = 200;
+    let plain = Ranking::from_values(
+        &prf::core::prfe_rank(&db, prf::numeric::Complex::real(alpha)),
+        ValueOrder::Magnitude,
+    );
+    let logd = Ranking::from_keys(&prf::core::prfe_rank_log(&db, alpha));
+    let scaled_vals = prf::core::prfe_rank_scaled(&db, prf::numeric::Complex::real(alpha));
+    let keys: Vec<f64> = scaled_vals.iter().map(|v| v.magnitude_key()).collect();
+    let scaled = Ranking::from_keys(&keys);
+    assert_eq!(logd.top_k(k), scaled.top_k(k));
+    assert_eq!(plain.top_k(k), scaled.top_k(k));
+}
