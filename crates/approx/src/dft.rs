@@ -300,10 +300,7 @@ impl ExpMixture {
     /// The reconstructed weight `ω̃(i) = Σ_l u_l·α_l^i` at (0-based) index
     /// `i`.
     pub fn weight_at(&self, i: usize) -> Complex {
-        self.terms
-            .iter()
-            .map(|&(u, a)| u * a.powi(i as i64))
-            .sum()
+        self.terms.iter().map(|&(u, a)| u * a.powi(i as i64)).sum()
     }
 
     /// Root-mean-square reconstruction error against the true weights on
@@ -539,7 +536,10 @@ mod tests {
         let refined_rms = refined.rms_error(&step(h), 5 * h);
         let raw_rms = raw.rms_error(&step(h), 5 * h);
         assert!(refined_rms < 0.15, "refined rms {refined_rms}");
-        assert!(raw_rms > 1.5 * refined_rms, "raw {raw_rms} vs refined {refined_rms}");
+        assert!(
+            raw_rms > 1.5 * refined_rms,
+            "raw {raw_rms} vs refined {refined_rms}"
+        );
     }
 
     #[test]
@@ -577,7 +577,10 @@ mod tests {
                     .rms_error(&step(h), 2 * h)
             })
             .collect();
-        assert!(errs[0] > errs[1] && errs[1] > errs[2] && errs[2] > errs[3], "{errs:?}");
+        assert!(
+            errs[0] > errs[1] && errs[1] > errs[2] && errs[2] > errs[3],
+            "{errs:?}"
+        );
     }
 
     #[test]

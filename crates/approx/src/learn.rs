@@ -25,16 +25,8 @@ use prf_pdb::{IndependentDb, TupleId};
 
 /// Kendall distance between a user ranking and PRFe(α) on the sample,
 /// compared over the top-`k` prefixes.
-fn alpha_distance_topk(
-    sample: &IndependentDb,
-    user: &[u32],
-    alpha: f64,
-    k: usize,
-) -> f64 {
-    let mine: Vec<u32> = prfe_ranking_at(sample, alpha)
-        .iter()
-        .map(|t| t.0)
-        .collect();
+fn alpha_distance_topk(sample: &IndependentDb, user: &[u32], alpha: f64, k: usize) -> f64 {
+    let mine: Vec<u32> = prfe_ranking_at(sample, alpha).iter().map(|t| t.0).collect();
     kendall_topk(user, &mine, k.max(1))
 }
 
@@ -57,11 +49,7 @@ fn alpha_distance(sample: &IndependentDb, user: &[u32], alpha: f64) -> f64 {
 /// [`learn_prfe_alpha_topk`]: on large samples the full-list objective is
 /// dominated by the (noise-ranked) tail of the distribution, which can pull
 /// α far from the value that best reproduces the head.
-pub fn learn_prfe_alpha(
-    sample: &IndependentDb,
-    user_ranking: &[TupleId],
-    levels: usize,
-) -> f64 {
+pub fn learn_prfe_alpha(sample: &IndependentDb, user_ranking: &[TupleId], levels: usize) -> f64 {
     learn_prfe_alpha_topk(sample, user_ranking, levels, user_ranking.len())
 }
 
@@ -241,11 +229,7 @@ mod tests {
         // The learned α must reproduce the user ranking (the α interval
         // producing the same ranking can be wide, so compare rankings, not
         // parameters).
-        let d = alpha_distance(
-            &db,
-            &user.iter().map(|t| t.0).collect::<Vec<_>>(),
-            learned,
-        );
+        let d = alpha_distance(&db, &user.iter().map(|t| t.0).collect::<Vec<_>>(), learned);
         assert!(d < 1e-3, "distance {d} at learned α={learned}");
     }
 

@@ -8,6 +8,8 @@
 //!   distance, or PRFω(h) weights by pairwise hinge-loss descent over
 //!   positional-probability features.
 
+#![deny(missing_docs)]
+
 pub mod dft;
 pub mod learn;
 

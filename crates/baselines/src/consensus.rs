@@ -129,8 +129,7 @@ mod tests {
             let scores = db.scores();
             for k in 1..=3 {
                 let consensus = consensus_topk(&db, k);
-                let d_star =
-                    expected_symmetric_difference(&worlds, &consensus, k, &scores);
+                let d_star = expected_symmetric_difference(&worlds, &consensus, k, &scores);
                 for cand in all_subsets(n, k) {
                     let d = expected_symmetric_difference(&worlds, &cand, k, &scores);
                     assert!(
@@ -158,12 +157,10 @@ mod tests {
             let mut weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.1..2.0)).collect();
             weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
             let consensus = consensus_topk_weighted(&db, &weights);
-            let d_star = expected_weighted_symmetric_difference(
-                &worlds, &consensus, &weights, &scores,
-            );
+            let d_star =
+                expected_weighted_symmetric_difference(&worlds, &consensus, &weights, &scores);
             for cand in all_subsets(n, k) {
-                let d =
-                    expected_weighted_symmetric_difference(&worlds, &cand, &weights, &scores);
+                let d = expected_weighted_symmetric_difference(&worlds, &cand, &weights, &scores);
                 assert!(
                     d_star <= d + 1e-9,
                     "trial {trial}: PRFω answer {d_star} beaten by {cand:?} at {d}"
@@ -217,8 +214,8 @@ mod tests {
 
     #[test]
     fn unweighted_is_special_case_of_weighted() {
-        let db = IndependentDb::from_pairs([(10.0, 0.6), (9.0, 0.5), (8.0, 0.9), (7.0, 0.2)])
-            .unwrap();
+        let db =
+            IndependentDb::from_pairs([(10.0, 0.6), (9.0, 0.5), (8.0, 0.9), (7.0, 0.2)]).unwrap();
         let k = 2;
         let a = consensus_topk(&db, k);
         let b = consensus_topk_weighted(&db, &vec![1.0; k]);

@@ -92,7 +92,12 @@ mod tests {
         let got = expected_ranks(&db);
         let want = brute_expected_ranks(&db);
         for i in 0..db.len() {
-            assert!((got[i] - want[i]).abs() < 1e-10, "t{i}: {} vs {}", got[i], want[i]);
+            assert!(
+                (got[i] - want[i]).abs() < 1e-10,
+                "t{i}: {} vs {}",
+                got[i],
+                want[i]
+            );
         }
     }
 

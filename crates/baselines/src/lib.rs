@@ -17,6 +17,8 @@
 //! | [`kselect`] | k-selection: best expected max-score set | Liu et al. 2010 |
 //! | [`consensus`] | consensus top-k ≡ PT(k) / PRFω (Theorems 2–3) | Li & Deshpande 2009 |
 
+#![deny(missing_docs)]
+
 pub mod consensus;
 pub mod erank;
 pub mod escore;

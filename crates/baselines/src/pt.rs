@@ -74,8 +74,8 @@ mod tests {
 
     #[test]
     fn pt_values_are_prefix_sums_of_rank_distributions() {
-        let db = IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5), (6.0, 0.99)])
-            .unwrap();
+        let db =
+            IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5), (6.0, 0.99)]).unwrap();
         let d = prf_core::independent::rank_distributions(&db);
         for h in 1..=4 {
             let v = pt_values(&db, h);
@@ -88,8 +88,8 @@ mod tests {
 
     #[test]
     fn topk_and_threshold_forms_agree() {
-        let db = IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5), (6.0, 0.99)])
-            .unwrap();
+        let db =
+            IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5), (6.0, 0.99)]).unwrap();
         let by_k = pt_topk(&db, 2, 4);
         let by_threshold = pt_threshold(&db, 2, 0.0);
         assert_eq!(by_k, by_threshold);

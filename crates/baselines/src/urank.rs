@@ -109,8 +109,8 @@ pub fn urank_topk_tree(tree: &AndXorTree, k: usize) -> Vec<TupleId> {
     if tree.x_tuple_groups().is_some() {
         for j in 1..=k {
             let w = PositionWeight { j };
-            let vals = prf_core::xtuple::prf_omega_rank_xtuple(tree, &w)
-                .expect("x-tuple form checked");
+            let vals =
+                prf_core::xtuple::prf_omega_rank_xtuple(tree, &w).expect("x-tuple form checked");
             for (t, v) in vals.iter().enumerate() {
                 table.push(j - 1, v.re, TupleId(t as u32));
             }
@@ -166,7 +166,9 @@ mod tests {
                 let p = d[t][j];
                 if p > 0.0 {
                     best = match best {
-                        Some((bp, bt)) if (bp, std::cmp::Reverse(bt)) >= (p, std::cmp::Reverse(tid)) => {
+                        Some((bp, bt))
+                            if (bp, std::cmp::Reverse(bt)) >= (p, std::cmp::Reverse(tid)) =>
+                        {
                             Some((bp, bt))
                         }
                         _ => Some((p, tid)),
@@ -252,7 +254,9 @@ mod tests {
                 let p = worlds.positional_probability(tid, j, scores);
                 if p > 0.0 {
                     best = match best {
-                        Some((bp, bt)) if (bp, std::cmp::Reverse(bt)) >= (p, std::cmp::Reverse(tid)) => {
+                        Some((bp, bt))
+                            if (bp, std::cmp::Reverse(bt)) >= (p, std::cmp::Reverse(tid)) =>
+                        {
                             Some((bp, bt))
                         }
                         _ => Some((p, tid)),

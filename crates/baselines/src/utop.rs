@@ -267,7 +267,11 @@ mod tests {
                 let (set, logp) = utop_topk(db, k).unwrap();
                 let (bset, bp) = brute_utop(db, k).unwrap();
                 assert_eq!(set, bset, "k={k}");
-                assert!((logp.exp() - bp).abs() < 1e-10, "k={k}: {} vs {bp}", logp.exp());
+                assert!(
+                    (logp.exp() - bp).abs() < 1e-10,
+                    "k={k}: {} vs {bp}",
+                    logp.exp()
+                );
             }
         }
     }
@@ -292,8 +296,8 @@ mod tests {
 
     #[test]
     fn monte_carlo_agrees_with_exact_on_independent_data() {
-        let db = IndependentDb::from_pairs([(10.0, 0.9), (9.0, 0.85), (8.0, 0.2), (7.0, 0.6)])
-            .unwrap();
+        let db =
+            IndependentDb::from_pairs([(10.0, 0.9), (9.0, 0.85), (8.0, 0.2), (7.0, 0.6)]).unwrap();
         let tree = AndXorTree::from_independent(&db);
         let mut rng = StdRng::seed_from_u64(11);
         let (mc_set, freq) = utop_topk_monte_carlo(&tree, 2, 30_000, &mut rng).unwrap();

@@ -54,5 +54,10 @@ fn bench_kendall(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mixture_construction, bench_mixture_ranking, bench_kendall);
+criterion_group!(
+    benches,
+    bench_mixture_construction,
+    bench_mixture_ranking,
+    bench_kendall
+);
 criterion_main!(benches);

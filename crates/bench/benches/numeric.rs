@@ -18,9 +18,11 @@ fn bench_poly_products(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("sequential", k), &factors, |b, f| {
             b.iter(|| black_box(Poly::product_sequential(f)))
         });
-        g.bench_with_input(BenchmarkId::new("divide_conquer_fft", k), &factors, |b, f| {
-            b.iter(|| black_box(Poly::product(f.clone())))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("divide_conquer_fft", k),
+            &factors,
+            |b, f| b.iter(|| black_box(Poly::product(f.clone()))),
+        );
     }
     g.finish();
 }
@@ -31,9 +33,11 @@ fn bench_fft_multiply(c: &mut Criterion) {
     for n in [512usize, 4096] {
         let a = Poly::from_coeffs((0..n).map(|i| (i as f64 * 0.37).sin()).collect());
         let b = Poly::from_coeffs((0..n).map(|i| (i as f64 * 0.11).cos()).collect());
-        g.bench_with_input(BenchmarkId::new("naive", n), &(a.clone(), b.clone()), |bch, (a, b)| {
-            bch.iter(|| black_box(a.mul_naive(b)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("naive", n),
+            &(a.clone(), b.clone()),
+            |bch, (a, b)| bch.iter(|| black_box(a.mul_naive(b))),
+        );
         g.bench_with_input(BenchmarkId::new("fft", n), &(a, b), |bch, (a, b)| {
             bch.iter(|| black_box(a.mul_fft(b)))
         });
@@ -45,7 +49,9 @@ fn bench_scaled_overhead(c: &mut Criterion) {
     // How much does underflow-proof arithmetic cost per operation?
     let mut g = c.benchmark_group("scalar_product_chain_100k");
     g.sample_size(20);
-    let factors: Vec<f64> = (0..100_000).map(|i| 0.5 + (i % 10) as f64 * 0.049).collect();
+    let factors: Vec<f64> = (0..100_000)
+        .map(|i| 0.5 + (i % 10) as f64 * 0.049)
+        .collect();
     g.bench_function("plain_f64", |b| {
         b.iter(|| {
             let mut acc = 1.0f64;
@@ -76,5 +82,10 @@ fn bench_scaled_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_poly_products, bench_fft_multiply, bench_scaled_overhead);
+criterion_group!(
+    benches,
+    bench_poly_products,
+    bench_fft_multiply,
+    bench_scaled_overhead
+);
 criterion_main!(benches);

@@ -56,5 +56,10 @@ fn bench_scaling_in_n(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_prfe_variants, bench_baselines, bench_scaling_in_n);
+criterion_group!(
+    benches,
+    bench_prfe_variants,
+    bench_baselines,
+    bench_scaling_in_n
+);
 criterion_main!(benches);

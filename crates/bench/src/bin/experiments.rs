@@ -4,7 +4,7 @@
 //! experiments <table1|fig4|fig5|fig7|fig8|fig9|fig10|fig11|all> [--scale quick|full]
 //! ```
 
-use prf_bench::{Scale, timed};
+use prf_bench::{timed, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,7 +53,9 @@ fn main() {
 
     for name in &which {
         if name == "all" {
-            for exp in ["table1", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11"] {
+            for exp in [
+                "table1", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+            ] {
                 let (_, t) = timed(|| run_one(exp));
                 println!("\n[{exp} completed in {t:.1}s]");
             }

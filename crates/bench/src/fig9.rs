@@ -29,7 +29,9 @@ pub fn user_functions() -> Vec<(&'static str, fn(&IndependentDb, usize) -> Vec<T
         pt_ranking(db, 100.min(db.len().max(1))).order().to_vec()
     }
     fn by_prfe(db: &IndependentDb, _k: usize) -> Vec<TupleId> {
-        Ranking::from_keys(&prfe_rank_log(db, 0.95)).order().to_vec()
+        Ranking::from_keys(&prfe_rank_log(db, 0.95))
+            .order()
+            .to_vec()
     }
     fn by_escore(db: &IndependentDb, _k: usize) -> Vec<TupleId> {
         escore_ranking(db).order().to_vec()

@@ -13,6 +13,8 @@
 //! sizes (up to 10⁶ tuples) where that is feasible. EXPERIMENTS.md records
 //! the outputs next to the paper's numbers.
 
+#![deny(missing_docs)]
+
 pub mod fig10;
 pub mod fig11;
 pub mod fig4;

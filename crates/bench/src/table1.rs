@@ -18,10 +18,7 @@ pub fn table1_answers(db: &IndependentDb, h: usize, k: usize) -> Vec<(&'static s
     vec![
         ("E-Score", escore_ranking(db).top_k_u32(k)),
         ("PT(h)", pt_ranking(db, h).top_k_u32(k)),
-        (
-            "U-Rank",
-            urank_topk(db, k).iter().map(|t| t.0).collect(),
-        ),
+        ("U-Rank", urank_topk(db, k).iter().map(|t| t.0).collect()),
         ("E-Rank", erank_ranking(db).top_k_u32(k)),
         (
             "U-Top",

@@ -346,8 +346,8 @@ mod tests {
 
     #[test]
     fn generic_prf_matches_distribution_oracle() {
-        let db = IndependentDb::from_pairs([(4.0, 0.8), (3.0, 0.2), (2.0, 0.7), (1.0, 0.4)])
-            .unwrap();
+        let db =
+            IndependentDb::from_pairs([(4.0, 0.8), (3.0, 0.2), (2.0, 0.7), (1.0, 0.4)]).unwrap();
         let d = rank_distributions(&db);
         let weights: Vec<Box<dyn WeightFunction>> = vec![
             Box::new(ConstantWeight),
@@ -430,7 +430,10 @@ mod tests {
                 saw_underflow_region = true;
             }
         }
-        assert!(saw_underflow_region, "test must actually exercise underflow");
+        assert!(
+            saw_underflow_region,
+            "test must actually exercise underflow"
+        );
     }
 
     #[test]

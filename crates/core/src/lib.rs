@@ -40,6 +40,8 @@
 //!   rankings as `α` sweeps 0→1;
 //! * [`topk`] — turning Υ values into ranked answers.
 
+#![deny(missing_docs)]
+
 pub mod attribute;
 pub mod independent;
 pub mod parallel;
@@ -50,11 +52,11 @@ pub mod weights;
 pub mod xtuple;
 
 pub use attribute::{prf_rank_uncertain, prfe_rank_uncertain};
-pub use parallel::prf_rank_tree_parallel;
 pub use independent::{
     prf_rank, prf_rank_full, prf_rank_truncated, prfe_rank, prfe_rank_log, prfe_rank_scaled,
     rank_distributions,
 };
+pub use parallel::prf_rank_tree_parallel;
 pub use spectrum::{crossing_point, prfe_spectrum, spectrum_endpoints, Crossing};
 pub use topk::{Ranking, ValueOrder};
 pub use tree::{

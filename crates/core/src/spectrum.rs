@@ -128,8 +128,7 @@ pub fn prfe_spectrum(db: &IndependentDb) -> Vec<SpectrumSegment> {
     let mut cuts = vec![0.0, 1.0];
     for i in 0..n {
         for j in (i + 1)..n {
-            if let Crossing::SwapAt(beta) =
-                crossing_point(db, TupleId(i as u32), TupleId(j as u32))
+            if let Crossing::SwapAt(beta) = crossing_point(db, TupleId(i as u32), TupleId(j as u32))
             {
                 cuts.push(beta);
             }
@@ -142,9 +141,7 @@ pub fn prfe_spectrum(db: &IndependentDb) -> Vec<SpectrumSegment> {
     for w in cuts.windows(2) {
         let (lo, hi) = (w[0], w[1]);
         let mid = 0.5 * (lo + hi);
-        let ranking = Ranking::from_keys(&prfe_rank_log(db, mid))
-            .order()
-            .to_vec();
+        let ranking = Ranking::from_keys(&prfe_rank_log(db, mid)).order().to_vec();
         match segments.last_mut() {
             Some(last) if last.ranking == ranking => last.alpha_hi = hi,
             _ => segments.push(SpectrumSegment {
@@ -184,7 +181,9 @@ pub fn prfe_ranking_at(db: &IndependentDb, alpha: f64) -> Vec<TupleId> {
     if alpha <= 0.0 {
         return spectrum_endpoints(db).0;
     }
-    Ranking::from_keys(&prfe_rank_log(db, alpha)).order().to_vec()
+    Ranking::from_keys(&prfe_rank_log(db, alpha))
+        .order()
+        .to_vec()
 }
 
 /// Checks empirically that two tuples swap at most once over a grid of `α`
@@ -233,7 +232,11 @@ mod tests {
             );
             assert!(
                 (u[3].re
-                    - (0.6 + 0.4 * alpha) * (0.4 + 0.6 * alpha) * (0.5 + 0.5 * alpha) * 0.9 * alpha)
+                    - (0.6 + 0.4 * alpha)
+                        * (0.4 + 0.6 * alpha)
+                        * (0.5 + 0.5 * alpha)
+                        * 0.9
+                        * alpha)
                     .abs()
                     < 1e-12
             );

@@ -26,8 +26,8 @@
 
 #![allow(clippy::needless_range_loop)] // index loops pair several parallel arrays
 
-use prf_numeric::{Complex, Dual, GfField, GfValue, RankPoly, Scaled, YLin};
 use prf_numeric::fft::interpolate_from_roots_of_unity;
+use prf_numeric::{Complex, Dual, GfField, GfValue, RankPoly, Scaled, YLin};
 use prf_pdb::tuple::sort_indices_by_score_desc;
 use prf_pdb::{AndXorTree, NodeId, NodeKind, Tuple, TupleId};
 
@@ -249,8 +249,16 @@ impl<'a, T: GfField> IncrementalGf<'a, T> {
         match &state[node.index()] {
             NState::Value(v) => v.clone(),
             NState::And { prod, zeros } => [
-                if zeros[0] > 0 { T::zero() } else { prod[0].clone() },
-                if zeros[1] > 0 { T::zero() } else { prod[1].clone() },
+                if zeros[0] > 0 {
+                    T::zero()
+                } else {
+                    prod[0].clone()
+                },
+                if zeros[1] > 0 {
+                    T::zero()
+                } else {
+                    prod[1].clone()
+                },
             ],
         }
     }
@@ -667,5 +675,4 @@ mod tests {
             assert!((full[t].re - expect).abs() < 1e-10);
         }
     }
-
 }

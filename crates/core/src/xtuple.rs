@@ -103,16 +103,7 @@ fn rank_groups(
     // Divide and conquer over the timeline.
     let acc = Poly::one();
     solve(
-        tree,
-        omega,
-        h,
-        &order,
-        &marginals,
-        0,
-        n,
-        spans,
-        &acc,
-        &mut out,
+        tree, omega, h, &order, &marginals, 0, n, spans, &acc, &mut out,
     );
     out
 }
@@ -330,7 +321,13 @@ mod tests {
     fn independent_tuples_as_singleton_groups() {
         // Singleton groups = independent tuples; compare against the
         // independent-tuple algorithm.
-        let pairs = [(50.0, 0.9), (40.0, 0.2), (30.0, 0.6), (20.0, 1.0), (10.0, 0.3)];
+        let pairs = [
+            (50.0, 0.9),
+            (40.0, 0.2),
+            (30.0, 0.6),
+            (20.0, 1.0),
+            (10.0, 0.3),
+        ];
         let groups: Vec<Vec<(f64, f64)>> = pairs.iter().map(|&p| vec![p]).collect();
         let tree = AndXorTree::from_x_tuples(&groups).unwrap();
         let db = prf_pdb::IndependentDb::from_pairs(pairs).unwrap();

@@ -11,11 +11,13 @@
 //! Every generator takes an explicit seed; runs are reproducible
 //! bit-for-bit.
 
+#![deny(missing_docs)]
+
 pub mod iip;
 pub mod synthetic;
 
 pub use iip::{generate_sightings, iip_db, Sighting, Source};
 pub use synthetic::{
-    random_andxor_tree, subsample_independent, syn_high_tree, syn_ind, syn_low_tree,
-    syn_med_tree, syn_xor_tree, TreeGenConfig,
+    random_andxor_tree, subsample_independent, syn_high_tree, syn_ind, syn_low_tree, syn_med_tree,
+    syn_xor_tree, TreeGenConfig,
 };

@@ -87,12 +87,9 @@ impl TreeGenConfig {
 /// `U[0, 1]`.
 pub fn syn_ind(n: usize, seed: u64) -> IndependentDb {
     let mut rng = StdRng::seed_from_u64(seed);
-    IndependentDb::from_pairs((0..n).map(|_| {
-        (
-            rng.gen_range(0.0..10_000.0),
-            rng.gen_range(0.0..1.0f64),
-        )
-    }))
+    IndependentDb::from_pairs(
+        (0..n).map(|_| (rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..1.0f64))),
+    )
     .expect("generated tuples are valid")
 }
 
@@ -119,9 +116,7 @@ pub fn random_andxor_tree(cfg: &TreeGenConfig, seed: u64) -> AndXorTree {
     };
     // Capacity of one block; keep at least ~4 blocks so exclusivity between
     // blocks also exists.
-    let capacity = (cfg.max_fanout as f64)
-        .powi(cfg.height as i32 - 1)
-        .min(1e9) as usize;
+    let capacity = (cfg.max_fanout as f64).powi(cfg.height as i32 - 1).min(1e9) as usize;
     let block_target = capacity.max(1).min((cfg.n_tuples / 4).max(1));
 
     struct Slot {
@@ -193,8 +188,7 @@ pub fn random_andxor_tree(cfg: &TreeGenConfig, seed: u64) -> AndXorTree {
             }
             let slot = &mut frontier[idx];
             slot.children += 1;
-            let saturated = slot.children >= cfg.max_fanout
-                || (slot.is_xor && slot.budget < 0.02);
+            let saturated = slot.children >= cfg.max_fanout || (slot.is_xor && slot.budget < 0.02);
             if saturated {
                 frontier.swap_remove(idx);
             }
@@ -323,6 +317,7 @@ mod tests {
         };
         let (x_hi, a_hi) = count_kinds(&syn_high_tree(n, 2)); // ratio 1
         let (x_low, a_low) = count_kinds(&syn_low_tree(n, 2)); // ratio 10
+
         // Syn-LOW should be much more xor-dominated than Syn-HIGH.
         let r_hi = x_hi as f64 / a_hi.max(1) as f64;
         let r_low = x_low as f64 / a_low.max(1) as f64;

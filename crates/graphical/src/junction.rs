@@ -214,11 +214,7 @@ impl JunctionTree {
         assert!(!self.z.is_nan(), "call calibrate() first");
         let mut jt = JunctionTree {
             n_vars: self.n_vars,
-            cliques: self
-                .cliques
-                .iter()
-                .map(|c| c.condition(v, value))
-                .collect(),
+            cliques: self.cliques.iter().map(|c| c.condition(v, value)).collect(),
             edges: self
                 .edges
                 .iter()
@@ -251,8 +247,7 @@ mod tests {
     fn chain3() -> JunctionTree {
         let c01 = Factor::new(vec![v(0), v(1)], vec![0.4, 0.1, 0.1, 0.4]);
         let c12 = Factor::new(vec![v(1), v(2)], vec![0.8, 0.2, 0.2, 0.8]);
-        let mut jt =
-            JunctionTree::from_parts(3, vec![c01, c12], vec![(0, 1)]);
+        let mut jt = JunctionTree::from_parts(3, vec![c01, c12], vec![(0, 1)]);
         jt.calibrate();
         jt
     }

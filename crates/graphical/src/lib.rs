@@ -18,6 +18,8 @@
 //! crate: an and/xor tree's moralised graph can have unbounded treewidth,
 //! which is why the paper develops both.
 
+#![deny(missing_docs)]
+
 pub mod factor;
 pub mod junction;
 pub mod markov;

@@ -261,10 +261,7 @@ mod tests {
         let joint = net.enumerate_joint();
         for mask in 0..1u64 << c.len() {
             let direct = c.assignment_probability(mask);
-            assert!(
-                (joint[mask as usize] - direct).abs() < 1e-12,
-                "mask {mask}"
-            );
+            assert!((joint[mask as usize] - direct).abs() < 1e-12, "mask {mask}");
         }
     }
 

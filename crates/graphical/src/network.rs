@@ -100,11 +100,8 @@ impl MarkovNetwork {
                 if eliminated[v] {
                     continue;
                 }
-                let neigh: Vec<usize> = adj[v]
-                    .iter()
-                    .copied()
-                    .filter(|&u| !eliminated[u])
-                    .collect();
+                let neigh: Vec<usize> =
+                    adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
                 let mut fill = 0usize;
                 for i in 0..neigh.len() {
                     for j in i + 1..neigh.len() {
@@ -118,11 +115,7 @@ impl MarkovNetwork {
                 }
             }
             let (_, v) = best.expect("variables remain");
-            let neigh: Vec<usize> = adj[v]
-                .iter()
-                .copied()
-                .filter(|&u| !eliminated[u])
-                .collect();
+            let neigh: Vec<usize> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
             // Record the elimination clique {v} ∪ neighbours.
             let mut clique: Vec<VarId> = neigh.iter().map(|&u| VarId(u as u32)).collect();
             clique.push(VarId(v as u32));
@@ -160,10 +153,7 @@ impl MarkovNetwork {
             let mut best: Option<(usize, usize, usize)> = None; // (weight, from, to)
             for (a, _) in maximal.iter().enumerate().filter(|&(a, _)| in_tree[a]) {
                 for (b, _) in maximal.iter().enumerate().filter(|&(b, _)| !in_tree[b]) {
-                    let w = maximal[a]
-                        .iter()
-                        .filter(|v| maximal[b].contains(v))
-                        .count();
+                    let w = maximal[a].iter().filter(|v| maximal[b].contains(v)).count();
                     if best.is_none_or(|(bw, _, _)| w > bw) {
                         best = Some((w, a, b));
                     }
@@ -255,10 +245,7 @@ mod tests {
                 .map(|(_, p)| p)
                 .sum();
             let got = jt.marginal(VarId(var));
-            assert!(
-                (got - brute).abs() < 1e-10,
-                "X{var}: {got} vs {brute}"
-            );
+            assert!((got - brute).abs() < 1e-10, "X{var}: {got} vs {brute}");
         }
         // Figure 12's treewidth-1 model yields pairwise cliques.
         assert!(jt.treewidth() <= 1, "treewidth {}", jt.treewidth());
@@ -267,9 +254,7 @@ mod tests {
     #[test]
     fn junction_tree_on_loopy_network() {
         // A 4-cycle (treewidth 2 after triangulation).
-        let f = |a: u32, b: u32| {
-            Factor::new(vec![v(a), v(b)], vec![1.0, 0.4, 0.4, 1.2])
-        };
+        let f = |a: u32, b: u32| Factor::new(vec![v(a), v(b)], vec![1.0, 0.4, 0.4, 1.2]);
         let net = MarkovNetwork::new(4, vec![f(0, 1), f(1, 2), f(2, 3), f(3, 0)]);
         let jt = net.junction_tree();
         let joint = net.enumerate_joint();

@@ -399,12 +399,11 @@ mod tests {
             .collect();
         let net = MarkovNetwork::new(4, factors);
         let jt = net.junction_tree();
-        let db = prf_pdb::IndependentDb::from_pairs(
-            scores.iter().zip(&ps).map(|(&s, &p)| (s, p)),
-        )
-        .unwrap();
+        let db = prf_pdb::IndependentDb::from_pairs(scores.iter().zip(&ps).map(|(&s, &p)| (s, p)))
+            .unwrap();
         for w in [
-            Box::new(prf_core::weights::StepWeight { h: 2 }) as Box<dyn prf_core::weights::WeightFunction>,
+            Box::new(prf_core::weights::StepWeight { h: 2 })
+                as Box<dyn prf_core::weights::WeightFunction>,
             Box::new(prf_core::weights::ExponentialWeight::real(0.7)),
         ] {
             let a = prf_rank_junction(&jt, &scores, w.as_ref());

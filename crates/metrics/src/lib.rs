@@ -15,6 +15,8 @@
 //! location `k+1` for missing items, both from the same Fagin et al.
 //! framework, used when discussing consensus top-k answers.
 
+#![deny(missing_docs)]
+
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -57,17 +59,22 @@ pub fn kendall_topk<T: Copy + Eq + Hash>(a: &[T], b: &[T], k: usize) -> f64 {
 
     let pos_a: HashMap<T, usize> = a.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let pos_b: HashMap<T, usize> = b.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-    assert_eq!(pos_a.len(), a.len(), "kendall_topk: duplicate items in first list");
-    assert_eq!(pos_b.len(), b.len(), "kendall_topk: duplicate items in second list");
+    assert_eq!(
+        pos_a.len(),
+        a.len(),
+        "kendall_topk: duplicate items in first list"
+    );
+    assert_eq!(
+        pos_b.len(),
+        b.len(),
+        "kendall_topk: duplicate items in second list"
+    );
 
     let mut penalty = 0u64;
 
     // Case 1: inversions among shared items. Collect shared items in
     // `a`-order, then count inversions of their `b`-positions.
-    let shared_b_positions: Vec<usize> = a
-        .iter()
-        .filter_map(|t| pos_b.get(t).copied())
-        .collect();
+    let shared_b_positions: Vec<usize> = a.iter().filter_map(|t| pos_b.get(t).copied()).collect();
     let s = shared_b_positions.len();
     penalty += count_inversions(&shared_b_positions);
 
@@ -333,8 +340,7 @@ mod proptests {
 
     /// Random pair of duplicate-free top-k lists over a small universe.
     fn two_lists(k: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
-        let perm = proptest::sample::subsequence((0u32..30).collect::<Vec<_>>(), k)
-            .prop_shuffle();
+        let perm = proptest::sample::subsequence((0u32..30).collect::<Vec<_>>(), k).prop_shuffle();
         (perm.clone(), perm)
     }
 

@@ -339,7 +339,11 @@ mod tests {
 
     #[test]
     fn sum_product_iterators() {
-        let xs = [Complex::real(1.0), Complex::real(2.0), Complex::new(0.0, 1.0)];
+        let xs = [
+            Complex::real(1.0),
+            Complex::real(2.0),
+            Complex::new(0.0, 1.0),
+        ];
         let s: Complex = xs.iter().copied().sum();
         assert!(s.approx_eq(Complex::new(3.0, 1.0), TOL));
         let p: Complex = xs.iter().copied().product();

@@ -275,7 +275,12 @@ mod tests {
                 direct += c * pw;
                 pw *= w;
             }
-            assert!(values[k].approx_eq(direct, 1e-9), "{} vs {}", values[k], direct);
+            assert!(
+                values[k].approx_eq(direct, 1e-9),
+                "{} vs {}",
+                values[k],
+                direct
+            );
         }
     }
 

@@ -18,6 +18,8 @@
 //! * [`ring`] — the [`ring::GfValue`] abstraction that lets one generating-
 //!   function evaluator serve all scalar types above.
 
+#![deny(missing_docs)]
+
 pub mod complex;
 pub mod dual;
 pub mod fft;

@@ -228,7 +228,10 @@ impl Poly {
     /// # Panics
     /// Panics if `a == 0`.
     pub fn div_linear_in_place(&mut self, a: f64, b: f64) {
-        assert!(a != 0.0, "div_linear_in_place requires a non-zero constant term");
+        assert!(
+            a != 0.0,
+            "div_linear_in_place requires a non-zero constant term"
+        );
         if self.is_zero() {
             return;
         }
@@ -370,7 +373,11 @@ mod tests {
         let mut p = Poly::from_coeffs(vec![0.5, 0.25, -1.0, 2.0]);
         let original = p.clone();
         p.mul_linear_in_place(0.7, 0.3, usize::MAX);
-        assert!(close(&p, &original.mul_naive(&Poly::linear(0.7, 0.3)), 1e-12));
+        assert!(close(
+            &p,
+            &original.mul_naive(&Poly::linear(0.7, 0.3)),
+            1e-12
+        ));
         p.div_linear_in_place(0.7, 0.3);
         assert!(close(&p, &original, 1e-9));
     }
@@ -466,7 +473,7 @@ mod proptests {
         }
 
         #[test]
-        fn product_orders_are_equal(ps in proptest::collection::vec((0.0f64..1.0), 1..12)) {
+        fn product_orders_are_equal(ps in proptest::collection::vec(0.0f64..1.0, 1..12)) {
             // Generating-function use case: product of (1-p + p·x).
             let factors: Vec<Poly> = ps.iter().map(|&p| Poly::linear(1.0 - p, p)).collect();
             let dc = Poly::product(factors.clone());

@@ -199,7 +199,11 @@ mod tests {
 
     #[test]
     fn dual_ring() {
-        ring_laws(Dual::new(1.0, 2.0), Dual::new(-0.5, 0.25), Dual::new(0.0, 1.0));
+        ring_laws(
+            Dual::new(1.0, 2.0),
+            Dual::new(-0.5, 0.25),
+            Dual::new(0.0, 1.0),
+        );
     }
 
     #[test]

@@ -28,8 +28,11 @@ const ADD_CUTOFF: i64 = 128;
 /// Magnitude proxy used for normalisation decisions. Implemented for `f64`
 /// and [`Complex`]; not intended for implementation outside this crate.
 pub trait Mantissa: GfValue + Copy {
+    /// Magnitude (absolute value / modulus) of the mantissa.
     fn mag(self) -> f64;
+    /// Multiplies by `2^(CHUNK · chunks_up)` exactly.
     fn mul_pow2(self, chunks_up: i64) -> Self;
+    /// Whether the value is exactly zero (no renormalisation possible).
     fn is_exact_zero(self) -> bool;
 }
 

@@ -111,10 +111,7 @@ mod tests {
         // A = (0.5+0.15)·0.12... compute both ways.
         let x = 0.3f64;
         let f1 = YLin::pure(0.5 + 0.5 * x);
-        let f2 = YLin {
-            a: 0.4 * x,
-            b: 0.6,
-        };
+        let f2 = YLin { a: 0.4 * x, b: 0.6 };
         let f = f1.mul(&f2);
         let a_direct = (0.5 + 0.5 * x) * (0.4 * x);
         let b_direct = (0.5 + 0.5 * x) * 0.6;
@@ -125,7 +122,10 @@ mod tests {
     #[test]
     fn works_over_complex() {
         let i = Complex::new(0.0, 1.0);
-        let p = YLin { a: i, b: Complex::ONE };
+        let p = YLin {
+            a: i,
+            b: Complex::ONE,
+        };
         let q = YLin::pure(i);
         let r = p.mul(&q);
         assert!(r.a.approx_eq(Complex::real(-1.0), 1e-12));

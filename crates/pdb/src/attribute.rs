@@ -194,9 +194,6 @@ mod tests {
         let per_alt = vec![1.0f64, 10.0, 100.0];
         let agg = compiled.aggregate(&per_alt);
         assert_eq!(agg, vec![11.0, 100.0]);
-        assert_eq!(
-            compiled.alternatives_of(0),
-            vec![TupleId(0), TupleId(1)]
-        );
+        assert_eq!(compiled.alternatives_of(0), vec![TupleId(0), TupleId(1)]);
     }
 }

@@ -34,10 +34,7 @@ impl IndependentDb {
     /// # Panics
     /// Panics in debug builds if tuple ids are not the dense range `0..n`.
     pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
-        debug_assert!(tuples
-            .iter()
-            .enumerate()
-            .all(|(i, t)| t.id.index() == i));
+        debug_assert!(tuples.iter().enumerate().all(|(i, t)| t.id.index() == i));
         IndependentDb { tuples }
     }
 
@@ -226,7 +223,11 @@ mod tests {
         }
         for (i, t) in db.tuples().iter().enumerate() {
             let freq = counts[i] as f64 / trials as f64;
-            assert!((freq - t.prob).abs() < 0.02, "tuple {i}: {freq} vs {}", t.prob);
+            assert!(
+                (freq - t.prob).abs() < 0.02,
+                "tuple {i}: {freq} vs {}",
+                t.prob
+            );
         }
     }
 }

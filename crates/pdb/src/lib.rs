@@ -14,6 +14,8 @@
 //! * [`attribute`] — attribute-level uncertainty (discrete score
 //!   distributions) compiled into and/xor trees per Section 4.4.
 
+#![deny(missing_docs)]
+
 pub mod andxor;
 pub mod attribute;
 pub mod independent;

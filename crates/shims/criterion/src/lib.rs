@@ -1,0 +1,260 @@
+//! Minimal, dependency-free stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! providing the API subset the `prf-bench` benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Two execution modes, chosen from the command line exactly like real
+//! criterion benches behave under cargo:
+//!
+//! * **measure** (`--bench` present, i.e. `cargo bench`): each benchmark is
+//!   warmed up once, then timed for `sample_size` samples; median and mean
+//!   per-iteration times are printed.
+//! * **smoke** (no `--bench`, i.e. `cargo test` building the bench target):
+//!   each benchmark body runs exactly once so the target stays fast while
+//!   still exercising every code path.
+//!
+//! No statistics beyond median/mean, no plots, no baselines.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How benchmark bodies are executed (see the crate docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    Smoke,
+}
+
+fn mode_from_args() -> Mode {
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Measure
+    } else {
+        Mode::Smoke
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: mode_from_args(),
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        if self.mode == Mode::Measure {
+            println!("\n== group: {name}");
+        }
+        BenchmarkGroup {
+            name,
+            mode: self.mode,
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(self.mode, &format!("{id}"), self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark (measure mode only).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(
+            self.mode,
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id` within this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            self.mode,
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond matching real criterion's API).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, an optional parameter, or both.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Passed to benchmark bodies; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one timed sample per run in measure
+    /// mode, or exactly once in smoke mode.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+            }
+            Mode::Measure => {
+                black_box(f()); // warm-up
+                for _ in 0..self.sample_size {
+                    let start = Instant::now();
+                    black_box(f());
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+fn run_one(mode: Mode, label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mode,
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if mode == Mode::Measure && !b.samples.is_empty() {
+        b.samples.sort_unstable();
+        let median = b.samples[b.samples.len() / 2];
+        let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+        println!(
+            "{label:<50} median {:>12} mean {:>12} ({} samples)",
+            fmt_duration(median),
+            fmt_duration(mean),
+            b.samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function that runs each target against a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut count = 0;
+        run_one(Mode::Smoke, "t", 10, |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut count = 0u64;
+        run_one(Mode::Measure, "t", 5, |b| b.iter(|| count += 1));
+        assert_eq!(count, 6); // warm-up + 5 samples
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("fft", 1024).to_string(), "fft/1024");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

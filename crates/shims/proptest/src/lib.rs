@@ -1,0 +1,373 @@
+//! Minimal, dependency-free stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate, providing the API
+//! subset the `prf` workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * the [`strategy::Strategy`] trait with `prop_map` and `prop_shuffle`,
+//! * range strategies (`0.0f64..1.0`, `0u32..40`, `0.0f64..=1.0`, …) and
+//!   tuple strategies up to arity 4,
+//! * [`collection::vec`] and [`sample::subsequence`],
+//! * [`test_runner::ProptestConfig`] (only `cases` is honoured).
+//!
+//! Semantics: each test runs `cases` deterministic random cases (seeded from
+//! the test name, so failures reproduce across runs). Rejected cases
+//! ([`prop_assume!`]) are retried up to a bounded number of extra attempts.
+//! **No shrinking** is performed — the failing assertion message is reported
+//! as-is.
+
+#![deny(missing_docs)]
+
+pub mod strategy;
+
+/// Strategies producing collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::{rngs::StdRng, Rng};
+    use std::ops::Range;
+
+    /// The admissible sizes of a generated collection.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// A strategy generating `Vec`s whose elements come from `element` and
+    /// whose length is uniform over `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy generating vectors of values drawn from `element`,
+    /// with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Strategies sampling from existing collections.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use rand::{rngs::StdRng, Rng};
+
+    /// A strategy generating order-preserving subsequences of a fixed vector.
+    #[derive(Clone, Debug)]
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        len: usize,
+    }
+
+    /// Creates a strategy that picks a uniformly random subsequence of
+    /// exactly `len` elements from `values`, preserving their order.
+    ///
+    /// # Panics
+    /// Panics if `len > values.len()`.
+    pub fn subsequence<T: Clone>(values: Vec<T>, len: usize) -> Subsequence<T> {
+        assert!(
+            len <= values.len(),
+            "subsequence: requested {len} of {} elements",
+            values.len()
+        );
+        Subsequence { values, len }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            // Floyd's algorithm would avoid the index vec, but n is tiny in
+            // practice; partial Fisher–Yates then sort keeps it simple.
+            let n = self.values.len();
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..self.len {
+                let j = rng.gen_range(i..n);
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..self.len].to_vec();
+            chosen.sort_unstable();
+            chosen.iter().map(|&i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and plumbing used by the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Configuration for a `proptest!` block. Only `cases` is honoured by
+    /// this shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default configuration overriding the number of cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!` and should not be counted.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Constructs a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Stable 64-bit FNV-1a, used to derive a per-test seed from its name so
+    /// failures reproduce deterministically across runs.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives one property test: runs `config.cases` cases (with a bounded
+    /// retry budget for `prop_assume!` rejections) and panics on the first
+    /// failing case.
+    pub fn run(
+        config: &ProptestConfig,
+        test_name: &str,
+        mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    ) {
+        let base = fnv1a(test_name);
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let max_rejects = (config.cases as u64) * 16 + 256;
+        let mut attempt: u64 = 0;
+        while passed < config.cases {
+            let mut rng = StdRng::seed_from_u64(base.wrapping_add(attempt));
+            attempt += 1;
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest '{test_name}': too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{test_name}' failed at case #{passed} \
+                         (seed {seed:#x}): {msg}",
+                        seed = base.wrapping_add(attempt - 1)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+///
+/// Expands to an early `return Err(..)` inside the case closure generated by
+/// [`proptest!`]; an optional trailing format string customises the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right` ({})\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as in real
+/// proptest) running many random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                let ($($arg,)+) = ($($crate::strategy::Strategy::new_value(&($strat), __rng),)+);
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((x, y) in (0.0f64..1.0, 0u32..10), n in 1usize..5) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(y < 10);
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_map(v in crate::collection::vec(0.0f64..=1.0, 2..6).prop_map(|v| v.len())) {
+            prop_assert!((2..6).contains(&v));
+        }
+
+        #[test]
+        fn subsequence_shuffle(s in crate::sample::subsequence((0u32..30).collect::<Vec<_>>(), 6).prop_shuffle()) {
+            prop_assert_eq!(s.len(), 6);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), 6, "duplicates in subsequence {:?}", s);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        crate::test_runner::run(&ProptestConfig::with_cases(8), "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -22,8 +22,8 @@ fn main() {
         ("fixer-upper", 50.0, 1.00),
         ("mystery auction", 90.0, 0.50),
     ];
-    let db = IndependentDb::from_pairs(offers.iter().map(|&(_, s, p)| (s, p)))
-        .expect("valid offers");
+    let db =
+        IndependentDb::from_pairs(offers.iter().map(|&(_, s, p)| (s, p))).expect("valid offers");
     let name = |id: prf::pdb::TupleId| offers[id.index()].0;
 
     println!("offers (score, probability):");
@@ -49,7 +49,11 @@ fn main() {
 
     // --- Prior semantics, for comparison --------------------------------
     println!("\nbaselines:");
-    let top2: Vec<&str> = pt_ranking(&db, 2).top_k(2).iter().map(|&t| name(t)).collect();
+    let top2: Vec<&str> = pt_ranking(&db, 2)
+        .top_k(2)
+        .iter()
+        .map(|&t| name(t))
+        .collect();
     println!("  PT(2) top-2:      {}", top2.join(", "));
     let u: Vec<&str> = urank_topk(&db, 2).iter().map(|&t| name(t)).collect();
     println!("  U-Rank top-2:     {}", u.join(", "));

@@ -67,10 +67,9 @@ fn main() {
 
     // Independence projection: same marginals, correlations dropped.
     let marginals = chain.marginals();
-    let ind = prf::pdb::IndependentDb::from_pairs(
-        scores.iter().zip(&marginals).map(|(&s, &p)| (s, p)),
-    )
-    .unwrap();
+    let ind =
+        prf::pdb::IndependentDb::from_pairs(scores.iter().zip(&marginals).map(|(&s, &p)| (s, p)))
+            .unwrap();
     let ind_vals = prf::core::prf_rank(&ind, &w);
     let ri = Ranking::from_values(&ind_vals, ValueOrder::RealPart);
 
@@ -78,10 +77,7 @@ fn main() {
     for hour in 0..6 {
         println!(
             "  {hour:>4}  {:>7}  {:>6.3}  {:>10.4}  {:>11.4}",
-            scores[hour],
-            marginals[hour],
-            correlated[hour].re,
-            ind_vals[hour].re
+            scores[hour], marginals[hour], correlated[hour].re, ind_vals[hour].re
         );
     }
     let co: Vec<String> = rc.top_k(4).iter().map(|t| format!("h{}", t.0)).collect();

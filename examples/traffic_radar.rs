@@ -102,5 +102,9 @@ fn main() {
         "\nconsensus top-2 (min expected symmetric difference): {{{}}} at E[dis] = {dist:.3}",
         names.join(", ")
     );
-    assert_eq!(consensus, vec![TupleId(1), TupleId(4)], "Example 6: {{t2, t5}}");
+    assert_eq!(
+        consensus,
+        vec![TupleId(1), TupleId(4)],
+        "Example 6: {{t2, t5}}"
+    );
 }

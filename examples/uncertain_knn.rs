@@ -27,13 +27,48 @@ struct Detection {
 fn main() {
     let query = (0.0f64, 0.0f64);
     let detections = [
-        Detection { label: "A@near", pos: (1.0, 0.5), prob: 0.6, group: 0 },
-        Detection { label: "A@far", pos: (4.0, 3.0), prob: 0.4, group: 0 },
-        Detection { label: "B", pos: (1.5, -0.5), prob: 0.9, group: 1 },
-        Detection { label: "C@near", pos: (0.5, 1.8), prob: 0.3, group: 2 },
-        Detection { label: "C@mid", pos: (2.5, 2.0), prob: 0.5, group: 2 },
-        Detection { label: "D", pos: (3.0, -1.0), prob: 0.99, group: 3 },
-        Detection { label: "E", pos: (0.2, -2.2), prob: 0.45, group: 4 },
+        Detection {
+            label: "A@near",
+            pos: (1.0, 0.5),
+            prob: 0.6,
+            group: 0,
+        },
+        Detection {
+            label: "A@far",
+            pos: (4.0, 3.0),
+            prob: 0.4,
+            group: 0,
+        },
+        Detection {
+            label: "B",
+            pos: (1.5, -0.5),
+            prob: 0.9,
+            group: 1,
+        },
+        Detection {
+            label: "C@near",
+            pos: (0.5, 1.8),
+            prob: 0.3,
+            group: 2,
+        },
+        Detection {
+            label: "C@mid",
+            pos: (2.5, 2.0),
+            prob: 0.5,
+            group: 2,
+        },
+        Detection {
+            label: "D",
+            pos: (3.0, -1.0),
+            prob: 0.99,
+            group: 3,
+        },
+        Detection {
+            label: "E",
+            pos: (0.2, -2.2),
+            prob: 0.45,
+            group: 4,
+        },
     ];
 
     // Score = negated Euclidean distance (closer = higher score); mutual

@@ -51,6 +51,8 @@
 //! --bin experiments -- all`); EXPERIMENTS.md records paper-vs-measured
 //! results.
 
+#![deny(missing_docs)]
+
 pub use prf_approx as approx;
 pub use prf_baselines as baselines;
 pub use prf_core as core;

@@ -1,7 +1,7 @@
 //! Integration tests: the approximation and learning pipeline end-to-end.
 
-use prf::approx::{approximate_weights, DftApproxConfig};
 use prf::approx::learn::{learn_prf_omega, learn_prfe_alpha_topk, RankLearnConfig};
+use prf::approx::{approximate_weights, DftApproxConfig};
 use prf::baselines::pt_ranking;
 use prf::core::{prf_rank, prfe_rank_log, Ranking, TabulatedWeight, ValueOrder};
 use prf::datasets::{subsample_independent, syn_ind};
@@ -75,7 +75,10 @@ fn mixture_weight_reconstruction_bounds() {
         for l in [10usize, 30, 60] {
             let mix = approximate_weights(&step, n, &DftApproxConfig::refined(l));
             let rms = mix.rms_error(&step, 2 * n);
-            assert!(rms < last * 1.05, "n={n}: rms not improving: {rms} after {last}");
+            assert!(
+                rms < last * 1.05,
+                "n={n}: rms not improving: {rms} after {last}"
+            );
             last = rms;
         }
         assert!(last < 0.12, "n={n}: final rms {last}");

@@ -122,11 +122,8 @@ fn attribute_uncertainty_consistent_with_manual_tree() {
         UncertainTuple::new(vec![(20.0, 0.8)]).unwrap(),
     ]);
     // Manual equivalent: x-tuples with one group per original tuple.
-    let manual = AndXorTree::from_x_tuples(&[
-        vec![(30.0, 0.4), (10.0, 0.5)],
-        vec![(20.0, 0.8)],
-    ])
-    .unwrap();
+    let manual =
+        AndXorTree::from_x_tuples(&[vec![(30.0, 0.4), (10.0, 0.5)], vec![(20.0, 0.8)]]).unwrap();
     let w = StepWeight { h: 2 };
     let via_attr = prf_rank_uncertain(&db, &w).unwrap();
     let via_tree = prf_rank_tree(&manual, &w);

@@ -4,7 +4,8 @@
 
 use prf::core::{prf_rank, prfe_rank_log, Ranking, StepWeight, ValueOrder};
 use prf::pdb::{
-    AndXorTree, AttributeUncertainDb, IndependentDb, NodeKind, PdbError, TreeBuilder, UncertainTuple,
+    AndXorTree, AttributeUncertainDb, IndependentDb, NodeKind, PdbError, TreeBuilder,
+    UncertainTuple,
 };
 
 // ---------------------------------------------------------------------
@@ -175,11 +176,8 @@ fn single_tuple_tree() {
 #[test]
 fn mixture_of_constant_zero_weight() {
     // Approximating the zero function: every Υ is ~0 and ranking is by id.
-    let mix = prf::approx::approximate_weights(
-        &|_| 0.0,
-        16,
-        &prf::approx::DftApproxConfig::refined(4),
-    );
+    let mix =
+        prf::approx::approximate_weights(&|_| 0.0, 16, &prf::approx::DftApproxConfig::refined(4));
     let db = IndependentDb::from_pairs([(2.0, 0.5), (1.0, 0.5)]).unwrap();
     let ups = mix.upsilons_independent_fast(&db);
     for u in &ups {

@@ -10,9 +10,8 @@ use prf::pdb::{AndXorTree, IndependentDb, TupleId};
 
 /// Strategy: a small random independent relation.
 fn small_db() -> impl Strategy<Value = IndependentDb> {
-    proptest::collection::vec((0.0f64..100.0, 0.0f64..=1.0), 1..12).prop_map(|pairs| {
-        IndependentDb::from_pairs(pairs).expect("generated pairs are valid")
-    })
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..=1.0), 1..12)
+        .prop_map(|pairs| IndependentDb::from_pairs(pairs).expect("generated pairs are valid"))
 }
 
 proptest! {

@@ -1,0 +1,44 @@
+//! Smoke test pinning the crate-level "Thirty-second tour" (`src/lib.rs`)
+//! to a deterministic, hand-checkable 3-tuple ranking.
+
+use prf::core::{prf_rank, prfe_rank_log, Ranking, StepWeight, ValueOrder};
+use prf::pdb::{IndependentDb, TupleId};
+
+#[test]
+fn quickstart_tour_is_deterministic() {
+    // Identical to the lib.rs doctest: (score, existence probability).
+    let db = IndependentDb::from_pairs([
+        (100.0, 0.5), // t0: great score, coin-flip existence
+        (50.0, 1.0),  // t1: mediocre but certain
+        (80.0, 0.8),  // t2
+    ])
+    .unwrap();
+
+    // PT(2) = Pr(rank ≤ 2), checkable by hand:
+    //   t0 ranks first whenever present              → 0.5
+    //   t2 ranks ≤ 2 whenever present                → 0.8
+    //   t1 ranks ≤ 2 unless both t0 and t2 exist     → 1 − 0.5·0.8 = 0.6
+    let pt = prf_rank(&db, &StepWeight { h: 2 });
+    assert!((pt[0].re - 0.5).abs() < 1e-12);
+    assert!((pt[1].re - 0.6).abs() < 1e-12);
+    assert!((pt[2].re - 0.8).abs() < 1e-12);
+    let pt_rank = Ranking::from_values(&pt, ValueOrder::RealPart);
+    assert_eq!(pt_rank.order(), &[TupleId(2), TupleId(1), TupleId(0)]);
+
+    // PRFe(0.9), also checkable by hand (Υ(t) = Σᵢ 0.9^i · Pr(r(t) = i)):
+    //   t1: 0.1·0.9 + 0.5·0.81 + 0.4·0.729 = 0.7866
+    //   t2: 0.4·0.9 + 0.4·0.81             = 0.684
+    //   t0: 0.5·0.9                        = 0.45
+    // Its top choice (t1) differs from PT(2)'s (t2) — the paper's point:
+    // different ω, different ranking.
+    let keys = prfe_rank_log(&db, 0.9);
+    assert!((keys[0] - 0.45f64.ln()).abs() < 1e-9);
+    assert!((keys[1] - 0.7866f64.ln()).abs() < 1e-9);
+    assert!((keys[2] - 0.684f64.ln()).abs() < 1e-9);
+    let prfe = Ranking::from_keys(&keys);
+    assert_eq!(prfe.order(), &[TupleId(1), TupleId(2), TupleId(0)]);
+
+    // Both rankings are permutations of {t0, t1, t2} and stable across runs.
+    let rerun = Ranking::from_keys(&prfe_rank_log(&db, 0.9));
+    assert_eq!(prfe.order(), rerun.order());
+}
