@@ -3,14 +3,21 @@
 //! * [`dft`] — approximate any decaying PRFω weight function by a mixture
 //!   of `L` PRFe terms via a refined DFT (damping, initial scaling,
 //!   extend-and-shift), turning `O(n·h)` exact evaluation into
-//!   `O(n·L)` — orders of magnitude faster at paper scale (Figure 11);
+//!   `O(n·L)` — orders of magnitude faster at paper scale (Figure 11).
+//!   The implementation lives in [`prf_core::mixture`] (so the unified
+//!   `RankQuery` engine can drive it); this crate re-exports it under its
+//!   historical paths;
 //! * [`learn`] — learn PRFe's `α` by recursive grid search on the Kendall
 //!   distance, or PRFω(h) weights by pairwise hinge-loss descent over
 //!   positional-probability features.
 
 #![deny(missing_docs)]
 
-pub mod dft;
+/// DFT-based PRFe-mixture approximation (re-export of
+/// [`prf_core::mixture`], its home since the unified query engine landed).
+pub mod dft {
+    pub use prf_core::mixture::*;
+}
 pub mod learn;
 
 pub use dft::{approximate_weights, DftApproxConfig, ExpMixture};

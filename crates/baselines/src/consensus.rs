@@ -11,18 +11,27 @@
 //!   `dis_ω(τ, τ_pw) = Σᵢ ω(i)·δ(τ_pw(i) ∉ τ)`, the consensus top-k is the
 //!   PRFω answer for the same weights.
 //!
-//! This module provides the consensus answers (via the PRF machinery) and
-//! exact expected-distance evaluators over world enumerations, used to
-//! verify the theorems.
+//! This module provides the consensus answers (as thin wrappers over the
+//! unified [`prf_core::query::RankQuery`] engine —
+//! [`Semantics::Consensus`](prf_core::query::Semantics::Consensus) for the
+//! symmetric difference, `Semantics::Prf` with a tabulated weight for the
+//! weighted form) and exact expected-distance evaluators over world
+//! enumerations, used to verify the theorems.
 
-use prf_core::topk::Ranking;
+use prf_core::query::RankQuery;
 use prf_core::weights::{StepWeight, TabulatedWeight};
 use prf_pdb::{IndependentDb, TupleId, WorldEnumeration};
 
 /// The consensus top-k under symmetric difference — by Theorem 2, PT(k)'s
 /// answer.
 pub fn consensus_topk(db: &IndependentDb, k: usize) -> Vec<TupleId> {
-    crate::pt::pt_topk(db, k, k)
+    RankQuery::consensus(k)
+        .top_k(k)
+        .run(db)
+        .expect("consensus is supported on independent relations")
+        .ranking
+        .order()
+        .to_vec()
 }
 
 /// The consensus top-k under the weighted symmetric difference with weights
@@ -35,10 +44,13 @@ pub fn consensus_topk_weighted(db: &IndependentDb, weights: &[f64]) -> Vec<Tuple
         "weighted symmetric difference requires non-negative weights"
     );
     let k = weights.len();
-    let w = TabulatedWeight::from_real(weights);
-    let ups = prf_core::independent::prf_rank(db, &w);
-    Ranking::from_values(&ups, prf_core::topk::ValueOrder::RealPart)
+    RankQuery::prf(TabulatedWeight::from_real(weights))
+        .value_order(prf_core::topk::ValueOrder::RealPart)
         .top_k(k)
+        .run(db)
+        .expect("PRFω is supported on independent relations")
+        .ranking
+        .order()
         .to_vec()
 }
 

@@ -5,33 +5,20 @@
 //! `er(t) = Σ_pw Pr(pw)·r_pw(t)` with `r_pw(t) = |pw|` for `t ∉ pw`.
 //! *Lower* is better.
 //!
-//! Following Section 3.3, `er(t) = er₁(t) + er₂(t)` where `er₁` is the PRFℓ
-//! part (`Σᵢ i·Pr(r(t)=i)`) and `er₂` covers the worlds without `t`. For
-//! independent tuples both parts collapse to prefix sums:
-//! `er₁(tᵢ) = pᵢ·(1 + Σ_{j<i} pⱼ)` and `er₂(t) = (1−p_t)(C − p_t)` with
-//! `C = Σ pⱼ` — an `O(n log n)` algorithm. On and/xor trees the dual-number
-//! evaluation of `prf-core` generalises both parts at the same asymptotic
-//! cost as PRFe.
+//! The closed-form `O(n log n)` kernel for independent tuples lives in
+//! [`prf_core::query::kernels`] (Section 3.3's split `er = er₁ + er₂`);
+//! the and/xor-tree generalisation runs the dual-number evaluation of
+//! `prf-core`. The ranking functions here are thin wrappers over the
+//! unified [`prf_core::query::RankQuery`] engine with
+//! [`Semantics::ERank`](prf_core::query::Semantics::ERank).
 
+use prf_core::query::{kernels, RankQuery};
 use prf_core::topk::Ranking;
-use prf_pdb::tuple::sort_indices_by_score_desc;
 use prf_pdb::{AndXorTree, IndependentDb, TupleId};
 
 /// Expected rank of every tuple in an independent relation (`O(n log n)`).
 pub fn expected_ranks(db: &IndependentDb) -> Vec<f64> {
-    let n = db.len();
-    let mut er = vec![0.0; n];
-    let order = sort_indices_by_score_desc(&db.scores());
-    let c: f64 = db.expected_world_size();
-    let mut prefix = 0.0f64; // Σ of probabilities of higher-scored tuples
-    for &idx in &order {
-        let t = db.tuple(TupleId(idx as u32));
-        let er1 = t.prob * (1.0 + prefix);
-        let er2 = (1.0 - t.prob) * (c - t.prob);
-        er[idx] = er1 + er2;
-        prefix += t.prob;
-    }
-    er
+    kernels::expected_ranks_independent(db)
 }
 
 /// Expected ranks on an and/xor tree (delegates to the dual-number
@@ -42,14 +29,18 @@ pub fn expected_ranks_tree(tree: &AndXorTree) -> Vec<f64> {
 
 /// The E-Rank ranking (ascending expected rank) of an independent relation.
 pub fn erank_ranking(db: &IndependentDb) -> Ranking {
-    let keys: Vec<f64> = expected_ranks(db).into_iter().map(|e| -e).collect();
-    Ranking::from_keys(&keys)
+    RankQuery::erank()
+        .run(db)
+        .expect("E-Rank is supported on independent relations")
+        .ranking
 }
 
 /// The E-Rank ranking on an and/xor tree.
 pub fn erank_ranking_tree(tree: &AndXorTree) -> Ranking {
-    let keys: Vec<f64> = expected_ranks_tree(tree).into_iter().map(|e| -e).collect();
-    Ranking::from_keys(&keys)
+    RankQuery::erank()
+        .run(tree)
+        .expect("E-Rank is supported on and/xor trees")
+        .ranking
 }
 
 /// The E-Rank top-k answer.

@@ -2,8 +2,12 @@
 //!
 //! The simplest semantics, also studied by Cormode et al. Being a function
 //! of each tuple's marginal alone it is *invariant to correlations* — a
-//! drawback Section 8.3 highlights — and `O(n log n)` everywhere.
+//! drawback Section 8.3 highlights — and `O(n log n)` everywhere. The
+//! ranking functions are thin wrappers over the unified
+//! [`prf_core::query::RankQuery`] engine with
+//! [`Semantics::EScore`](prf_core::query::Semantics::EScore).
 
+use prf_core::query::RankQuery;
 use prf_core::topk::Ranking;
 use prf_pdb::{AndXorTree, IndependentDb, TupleId};
 
@@ -23,12 +27,18 @@ pub fn expected_scores_tree(tree: &AndXorTree) -> Vec<f64> {
 
 /// The E-Score ranking.
 pub fn escore_ranking(db: &IndependentDb) -> Ranking {
-    Ranking::from_keys(&expected_scores(db))
+    RankQuery::escore()
+        .run(db)
+        .expect("E-Score is supported everywhere")
+        .ranking
 }
 
 /// The E-Score ranking on an and/xor tree.
 pub fn escore_ranking_tree(tree: &AndXorTree) -> Ranking {
-    Ranking::from_keys(&expected_scores_tree(tree))
+    RankQuery::escore()
+        .run(tree)
+        .expect("E-Score is supported everywhere")
+        .ranking
 }
 
 /// The E-Score top-k answer.

@@ -1,11 +1,16 @@
 //! Prior ranking semantics for probabilistic databases.
 //!
 //! The PRF framework of `prf-core` unifies most of these as weight-function
-//! special cases; this crate provides them as first-class, independently
-//! tested implementations — both because the paper's experiments (Table 1,
-//! Figures 7–11) compare against them directly, and because two of them
-//! (U-Top and k-selection) are *set* semantics that fall outside the PRF
-//! family.
+//! special cases, and since the unified query engine landed every function
+//! here is a **thin wrapper over [`prf_core::query::RankQuery`]** (the
+//! set-semantics kernels themselves live in `prf_core::query::kernels`).
+//! The wrappers are kept — with their original signatures and behaviour —
+//! because the paper's experiments (Table 1, Figures 7–11) compare against
+//! them directly and because downstream call sites should not break; their
+//! tests double as a differential suite for the engine. Two of the
+//! semantics (U-Top and k-selection) are *set* semantics that fall outside
+//! the PRF family; k-selection has no engine counterpart and remains a
+//! first-class implementation here.
 //!
 //! | module | semantics | source |
 //! |--------|-----------|--------|

@@ -2,26 +2,35 @@
 //! relative of Global-Top-k (Zhang & Chomicki).
 //!
 //! Ranks tuples by `Pr(r(t) ≤ h)` and returns the best `k`. This is exactly
-//! the PRF special case `ω(i) = δ(i ≤ h)`, so the implementation dispatches
-//! to the truncated generating-function algorithms of `prf-core`:
-//! `O(n·h + n log n)` for independent tuples and x-tuples, `O(n²·h)` for
-//! general and/xor trees.
+//! the PRF special case `ω(i) = δ(i ≤ h)`, so every function here is a thin
+//! wrapper over the unified [`RankQuery`] engine with
+//! [`Semantics::Pt`](prf_core::query::Semantics::Pt): `O(n·h + n log n)`
+//! for independent tuples and x-tuples, `O(n²·h)` for general and/xor
+//! trees.
 
-use prf_core::topk::{Ranking, ValueOrder};
-use prf_core::weights::StepWeight;
+use prf_core::query::RankQuery;
+use prf_core::topk::Ranking;
 use prf_pdb::{AndXorTree, IndependentDb, TupleId};
 
 /// `Pr(r(t) ≤ h)` for every tuple of an independent relation.
 pub fn pt_values(db: &IndependentDb, h: usize) -> Vec<f64> {
-    prf_core::independent::prf_rank(db, &StepWeight { h })
-        .into_iter()
+    pt_query(h)
+        .run(db)
+        .expect("PT is supported on independent relations")
+        .values
+        .as_complex()
+        .expect("exact PT values are complex")
+        .iter()
         .map(|v| v.re)
         .collect()
 }
 
 /// The PT(h) ranking of an independent relation.
 pub fn pt_ranking(db: &IndependentDb, h: usize) -> Ranking {
-    Ranking::from_keys(&pt_values(db, h))
+    pt_query(h)
+        .run(db)
+        .expect("PT is supported on independent relations")
+        .ranking
 }
 
 /// The PT(h) top-k answer (k tuples with the largest `Pr(r(t) ≤ h)`).
@@ -29,21 +38,27 @@ pub fn pt_topk(db: &IndependentDb, h: usize, k: usize) -> Vec<TupleId> {
     pt_ranking(db, h).top_k(k).to_vec()
 }
 
-/// `Pr(r(t) ≤ h)` on an and/xor tree. Uses the `O(n·h·log n)` x-tuple fast path
-/// when the tree is in x-tuple form and the generic truncated expansion
+/// `Pr(r(t) ≤ h)` on an and/xor tree. Uses the `O(n·h·log n)` x-tuple fast
+/// path when the tree is in x-tuple form and the generic truncated expansion
 /// otherwise.
 pub fn pt_values_tree(tree: &AndXorTree, h: usize) -> Vec<f64> {
-    let w = StepWeight { h };
-    let vals = match prf_core::xtuple::prf_omega_rank_xtuple(tree, &w) {
-        Some(v) => v,
-        None => prf_core::tree::prf_rank_tree(tree, &w),
-    };
-    vals.into_iter().map(|v| v.re).collect()
+    pt_query(h)
+        .run(tree)
+        .expect("PT is supported on and/xor trees")
+        .values
+        .as_complex()
+        .expect("exact PT values are complex")
+        .iter()
+        .map(|v| v.re)
+        .collect()
 }
 
 /// The PT(h) ranking on an and/xor tree.
 pub fn pt_ranking_tree(tree: &AndXorTree, h: usize) -> Ranking {
-    Ranking::from_keys(&pt_values_tree(tree, h))
+    pt_query(h)
+        .run(tree)
+        .expect("PT is supported on and/xor trees")
+        .ranking
 }
 
 /// The PT(h) top-k answer on an and/xor tree.
@@ -64,9 +79,12 @@ pub fn pt_threshold(db: &IndependentDb, h: usize, threshold: f64) -> Vec<TupleId
         .collect()
 }
 
-/// Keeps `ValueOrder` linked into the module's documentation (PT values are
-/// real and non-negative, so magnitude and real-part orders coincide).
-const _: fn(prf_numeric::Complex) -> f64 = |v| ValueOrder::Magnitude.key(v);
+/// The engine query behind every wrapper in this module; pinned to the
+/// exact generating-function path so the legacy contract (exact values)
+/// is preserved regardless of `Auto` heuristics.
+fn pt_query(h: usize) -> RankQuery {
+    RankQuery::pt(h).algorithm(prf_core::query::Algorithm::ExactGf)
+}
 
 #[cfg(test)]
 mod tests {
@@ -108,5 +126,16 @@ mod tests {
             assert!((a[t] - b[t]).abs() < 1e-10);
         }
         assert_eq!(pt_topk(&db, 2, 2), pt_topk_tree(&tree, 2, 2));
+    }
+
+    #[test]
+    fn wrapper_matches_direct_prf_evaluation() {
+        let db =
+            IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5), (6.0, 0.99)]).unwrap();
+        let direct = prf_core::independent::prf_rank(&db, &prf_core::weights::StepWeight { h: 2 });
+        let wrapped = pt_values(&db, 2);
+        for t in 0..db.len() {
+            assert_eq!(wrapped[t], direct[t].re, "wrapper must be bit-identical");
+        }
     }
 }

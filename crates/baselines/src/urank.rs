@@ -7,144 +7,41 @@
 //! takes the highest-probability tuple not already chosen.
 //!
 //! The positional probabilities are PRF special cases (`ω(i) = δ(i = j)`),
-//! computed for all `j ≤ k` at once from the truncated prefix polynomial —
-//! `O(n·k + n log n)` for independent tuples, matching Yi et al.'s bound.
-//! Memory is `O(k²)`: per position only the `k` best candidates can ever be
-//! selected, so each position keeps a bounded best-list.
+//! and the evaluation kernels (bounded per-position candidate tables over
+//! the truncated prefix polynomial — `O(n·k + n log n)` for independent
+//! tuples, `O(k²)` memory) live in [`prf_core::query::kernels`]; the
+//! functions here are thin wrappers over the unified
+//! [`prf_core::query::RankQuery`] engine.
 
-use prf_numeric::Poly;
-use prf_pdb::tuple::sort_indices_by_score_desc;
+use prf_core::query::{kernels, RankQuery};
 use prf_pdb::{AndXorTree, IndependentDb, TupleId};
-
-/// Per-position bounded candidate lists: `candidates[j]` holds up to
-/// `cap` `(probability, tuple)` pairs with the largest probabilities for
-/// position `j+1`.
-struct CandidateTable {
-    cap: usize,
-    candidates: Vec<Vec<(f64, TupleId)>>,
-}
-
-impl CandidateTable {
-    fn new(k: usize) -> Self {
-        CandidateTable {
-            cap: k,
-            candidates: vec![Vec::with_capacity(k + 1); k],
-        }
-    }
-
-    fn push(&mut self, position: usize, prob: f64, t: TupleId) {
-        if prob <= 0.0 {
-            return;
-        }
-        let list = &mut self.candidates[position];
-        // Insertion sort into a short descending list.
-        let at = list
-            .iter()
-            .position(|&(p, tid)| (prob, std::cmp::Reverse(t)) > (p, std::cmp::Reverse(tid)))
-            .unwrap_or(list.len());
-        if at < self.cap {
-            list.insert(at, (prob, t));
-            list.truncate(self.cap);
-        }
-    }
-
-    /// Greedy distinct selection: for each position in order, the best
-    /// not-yet-used candidate.
-    fn select_distinct(&self) -> Vec<TupleId> {
-        let mut chosen: Vec<TupleId> = Vec::with_capacity(self.candidates.len());
-        for list in &self.candidates {
-            if let Some(&(_, t)) = list.iter().find(|&&(_, t)| !chosen.contains(&t)) {
-                chosen.push(t);
-            }
-        }
-        chosen
-    }
-
-    /// The raw per-position argmax (allowing duplicates) — the original
-    /// U-Rank semantics.
-    fn select_with_duplicates(&self) -> Vec<Option<TupleId>> {
-        self.candidates
-            .iter()
-            .map(|l| l.first().map(|&(_, t)| t))
-            .collect()
-    }
-}
-
-fn candidate_table(db: &IndependentDb, k: usize) -> CandidateTable {
-    let mut table = CandidateTable::new(k);
-    let order = sort_indices_by_score_desc(&db.scores());
-    let mut g = Poly::one();
-    for idx in order {
-        let t = db.tuple(TupleId(idx as u32));
-        for (m, &c) in g.coeffs().iter().enumerate().take(k) {
-            table.push(m, c * t.prob, t.id);
-        }
-        g.mul_linear_in_place(1.0 - t.prob, t.prob, k);
-    }
-    table
-}
 
 /// The distinct-enforced U-Rank top-k answer on an independent relation.
 pub fn urank_topk(db: &IndependentDb, k: usize) -> Vec<TupleId> {
-    candidate_table(db, k).select_distinct()
+    RankQuery::urank(k)
+        .run(db)
+        .expect("U-Rank is supported on independent relations")
+        .ranking
+        .order()
+        .to_vec()
 }
 
 /// The original U-Rank answer, which may contain duplicates (`None` when no
 /// tuple has positive probability at a position).
 pub fn urank_topk_with_duplicates(db: &IndependentDb, k: usize) -> Vec<Option<TupleId>> {
-    candidate_table(db, k).select_with_duplicates()
+    kernels::positional_candidates_independent(db, k).select_with_duplicates()
 }
 
 /// U-Rank on an and/xor tree (distinct-enforced): computes
 /// `Pr(r(t) = j), j ≤ k` for every tuple via the truncated tree expansion
 /// (or the x-tuple fast path) and then selects greedily.
 pub fn urank_topk_tree(tree: &AndXorTree, k: usize) -> Vec<TupleId> {
-    use prf_core::weights::PositionWeight;
-    let n = tree.n_tuples();
-    let mut table = CandidateTable::new(k);
-    // One truncated pass per position j would redo work; instead reuse the
-    // rank-distribution machinery once per tuple via the step-cap expansion.
-    // For x-tuple trees, run the O(n·k) fast path k times (still O(n·k²)
-    // worst case but with tiny constants); otherwise expand each tuple once.
-    if tree.x_tuple_groups().is_some() {
-        for j in 1..=k {
-            let w = PositionWeight { j };
-            let vals =
-                prf_core::xtuple::prf_omega_rank_xtuple(tree, &w).expect("x-tuple form checked");
-            for (t, v) in vals.iter().enumerate() {
-                table.push(j - 1, v.re, TupleId(t as u32));
-            }
-        }
-    } else {
-        let (order, pos) = tree_order(tree);
-        for (i, &t) in order.iter().enumerate() {
-            let gf = tree.generating_function(|u| {
-                if u == t {
-                    prf_numeric::RankPoly::y().with_cap(k)
-                } else if pos[u.index()] < i {
-                    prf_numeric::RankPoly::x().with_cap(k)
-                } else {
-                    prf_numeric::RankPoly::one().with_cap(k)
-                }
-            });
-            for j in 1..=k.min(n) {
-                table.push(j - 1, gf.rank_probability(j), t);
-            }
-        }
-    }
-    table.select_distinct()
-}
-
-fn tree_order(tree: &AndXorTree) -> (Vec<TupleId>, Vec<usize>) {
-    let order: Vec<TupleId> = sort_indices_by_score_desc(tree.scores())
-        .into_iter()
-        .map(|i| TupleId(i as u32))
-        .collect();
-    let mut pos = vec![0usize; order.len()];
-    for (i, t) in order.iter().enumerate() {
-        pos[t.index()] = i;
-    }
-    (order, pos)
+    RankQuery::urank(k)
+        .run(tree)
+        .expect("U-Rank is supported on and/xor trees")
+        .ranking
+        .order()
+        .to_vec()
 }
 
 #[cfg(test)]

@@ -1,183 +1,35 @@
 //! Uncertain Top-k — U-Top (Soliman et al., ICDE 2007).
 //!
 //! Returns the `k`-tuple *set* with the highest probability of being the
-//! exact top-k of a random world.
+//! exact top-k of a random world — the one semantics the paper shows falls
+//! *outside* the PRF family.
 //!
-//! For independent tuples sorted by score (`t₁ … tₙ`), a set `S` whose
-//! lowest-scored member sits at position `i` is the top-k iff every member
-//! is present and every non-member above position `i` is absent:
-//!
-//! ```text
-//! Pr(S top-k) = Π_{t∈S} p_t · Π_{t∉S, pos(t)<i} (1 − p_t)
-//!             = (Π_{j<i} (1−p_j)) · (Π_{j∈S, j<i} p_j/(1−p_j)) · p_i
-//! ```
-//!
-//! so the optimum fixes `i` and takes the `k−1` largest odds-ratios
-//! `p_j/(1−p_j)` above it. Sweeping `i` with a two-heap top-m structure
-//! gives `O(n log n)` exactly. Certain tuples (`p = 1`) have infinite odds
-//! and are forced into the set; the computation runs in log-space so
-//! nothing under- or overflows.
-//!
-//! For correlated (and/xor tree) data we provide a Monte-Carlo estimator —
-//! the paper evaluates U-Top only on independent datasets.
+//! The exact `O(n log n)` odds-ratio sweep for independent tuples (and the
+//! enumerated exact answer for small correlated relations) lives in
+//! [`prf_core::query::kernels`]; [`utop_topk`] is a thin wrapper over the
+//! unified [`prf_core::query::RankQuery`] engine with
+//! [`Semantics::UTop`](prf_core::query::Semantics::UTop). The Monte-Carlo
+//! estimator for large correlated relations stays here (it is
+//! caller-seeded, which the deterministic engine deliberately does not
+//! model).
 
 use std::collections::HashMap;
 
 use rand::Rng;
 
-use prf_pdb::tuple::sort_indices_by_score_desc;
+use prf_core::query::RankQuery;
 use prf_pdb::{AndXorTree, IndependentDb, TupleId};
-
-/// Maintains the sum of the `m` largest values in a growing multiset, with
-/// `m` adjustable downwards — a pair of heaps ("top" min-heap, "rest"
-/// max-heap).
-struct TopM {
-    m: usize,
-    top: std::collections::BinaryHeap<std::cmp::Reverse<OrdF64>>,
-    rest: std::collections::BinaryHeap<OrdF64>,
-    top_sum: f64,
-}
-
-#[derive(Clone, Copy, PartialEq)]
-struct OrdF64(f64);
-
-impl Eq for OrdF64 {}
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("no NaN keys")
-    }
-}
-
-impl TopM {
-    fn new(m: usize) -> Self {
-        TopM {
-            m,
-            top: Default::default(),
-            rest: Default::default(),
-            top_sum: 0.0,
-        }
-    }
-
-    fn rebalance(&mut self) {
-        while self.top.len() > self.m {
-            let std::cmp::Reverse(v) = self.top.pop().expect("non-empty");
-            self.top_sum -= v.0;
-            self.rest.push(v);
-        }
-        while self.top.len() < self.m {
-            match self.rest.pop() {
-                Some(v) => {
-                    self.top_sum += v.0;
-                    self.top.push(std::cmp::Reverse(v));
-                }
-                None => break,
-            }
-        }
-    }
-
-    fn insert(&mut self, v: f64) {
-        self.top.push(std::cmp::Reverse(OrdF64(v)));
-        self.top_sum += v;
-        self.rebalance();
-    }
-
-    fn shrink_m(&mut self) {
-        assert!(self.m > 0, "cannot shrink below zero");
-        self.m -= 1;
-        self.rebalance();
-    }
-
-    /// Sum of the top `min(m, len)` values.
-    fn sum(&self) -> f64 {
-        self.top_sum
-    }
-
-    fn len_total(&self) -> usize {
-        self.top.len() + self.rest.len()
-    }
-}
 
 /// The U-Top answer on an independent relation: the top-k set (score
 /// descending) and the natural log of its probability of being the exact
 /// top-k. Returns `None` when `k` exceeds the number of tuples or no set
 /// has positive probability.
 pub fn utop_topk(db: &IndependentDb, k: usize) -> Option<(Vec<TupleId>, f64)> {
-    let n = db.len();
-    if k == 0 || k > n {
-        return None;
-    }
-    let order = sort_indices_by_score_desc(&db.scores());
-    let probs: Vec<f64> = order
-        .iter()
-        .map(|&i| db.tuple(TupleId(i as u32)).prob)
-        .collect();
-
-    // Sweep the position of the lowest-scored member.
-    let mut best: Option<(usize, f64)> = None; // (last position, log prob)
-    let mut base = 0.0f64; // Σ_{j<i, p<1} ln(1−p_j)
-    let mut forced = 0usize; // count of p=1 tuples above i
-    let mut ratios = TopM::new(k - 1);
-
-    for (i, &p_i) in probs.iter().enumerate() {
-        if p_i > 0.0 && i + 1 >= k && forced < k {
-            // Need k−1−forced optional members from the uncertain prefix.
-            let need = k - 1 - forced;
-            if ratios.len_total() >= need {
-                // `ratios` is maintained with m = k−1−forced (see below), so
-                // its sum is exactly what we need.
-                debug_assert_eq!(ratios.m, need);
-                let logp = base + ratios.sum() + p_i.ln();
-                if best.is_none_or(|(_, b)| logp > b) {
-                    best = Some((i, logp));
-                }
-            }
-        }
-        // Fold tuple i into the prefix structures.
-        if p_i >= 1.0 {
-            forced += 1;
-            if forced > k - 1 {
-                // Any further candidate set must include > k−1 certain
-                // tuples above its last member — impossible; stop.
-                break;
-            }
-            ratios.shrink_m();
-        } else if p_i > 0.0 {
-            base += (1.0 - p_i).ln();
-            ratios.insert(p_i.ln() - (1.0 - p_i).ln());
-        }
-        // p_i == 0 tuples can never appear; they contribute nothing.
-    }
-
-    let (last_pos, logp) = best?;
-    // Reconstruct: all certain tuples above last_pos, plus the top
-    // (k−1−forced) odds ratios among uncertain ones, plus the last tuple.
-    let mut forced_ids = Vec::new();
-    let mut optional: Vec<(f64, usize)> = Vec::new();
-    for (j, &p) in probs.iter().enumerate().take(last_pos) {
-        if p >= 1.0 {
-            forced_ids.push(j);
-        } else if p > 0.0 {
-            optional.push((p.ln() - (1.0 - p).ln(), j));
-        }
-    }
-    optional.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN").then(a.1.cmp(&b.1)));
-    let need = k - 1 - forced_ids.len();
-    let mut members: Vec<usize> = forced_ids;
-    members.extend(optional.into_iter().take(need).map(|(_, j)| j));
-    members.push(last_pos);
-    members.sort_unstable();
-    Some((
-        members
-            .into_iter()
-            .map(|pos| TupleId(order[pos] as u32))
-            .collect(),
-        logp,
-    ))
+    RankQuery::utop(k)
+        .run(db)
+        .ok()
+        .and_then(|r| r.set)
+        .map(|s| (s.members, s.log_prob))
 }
 
 /// Monte-Carlo U-Top on an and/xor tree: samples `samples` worlds and
@@ -304,5 +156,16 @@ mod tests {
         let (exact_set, logp) = utop_topk(&db, 2).unwrap();
         assert_eq!(mc_set, exact_set);
         assert!((freq - logp.exp()).abs() < 0.02);
+    }
+
+    #[test]
+    fn engine_tree_path_matches_independent_sweep() {
+        let db =
+            IndependentDb::from_pairs([(10.0, 0.9), (9.0, 0.85), (8.0, 0.2), (7.0, 0.6)]).unwrap();
+        let tree = AndXorTree::from_independent(&db);
+        let via_tree = RankQuery::utop(2).run(&tree).unwrap().set.unwrap();
+        let (set, logp) = utop_topk(&db, 2).unwrap();
+        assert_eq!(via_tree.members, set);
+        assert!((via_tree.log_prob - logp).abs() < 1e-10);
     }
 }

@@ -11,25 +11,28 @@
 //! LOW), stays small for x-tuples (Syn-XOR), and vanishes as α → 1 (where
 //! PRFe degenerates to ranking by marginal probability).
 
-use prf_baselines::{pt_topk, pt_topk_tree, urank_topk, urank_topk_tree};
-use prf_core::independent::prfe_rank_log;
-use prf_core::topk::Ranking;
-use prf_core::tree::prfe_rank_tree_scaled;
+use prf_core::query::{Algorithm, RankQuery};
 use prf_datasets::{syn_high_tree, syn_low_tree, syn_med_tree, syn_xor_tree};
 use prf_metrics::kendall_topk;
-use prf_numeric::Complex;
 use prf_pdb::AndXorTree;
 
 use crate::{fmt, header, Scale, SEED};
 
 /// Kendall distance between correlation-aware and independence-assuming
-/// PRFe(α) top-k on a tree.
+/// PRFe(α) top-k on a tree — one query, two backends.
 pub fn prfe_correlation_gap(tree: &AndXorTree, alpha: f64, k: usize) -> f64 {
-    let aware_vals = prfe_rank_tree_scaled(tree, Complex::real(alpha));
-    let keys: Vec<f64> = aware_vals.iter().map(|v| v.magnitude_key()).collect();
-    let aware = Ranking::from_keys(&keys).top_k_u32(k);
+    let q = RankQuery::prfe(alpha).algorithm(Algorithm::Scaled);
+    let aware = q
+        .run(tree)
+        .expect("scaled PRFe on trees")
+        .ranking
+        .top_k_u32(k);
     let ind_db = tree.to_independent();
-    let ind = Ranking::from_keys(&prfe_rank_log(&ind_db, alpha)).top_k_u32(k);
+    let ind = q
+        .run(&ind_db)
+        .expect("scaled PRFe on independent data")
+        .ranking
+        .top_k_u32(k);
     kendall_topk(&aware, &ind, k)
 }
 
@@ -88,12 +91,26 @@ pub fn run(scale: Scale) {
             sums[0] += prfe_correlation_gap(&tree, 0.9, k);
             let ind_db = tree.to_independent();
 
-            let pt_aware: Vec<u32> = pt_topk_tree(&tree, k, k).iter().map(|t| t.0).collect();
-            let pt_ind: Vec<u32> = pt_topk(&ind_db, k, k).iter().map(|t| t.0).collect();
+            let pt = RankQuery::pt(k).algorithm(Algorithm::ExactGf);
+            let pt_aware = pt
+                .run(&tree)
+                .expect("exact PT on trees")
+                .ranking
+                .top_k_u32(k);
+            let pt_ind = pt
+                .run(&ind_db)
+                .expect("exact PT on independent data")
+                .ranking
+                .top_k_u32(k);
             sums[1] += kendall_topk(&pt_aware, &pt_ind, k);
 
-            let ur_aware: Vec<u32> = urank_topk_tree(&tree, k).iter().map(|t| t.0).collect();
-            let ur_ind: Vec<u32> = urank_topk(&ind_db, k).iter().map(|t| t.0).collect();
+            let ur = RankQuery::urank(k);
+            let ur_aware = ur.run(&tree).expect("U-Rank on trees").ranking.top_k_u32(k);
+            let ur_ind = ur
+                .run(&ind_db)
+                .expect("U-Rank on independent data")
+                .ranking
+                .top_k_u32(k);
             sums[2] += kendall_topk(&ur_aware, &ur_ind, k);
         }
         let m = seeds.len() as f64;

@@ -13,12 +13,8 @@
 //! incremental tree PRFe.
 
 use prf_approx::{approximate_weights, DftApproxConfig};
-use prf_baselines::{erank_ranking, pt_ranking, pt_values_tree, urank_topk};
-use prf_core::independent::prfe_rank_log;
-use prf_core::topk::Ranking;
-use prf_core::tree::prfe_rank_tree_scaled;
+use prf_core::query::{Algorithm, RankQuery};
 use prf_datasets::{iip_db, syn_high_tree, syn_xor_tree};
-use prf_numeric::Complex;
 
 use crate::{header, timed, Scale, SEED};
 
@@ -45,12 +41,15 @@ pub fn run(scale: Scale) {
     );
     for &n in &sizes {
         let db = iip_db(n, SEED);
-        let (_, t_prfe) = timed(|| Ranking::from_keys(&prfe_rank_log(&db, 0.95)));
-        let (_, t_pt) = timed(|| pt_ranking(&db, 100));
-        let (_, t_u10) = timed(|| urank_topk(&db, 10));
-        let (_, t_u50) = timed(|| urank_topk(&db, 50));
-        let (_, t_u100) = timed(|| urank_topk(&db, 100));
-        let (_, t_er) = timed(|| erank_ranking(&db));
+        // Every timing goes through the unified engine (LogDomain is what
+        // Auto picks for real-α PRFe at these sizes).
+        let time = |q: RankQuery| timed(|| q.run(&db).expect("independent backend")).1;
+        let t_prfe = time(RankQuery::prfe(0.95).algorithm(Algorithm::LogDomain));
+        let t_pt = time(RankQuery::pt(100));
+        let t_u10 = time(RankQuery::urank(10));
+        let t_u50 = time(RankQuery::urank(50));
+        let t_u100 = time(RankQuery::urank(100));
+        let t_er = time(RankQuery::erank());
         println!(
             "{n:>10}{:>12}{:>12}{:>12}{:>12}{:>12}{:>12}",
             secs(t_prfe),
@@ -85,7 +84,7 @@ pub fn run(scale: Scale) {
             .collect();
         for &n in &sizes2 {
             let db = iip_db(n, SEED);
-            let (_, t_exact) = timed(|| pt_ranking(&db, h));
+            let (_, t_exact) = timed(|| RankQuery::pt(h).run(&db).expect("exact PT"));
             let mut cells = vec![format!("{n:>10}"), format!("{:>14}", secs(t_exact))];
             for mix in &mixes {
                 let (_, t) = timed(|| mix.ranking_independent_fast(&db));
@@ -114,10 +113,15 @@ pub fn run(scale: Scale) {
     );
     for &n in &xor_sizes {
         let tree = syn_xor_tree(n, SEED);
-        let (_, t_pt) = timed(|| pt_values_tree(&tree, h3));
+        let (_, t_pt) = timed(|| RankQuery::pt(h3).run(&tree).expect("exact PT on trees"));
         let (_, t20) = timed(|| mix20.ranking_tree_fast(&tree));
         let (_, t50) = timed(|| mix50.ranking_tree_fast(&tree));
-        let (_, t_pe) = timed(|| prfe_rank_tree_scaled(&tree, Complex::real(0.95)));
+        let (_, t_pe) = timed(|| {
+            RankQuery::prfe(0.95)
+                .algorithm(Algorithm::Scaled)
+                .run(&tree)
+                .expect("scaled PRFe on trees")
+        });
         println!(
             "{:>10}{n:>10}{:>16}{:>10}{:>10}{:>10}",
             "Syn-XOR",
@@ -133,10 +137,20 @@ pub fn run(scale: Scale) {
     };
     for &n in &high_sizes {
         let tree = syn_high_tree(n, SEED);
-        let (_, t_pt) = timed(|| pt_values_tree(&tree, h3));
+        let (_, t_pt) = timed(|| {
+            RankQuery::pt(h3)
+                .algorithm(Algorithm::ExactGf)
+                .run(&tree)
+                .expect("exact PT on trees")
+        });
         let (_, t20) = timed(|| mix20.ranking_tree_fast(&tree));
         let (_, t50) = timed(|| mix50.ranking_tree_fast(&tree));
-        let (_, t_pe) = timed(|| prfe_rank_tree_scaled(&tree, Complex::real(0.95)));
+        let (_, t_pe) = timed(|| {
+            RankQuery::prfe(0.95)
+                .algorithm(Algorithm::Scaled)
+                .run(&tree)
+                .expect("scaled PRFe on trees")
+        });
         println!(
             "{:>10}{n:>10}{:>16}{:>10}{:>10}{:>10}",
             "Syn-HIGH",

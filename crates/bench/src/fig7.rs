@@ -8,31 +8,38 @@
 //! with a "uni-valley" distance curve that justifies the grid-search
 //! learner.
 
-use prf_baselines::{
-    erank_ranking, escore_ranking, probability_ranking, pt_ranking, score_ranking, urank_topk,
-    utop_topk,
-};
-use prf_core::independent::prfe_rank_log;
-use prf_core::topk::Ranking;
+use prf_baselines::{probability_ranking, score_ranking};
+use prf_core::query::{Algorithm, RankQuery};
 use prf_datasets::{iip_db, syn_ind};
 use prf_metrics::kendall_topk;
 use prf_pdb::IndependentDb;
 
 use crate::{fmt, header, Scale, SEED};
 
-/// The baselines of Figure 7 as `(name, top-k ids)`.
+/// The baselines of Figure 7 as `(name, top-k ids)` — each one a
+/// [`RankQuery`] semantics (Score/Prob, the two deterministic endpoints,
+/// stay free functions).
 pub fn baselines(db: &IndependentDb, h: usize, k: usize) -> Vec<(&'static str, Vec<u32>)> {
+    let top = |q: RankQuery| {
+        q.run(db)
+            .expect("independent backend supports every semantics")
+            .ranking
+            .top_k_u32(k)
+    };
     vec![
         ("Score", score_ranking(db).top_k_u32(k)),
         ("Prob", probability_ranking(db).top_k_u32(k)),
-        ("E-Score", escore_ranking(db).top_k_u32(k)),
-        ("PT(100)", pt_ranking(db, h).top_k_u32(k)),
-        ("U-Rank", urank_topk(db, k).iter().map(|t| t.0).collect()),
-        ("E-Rank", erank_ranking(db).top_k_u32(k)),
+        ("E-Score", top(RankQuery::escore())),
+        ("PT(100)", top(RankQuery::pt(h))),
+        ("U-Rank", top(RankQuery::urank(k))),
+        ("E-Rank", top(RankQuery::erank())),
         (
             "U-Top",
-            utop_topk(db, k)
-                .map(|(s, _)| s.iter().map(|t| t.0).collect())
+            RankQuery::utop(k)
+                .run(db)
+                .ok()
+                .and_then(|r| r.set)
+                .map(|s| s.members.iter().map(|t| t.0).collect())
                 .unwrap_or_default(),
         ),
     ]
@@ -50,7 +57,12 @@ pub fn sweep(
     let mut rows = Vec::with_capacity(points.len());
     for &i in points {
         let alpha = (1.0 - 0.9f64.powf(i)).clamp(0.0, 1.0);
-        let mine = Ranking::from_keys(&prfe_rank_log(db, alpha)).top_k_u32(k);
+        let mine = RankQuery::prfe(alpha)
+            .algorithm(Algorithm::LogDomain)
+            .run(db)
+            .expect("log-domain PRFe on independent data")
+            .ranking
+            .top_k_u32(k);
         let dists: Vec<f64> = base
             .iter()
             .map(|(_, b)| kendall_topk(&mine, b, k))

@@ -9,9 +9,9 @@
 //! and a linear function — at two dataset sizes. Smooth functions need
 //! fewer terms.
 
-use prf_approx::{approximate_weights, DftApproxConfig};
-use prf_baselines::pt_ranking;
-use prf_core::topk::{Ranking, ValueOrder};
+use prf_approx::DftApproxConfig;
+use prf_core::query::{Algorithm, RankQuery};
+use prf_core::topk::ValueOrder;
 use prf_core::weights::TabulatedWeight;
 use prf_datasets::iip_db;
 use prf_metrics::kendall_topk;
@@ -20,7 +20,8 @@ use prf_pdb::IndependentDb;
 use crate::{fmt, header, Scale, SEED};
 
 /// Distance between the exact ranking of `omega` (given as a table) and its
-/// mixture approximation under `cfg`.
+/// mixture approximation under `cfg` — the same PRFω query with the
+/// `DftApprox` algorithm swapped in.
 pub fn mixture_distance(
     db: &IndependentDb,
     omega_table: &[f64],
@@ -28,19 +29,24 @@ pub fn mixture_distance(
     cfg: &DftApproxConfig,
     k: usize,
 ) -> f64 {
-    let support = omega_table.len();
-    let table = omega_table.to_vec();
-    let omega = move |i: usize| if i < table.len() { table[i] } else { 0.0 };
-    let mix = approximate_weights(&omega, support, cfg);
-    let approx = mix.ranking_independent(db).top_k_u32(k);
+    let approx = RankQuery::prf(TabulatedWeight::from_real(omega_table))
+        .algorithm(Algorithm::DftApprox(*cfg))
+        .run(db)
+        .expect("mixture PRFω on independent data")
+        .ranking
+        .top_k_u32(k);
     kendall_topk(exact_topk, &approx, k)
 }
 
 /// Exact PRFω(h) top-k for a weight table.
 pub fn exact_topk(db: &IndependentDb, omega_table: &[f64], k: usize) -> Vec<u32> {
-    let w = TabulatedWeight::from_real(omega_table);
-    let ups = prf_core::independent::prf_rank(db, &w);
-    Ranking::from_values(&ups, ValueOrder::RealPart).top_k_u32(k)
+    RankQuery::prf(TabulatedWeight::from_real(omega_table))
+        .value_order(ValueOrder::RealPart)
+        .algorithm(Algorithm::ExactGf)
+        .run(db)
+        .expect("exact PRFω on independent data")
+        .ranking
+        .top_k_u32(k)
 }
 
 /// Runs the Figure 8 experiment.
@@ -52,7 +58,12 @@ pub fn run(scale: Scale) {
     let k = 1000;
     let db = iip_db(n, SEED);
     let step: Vec<f64> = vec![1.0; h];
-    let exact = pt_ranking(&db, h).top_k_u32(k);
+    let exact = RankQuery::pt(h)
+        .algorithm(Algorithm::ExactGf)
+        .run(&db)
+        .expect("exact PT")
+        .ranking
+        .top_k_u32(k);
 
     let terms = [10usize, 20, 40, 80, 120, 200];
     let stages: Vec<(&str, fn(usize) -> DftApproxConfig)> = vec![

@@ -10,9 +10,8 @@
 //! hinge-loss learner, evaluated the same way.
 
 use prf_approx::learn::{learn_prf_omega, learn_prfe_alpha_topk, RankLearnConfig};
-use prf_baselines::{erank_ranking, escore_ranking, pt_ranking, urank_topk};
-use prf_core::independent::prfe_rank_log;
-use prf_core::topk::{Ranking, ValueOrder};
+use prf_core::query::{Algorithm, RankQuery};
+use prf_core::topk::ValueOrder;
 use prf_core::weights::TabulatedWeight;
 use prf_datasets::{iip_db, subsample_independent};
 use prf_metrics::kendall_topk;
@@ -21,38 +20,41 @@ use prf_pdb::{IndependentDb, TupleId};
 use crate::{fmt, header, Scale, SEED};
 
 /// The "user functions" of Figure 9, each producing a full ranking of any
-/// relation.
+/// relation — all driven through the unified [`RankQuery`] engine.
 #[allow(clippy::type_complexity)]
 pub fn user_functions() -> Vec<(&'static str, fn(&IndependentDb, usize) -> Vec<TupleId>)> {
-    fn by_pt(db: &IndependentDb, k: usize) -> Vec<TupleId> {
-        let _ = k;
-        pt_ranking(db, 100.min(db.len().max(1))).order().to_vec()
-    }
-    fn by_prfe(db: &IndependentDb, _k: usize) -> Vec<TupleId> {
-        Ranking::from_keys(&prfe_rank_log(db, 0.95))
+    fn order_of(q: RankQuery, db: &IndependentDb) -> Vec<TupleId> {
+        q.run(db)
+            .expect("independent backend supports every semantics")
+            .ranking
             .order()
             .to_vec()
     }
+    fn by_pt(db: &IndependentDb, k: usize) -> Vec<TupleId> {
+        let _ = k;
+        order_of(RankQuery::pt(100.min(db.len().max(1))), db)
+    }
+    fn by_prfe(db: &IndependentDb, _k: usize) -> Vec<TupleId> {
+        order_of(RankQuery::prfe(0.95).algorithm(Algorithm::LogDomain), db)
+    }
     fn by_escore(db: &IndependentDb, _k: usize) -> Vec<TupleId> {
-        escore_ranking(db).order().to_vec()
+        order_of(RankQuery::escore(), db)
     }
     fn by_urank(db: &IndependentDb, _k: usize) -> Vec<TupleId> {
         // U-Rank produces a top-k list; extend it to a full ranking by
         // appending the rest in PT order (ties in practice immaterial for
         // the top-100 comparison).
         let k = db.len().min(400);
-        let mut order = urank_topk(db, k);
-        let rest: Vec<TupleId> = pt_ranking(db, k.max(1))
-            .order()
-            .iter()
-            .copied()
+        let mut order = order_of(RankQuery::urank(k), db);
+        let rest: Vec<TupleId> = order_of(RankQuery::pt(k.max(1)), db)
+            .into_iter()
             .filter(|t| !order.contains(t))
             .collect();
         order.extend(rest);
         order
     }
     fn by_erank(db: &IndependentDb, _k: usize) -> Vec<TupleId> {
-        erank_ranking(db).order().to_vec()
+        order_of(RankQuery::erank(), db)
     }
     vec![
         ("PT(100)", by_pt),
@@ -86,7 +88,12 @@ pub fn run(scale: Scale) {
             // Learn α against the top-k prefix of the sample ranking — the
             // quantity the evaluation measures (see EXPERIMENTS.md).
             let alpha = learn_prfe_alpha_topk(&sample, &user_sample, 4, k);
-            let learned = Ranking::from_keys(&prfe_rank_log(&db, alpha)).top_k_u32(k);
+            let learned = RankQuery::prfe(alpha)
+                .algorithm(Algorithm::LogDomain)
+                .run(&db)
+                .expect("log-domain PRFe")
+                .ranking
+                .top_k_u32(k);
             let truth: Vec<u32> = func(&db, k).iter().take(k).map(|t| t.0).collect();
             let d = kendall_topk(&learned, &truth, k);
             print!("{:>17}", format!("{} (α {:.3})", fmt(d), alpha));
@@ -115,9 +122,12 @@ pub fn run(scale: Scale) {
                     ..Default::default()
                 },
             );
-            let w = TabulatedWeight::from_real(&weights);
-            let ups = prf_core::independent::prf_rank(&db, &w);
-            let learned = Ranking::from_values(&ups, ValueOrder::RealPart).top_k_u32(k);
+            let learned = RankQuery::prf(TabulatedWeight::from_real(&weights))
+                .value_order(ValueOrder::RealPart)
+                .run(&db)
+                .expect("exact PRFω")
+                .ranking
+                .top_k_u32(k);
             let truth: Vec<u32> = func(&db, k).iter().take(k).map(|t| t.0).collect();
             let d = kendall_topk(&learned, &truth, k);
             print!("{:>17}", fmt(d));

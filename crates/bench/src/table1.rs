@@ -6,24 +6,34 @@
 //! E-Score tracks PT/U-Rank on IIP but diverges on Syn-IND, E-Rank sits far
 //! from everything on IIP yet nearly coincides with E-Score on Syn-IND.
 
-use prf_baselines::{erank_ranking, escore_ranking, pt_ranking, urank_topk, utop_topk};
+use prf_core::query::RankQuery;
 use prf_datasets::{iip_db, syn_ind};
 use prf_metrics::kendall_topk;
 use prf_pdb::IndependentDb;
 
 use crate::{fmt, header, Scale, SEED};
 
-/// The five ranking functions of Table 1, producing top-k lists of raw ids.
+/// The five ranking functions of Table 1, producing top-k lists of raw ids —
+/// all evaluated through the unified [`RankQuery`] engine.
 pub fn table1_answers(db: &IndependentDb, h: usize, k: usize) -> Vec<(&'static str, Vec<u32>)> {
+    let top = |q: RankQuery| {
+        q.run(db)
+            .expect("independent backend supports every semantics")
+            .ranking
+            .top_k_u32(k)
+    };
     vec![
-        ("E-Score", escore_ranking(db).top_k_u32(k)),
-        ("PT(h)", pt_ranking(db, h).top_k_u32(k)),
-        ("U-Rank", urank_topk(db, k).iter().map(|t| t.0).collect()),
-        ("E-Rank", erank_ranking(db).top_k_u32(k)),
+        ("E-Score", top(RankQuery::escore())),
+        ("PT(h)", top(RankQuery::pt(h))),
+        ("U-Rank", top(RankQuery::urank(k))),
+        ("E-Rank", top(RankQuery::erank())),
         (
             "U-Top",
-            utop_topk(db, k)
-                .map(|(set, _)| set.iter().map(|t| t.0).collect())
+            RankQuery::utop(k)
+                .run(db)
+                .ok()
+                .and_then(|r| r.set)
+                .map(|s| s.members.iter().map(|t| t.0).collect())
                 .unwrap_or_default(),
         ),
     ]

@@ -24,8 +24,21 @@
 //!   correlated data modelled by probabilistic and/xor trees ([`tree`]),
 //!   because `Υ = Fⁱ(α)` needs only the generating function's *value*.
 //!
+//! # The unified query engine
+//!
+//! All of the above is reachable through **one entry point**: the
+//! [`query`] module's [`query::RankQuery`] builder pairs a
+//! [`query::Semantics`] (PRFω, PRFe, PT(h), U-Top, U-Rank, E-Rank,
+//! E-Score, Consensus) with an [`query::Algorithm`] (exact
+//! generating functions, log-domain, scaled arithmetic, or the DFT
+//! mixture approximation — or `Auto`) and runs against any
+//! [`query::ProbabilisticRelation`] backend. The per-algorithm free
+//! functions below remain available as the engine's kernels.
+//!
 //! # Module map
 //!
+//! * [`query`] — the unified `RankQuery` engine: one entry point for every
+//!   semantics, backend, and numeric mode;
 //! * [`weights`] — the `ω` families and the [`weights::WeightFunction`]
 //!   trait;
 //! * [`independent`] — Algorithm 1 (IND-PRF-RANK) and the PRFe/PRFω fast
@@ -36,6 +49,8 @@
 //! * [`xtuple`] — `O(n·h·log n)` PRFω(h) on x-tuples by a division-free
 //!   divide-and-conquer over the score sweep;
 //! * [`attribute`] — ranking with uncertain scores (Section 4.4);
+//! * [`mixture`] — DFT-based approximation of PRFω by PRFe mixtures
+//!   (Section 5.1);
 //! * [`spectrum`] — Theorem 4: the single-crossing structure of PRFe
 //!   rankings as `α` sweeps 0→1;
 //! * [`topk`] — turning Υ values into ranked answers.
@@ -44,7 +59,9 @@
 
 pub mod attribute;
 pub mod independent;
+pub mod mixture;
 pub mod parallel;
+pub mod query;
 pub mod spectrum;
 pub mod topk;
 pub mod tree;
@@ -56,7 +73,12 @@ pub use independent::{
     prf_rank, prf_rank_full, prf_rank_truncated, prfe_rank, prfe_rank_log, prfe_rank_scaled,
     rank_distributions,
 };
+pub use mixture::{approximate_weights, DftApproxConfig, ExpMixture};
 pub use parallel::prf_rank_tree_parallel;
+pub use query::{
+    Algorithm, CorrelationClass, EvalReport, NumericMode, ProbabilisticRelation, QueryError,
+    RankQuery, RankedResult, Semantics, TopSet, Values,
+};
 pub use spectrum::{crossing_point, prfe_spectrum, spectrum_endpoints, Crossing};
 pub use topk::{Ranking, ValueOrder};
 pub use tree::{

@@ -1,5 +1,10 @@
 //! DFT-based approximation of PRFω by mixtures of PRFe terms (Section 5.1).
 //!
+//! (Formerly `prf_approx::dft`; it moved here so the unified
+//! [`crate::query`] engine can offer `Algorithm::DftApprox` without a
+//! dependency cycle. `prf-approx` re-exports everything under its old
+//! paths.)
+//!
 //! A weight function `ω(i)` that vanishes beyond rank `N` is approximated by
 //! a linear combination of `L` complex exponentials,
 //! `ω(i) ≈ Σ_l u_l·α_l^i`, which reduces one PRFω evaluation to `L`
@@ -21,7 +26,7 @@
 //!    continuously to `[-bN, 0)` and shifting right moves the boundary away
 //!    from the region of interest.
 
-use prf_core::topk::Ranking;
+use crate::topk::Ranking;
 use prf_numeric::fft::dft;
 use prf_numeric::{Complex, GfValue, Scaled};
 use prf_pdb::{AndXorTree, IndependentDb};
@@ -133,7 +138,7 @@ pub struct ExpMixture {
 /// real part.
 ///
 /// ```
-/// use prf_approx::{approximate_weights, DftApproxConfig};
+/// use prf_core::mixture::{approximate_weights, DftApproxConfig};
 ///
 /// // Approximate the PT(50) step weight by 20 exponentials.
 /// let step = |i: usize| if i < 50 { 1.0 } else { 0.0 };
@@ -321,7 +326,7 @@ impl ExpMixture {
         let mut acc = vec![Scaled::<Complex>::zero(); n];
         for &(u, alpha) in &self.terms {
             let us = Scaled::new(u);
-            let vals = prf_core::independent::prfe_rank_scaled(db, alpha);
+            let vals = crate::independent::prfe_rank_scaled(db, alpha);
             for (a, v) in acc.iter_mut().zip(vals) {
                 *a = a.add(&v.mul(&us));
             }
@@ -336,7 +341,7 @@ impl ExpMixture {
         let mut acc = vec![Scaled::<Complex>::zero(); n];
         for &(u, alpha) in &self.terms {
             let us = Scaled::new(u);
-            let vals = prf_core::tree::prfe_rank_tree_scaled(tree, alpha);
+            let vals = crate::tree::prfe_rank_tree_scaled(tree, alpha);
             for (a, v) in acc.iter_mut().zip(vals) {
                 *a = a.add(&v.mul(&us));
             }
@@ -352,7 +357,7 @@ impl ExpMixture {
             .iter()
             .map(|v| v.real_part_key())
             .collect();
-        Ranking::from_keys_by(&keys, |k| k.sign as f64 * k.log)
+        Ranking::from_keys_by(&keys, |k| k.display())
     }
 
     /// The mixture ranking on an and/xor tree.
@@ -362,7 +367,7 @@ impl ExpMixture {
             .iter()
             .map(|v| v.real_part_key())
             .collect();
-        Ranking::from_keys_by(&keys, |k| k.sign as f64 * k.log)
+        Ranking::from_keys_by(&keys, |k| k.display())
     }
 
     // ------------------------------------------------------------------
@@ -401,16 +406,16 @@ impl ExpMixture {
     pub fn ranking_independent_fast(&self, db: &IndependentDb) -> Ranking {
         Ranking::from_values(
             &self.upsilons_independent_fast(db),
-            prf_core::topk::ValueOrder::RealPart,
+            crate::topk::ValueOrder::RealPart,
         )
     }
 
     /// Plain-complex mixture Υ over an and/xor tree: the score order is
     /// computed once and each term runs one incremental (Algorithm 3) pass.
     pub fn upsilons_tree_fast(&self, tree: &AndXorTree) -> Vec<Complex> {
-        use prf_core::tree::IncrementalGf;
+        use crate::tree::IncrementalGf;
         let n = tree.n_tuples();
-        let (order, _) = prf_core::tree::score_order(tree);
+        let (order, _) = crate::tree::score_order(tree);
         let mut acc = vec![Complex::ZERO; n];
         for &(u, alpha) in &self.terms {
             let mut inc = IncrementalGf::new(tree, [Complex::ONE, Complex::ONE]);
@@ -430,7 +435,7 @@ impl ExpMixture {
     pub fn ranking_tree_fast(&self, tree: &AndXorTree) -> Ranking {
         Ranking::from_values(
             &self.upsilons_tree_fast(tree),
-            prf_core::topk::ValueOrder::RealPart,
+            crate::topk::ValueOrder::RealPart,
         )
     }
 }
@@ -599,8 +604,8 @@ mod tests {
 
     /// Local PT(h) (avoids a circular dev-dependency on prf-baselines).
     fn prf_baselines_pt_topk(db: &IndependentDb, h: usize, k: usize) -> Vec<u32> {
-        let ups = prf_core::independent::prf_rank(db, &prf_core::weights::StepWeight { h });
-        Ranking::from_values(&ups, prf_core::topk::ValueOrder::RealPart).top_k_u32(k)
+        let ups = crate::independent::prf_rank(db, &crate::weights::StepWeight { h });
+        Ranking::from_values(&ups, crate::topk::ValueOrder::RealPart).top_k_u32(k)
     }
 
     #[test]

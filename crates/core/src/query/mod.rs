@@ -1,0 +1,983 @@
+//! The unified ranking query engine: **one entry point for every
+//! semantics, backend, and numeric mode**.
+//!
+//! The paper's central claim is that PT(h), U-Rank, E-Score, E-Rank,
+//! consensus top-k and friends are all instances of one parameterized
+//! ranking function. This module makes the code embody that unification:
+//! a [`RankQuery`] pairs a [`Semantics`] with an [`Algorithm`] and runs
+//! against any [`ProbabilisticRelation`] backend — tuple-independent
+//! relations, probabilistic and/xor trees, or (via `prf-graphical`'s
+//! adapter) junction-tree-correlated relations.
+//!
+//! ```
+//! use prf_core::query::{Algorithm, RankQuery, Semantics};
+//! use prf_pdb::IndependentDb;
+//!
+//! let db = IndependentDb::from_pairs([(100.0, 0.5), (50.0, 1.0), (80.0, 0.8)])?;
+//!
+//! // PT(2): rank by the probability of making the top 2.
+//! let pt = RankQuery::pt(2).run(&db)?;
+//! assert_eq!(pt.ranking.len(), 3);
+//!
+//! // PRFe(0.9), letting the engine pick the numeric mode.
+//! let prfe = RankQuery::prfe(0.9).algorithm(Algorithm::Auto).run(&db)?;
+//! assert_eq!(prfe.report.algorithm, Algorithm::ExactGf); // small n → exact
+//!
+//! // The same query object is reusable across backends.
+//! let q = RankQuery::new(Semantics::ERank);
+//! let tree = prf_pdb::AndXorTree::from_independent(&db);
+//! assert_eq!(q.run(&db)?.ranking.order(), q.run(&tree)?.ranking.order());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Semantics × algorithm compatibility
+//!
+//! | semantics | `ExactGf` | `LogDomain` | `Scaled` | `DftApprox` |
+//! |---|---|---|---|---|
+//! | `Prf(ω)` | ✓ | — | — | ✓ (rank-only ω with a truncation) |
+//! | `Prfe(α)` | ✓ | ✓ (real α ∈ [0, 1]) | ✓ | — |
+//! | `Pt(h)` / `Consensus(k)` | ✓ | — | — | ✓ |
+//! | `UTop(k)` / `URank(k)` / `ERank` / `EScore` | ✓ | — | — | — |
+//!
+//! Incompatible pairs return [`QueryError::IncompatibleAlgorithm`] rather
+//! than silently degrading (`DftApprox` additionally rejects
+//! *tuple-dependent* weight functions, which a PRFe mixture cannot
+//! represent); [`Algorithm::Auto`] (the default) always picks a compatible
+//! member and is exact for every relation with `n ≤ 1024`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use prf_numeric::{Complex, Scaled};
+use prf_pdb::TupleId;
+
+use crate::mixture::{approximate_weights, DftApproxConfig};
+use crate::topk::{Ranking, ValueOrder};
+use crate::weights::{tabulate, StepWeight, WeightFunction};
+
+pub mod kernels;
+mod relation;
+
+pub use relation::{CorrelationClass, ProbabilisticRelation};
+
+/// Largest `n` for which `Auto` keeps PRFe in plain complex arithmetic
+/// (well inside the underflow-free regime for any α).
+const AUTO_PRFE_EXACT_MAX: usize = 1024;
+/// `Auto` switches PT(h)/Consensus(k) on *general* trees to the DFT
+/// mixture approximation beyond this size…
+const AUTO_DFT_MIN_N: usize = 2048;
+/// …and this truncation depth (where the exact `O(n²·h)` expansion is
+/// hopeless and the paper's Figure 11(iii) speed-ups apply).
+const AUTO_DFT_MIN_H: usize = 64;
+/// Mixture size `Auto` uses for the DFT approximation.
+const AUTO_DFT_TERMS: usize = 40;
+
+/// A ranking semantics — every entry of the paper's taxonomy, expressed
+/// through the PRF framework wherever the paper shows it is an instance.
+#[derive(Clone)]
+pub enum Semantics {
+    /// PRFω with an arbitrary weight function `ω(t, i)` (Definition 3).
+    Prf(Arc<dyn WeightFunction + Send + Sync>),
+    /// PRFe(α): `ω(i) = αⁱ` with real or complex `α` (Section 4.3).
+    Prfe(Complex),
+    /// PT(h) / Global-Top-k: `ω(i) = δ(i ≤ h)` (Hua et al.).
+    Pt(usize),
+    /// U-Top: the most probable top-k *set* (Soliman et al.) — the one
+    /// semantics outside the PRF family, kept for completeness.
+    UTop(usize),
+    /// U-Rank with distinct tuples: position `j`'s winner maximises
+    /// `Pr(r(t) = j)` — PRF with `ω(i) = δ(i = j)` per position.
+    URank(usize),
+    /// Expected ranks (Cormode et al.), lower is better; ranked by `−er`.
+    ERank,
+    /// Expected score `p(t)·score(t)` — PRF with `ω(t, i) = score(t)`.
+    EScore,
+    /// Consensus top-k under symmetric difference ≡ PT(k) (Theorem 2).
+    /// For the *weighted* symmetric difference use [`Semantics::Prf`] with
+    /// a [`crate::weights::TabulatedWeight`] (Theorem 3).
+    Consensus(usize),
+}
+
+impl Semantics {
+    /// A short human-readable name (echoed in [`EvalReport`]).
+    pub fn name(&self) -> String {
+        match self {
+            Semantics::Prf(w) => format!("PRFω[{}]", w.name()),
+            Semantics::Prfe(a) => format!("PRFe({a})"),
+            Semantics::Pt(h) => format!("PT({h})"),
+            Semantics::UTop(k) => format!("U-Top({k})"),
+            Semantics::URank(k) => format!("U-Rank({k})"),
+            Semantics::ERank => "E-Rank".into(),
+            Semantics::EScore => "E-Score".into(),
+            Semantics::Consensus(k) => format!("Consensus({k})"),
+        }
+    }
+
+    /// The effective weight function for the weight-based semantics
+    /// (`Prf`, `Pt`, `Consensus`), `None` otherwise.
+    fn weight(&self) -> Option<Arc<dyn WeightFunction + Send + Sync>> {
+        match self {
+            Semantics::Prf(w) => Some(w.clone()),
+            Semantics::Pt(h) => Some(Arc::new(StepWeight { h: *h })),
+            Semantics::Consensus(k) => Some(Arc::new(StepWeight { h: *k })),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Semantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Semantics({})", self.name())
+    }
+}
+
+/// Evaluation strategy selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// Let the engine choose, keyed on `n`, the backend's correlation
+    /// class, and (for PRFe) α. Exact for every relation with `n ≤ 1024`.
+    Auto,
+    /// The exact generating-function algorithms in plain complex
+    /// arithmetic (Algorithms 1–3 of the paper).
+    ExactGf,
+    /// Log-space `f64` evaluation — the cheapest underflow-free mode;
+    /// PRFe with real `α ∈ [0, 1]` only.
+    LogDomain,
+    /// Scaled-complex arithmetic (mantissa + chunked exponent): exact
+    /// ranking keys at any scale, PRFe with any α.
+    Scaled,
+    /// Approximate a truncated rank-only weight function by a mixture of
+    /// PRFe terms via the refined DFT pipeline (Section 5.1), then rank by
+    /// the mixture's real part in scaled arithmetic.
+    DftApprox(DftApproxConfig),
+}
+
+impl Algorithm {
+    /// A short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Auto => "auto",
+            Algorithm::ExactGf => "exact-gf",
+            Algorithm::LogDomain => "log-domain",
+            Algorithm::Scaled => "scaled",
+            Algorithm::DftApprox(_) => "dft-approx",
+        }
+    }
+}
+
+/// The numeric mode a query was evaluated in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumericMode {
+    /// Plain complex (`f64` pairs).
+    Complex,
+    /// `ln Υ` keys in plain `f64`.
+    LogDomain,
+    /// Scaled-complex (mantissa + chunked exponent).
+    Scaled,
+}
+
+/// Per-tuple Υ-like values in the numeric mode the engine evaluated in,
+/// indexed by tuple id.
+#[derive(Clone, Debug)]
+pub enum Values {
+    /// Plain complex Υ values. For `ERank` these hold `−er(t)` (so higher
+    /// is better, like every other semantics); for `URank`/`UTop` they hold
+    /// the winning positional probability / set membership indicator.
+    Complex(Vec<Complex>),
+    /// `ln Υ` keys (`-∞` where `Υ = 0`).
+    LogDomain(Vec<f64>),
+    /// Scaled complex Υ values.
+    Scaled(Vec<Scaled<Complex>>),
+}
+
+impl Values {
+    /// Number of tuples covered.
+    pub fn len(&self) -> usize {
+        match self {
+            Values::Complex(v) => v.len(),
+            Values::LogDomain(v) => v.len(),
+            Values::Scaled(v) => v.len(),
+        }
+    }
+
+    /// `true` when the relation was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The numeric mode of these values.
+    pub fn numeric_mode(&self) -> NumericMode {
+        match self {
+            Values::Complex(_) => NumericMode::Complex,
+            Values::LogDomain(_) => NumericMode::LogDomain,
+            Values::Scaled(_) => NumericMode::Scaled,
+        }
+    }
+
+    /// The plain complex values, when evaluated in that mode.
+    pub fn as_complex(&self) -> Option<&[Complex]> {
+        match self {
+            Values::Complex(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The log-domain keys, when evaluated in that mode.
+    pub fn as_log(&self) -> Option<&[f64]> {
+        match self {
+            Values::LogDomain(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The scaled values, when evaluated in that mode.
+    pub fn as_scaled(&self) -> Option<&[Scaled<Complex>]> {
+        match self {
+            Values::Scaled(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A set-semantics answer (U-Top): the members (score-descending) and the
+/// natural log of the set's probability of being the exact top-k.
+#[derive(Clone, Debug)]
+pub struct TopSet {
+    /// The chosen tuples, best (highest-scored) first.
+    pub members: Vec<TupleId>,
+    /// `ln Pr(members is the exact top-k)`.
+    pub log_prob: f64,
+}
+
+/// What the engine actually did: echoed parameters, resolved choices, and
+/// wall-clock timings.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// Human-readable semantics name.
+    pub semantics: String,
+    /// The backend's correlation class.
+    pub backend: CorrelationClass,
+    /// The algorithm that ran — never [`Algorithm::Auto`].
+    pub algorithm: Algorithm,
+    /// `true` when [`Algorithm::Auto`] made the choice.
+    pub auto_selected: bool,
+    /// The numeric mode of the result values.
+    pub numeric_mode: NumericMode,
+    /// Seconds spent in the backend's evaluation kernels (value
+    /// computation only — ranking construction and bookkeeping excluded).
+    pub kernel_seconds: f64,
+    /// Seconds for the whole query (kernels + ranking + bookkeeping).
+    pub total_seconds: f64,
+    /// The ranking was truncated to this many entries, if requested.
+    pub truncated_to: Option<usize>,
+    /// Worker threads requested for parallel-capable kernels.
+    pub threads: Option<usize>,
+}
+
+/// The answer of a [`RankQuery`]: per-tuple values, the induced ranking,
+/// the set answer for set semantics, and an evaluation report.
+#[derive(Clone, Debug)]
+pub struct RankedResult {
+    /// Per-tuple Υ-like values (indexed by tuple id) in the numeric mode
+    /// the engine chose.
+    pub values: Values,
+    /// The ranking, best first (truncated when `top_k` was requested).
+    pub ranking: Ranking,
+    /// The set answer — `Some` only for [`Semantics::UTop`].
+    pub set: Option<TopSet>,
+    /// What ran, in which mode, and how long it took.
+    pub report: EvalReport,
+}
+
+/// Everything that can go wrong building or running a query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// The semantics has no exact algorithm on this backend.
+    Unsupported {
+        /// The semantics that was requested.
+        semantics: &'static str,
+        /// The backend it was requested on.
+        backend: CorrelationClass,
+    },
+    /// The explicitly selected algorithm cannot evaluate this semantics.
+    IncompatibleAlgorithm {
+        /// The semantics name.
+        semantics: String,
+        /// The algorithm name.
+        algorithm: &'static str,
+    },
+    /// A parameter is outside the algorithm's domain (e.g. log-domain
+    /// PRFe with complex or out-of-range α).
+    InvalidParameter(String),
+    /// A set query (U-Top) has no answer: `k` exceeds the relation or no
+    /// set has positive probability.
+    NoSetAnswer,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Unsupported { semantics, backend } => {
+                write!(
+                    f,
+                    "{semantics} has no exact algorithm on a {backend} backend"
+                )
+            }
+            QueryError::IncompatibleAlgorithm {
+                semantics,
+                algorithm,
+            } => write!(f, "algorithm '{algorithm}' cannot evaluate {semantics}"),
+            QueryError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            QueryError::NoSetAnswer => {
+                write!(f, "no set has positive probability of being the top-k")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Builder-style ranking query: a [`Semantics`], an [`Algorithm`], and
+/// options — run against any [`ProbabilisticRelation`].
+///
+/// ```
+/// use prf_core::query::{Algorithm, RankQuery};
+/// use prf_core::StepWeight;
+/// use prf_pdb::IndependentDb;
+///
+/// let db = IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5)])?;
+/// let result = RankQuery::prf(StepWeight { h: 2 })
+///     .algorithm(Algorithm::ExactGf)
+///     .top_k(2)
+///     .run(&db)?;
+/// assert_eq!(result.ranking.len(), 2);
+/// assert!(result.report.total_seconds >= 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RankQuery {
+    semantics: Semantics,
+    algorithm: Algorithm,
+    top_k: Option<usize>,
+    threads: Option<usize>,
+    value_order: Option<ValueOrder>,
+}
+
+impl RankQuery {
+    /// A query with the given semantics and default options
+    /// ([`Algorithm::Auto`], full ranking, serial).
+    pub fn new(semantics: Semantics) -> Self {
+        RankQuery {
+            semantics,
+            algorithm: Algorithm::Auto,
+            top_k: None,
+            threads: None,
+            value_order: None,
+        }
+    }
+
+    /// PRFω with an arbitrary weight function.
+    pub fn prf(omega: impl WeightFunction + Send + Sync + 'static) -> Self {
+        Self::new(Semantics::Prf(Arc::new(omega)))
+    }
+
+    /// PRFω with a shared weight function.
+    pub fn prf_shared(omega: Arc<dyn WeightFunction + Send + Sync>) -> Self {
+        Self::new(Semantics::Prf(omega))
+    }
+
+    /// PRFe with a real base α.
+    pub fn prfe(alpha: f64) -> Self {
+        Self::new(Semantics::Prfe(Complex::real(alpha)))
+    }
+
+    /// PRFe with a complex base α.
+    pub fn prfe_complex(alpha: Complex) -> Self {
+        Self::new(Semantics::Prfe(alpha))
+    }
+
+    /// PT(h): rank by `Pr(r(t) ≤ h)`.
+    pub fn pt(h: usize) -> Self {
+        Self::new(Semantics::Pt(h))
+    }
+
+    /// U-Top: the most probable top-k set.
+    pub fn utop(k: usize) -> Self {
+        Self::new(Semantics::UTop(k))
+    }
+
+    /// U-Rank: per-position argmax of `Pr(r(t) = i)`, distinct tuples.
+    pub fn urank(k: usize) -> Self {
+        Self::new(Semantics::URank(k))
+    }
+
+    /// Expected ranks (lower is better; ranked by `−er`).
+    pub fn erank() -> Self {
+        Self::new(Semantics::ERank)
+    }
+
+    /// Expected score.
+    pub fn escore() -> Self {
+        Self::new(Semantics::EScore)
+    }
+
+    /// Consensus top-k under symmetric difference (≡ PT(k), Theorem 2).
+    pub fn consensus(k: usize) -> Self {
+        Self::new(Semantics::Consensus(k))
+    }
+
+    /// Selects the evaluation algorithm (default: [`Algorithm::Auto`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Truncates the returned ranking to its best `k` entries.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Requests `threads` workers for parallel-capable kernels (currently
+    /// the general-tree PRFω expansion, via [`crate::parallel`]).
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Overrides how complex/scaled Υ values map to ranking keys
+    /// (default: `|Υ|` for `Prf`/`Prfe` per Definition 3, real part for the
+    /// real-valued classical semantics and DFT mixtures).
+    pub fn value_order(mut self, order: ValueOrder) -> Self {
+        self.value_order = Some(order);
+        self
+    }
+
+    /// The configured semantics.
+    pub fn semantics(&self) -> &Semantics {
+        &self.semantics
+    }
+
+    /// Resolves [`Algorithm::Auto`] against a backend without running the
+    /// query — exposed so callers (and benchmarks) can inspect the
+    /// heuristic's choice.
+    pub fn resolve_algorithm(
+        &self,
+        rel: &(impl ProbabilisticRelation + ?Sized),
+    ) -> Result<Algorithm, QueryError> {
+        let n = rel.n_tuples();
+        let class = rel.correlation_class();
+        if let Algorithm::Auto = self.algorithm {
+            return Ok(match &self.semantics {
+                Semantics::Prfe(alpha) => {
+                    // Graphical backends stay exact: they have no native
+                    // scaled kernel (the trait default merely wraps the
+                    // plain values) and their junction-tree DP bounds
+                    // feasible n far below the underflow regime anyway.
+                    if n <= AUTO_PRFE_EXACT_MAX || class == CorrelationClass::Graphical {
+                        Algorithm::ExactGf
+                    } else if alpha.im == 0.0
+                        && (0.0..=1.0).contains(&alpha.re)
+                        && class == CorrelationClass::Independent
+                    {
+                        Algorithm::LogDomain
+                    } else {
+                        Algorithm::Scaled
+                    }
+                }
+                Semantics::Pt(h) | Semantics::Consensus(h) => {
+                    // The exact expansion on a *general* tree is O(n²·h);
+                    // beyond the thresholds the refined DFT mixture is the
+                    // only practical evaluator (Figure 11(iii)).
+                    if class == CorrelationClass::Tree && n > AUTO_DFT_MIN_N && *h > AUTO_DFT_MIN_H
+                    {
+                        Algorithm::DftApprox(DftApproxConfig::refined(AUTO_DFT_TERMS))
+                    } else {
+                        Algorithm::ExactGf
+                    }
+                }
+                // Generic PRFω may be tuple-dependent, which the DFT
+                // mixture cannot represent — Auto stays exact; callers opt
+                // into DftApprox explicitly for rank-only weights.
+                _ => Algorithm::ExactGf,
+            });
+        }
+        self.validate_compat()?;
+        Ok(self.algorithm)
+    }
+
+    fn validate_compat(&self) -> Result<(), QueryError> {
+        let incompatible = || {
+            Err(QueryError::IncompatibleAlgorithm {
+                semantics: self.semantics.name(),
+                algorithm: self.algorithm.name(),
+            })
+        };
+        match (&self.semantics, &self.algorithm) {
+            (_, Algorithm::Auto) | (_, Algorithm::ExactGf) => Ok(()),
+            (Semantics::Prfe(alpha), Algorithm::LogDomain) => {
+                if alpha.im == 0.0 && (0.0..=1.0).contains(&alpha.re) {
+                    Ok(())
+                } else {
+                    Err(QueryError::InvalidParameter(format!(
+                        "log-domain PRFe requires real α ∈ [0, 1], got {alpha}"
+                    )))
+                }
+            }
+            (Semantics::Prfe(_), Algorithm::Scaled) => Ok(()),
+            (Semantics::Prfe(_), Algorithm::DftApprox(_)) => incompatible(),
+            (sem, Algorithm::DftApprox(_)) => {
+                // Weight-based semantics with a finite truncation horizon.
+                match sem.weight().and_then(|w| w.truncation()) {
+                    Some(h) if h > 0 => Ok(()),
+                    _ => incompatible(),
+                }
+            }
+            _ => incompatible(),
+        }
+    }
+
+    /// Runs the query against a backend.
+    pub fn run(
+        &self,
+        rel: &(impl ProbabilisticRelation + ?Sized),
+    ) -> Result<RankedResult, QueryError> {
+        let total_start = Instant::now();
+        let algorithm = self.resolve_algorithm(rel)?;
+        let auto_selected = matches!(self.algorithm, Algorithm::Auto);
+
+        let mut kernel_seconds = 0.0;
+        let (values, ranking, set) = self.evaluate(rel, algorithm, &mut kernel_seconds)?;
+
+        let mut ranking = ranking;
+        if let Some(k) = self.top_k {
+            ranking.truncate(k);
+        }
+
+        let report = EvalReport {
+            semantics: self.semantics.name(),
+            backend: rel.correlation_class(),
+            algorithm,
+            auto_selected,
+            numeric_mode: values.numeric_mode(),
+            kernel_seconds,
+            total_seconds: total_start.elapsed().as_secs_f64(),
+            truncated_to: self.top_k,
+            threads: self.threads,
+        };
+        Ok(RankedResult {
+            values,
+            ranking,
+            set,
+            report,
+        })
+    }
+
+    /// Evaluation proper: values + full ranking (+ set answer).
+    /// `kernel_seconds` accumulates time spent in the backend's evaluation
+    /// kernels only — ranking construction and bookkeeping are excluded.
+    fn evaluate(
+        &self,
+        rel: &(impl ProbabilisticRelation + ?Sized),
+        algorithm: Algorithm,
+        kernel_seconds: &mut f64,
+    ) -> Result<(Values, Ranking, Option<TopSet>), QueryError> {
+        match &self.semantics {
+            Semantics::Prfe(alpha) => self.evaluate_prfe(rel, algorithm, *alpha, kernel_seconds),
+            Semantics::Prf(_) | Semantics::Pt(_) | Semantics::Consensus(_) => {
+                let omega = self.semantics.weight().expect("weight-based semantics");
+                self.evaluate_weighted(rel, algorithm, &*omega, kernel_seconds)
+            }
+            Semantics::EScore => {
+                // ω(t, i) = score(t) makes Υ = Pr(t)·score(t); evaluate the
+                // closed form directly rather than through the generating
+                // function (O(n) instead of O(n²), bit-identical keys).
+                let vals: Vec<Complex> = timed(kernel_seconds, || {
+                    rel.tuple_marginals()
+                        .iter()
+                        .zip(rel.tuple_scores())
+                        .map(|(&p, s)| Complex::real(p * s))
+                        .collect()
+                });
+                let ranking =
+                    Ranking::from_values(&vals, self.value_order.unwrap_or(ValueOrder::RealPart));
+                Ok((Values::Complex(vals), ranking, None))
+            }
+            Semantics::ERank => {
+                let er = timed(kernel_seconds, || rel.expected_ranks()).ok_or(
+                    QueryError::Unsupported {
+                        semantics: "E-Rank",
+                        backend: rel.correlation_class(),
+                    },
+                )?;
+                // Negated so that — like every other semantics — higher
+                // values rank better.
+                let vals: Vec<Complex> = er.iter().map(|&e| Complex::real(-e)).collect();
+                let keys: Vec<f64> = er.into_iter().map(|e| -e).collect();
+                Ok((Values::Complex(vals), Ranking::from_keys(&keys), None))
+            }
+            Semantics::URank(k) => {
+                let chosen =
+                    timed(kernel_seconds, || rel.positional_candidates(*k)).select_distinct();
+                let mut vals = vec![Complex::ZERO; rel.n_tuples()];
+                for &(p, t) in &chosen {
+                    vals[t.index()] = Complex::real(p);
+                }
+                let (keys, order): (Vec<f64>, Vec<TupleId>) = chosen.into_iter().unzip();
+                Ok((
+                    Values::Complex(vals),
+                    Ranking::from_order_and_keys(order, keys),
+                    None,
+                ))
+            }
+            Semantics::UTop(k) => {
+                let (members, log_prob) = timed(kernel_seconds, || rel.most_probable_topk(*k))?;
+                let scores = rel.tuple_scores();
+                let mut vals = vec![Complex::ZERO; rel.n_tuples()];
+                for &t in &members {
+                    vals[t.index()] = Complex::ONE;
+                }
+                let keys: Vec<f64> = members.iter().map(|t| scores[t.index()]).collect();
+                let ranking = Ranking::from_order_and_keys(members.clone(), keys);
+                Ok((
+                    Values::Complex(vals),
+                    ranking,
+                    Some(TopSet { members, log_prob }),
+                ))
+            }
+        }
+    }
+
+    fn evaluate_prfe(
+        &self,
+        rel: &(impl ProbabilisticRelation + ?Sized),
+        algorithm: Algorithm,
+        alpha: Complex,
+        kernel_seconds: &mut f64,
+    ) -> Result<(Values, Ranking, Option<TopSet>), QueryError> {
+        match algorithm {
+            Algorithm::ExactGf => {
+                let vals = timed(kernel_seconds, || rel.prfe_values(alpha));
+                let ranking =
+                    Ranking::from_values(&vals, self.value_order.unwrap_or(ValueOrder::Magnitude));
+                Ok((Values::Complex(vals), ranking, None))
+            }
+            Algorithm::LogDomain => {
+                let keys = timed(kernel_seconds, || rel.prfe_log_keys(alpha.re));
+                let ranking = Ranking::from_keys(&keys);
+                Ok((Values::LogDomain(keys), ranking, None))
+            }
+            Algorithm::Scaled => {
+                let vals = timed(kernel_seconds, || rel.prfe_values_scaled(alpha));
+                let ranking = self.rank_scaled(&vals, ValueOrder::Magnitude);
+                Ok((Values::Scaled(vals), ranking, None))
+            }
+            Algorithm::Auto | Algorithm::DftApprox(_) => unreachable!("resolved before evaluate"),
+        }
+    }
+
+    fn evaluate_weighted(
+        &self,
+        rel: &(impl ProbabilisticRelation + ?Sized),
+        algorithm: Algorithm,
+        omega: &(dyn WeightFunction + Send + Sync),
+        kernel_seconds: &mut f64,
+    ) -> Result<(Values, Ranking, Option<TopSet>), QueryError> {
+        match algorithm {
+            Algorithm::ExactGf => {
+                let vals = timed(kernel_seconds, || rel.prf_values(omega, self.threads));
+                let default_order = match self.semantics {
+                    // The classical real-valued semantics rank by the real
+                    // part (identical to |Υ| for their non-negative values,
+                    // and bitwise-stable for differential comparisons).
+                    Semantics::Pt(_) | Semantics::Consensus(_) => ValueOrder::RealPart,
+                    _ => ValueOrder::Magnitude,
+                };
+                let ranking =
+                    Ranking::from_values(&vals, self.value_order.unwrap_or(default_order));
+                Ok((Values::Complex(vals), ranking, None))
+            }
+            Algorithm::DftApprox(cfg) => {
+                let h = omega.truncation().expect("validated: truncated weight");
+                // The mixture can only represent *rank-only* weights. Probe
+                // ω with two distinct tuples and reject tuple-dependent
+                // weight functions instead of silently tabulating through
+                // one representative (which would zero out e.g. a
+                // score-proportional ω).
+                let probe_a = prf_pdb::Tuple {
+                    id: TupleId(0),
+                    score: 0.0,
+                    prob: 1.0,
+                };
+                let probe_b = prf_pdb::Tuple {
+                    id: TupleId(1),
+                    score: 1.0,
+                    prob: 0.5,
+                };
+                if (1..=h).any(|i| omega.weight(&probe_a, i) != omega.weight(&probe_b, i)) {
+                    return Err(QueryError::InvalidParameter(format!(
+                        "DftApprox requires a rank-only weight function; {} depends on the tuple",
+                        omega.name()
+                    )));
+                }
+                let vals = timed(kernel_seconds, || {
+                    let tab: Vec<f64> = tabulate(omega, h).iter().map(|w| w.re).collect();
+                    let mix = approximate_weights(&|i| tab.get(i).copied().unwrap_or(0.0), h, &cfg);
+                    rel.mixture_values(&mix)
+                });
+                let ranking = self.rank_scaled(&vals, ValueOrder::RealPart);
+                Ok((Values::Scaled(vals), ranking, None))
+            }
+            Algorithm::Auto | Algorithm::LogDomain | Algorithm::Scaled => {
+                unreachable!("resolved before evaluate")
+            }
+        }
+    }
+
+    fn rank_scaled(&self, vals: &[Scaled<Complex>], default_order: ValueOrder) -> Ranking {
+        match self.value_order.unwrap_or(default_order) {
+            ValueOrder::Magnitude => {
+                let keys: Vec<f64> = vals.iter().map(|v| v.magnitude_key()).collect();
+                Ranking::from_keys(&keys)
+            }
+            ValueOrder::RealPart => {
+                let keys: Vec<_> = vals.iter().map(|v| v.real_part_key()).collect();
+                Ranking::from_keys_by(&keys, |k| k.display())
+            }
+        }
+    }
+}
+
+/// Accumulates the wall-clock cost of `f` into `acc` and returns its
+/// result — the kernel-timing primitive of [`EvalReport::kernel_seconds`].
+fn timed<R>(acc: &mut f64, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let out = f();
+    *acc += start.elapsed().as_secs_f64();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{ExponentialWeight, TabulatedWeight};
+    use prf_pdb::{AndXorTree, IndependentDb};
+
+    fn db() -> IndependentDb {
+        IndependentDb::from_pairs([
+            (10.0, 0.4),
+            (9.0, 0.45),
+            (8.0, 0.8),
+            (7.0, 0.95),
+            (6.0, 0.3),
+            (5.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn pt_query_matches_direct_prf() {
+        let db = db();
+        let direct = crate::independent::prf_rank(&db, &StepWeight { h: 2 });
+        let result = RankQuery::pt(2).run(&db).unwrap();
+        assert_eq!(result.values.as_complex().unwrap(), &direct[..]);
+        assert_eq!(result.report.numeric_mode, NumericMode::Complex);
+        assert!(result.report.auto_selected);
+        assert_eq!(result.report.algorithm, Algorithm::ExactGf);
+    }
+
+    #[test]
+    fn consensus_equals_pt() {
+        let db = db();
+        let pt = RankQuery::pt(3).run(&db).unwrap();
+        let cons = RankQuery::consensus(3).run(&db).unwrap();
+        assert_eq!(pt.ranking.order(), cons.ranking.order());
+    }
+
+    #[test]
+    fn prfe_modes_agree_on_ranking() {
+        let db = db();
+        let exact = RankQuery::prfe(0.8)
+            .algorithm(Algorithm::ExactGf)
+            .run(&db)
+            .unwrap();
+        let log = RankQuery::prfe(0.8)
+            .algorithm(Algorithm::LogDomain)
+            .run(&db)
+            .unwrap();
+        let scaled = RankQuery::prfe(0.8)
+            .algorithm(Algorithm::Scaled)
+            .run(&db)
+            .unwrap();
+        assert_eq!(exact.ranking.order(), log.ranking.order());
+        assert_eq!(exact.ranking.order(), scaled.ranking.order());
+        assert_eq!(log.report.numeric_mode, NumericMode::LogDomain);
+        assert_eq!(scaled.report.numeric_mode, NumericMode::Scaled);
+    }
+
+    #[test]
+    fn top_k_truncates_ranking_and_reports() {
+        let db = db();
+        let r = RankQuery::escore().top_k(2).run(&db).unwrap();
+        assert_eq!(r.ranking.len(), 2);
+        assert_eq!(r.report.truncated_to, Some(2));
+        assert_eq!(r.values.len(), db.len()); // values stay complete
+    }
+
+    #[test]
+    fn utop_carries_set_answer() {
+        let db = db();
+        let r = RankQuery::utop(2).run(&db).unwrap();
+        let set = r.set.expect("set semantics");
+        assert_eq!(set.members.len(), 2);
+        assert_eq!(r.ranking.order(), &set.members[..]);
+        assert!(set.log_prob <= 0.0);
+        // k > n has no answer.
+        assert_eq!(
+            RankQuery::utop(99).run(&db).unwrap_err(),
+            QueryError::NoSetAnswer
+        );
+    }
+
+    #[test]
+    fn urank_orders_by_position() {
+        let db = db();
+        let r = RankQuery::urank(3).run(&db).unwrap();
+        assert_eq!(r.ranking.len(), 3);
+        // Every selected tuple's value is its winning positional
+        // probability.
+        for (pos, &t) in r.ranking.order().iter().enumerate() {
+            let v = r.values.as_complex().unwrap()[t.index()];
+            assert!((v.re - r.ranking.key_at(pos)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn incompatible_combinations_error() {
+        let db = db();
+        let err = RankQuery::pt(2)
+            .algorithm(Algorithm::LogDomain)
+            .run(&db)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::IncompatibleAlgorithm { .. }));
+        let err = RankQuery::prfe_complex(Complex::new(0.5, 0.5))
+            .algorithm(Algorithm::LogDomain)
+            .run(&db)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidParameter(_)));
+        let err = RankQuery::erank()
+            .algorithm(Algorithm::Scaled)
+            .run(&db)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::IncompatibleAlgorithm { .. }));
+        let err = RankQuery::prfe(0.5)
+            .algorithm(Algorithm::DftApprox(DftApproxConfig::refined(8)))
+            .run(&db)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::IncompatibleAlgorithm { .. }));
+    }
+
+    #[test]
+    fn dft_approx_rejects_tuple_dependent_weights() {
+        // ω(t, i) = score(t) for i ≤ h is truncated but tuple-dependent —
+        // a PRFe mixture cannot represent it, so the engine must error
+        // instead of silently tabulating zeros through a dummy tuple.
+        let db = db();
+        let err = RankQuery::prf(crate::weights::TopScoreWeight)
+            .algorithm(Algorithm::DftApprox(DftApproxConfig::refined(8)))
+            .run(&db)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidParameter(_)), "{err}");
+        // Rank-only truncated weights pass the probe.
+        RankQuery::pt(3)
+            .algorithm(Algorithm::DftApprox(DftApproxConfig::refined(8)))
+            .run(&db)
+            .unwrap();
+    }
+
+    #[test]
+    fn kernel_time_excludes_ranking_and_is_bounded_by_total() {
+        let db = db();
+        let r = RankQuery::pt(2).run(&db).unwrap();
+        assert!(r.report.kernel_seconds >= 0.0);
+        assert!(r.report.kernel_seconds <= r.report.total_seconds);
+    }
+
+    #[test]
+    fn auto_picks_log_domain_for_large_independent_prfe() {
+        let db = IndependentDb::from_pairs(
+            (0..2000).map(|i| ((2000 - i) as f64, 0.3 + 0.4 * ((i % 7) as f64 / 7.0))),
+        )
+        .unwrap();
+        let q = RankQuery::prfe(0.5);
+        assert_eq!(q.resolve_algorithm(&db).unwrap(), Algorithm::LogDomain);
+        // Complex α cannot use the log domain.
+        let q = RankQuery::prfe_complex(Complex::new(0.4, 0.3));
+        assert_eq!(q.resolve_algorithm(&db).unwrap(), Algorithm::Scaled);
+    }
+
+    #[test]
+    fn auto_picks_dft_for_deep_pt_on_general_trees() {
+        // A correlation-class probe is enough — resolve without running.
+        let tree = figure_tree();
+        assert_eq!(
+            ProbabilisticRelation::correlation_class(&tree),
+            CorrelationClass::Tree
+        );
+        // Small tree: stays exact.
+        assert_eq!(
+            RankQuery::pt(100).resolve_algorithm(&tree).unwrap(),
+            Algorithm::ExactGf
+        );
+    }
+
+    /// A small tree that is *not* in x-tuple form (nested ∧ under ∨).
+    fn figure_tree() -> AndXorTree {
+        use prf_pdb::{NodeKind, TreeBuilder};
+        let mut b = TreeBuilder::new(NodeKind::Xor);
+        let root = b.root();
+        let a = b.add_inner(root, NodeKind::And, 0.6).unwrap();
+        b.add_leaf(a, 1.0, 10.0).unwrap();
+        b.add_leaf(a, 1.0, 9.0).unwrap();
+        b.add_leaf(root, 0.4, 8.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn weighted_consensus_via_prf_matches_tabulated_direct() {
+        let db = db();
+        let w = TabulatedWeight::from_real(&[2.0, 1.0, 0.5]);
+        let direct = crate::independent::prf_rank(&db, &w);
+        let r = RankQuery::prf(w)
+            .value_order(ValueOrder::RealPart)
+            .run(&db)
+            .unwrap();
+        assert_eq!(r.values.as_complex().unwrap(), &direct[..]);
+    }
+
+    #[test]
+    fn prf_exponential_weight_equals_prfe() {
+        let db = db();
+        let via_prf = RankQuery::prf(ExponentialWeight::real(0.7))
+            .run(&db)
+            .unwrap();
+        let via_prfe = RankQuery::prfe(0.7)
+            .algorithm(Algorithm::ExactGf)
+            .run(&db)
+            .unwrap();
+        let a = via_prf.values.as_complex().unwrap();
+        let b = via_prfe.values.as_complex().unwrap();
+        for t in 0..db.len() {
+            assert!(a[t].approx_eq(b[t], 1e-10), "t{t}");
+        }
+        assert_eq!(via_prf.ranking.order(), via_prfe.ranking.order());
+    }
+
+    #[test]
+    fn empty_relation() {
+        let db = IndependentDb::from_pairs(std::iter::empty::<(f64, f64)>()).unwrap();
+        let r = RankQuery::prfe(0.5).run(&db).unwrap();
+        assert!(r.values.is_empty());
+        assert!(r.ranking.is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! The backend abstraction of the unified query engine.
+//!
+//! A [`ProbabilisticRelation`] is anything the engine can rank: it exposes
+//! the scored-tuple view plus the evaluation primitives each numeric mode
+//! needs. `prf-core` implements it for [`IndependentDb`] and [`AndXorTree`];
+//! `prf-graphical` implements it for junction-tree-correlated relations via
+//! its `NetworkRelation` ranking adapter.
+
+use prf_numeric::{Complex, GfValue, Scaled};
+use prf_pdb::{AndXorTree, IndependentDb, TupleId};
+
+use super::kernels;
+use super::QueryError;
+use crate::mixture::ExpMixture;
+use crate::weights::{PositionWeight, WeightFunction};
+
+/// How the tuples of a relation may be correlated — drives the `Auto`
+/// algorithm heuristic and is echoed in the evaluation report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorrelationClass {
+    /// Fully independent tuples.
+    Independent,
+    /// X-tuples: mutually exclusive groups, independent across groups
+    /// (height-2 and/xor trees).
+    XTuple,
+    /// A general probabilistic and/xor tree.
+    Tree,
+    /// Arbitrary correlations through a graphical model.
+    Graphical,
+}
+
+impl std::fmt::Display for CorrelationClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CorrelationClass::Independent => "independent",
+            CorrelationClass::XTuple => "x-tuple",
+            CorrelationClass::Tree => "and/xor tree",
+            CorrelationClass::Graphical => "graphical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// World-count budget for the exact enumerated U-Top path on correlated
+/// backends; beyond it the query reports `Unsupported`.
+const UTOP_WORLD_LIMIT: usize = 1 << 20;
+
+/// A probabilistic relation the [`super::RankQuery`] engine can evaluate.
+///
+/// Required methods cover the PRF family (every semantics of
+/// [`super::Semantics`] reduces to them or to the optional hooks); the
+/// provided defaults implement the remaining numeric modes and semantics in
+/// terms of the required ones, so a minimal backend (like `prf-graphical`'s
+/// adapter) only supplies exact PRFω/PRFe evaluation.
+pub trait ProbabilisticRelation {
+    /// Number of tuples.
+    fn n_tuples(&self) -> usize;
+
+    /// Tuple scores, indexed by tuple id.
+    fn tuple_scores(&self) -> Vec<f64>;
+
+    /// Tuple existence marginals `Pr(t ∈ pw)`, indexed by tuple id.
+    fn tuple_marginals(&self) -> Vec<f64>;
+
+    /// The correlation structure of this backend.
+    fn correlation_class(&self) -> CorrelationClass;
+
+    /// Exact PRF values `Υ_ω(t)` for every tuple (indexed by tuple id).
+    /// `threads` requests data-parallel evaluation where the backend
+    /// supports it (currently the general-tree expansion); backends are free
+    /// to ignore it.
+    fn prf_values(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        threads: Option<usize>,
+    ) -> Vec<Complex>;
+
+    /// Exact PRFe(α) values in plain complex arithmetic.
+    fn prfe_values(&self, alpha: Complex) -> Vec<Complex>;
+
+    /// PRFe(α) in scaled arithmetic (immune to underflow at any scale).
+    /// The default wraps the plain values and therefore inherits their
+    /// underflow — backends whose plain kernels underflow at scale must
+    /// override. (`Algorithm::Auto` only selects `Scaled` for the
+    /// Independent/XTuple/Tree classes, whose built-in backends override
+    /// with genuinely scaled kernels; explicit `Scaled` on a minimal
+    /// backend gives plain-complex precision.)
+    fn prfe_values_scaled(&self, alpha: Complex) -> Vec<Scaled<Complex>> {
+        self.prfe_values(alpha)
+            .into_iter()
+            .map(Scaled::new)
+            .collect()
+    }
+
+    /// Log-domain PRFe ranking keys (`ln Υ`) for real `α ∈ [0, 1]`; `-∞`
+    /// for tuples with `Υ = 0`. The default derives them from the scaled
+    /// values' log₂ magnitudes.
+    fn prfe_log_keys(&self, alpha: f64) -> Vec<f64> {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "log-domain PRFe requires α ∈ [0, 1], got {alpha}"
+        );
+        self.prfe_values_scaled(Complex::real(alpha))
+            .iter()
+            .map(|v| v.magnitude_key() * std::f64::consts::LN_2)
+            .collect()
+    }
+
+    /// Scaled Υ values of a PRFe mixture: `Υ(t) = Σ_l u_l·Υ_{PRFe(α_l)}(t)`.
+    /// Backends get this for free on top of [`Self::prfe_values_scaled`]
+    /// (it is the same accumulation `ExpMixture::upsilons_*` performs, so
+    /// no override is needed).
+    fn mixture_values(&self, mix: &ExpMixture) -> Vec<Scaled<Complex>> {
+        let mut acc = vec![Scaled::<Complex>::zero(); self.n_tuples()];
+        for &(u, alpha) in &mix.terms {
+            let us = Scaled::new(u);
+            let vals = self.prfe_values_scaled(alpha);
+            for (a, v) in acc.iter_mut().zip(vals) {
+                *a = a.add(&v.mul(&us));
+            }
+        }
+        acc
+    }
+
+    /// Expected ranks (lower is better), or `None` when the backend has no
+    /// exact expected-rank algorithm.
+    fn expected_ranks(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// The most probable top-k *set* (score-descending members, ln
+    /// probability). `Err(Unsupported)` when the backend has no exact
+    /// algorithm; `Err(NoSetAnswer)` when `k` exceeds the relation or no
+    /// set has positive probability.
+    fn most_probable_topk(&self, k: usize) -> Result<(Vec<TupleId>, f64), QueryError> {
+        let _ = k;
+        Err(QueryError::Unsupported {
+            semantics: "U-Top",
+            backend: self.correlation_class(),
+        })
+    }
+
+    /// Bounded per-position candidate lists `Pr(r(t) = j)` for `j ≤ k` —
+    /// the substrate of U-Rank. The default runs `k` PRF passes with the
+    /// position-indicator weight `ω(i) = δ(i = j)` (the paper's reduction);
+    /// backends override with single-pass kernels.
+    fn positional_candidates(&self, k: usize) -> kernels::PositionalCandidates {
+        let mut table = kernels::PositionalCandidates::new(k);
+        for j in 1..=k {
+            let vals = self.prf_values(&PositionWeight { j }, None);
+            for (t, v) in vals.iter().enumerate() {
+                table.push(j - 1, v.re, TupleId(t as u32));
+            }
+        }
+        table
+    }
+}
+
+impl ProbabilisticRelation for IndependentDb {
+    fn n_tuples(&self) -> usize {
+        self.len()
+    }
+
+    fn tuple_scores(&self) -> Vec<f64> {
+        self.scores()
+    }
+
+    fn tuple_marginals(&self) -> Vec<f64> {
+        self.probabilities()
+    }
+
+    fn correlation_class(&self) -> CorrelationClass {
+        CorrelationClass::Independent
+    }
+
+    fn prf_values(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        _threads: Option<usize>,
+    ) -> Vec<Complex> {
+        crate::independent::prf_rank(self, omega)
+    }
+
+    fn prfe_values(&self, alpha: Complex) -> Vec<Complex> {
+        crate::independent::prfe_rank(self, alpha)
+    }
+
+    fn prfe_values_scaled(&self, alpha: Complex) -> Vec<Scaled<Complex>> {
+        crate::independent::prfe_rank_scaled(self, alpha)
+    }
+
+    fn prfe_log_keys(&self, alpha: f64) -> Vec<f64> {
+        crate::independent::prfe_rank_log(self, alpha)
+    }
+
+    fn expected_ranks(&self) -> Option<Vec<f64>> {
+        Some(kernels::expected_ranks_independent(self))
+    }
+
+    fn most_probable_topk(&self, k: usize) -> Result<(Vec<TupleId>, f64), QueryError> {
+        kernels::most_probable_topk_independent(self, k).ok_or(QueryError::NoSetAnswer)
+    }
+
+    fn positional_candidates(&self, k: usize) -> kernels::PositionalCandidates {
+        kernels::positional_candidates_independent(self, k)
+    }
+}
+
+impl ProbabilisticRelation for AndXorTree {
+    fn n_tuples(&self) -> usize {
+        AndXorTree::n_tuples(self)
+    }
+
+    fn tuple_scores(&self) -> Vec<f64> {
+        AndXorTree::scores(self).to_vec()
+    }
+
+    fn tuple_marginals(&self) -> Vec<f64> {
+        self.marginals()
+    }
+
+    fn correlation_class(&self) -> CorrelationClass {
+        if self.x_tuple_groups().is_some() {
+            CorrelationClass::XTuple
+        } else {
+            CorrelationClass::Tree
+        }
+    }
+
+    fn prf_values(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        threads: Option<usize>,
+    ) -> Vec<Complex> {
+        // Priority: the O(n·h·log n) x-tuple fast path (when truncated and
+        // applicable), then the explicitly requested parallel expansion,
+        // then the serial symbolic expansion.
+        if omega.truncation().is_some() {
+            if let Some(v) = crate::xtuple::prf_omega_rank_xtuple(self, omega) {
+                return v;
+            }
+        }
+        match threads {
+            Some(t) if t > 1 => crate::parallel::prf_rank_tree_parallel(self, omega, t),
+            _ => crate::tree::prf_rank_tree(self, omega),
+        }
+    }
+
+    fn prfe_values(&self, alpha: Complex) -> Vec<Complex> {
+        crate::tree::prfe_rank_tree(self, alpha)
+    }
+
+    fn prfe_values_scaled(&self, alpha: Complex) -> Vec<Scaled<Complex>> {
+        crate::tree::prfe_rank_tree_scaled(self, alpha)
+    }
+
+    fn expected_ranks(&self) -> Option<Vec<f64>> {
+        Some(crate::tree::expected_ranks_tree(self))
+    }
+
+    fn most_probable_topk(&self, k: usize) -> Result<(Vec<TupleId>, f64), QueryError> {
+        if k == 0 || k > AndXorTree::n_tuples(self) {
+            return Err(QueryError::NoSetAnswer);
+        }
+        let worlds =
+            self.enumerate_worlds(UTOP_WORLD_LIMIT)
+                .map_err(|_| QueryError::Unsupported {
+                    semantics: "U-Top (exact enumeration exceeds the world budget)",
+                    backend: self.correlation_class(),
+                })?;
+        kernels::most_probable_topk_enumerated(&worlds, AndXorTree::scores(self), k)
+            .ok_or(QueryError::NoSetAnswer)
+    }
+
+    fn positional_candidates(&self, k: usize) -> kernels::PositionalCandidates {
+        kernels::positional_candidates_tree(self, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::StepWeight;
+
+    #[test]
+    fn backends_report_their_class() {
+        let db = IndependentDb::from_pairs([(10.0, 0.5), (5.0, 0.4)]).unwrap();
+        assert_eq!(db.correlation_class(), CorrelationClass::Independent);
+        let xt = AndXorTree::from_x_tuples(&[vec![(10.0, 0.5), (5.0, 0.4)]]).unwrap();
+        assert_eq!(
+            ProbabilisticRelation::correlation_class(&xt),
+            CorrelationClass::XTuple
+        );
+    }
+
+    #[test]
+    fn trait_and_inherent_views_agree() {
+        let db = IndependentDb::from_pairs([(10.0, 0.5), (5.0, 0.4), (1.0, 1.0)]).unwrap();
+        assert_eq!(ProbabilisticRelation::n_tuples(&db), 3);
+        assert_eq!(db.tuple_scores(), vec![10.0, 5.0, 1.0]);
+        let direct = crate::independent::prf_rank(&db, &StepWeight { h: 2 });
+        let via_trait = ProbabilisticRelation::prf_values(&db, &StepWeight { h: 2 }, None);
+        assert_eq!(direct, via_trait);
+    }
+
+    #[test]
+    fn default_positional_candidates_match_specialised() {
+        let db = IndependentDb::from_pairs([
+            (10.0, 0.4),
+            (9.0, 0.45),
+            (8.0, 0.8),
+            (7.0, 0.95),
+            (6.0, 0.3),
+        ])
+        .unwrap();
+        // Compare the k-pass default against the single-pass kernel.
+        struct Generic<'a>(&'a IndependentDb);
+        impl ProbabilisticRelation for Generic<'_> {
+            fn n_tuples(&self) -> usize {
+                self.0.len()
+            }
+            fn tuple_scores(&self) -> Vec<f64> {
+                self.0.scores()
+            }
+            fn tuple_marginals(&self) -> Vec<f64> {
+                self.0.probabilities()
+            }
+            fn correlation_class(&self) -> CorrelationClass {
+                CorrelationClass::Graphical
+            }
+            fn prf_values(
+                &self,
+                omega: &(dyn WeightFunction + Sync),
+                threads: Option<usize>,
+            ) -> Vec<Complex> {
+                self.0.prf_values(omega, threads)
+            }
+            fn prfe_values(&self, alpha: Complex) -> Vec<Complex> {
+                self.0.prfe_values(alpha)
+            }
+        }
+        for k in [1usize, 3, 5] {
+            let fast = db.positional_candidates(k).select_distinct();
+            let slow = Generic(&db).positional_candidates(k).select_distinct();
+            assert_eq!(
+                fast.iter().map(|c| c.1).collect::<Vec<_>>(),
+                slow.iter().map(|c| c.1).collect::<Vec<_>>(),
+                "k={k}"
+            );
+        }
+    }
+}

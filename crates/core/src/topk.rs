@@ -84,6 +84,29 @@ impl Ranking {
         }
     }
 
+    /// Builds a ranking from an explicit order and per-position keys —
+    /// used by semantics whose answer is *constructed* rather than sorted
+    /// (U-Rank's per-position argmax, U-Top's most probable set), where the
+    /// keys need not be monotone along the order.
+    ///
+    /// # Panics
+    /// Panics if `order` and `keys` have different lengths.
+    pub fn from_order_and_keys(order: Vec<TupleId>, keys: Vec<f64>) -> Self {
+        assert_eq!(
+            order.len(),
+            keys.len(),
+            "order and keys must be parallel vectors"
+        );
+        Ranking { order, keys }
+    }
+
+    /// Truncates the ranking to its best `k` entries (no-op when `k` is
+    /// not smaller than the current length).
+    pub fn truncate(&mut self, k: usize) {
+        self.order.truncate(k);
+        self.keys.truncate(k);
+    }
+
     /// The full order, best first.
     pub fn order(&self) -> &[TupleId] {
         &self.order

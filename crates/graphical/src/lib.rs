@@ -11,8 +11,10 @@
 //! * [`junction`] — Hugin calibration and evidence conditioning,
 //! * [`markov`] — the `O(n³)` Markov-chain specialisation (Section 9.3),
 //! * [`rank`] — the bounded-treewidth partial-sum dynamic program
-//!   (Section 9.4) computing `Pr(r(t) = j)` in `O(n⁴·2^tw)`, and PRF
-//!   evaluation on top of it.
+//!   (Section 9.4) computing `Pr(r(t) = j)` in `O(n⁴·2^tw)`, PRF
+//!   evaluation on top of it, and the [`NetworkRelation`] adapter that
+//!   plugs junction-tree-correlated relations into the unified
+//!   [`prf_core::query::RankQuery`] engine.
 //!
 //! The and/xor-tree algorithms of `prf-core` are *not* subsumed by this
 //! crate: an and/xor tree's moralised graph can have unbounded treewidth,
@@ -32,5 +34,5 @@ pub use markov::MarkovChain;
 pub use network::MarkovNetwork;
 pub use rank::{
     prf_rank_junction, prf_rank_markov_chain, rank_distributions_junction,
-    rank_distributions_network, sum_distribution,
+    rank_distributions_network, sum_distribution, NetworkRelation,
 };

@@ -219,6 +219,104 @@ pub fn prf_rank_markov_chain(
     upsilons_from_dists(&dists, scores, omega)
 }
 
+/// The ranking adapter plugging junction-tree-correlated relations into the
+/// unified query engine: a calibrated [`JunctionTree`] over the
+/// tuple-existence indicators plus the tuple scores.
+///
+/// Implements [`prf_core::query::ProbabilisticRelation`], so any PRFω/PRFe
+/// [`prf_core::query::RankQuery`] runs on it unchanged; positional
+/// probabilities come from the Section 9.4 partial-sum dynamic program.
+/// The set semantics (U-Top) and E-Rank have no exact junction-tree
+/// algorithm here and report `Unsupported`.
+///
+/// ```
+/// use prf_core::query::RankQuery;
+/// use prf_graphical::{Factor, MarkovNetwork, NetworkRelation, VarId};
+///
+/// // Two positively correlated tuples and an independent third.
+/// let net = MarkovNetwork::new(
+///     3,
+///     vec![
+///         Factor::new(vec![VarId(0), VarId(1)], vec![0.3, 0.1, 0.1, 0.5]),
+///         Factor::new(vec![VarId(2)], vec![0.4, 0.6]),
+///     ],
+/// );
+/// let rel = NetworkRelation::new(&net, vec![30.0, 20.0, 10.0]);
+/// let result = RankQuery::pt(2).run(&rel)?;
+/// assert_eq!(result.ranking.len(), 3);
+/// # Ok::<(), prf_core::query::QueryError>(())
+/// ```
+pub struct NetworkRelation {
+    jt: JunctionTree,
+    scores: Vec<f64>,
+}
+
+impl NetworkRelation {
+    /// Builds the adapter from a Markov network (constructs and calibrates
+    /// the junction tree) and per-tuple scores.
+    ///
+    /// # Panics
+    /// Panics when `scores` does not have one entry per network variable.
+    pub fn new(net: &MarkovNetwork, scores: Vec<f64>) -> Self {
+        Self::from_junction(net.junction_tree(), scores)
+    }
+
+    /// Builds the adapter from an already calibrated junction tree.
+    ///
+    /// # Panics
+    /// Panics when `scores` does not have one entry per variable.
+    pub fn from_junction(jt: JunctionTree, scores: Vec<f64>) -> Self {
+        assert_eq!(jt.n_vars(), scores.len(), "one score per tuple variable");
+        NetworkRelation { jt, scores }
+    }
+
+    /// The underlying calibrated junction tree.
+    pub fn junction_tree(&self) -> &JunctionTree {
+        &self.jt
+    }
+
+    /// Positional probabilities `Pr(r(t) = j)` for every tuple.
+    pub fn rank_distributions(&self) -> Vec<Vec<f64>> {
+        rank_distributions_junction(&self.jt, &self.scores)
+    }
+}
+
+impl prf_core::query::ProbabilisticRelation for NetworkRelation {
+    fn n_tuples(&self) -> usize {
+        self.scores.len()
+    }
+
+    fn tuple_scores(&self) -> Vec<f64> {
+        self.scores.clone()
+    }
+
+    fn tuple_marginals(&self) -> Vec<f64> {
+        (0..self.scores.len())
+            .map(|t| self.jt.marginal(VarId(t as u32)))
+            .collect()
+    }
+
+    fn correlation_class(&self) -> prf_core::query::CorrelationClass {
+        prf_core::query::CorrelationClass::Graphical
+    }
+
+    fn prf_values(
+        &self,
+        omega: &(dyn prf_core::weights::WeightFunction + Sync),
+        _threads: Option<usize>,
+    ) -> Vec<Complex> {
+        prf_rank_junction(&self.jt, &self.scores, omega)
+    }
+
+    fn prfe_values(&self, alpha: Complex) -> Vec<Complex> {
+        prf_rank_junction(
+            &self.jt,
+            &self.scores,
+            &prf_core::weights::ExponentialWeight { alpha },
+        )
+    }
+}
+
 fn upsilons_from_dists(
     dists: &[Vec<f64>],
     scores: &[f64],

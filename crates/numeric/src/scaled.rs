@@ -154,6 +154,27 @@ pub struct SignedLogKey {
     pub log: f64,
 }
 
+impl SignedLogKey {
+    /// A strictly monotone, *bounded* `f64` projection of the key, suitable
+    /// for display and reporting (e.g. `Ranking::key_at`): it preserves the
+    /// key's total order across all three sign classes — negatives land in
+    /// `(−3, −1)`, zero at `0`, positives in `(1, 3)` — but is **not** a
+    /// magnitude; the underlying value may be far outside `f64` range.
+    ///
+    /// (A naive `sign · log` projection is wrong: for negatives `log` is
+    /// already `−log₂|v|`, so the product collapses both signs onto
+    /// `log₂|v|`.)
+    pub fn display(self) -> f64 {
+        // x ↦ x/(1+|x|) squashes ℝ monotonically into (−1, 1).
+        let squash = self.log / (1.0 + self.log.abs());
+        match self.sign.cmp(&0) {
+            std::cmp::Ordering::Greater => 2.0 + squash,
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Less => -2.0 + squash,
+        }
+    }
+}
+
 impl Scaled<f64> {
     /// A strictly monotone key for ordering by *signed* value across the full
     /// scaled range: positive values compare above zero, larger magnitudes
@@ -351,6 +372,26 @@ mod tests {
         let a = Scaled::new(-8.0f64).signed_log_key();
         let b = Scaled::new(-8.000001f64).signed_log_key();
         assert!(b < a);
+    }
+
+    #[test]
+    fn display_projection_is_monotone_and_bounded() {
+        let values = [-1e200f64, -8.0, -0.25, 0.0, 1e-200, 0.25, 3.0, 1e200];
+        let displays: Vec<f64> = values
+            .iter()
+            .map(|&v| Scaled::new(v).signed_log_key().display())
+            .collect();
+        for w in displays.windows(2) {
+            assert!(w[0] < w[1], "{w:?} must be strictly increasing");
+        }
+        for d in &displays {
+            assert!(d.is_finite() && d.abs() < 3.0);
+        }
+        // The naive sign·log projection would collapse ±x onto one value;
+        // display keeps them apart and on the right sides of zero.
+        let neg = Scaled::new(-0.25f64).signed_log_key().display();
+        let pos = Scaled::new(0.25f64).signed_log_key().display();
+        assert!(neg < 0.0 && pos > 0.0 && neg != pos);
     }
 
     #[test]

@@ -4,19 +4,15 @@
 //! score, sighting-source confidence as probability), compares what the
 //! classical ranking functions would tell an analyst, then shows the
 //! PRFe-mixture trick: approximating PT(1000) with 40 exponentials and
-//! ranking the whole dataset in a fraction of the exact cost.
+//! ranking the whole dataset in a fraction of the exact cost — every
+//! semantics and algorithm selected through the unified `RankQuery` engine.
 //!
 //! ```text
 //! cargo run --release --example iceberg_monitoring
 //! ```
 
-use std::time::Instant;
-
-use prf::approx::{approximate_weights, DftApproxConfig};
-use prf::baselines::{erank_ranking, escore_ranking, pt_ranking, urank_topk};
-use prf::core::{prfe_rank_log, Ranking};
 use prf::datasets::iip_db;
-use prf::metrics::kendall_topk;
+use prf::prelude::*;
 
 fn main() {
     let n = 100_000;
@@ -26,13 +22,14 @@ fn main() {
         db.expected_world_size()
     );
 
-    // What would each semantics monitor?
+    // What would each semantics monitor? One builder, five semantics.
     let k = 100;
-    let pt = pt_ranking(&db, k).top_k_u32(k);
-    let escore = escore_ranking(&db).top_k_u32(k);
-    let erank = erank_ranking(&db).top_k_u32(k);
-    let urank: Vec<u32> = urank_topk(&db, k).iter().map(|t| t.0).collect();
-    let prfe = Ranking::from_keys(&prfe_rank_log(&db, 0.95)).top_k_u32(k);
+    let run = |q: RankQuery| q.top_k(k).run(&db).expect("independent backend");
+    let pt = run(RankQuery::pt(k)).ranking.top_k_u32(k);
+    let escore = run(RankQuery::escore()).ranking.top_k_u32(k);
+    let erank = run(RankQuery::erank()).ranking.top_k_u32(k);
+    let urank = run(RankQuery::urank(k)).ranking.top_k_u32(k);
+    let prfe = run(RankQuery::prfe(0.95)).ranking.top_k_u32(k);
 
     println!("\npairwise Kendall distance of the top-{k} watchlists:");
     let lists = [
@@ -56,22 +53,29 @@ fn main() {
     }
 
     // The unified answer: pick PT(1000) semantics, but evaluate it as a
-    // 40-term PRFe mixture.
+    // 40-term PRFe mixture — just a different `Algorithm` on the same query.
     let h = 1000;
-    let start = Instant::now();
-    let exact = pt_ranking(&db, h);
-    let t_exact = start.elapsed().as_secs_f64();
+    let exact = RankQuery::pt(h)
+        .algorithm(Algorithm::ExactGf)
+        .run(&db)
+        .expect("exact PT");
+    let approx = RankQuery::pt(h)
+        .algorithm(Algorithm::DftApprox(DftApproxConfig::refined(40)))
+        .run(&db)
+        .expect("mixture PT");
 
-    let step = move |i: usize| if i < h { 1.0 } else { 0.0 };
-    let start = Instant::now();
-    let mix = approximate_weights(&step, h, &DftApproxConfig::refined(40));
-    let approx = mix.ranking_independent_fast(&db);
-    let t_approx = start.elapsed().as_secs_f64();
-
-    let d = kendall_topk(&exact.top_k_u32(h), &approx.top_k_u32(h), h);
+    let d = kendall_topk(&exact.ranking.top_k_u32(h), &approx.ranking.top_k_u32(h), h);
     println!("\nPT(1000) via 40-term PRFe mixture:");
-    println!("  exact:       {t_exact:.3}s");
-    println!("  mixture:     {t_approx:.3}s ({} terms)", mix.len());
+    println!("  exact:       {:.3}s", exact.report.kernel_seconds);
+    println!(
+        "  mixture:     {:.3}s ({} numeric mode)",
+        approx.report.kernel_seconds,
+        match approx.report.numeric_mode {
+            NumericMode::Scaled => "scaled",
+            NumericMode::Complex => "complex",
+            NumericMode::LogDomain => "log-domain",
+        }
+    );
     println!("  top-1000 Kendall distance to exact: {d:.4}");
     println!(
         "  (the mixture's cost is independent of h: at h = 10000 the exact \

@@ -4,17 +4,16 @@
 //! preference function; we fit (a) the single PRFe parameter α by grid
 //! search and (b) a full PRFω(h) weight table by pairwise hinge-loss
 //! descent, then check how well each learned function reproduces the user's
-//! ranking on the complete database.
+//! ranking on the complete database — the learned functions run through the
+//! unified `RankQuery` engine like any built-in semantics.
 //!
 //! ```text
 //! cargo run --release --example learning_preferences
 //! ```
 
 use prf::approx::learn::{learn_prf_omega, learn_prfe_alpha_topk, RankLearnConfig};
-use prf::baselines::pt_ranking;
-use prf::core::{prf_rank, prfe_rank_log, Ranking, TabulatedWeight, ValueOrder};
 use prf::datasets::{subsample_independent, syn_ind};
-use prf::metrics::kendall_topk;
+use prf::prelude::*;
 
 fn main() {
     let n = 20_000;
@@ -22,7 +21,12 @@ fn main() {
     let k = 100;
 
     // The user's hidden preference: PT(100) semantics.
-    let hidden = |db: &prf::pdb::IndependentDb| pt_ranking(db, 100.min(db.len()));
+    let hidden = |db: &prf::pdb::IndependentDb| {
+        RankQuery::pt(100.min(db.len()))
+            .run(db)
+            .expect("PT on independent data")
+            .ranking
+    };
     let truth_full = hidden(&db).top_k_u32(k);
 
     println!("hidden user preference: PT(100); database: Syn-IND-{n}");
@@ -37,12 +41,17 @@ fn main() {
         let user_ranking = hidden(&sample).order().to_vec();
 
         // (a) Fit α, focusing the objective on the top-k prefix the user
-        // actually cares about (see prf-approx docs).
+        // actually cares about (see prf-approx docs), then rank the full
+        // relation with the learned PRFe(α̂).
         let alpha = learn_prfe_alpha_topk(&sample, &user_ranking, 4, k);
-        let learned_e = Ranking::from_keys(&prfe_rank_log(&db, alpha)).top_k_u32(k);
+        let learned_e = RankQuery::prfe(alpha)
+            .run(&db)
+            .expect("PRFe on independent data")
+            .ranking
+            .top_k_u32(k);
         let d_e = kendall_topk(&learned_e, &truth_full, k);
 
-        // (b) Fit PRFω(h) weights.
+        // (b) Fit PRFω(h) weights and rank with the learned table.
         let weights = learn_prf_omega(
             &sample,
             &user_ranking,
@@ -52,9 +61,12 @@ fn main() {
                 ..Default::default()
             },
         );
-        let w = TabulatedWeight::from_real(&weights);
-        let ups = prf_rank(&db, &w);
-        let learned_w = Ranking::from_values(&ups, ValueOrder::RealPart).top_k_u32(k);
+        let learned_w = RankQuery::prf(TabulatedWeight::from_real(&weights))
+            .value_order(ValueOrder::RealPart)
+            .run(&db)
+            .expect("PRFω on independent data")
+            .ranking
+            .top_k_u32(k);
         let d_w = kendall_topk(&learned_w, &truth_full, k);
 
         println!("{m:>9}{alpha:>10.4}{d_e:>14.4}{d_w:>14.4}");

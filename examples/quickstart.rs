@@ -1,15 +1,12 @@
 //! Quickstart: ranking a small uncertain relation every way the library
-//! knows how.
+//! knows how — through the one unified entry point, `RankQuery`.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use prf::baselines::{
-    erank_ranking, escore_ranking, k_selection, pt_ranking, urank_topk, utop_topk,
-};
-use prf::core::{prf_rank, prfe_rank_log, Ranking, StepWeight, ValueOrder};
-use prf::pdb::IndependentDb;
+use prf::baselines::k_selection;
+use prf::prelude::*;
 
 fn main() {
     // A tiny purchasing decision: candidate offers with a quality score and
@@ -31,44 +28,60 @@ fn main() {
         println!("  {n:<25} score {s:>5}  p {p:.2}");
     }
 
-    // --- The PRF family -------------------------------------------------
+    // --- The PRF family, one query builder ------------------------------
     // PT(2): probability of making the top 2.
-    let pt = Ranking::from_values(&prf_rank(&db, &StepWeight { h: 2 }), ValueOrder::RealPart);
+    let pt = RankQuery::pt(2).run(&db).expect("PT on independent data");
     println!("\nPT(2) ranking (by Pr(rank ≤ 2)):");
-    for (i, &t) in pt.order().iter().enumerate() {
-        println!("  {}. {} (Pr = {:.3})", i + 1, name(t), pt.key_at(i));
+    for (i, &t) in pt.ranking.order().iter().enumerate() {
+        println!(
+            "  {}. {} (Pr = {:.3})",
+            i + 1,
+            name(t),
+            pt.ranking.key_at(i)
+        );
     }
 
     // PRFe(α) spans a spectrum between score-like and probability-like
-    // behaviour.
+    // behaviour — same entry point, different semantics.
     for alpha in [0.3, 0.9] {
-        let r = Ranking::from_keys(&prfe_rank_log(&db, alpha));
-        let names: Vec<&str> = r.order().iter().map(|&t| name(t)).collect();
-        println!("\nPRFe({alpha}) ranking: {}", names.join(" > "));
+        let r = RankQuery::prfe(alpha).run(&db).expect("PRFe everywhere");
+        let names: Vec<&str> = r.ranking.order().iter().map(|&t| name(t)).collect();
+        println!(
+            "\nPRFe({alpha}) ranking ({} algorithm): {}",
+            r.report.algorithm.name(),
+            names.join(" > ")
+        );
     }
 
-    // --- Prior semantics, for comparison --------------------------------
-    println!("\nbaselines:");
-    let top2: Vec<&str> = pt_ranking(&db, 2)
+    // --- Prior semantics: also just `Semantics` variants -----------------
+    println!("\nbaselines (every one through the same engine):");
+    let top2: Vec<&str> = RankQuery::pt(2)
         .top_k(2)
+        .run(&db)
+        .expect("PT")
+        .ranking
+        .order()
         .iter()
         .map(|&t| name(t))
         .collect();
     println!("  PT(2) top-2:      {}", top2.join(", "));
-    let u: Vec<&str> = urank_topk(&db, 2).iter().map(|&t| name(t)).collect();
+    let urank = RankQuery::urank(2).run(&db).expect("U-Rank");
+    let u: Vec<&str> = urank.ranking.order().iter().map(|&t| name(t)).collect();
     println!("  U-Rank top-2:     {}", u.join(", "));
-    if let Some((set, logp)) = utop_topk(&db, 2) {
-        let names: Vec<&str> = set.iter().map(|&t| name(t)).collect();
+    if let Some(set) = RankQuery::utop(2).run(&db).ok().and_then(|r| r.set) {
+        let names: Vec<&str> = set.members.iter().map(|&t| name(t)).collect();
         println!(
             "  U-Top top-2:      {} (Pr = {:.3})",
             names.join(", "),
-            logp.exp()
+            set.log_prob.exp()
         );
     }
-    let es = escore_ranking(&db);
-    println!("  E-Score winner:   {}", name(es.order()[0]));
-    let er = erank_ranking(&db);
-    println!("  E-Rank winner:    {}", name(er.order()[0]));
+    let es = RankQuery::escore().run(&db).expect("E-Score");
+    println!("  E-Score winner:   {}", name(es.ranking.order()[0]));
+    let er = RankQuery::erank().run(&db).expect("E-Rank");
+    println!("  E-Rank winner:    {}", name(er.ranking.order()[0]));
+    // k-selection is the one set semantics outside the engine (and the PRF
+    // family); its dynamic program stays a free function.
     if let Some((set, v)) = k_selection(&db, 2) {
         let names: Vec<&str> = set.iter().map(|&t| name(t)).collect();
         println!(

@@ -13,9 +13,9 @@
 #![allow(clippy::needless_range_loop)] // oracle comparisons over parallel arrays
 
 use prf::baselines::expected_symmetric_difference;
-use prf::core::{prfe_rank_tree, rank_distributions_tree, Ranking};
-use prf::numeric::Complex;
+use prf::core::rank_distributions_tree;
 use prf::pdb::{AndXorTree, NodeKind, TreeBuilder, TupleId};
+use prf::prelude::RankQuery;
 
 /// Builds the Figure 1 tree: six radar readings, with (t2, t3) and (t4, t5)
 /// mutually exclusive (same plate seen at different speeds).
@@ -75,12 +75,13 @@ fn main() {
     }
     assert!((dists[3][2] - 0.216).abs() < 1e-9, "Example 4 checks out");
 
-    // PRFe across the spectrum (Algorithm 3 — incremental evaluation).
+    // PRFe across the spectrum (Algorithm 3 — incremental evaluation),
+    // through the unified engine: the same query that ranks independent
+    // relations runs on the correlated tree.
     println!("\nPRFe rankings as α sweeps:");
     for alpha in [0.2, 0.6, 0.95] {
-        let ups = prfe_rank_tree(&tree, Complex::real(alpha));
-        let r = Ranking::from_values(&ups, prf::core::ValueOrder::Magnitude);
-        let names: Vec<&str> = r.order().iter().map(|&t| name(t)).collect();
+        let r = RankQuery::prfe(alpha).run(&tree).expect("PRFe on trees");
+        let names: Vec<&str> = r.ranking.order().iter().map(|&t| name(t)).collect();
         println!("  α = {alpha:<4} {}", names.join(" > "));
     }
 

@@ -11,9 +11,8 @@
 //! cargo run --release --example uncertain_knn
 //! ```
 
-use prf::core::{prf_rank_tree, prfe_rank_tree, Ranking, StepWeight, ValueOrder};
-use prf::numeric::Complex;
 use prf::pdb::{AndXorTree, NodeKind, TreeBuilder, TupleId};
+use prf::prelude::RankQuery;
 
 /// A detection: position + existence probability; `group` ties alternative
 /// positions of the same object together (mutually exclusive).
@@ -95,19 +94,18 @@ fn main() {
         println!("{:>8} {:>8.2} {:>6.2}", d.label, dist, d.prob);
     }
 
-    // PT(3): probability of being among the 3 nearest *available* points.
+    // PT(3): probability of being among the 3 nearest *available* points —
+    // the unified engine runs the same query on the correlated model.
     let k = 3;
-    let ups = prf_rank_tree(&tree, &StepWeight { h: k });
-    let r = Ranking::from_values(&ups, ValueOrder::RealPart);
+    let pt = RankQuery::pt(k).run(&tree).expect("PT on trees");
     println!("\nPr(among the {k} nearest) — PT({k}) on the correlated model:");
-    for (i, &t) in r.order().iter().enumerate() {
-        println!("  {}. {:>8}  {:.3}", i + 1, name(t), r.key_at(i));
+    for (i, &t) in pt.ranking.order().iter().enumerate() {
+        println!("  {}. {:>8}  {:.3}", i + 1, name(t), pt.ranking.key_at(i));
     }
 
     // PRFe(0.8): a smooth prior that discounts deeper ranks geometrically.
-    let prfe = prfe_rank_tree(&tree, Complex::real(0.8));
-    let r2 = Ranking::from_values(&prfe, ValueOrder::Magnitude);
-    let order: Vec<&str> = r2.order().iter().map(|&t| name(t)).collect();
+    let prfe = RankQuery::prfe(0.8).run(&tree).expect("PRFe on trees");
+    let order: Vec<&str> = prfe.ranking.order().iter().map(|&t| name(t)).collect();
     println!("\nPRFe(0.8) order: {}", order.join(" > "));
 
     // Sanity: the two alternatives of one object never co-rank.

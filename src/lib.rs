@@ -11,9 +11,12 @@
 //!
 //! ## Thirty-second tour
 //!
+//! The library embodies the paper's unification: **one query engine**
+//! ([`core::query::RankQuery`]) evaluates every ranking semantics on every
+//! backend, picking the numeric mode automatically.
+//!
 //! ```
-//! use prf::pdb::IndependentDb;
-//! use prf::core::{prfe_rank_log, prf_rank, StepWeight, Ranking, ValueOrder};
+//! use prf::prelude::*;
 //!
 //! // A probabilistic relation: (score, existence probability).
 //! let db = IndependentDb::from_pairs([
@@ -23,15 +26,47 @@
 //! ]).unwrap();
 //!
 //! // PT(2): rank by the probability of making the top 2.
-//! let pt = prf_rank(&db, &StepWeight { h: 2 });
-//! let pt_rank = Ranking::from_values(&pt, ValueOrder::RealPart);
+//! let pt = RankQuery::pt(2).run(&db)?;
+//! assert_eq!(pt.ranking.order()[0], TupleId(2));
 //!
-//! // PRFe(0.9): the smooth, O(n log n) member of the family.
-//! let prfe = Ranking::from_keys(&prfe_rank_log(&db, 0.9));
+//! // PRFe(0.9): the smooth member of the family — same entry point,
+//! // different semantics; `Auto` picks the algorithm and numeric mode.
+//! let prfe = RankQuery::prfe(0.9).run(&db)?;
+//! assert_eq!(prfe.ranking.order()[0], TupleId(1));
+//! assert_eq!(prfe.report.algorithm, Algorithm::ExactGf); // small n → exact
 //!
-//! assert_eq!(pt_rank.order().len(), 3);
-//! assert_eq!(prfe.order().len(), 3);
+//! // The identical query runs unchanged on correlated data.
+//! let tree = AndXorTree::from_independent(&db);
+//! let correlated = RankQuery::prfe(0.9).run(&tree)?;
+//! assert_eq!(prfe.ranking.order(), correlated.ranking.order());
+//! # Ok::<(), prf::core::query::QueryError>(())
 //! ```
+//!
+//! ## Migrating from the free functions
+//!
+//! The per-algorithm free functions remain available (they are the engine's
+//! kernels), but new code should prefer the builder:
+//!
+//! | legacy free function | `RankQuery` equivalent |
+//! |---|---|
+//! | `prf_rank(&db, &ω)` / `prf_rank_tree(&tree, &ω)` | `RankQuery::prf(ω).run(&db)?` |
+//! | `prf_rank_tree_parallel(&tree, &ω, t)` | `RankQuery::prf(ω).parallel(t).run(&tree)?` |
+//! | `prfe_rank(&db, α)` / `prfe_rank_tree(&tree, α)` | `RankQuery::prfe_complex(α).algorithm(Algorithm::ExactGf).run(…)?` |
+//! | `prfe_rank_log(&db, α)` | `RankQuery::prfe(α).algorithm(Algorithm::LogDomain).run(&db)?` |
+//! | `prfe_rank_scaled(&db, α)` / `prfe_rank_tree_scaled` | `RankQuery::prfe_complex(α).algorithm(Algorithm::Scaled).run(…)?` |
+//! | `pt_values` / `pt_ranking` / `pt_topk` (+ `_tree`) | `RankQuery::pt(h).run(…)?` |
+//! | `urank_topk(&db, k)` / `urank_topk_tree` | `RankQuery::urank(k).run(…)?.ranking` |
+//! | `utop_topk(&db, k)` | `RankQuery::utop(k).run(&db)?.set` |
+//! | `expected_ranks` / `erank_ranking` (+ `_tree`) | `RankQuery::erank().run(…)?` |
+//! | `expected_scores` / `escore_ranking` (+ `_tree`) | `RankQuery::escore().run(…)?` |
+//! | `consensus_topk(&db, k)` | `RankQuery::consensus(k).top_k(k).run(&db)?` |
+//! | `consensus_topk_weighted(&db, &w)` | `RankQuery::prf(TabulatedWeight::from_real(&w)).run(&db)?` |
+//! | `approximate_weights(…)` + `ExpMixture::ranking_*` | `RankQuery::pt(h).algorithm(Algorithm::DftApprox(cfg)).run(…)?` |
+//!
+//! Each [`RankedResult`](core::query::RankedResult) carries the per-tuple
+//! values, the [`Ranking`](core::topk::Ranking), the set answer for U-Top,
+//! and an [`EvalReport`](core::query::EvalReport) stating which algorithm
+//! and numeric mode actually ran, with timings.
 //!
 //! ## Crate map
 //!
@@ -39,10 +74,10 @@
 //! |---|---|---|
 //! | [`numeric`] | `prf-numeric` | complex/dual/scaled scalars, FFT, polynomials |
 //! | [`pdb`] | `prf-pdb` | tuples, possible worlds, and/xor trees, attribute uncertainty |
-//! | [`core`] | `prf-core` | PRF/PRFω/PRFe algorithms (the paper's contribution) |
+//! | [`core`] | `prf-core` | the unified `RankQuery` engine + PRF/PRFω/PRFe algorithms |
 //! | [`baselines`] | `prf-baselines` | U-Top, U-Rank, PT(h), E-Rank, E-Score, k-selection, consensus |
 //! | [`approx`] | `prf-approx` | DFT-based PRFe mixtures, learning α / ω |
-//! | [`graphical`] | `prf-graphical` | Markov networks, junction trees, §9 algorithms |
+//! | [`graphical`] | `prf-graphical` | Markov networks, junction trees, §9 algorithms, `NetworkRelation` |
 //! | [`metrics`] | `prf-metrics` | normalized Kendall top-k distance and friends |
 //! | [`datasets`] | `prf-datasets` | simulated IIP, Syn-IND, Syn-XOR/LOW/MED/HIGH |
 //!
@@ -66,6 +101,10 @@ pub use prf_pdb as pdb;
 /// `use prf::prelude::*;`.
 pub mod prelude {
     pub use prf_approx::{approximate_weights, DftApproxConfig, ExpMixture};
+    pub use prf_core::query::{
+        Algorithm, CorrelationClass, EvalReport, NumericMode, ProbabilisticRelation, QueryError,
+        RankQuery, RankedResult, Semantics, TopSet, Values,
+    };
     pub use prf_core::{
         prf_rank, prf_rank_tree, prfe_rank, prfe_rank_log, prfe_rank_tree, Ranking, ValueOrder,
         WeightFunction,
@@ -74,6 +113,7 @@ pub mod prelude {
         ConstantWeight, ExponentialWeight, LinearWeight, PositionWeight, ScoreWeight, StepWeight,
         TabulatedWeight,
     };
+    pub use prf_graphical::NetworkRelation;
     pub use prf_metrics::kendall_topk;
     pub use prf_numeric::Complex;
     pub use prf_pdb::{AndXorTree, IndependentDb, NodeKind, TreeBuilder, Tuple, TupleId};

@@ -121,3 +121,86 @@ proptest! {
         prop_assert!(flips <= 1, "tuples crossed {flips} times");
     }
 }
+
+// ---------------------------------------------------------------------
+// The unified query engine: Auto must agree with ExactGf at small n
+// ---------------------------------------------------------------------
+
+use prf::prelude::{Algorithm, RankQuery, Semantics};
+
+/// Strategy: a random independent relation with n ≤ 64 (the regime where
+/// `Algorithm::Auto` guarantees exactness).
+fn medium_db() -> impl Strategy<Value = IndependentDb> {
+    proptest::collection::vec((0.0f64..1000.0, 0.0f64..=1.0), 1..65)
+        .prop_map(|pairs| IndependentDb::from_pairs(pairs).expect("generated pairs are valid"))
+}
+
+/// Every semantics the engine knows, parameterised small enough for any n.
+fn all_semantics(k: usize) -> Vec<Semantics> {
+    use std::sync::Arc;
+    vec![
+        Semantics::Prf(Arc::new(prf::prelude::TabulatedWeight::from_real(&[
+            1.5, 1.0, 0.25,
+        ]))),
+        Semantics::Prfe(prf::prelude::Complex::real(0.8)),
+        Semantics::Pt(k),
+        Semantics::UTop(k),
+        Semantics::URank(k),
+        Semantics::ERank,
+        Semantics::EScore,
+        Semantics::Consensus(k),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Algorithm::Auto` agrees with `ExactGf` on the ranking for every
+    /// semantics whenever n ≤ 64, on both independent and tree backends.
+    #[test]
+    fn auto_agrees_with_exact_gf_up_to_64(db in medium_db()) {
+        let k = 1 + db.len() / 3;
+        let tree = AndXorTree::from_independent(&db);
+        for sem in all_semantics(k) {
+            let name = sem.name();
+            let auto_q = RankQuery::new(sem.clone());
+            let exact_q = RankQuery::new(sem).algorithm(Algorithm::ExactGf);
+
+            let auto_r = auto_q.run(&db);
+            let exact_r = exact_q.run(&db);
+            match (auto_r, exact_r) {
+                (Ok(a), Ok(e)) => {
+                    prop_assert_eq!(
+                        a.ranking.order(), e.ranking.order(),
+                        "{} on IndependentDb", name
+                    );
+                    prop_assert_eq!(a.report.algorithm, Algorithm::ExactGf);
+                }
+                // U-Top may legitimately have no answer (k > n); both paths
+                // must then agree on the error.
+                (Err(a), Err(e)) => prop_assert_eq!(a, e, "{} error", name),
+                (a, e) => prop_assert!(false, "{name}: auto {a:?} vs exact {e:?}"),
+            }
+
+            // Exact U-Top on trees goes through world enumeration, whose
+            // cost is exponential in n — probe the tree backend for it only
+            // at enumeration-friendly sizes (it is identical machinery at
+            // any n below the engine's world budget).
+            if matches!(auto_q.semantics(), Semantics::UTop(_)) && db.len() > 12 {
+                continue;
+            }
+            let auto_r = auto_q.run(&tree);
+            let exact_r = RankQuery::new(auto_q.semantics().clone())
+                .algorithm(Algorithm::ExactGf)
+                .run(&tree);
+            match (auto_r, exact_r) {
+                (Ok(a), Ok(e)) => prop_assert_eq!(
+                    a.ranking.order(), e.ranking.order(),
+                    "{} on AndXorTree", name
+                ),
+                (Err(a), Err(e)) => prop_assert_eq!(a, e, "{} tree error", name),
+                (a, e) => prop_assert!(false, "{name} tree: auto {a:?} vs exact {e:?}"),
+            }
+        }
+    }
+}

@@ -1,8 +1,7 @@
 //! Smoke test pinning the crate-level "Thirty-second tour" (`src/lib.rs`)
 //! to a deterministic, hand-checkable 3-tuple ranking.
 
-use prf::core::{prf_rank, prfe_rank_log, Ranking, StepWeight, ValueOrder};
-use prf::pdb::{IndependentDb, TupleId};
+use prf::prelude::*;
 
 #[test]
 fn quickstart_tour_is_deterministic() {
@@ -18,12 +17,14 @@ fn quickstart_tour_is_deterministic() {
     //   t0 ranks first whenever present              → 0.5
     //   t2 ranks ≤ 2 whenever present                → 0.8
     //   t1 ranks ≤ 2 unless both t0 and t2 exist     → 1 − 0.5·0.8 = 0.6
-    let pt = prf_rank(&db, &StepWeight { h: 2 });
-    assert!((pt[0].re - 0.5).abs() < 1e-12);
-    assert!((pt[1].re - 0.6).abs() < 1e-12);
-    assert!((pt[2].re - 0.8).abs() < 1e-12);
-    let pt_rank = Ranking::from_values(&pt, ValueOrder::RealPart);
-    assert_eq!(pt_rank.order(), &[TupleId(2), TupleId(1), TupleId(0)]);
+    let pt = RankQuery::pt(2).run(&db).unwrap();
+    let v = pt.values.as_complex().expect("exact PT values are complex");
+    assert!((v[0].re - 0.5).abs() < 1e-12);
+    assert!((v[1].re - 0.6).abs() < 1e-12);
+    assert!((v[2].re - 0.8).abs() < 1e-12);
+    assert_eq!(pt.ranking.order(), &[TupleId(2), TupleId(1), TupleId(0)]);
+    assert_eq!(pt.report.algorithm, Algorithm::ExactGf);
+    assert!(pt.report.auto_selected);
 
     // PRFe(0.9), also checkable by hand (Υ(t) = Σᵢ 0.9^i · Pr(r(t) = i)):
     //   t1: 0.1·0.9 + 0.5·0.81 + 0.4·0.729 = 0.7866
@@ -31,14 +32,24 @@ fn quickstart_tour_is_deterministic() {
     //   t0: 0.5·0.9                        = 0.45
     // Its top choice (t1) differs from PT(2)'s (t2) — the paper's point:
     // different ω, different ranking.
-    let keys = prfe_rank_log(&db, 0.9);
-    assert!((keys[0] - 0.45f64.ln()).abs() < 1e-9);
-    assert!((keys[1] - 0.7866f64.ln()).abs() < 1e-9);
-    assert!((keys[2] - 0.684f64.ln()).abs() < 1e-9);
-    let prfe = Ranking::from_keys(&keys);
-    assert_eq!(prfe.order(), &[TupleId(1), TupleId(2), TupleId(0)]);
+    let prfe = RankQuery::prfe(0.9).run(&db).unwrap();
+    let v = prfe.values.as_complex().expect("small n stays exact");
+    assert!((v[0].re - 0.45).abs() < 1e-12);
+    assert!((v[1].re - 0.7866).abs() < 1e-12);
+    assert!((v[2].re - 0.684).abs() < 1e-12);
+    assert_eq!(prfe.ranking.order(), &[TupleId(1), TupleId(2), TupleId(0)]);
 
-    // Both rankings are permutations of {t0, t1, t2} and stable across runs.
-    let rerun = Ranking::from_keys(&prfe_rank_log(&db, 0.9));
-    assert_eq!(prfe.order(), rerun.order());
+    // The identical query runs unchanged on correlated data and agrees on
+    // independent input.
+    let tree = AndXorTree::from_independent(&db);
+    let correlated = RankQuery::prfe(0.9).run(&tree).unwrap();
+    assert_eq!(prfe.ranking.order(), correlated.ranking.order());
+
+    // Both rankings are stable across runs.
+    let rerun = RankQuery::prfe(0.9).run(&db).unwrap();
+    assert_eq!(prfe.ranking.order(), rerun.ranking.order());
+
+    // The legacy free functions remain wrappers over the same machinery.
+    let legacy = prf::baselines::pt_ranking(&db, 2);
+    assert_eq!(legacy.order(), pt.ranking.order());
 }
