@@ -28,9 +28,12 @@ fn bench_poly_products(c: &mut Criterion) {
 }
 
 fn bench_fft_multiply(c: &mut Criterion) {
+    // The naive→FFT crossover grid that backs `poly::FFT_CUTOFF` — the
+    // measured per-size medians are recorded in EXPERIMENTS.md; re-run this
+    // group after touching the FFT or the schoolbook kernel.
     let mut g = c.benchmark_group("poly_pair_multiply");
     g.sample_size(20);
-    for n in [512usize, 4096] {
+    for n in [128usize, 256, 512, 1024, 2048, 4096] {
         let a = Poly::from_coeffs((0..n).map(|i| (i as f64 * 0.37).sin()).collect());
         let b = Poly::from_coeffs((0..n).map(|i| (i as f64 * 0.11).cos()).collect());
         g.bench_with_input(

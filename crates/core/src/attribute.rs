@@ -6,7 +6,7 @@
 //! original tuple is the sum over its alternatives:
 //! `Υ(tᵢ) = Σⱼ Υ(tᵢⱼ)`.
 
-use prf_numeric::{Complex, GfField};
+use prf_numeric::{Complex, GfValue};
 use prf_pdb::{AttributeUncertainDb, PdbError};
 
 use crate::tree::{prf_rank_tree, prfe_rank_tree};
@@ -32,8 +32,9 @@ pub fn prf_rank_uncertain(
 }
 
 /// PRFe(α) per original tuple, via the incremental tree algorithm —
-/// `O(m log m)` in the total number of alternatives `m`.
-pub fn prfe_rank_uncertain<T: GfField>(
+/// `O(m log m)` in the total number of alternatives `m`. Division-free, so
+/// any [`GfValue`] scalar works (plain, scaled, dual).
+pub fn prfe_rank_uncertain<T: GfValue>(
     db: &AttributeUncertainDb,
     alpha: T,
 ) -> Result<Vec<T>, PdbError> {

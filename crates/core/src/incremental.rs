@@ -1,0 +1,580 @@
+//! The incremental generating-function engine for and/xor trees.
+//!
+//! Algorithm 2 of the paper evaluates one tree generating function *per
+//! tuple*: walking the tuples in score order, tuple `i`'s function differs
+//! from tuple `i−1`'s in exactly **two leaf labels** (the previous tuple's
+//! leaf flips `y → x`, the current one flips `1 → y`), yet the literal
+//! implementation re-folds the entire tree each time — `O(n²·h)` on general
+//! trees, the wall the Figure 10(ii)/11(iii) experiments hit. This module
+//! materializes the fold state once and then recombines **only the two
+//! leaf-to-root paths** per step, the same observation that makes fast
+//! x-relation ranking possible (Chang, Yu & Qin), generalised to arbitrary
+//! and/xor trees and to *any* [`GfValue`] ring — truncated rank polynomials
+//! for PRFω(h)/PT(h), scalars ([`prf_numeric::Complex`], log/scaled,
+//! [`prf_numeric::Dual`]) wrapped in [`prf_numeric::YLin`] for PRFe and
+//! expected ranks.
+//!
+//! # Division-free sibling products
+//!
+//! The classic incremental trick (Algorithm 3) updates an ∧-node product by
+//! *dividing out* the stale child factor — fine for field scalars with
+//! zero-count bookkeeping, impossible for truncated polynomials (division
+//! is numerically unstable and undefined past the truncation cap). Instead,
+//! [`EvalPlan`] compiles the tree into a **binarised combine plan**: every
+//! ∧ node with `k` children becomes a balanced tournament of 2-child
+//! product nodes, each caching its value. Updating one child recombines the
+//! `O(log k)` tournament nodes on its path using the *cached sibling
+//! product* at each step — the k-ary generalisation of prefix/suffix
+//! sibling caches, with no division anywhere, so zero-probability edges,
+//! `p = 1` leaves and ∨-slack stay exact. ∨ nodes update in `O(1)` ring
+//! operations via the linear delta `F ← F + p·(new − old)`.
+//!
+//! Per-tuple cost drops from `O(tree size · h)` to
+//! `O(depth · log fanout · h)` ring work; on the x-relation-shaped trees of
+//! the experiments that is `O(h²·log(n/h))` per tuple instead of `O(n·h)` —
+//! see `benches/trees.rs` for the measured ≥10× wall-clock gap.
+//!
+//! # Memory accounting
+//!
+//! The evaluator owns one ring value per plan node; [`IncrementalGf::stats`]
+//! reports the resident and peak coefficient footprint (tracked exactly, at
+//! every value replacement) so callers — the `RankQuery` engine's
+//! [`crate::query::EvalReport`] — can surface evaluator memory alongside
+//! timings.
+
+use prf_numeric::GfValue;
+use prf_pdb::{AndXorTree, NodeKind, TupleId};
+
+/// Sentinel parent index of the plan root.
+const NO_PARENT: u32 = u32::MAX;
+
+/// How one plan node combines its children.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Combine {
+    /// A tuple's leaf; holds whatever label the caller assigns.
+    Leaf(TupleId),
+    /// `slack + Σ pᵢ·childᵢ` — an original ∨ node (also represents
+    /// childless inner nodes as the constant `slack`).
+    Xor,
+    /// `left · right` — one tournament node of a binarised ∧ node.
+    And,
+}
+
+/// One node of the compiled combine plan.
+#[derive(Clone, Debug)]
+struct PlanNode {
+    /// Parent plan index ([`NO_PARENT`] for the root).
+    parent: u32,
+    /// Probability the ∨ parent applies to this subtree (1.0 under ∧).
+    edge_prob: f64,
+    /// Combination rule.
+    combine: Combine,
+    /// `1 − Σ p` for ∨ nodes; 1.0 elsewhere.
+    slack: f64,
+    /// Children as a range into [`EvalPlan::children`].
+    child_lo: u32,
+    /// Exclusive end of the child range.
+    child_hi: u32,
+}
+
+/// A compiled, reusable evaluation plan for one [`AndXorTree`]: the
+/// binarised combine structure shared by every [`IncrementalGf`] built over
+/// the tree (parallel shards, PRFe mixture terms, repeated queries).
+///
+/// Plan indices are topological — every child precedes its parent — so a
+/// single forward scan initialises an evaluator.
+#[derive(Clone, Debug)]
+pub struct EvalPlan {
+    nodes: Vec<PlanNode>,
+    children: Vec<u32>,
+    /// Plan index of each tuple's leaf.
+    leaf_node: Vec<u32>,
+    /// Plan index of the root value.
+    root: u32,
+}
+
+impl EvalPlan {
+    /// Compiles the combine plan: ∨ nodes map 1:1, ∧ nodes with `k ≥ 2`
+    /// children become balanced `k − 1`-node product tournaments,
+    /// single-child ∧ nodes collapse onto their child, and childless inner
+    /// nodes become constants.
+    pub fn new(tree: &AndXorTree) -> EvalPlan {
+        let nn = tree.node_count();
+        let mut nodes: Vec<PlanNode> = Vec::with_capacity(2 * nn);
+        let mut children: Vec<u32> = Vec::with_capacity(2 * nn);
+        let mut plan_of: Vec<u32> = vec![0; nn];
+        let mut leaf_node = vec![0u32; tree.n_tuples()];
+        // Builder invariant: children have larger ids than parents, so a
+        // reverse scan visits children first.
+        for idx in (0..nn).rev() {
+            let node = prf_pdb::NodeId(idx as u32);
+            let plan_id = match tree.kind(node) {
+                NodeKind::Leaf(t) => {
+                    let id = nodes.len() as u32;
+                    nodes.push(PlanNode {
+                        parent: NO_PARENT,
+                        edge_prob: 1.0,
+                        combine: Combine::Leaf(t),
+                        slack: 1.0,
+                        child_lo: 0,
+                        child_hi: 0,
+                    });
+                    leaf_node[t.index()] = id;
+                    id
+                }
+                NodeKind::Xor => {
+                    let lo = children.len() as u32;
+                    for &c in tree.children(node) {
+                        children.push(plan_of[c.index()]);
+                    }
+                    let hi = children.len() as u32;
+                    let id = nodes.len() as u32;
+                    nodes.push(PlanNode {
+                        parent: NO_PARENT,
+                        edge_prob: 1.0,
+                        combine: Combine::Xor,
+                        slack: tree.xor_slack(node),
+                        child_lo: lo,
+                        child_hi: hi,
+                    });
+                    for &c in tree.children(node) {
+                        let cp = plan_of[c.index()] as usize;
+                        nodes[cp].parent = id;
+                        nodes[cp].edge_prob = tree.edge_prob(c);
+                    }
+                    id
+                }
+                NodeKind::And => match tree.children(node) {
+                    [] => {
+                        // Childless ∧ ≡ the constant 1 (empty product),
+                        // encoded as a ∨ node with slack 1 and no children.
+                        let id = nodes.len() as u32;
+                        nodes.push(PlanNode {
+                            parent: NO_PARENT,
+                            edge_prob: 1.0,
+                            combine: Combine::Xor,
+                            slack: 1.0,
+                            child_lo: 0,
+                            child_hi: 0,
+                        });
+                        id
+                    }
+                    // Single-child ∧ ≡ the child itself (∧ edges carry no
+                    // probability); the parent wires the collapsed node
+                    // with the ∧'s own edge probability.
+                    [only] => plan_of[only.index()],
+                    kids => {
+                        // Balanced tournament: pair adjacent survivors per
+                        // round; an odd leftover is promoted unchanged.
+                        let mut level: Vec<u32> = kids.iter().map(|c| plan_of[c.index()]).collect();
+                        while level.len() > 1 {
+                            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                            for pair in level.chunks(2) {
+                                if let [l, r] = *pair {
+                                    let lo = children.len() as u32;
+                                    children.push(l);
+                                    children.push(r);
+                                    let id = nodes.len() as u32;
+                                    nodes.push(PlanNode {
+                                        parent: NO_PARENT,
+                                        edge_prob: 1.0,
+                                        combine: Combine::And,
+                                        slack: 1.0,
+                                        child_lo: lo,
+                                        child_hi: lo + 2,
+                                    });
+                                    nodes[l as usize].parent = id;
+                                    nodes[r as usize].parent = id;
+                                    next.push(id);
+                                } else {
+                                    next.push(pair[0]);
+                                }
+                            }
+                            level = next;
+                        }
+                        level[0]
+                    }
+                },
+            };
+            plan_of[idx] = plan_id;
+        }
+        let root = plan_of[0];
+        EvalPlan {
+            nodes,
+            children,
+            leaf_node,
+            root,
+        }
+    }
+
+    /// Number of plan nodes (≤ 2× the tree's node count).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Builds an evaluator over this plan with every leaf labelled by
+    /// `leaf_value` — the "fast-forward" constructor: parallel shards seed
+    /// mid-walk states by labelling already-processed leaves directly.
+    pub fn evaluator<T: GfValue>(
+        &self,
+        mut leaf_value: impl FnMut(TupleId) -> T,
+    ) -> IncrementalGf<'_, T> {
+        let mut values: Vec<T> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let v = match node.combine {
+                Combine::Leaf(t) => leaf_value(t),
+                Combine::Xor => {
+                    let mut acc = T::from_scalar(node.slack);
+                    for &c in &self.children[node.child_lo as usize..node.child_hi as usize] {
+                        acc.add_scaled_assign(
+                            &values[c as usize],
+                            self.nodes[c as usize].edge_prob,
+                        );
+                    }
+                    acc
+                }
+                Combine::And => {
+                    let l = self.children[node.child_lo as usize] as usize;
+                    let r = self.children[node.child_lo as usize + 1] as usize;
+                    values[l].mul(&values[r])
+                }
+            };
+            values.push(v);
+        }
+        let resident: usize = values.iter().map(GfValue::heap_coeffs).sum();
+        IncrementalGf {
+            plan: self,
+            values,
+            resident_coeffs: resident,
+            peak_coeffs: resident,
+        }
+    }
+}
+
+/// Memory accounting of one evaluator run — surfaced through
+/// [`crate::query::EvalReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GfStats {
+    /// Cached ring values held by the evaluator (plan nodes).
+    pub plan_nodes: usize,
+    /// Heap-allocated scalar coefficients resident when the stats were
+    /// taken.
+    pub resident_coefficients: usize,
+    /// Peak resident coefficient count over the evaluator's lifetime.
+    pub peak_coefficients: usize,
+    /// Estimated peak bytes: inline value storage plus peak coefficients at
+    /// 8 bytes each.
+    pub peak_bytes: usize,
+}
+
+impl GfStats {
+    /// Combines the accounting of concurrently live evaluators (parallel
+    /// shards): all fields sum, because the shards coexist in memory.
+    pub fn merge(self, other: GfStats) -> GfStats {
+        GfStats {
+            plan_nodes: self.plan_nodes + other.plan_nodes,
+            resident_coefficients: self.resident_coefficients + other.resident_coefficients,
+            peak_coefficients: self.peak_coefficients + other.peak_coefficients,
+            peak_bytes: self.peak_bytes + other.peak_bytes,
+        }
+    }
+}
+
+/// The incremental generating-function evaluator: cached fold state over an
+/// [`EvalPlan`], generic over the [`GfValue`] ring.
+///
+/// [`IncrementalGf::set_leaf`] relabels one leaf and recombines its
+/// leaf-to-root path; [`IncrementalGf::root`] reads the current generating
+/// function. Ranking walks call `set_leaf` twice per tuple (previous leaf
+/// `y → x`, current leaf `1 → y`) and read the root — see
+/// [`crate::tree::prf_rank_tree`] and [`crate::tree::prfe_rank_tree`].
+#[derive(Debug)]
+pub struct IncrementalGf<'p, T: GfValue> {
+    plan: &'p EvalPlan,
+    values: Vec<T>,
+    resident_coeffs: usize,
+    peak_coeffs: usize,
+}
+
+impl<'p, T: GfValue> IncrementalGf<'p, T> {
+    /// Replaces the value at `idx`, maintaining the coefficient accounting,
+    /// and returns the previous value.
+    fn replace(&mut self, idx: usize, v: T) -> T {
+        self.resident_coeffs += v.heap_coeffs();
+        let old = std::mem::replace(&mut self.values[idx], v);
+        self.resident_coeffs -= old.heap_coeffs();
+        self.peak_coeffs = self.peak_coeffs.max(self.resident_coeffs);
+        old
+    }
+
+    /// Relabels the leaf of tuple `t` and recombines its leaf-to-root path:
+    /// `O(1)` ring operations per ∨ ancestor (linear delta), one cached
+    /// sibling product per ∧ tournament level — no division anywhere.
+    pub fn set_leaf(&mut self, t: TupleId, value: T) {
+        let plan = self.plan;
+        let mut cur = plan.leaf_node[t.index()] as usize;
+        let mut old = self.replace(cur, value);
+        while plan.nodes[cur].parent != NO_PARENT {
+            let p = plan.nodes[cur].parent as usize;
+            let pnode = &plan.nodes[p];
+            let new_parent = match pnode.combine {
+                Combine::Xor => {
+                    // F ← F + p·(new − old), fused in place on a clone so
+                    // the pre-update value survives for the next level.
+                    let mut pv = self.values[p].clone();
+                    pv.add_scaled_diff_assign(&self.values[cur], &old, plan.nodes[cur].edge_prob);
+                    pv
+                }
+                Combine::And => {
+                    // Fresh sibling product — exact, no error accumulation.
+                    let l = plan.children[pnode.child_lo as usize] as usize;
+                    let r = plan.children[pnode.child_lo as usize + 1] as usize;
+                    self.values[l].mul(&self.values[r])
+                }
+                Combine::Leaf(_) => unreachable!("leaves have no children"),
+            };
+            old = self.replace(p, new_parent);
+            cur = p;
+        }
+    }
+
+    /// The current root generating function.
+    pub fn root(&self) -> &T {
+        &self.values[self.plan.root as usize]
+    }
+
+    /// The current label of tuple `t`'s leaf.
+    pub fn leaf(&self, t: TupleId) -> &T {
+        &self.values[self.plan.leaf_node[t.index()] as usize]
+    }
+
+    /// The plan this evaluator runs over.
+    pub fn plan(&self) -> &'p EvalPlan {
+        self.plan
+    }
+
+    /// Memory accounting so far (peak tracked across every update).
+    pub fn stats(&self) -> GfStats {
+        GfStats {
+            plan_nodes: self.plan.node_count(),
+            resident_coefficients: self.resident_coeffs,
+            peak_coefficients: self.peak_coeffs,
+            peak_bytes: self.plan.node_count() * std::mem::size_of::<T>()
+                + self.peak_coeffs * std::mem::size_of::<f64>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prf_numeric::{Complex, RankPoly, YLin};
+    use prf_pdb::TreeBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The Figure 1 tree (see `prf-pdb` tests).
+    fn figure1_tree() -> AndXorTree {
+        let mut b = TreeBuilder::new(NodeKind::And);
+        let root = b.root();
+        let x1 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x1, 0.4, 120.0).unwrap();
+        let x2 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x2, 0.7, 130.0).unwrap();
+        b.add_leaf(x2, 0.3, 80.0).unwrap();
+        let x3 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x3, 0.4, 95.0).unwrap();
+        b.add_leaf(x3, 0.6, 110.0).unwrap();
+        let x4 = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x4, 1.0, 105.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn random_tree(seed: u64, target_leaves: usize, max_depth: usize) -> AndXorTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root_kind = if rng.gen_bool(0.5) {
+            NodeKind::And
+        } else {
+            NodeKind::Xor
+        };
+        let mut b = TreeBuilder::new(root_kind);
+        let mut frontier = vec![(b.root(), root_kind, 0usize, 1.0f64)];
+        let mut leaves = 0usize;
+        while leaves < target_leaves {
+            let idx = rng.gen_range(0..frontier.len());
+            let (node, kind, depth, budget) = frontier[idx];
+            let is_xor = matches!(kind, NodeKind::Xor);
+            let p = if is_xor {
+                let p = rng.gen_range(0.0..budget.min(0.6));
+                frontier[idx].3 -= p;
+                p
+            } else {
+                1.0
+            };
+            let make_leaf = depth >= max_depth || rng.gen_bool(0.65);
+            if make_leaf {
+                let score = rng.gen_range(0.0..100.0);
+                b.add_leaf(node, p, score).unwrap();
+                leaves += 1;
+            } else {
+                let child_kind = if rng.gen_bool(0.5) {
+                    NodeKind::And
+                } else {
+                    NodeKind::Xor
+                };
+                let child = b.add_inner(node, child_kind, p).unwrap();
+                frontier.push((child, child_kind, depth + 1, 1.0));
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// Full-refold oracle with per-tuple labels, matching the evaluator's
+    /// current labelling.
+    fn refold<T: GfValue>(tree: &AndXorTree, labels: &[T]) -> T {
+        tree.generating_function(|t| labels[t.index()].clone())
+    }
+
+    #[test]
+    fn initial_fold_matches_generating_function() {
+        for seed in 0..10u64 {
+            let tree = random_tree(seed, 9, 3);
+            let plan = EvalPlan::new(&tree);
+            let n = tree.n_tuples();
+            let labels: Vec<f64> = (0..n).map(|i| 0.25 + 0.1 * i as f64).collect();
+            let inc = plan.evaluator(|t| labels[t.index()]);
+            let direct: f64 = refold(&tree, &labels);
+            assert!(
+                (inc.root() - direct).abs() < 1e-12,
+                "seed {seed}: {} vs {direct}",
+                inc.root()
+            );
+        }
+    }
+
+    #[test]
+    fn set_leaf_matches_refold_under_random_relabelings() {
+        for seed in 0..10u64 {
+            let tree = random_tree(seed, 10, 3);
+            let plan = EvalPlan::new(&tree);
+            let n = tree.n_tuples();
+            let mut labels: Vec<f64> = vec![1.0; n];
+            let mut inc = plan.evaluator(|t| labels[t.index()]);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            for _ in 0..50 {
+                let t = rng.gen_range(0..n);
+                let v: f64 = rng.gen_range(0.0..2.0);
+                labels[t] = v;
+                inc.set_leaf(TupleId(t as u32), v);
+                let direct: f64 = refold(&tree, &labels);
+                assert!(
+                    (inc.root() - direct).abs() < 1e-10,
+                    "seed {seed}: {} vs {direct}",
+                    inc.root()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rankpoly_walk_matches_refold() {
+        let tree = figure1_tree();
+        let plan = EvalPlan::new(&tree);
+        let n = tree.n_tuples();
+        let cap = n;
+        let order = crate::tree::score_order(&tree).0;
+        let mut inc = plan.evaluator(|_| RankPoly::one().with_cap(cap));
+        for (i, &t) in order.iter().enumerate() {
+            if i > 0 {
+                inc.set_leaf(order[i - 1], RankPoly::x().with_cap(cap));
+            }
+            inc.set_leaf(t, RankPoly::y().with_cap(cap));
+            let direct = tree.generating_function(|u| {
+                if u == t {
+                    RankPoly::y().with_cap(cap)
+                } else if order[..i].contains(&u) {
+                    RankPoly::x().with_cap(cap)
+                } else {
+                    RankPoly::one().with_cap(cap)
+                }
+            });
+            for j in 1..=n {
+                assert!(
+                    (inc.root().rank_probability(j) - direct.rank_probability(j)).abs() < 1e-12,
+                    "tuple {t:?} rank {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_probability_edges_and_slack_are_exact() {
+        // A ∨ node with a p = 0 edge and slack: the delta update multiplies
+        // by 0 — division would have needed special-casing.
+        let mut b = TreeBuilder::new(NodeKind::And);
+        let root = b.root();
+        let x = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        b.add_leaf(x, 0.0, 9.0).unwrap();
+        b.add_leaf(x, 0.3, 8.0).unwrap();
+        b.add_leaf(root, 1.0, 7.0).unwrap();
+        let tree = b.build().unwrap();
+        let plan = EvalPlan::new(&tree);
+        let mut inc = plan.evaluator(|_| YLin::<Complex>::one());
+        inc.set_leaf(TupleId(0), YLin::y());
+        let direct: YLin<Complex> = tree.generating_function(|u| {
+            if u == TupleId(0) {
+                YLin::y()
+            } else {
+                YLin::one()
+            }
+        });
+        assert!(inc.root().a.approx_eq(direct.a, 1e-12));
+        assert!(inc.root().b.approx_eq(direct.b, 1e-12));
+    }
+
+    #[test]
+    fn stats_track_peak_coefficients() {
+        let tree = figure1_tree();
+        let plan = EvalPlan::new(&tree);
+        let cap = tree.n_tuples();
+        let mut inc = plan.evaluator(|_| RankPoly::one().with_cap(cap));
+        let at_build = inc.stats();
+        assert_eq!(at_build.plan_nodes, plan.node_count());
+        assert!(at_build.peak_coefficients > 0);
+        // Relabelling to x grows the cached polynomials.
+        for t in 0..tree.n_tuples() {
+            inc.set_leaf(TupleId(t as u32), RankPoly::x().with_cap(cap));
+        }
+        let after = inc.stats();
+        assert!(after.peak_coefficients >= after.resident_coefficients);
+        assert!(after.peak_coefficients > at_build.peak_coefficients);
+        assert!(after.peak_bytes > 0);
+        let merged = at_build.merge(after);
+        assert_eq!(
+            merged.peak_coefficients,
+            at_build.peak_coefficients + after.peak_coefficients
+        );
+    }
+
+    #[test]
+    fn single_child_and_nodes_collapse() {
+        // root ∧ → ∨(p=.5) → ∧ → ∧ → leaf : nested single-child ∧ chains.
+        let mut b = TreeBuilder::new(NodeKind::And);
+        let root = b.root();
+        let x = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        let a1 = b.add_inner(x, NodeKind::And, 0.5).unwrap();
+        let a2 = b.add_inner(a1, NodeKind::And, 1.0).unwrap();
+        b.add_leaf(a2, 1.0, 5.0).unwrap();
+        b.add_leaf(root, 1.0, 3.0).unwrap();
+        let tree = b.build().unwrap();
+        let plan = EvalPlan::new(&tree);
+        // Collapsed: leaf + leaf + ∨ + ∧-pair = 4 plan nodes (no nodes for
+        // the single-child ∧ chain).
+        assert_eq!(plan.node_count(), 4);
+        let mut inc = plan.evaluator(|_| 1.0f64);
+        assert!((inc.root() - 1.0).abs() < 1e-12);
+        inc.set_leaf(TupleId(0), 0.0);
+        // F = (0.5·0 + 0.5)·1 = 0.5.
+        assert!((inc.root() - 0.5).abs() < 1e-12);
+    }
+}

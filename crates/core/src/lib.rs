@@ -43,8 +43,11 @@
 //!   trait;
 //! * [`independent`] — Algorithm 1 (IND-PRF-RANK) and the PRFe/PRFω fast
 //!   paths for tuple-independent data;
-//! * [`tree`] — Algorithm 2 (symbolic + interpolation expansion) and
-//!   Algorithm 3 (incremental PRFe) on and/xor trees; expected ranks via
+//! * [`incremental`] — the incremental generating-function engine: cached
+//!   fold state over a binarised combine plan, two leaf-to-root path
+//!   recombinations per tuple, division-free, generic over the ring;
+//! * [`tree`] — Algorithms 2 and 3 on and/xor trees as walks of the
+//!   incremental engine (full-refold oracles retained); expected ranks via
 //!   dual numbers;
 //! * [`xtuple`] — `O(n·h·log n)` PRFω(h) on x-tuples by a division-free
 //!   divide-and-conquer over the score sweep;
@@ -58,6 +61,7 @@
 #![deny(missing_docs)]
 
 pub mod attribute;
+pub mod incremental;
 pub mod independent;
 pub mod mixture;
 pub mod parallel;
@@ -69,12 +73,13 @@ pub mod weights;
 pub mod xtuple;
 
 pub use attribute::{prf_rank_uncertain, prfe_rank_uncertain};
+pub use incremental::{EvalPlan, GfStats, IncrementalGf};
 pub use independent::{
     prf_rank, prf_rank_full, prf_rank_truncated, prfe_rank, prfe_rank_log, prfe_rank_scaled,
     rank_distributions,
 };
 pub use mixture::{approximate_weights, DftApproxConfig, ExpMixture};
-pub use parallel::prf_rank_tree_parallel;
+pub use parallel::{prf_rank_tree_parallel, prf_rank_tree_parallel_stats};
 pub use query::{
     Algorithm, CorrelationClass, EvalReport, NumericMode, ProbabilisticRelation, QueryError,
     RankQuery, RankedResult, Semantics, TopSet, Values,
@@ -82,8 +87,9 @@ pub use query::{
 pub use spectrum::{crossing_point, prfe_spectrum, spectrum_endpoints, Crossing};
 pub use topk::{Ranking, ValueOrder};
 pub use tree::{
-    expected_ranks_tree, prf_rank_tree, prf_rank_tree_interp, prfe_rank_tree,
-    prfe_rank_tree_recompute, prfe_rank_tree_scaled, rank_distributions_tree, IncrementalGf,
+    expected_ranks_tree, prf_rank_tree, prf_rank_tree_interp, prf_rank_tree_refold,
+    prf_rank_tree_stats, prfe_rank_tree, prfe_rank_tree_recompute, prfe_rank_tree_scaled,
+    prfe_rank_tree_scaled_stats, prfe_rank_tree_stats, rank_distributions_tree,
 };
 pub use weights::{
     ConstantWeight, DcgWeight, ExponentialWeight, LinearWeight, PositionWeight, ScoreWeight,

@@ -410,21 +410,25 @@ impl ExpMixture {
         )
     }
 
-    /// Plain-complex mixture Υ over an and/xor tree: the score order is
-    /// computed once and each term runs one incremental (Algorithm 3) pass.
+    /// Plain-complex mixture Υ over an and/xor tree: the score order *and*
+    /// the incremental engine's combine plan are computed once; each term
+    /// runs one incremental (Algorithm 3) pass over a fresh evaluator.
     pub fn upsilons_tree_fast(&self, tree: &AndXorTree) -> Vec<Complex> {
-        use crate::tree::IncrementalGf;
+        use crate::incremental::EvalPlan;
+        use prf_numeric::YLin;
         let n = tree.n_tuples();
         let (order, _) = crate::tree::score_order(tree);
+        let plan = EvalPlan::new(tree);
         let mut acc = vec![Complex::ZERO; n];
         for &(u, alpha) in &self.terms {
-            let mut inc = IncrementalGf::new(tree, [Complex::ONE, Complex::ONE]);
+            let mut inc = plan.evaluator(|_| YLin::<Complex>::one());
             for (i, &t) in order.iter().enumerate() {
                 if i > 0 {
-                    inc.set_leaf(order[i - 1], [alpha, alpha]);
+                    inc.set_leaf(order[i - 1], YLin::pure(alpha));
                 }
-                inc.set_leaf(t, [alpha, Complex::ZERO]);
-                let ups = inc.root(0) - inc.root(1);
+                inc.set_leaf(t, YLin::y());
+                // Υ = B(α)·α.
+                let ups = inc.root().b * alpha;
                 acc[t.index()] += u * ups;
             }
         }

@@ -1,20 +1,23 @@
-//! Thread-parallel variants of the embarrassingly parallel algorithms.
+//! Thread-parallel variants of the tree ranking algorithms.
 //!
-//! The per-tuple expansions of Algorithm 2 (`O(n·h)` *per tuple* on general
-//! and/xor trees) are independent of one another, so PRFω(h) on correlated
-//! data parallelises perfectly across tuples. This module shards the tuple
-//! range over `std::thread::scope` workers — no extra dependencies, no
-//! unsafe — and is the practical answer to the `O(n²·h)` wall the exact
-//! tree algorithms hit (see EXPERIMENTS.md, Figure 10(ii)/11(iii) notes).
+//! The score-order walk of the incremental engine looks inherently serial —
+//! every step depends on the previous labelling — but the fold state at any
+//! position `i` is a pure function of the *labels* (tuples before `i` carry
+//! `x`, the rest `1`), so a worker can **fast-forward**: build its evaluator
+//! directly in the shard-start labelling with one `O(tree)` fold, then walk
+//! only its shard. All workers share one compiled [`EvalPlan`]; total work
+//! is one extra fold per worker on top of the serial incremental cost.
 
 use prf_numeric::{Complex, RankPoly};
-use prf_pdb::{AndXorTree, Tuple, TupleId};
+use prf_pdb::{AndXorTree, TupleId};
 
+use crate::incremental::{EvalPlan, GfStats};
 use crate::tree::score_order;
 use crate::weights::WeightFunction;
 
 /// Parallel ANDXOR-PRF-RANK: identical output to
-/// [`crate::tree::prf_rank_tree`], computed with `threads` workers.
+/// [`crate::tree::prf_rank_tree`], computed with `threads` workers over
+/// shard-local incremental evaluators.
 ///
 /// # Panics
 /// Panics if `threads == 0`.
@@ -23,56 +26,64 @@ pub fn prf_rank_tree_parallel(
     omega: &(dyn WeightFunction + Sync),
     threads: usize,
 ) -> Vec<Complex> {
+    prf_rank_tree_parallel_stats(tree, omega, threads).0
+}
+
+/// [`prf_rank_tree_parallel`] plus the merged memory accounting of the
+/// shard evaluators (they are live concurrently, so peaks sum).
+pub fn prf_rank_tree_parallel_stats(
+    tree: &AndXorTree,
+    omega: &(dyn WeightFunction + Sync),
+    threads: usize,
+) -> (Vec<Complex>, GfStats) {
     assert!(threads > 0, "need at least one thread");
     let n = tree.n_tuples();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), GfStats::default());
     }
     let cap = omega.truncation().unwrap_or(n).min(n);
     if cap == 0 {
-        return vec![Complex::ZERO; n];
+        return (vec![Complex::ZERO; n], GfStats::default());
     }
     let (order, pos) = score_order(tree);
     let marginals = tree.marginals();
+    let plan = EvalPlan::new(tree);
 
     let threads = threads.min(n);
     let chunk = n.div_ceil(threads);
-    let mut results: Vec<Vec<(TupleId, Complex)>> = Vec::with_capacity(threads);
+    let mut results: Vec<(Vec<(TupleId, Complex)>, GfStats)> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for w in 0..threads {
             let lo = w * chunk;
             let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                continue; // rounding can leave trailing shards empty
+            }
             let order = &order;
             let pos = &pos;
             let marginals = &marginals;
+            let plan = &plan;
             handles.push(scope.spawn(move || {
-                let mut out = Vec::with_capacity(hi.saturating_sub(lo));
-                for (i, &t) in order.iter().enumerate().take(hi).skip(lo) {
-                    let gf = tree.generating_function(|u| {
-                        if u == t {
-                            RankPoly::y().with_cap(cap)
-                        } else if pos[u.index()] < i {
-                            RankPoly::x().with_cap(cap)
-                        } else {
-                            RankPoly::one().with_cap(cap)
-                        }
-                    });
-                    let tv = Tuple {
-                        id: t,
-                        score: tree.score(t),
-                        prob: marginals[t.index()],
-                    };
-                    let mut ups = Complex::ZERO;
-                    for j in 1..=cap {
-                        let c = gf.rank_probability(j);
-                        if c != 0.0 {
-                            ups += omega.weight(&tv, j) * c;
-                        }
+                let mut out = Vec::with_capacity(hi - lo);
+                // Fast-forward: tuples before the shard already carry x.
+                let mut inc = plan.evaluator(|u| {
+                    if pos[u.index()] < lo {
+                        RankPoly::x().with_cap(cap)
+                    } else {
+                        RankPoly::one().with_cap(cap)
                     }
-                    out.push((t, ups));
+                });
+                for (i, &t) in order.iter().enumerate().take(hi).skip(lo) {
+                    if i > lo {
+                        inc.set_leaf(order[i - 1], RankPoly::x().with_cap(cap));
+                    }
+                    inc.set_leaf(t, RankPoly::y().with_cap(cap));
+                    let tv = crate::tree::tuple_view(tree, marginals, t);
+                    out.push((t, crate::tree::upsilon_from_gf(inc.root(), &tv, omega, cap)));
                 }
-                out
+                let stats = inc.stats();
+                (out, stats)
             }));
         }
         for h in handles {
@@ -81,12 +92,14 @@ pub fn prf_rank_tree_parallel(
     });
 
     let mut out = vec![Complex::ZERO; n];
-    for shard in results {
+    let mut stats = GfStats::default();
+    for (shard, shard_stats) in results {
         for (t, v) in shard {
             out[t.index()] = v;
         }
+        stats = stats.merge(shard_stats);
     }
-    out
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -125,5 +138,21 @@ mod tests {
         let par = prf_rank_tree_parallel(&tree, &w, 8);
         assert_eq!(par.len(), 1);
         assert!((par[0].re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_stats_merge_shards() {
+        let tree = AndXorTree::from_x_tuples(&[
+            vec![(10.0, 0.4), (9.0, 0.3)],
+            vec![(8.0, 0.9)],
+            vec![(7.0, 0.5), (6.0, 0.2)],
+        ])
+        .unwrap();
+        let w = StepWeight { h: 3 };
+        let (_, s1) = prf_rank_tree_parallel_stats(&tree, &w, 1);
+        let (_, s2) = prf_rank_tree_parallel_stats(&tree, &w, 2);
+        assert!(s1.plan_nodes > 0);
+        // Two concurrent shards hold two evaluators.
+        assert_eq!(s2.plan_nodes, 2 * s1.plan_nodes);
     }
 }

@@ -51,6 +51,7 @@ use std::time::Instant;
 use prf_numeric::{Complex, Scaled};
 use prf_pdb::TupleId;
 
+use crate::incremental::GfStats;
 use crate::mixture::{approximate_weights, DftApproxConfig};
 use crate::topk::{Ranking, ValueOrder};
 use crate::weights::{tabulate, StepWeight, WeightFunction};
@@ -64,11 +65,20 @@ pub use relation::{CorrelationClass, ProbabilisticRelation};
 /// (well inside the underflow-free regime for any α).
 const AUTO_PRFE_EXACT_MAX: usize = 1024;
 /// `Auto` switches PT(h)/Consensus(k) on *general* trees to the DFT
-/// mixture approximation beyond this size…
-const AUTO_DFT_MIN_N: usize = 2048;
-/// …and this truncation depth (where the exact `O(n²·h)` expansion is
-/// hopeless and the paper's Figure 11(iii) speed-ups apply).
-const AUTO_DFT_MIN_H: usize = 64;
+/// mixture approximation beyond this size. With the incremental engine the
+/// old `O(n²·h)` wall is gone — both paths are near-linear in `n` (exact
+/// pays one extra `log` factor) — so the floor only keeps small relations
+/// exact unconditionally; it was raised from 2048 when incremental exact
+/// evaluation landed.
+const AUTO_DFT_MIN_N: usize = 4096;
+/// …and this truncation depth. Measured on the incremental engine
+/// (`cargo bench -p prf-bench --bench trees`, group `pt_exact_vs_dft_10k`,
+/// Syn-MED n = 10⁴, 2026-07-30): exact 206 ms vs 40-term mixture 342 ms at
+/// h = 128, 363 ms vs 354 ms at h = 256, 496 ms vs 343 ms at h = 512 — the
+/// mixture's cost is h-independent while exact grows ~h², crossing at
+/// h ≈ 256 (and slightly later for larger n). The previous hand-set value
+/// (64) pre-dated the engine, when exact was `O(n²·h)`.
+const AUTO_DFT_MIN_H: usize = 256;
 /// Mixture size `Auto` uses for the DFT approximation.
 const AUTO_DFT_TERMS: usize = 40;
 
@@ -272,6 +282,10 @@ pub struct EvalReport {
     pub truncated_to: Option<usize>,
     /// Worker threads requested for parallel-capable kernels.
     pub threads: Option<usize>,
+    /// Memory accounting of the incremental generating-function evaluator
+    /// — `Some` when the kernels ran it (exact PRFω/PRFe on and/xor
+    /// trees), `None` for closed-form and non-tree kernels.
+    pub memory: Option<GfStats>,
 }
 
 /// The answer of a [`RankQuery`]: per-tuple values, the induced ranking,
@@ -547,7 +561,9 @@ impl RankQuery {
         let auto_selected = matches!(self.algorithm, Algorithm::Auto);
 
         let mut kernel_seconds = 0.0;
-        let (values, ranking, set) = self.evaluate(rel, algorithm, &mut kernel_seconds)?;
+        let mut memory = None;
+        let (values, ranking, set) =
+            self.evaluate(rel, algorithm, &mut kernel_seconds, &mut memory)?;
 
         let mut ranking = ranking;
         if let Some(k) = self.top_k {
@@ -564,6 +580,7 @@ impl RankQuery {
             total_seconds: total_start.elapsed().as_secs_f64(),
             truncated_to: self.top_k,
             threads: self.threads,
+            memory,
         };
         Ok(RankedResult {
             values,
@@ -575,18 +592,23 @@ impl RankQuery {
 
     /// Evaluation proper: values + full ranking (+ set answer).
     /// `kernel_seconds` accumulates time spent in the backend's evaluation
-    /// kernels only — ranking construction and bookkeeping are excluded.
+    /// kernels only — ranking construction and bookkeeping are excluded;
+    /// `memory` receives the incremental evaluator's accounting when the
+    /// kernel ran it.
     fn evaluate(
         &self,
         rel: &(impl ProbabilisticRelation + ?Sized),
         algorithm: Algorithm,
         kernel_seconds: &mut f64,
+        memory: &mut Option<GfStats>,
     ) -> Result<(Values, Ranking, Option<TopSet>), QueryError> {
         match &self.semantics {
-            Semantics::Prfe(alpha) => self.evaluate_prfe(rel, algorithm, *alpha, kernel_seconds),
+            Semantics::Prfe(alpha) => {
+                self.evaluate_prfe(rel, algorithm, *alpha, kernel_seconds, memory)
+            }
             Semantics::Prf(_) | Semantics::Pt(_) | Semantics::Consensus(_) => {
                 let omega = self.semantics.weight().expect("weight-based semantics");
-                self.evaluate_weighted(rel, algorithm, &*omega, kernel_seconds)
+                self.evaluate_weighted(rel, algorithm, &*omega, kernel_seconds, memory)
             }
             Semantics::EScore => {
                 // ω(t, i) = score(t) makes Υ = Pr(t)·score(t); evaluate the
@@ -654,10 +676,12 @@ impl RankQuery {
         algorithm: Algorithm,
         alpha: Complex,
         kernel_seconds: &mut f64,
+        memory: &mut Option<GfStats>,
     ) -> Result<(Values, Ranking, Option<TopSet>), QueryError> {
         match algorithm {
             Algorithm::ExactGf => {
-                let vals = timed(kernel_seconds, || rel.prfe_values(alpha));
+                let (vals, stats) = timed(kernel_seconds, || rel.prfe_values_with_stats(alpha));
+                *memory = stats;
                 let ranking =
                     Ranking::from_values(&vals, self.value_order.unwrap_or(ValueOrder::Magnitude));
                 Ok((Values::Complex(vals), ranking, None))
@@ -668,7 +692,9 @@ impl RankQuery {
                 Ok((Values::LogDomain(keys), ranking, None))
             }
             Algorithm::Scaled => {
-                let vals = timed(kernel_seconds, || rel.prfe_values_scaled(alpha));
+                let (vals, stats) =
+                    timed(kernel_seconds, || rel.prfe_values_scaled_with_stats(alpha));
+                *memory = stats;
                 let ranking = self.rank_scaled(&vals, ValueOrder::Magnitude);
                 Ok((Values::Scaled(vals), ranking, None))
             }
@@ -682,10 +708,14 @@ impl RankQuery {
         algorithm: Algorithm,
         omega: &(dyn WeightFunction + Send + Sync),
         kernel_seconds: &mut f64,
+        memory: &mut Option<GfStats>,
     ) -> Result<(Values, Ranking, Option<TopSet>), QueryError> {
         match algorithm {
             Algorithm::ExactGf => {
-                let vals = timed(kernel_seconds, || rel.prf_values(omega, self.threads));
+                let (vals, stats) = timed(kernel_seconds, || {
+                    rel.prf_values_with_stats(omega, self.threads)
+                });
+                *memory = stats;
                 let default_order = match self.semantics {
                     // The classical real-valued semantics rank by the real
                     // part (identical to |Υ| for their non-negative values,
@@ -893,6 +923,40 @@ mod tests {
             .algorithm(Algorithm::DftApprox(DftApproxConfig::refined(8)))
             .run(&db)
             .unwrap();
+    }
+
+    #[test]
+    fn tree_queries_report_evaluator_memory() {
+        let tree = figure_tree();
+        let r = RankQuery::prfe(0.8)
+            .algorithm(Algorithm::ExactGf)
+            .run(&tree)
+            .unwrap();
+        let mem = r
+            .report
+            .memory
+            .expect("tree kernels run the incremental engine");
+        assert!(mem.plan_nodes > 0);
+        assert!(mem.peak_bytes > 0);
+        // PT on a general (non-x-tuple) tree also runs the engine…
+        let r = RankQuery::pt(2).run(&tree).unwrap();
+        let mem = r.report.memory.expect("general tree PT runs the engine");
+        assert!(mem.peak_coefficients > 0);
+        // …and the scaled mode reports scalar-engine accounting.
+        let r = RankQuery::prfe(0.8)
+            .algorithm(Algorithm::Scaled)
+            .run(&tree)
+            .unwrap();
+        assert!(r.report.memory.is_some());
+        // Independent backends use closed-form kernels — no evaluator.
+        let db = db();
+        assert!(RankQuery::pt(2).run(&db).unwrap().report.memory.is_none());
+        assert!(RankQuery::prfe(0.8)
+            .run(&db)
+            .unwrap()
+            .report
+            .memory
+            .is_none());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use prf_pdb::{AndXorTree, IndependentDb, TupleId};
 
 use super::kernels;
 use super::QueryError;
+use crate::incremental::GfStats;
 use crate::mixture::ExpMixture;
 use crate::weights::{PositionWeight, WeightFunction};
 
@@ -77,6 +78,32 @@ pub trait ProbabilisticRelation {
 
     /// Exact PRFe(α) values in plain complex arithmetic.
     fn prfe_values(&self, alpha: Complex) -> Vec<Complex>;
+
+    /// [`Self::prf_values`] plus the evaluator's memory accounting, for
+    /// backends whose kernels run the incremental generating-function
+    /// engine (and/xor trees). The default reports no accounting.
+    fn prf_values_with_stats(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        threads: Option<usize>,
+    ) -> (Vec<Complex>, Option<GfStats>) {
+        (self.prf_values(omega, threads), None)
+    }
+
+    /// [`Self::prfe_values`] plus the evaluator's memory accounting (see
+    /// [`Self::prf_values_with_stats`]).
+    fn prfe_values_with_stats(&self, alpha: Complex) -> (Vec<Complex>, Option<GfStats>) {
+        (self.prfe_values(alpha), None)
+    }
+
+    /// [`Self::prfe_values_scaled`] plus the evaluator's memory accounting
+    /// (see [`Self::prf_values_with_stats`]).
+    fn prfe_values_scaled_with_stats(
+        &self,
+        alpha: Complex,
+    ) -> (Vec<Scaled<Complex>>, Option<GfStats>) {
+        (self.prfe_values_scaled(alpha), None)
+    }
 
     /// PRFe(α) in scaled arithmetic (immune to underflow at any scale).
     /// The default wraps the plain values and therefore inherits their
@@ -232,26 +259,53 @@ impl ProbabilisticRelation for AndXorTree {
         omega: &(dyn WeightFunction + Sync),
         threads: Option<usize>,
     ) -> Vec<Complex> {
-        // Priority: the O(n·h·log n) x-tuple fast path (when truncated and
-        // applicable), then the explicitly requested parallel expansion,
-        // then the serial symbolic expansion.
-        if omega.truncation().is_some() {
-            if let Some(v) = crate::xtuple::prf_omega_rank_xtuple(self, omega) {
-                return v;
-            }
-        }
-        match threads {
-            Some(t) if t > 1 => crate::parallel::prf_rank_tree_parallel(self, omega, t),
-            _ => crate::tree::prf_rank_tree(self, omega),
-        }
+        self.prf_values_with_stats(omega, threads).0
     }
 
     fn prfe_values(&self, alpha: Complex) -> Vec<Complex> {
         crate::tree::prfe_rank_tree(self, alpha)
     }
 
+    fn prf_values_with_stats(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        threads: Option<usize>,
+    ) -> (Vec<Complex>, Option<GfStats>) {
+        // Priority: the O(n·h·log n) x-tuple fast path (when truncated and
+        // applicable), then the explicitly requested parallel walk, then
+        // the serial incremental walk.
+        if omega.truncation().is_some() {
+            if let Some(v) = crate::xtuple::prf_omega_rank_xtuple(self, omega) {
+                return (v, None);
+            }
+        }
+        match threads {
+            Some(t) if t > 1 => {
+                let (v, s) = crate::parallel::prf_rank_tree_parallel_stats(self, omega, t);
+                (v, Some(s))
+            }
+            _ => {
+                let (v, s) = crate::tree::prf_rank_tree_stats(self, omega);
+                (v, Some(s))
+            }
+        }
+    }
+
+    fn prfe_values_with_stats(&self, alpha: Complex) -> (Vec<Complex>, Option<GfStats>) {
+        let (v, s) = crate::tree::prfe_rank_tree_stats(self, alpha);
+        (v, Some(s))
+    }
+
     fn prfe_values_scaled(&self, alpha: Complex) -> Vec<Scaled<Complex>> {
         crate::tree::prfe_rank_tree_scaled(self, alpha)
+    }
+
+    fn prfe_values_scaled_with_stats(
+        &self,
+        alpha: Complex,
+    ) -> (Vec<Scaled<Complex>>, Option<GfStats>) {
+        let (v, s) = crate::tree::prfe_rank_tree_scaled_stats(self, alpha);
+        (v, Some(s))
     }
 
     fn expected_ranks(&self) -> Option<Vec<f64>> {

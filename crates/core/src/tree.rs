@@ -6,31 +6,39 @@
 //! Theorem 1 the resulting generating function `Fⁱ(x, y) = A(x) + B(x)·y`
 //! satisfies `Pr(r(t) = j) = [x^{j−1}] B(x)`.
 //!
-//! Four evaluation strategies are provided:
+//! Walking the tuples in score order changes only **two** leaf labels per
+//! step, so every algorithm here is an instantiation of the incremental
+//! engine in [`crate::incremental`] — cached per-node fold state, two
+//! leaf-to-root path recombinations per tuple — over a suitable ring:
 //!
-//! 1. [`prf_rank_tree`] — symbolic bottom-up expansion with truncated
-//!    bivariate polynomials (Algorithm 2): exact, `O(n²)`–`O(n²·d)` per
-//!    tuple untruncated, `O(n·h)` per tuple for PRFω(h);
-//! 2. [`prf_rank_tree_interp`] — evaluate the tree at the roots of unity and
-//!    recover coefficients with one inverse FFT per tuple (Appendix B.2);
-//! 3. [`prfe_rank_tree`] — the incremental Algorithm 3: maintain the two
-//!    numeric values `F(α, α)` and `F(α, 0)` at every node and update only
-//!    the two leaf-to-root paths that change per step, `O(Σᵢ dᵢ + n log n)`
-//!    total, with zero-count bookkeeping making the ∧-node divisions safe;
-//! 4. [`prfe_rank_tree_recompute`] — the `O(n)`-per-tuple recompute baseline
-//!    that Algorithm 3 is measured against.
+//! 1. [`prf_rank_tree`] — truncated bivariate polynomials
+//!    ([`RankPoly`]): exact PRFω(h)/PT(h) on arbitrary trees in
+//!    `O(depth·log fanout·h)` ring work per tuple instead of the
+//!    `O(n·h)`-per-tuple full refold (Algorithm 2), which is retained as
+//!    [`prf_rank_tree_refold`] — the differential-test oracle and the
+//!    ablation baseline;
+//! 2. [`prfe_rank_tree`] — scalars wrapped in [`YLin`] (ANDXOR-PRFe-RANK,
+//!    Algorithm 3, made division-free): `O(Σᵢ dᵢ + n log n)` total, generic
+//!    over any [`GfValue`] scalar — plain/complex, [`Scaled`], or dual
+//!    numbers — with [`prfe_rank_tree_recompute`] as the full-refold
+//!    oracle;
+//! 3. [`prf_rank_tree_interp`] — evaluate the tree at the roots of unity
+//!    and recover coefficients with one inverse FFT per tuple
+//!    (Appendix B.2);
+//! 4. [`expected_ranks_tree`] — the same machinery over dual numbers for
+//!    expected ranks (Cormode et al.) on correlated data.
 //!
-//! [`expected_ranks_tree`] evaluates the same machinery over dual numbers to
-//! produce expected ranks (Cormode et al.) on correlated data — the
-//! generalisation Section 3.3 calls for.
+//! The `*_stats` variants additionally report the evaluator's memory
+//! accounting ([`GfStats`]), surfaced by the query engine's `EvalReport`.
 
 #![allow(clippy::needless_range_loop)] // index loops pair several parallel arrays
 
 use prf_numeric::fft::interpolate_from_roots_of_unity;
-use prf_numeric::{Complex, Dual, GfField, GfValue, RankPoly, Scaled, YLin};
+use prf_numeric::{Complex, Dual, GfValue, RankPoly, Scaled, YLin};
 use prf_pdb::tuple::sort_indices_by_score_desc;
-use prf_pdb::{AndXorTree, NodeId, NodeKind, Tuple, TupleId};
+use prf_pdb::{AndXorTree, Tuple, TupleId};
 
+use crate::incremental::{EvalPlan, GfStats};
 use crate::weights::WeightFunction;
 
 /// Tuple processing order (score descending, id ascending) and its inverse
@@ -48,7 +56,7 @@ pub fn score_order(tree: &AndXorTree) -> (Vec<TupleId>, Vec<usize>) {
     (order, pos)
 }
 
-fn tuple_view(tree: &AndXorTree, marginals: &[f64], t: TupleId) -> Tuple {
+pub(crate) fn tuple_view(tree: &AndXorTree, marginals: &[f64], t: TupleId) -> Tuple {
     Tuple {
         id: t,
         score: tree.score(t),
@@ -56,17 +64,78 @@ fn tuple_view(tree: &AndXorTree, marginals: &[f64], t: TupleId) -> Tuple {
     }
 }
 
+/// `Υ(t) = Σ_{j ≤ cap} ω(t, j)·[x^{j−1}] B(x)` read off one generating
+/// function — shared by the serial and parallel walks.
+pub(crate) fn upsilon_from_gf(
+    gf: &RankPoly,
+    tv: &Tuple,
+    omega: &dyn WeightFunction,
+    cap: usize,
+) -> Complex {
+    let mut ups = Complex::ZERO;
+    for j in 1..=cap {
+        let c = gf.rank_probability(j);
+        if c != 0.0 {
+            ups += omega.weight(tv, j) * c;
+        }
+    }
+    ups
+}
+
 // ---------------------------------------------------------------------
-// 1. Symbolic expansion (Algorithm 2)
+// 1. Symbolic expansion (Algorithm 2), incremental and full-refold
 // ---------------------------------------------------------------------
 
 /// Υ values for every tuple of a correlated relation under an arbitrary PRF
-/// weight function, by symbolic expansion of the per-tuple generating
-/// function (ANDXOR-PRF-RANK, Algorithm 2).
+/// weight function (ANDXOR-PRF-RANK), via the incremental symbolic engine:
+/// per tuple, two leaf relabels and their `O(depth·log fanout)` path
+/// recombinations replace Algorithm 2's full `O(tree size)` refold.
 ///
 /// Respects [`WeightFunction::truncation`]: PT(h)/PRFω(h)/U-Rank only expand
-/// the first `h` coefficients.
+/// the first `h` coefficients. Agreement with the literal Algorithm 2
+/// ([`prf_rank_tree_refold`]) is enforced to 1e-9 by the differential suite
+/// in `tests/incremental_engine.rs`.
 pub fn prf_rank_tree(tree: &AndXorTree, omega: &dyn WeightFunction) -> Vec<Complex> {
+    prf_rank_tree_stats(tree, omega).0
+}
+
+/// [`prf_rank_tree`] plus the evaluator's memory accounting.
+pub fn prf_rank_tree_stats(
+    tree: &AndXorTree,
+    omega: &dyn WeightFunction,
+) -> (Vec<Complex>, GfStats) {
+    let n = tree.n_tuples();
+    let mut out = vec![Complex::ZERO; n];
+    if n == 0 {
+        return (out, GfStats::default());
+    }
+    let cap = omega.truncation().unwrap_or(n).min(n);
+    if cap == 0 {
+        return (out, GfStats::default());
+    }
+    let (order, _) = score_order(tree);
+    let marginals = tree.marginals();
+    let plan = EvalPlan::new(tree);
+    let mut inc = plan.evaluator(|_| RankPoly::one().with_cap(cap));
+    for (i, &t) in order.iter().enumerate() {
+        if i > 0 {
+            // Previous tuple's label moves from y to x.
+            inc.set_leaf(order[i - 1], RankPoly::x().with_cap(cap));
+        }
+        // Current tuple's label moves from 1 to y.
+        inc.set_leaf(t, RankPoly::y().with_cap(cap));
+        let tv = tuple_view(tree, &marginals, t);
+        out[t.index()] = upsilon_from_gf(inc.root(), &tv, omega, cap);
+    }
+    let stats = inc.stats();
+    (out, stats)
+}
+
+/// The literal Algorithm 2: one full bottom-up refold of the entire tree
+/// per tuple — `O(n²)`–`O(n²·h)` total. Retained as the differential-test
+/// oracle for [`prf_rank_tree`] and as the ablation baseline the
+/// `trees` criterion bench measures the incremental engine against.
+pub fn prf_rank_tree_refold(tree: &AndXorTree, omega: &dyn WeightFunction) -> Vec<Complex> {
     let n = tree.n_tuples();
     let mut out = vec![Complex::ZERO; n];
     if n == 0 {
@@ -89,14 +158,7 @@ pub fn prf_rank_tree(tree: &AndXorTree, omega: &dyn WeightFunction) -> Vec<Compl
             }
         });
         let tv = tuple_view(tree, &marginals, t);
-        let mut ups = Complex::ZERO;
-        for j in 1..=cap {
-            let c = gf.rank_probability(j);
-            if c != 0.0 {
-                ups += omega.weight(&tv, j) * c;
-            }
-        }
-        out[t.index()] = ups;
+        out[t.index()] = upsilon_from_gf(&gf, &tv, omega, cap);
     }
     out
 }
@@ -171,177 +233,48 @@ pub fn prf_rank_tree_interp(tree: &AndXorTree, omega: &dyn WeightFunction) -> Ve
 }
 
 // ---------------------------------------------------------------------
-// 3. Incremental PRFe (Algorithm 3)
+// 3. Incremental PRFe (Algorithm 3, division-free)
 // ---------------------------------------------------------------------
 
-/// Per-node state of the incremental evaluator. Component 0 tracks
-/// `F(α, y=α)`, component 1 tracks `F(α, y=0)`.
-enum NState<T> {
-    /// Leaf or ∨ node: the materialised value per component.
-    Value([T; 2]),
-    /// ∧ node: product of the *non-zero* child factors plus a count of
-    /// exactly-zero factors per component. The materialised value is zero
-    /// whenever `zeros > 0` — this is what makes the divide-out-stale-factor
-    /// update safe in the presence of exact zeros (`p = 1` leaves, `α = 0`).
-    And { prod: [T; 2], zeros: [u32; 2] },
-}
-
-/// Incremental generating-function evaluator over an and/xor tree
-/// (the data structure behind ANDXOR-PRFe-RANK, Algorithm 3).
+/// PRFe(α) over an and/xor tree — ANDXOR-PRFe-RANK (Algorithm 3) on the
+/// division-free incremental engine, generic over any [`GfValue`] scalar.
 ///
-/// Maintains, for every node, the pair `(F(α, α), F(α, 0))` under the
-/// current leaf labelling; [`IncrementalGf::set_leaf`] relabels one leaf and
-/// updates the `O(depth)` ancestors.
-pub struct IncrementalGf<'a, T: GfField> {
-    tree: &'a AndXorTree,
-    state: Vec<NState<T>>,
-}
-
-impl<'a, T: GfField> IncrementalGf<'a, T> {
-    /// Builds the evaluator with every leaf assigned `init` (component
-    /// pair).
-    pub fn new(tree: &'a AndXorTree, init: [T; 2]) -> Self {
-        let nn = tree.node_count();
-        let mut state: Vec<NState<T>> = Vec::with_capacity(nn);
-        for _ in 0..nn {
-            state.push(NState::Value([T::zero(), T::zero()]));
-        }
-        // Bottom-up initialisation (children have larger ids than parents).
-        for idx in (0..nn).rev() {
-            let node = NodeId(idx as u32);
-            let s = match tree.kind(node) {
-                NodeKind::Leaf(_) => NState::Value(init.clone()),
-                NodeKind::Xor => {
-                    let mut vals = [
-                        T::from_scalar(tree.xor_slack(node)),
-                        T::from_scalar(tree.xor_slack(node)),
-                    ];
-                    for &c in tree.children(node) {
-                        let p = tree.edge_prob(c);
-                        let cv = Self::materialize_in(&state, c);
-                        vals[0] = vals[0].add(&cv[0].scale(p));
-                        vals[1] = vals[1].add(&cv[1].scale(p));
-                    }
-                    NState::Value(vals)
-                }
-                NodeKind::And => {
-                    let mut prod = [T::one(), T::one()];
-                    let mut zeros = [0u32; 2];
-                    for &c in tree.children(node) {
-                        let cv = Self::materialize_in(&state, c);
-                        for comp in 0..2 {
-                            if cv[comp].is_zero() {
-                                zeros[comp] += 1;
-                            } else {
-                                prod[comp] = prod[comp].mul(&cv[comp]);
-                            }
-                        }
-                    }
-                    NState::And { prod, zeros }
-                }
-            };
-            state[idx] = s;
-        }
-        IncrementalGf { tree, state }
-    }
-
-    fn materialize_in(state: &[NState<T>], node: NodeId) -> [T; 2] {
-        match &state[node.index()] {
-            NState::Value(v) => v.clone(),
-            NState::And { prod, zeros } => [
-                if zeros[0] > 0 {
-                    T::zero()
-                } else {
-                    prod[0].clone()
-                },
-                if zeros[1] > 0 {
-                    T::zero()
-                } else {
-                    prod[1].clone()
-                },
-            ],
-        }
-    }
-
-    /// Current materialised value of a node (component pair).
-    pub fn value(&self, node: NodeId) -> [T; 2] {
-        Self::materialize_in(&self.state, node)
-    }
-
-    /// Current root value of the given component (0: `y = α`, 1: `y = 0`).
-    pub fn root(&self, comp: usize) -> T {
-        self.value(self.tree.root())[comp].clone()
-    }
-
-    /// Relabels the leaf of tuple `t` to the value pair `new`, updating all
-    /// ancestors in `O(depth(t))` ring operations.
-    pub fn set_leaf(&mut self, t: TupleId, new: [T; 2]) {
-        let leaf = self.tree.leaf_of(t);
-        let old = Self::materialize_in(&self.state, leaf);
-        self.state[leaf.index()] = NState::Value(new.clone());
-        let mut child = leaf;
-        let mut old_vals = old;
-        let mut new_vals = new;
-        while let Some(parent) = self.tree.parent(child) {
-            let parent_old = Self::materialize_in(&self.state, parent);
-            match &mut self.state[parent.index()] {
-                NState::Value(vals) => {
-                    // ∨ node: val += p · (new − old).
-                    let p = self.tree.edge_prob(child);
-                    for comp in 0..2 {
-                        let delta = new_vals[comp].add(&old_vals[comp].scale(-1.0));
-                        vals[comp] = vals[comp].add(&delta.scale(p));
-                    }
-                }
-                NState::And { prod, zeros } => {
-                    for comp in 0..2 {
-                        if old_vals[comp].is_zero() {
-                            zeros[comp] -= 1;
-                        } else {
-                            prod[comp] = prod[comp].div(&old_vals[comp]);
-                        }
-                        if new_vals[comp].is_zero() {
-                            zeros[comp] += 1;
-                        } else {
-                            prod[comp] = prod[comp].mul(&new_vals[comp]);
-                        }
-                    }
-                }
-            }
-            let parent_new = Self::materialize_in(&self.state, parent);
-            child = parent;
-            old_vals = parent_old;
-            new_vals = parent_new;
-        }
-    }
-}
-
-/// PRFe(α) over an and/xor tree — the incremental ANDXOR-PRFe-RANK
-/// (Algorithm 3), generic over the scalar field.
-///
-/// Total cost `O(Σᵢ dᵢ + n log n)` where `dᵢ` is the depth of tuple `i`.
-/// Use [`Complex`] / `f64` directly at small scale, or
+/// Each step relabels two leaves of a [`YLin`]-valued evaluator (processed
+/// tuples carry `α`, the current tuple `y`) and reads `Υ = B(α)·α` off the
+/// root. Total cost `O(Σᵢ dᵢ·log fanout + n log n)` where `dᵢ` is the depth
+/// of tuple `i`. Use [`Complex`] / `f64` directly at small scale,
 /// [`Scaled`] scalars (see [`prfe_rank_tree_scaled`]) when products may
-/// underflow.
-pub fn prfe_rank_tree<T: GfField>(tree: &AndXorTree, alpha: T) -> Vec<T> {
+/// underflow, or [`Dual`] for derivatives. Unlike the paper's formulation
+/// there is **no division**: ∧ nodes recombine cached sibling products, so
+/// `p = 1` leaves, zero-probability edges and `α = 0` need no zero-count
+/// bookkeeping.
+pub fn prfe_rank_tree<T: GfValue>(tree: &AndXorTree, alpha: T) -> Vec<T> {
+    prfe_rank_tree_stats(tree, alpha).0
+}
+
+/// [`prfe_rank_tree`] plus the evaluator's memory accounting.
+pub fn prfe_rank_tree_stats<T: GfValue>(tree: &AndXorTree, alpha: T) -> (Vec<T>, GfStats) {
     let n = tree.n_tuples();
     let mut out = vec![T::zero(); n];
     if n == 0 {
-        return out;
+        return (out, GfStats::default());
     }
     let (order, _) = score_order(tree);
-    let mut inc = IncrementalGf::new(tree, [T::one(), T::one()]);
+    let plan = EvalPlan::new(tree);
+    let mut inc = plan.evaluator(|_| YLin::<T>::one());
+    let processed = YLin::pure(alpha.clone());
     for (i, &t) in order.iter().enumerate() {
         if i > 0 {
-            // Previous tuple's label moves from y to x.
-            inc.set_leaf(order[i - 1], [alpha.clone(), alpha.clone()]);
+            // Previous tuple's label moves from y to α (the "x" slot).
+            inc.set_leaf(order[i - 1], processed.clone());
         }
-        // Current tuple's label moves from 1 to y: (α, 0).
-        inc.set_leaf(t, [alpha.clone(), T::zero()]);
-        // Υ(t) = F(α, α) − F(α, 0) = B(α)·α.
-        out[t.index()] = inc.root(0).add(&inc.root(1).scale(-1.0));
+        // Current tuple's label moves from 1 to y.
+        inc.set_leaf(t, YLin::y());
+        // Υ(t) = B(α)·α.
+        out[t.index()] = inc.root().b.mul(&alpha);
     }
-    out
+    let stats = inc.stats();
+    (out, stats)
 }
 
 /// [`prfe_rank_tree`] in scaled-complex arithmetic — underflow-proof at any
@@ -351,9 +284,17 @@ pub fn prfe_rank_tree_scaled(tree: &AndXorTree, alpha: Complex) -> Vec<Scaled<Co
     prfe_rank_tree(tree, Scaled::new(alpha))
 }
 
+/// [`prfe_rank_tree_scaled`] plus the evaluator's memory accounting.
+pub fn prfe_rank_tree_scaled_stats(
+    tree: &AndXorTree,
+    alpha: Complex,
+) -> (Vec<Scaled<Complex>>, GfStats) {
+    prfe_rank_tree_stats(tree, Scaled::new(alpha))
+}
+
 /// Recompute-from-scratch PRFe on a tree: one full `O(node count)` fold per
-/// tuple using [`YLin`] values. `O(n²)` total — the ablation baseline that
-/// shows what Algorithm 3's incrementality buys.
+/// tuple using [`YLin`] values. `O(n²)` total — the full-refold oracle that
+/// the incremental engine is differential-tested (and benchmarked) against.
 pub fn prfe_rank_tree_recompute(tree: &AndXorTree, alpha: Complex) -> Vec<Complex> {
     let n = tree.n_tuples();
     let mut out = vec![Complex::ZERO; n];
@@ -385,8 +326,8 @@ pub fn prfe_rank_tree_recompute(tree: &AndXorTree, alpha: Complex) -> Vec<Comple
 /// `E-Rank(t) = er₁(t) + er₂(t)` with
 ///
 /// * `er₁(t) = Σᵢ i·Pr(r(t) = i)` — the derivative at `α = 1` of the PRFe
-///   value `Υ_α(t) = Σᵢ Pr(r(t)=i)·αⁱ`, obtained by running Algorithm 3
-///   over dual numbers;
+///   value `Υ_α(t) = Σᵢ Pr(r(t)=i)·αⁱ`, obtained by running the incremental
+///   engine over dual numbers;
 /// * `er₂(t) = Σ_{pw: t∉pw} Pr(pw)·|pw|` — the derivative at `x = 1` of
 ///   `A(x) = F(x, y=0)` under the labelling that marks *every* other leaf
 ///   `x`, obtained from a second incremental pass.
@@ -400,18 +341,19 @@ pub fn expected_ranks_tree(tree: &AndXorTree) -> Vec<f64> {
     }
     let alpha = Dual::variable(1.0);
 
-    // er₁ via Algorithm 3 over duals.
+    // er₁ via the incremental engine over duals.
     let er1: Vec<Dual> = prfe_rank_tree(tree, alpha);
 
-    // er₂: all leaves labelled x = 1+ε, target labelled y; A = component 1.
+    // er₂: all leaves labelled x = 1+ε, the target labelled y; read dA/dε.
     let mut er2 = vec![0.0f64; n];
-    let mut inc = IncrementalGf::new(tree, [alpha, alpha]);
+    let plan = EvalPlan::new(tree);
+    let mut inc = plan.evaluator(|_| YLin::pure(alpha));
     for t in 0..n {
         if t > 0 {
-            inc.set_leaf(TupleId((t - 1) as u32), [alpha, alpha]);
+            inc.set_leaf(TupleId((t - 1) as u32), YLin::pure(alpha));
         }
-        inc.set_leaf(TupleId(t as u32), [alpha, Dual::ZERO]);
-        er2[t] = inc.root(1).d;
+        inc.set_leaf(TupleId(t as u32), YLin::y());
+        er2[t] = inc.root().a.d;
     }
 
     (0..n).map(|t| er1[t].d + er2[t]).collect()
@@ -421,7 +363,7 @@ pub fn expected_ranks_tree(tree: &AndXorTree) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::weights::*;
-    use prf_pdb::{IndependentDb, TreeBuilder};
+    use prf_pdb::{IndependentDb, NodeKind, TreeBuilder};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -515,6 +457,33 @@ mod tests {
     }
 
     #[test]
+    fn incremental_prf_matches_refold_oracle() {
+        for seed in 0..10u64 {
+            let tree = random_tree2(seed, 12, 4);
+            let weights: Vec<Box<dyn WeightFunction>> = vec![
+                Box::new(StepWeight { h: 1 }),
+                Box::new(StepWeight { h: 4 }),
+                Box::new(ConstantWeight),
+                Box::new(PositionWeight { j: 2 }),
+                Box::new(ExponentialWeight::real(0.8)),
+            ];
+            for w in &weights {
+                let inc = prf_rank_tree(&tree, w.as_ref());
+                let refold = prf_rank_tree_refold(&tree, w.as_ref());
+                for t in 0..tree.n_tuples() {
+                    assert!(
+                        inc[t].approx_eq(refold[t], 1e-9),
+                        "seed {seed} {} t{t}: {} vs {}",
+                        w.name(),
+                        inc[t],
+                        refold[t]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn incremental_prfe_matches_recompute() {
         for seed in 0..10u64 {
             let tree = random_tree2(seed, 12, 4);
@@ -563,16 +532,15 @@ mod tests {
 
     #[test]
     fn incremental_handles_certain_tuples_alpha_zero() {
-        // p = 1 leaves make factors exactly zero at α = 0 — exercises the
-        // zero-count bookkeeping.
+        // p = 1 leaves make factors exactly zero at α = 0 — the division-
+        // based formulation needed zero-count bookkeeping; the sibling-
+        // product engine needs nothing special.
         let tree = figure1_tree(); // t6 has p = 1
         let inc = prfe_rank_tree(&tree, Complex::real(0.0));
         let rec = prfe_rank_tree_recompute(&tree, Complex::real(0.0));
         for t in 0..tree.n_tuples() {
             assert!(inc[t].approx_eq(rec[t], 1e-12), "t{t}");
         }
-        // At α=0, Υ(t)·1/α → only rank-1 probability survives... with ω=αⁱ
-        // every Υ is 0; check exact zeros rather than NaNs.
         for t in 0..tree.n_tuples() {
             assert!(!inc[t].is_nan(), "t{t} must not be NaN");
         }
@@ -674,5 +642,20 @@ mod tests {
             let expect: f64 = dists[t][..2].iter().sum();
             assert!((full[t].re - expect).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn stats_variants_report_memory() {
+        let tree = figure1_tree();
+        let (vals, stats) = prf_rank_tree_stats(&tree, &StepWeight { h: 3 });
+        assert_eq!(vals, prf_rank_tree(&tree, &StepWeight { h: 3 }));
+        assert!(stats.plan_nodes > 0);
+        assert!(stats.peak_coefficients >= stats.resident_coefficients);
+        let (svals, sstats) = prfe_rank_tree_scaled_stats(&tree, Complex::real(0.7));
+        assert_eq!(svals.len(), tree.n_tuples());
+        assert!(sstats.plan_nodes > 0);
+        // Scalar engines hold no heap coefficients.
+        assert_eq!(sstats.peak_coefficients, 0);
+        assert!(sstats.peak_bytes > 0);
     }
 }

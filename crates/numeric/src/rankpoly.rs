@@ -184,6 +184,23 @@ impl GfValue for RankPoly {
         out.truncate();
         out
     }
+
+    fn add_scaled_assign(&mut self, rhs: &Self, c: f64) {
+        self.cap = self.cap.min(rhs.cap);
+        let zero = Poly::zero();
+        self.a.add_scaled_diff_in_place(&rhs.a, &zero, c, self.cap);
+        self.b.add_scaled_diff_in_place(&rhs.b, &zero, c, self.cap);
+    }
+
+    fn add_scaled_diff_assign(&mut self, new: &Self, old: &Self, c: f64) {
+        self.cap = self.cap.min(new.cap).min(old.cap);
+        self.a.add_scaled_diff_in_place(&new.a, &old.a, c, self.cap);
+        self.b.add_scaled_diff_in_place(&new.b, &old.b, c, self.cap);
+    }
+
+    fn heap_coeffs(&self) -> usize {
+        self.a.coeffs().len() + self.b.coeffs().len()
+    }
 }
 
 #[cfg(test)]

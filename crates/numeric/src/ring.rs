@@ -37,6 +37,28 @@ pub trait GfValue: Clone {
     fn add_scaled(&self, rhs: &Self, c: f64) -> Self {
         self.add(&rhs.scale(c))
     }
+
+    /// In-place `self += c·rhs`. The default allocates through
+    /// [`GfValue::add_scaled`]; heap-backed rings (truncated polynomials)
+    /// override with a fused coefficient loop.
+    fn add_scaled_assign(&mut self, rhs: &Self, c: f64) {
+        *self = self.add_scaled(rhs, c);
+    }
+
+    /// In-place `self += c·(new − old)` — the ∨-node *delta* update of the
+    /// incremental generating-function evaluator, fused so polynomial
+    /// implementations touch each coefficient once and allocate nothing.
+    fn add_scaled_diff_assign(&mut self, new: &Self, old: &Self, c: f64) {
+        let delta = new.add_scaled(old, -1.0);
+        self.add_scaled_assign(&delta, c);
+    }
+
+    /// Number of heap-allocated scalar coefficients this value currently
+    /// retains — the unit of the incremental evaluator's memory accounting
+    /// (peak polynomial footprint). Inline scalar rings report `0`.
+    fn heap_coeffs(&self) -> usize {
+        0
+    }
 }
 
 impl GfValue for f64 {

@@ -80,6 +80,20 @@ impl<T: GfValue> GfValue for YLin<T> {
             b: self.b.scale(c),
         }
     }
+
+    fn add_scaled_assign(&mut self, rhs: &Self, c: f64) {
+        self.a.add_scaled_assign(&rhs.a, c);
+        self.b.add_scaled_assign(&rhs.b, c);
+    }
+
+    fn add_scaled_diff_assign(&mut self, new: &Self, old: &Self, c: f64) {
+        self.a.add_scaled_diff_assign(&new.a, &old.a, c);
+        self.b.add_scaled_diff_assign(&new.b, &old.b, c);
+    }
+
+    fn heap_coeffs(&self) -> usize {
+        self.a.heap_coeffs() + self.b.heap_coeffs()
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ pub mod independent;
 pub mod tuple;
 pub mod worlds;
 
-pub use andxor::{AndXorTree, NodeId, NodeKind, TreeBuilder};
+pub use andxor::{AndXorTree, NodeId, NodeKind, PathToRoot, TreeBuilder};
 pub use attribute::{AttributeUncertainDb, CompiledAlternatives, UncertainTuple};
 pub use independent::IndependentDb;
 pub use tuple::{Tuple, TupleId};
