@@ -1,0 +1,117 @@
+//! Criterion benchmarks for batched multi-query execution: one
+//! [`QueryBatch`] over a shared score-order walk vs the same queries run
+//! sequentially. The acceptance workload (EXPERIMENTS.md "Batched
+//! queries") is a serving-style mix of k ≥ 4 semantics on the Syn-MED
+//! 10k tree — the batch must come in well under 0.5× the summed
+//! single-query times, because every weight-based entry shares ONE
+//! truncated-polynomial walk and every PRFe/E-Rank entry rides along as a
+//! scalar evaluation point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use prf_core::query::{Algorithm, QueryBatch, RankQuery};
+use prf_core::weights::TabulatedWeight;
+use prf_datasets::{syn_ind, syn_med_tree};
+
+/// The acceptance mix: six semantics — PT at two horizons, a learned-style
+/// PRFω(100), PRFe at two α, and E-Rank.
+fn tree_mix() -> Vec<RankQuery> {
+    let omega: Vec<f64> = (0..100).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    vec![
+        RankQuery::pt(100),
+        RankQuery::pt(75),
+        RankQuery::prf(TabulatedWeight::from_real(&omega)),
+        RankQuery::prfe(0.95).algorithm(Algorithm::ExactGf),
+        RankQuery::prfe(0.85).algorithm(Algorithm::ExactGf),
+        RankQuery::erank(),
+    ]
+}
+
+fn bench_batch_vs_sequential_tree(c: &mut Criterion) {
+    let tree = syn_med_tree(10_000, 3);
+    let queries = tree_mix();
+    let mut g = c.benchmark_group("batch_syn_med_10k");
+    g.sample_size(3); // each iteration walks 10k tuples with h=100 polys
+    g.bench_function("batch_6_semantics", |b| {
+        b.iter(|| {
+            black_box(
+                QueryBatch::new()
+                    .add_queries(queries.iter().cloned())
+                    .run(&tree)
+                    .expect("batch on Syn-MED"),
+            )
+        })
+    });
+    g.bench_function("sequential_6_semantics", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(q.run(&tree).expect("single query on Syn-MED"));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch_vs_sequential_independent(c: &mut Criterion) {
+    // The independent fast path: shared sort + one prefix polynomial at
+    // the max horizon + O(1)-per-step PRFe accumulators.
+    let db = syn_ind(100_000, 3);
+    let queries = vec![
+        RankQuery::pt(100),
+        RankQuery::pt(50),
+        RankQuery::prfe(0.95),
+        RankQuery::prfe(0.5),
+        RankQuery::erank(),
+    ];
+    let mut g = c.benchmark_group("batch_syn_ind_100k");
+    g.sample_size(10);
+    g.bench_function("batch_5_semantics", |b| {
+        b.iter(|| {
+            black_box(
+                QueryBatch::new()
+                    .add_queries(queries.iter().cloned())
+                    .run(&db)
+                    .expect("batch on Syn-IND"),
+            )
+        })
+    });
+    g.bench_function("sequential_5_semantics", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(q.run(&db).expect("single query on Syn-IND"));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch_parallel(c: &mut Criterion) {
+    // The sharded walk: the whole consumer set fast-forwards per shard.
+    let tree = syn_med_tree(10_000, 3);
+    let queries = tree_mix();
+    let mut g = c.benchmark_group("batch_syn_med_10k_parallel");
+    g.sample_size(3);
+    for threads in [2usize, 4] {
+        g.bench_function(format!("batch_6_semantics/{threads}_threads"), |b| {
+            b.iter(|| {
+                black_box(
+                    QueryBatch::new()
+                        .add_queries(queries.iter().cloned())
+                        .parallel(threads)
+                        .run(&tree)
+                        .expect("parallel batch on Syn-MED"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_vs_sequential_tree,
+    bench_batch_vs_sequential_independent,
+    bench_batch_parallel
+);
+criterion_main!(benches);

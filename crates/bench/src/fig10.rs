@@ -11,7 +11,7 @@
 //! LOW), stays small for x-tuples (Syn-XOR), and vanishes as α → 1 (where
 //! PRFe degenerates to ranking by marginal probability).
 
-use prf_core::query::{Algorithm, RankQuery};
+use prf_core::query::{Algorithm, ProbabilisticRelation, QueryBatch, RankQuery};
 use prf_datasets::{syn_high_tree, syn_low_tree, syn_med_tree, syn_xor_tree};
 use prf_metrics::kendall_topk;
 use prf_pdb::AndXorTree;
@@ -88,30 +88,26 @@ pub fn run(scale: Scale) {
         let mut sums = [0.0f64; 3];
         for &seed in &seeds {
             let tree = gen(n2, seed);
-            sums[0] += prfe_correlation_gap(&tree, 0.9, k);
             let ind_db = tree.to_independent();
-
-            let pt = RankQuery::pt(k).algorithm(Algorithm::ExactGf);
-            let pt_aware = pt
-                .run(&tree)
-                .expect("exact PT on trees")
-                .ranking
-                .top_k_u32(k);
-            let pt_ind = pt
-                .run(&ind_db)
-                .expect("exact PT on independent data")
-                .ranking
-                .top_k_u32(k);
-            sums[1] += kendall_topk(&pt_aware, &pt_ind, k);
-
-            let ur = RankQuery::urank(k);
-            let ur_aware = ur.run(&tree).expect("U-Rank on trees").ranking.top_k_u32(k);
-            let ur_ind = ur
-                .run(&ind_db)
-                .expect("U-Rank on independent data")
-                .ranking
-                .top_k_u32(k);
-            sums[2] += kendall_topk(&ur_aware, &ur_ind, k);
+            // The three semantics run as ONE batch per backend — the same
+            // query set over the correlation-aware tree and its
+            // independent projection, each sharing one walk.
+            let topks = |rel: &dyn ProbabilisticRelation| -> Vec<Vec<u32>> {
+                QueryBatch::new()
+                    .add_query(RankQuery::prfe(0.9).algorithm(Algorithm::Scaled))
+                    .add_query(RankQuery::pt(k).algorithm(Algorithm::ExactGf))
+                    .add_query(RankQuery::urank(k))
+                    .run(rel)
+                    .expect("both backends support the fig10 semantics")
+                    .into_iter()
+                    .map(|r| r.ranking.top_k_u32(k))
+                    .collect()
+            };
+            let aware = topks(&tree);
+            let ind = topks(&ind_db);
+            for (s, (a, i)) in sums.iter_mut().zip(aware.iter().zip(&ind)) {
+                *s += kendall_topk(a, i, k);
+            }
         }
         let m = seeds.len() as f64;
         println!(

@@ -13,7 +13,7 @@
 //! incremental tree PRFe.
 
 use prf_approx::{approximate_weights, DftApproxConfig};
-use prf_core::query::{Algorithm, RankQuery};
+use prf_core::query::{Algorithm, QueryBatch, RankQuery};
 use prf_datasets::{iip_db, syn_high_tree, syn_xor_tree};
 
 use crate::{header, timed, Scale, SEED};
@@ -36,30 +36,45 @@ pub fn run(scale: Scale) {
         Scale::Full => vec![200_000, 400_000, 600_000, 800_000, 1_000_000],
     };
     println!(
-        "{:>10}{:>12}{:>12}{:>12}{:>12}{:>12}{:>12}",
-        "n", "PRFe(.95)", "PT(100)", "U-Rank k=10", "k=50", "k=100", "E-Rank"
+        "{:>10}{:>12}{:>12}{:>12}{:>12}{:>12}{:>12}{:>12}{:>8}",
+        "n", "PRFe(.95)", "PT(100)", "U-Rank k=10", "k=50", "k=100", "E-Rank", "batch", "ratio"
     );
     for &n in &sizes {
         let db = iip_db(n, SEED);
         // Every timing goes through the unified engine (LogDomain is what
         // Auto picks for real-α PRFe at these sizes).
-        let time = |q: RankQuery| timed(|| q.run(&db).expect("independent backend")).1;
-        let t_prfe = time(RankQuery::prfe(0.95).algorithm(Algorithm::LogDomain));
-        let t_pt = time(RankQuery::pt(100));
-        let t_u10 = time(RankQuery::urank(10));
-        let t_u50 = time(RankQuery::urank(50));
-        let t_u100 = time(RankQuery::urank(100));
-        let t_er = time(RankQuery::erank());
+        let queries = [
+            RankQuery::prfe(0.95).algorithm(Algorithm::LogDomain),
+            RankQuery::pt(100),
+            RankQuery::urank(10),
+            RankQuery::urank(50),
+            RankQuery::urank(100),
+            RankQuery::erank(),
+        ];
+        let times: Vec<f64> = queries
+            .iter()
+            .map(|q| timed(|| q.run(&db).expect("independent backend")).1)
+            .collect();
+        // The same six queries as ONE batch over a shared walk — the
+        // serving-workload amortization the batch engine exists for.
+        let (_, t_batch) = timed(|| {
+            QueryBatch::new()
+                .add_queries(queries.iter().cloned())
+                .run(&db)
+                .expect("independent backend")
+        });
+        let t_seq: f64 = times.iter().sum();
+        print!("{n:>10}");
+        for t in &times {
+            print!("{:>12}", secs(*t));
+        }
         println!(
-            "{n:>10}{:>12}{:>12}{:>12}{:>12}{:>12}{:>12}",
-            secs(t_prfe),
-            secs(t_pt),
-            secs(t_u10),
-            secs(t_u50),
-            secs(t_u100),
-            secs(t_er)
+            "{:>12}{:>8}",
+            secs(t_batch),
+            format!("{:.2}x", t_batch / t_seq)
         );
     }
+    println!("(batch = all six queries in one QueryBatch; ratio vs their summed times)");
 
     header("Figure 11(ii): exact PT(h) vs PRFe-mixture approximations");
     let hs: Vec<usize> = match scale {

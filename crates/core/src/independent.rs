@@ -21,6 +21,7 @@
 use prf_numeric::{Complex, GfValue, Poly, Scaled};
 use prf_pdb::{IndependentDb, Tuple};
 
+use crate::query::batch::{SharedAnswer, SharedRequest, SharedWalkOut, SharedWalkSpec};
 use crate::weights::WeightFunction;
 
 /// Υ values for every tuple under an arbitrary PRF weight function.
@@ -203,6 +204,131 @@ pub fn rank_distribution_of(db: &IndependentDb, target: prf_pdb::TupleId) -> Vec
         g.mul_linear_in_place(1.0 - t.prob, t.prob, n);
     }
     unreachable!("target tuple not in database");
+}
+
+/// Serves a whole batched-walk request set from **one** pass over the
+/// score-sorted tuples — the independent-relation counterpart of
+/// `crate::tree::batch_walk_tree`. One shared sort, one prefix polynomial
+/// `G(x)` truncated at the *largest* weight horizon (every PRFω/PT
+/// consumer reads its own prefix of the coefficients — a truncation view),
+/// and one `O(1)`-per-step numeric accumulator per PRFe consumer in its
+/// requested mode. Expected ranks use the closed form (it shares nothing
+/// beyond the relation, but is `O(n log n)` and exact).
+///
+/// Per-consumer answers are bit-identical to the corresponding single
+/// kernels ([`prf_rank`], [`prfe_rank`], [`prfe_rank_log`],
+/// [`prfe_rank_scaled`], `expected_ranks_independent`): the loop bodies
+/// are the same operations in the same order.
+pub(crate) fn batch_walk_independent(db: &IndependentDb, spec: &SharedWalkSpec) -> SharedWalkOut {
+    let start = std::time::Instant::now();
+    let n = db.len();
+
+    // Parse the requests into per-kind accumulators.
+    enum Acc {
+        /// (extraction cap) — reads the shared prefix polynomial.
+        Weight(usize),
+        /// Running `Gᵢ(α)` in plain complex arithmetic.
+        Complex(Complex, Complex),
+        /// Running `ln Gᵢ(α)`.
+        Log(f64, f64),
+        /// Running `Gᵢ(α)` in scaled arithmetic.
+        Scaled(Scaled<Complex>, Scaled<Complex>, Complex),
+        /// Closed form, filled in before the walk.
+        Ranks,
+    }
+    let mut cap_max = 0usize;
+    let mut accs: Vec<Acc> = spec
+        .requests
+        .iter()
+        .map(|req| match req {
+            SharedRequest::Weight(_) => {
+                let c = req.weight_cap(n).expect("weight request has a cap");
+                cap_max = cap_max.max(c);
+                Acc::Weight(c)
+            }
+            SharedRequest::PrfeComplex(a) => Acc::Complex(Complex::ONE, *a),
+            SharedRequest::PrfeLog(a) => {
+                assert!(
+                    (0.0..=1.0).contains(a),
+                    "log-domain PRFe requires α ∈ [0, 1], got {a}"
+                );
+                Acc::Log(0.0, *a)
+            }
+            SharedRequest::PrfeScaled(a) => {
+                Acc::Scaled(Scaled::<Complex>::one(), Scaled::new(*a), *a)
+            }
+            SharedRequest::ExpectedRanks => Acc::Ranks,
+        })
+        .collect();
+    let weights: Vec<Option<&(dyn WeightFunction + Sync)>> = spec
+        .requests
+        .iter()
+        .map(|req| match req {
+            SharedRequest::Weight(w) => Some(w.as_ref() as &(dyn WeightFunction + Sync)),
+            _ => None,
+        })
+        .collect();
+
+    // One shared definition of the per-request buffer defaults (zero Υ,
+    // `-∞` log keys) with the tree walk; expected ranks use the closed
+    // form, filled in before the walk.
+    let mut answers = crate::tree::BatchConsumers::answer_buffers(spec, n);
+    for (req, answer) in spec.requests.iter().zip(&mut answers) {
+        if matches!(req, SharedRequest::ExpectedRanks) {
+            *answer = SharedAnswer::Ranks(crate::query::kernels::expected_ranks_independent(db));
+        }
+    }
+
+    if n > 0 {
+        let order = db.ids_by_score_desc();
+        // The shared prefix polynomial, capped at the largest horizon.
+        let mut g_poly = Poly::one();
+        for &tid in &order {
+            let t = db.tuple(tid);
+            for ((acc, answer), omega) in accs.iter_mut().zip(&mut answers).zip(&weights) {
+                match (acc, answer) {
+                    (Acc::Weight(cap), SharedAnswer::Complex(buf)) => {
+                        // Identical loop to `prf_rank_truncated`.
+                        let omega = omega.expect("weight request has a weight");
+                        let mut upsilon = Complex::ZERO;
+                        for (m, &c) in g_poly.coeffs().iter().enumerate().take(*cap) {
+                            if c != 0.0 {
+                                upsilon += omega.weight(t, m + 1) * c;
+                            }
+                        }
+                        buf[tid.index()] = upsilon * t.prob;
+                    }
+                    (Acc::Complex(g, alpha), SharedAnswer::Complex(buf)) => {
+                        // Identical recurrence to `prfe_rank`.
+                        buf[tid.index()] = *g * *alpha * t.prob;
+                        *g *= Complex::real(1.0 - t.prob) + *alpha * t.prob;
+                    }
+                    (Acc::Log(log_g, alpha), SharedAnswer::Log(buf)) => {
+                        // Identical recurrence to `prfe_rank_log`.
+                        if t.prob > 0.0 && *alpha > 0.0 && *log_g > f64::NEG_INFINITY {
+                            buf[tid.index()] = *log_g + t.prob.ln() + alpha.ln();
+                        }
+                        *log_g += (1.0 - t.prob + t.prob * *alpha).ln();
+                    }
+                    (Acc::Scaled(g, alpha_s, alpha), SharedAnswer::Scaled(buf)) => {
+                        // Identical recurrence to `prfe_rank_scaled`.
+                        buf[tid.index()] = g.mul(alpha_s).scale(t.prob);
+                        let factor = Scaled::new(Complex::real(1.0 - t.prob) + *alpha * t.prob);
+                        *g = g.mul(&factor);
+                    }
+                    (Acc::Ranks, SharedAnswer::Ranks(_)) => {} // closed form above
+                    _ => unreachable!("accumulator shape matches answer shape"),
+                }
+            }
+            g_poly.mul_linear_in_place(1.0 - t.prob, t.prob, cap_max.max(1));
+        }
+    }
+
+    SharedWalkOut {
+        answers,
+        stats: None, // closed-form kernels: no incremental evaluator
+        walk_seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Evaluates Υ from an explicit rank distribution — the textbook definition,

@@ -32,8 +32,10 @@
 //! E-Score, Consensus) with an [`query::Algorithm`] (exact
 //! generating functions, log-domain, scaled arithmetic, or the DFT
 //! mixture approximation — or `Auto`) and runs against any
-//! [`query::ProbabilisticRelation`] backend. The per-algorithm free
-//! functions below remain available as the engine's kernels.
+//! [`query::ProbabilisticRelation`] backend. Many queries against one
+//! relation batch into **one shared score-order walk** via
+//! [`query::QueryBatch`]. The per-algorithm free functions below remain
+//! available as the engine's kernels.
 //!
 //! # Module map
 //!
@@ -81,8 +83,9 @@ pub use independent::{
 pub use mixture::{approximate_weights, DftApproxConfig, ExpMixture};
 pub use parallel::{prf_rank_tree_parallel, prf_rank_tree_parallel_stats};
 pub use query::{
-    Algorithm, CorrelationClass, EvalReport, NumericMode, ProbabilisticRelation, QueryError,
-    RankQuery, RankedResult, Semantics, TopSet, Values,
+    Algorithm, BatchCost, BatchPlan, BatchRoute, CorrelationClass, EvalReport, NumericMode,
+    ProbabilisticRelation, QueryBatch, QueryError, RankQuery, RankedResult, Semantics, TopSet,
+    Values,
 };
 pub use spectrum::{crossing_point, prfe_spectrum, spectrum_endpoints, Crossing};
 pub use topk::{Ranking, ValueOrder};

@@ -8,11 +8,14 @@
 //! only its shard. All workers share one compiled [`EvalPlan`]; total work
 //! is one extra fold per worker on top of the serial incremental cost.
 
+use std::time::Instant;
+
 use prf_numeric::{Complex, RankPoly};
 use prf_pdb::{AndXorTree, TupleId};
 
 use crate::incremental::{EvalPlan, GfStats};
-use crate::tree::score_order;
+use crate::query::batch::{SharedAnswer, SharedWalkOut, SharedWalkSpec};
+use crate::tree::{score_order, BatchConsumers, BatchWalkers};
 use crate::weights::WeightFunction;
 
 /// Parallel ANDXOR-PRF-RANK: identical output to
@@ -100,6 +103,102 @@ pub fn prf_rank_tree_parallel_stats(
         stats = stats.merge(shard_stats);
     }
     (out, stats)
+}
+
+/// The sharded form of [`crate::tree::batch_walk_tree`]: every worker
+/// fast-forwards the full consumer set (the shared polynomial evaluator
+/// plus one scalar evaluator per PRFe/E-Rank request) into its shard-start
+/// labelling over **one** compiled [`EvalPlan`], walks only its shard, and
+/// the shards' answers are merged. The expected-ranks absent-worlds pass
+/// runs serially afterwards (it is `O(n)` scalar work).
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub(crate) fn batch_walk_tree_parallel(
+    tree: &AndXorTree,
+    spec: &SharedWalkSpec,
+    threads: usize,
+) -> SharedWalkOut {
+    assert!(threads > 0, "need at least one thread");
+    let start = Instant::now();
+    let n = tree.n_tuples();
+    let consumers = BatchConsumers::parse(spec, n);
+    let mut answers = BatchConsumers::answer_buffers(spec, n);
+    if n == 0 {
+        return SharedWalkOut {
+            answers,
+            stats: None,
+            walk_seconds: start.elapsed().as_secs_f64(),
+        };
+    }
+    let (order, pos) = score_order(tree);
+    let marginals = tree.marginals();
+    let plan = EvalPlan::new(tree);
+
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut shards: Vec<(usize, usize, Vec<SharedAnswer>, GfStats)> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                continue; // rounding can leave trailing shards empty
+            }
+            let order = &order;
+            let pos = &pos;
+            let marginals = &marginals;
+            let plan = &plan;
+            let consumers = &consumers;
+            let spec = &spec;
+            handles.push(scope.spawn(move || {
+                // Shard-sized buffers (position `i − lo`), like the
+                // single-query parallel walk — not full-length per worker.
+                let mut local = BatchConsumers::answer_buffers(spec, hi - lo);
+                // Fast-forward: tuples before the shard already carry x/α.
+                let mut walkers =
+                    BatchWalkers::fast_forward(plan, consumers, |u| pos[u.index()] < lo);
+                for (i, &t) in order.iter().enumerate().take(hi).skip(lo) {
+                    walkers.step((i > lo).then(|| order[i - 1]), t);
+                    let tv = crate::tree::tuple_view(tree, marginals, t);
+                    walkers.extract(consumers, &tv, &mut local, i - lo);
+                }
+                (lo, hi, local, walkers.stats())
+            }));
+        }
+        for h in handles {
+            shards.push(h.join().expect("worker panicked"));
+        }
+    });
+
+    let mut stats = GfStats::default();
+    for (lo, hi, local, shard_stats) in shards {
+        for (j, &t) in order[lo..hi].iter().enumerate() {
+            for (dst, src) in answers.iter_mut().zip(&local) {
+                copy_answer_at(dst, src, t.index(), j);
+            }
+        }
+        stats = stats.merge(shard_stats);
+    }
+    crate::tree::finish_erank_answers(&consumers, &plan, n, &mut answers);
+    SharedWalkOut {
+        answers,
+        stats: Some(stats),
+        walk_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Copies one tuple's value from a shard-local answer buffer (indexed by
+/// shard position) into the merged buffer (indexed by tuple id).
+fn copy_answer_at(dst: &mut SharedAnswer, src: &SharedAnswer, dst_idx: usize, src_idx: usize) {
+    match (dst, src) {
+        (SharedAnswer::Complex(d), SharedAnswer::Complex(s)) => d[dst_idx] = s[src_idx],
+        (SharedAnswer::Log(d), SharedAnswer::Log(s)) => d[dst_idx] = s[src_idx],
+        (SharedAnswer::Scaled(d), SharedAnswer::Scaled(s)) => d[dst_idx] = s[src_idx],
+        (SharedAnswer::Ranks(d), SharedAnswer::Ranks(s)) => d[dst_idx] = s[src_idx],
+        _ => unreachable!("shard buffers share the merged buffers' shapes"),
+    }
 }
 
 #[cfg(test)]

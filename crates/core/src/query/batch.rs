@@ -1,0 +1,687 @@
+//! Batched multi-query execution over **one shared score-order walk**.
+//!
+//! The paper's parameterized ranking function means every semantics —
+//! PRFω(h)/PT(h), PRFe(α) at any α, expected ranks — is read off the *same*
+//! generating function, walked over the *same* score order. A
+//! [`QueryBatch`] exploits that: it compiles N queries against one
+//! [`ProbabilisticRelation`] into a [`BatchPlan`] that shares the score
+//! sort, the compiled [`crate::incremental::EvalPlan`], and the incremental
+//! evaluator state, then extracts every answer from **one leaf-relabeling
+//! pass**. PRFe variants become extra evaluation points of the shared
+//! generating function (one scalar evaluator per α over the shared plan);
+//! PT(h)/PRFω(h) variants become truncation views of one shared
+//! truncated-polynomial evaluator (capped at the largest requested
+//! horizon); expected ranks ride along as a dual-number evaluation point.
+//!
+//! ```
+//! use prf_core::query::{QueryBatch, RankQuery, Semantics};
+//! use prf_pdb::IndependentDb;
+//!
+//! let db = IndependentDb::from_pairs([(100.0, 0.5), (50.0, 1.0), (80.0, 0.8)])?;
+//! let results = QueryBatch::new()
+//!     .add(Semantics::Pt(2))
+//!     .add(Semantics::ERank)
+//!     .add_query(RankQuery::prfe(0.9))
+//!     .run(&db)?;
+//! assert_eq!(results.len(), 3);
+//! // Each result is exactly what the equivalent single query returns…
+//! assert_eq!(
+//!     results[0].ranking.order(),
+//!     RankQuery::pt(2).run(&db)?.ranking.order()
+//! );
+//! // …and its report records the shared-walk cost attribution.
+//! assert!(results[0].report.batch.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Semantics with no shared-walk form (U-Top's set sweep, U-Rank's
+//! candidate tables, the DFT mixture pipeline, E-Score's closed form) still
+//! run through the batch API but are evaluated as individual queries
+//! ([`BatchRoute::Single`]); their reports carry `batch: None`. Backends
+//! without a shared-walk kernel (the graphical adapter) fall back the same
+//! way, so a batch is *always* answer-equivalent to the sequence of single
+//! queries — enforced to 1e-9 by `tests/batch_equivalence.rs`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use prf_numeric::{Complex, Scaled};
+
+use super::relation::ProbabilisticRelation;
+use super::{Algorithm, EvalReport, QueryError, RankQuery, RankedResult, Semantics, Values};
+use crate::incremental::GfStats;
+use crate::topk::{Ranking, ValueOrder};
+use crate::weights::WeightFunction;
+
+// ---------------------------------------------------------------------
+// The shared-walk backend interface
+// ---------------------------------------------------------------------
+
+/// One consumer of a shared score-order walk — the backend-facing form of a
+/// batched query, produced by [`QueryBatch`] compilation and consumed by
+/// [`ProbabilisticRelation::run_shared_walk`].
+#[derive(Clone)]
+pub enum SharedRequest {
+    /// Weight-based Υ extraction (PRFω/PT/Consensus): read the first
+    /// `truncation` coefficients of the shared generating function.
+    Weight(Arc<dyn WeightFunction + Send + Sync>),
+    /// PRFe(α) in plain complex arithmetic — an extra evaluation point of
+    /// the shared generating function.
+    PrfeComplex(Complex),
+    /// PRFe(α) log-domain keys (real `α ∈ [0, 1]`).
+    PrfeLog(f64),
+    /// PRFe(α) in scaled arithmetic.
+    PrfeScaled(Complex),
+    /// Expected ranks (lower is better), via a dual-number evaluation
+    /// point at `α = 1`.
+    ExpectedRanks,
+}
+
+impl SharedRequest {
+    /// The shared-polynomial extraction cap of a weight request on an
+    /// `n`-tuple relation (`None` for non-weight requests) — the single
+    /// definition both the tree and independent batch walks parse with,
+    /// matching the single kernels' `truncation().unwrap_or(n).min(n)`.
+    pub(crate) fn weight_cap(&self, n: usize) -> Option<usize> {
+        match self {
+            SharedRequest::Weight(w) => Some(w.truncation().unwrap_or(n).min(n)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SharedRequest::Weight(w) => write!(f, "Weight({})", w.name()),
+            SharedRequest::PrfeComplex(a) => write!(f, "PrfeComplex({a})"),
+            SharedRequest::PrfeLog(a) => write!(f, "PrfeLog({a})"),
+            SharedRequest::PrfeScaled(a) => write!(f, "PrfeScaled({a})"),
+            SharedRequest::ExpectedRanks => f.write_str("ExpectedRanks"),
+        }
+    }
+}
+
+/// Everything a backend needs to serve a batch from one walk.
+#[derive(Clone, Debug)]
+pub struct SharedWalkSpec {
+    /// The consumers, in batch-entry order.
+    pub requests: Vec<SharedRequest>,
+    /// Worker threads requested for shard-parallel walks.
+    pub threads: Option<usize>,
+}
+
+/// The per-request answer of a shared walk, indexed by tuple id.
+#[derive(Clone, Debug)]
+pub enum SharedAnswer {
+    /// Plain complex Υ values ([`SharedRequest::Weight`] /
+    /// [`SharedRequest::PrfeComplex`]).
+    Complex(Vec<Complex>),
+    /// Log-domain keys ([`SharedRequest::PrfeLog`]).
+    Log(Vec<f64>),
+    /// Scaled Υ values ([`SharedRequest::PrfeScaled`]).
+    Scaled(Vec<Scaled<Complex>>),
+    /// Expected ranks, lower is better ([`SharedRequest::ExpectedRanks`]).
+    Ranks(Vec<f64>),
+}
+
+/// What one shared walk produced.
+#[derive(Clone, Debug)]
+pub struct SharedWalkOut {
+    /// Per-request answers, parallel to [`SharedWalkSpec::requests`].
+    pub answers: Vec<SharedAnswer>,
+    /// Merged memory accounting of the walk's incremental evaluators
+    /// (`None` for closed-form backends).
+    pub stats: Option<GfStats>,
+    /// Wall-clock seconds of the whole walk (sort + plan + evaluation).
+    pub walk_seconds: f64,
+}
+
+// ---------------------------------------------------------------------
+// Cost attribution
+// ---------------------------------------------------------------------
+
+/// Cost attribution recorded in a batched query's
+/// [`EvalReport`]: how much walk time was shared, and
+/// between how many queries. A batched entry's `kernel_seconds` is its
+/// amortized share `walk_seconds / consumers`; queries evaluated
+/// individually inside a batch carry `batch: None`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchCost {
+    /// Total wall-clock seconds of the shared walk.
+    pub walk_seconds: f64,
+    /// Number of queries that shared that walk.
+    pub consumers: usize,
+}
+
+impl BatchCost {
+    /// This query's amortized share of the walk.
+    pub fn amortized_seconds(&self) -> f64 {
+        self.walk_seconds / self.consumers.max(1) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// The compiled plan
+// ---------------------------------------------------------------------
+
+/// How one batch entry is executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchRoute {
+    /// Served by the shared score-order walk.
+    Shared,
+    /// Evaluated as an individual query (set/position semantics, closed
+    /// forms, the DFT mixture, or a backend without a shared-walk kernel).
+    Single,
+}
+
+/// The compiled form of a [`QueryBatch`] against one backend: every entry's
+/// resolved algorithm and execution route. Exposed so callers (and the
+/// batch benchmarks) can inspect how much of a batch actually shares the
+/// walk before running it.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    resolved: Vec<(Algorithm, BatchRoute)>,
+}
+
+impl BatchPlan {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.resolved.len()
+    }
+
+    /// `true` when the batch has no entries (never produced by
+    /// [`QueryBatch::compile`], which rejects empty batches).
+    pub fn is_empty(&self) -> bool {
+        self.resolved.is_empty()
+    }
+
+    /// The resolved algorithm of entry `i`.
+    pub fn algorithm(&self, i: usize) -> Algorithm {
+        self.resolved[i].0
+    }
+
+    /// The execution route of entry `i`.
+    pub fn route(&self, i: usize) -> BatchRoute {
+        self.resolved[i].1
+    }
+
+    /// How many entries share the walk.
+    pub fn shared_consumers(&self) -> usize {
+        self.resolved
+            .iter()
+            .filter(|(_, r)| *r == BatchRoute::Shared)
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The batch builder
+// ---------------------------------------------------------------------
+
+/// A batch of ranking queries against one relation, answered from one
+/// shared score-order walk wherever the semantics allow (see the module
+/// docs for the sharing rules and the fallback behaviour).
+///
+/// Entries are full [`RankQuery`]s, so per-entry algorithm, value order and
+/// `top_k` overrides compose with the batch-level defaults
+/// ([`QueryBatch::top_k`] and [`QueryBatch::parallel`] apply to entries
+/// that did not set their own).
+#[derive(Clone, Debug, Default)]
+pub struct QueryBatch {
+    entries: Vec<RankQuery>,
+    top_k: Option<usize>,
+    threads: Option<usize>,
+}
+
+impl QueryBatch {
+    /// An empty batch. At least one entry must be added before
+    /// [`QueryBatch::run`]; running an empty batch is an error
+    /// ([`QueryError::EmptyBatch`]), not an empty answer.
+    pub fn new() -> Self {
+        QueryBatch::default()
+    }
+
+    /// Adds a semantics with default options ([`Algorithm::Auto`]).
+    // Builder-style `add`, not arithmetic — the trait would be nonsense here.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, semantics: Semantics) -> Self {
+        self.entries.push(RankQuery::new(semantics));
+        self
+    }
+
+    /// Adds a fully configured query (per-entry algorithm, value order,
+    /// `top_k`, …).
+    pub fn add_query(mut self, query: RankQuery) -> Self {
+        self.entries.push(query);
+        self
+    }
+
+    /// Adds every query of an iterator.
+    pub fn add_queries(mut self, queries: impl IntoIterator<Item = RankQuery>) -> Self {
+        self.entries.extend(queries);
+        self
+    }
+
+    /// Truncates every returned ranking to its best `k` entries (entries
+    /// with their own `top_k` keep it).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Requests `threads` workers for the shared walk (sharded exactly like
+    /// [`crate::parallel::prf_rank_tree_parallel`]) and, as a default, for
+    /// parallel-capable kernels of individually evaluated entries.
+    ///
+    /// This batch-level setting is the **only** control over the shared
+    /// walk: a per-entry `RankQuery::parallel` cannot shard a walk it
+    /// shares with other entries, so it is ignored for shared-routed
+    /// entries (their reports echo the walk's actual thread count) and
+    /// honoured, entry-first, for individually evaluated ones.
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries were added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, in execution order.
+    pub fn queries(&self) -> &[RankQuery] {
+        &self.entries
+    }
+
+    /// Compiles the batch against a backend without running it: resolves
+    /// every entry's algorithm (surfacing incompatibilities exactly like
+    /// the equivalent single queries would) and decides which entries share
+    /// the walk.
+    pub fn compile(
+        &self,
+        rel: &(impl ProbabilisticRelation + ?Sized),
+    ) -> Result<BatchPlan, QueryError> {
+        if self.entries.is_empty() {
+            return Err(QueryError::EmptyBatch);
+        }
+        let mut resolved = Vec::with_capacity(self.entries.len());
+        for entry in &self.entries {
+            let algorithm = entry.resolve_algorithm(rel)?;
+            resolved.push((algorithm, route(entry.semantics(), algorithm)));
+        }
+        Ok(BatchPlan { resolved })
+    }
+
+    /// Runs every query, sharing one score-order walk between the entries
+    /// the plan routes as [`BatchRoute::Shared`]. Results are in entry
+    /// order and answer-equivalent to running each entry individually.
+    pub fn run(
+        &self,
+        rel: &(impl ProbabilisticRelation + ?Sized),
+    ) -> Result<Vec<RankedResult>, QueryError> {
+        let plan = self.compile(rel)?;
+
+        // Assemble the shared-walk spec from the Shared entries.
+        let mut spec = SharedWalkSpec {
+            requests: Vec::new(),
+            threads: self.threads,
+        };
+        let mut request_of = vec![usize::MAX; self.entries.len()];
+        for (i, entry) in self.entries.iter().enumerate() {
+            if plan.route(i) == BatchRoute::Shared {
+                request_of[i] = spec.requests.len();
+                spec.requests
+                    .push(shared_request(entry.semantics(), plan.algorithm(i)));
+            }
+        }
+
+        // One walk serves every shared entry; `None` (no backend kernel)
+        // demotes them all to individual evaluation.
+        let walk = if spec.requests.is_empty() {
+            None
+        } else {
+            rel.run_shared_walk(&spec)
+        };
+        let (mut answers, stats, walk_seconds, consumers) = match walk {
+            Some(out) => {
+                let consumers = out.answers.len();
+                (
+                    out.answers.into_iter().map(Some).collect::<Vec<_>>(),
+                    out.stats,
+                    out.walk_seconds,
+                    consumers,
+                )
+            }
+            None => (Vec::new(), None, 0.0, 0),
+        };
+
+        let mut results = Vec::with_capacity(self.entries.len());
+        for (i, entry) in self.entries.iter().enumerate() {
+            let answer = if answers.is_empty() {
+                None
+            } else {
+                answers
+                    .get_mut(request_of[i])
+                    .and_then(std::option::Option::take)
+            };
+            let result = match answer {
+                Some(answer) => self.finalize_shared(
+                    entry,
+                    plan.algorithm(i),
+                    rel,
+                    answer,
+                    BatchCost {
+                        walk_seconds,
+                        consumers,
+                    },
+                    stats,
+                ),
+                // Single-route entries (and every entry when the backend
+                // has no shared walk) run as the equivalent single query.
+                None => self.effective_single(entry).run(rel)?,
+            };
+            results.push(result);
+        }
+        Ok(results)
+    }
+
+    /// The single-query form of an entry with batch-level defaults filled
+    /// in (threads, `top_k`).
+    fn effective_single(&self, entry: &RankQuery) -> RankQuery {
+        let mut q = entry.clone();
+        if q.top_k.is_none() {
+            q.top_k = self.top_k;
+        }
+        if q.threads.is_none() {
+            q.threads = self.threads;
+        }
+        q
+    }
+
+    /// Builds the [`RankedResult`] of a shared entry from its walk answer,
+    /// mirroring the single-query value/ranking construction exactly.
+    fn finalize_shared(
+        &self,
+        entry: &RankQuery,
+        algorithm: Algorithm,
+        rel: &(impl ProbabilisticRelation + ?Sized),
+        answer: SharedAnswer,
+        cost: BatchCost,
+        stats: Option<GfStats>,
+    ) -> RankedResult {
+        let finalize_start = Instant::now();
+        let (values, ranking) = match (&entry.semantics, answer) {
+            (Semantics::Prf(_), SharedAnswer::Complex(vals)) => {
+                let ranking =
+                    Ranking::from_values(&vals, entry.value_order.unwrap_or(ValueOrder::Magnitude));
+                (Values::Complex(vals), ranking)
+            }
+            (Semantics::Pt(_) | Semantics::Consensus(_), SharedAnswer::Complex(vals)) => {
+                let ranking =
+                    Ranking::from_values(&vals, entry.value_order.unwrap_or(ValueOrder::RealPart));
+                (Values::Complex(vals), ranking)
+            }
+            (Semantics::Prfe(_), SharedAnswer::Complex(vals)) => {
+                let ranking =
+                    Ranking::from_values(&vals, entry.value_order.unwrap_or(ValueOrder::Magnitude));
+                (Values::Complex(vals), ranking)
+            }
+            (Semantics::Prfe(_), SharedAnswer::Log(keys)) => {
+                let ranking = Ranking::from_keys(&keys);
+                (Values::LogDomain(keys), ranking)
+            }
+            (Semantics::Prfe(_), SharedAnswer::Scaled(vals)) => {
+                let ranking = entry.rank_scaled(&vals, ValueOrder::Magnitude);
+                (Values::Scaled(vals), ranking)
+            }
+            (Semantics::ERank, SharedAnswer::Ranks(er)) => {
+                // Negated so higher ranks better, like the single query.
+                let vals: Vec<Complex> = er.iter().map(|&e| Complex::real(-e)).collect();
+                let keys: Vec<f64> = er.into_iter().map(|e| -e).collect();
+                (Values::Complex(vals), Ranking::from_keys(&keys))
+            }
+            (sem, ans) => unreachable!(
+                "shared answer shape mismatch: {sem:?} got {}",
+                match ans {
+                    SharedAnswer::Complex(_) => "Complex",
+                    SharedAnswer::Log(_) => "Log",
+                    SharedAnswer::Scaled(_) => "Scaled",
+                    SharedAnswer::Ranks(_) => "Ranks",
+                }
+            ),
+        };
+
+        let mut ranking = ranking;
+        let top_k = entry.top_k.or(self.top_k);
+        if let Some(k) = top_k {
+            ranking.truncate(k);
+        }
+
+        let amortized = cost.amortized_seconds();
+        let report = EvalReport {
+            semantics: entry.semantics.name(),
+            backend: rel.correlation_class(),
+            algorithm,
+            auto_selected: matches!(entry.algorithm, Algorithm::Auto),
+            numeric_mode: values.numeric_mode(),
+            kernel_seconds: amortized,
+            total_seconds: amortized + finalize_start.elapsed().as_secs_f64(),
+            truncated_to: top_k,
+            // The walk's actual thread count — a per-entry `parallel` has
+            // no effect on a walk shared with other entries.
+            threads: self.threads,
+            memory: stats,
+            batch: Some(cost),
+        };
+        RankedResult {
+            values,
+            ranking,
+            set: None,
+            report,
+        }
+    }
+}
+
+/// Decides whether a (semantics, resolved algorithm) pair can be served by
+/// the shared walk.
+fn route(semantics: &Semantics, algorithm: Algorithm) -> BatchRoute {
+    match (semantics, algorithm) {
+        (Semantics::Prf(_) | Semantics::Pt(_) | Semantics::Consensus(_), Algorithm::ExactGf) => {
+            BatchRoute::Shared
+        }
+        (Semantics::Prfe(_), Algorithm::ExactGf | Algorithm::LogDomain | Algorithm::Scaled) => {
+            BatchRoute::Shared
+        }
+        (Semantics::ERank, Algorithm::ExactGf) => BatchRoute::Shared,
+        _ => BatchRoute::Single,
+    }
+}
+
+/// The backend-facing request of a shared entry.
+fn shared_request(semantics: &Semantics, algorithm: Algorithm) -> SharedRequest {
+    match (semantics, algorithm) {
+        (Semantics::Prf(w), _) => SharedRequest::Weight(w.clone()),
+        (Semantics::Pt(h) | Semantics::Consensus(h), _) => {
+            SharedRequest::Weight(Arc::new(crate::weights::StepWeight { h: *h }))
+        }
+        (Semantics::Prfe(alpha), Algorithm::ExactGf) => SharedRequest::PrfeComplex(*alpha),
+        // Validated real ∈ [0, 1] by `resolve_algorithm`.
+        (Semantics::Prfe(alpha), Algorithm::LogDomain) => SharedRequest::PrfeLog(alpha.re),
+        (Semantics::Prfe(alpha), Algorithm::Scaled) => SharedRequest::PrfeScaled(*alpha),
+        (Semantics::ERank, _) => SharedRequest::ExpectedRanks,
+        (sem, alg) => unreachable!("unroutable shared entry: {sem:?} / {}", alg.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::TabulatedWeight;
+    use prf_pdb::{AndXorTree, IndependentDb};
+
+    fn db() -> IndependentDb {
+        IndependentDb::from_pairs([
+            (10.0, 0.4),
+            (9.0, 0.45),
+            (8.0, 0.8),
+            (7.0, 0.95),
+            (6.0, 0.3),
+            (5.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_batch_is_an_error() {
+        assert_eq!(
+            QueryBatch::new().run(&db()).unwrap_err(),
+            QueryError::EmptyBatch
+        );
+        assert_eq!(
+            QueryBatch::new().compile(&db()).unwrap_err(),
+            QueryError::EmptyBatch
+        );
+    }
+
+    #[test]
+    fn plan_routes_shared_and_single() {
+        let batch = QueryBatch::new()
+            .add(Semantics::Pt(2))
+            .add(Semantics::Prfe(Complex::real(0.9)))
+            .add(Semantics::ERank)
+            .add(Semantics::EScore)
+            .add(Semantics::UTop(2))
+            .add(Semantics::URank(2));
+        let plan = batch.compile(&db()).unwrap();
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.route(0), BatchRoute::Shared);
+        assert_eq!(plan.route(1), BatchRoute::Shared);
+        assert_eq!(plan.route(2), BatchRoute::Shared);
+        assert_eq!(plan.route(3), BatchRoute::Single);
+        assert_eq!(plan.route(4), BatchRoute::Single);
+        assert_eq!(plan.route(5), BatchRoute::Single);
+        assert_eq!(plan.shared_consumers(), 3);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_single_queries_on_independent() {
+        let db = db();
+        let batch = QueryBatch::new()
+            .add(Semantics::Pt(2))
+            .add(Semantics::Pt(4))
+            .add_query(RankQuery::prf(TabulatedWeight::from_real(&[2.0, 1.0, 0.5])))
+            .add_query(RankQuery::prfe(0.8))
+            .add(Semantics::ERank)
+            .add(Semantics::EScore);
+        let results = batch.run(&db).unwrap();
+        let singles = [
+            RankQuery::pt(2),
+            RankQuery::pt(4),
+            RankQuery::prf(TabulatedWeight::from_real(&[2.0, 1.0, 0.5])),
+            RankQuery::prfe(0.8),
+            RankQuery::erank(),
+            RankQuery::escore(),
+        ];
+        for (got, q) in results.iter().zip(&singles) {
+            let want = q.run(&db).unwrap();
+            assert_eq!(
+                got.ranking.order(),
+                want.ranking.order(),
+                "{}",
+                want.report.semantics
+            );
+            if let (Some(g), Some(w)) = (got.values.as_complex(), want.values.as_complex()) {
+                assert_eq!(g, w, "{}", want.report.semantics);
+            }
+        }
+        // Shared entries carry cost attribution; Single entries do not.
+        assert!(results[0].report.batch.is_some());
+        assert_eq!(results[0].report.batch.unwrap().consumers, 5);
+        assert!(results[5].report.batch.is_none());
+    }
+
+    #[test]
+    fn batch_matches_single_queries_on_trees() {
+        use prf_pdb::{NodeKind, TreeBuilder};
+        let mut b = TreeBuilder::new(NodeKind::Xor);
+        let root = b.root();
+        let a = b.add_inner(root, NodeKind::And, 0.6).unwrap();
+        b.add_leaf(a, 1.0, 10.0).unwrap();
+        b.add_leaf(a, 1.0, 9.0).unwrap();
+        b.add_leaf(root, 0.4, 8.0).unwrap();
+        let tree = b.build().unwrap();
+
+        let batch = QueryBatch::new()
+            .add(Semantics::Pt(2))
+            .add_query(RankQuery::prfe(0.7).algorithm(Algorithm::ExactGf))
+            .add_query(RankQuery::prfe(0.7).algorithm(Algorithm::Scaled))
+            .add(Semantics::ERank);
+        let results = batch.run(&tree).unwrap();
+        let pt = RankQuery::pt(2).run(&tree).unwrap();
+        assert_eq!(
+            results[0].values.as_complex().unwrap(),
+            pt.values.as_complex().unwrap()
+        );
+        let prfe = RankQuery::prfe(0.7)
+            .algorithm(Algorithm::ExactGf)
+            .run(&tree)
+            .unwrap();
+        for (g, w) in results[1]
+            .values
+            .as_complex()
+            .unwrap()
+            .iter()
+            .zip(prfe.values.as_complex().unwrap())
+        {
+            assert!(g.approx_eq(*w, 1e-12));
+        }
+        let er = RankQuery::erank().run(&tree).unwrap();
+        assert_eq!(results[3].ranking.order(), er.ranking.order());
+        // The tree walk reports evaluator memory.
+        assert!(results[0].report.memory.is_some());
+    }
+
+    #[test]
+    fn batch_top_k_defaults_and_overrides() {
+        let db = db();
+        let results = QueryBatch::new()
+            .add(Semantics::Pt(3))
+            .add_query(RankQuery::prfe(0.9).top_k(1))
+            .top_k(2)
+            .run(&db)
+            .unwrap();
+        assert_eq!(results[0].ranking.len(), 2); // batch default
+        assert_eq!(results[1].ranking.len(), 1); // entry override wins
+        assert_eq!(results[0].report.truncated_to, Some(2));
+        assert_eq!(results[1].report.truncated_to, Some(1));
+    }
+
+    #[test]
+    fn incompatible_entry_fails_the_whole_batch() {
+        let err = QueryBatch::new()
+            .add(Semantics::Pt(2))
+            .add_query(RankQuery::pt(2).algorithm(Algorithm::LogDomain))
+            .run(&db())
+            .unwrap_err();
+        assert!(matches!(err, QueryError::IncompatibleAlgorithm { .. }));
+    }
+
+    #[test]
+    fn auto_resolution_matches_single_queries() {
+        let tree = AndXorTree::from_independent(&db());
+        let batch = QueryBatch::new()
+            .add(Semantics::Prfe(Complex::real(0.5)))
+            .add(Semantics::Pt(3));
+        let plan = batch.compile(&tree).unwrap();
+        for (i, q) in batch.queries().iter().enumerate() {
+            assert_eq!(plan.algorithm(i), q.resolve_algorithm(&tree).unwrap());
+        }
+    }
+}

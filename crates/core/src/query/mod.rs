@@ -56,9 +56,11 @@ use crate::mixture::{approximate_weights, DftApproxConfig};
 use crate::topk::{Ranking, ValueOrder};
 use crate::weights::{tabulate, StepWeight, WeightFunction};
 
+pub mod batch;
 pub mod kernels;
 mod relation;
 
+pub use batch::{BatchCost, BatchPlan, BatchRoute, QueryBatch};
 pub use relation::{CorrelationClass, ProbabilisticRelation};
 
 /// Largest `n` for which `Auto` keeps PRFe in plain complex arithmetic
@@ -286,6 +288,11 @@ pub struct EvalReport {
     /// — `Some` when the kernels ran it (exact PRFω/PRFe on and/xor
     /// trees), `None` for closed-form and non-tree kernels.
     pub memory: Option<GfStats>,
+    /// Shared-walk cost attribution — `Some` when this query was answered
+    /// from a [`QueryBatch`]'s shared walk (its `kernel_seconds` is then
+    /// the amortized share), `None` for single queries and for batch
+    /// entries that were evaluated individually.
+    pub batch: Option<BatchCost>,
 }
 
 /// The answer of a [`RankQuery`]: per-tuple values, the induced ranking,
@@ -326,6 +333,8 @@ pub enum QueryError {
     /// A set query (U-Top) has no answer: `k` exceeds the relation or no
     /// set has positive probability.
     NoSetAnswer,
+    /// A [`QueryBatch`] was run with no entries.
+    EmptyBatch,
 }
 
 impl std::fmt::Display for QueryError {
@@ -345,6 +354,7 @@ impl std::fmt::Display for QueryError {
             QueryError::NoSetAnswer => {
                 write!(f, "no set has positive probability of being the top-k")
             }
+            QueryError::EmptyBatch => write!(f, "a query batch must contain at least one query"),
         }
     }
 }
@@ -581,6 +591,7 @@ impl RankQuery {
             truncated_to: self.top_k,
             threads: self.threads,
             memory,
+            batch: None,
         };
         Ok(RankedResult {
             values,

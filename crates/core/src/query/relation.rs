@@ -9,6 +9,7 @@
 use prf_numeric::{Complex, GfValue, Scaled};
 use prf_pdb::{AndXorTree, IndependentDb, TupleId};
 
+use super::batch::{SharedWalkOut, SharedWalkSpec};
 use super::kernels;
 use super::QueryError;
 use crate::incremental::GfStats;
@@ -167,6 +168,18 @@ pub trait ProbabilisticRelation {
         })
     }
 
+    /// Serves every request of a [`super::QueryBatch`] from **one** shared
+    /// score-order walk — one sort, one compiled evaluation plan, one
+    /// leaf-relabeling pass with a shared truncated-polynomial evaluator
+    /// plus one scalar evaluator per PRFe/E-Rank request. Returning `None`
+    /// (the default) tells the batch engine this backend has no shared
+    /// kernel; every entry is then evaluated as an individual query, so
+    /// minimal backends stay correct without overriding.
+    fn run_shared_walk(&self, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
+        let _ = spec;
+        None
+    }
+
     /// Bounded per-position candidate lists `Pr(r(t) = j)` for `j ≤ k` —
     /// the substrate of U-Rank. The default runs `k` PRF passes with the
     /// position-indicator weight `ω(i) = δ(i = j)` (the paper's reduction);
@@ -230,6 +243,10 @@ impl ProbabilisticRelation for IndependentDb {
 
     fn positional_candidates(&self, k: usize) -> kernels::PositionalCandidates {
         kernels::positional_candidates_independent(self, k)
+    }
+
+    fn run_shared_walk(&self, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
+        Some(crate::independent::batch_walk_independent(self, spec))
     }
 }
 
@@ -328,6 +345,13 @@ impl ProbabilisticRelation for AndXorTree {
 
     fn positional_candidates(&self, k: usize) -> kernels::PositionalCandidates {
         kernels::positional_candidates_tree(self, k)
+    }
+
+    fn run_shared_walk(&self, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
+        Some(match spec.threads {
+            Some(t) if t > 1 => crate::parallel::batch_walk_tree_parallel(self, spec, t),
+            _ => crate::tree::batch_walk_tree(self, spec),
+        })
     }
 }
 

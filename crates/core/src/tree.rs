@@ -33,12 +33,16 @@
 
 #![allow(clippy::needless_range_loop)] // index loops pair several parallel arrays
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use prf_numeric::fft::interpolate_from_roots_of_unity;
 use prf_numeric::{Complex, Dual, GfValue, RankPoly, Scaled, YLin};
 use prf_pdb::tuple::sort_indices_by_score_desc;
 use prf_pdb::{AndXorTree, Tuple, TupleId};
 
-use crate::incremental::{EvalPlan, GfStats};
+use crate::incremental::{EvalPlan, GfStats, IncrementalGf};
+use crate::query::batch::{SharedAnswer, SharedRequest, SharedWalkOut, SharedWalkSpec};
 use crate::weights::WeightFunction;
 
 /// Tuple processing order (score descending, id ascending) and its inverse
@@ -344,9 +348,281 @@ pub fn expected_ranks_tree(tree: &AndXorTree) -> Vec<f64> {
     // er₁ via the incremental engine over duals.
     let er1: Vec<Dual> = prfe_rank_tree(tree, alpha);
 
-    // er₂: all leaves labelled x = 1+ε, the target labelled y; read dA/dε.
-    let mut er2 = vec![0.0f64; n];
+    // er₂: all leaves labelled x = 1+ε, the target labelled y; read dA/dε
+    // (shared with the batched walk).
     let plan = EvalPlan::new(tree);
+    let er2 = erank_absent_term(&plan, n);
+
+    (0..n).map(|t| er1[t].d + er2[t]).collect()
+}
+
+// ---------------------------------------------------------------------
+// 5. Batched multi-query walk (one score order, one plan, one pass)
+// ---------------------------------------------------------------------
+
+/// The parsed consumer set of a batched walk: which
+/// [`SharedRequest`]s read the shared truncated-polynomial evaluator
+/// (weight-based semantics — truncation views of one polynomial capped at
+/// the *largest* requested horizon) and which ride along as scalar
+/// evaluation points (PRFe per α, expected ranks via dual numbers).
+pub(crate) struct BatchConsumers {
+    /// `(request index, ω, extraction cap)` — all served by ONE polynomial
+    /// evaluator.
+    weights: Vec<(usize, Arc<dyn WeightFunction + Send + Sync>, usize)>,
+    /// `(request index, kind)` — one scalar evaluator each.
+    scalars: Vec<(usize, ScalarKind)>,
+    /// The shared polynomial cap (max over `weights`; 0 = no polynomial).
+    cap: usize,
+}
+
+#[derive(Clone, Copy)]
+enum ScalarKind {
+    /// PRFe(α), plain complex.
+    Complex(Complex),
+    /// PRFe(α), scaled; `true` converts to log-domain keys at extraction
+    /// (matching the trait default `prfe_log_keys`).
+    Scaled(Complex, bool),
+    /// Expected ranks: the in-world term er₁ via `α = 1 + ε`.
+    Erank,
+}
+
+impl BatchConsumers {
+    pub(crate) fn parse(spec: &SharedWalkSpec, n: usize) -> Self {
+        let mut weights = Vec::new();
+        let mut scalars = Vec::new();
+        let mut cap = 0usize;
+        for (i, req) in spec.requests.iter().enumerate() {
+            match req {
+                SharedRequest::Weight(w) => {
+                    let c = req.weight_cap(n).expect("weight request has a cap");
+                    cap = cap.max(c);
+                    weights.push((i, w.clone(), c));
+                }
+                SharedRequest::PrfeComplex(a) => scalars.push((i, ScalarKind::Complex(*a))),
+                SharedRequest::PrfeLog(a) => {
+                    scalars.push((i, ScalarKind::Scaled(Complex::real(*a), true)))
+                }
+                SharedRequest::PrfeScaled(a) => scalars.push((i, ScalarKind::Scaled(*a, false))),
+                SharedRequest::ExpectedRanks => scalars.push((i, ScalarKind::Erank)),
+            }
+        }
+        BatchConsumers {
+            weights,
+            scalars,
+            cap,
+        }
+    }
+
+    /// Pre-sized answer buffers, one per request, matching the single-query
+    /// kernels' defaults (zero Υ values, `-∞` log keys).
+    pub(crate) fn answer_buffers(spec: &SharedWalkSpec, n: usize) -> Vec<SharedAnswer> {
+        spec.requests
+            .iter()
+            .map(|req| match req {
+                SharedRequest::Weight(_) | SharedRequest::PrfeComplex(_) => {
+                    SharedAnswer::Complex(vec![Complex::ZERO; n])
+                }
+                SharedRequest::PrfeLog(_) => SharedAnswer::Log(vec![f64::NEG_INFINITY; n]),
+                SharedRequest::PrfeScaled(_) => {
+                    SharedAnswer::Scaled(vec![Scaled::<Complex>::zero(); n])
+                }
+                SharedRequest::ExpectedRanks => SharedAnswer::Ranks(vec![0.0; n]),
+            })
+            .collect()
+    }
+
+    /// `true` when an expected-ranks consumer is present (it needs the
+    /// extra absent-worlds pass after the main walk).
+    fn wants_erank(&self) -> bool {
+        self.scalars
+            .iter()
+            .any(|(_, k)| matches!(k, ScalarKind::Erank))
+    }
+}
+
+/// The mutable per-shard state of a batched walk: one polynomial evaluator
+/// (if any weight consumer exists) plus one scalar evaluator per
+/// PRFe/E-Rank consumer — all over ONE shared [`EvalPlan`].
+pub(crate) struct BatchWalkers<'p> {
+    poly: Option<IncrementalGf<'p, RankPoly>>,
+    scalars: Vec<ScalarWalker<'p>>,
+    cap: usize,
+}
+
+enum ScalarWalker<'p> {
+    Complex(IncrementalGf<'p, YLin<Complex>>, Complex),
+    Scaled(
+        IncrementalGf<'p, YLin<Scaled<Complex>>>,
+        Scaled<Complex>,
+        bool,
+    ),
+    Dual(IncrementalGf<'p, YLin<Dual>>, Dual),
+}
+
+impl<'p> BatchWalkers<'p> {
+    /// Builds every evaluator directly in the labelling where tuples with
+    /// `processed(t) == true` already carry their post-walk label (`x` /
+    /// `α`) — the same fast-forward construction the sharded parallel walk
+    /// uses for a single query.
+    pub(crate) fn fast_forward(
+        plan: &'p EvalPlan,
+        consumers: &BatchConsumers,
+        mut processed: impl FnMut(TupleId) -> bool,
+    ) -> Self {
+        let cap = consumers.cap;
+        let poly = (cap > 0).then(|| {
+            plan.evaluator(|t| {
+                if processed(t) {
+                    RankPoly::x().with_cap(cap)
+                } else {
+                    RankPoly::one().with_cap(cap)
+                }
+            })
+        });
+        let scalars = consumers
+            .scalars
+            .iter()
+            .map(|&(_, kind)| match kind {
+                ScalarKind::Complex(a) => ScalarWalker::Complex(
+                    plan.evaluator(|t| {
+                        if processed(t) {
+                            YLin::pure(a)
+                        } else {
+                            YLin::one()
+                        }
+                    }),
+                    a,
+                ),
+                ScalarKind::Scaled(a, log) => {
+                    let a = Scaled::new(a);
+                    ScalarWalker::Scaled(
+                        plan.evaluator(|t| {
+                            if processed(t) {
+                                YLin::pure(a)
+                            } else {
+                                YLin::one()
+                            }
+                        }),
+                        a,
+                        log,
+                    )
+                }
+                ScalarKind::Erank => {
+                    let a = Dual::variable(1.0);
+                    ScalarWalker::Dual(
+                        plan.evaluator(|t| {
+                            if processed(t) {
+                                YLin::pure(a)
+                            } else {
+                                YLin::one()
+                            }
+                        }),
+                        a,
+                    )
+                }
+            })
+            .collect();
+        BatchWalkers { poly, scalars, cap }
+    }
+
+    /// One walk step: the previous tuple's label moves `y → x`/`α`, the
+    /// current tuple's `1 → y`, in every evaluator.
+    pub(crate) fn step(&mut self, prev: Option<TupleId>, cur: TupleId) {
+        if let Some(p) = prev {
+            if let Some(inc) = &mut self.poly {
+                inc.set_leaf(p, RankPoly::x().with_cap(self.cap));
+            }
+            for s in &mut self.scalars {
+                match s {
+                    ScalarWalker::Complex(inc, a) => inc.set_leaf(p, YLin::pure(*a)),
+                    ScalarWalker::Scaled(inc, a, _) => inc.set_leaf(p, YLin::pure(*a)),
+                    ScalarWalker::Dual(inc, a) => inc.set_leaf(p, YLin::pure(*a)),
+                }
+            }
+        }
+        if let Some(inc) = &mut self.poly {
+            inc.set_leaf(cur, RankPoly::y().with_cap(self.cap));
+        }
+        for s in &mut self.scalars {
+            match s {
+                ScalarWalker::Complex(inc, _) => inc.set_leaf(cur, YLin::y()),
+                ScalarWalker::Scaled(inc, _, _) => inc.set_leaf(cur, YLin::y()),
+                ScalarWalker::Dual(inc, _) => inc.set_leaf(cur, YLin::y()),
+            }
+        }
+    }
+
+    /// Reads every consumer's Υ for the current tuple into position `at`
+    /// of the answer buffers — `tv.id.index()` for full-length buffers
+    /// (the serial walk), a shard-relative position for the parallel
+    /// walk's shard-sized buffers.
+    pub(crate) fn extract(
+        &self,
+        consumers: &BatchConsumers,
+        tv: &Tuple,
+        answers: &mut [SharedAnswer],
+        at: usize,
+    ) {
+        let t = at;
+        if let Some(inc) = &self.poly {
+            for (req, w, cap) in &consumers.weights {
+                if let SharedAnswer::Complex(buf) = &mut answers[*req] {
+                    buf[t] = upsilon_from_gf(inc.root(), tv, w.as_ref(), *cap);
+                }
+            }
+        }
+        for ((req, _), walker) in consumers.scalars.iter().zip(&self.scalars) {
+            match walker {
+                ScalarWalker::Complex(inc, a) => {
+                    if let SharedAnswer::Complex(buf) = &mut answers[*req] {
+                        buf[t] = inc.root().b.mul(a);
+                    }
+                }
+                ScalarWalker::Scaled(inc, a, log) => {
+                    let v = inc.root().b.mul(a);
+                    match (&mut answers[*req], log) {
+                        (SharedAnswer::Log(buf), true) => {
+                            buf[t] = v.magnitude_key() * std::f64::consts::LN_2;
+                        }
+                        (SharedAnswer::Scaled(buf), false) => buf[t] = v,
+                        _ => unreachable!("buffer shape matches request shape"),
+                    }
+                }
+                ScalarWalker::Dual(inc, a) => {
+                    if let SharedAnswer::Ranks(buf) = &mut answers[*req] {
+                        // er₁ for now; the absent-worlds term er₂ is added
+                        // after the walk.
+                        buf[t] = inc.root().b.mul(a).d;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merged memory accounting across every live evaluator.
+    pub(crate) fn stats(&self) -> GfStats {
+        let mut stats = self
+            .poly
+            .as_ref()
+            .map(IncrementalGf::stats)
+            .unwrap_or_default();
+        for s in &self.scalars {
+            stats = stats.merge(match s {
+                ScalarWalker::Complex(inc, _) => inc.stats(),
+                ScalarWalker::Scaled(inc, _, _) => inc.stats(),
+                ScalarWalker::Dual(inc, _) => inc.stats(),
+            });
+        }
+        stats
+    }
+}
+
+/// The absent-worlds term of expected ranks,
+/// `er₂(t) = Σ_{pw: t∉pw} Pr(pw)·|pw|`, via a second leaf-relabeling pass
+/// over the shared plan (every other leaf carries `1 + ε`; read `dA/dε`).
+pub(crate) fn erank_absent_term(plan: &EvalPlan, n: usize) -> Vec<f64> {
+    let alpha = Dual::variable(1.0);
+    let mut er2 = vec![0.0f64; n];
     let mut inc = plan.evaluator(|_| YLin::pure(alpha));
     for t in 0..n {
         if t > 0 {
@@ -355,8 +631,68 @@ pub fn expected_ranks_tree(tree: &AndXorTree) -> Vec<f64> {
         inc.set_leaf(TupleId(t as u32), YLin::y());
         er2[t] = inc.root().a.d;
     }
+    er2
+}
 
-    (0..n).map(|t| er1[t].d + er2[t]).collect()
+/// Adds er₂ into every expected-ranks answer buffer (which holds er₁ after
+/// the main walk).
+pub(crate) fn finish_erank_answers(
+    consumers: &BatchConsumers,
+    plan: &EvalPlan,
+    n: usize,
+    answers: &mut [SharedAnswer],
+) {
+    if !consumers.wants_erank() {
+        return;
+    }
+    let er2 = erank_absent_term(plan, n);
+    for (req, kind) in &consumers.scalars {
+        if matches!(kind, ScalarKind::Erank) {
+            if let SharedAnswer::Ranks(buf) = &mut answers[*req] {
+                for (b, e) in buf.iter_mut().zip(&er2) {
+                    *b += e;
+                }
+            }
+        }
+    }
+}
+
+/// Serves a whole [`SharedWalkSpec`] from **one** serial score-order walk
+/// over **one** compiled plan: the batched form of [`prf_rank_tree`] /
+/// [`prfe_rank_tree`] / [`expected_ranks_tree`], answer-equivalent to
+/// running each request's single-query kernel (within 1e-9 — see
+/// `tests/batch_equivalence.rs`).
+pub(crate) fn batch_walk_tree(tree: &AndXorTree, spec: &SharedWalkSpec) -> SharedWalkOut {
+    let start = Instant::now();
+    let n = tree.n_tuples();
+    let consumers = BatchConsumers::parse(spec, n);
+    let mut answers = BatchConsumers::answer_buffers(spec, n);
+    if n == 0 {
+        return SharedWalkOut {
+            answers,
+            stats: None,
+            walk_seconds: start.elapsed().as_secs_f64(),
+        };
+    }
+    let (order, _) = score_order(tree);
+    let marginals = tree.marginals();
+    let plan = EvalPlan::new(tree);
+    let mut walkers = BatchWalkers::fast_forward(&plan, &consumers, |_| false);
+    for (i, &t) in order.iter().enumerate() {
+        walkers.step((i > 0).then(|| order[i - 1]), t);
+        let tv = tuple_view(tree, &marginals, t);
+        walkers.extract(&consumers, &tv, &mut answers, t.index());
+    }
+    let stats = walkers.stats();
+    // The E-Rank absent-worlds pass holds one transient scalar evaluator;
+    // like the serial single-query path, it is not part of the reported
+    // walk accounting (and the parallel walk reports identically).
+    finish_erank_answers(&consumers, &plan, n, &mut answers);
+    SharedWalkOut {
+        answers,
+        stats: Some(stats),
+        walk_seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 #[cfg(test)]

@@ -9,13 +9,16 @@
 //! criterion benches behave under cargo:
 //!
 //! * **measure** (`--bench` present, i.e. `cargo bench`): each benchmark is
-//!   warmed up once, then timed for `sample_size` samples; median and mean
-//!   per-iteration times are printed.
+//!   warmed up once, then timed for `sample_size` samples; the per-iteration
+//!   `min`, `p50` (median), `p95` and `max` are printed — enough spread to
+//!   spot tail noise without keeping raw samples around.
 //! * **smoke** (no `--bench`, i.e. `cargo test` building the bench target):
 //!   each benchmark body runs exactly once so the target stays fast while
 //!   still exercising every code path.
 //!
-//! No statistics beyond median/mean, no plots, no baselines.
+//! No statistics beyond those order statistics, no plots, no baselines.
+//! The `perf` CI job greps the `min/p50/p95/max` columns out of the
+//! uploaded measure-mode output.
 
 #![deny(missing_docs)]
 
@@ -179,6 +182,14 @@ impl Bencher {
     }
 }
 
+/// The sorted samples' `q`-quantile by the nearest-rank method — exact
+/// order statistics, no interpolation (small sample counts).
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 fn run_one(mode: Mode, label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
     let mut b = Bencher {
         mode,
@@ -188,12 +199,12 @@ fn run_one(mode: Mode, label: &str, sample_size: usize, mut f: impl FnMut(&mut B
     f(&mut b);
     if mode == Mode::Measure && !b.samples.is_empty() {
         b.samples.sort_unstable();
-        let median = b.samples[b.samples.len() / 2];
-        let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
         println!(
-            "{label:<50} median {:>12} mean {:>12} ({} samples)",
-            fmt_duration(median),
-            fmt_duration(mean),
+            "{label:<50} min {:>12} p50 {:>12} p95 {:>12} max {:>12} ({} samples)",
+            fmt_duration(b.samples[0]),
+            fmt_duration(percentile(&b.samples, 0.50)),
+            fmt_duration(percentile(&b.samples, 0.95)),
+            fmt_duration(*b.samples.last().expect("non-empty")),
             b.samples.len()
         );
     }
@@ -256,5 +267,20 @@ mod tests {
     fn ids_render_like_criterion() {
         assert_eq!(BenchmarkId::new("fft", 1024).to_string(), "fft/1024");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn percentiles_are_exact_order_statistics() {
+        let samples: Vec<Duration> = (1..=20).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&samples, 0.50), Duration::from_millis(10));
+        assert_eq!(percentile(&samples, 0.95), Duration::from_millis(19));
+        assert_eq!(percentile(&samples, 1.0), Duration::from_millis(20));
+        // Degenerate sizes clamp sensibly.
+        let one = [Duration::from_millis(5)];
+        assert_eq!(percentile(&one, 0.50), one[0]);
+        assert_eq!(percentile(&one, 0.95), one[0]);
+        let three: Vec<Duration> = (1..=3).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&three, 0.50), Duration::from_millis(2));
+        assert_eq!(percentile(&three, 0.95), Duration::from_millis(3));
     }
 }

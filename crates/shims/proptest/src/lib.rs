@@ -14,8 +14,13 @@
 //! Semantics: each test runs `cases` deterministic random cases (seeded from
 //! the test name, so failures reproduce across runs). Rejected cases
 //! ([`prop_assume!`]) are retried up to a bounded number of extra attempts.
-//! **No shrinking** is performed — the failing assertion message is reported
-//! as-is.
+//! Failing cases are **shrunk**: the runner greedily re-runs the simpler
+//! candidates proposed by [`strategy::Strategy::shrink`] (halving towards
+//! the range minimum for numbers, halving/removal plus element-wise
+//! shrinking for vectors, component-wise for tuples) and reports the
+//! minimal case's assertion message, together with the raw case's. Mapped
+//! strategies ([`strategy::Strategy::prop_map`]) do not shrink — the
+//! mapping is not invertible.
 
 #![deny(missing_docs)]
 
@@ -67,12 +72,42 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn new_value(&self, rng: &mut StdRng) -> Self::Value {
             let len = rng.gen_range(self.size.lo..self.size.hi);
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let n = value.len();
+            let min = self.size.lo;
+            let mut out: Vec<Self::Value> = Vec::new();
+            // Structural shrinks first (smaller vectors), then element-wise.
+            if n > min {
+                let half = (n / 2).max(min);
+                if half < n {
+                    out.push(value[..half].to_vec());
+                    out.push(value[n - half..].to_vec());
+                }
+                for i in 0..n {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -179,23 +214,50 @@ pub mod test_runner {
         h
     }
 
-    /// Drives one property test: runs `config.cases` cases (with a bounded
-    /// retry budget for `prop_assume!` rejections) and panics on the first
-    /// failing case.
-    pub fn run(
+    /// Upper bound on successful shrink steps per failure — a runaway
+    /// backstop, far above what the halving strategies need.
+    const MAX_SHRINK_STEPS: usize = 1024;
+
+    /// A failing property case after shrinking.
+    #[derive(Clone, Debug)]
+    pub struct Failure {
+        /// Seed of the originally failing case (re-seed [`StdRng`] with it
+        /// to regenerate the raw value).
+        pub seed: u64,
+        /// 0-based index of the failing case within the run.
+        pub case: u32,
+        /// Number of successful shrink steps applied to the raw value.
+        pub shrink_steps: usize,
+        /// The assertion message of the raw (as-generated) failing value.
+        pub raw_message: String,
+        /// The assertion message of the minimal (shrunk) failing value —
+        /// equal to `raw_message` when nothing shrank.
+        pub message: String,
+    }
+
+    /// Drives one property test and returns the shrunk failure instead of
+    /// panicking — the testable core of [`run`], also used by the shim's
+    /// own shrinking self-tests.
+    pub fn run_collect<S: crate::strategy::Strategy>(
         config: &ProptestConfig,
         test_name: &str,
-        mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
-    ) {
+        strategy: &S,
+        case: &mut impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) -> Result<(), Failure>
+    where
+        S::Value: Clone,
+    {
         let base = fnv1a(test_name);
         let mut passed: u32 = 0;
         let mut rejected: u64 = 0;
         let max_rejects = (config.cases as u64) * 16 + 256;
         let mut attempt: u64 = 0;
         while passed < config.cases {
-            let mut rng = StdRng::seed_from_u64(base.wrapping_add(attempt));
+            let seed = base.wrapping_add(attempt);
+            let mut rng = StdRng::seed_from_u64(seed);
             attempt += 1;
-            match case(&mut rng) {
+            let value = strategy.new_value(&mut rng);
+            match case(value.clone()) {
                 Ok(()) => passed += 1,
                 Err(TestCaseError::Reject(_)) => {
                     rejected += 1;
@@ -205,14 +267,80 @@ pub mod test_runner {
                          ({rejected} rejects for {passed} passes)"
                     );
                 }
-                Err(TestCaseError::Fail(msg)) => {
-                    panic!(
-                        "proptest '{test_name}' failed at case #{passed} \
-                         (seed {seed:#x}): {msg}",
-                        seed = base.wrapping_add(attempt - 1)
-                    );
+                Err(TestCaseError::Fail(raw_message)) => {
+                    let (message, shrink_steps) =
+                        shrink_failure(strategy, value, raw_message.clone(), case);
+                    return Err(Failure {
+                        seed,
+                        case: passed,
+                        shrink_steps,
+                        raw_message,
+                        message,
+                    });
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Greedy shrinking: repeatedly replace the failing value by the first
+    /// simpler candidate that still fails, until no candidate fails (a
+    /// local minimum) or the step backstop is hit. `prop_assume!`
+    /// rejections and passing candidates are skipped.
+    fn shrink_failure<S: crate::strategy::Strategy>(
+        strategy: &S,
+        mut current: S::Value,
+        mut message: String,
+        case: &mut impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) -> (String, usize)
+    where
+        S::Value: Clone,
+    {
+        let mut steps = 0usize;
+        'outer: while steps < MAX_SHRINK_STEPS {
+            for candidate in strategy.shrink(&current) {
+                if let Err(TestCaseError::Fail(msg)) = case(candidate.clone()) {
+                    current = candidate;
+                    message = msg;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break; // no simpler candidate fails: minimal
+        }
+        (message, steps)
+    }
+
+    /// Drives one property test: runs `config.cases` cases (with a bounded
+    /// retry budget for `prop_assume!` rejections), shrinks the first
+    /// failing case to a minimal counterexample, and panics with both the
+    /// minimal and the raw assertion messages.
+    pub fn run<S: crate::strategy::Strategy>(
+        config: &ProptestConfig,
+        test_name: &str,
+        strategy: &S,
+        mut case: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) where
+        S::Value: Clone,
+    {
+        if let Err(f) = run_collect(config, test_name, strategy, &mut case) {
+            if f.shrink_steps == 0 {
+                panic!(
+                    "proptest '{test_name}' failed at case #{case} (seed {seed:#x}): {msg}",
+                    case = f.case,
+                    seed = f.seed,
+                    msg = f.message
+                );
+            }
+            panic!(
+                "proptest '{test_name}' failed at case #{case} (seed {seed:#x}), \
+                 shrunk {steps} steps: {msg}\n(raw case: {raw})",
+                case = f.case,
+                seed = f.seed,
+                steps = f.shrink_steps,
+                msg = f.message,
+                raw = f.raw_message
+            );
         }
     }
 }
@@ -319,8 +447,11 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __config = $cfg;
-            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
-                let ($($arg,)+) = ($($crate::strategy::Strategy::new_value(&($strat), __rng),)+);
+            // The arguments' strategies combine into one tuple strategy, so
+            // the runner can regenerate *and shrink* whole argument sets.
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run(&__config, stringify!($name), &__strategy, |__value| {
+                let ($($arg,)+) = __value;
                 $body
                 ::core::result::Result::Ok(())
             });
@@ -366,8 +497,144 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failures_panic() {
-        crate::test_runner::run(&ProptestConfig::with_cases(8), "always_fails", |_rng| {
-            Err(TestCaseError::fail("nope"))
+        crate::test_runner::run(
+            &ProptestConfig::with_cases(8),
+            "always_fails",
+            &crate::strategy::Just(0u32),
+            |_| Err::<(), _>(TestCaseError::fail("nope")),
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Shrinking self-tests: deliberately failing seeded properties must
+    // report strictly smaller counterexamples than the raw generated case.
+    // -----------------------------------------------------------------
+
+    fn collect_failure<S: Strategy>(
+        name: &str,
+        strategy: &S,
+        mut case: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) -> crate::test_runner::Failure
+    where
+        S::Value: Clone,
+    {
+        crate::test_runner::run_collect(&ProptestConfig::with_cases(64), name, strategy, &mut case)
+            .expect_err("property is deliberately failing")
+    }
+
+    #[test]
+    fn integer_failure_shrinks_to_exact_minimum() {
+        // Fails iff n ≥ 1000; the raw case is a random value ≫ 1000, and
+        // binary descent plus the predecessor candidate must land on the
+        // *exact* smallest failing value.
+        let strategy = (0u64..1_000_000,);
+        let f = collect_failure("int_shrink", &strategy, |(n,)| {
+            if n >= 1000 {
+                Err(TestCaseError::fail(format!("n = {n}")))
+            } else {
+                Ok(())
+            }
         });
+        assert_eq!(f.message, "n = 1000", "raw case: {}", f.raw_message);
+        assert!(f.shrink_steps > 0, "the raw case must actually shrink");
+        assert_ne!(f.raw_message, f.message);
+    }
+
+    #[test]
+    fn integer_shrinking_converges_logarithmically_to_distant_boundaries() {
+        // The failure boundary sits ~half a million above the range start;
+        // the power-of-two descent must still land on the exact minimum in
+        // a logarithmic number of steps (a linear −1 walk would blow the
+        // 1024-step backstop and report a barely-shrunk case).
+        let strategy = (0u64..1_000_000,);
+        let f = collect_failure("int_shrink_far", &strategy, |(n,)| {
+            if n >= 500_000 {
+                Err(TestCaseError::fail(format!("n = {n}")))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(f.message, "n = 500000", "raw case: {}", f.raw_message);
+        assert!(
+            f.shrink_steps <= 64,
+            "expected logarithmic convergence, took {} steps",
+            f.shrink_steps
+        );
+    }
+
+    #[test]
+    fn vec_failure_shrinks_to_minimal_length() {
+        let strategy = (crate::collection::vec(0u32..100, 0..30),);
+        let f = collect_failure("vec_len_shrink", &strategy, |(v,)| {
+            if v.len() >= 3 {
+                Err(TestCaseError::fail(format!("len = {}", v.len())))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(f.message, "len = 3", "raw case: {}", f.raw_message);
+        assert!(f.shrink_steps > 0);
+    }
+
+    #[test]
+    fn vec_elements_shrink_too() {
+        // Fails iff any element ≥ 50: the minimal counterexample is the
+        // one-element vector [50] — length shrinking *and* element
+        // shrinking must both engage.
+        let strategy = (crate::collection::vec(0u32..1000, 1..20),);
+        let f = collect_failure("vec_elem_shrink", &strategy, |(v,)| {
+            if v.iter().any(|&x| x >= 50) {
+                Err(TestCaseError::fail(format!("{v:?}")))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(f.message, "[50]", "raw case: {}", f.raw_message);
+    }
+
+    #[test]
+    fn f64_failure_shrinks_towards_boundary() {
+        // Fails iff x ≥ 0.5: the fraction-ladder bisection must close in
+        // on the boundary (within a few percent), strictly below raw.
+        let strategy = (0.0f64..1.0,);
+        let f = collect_failure("f64_shrink", &strategy, |(x,)| {
+            if x >= 0.5 {
+                Err(TestCaseError::fail(format!("{x}")))
+            } else {
+                Ok(())
+            }
+        });
+        let shrunk: f64 = f.message.parse().unwrap();
+        let raw: f64 = f.raw_message.parse().unwrap();
+        assert!((0.5..0.52).contains(&shrunk), "shrunk to {shrunk}");
+        assert!(shrunk <= raw);
+    }
+
+    #[test]
+    fn tuple_components_shrink_independently() {
+        // Fails iff a + b ≥ 10 — both components must descend; the greedy
+        // minimum pins one component at its range floor.
+        let strategy = (0u32..100, 0u32..100);
+        let f = collect_failure("tuple_shrink", &strategy, |(a, b)| {
+            if a + b >= 10 {
+                Err(TestCaseError::fail(format!("{a}+{b}")))
+            } else {
+                Ok(())
+            }
+        });
+        let (a, b) = f.message.split_once('+').unwrap();
+        let (a, b): (u32, u32) = (a.parse().unwrap(), b.parse().unwrap());
+        assert_eq!(a + b, 10, "minimal failing sum; raw: {}", f.raw_message);
+    }
+
+    #[test]
+    fn passing_properties_do_not_shrink() {
+        crate::test_runner::run_collect(
+            &ProptestConfig::with_cases(16),
+            "all_pass",
+            &(0u32..10,),
+            &mut |_| Ok(()),
+        )
+        .expect("no failure");
     }
 }

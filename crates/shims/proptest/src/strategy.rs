@@ -1,12 +1,15 @@
-//! The [`Strategy`] trait and its combinators (no shrinking).
+//! The [`Strategy`] trait and its combinators, with greedy shrinking.
 
 use rand::{rngs::StdRng, Rng};
 use std::ops::{Range, RangeInclusive};
 
 /// A recipe for generating random values of an output type.
 ///
-/// Unlike real proptest there is no value tree / shrinking: a strategy is
-/// just a deterministic function of an [`StdRng`] state.
+/// Unlike real proptest there is no lazy value tree: a strategy is a
+/// deterministic function of an [`StdRng`] state, plus an eager
+/// [`Strategy::shrink`] that proposes *simpler* candidates for a failing
+/// value. The test runner greedily re-runs candidates and keeps the first
+/// one that still fails, so reported counterexamples are (locally) minimal.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
@@ -14,7 +17,18 @@ pub trait Strategy {
     /// Generates one value.
     fn new_value(&self, rng: &mut StdRng) -> Self::Value;
 
-    /// Maps generated values through `f`.
+    /// Proposes strictly simpler candidate values for a failing `value`,
+    /// simplest first (greedy halving towards the strategy's minimum).
+    /// An empty vector means the value is fully shrunk. The default — used
+    /// by strategies whose values cannot be simplified generically, such as
+    /// [`Map`] (the mapping is not invertible) — never shrinks.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
+    /// Maps generated values through `f`. Mapped strategies do not shrink
+    /// (the inverse of `f` is unknown); put `prop_map` as late as possible.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -85,6 +99,12 @@ where
         v.shuffle(rng);
         v
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        // A shuffled value is still a value of the inner strategy's type;
+        // delegate (order is part of the failing case and is preserved).
+        self.inner.shrink(value)
+    }
 }
 
 /// A strategy that always yields clones of one value.
@@ -105,6 +125,10 @@ impl Strategy for Range<f64> {
     fn new_value(&self, rng: &mut StdRng) -> f64 {
         rng.gen_range(self.clone())
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64_towards(self.start, *value)
+    }
 }
 
 impl Strategy for RangeInclusive<f64> {
@@ -113,6 +137,29 @@ impl Strategy for RangeInclusive<f64> {
     fn new_value(&self, rng: &mut StdRng) -> f64 {
         rng.gen_range(self.clone())
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64_towards(*self.start(), *value)
+    }
+}
+
+/// Candidates for a failing `f64`: the range minimum, then a ladder of
+/// fractions of the distance to it (1/2, 3/4, 7/8, 15/16, 31/32). The
+/// greedy runner keeps the first candidate that still fails, so repeated
+/// shrinking bisects towards the failure boundary.
+fn shrink_f64_towards(lo: f64, value: f64) -> Vec<f64> {
+    // NaN (incomparable) and values at/below the minimum never shrink.
+    if value.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    for frac in [0.5, 0.75, 0.875, 0.9375, 0.96875] {
+        let cand = lo + (value - lo) * frac;
+        if cand > lo && cand < value {
+            out.push(cand);
+        }
+    }
+    out
 }
 
 macro_rules! impl_strategy_int_range {
@@ -123,6 +170,35 @@ macro_rules! impl_strategy_int_range {
             fn new_value(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let mut out: Vec<$t> = Vec::new();
+                if *value > lo {
+                    // Simplest first: the minimum, then `value − 2^k` for
+                    // descending k (ascending candidate values). The greedy
+                    // runner keeps the smallest candidate that still fails,
+                    // so the distance to the true failure boundary at least
+                    // halves per step — logarithmic convergence onto the
+                    // exact smallest failing value (the 2⁰ = 1 offset does
+                    // the final step), from any distance.
+                    out.push(lo);
+                    let mut offsets: Vec<$t> = Vec::new();
+                    let mut step: $t = 1;
+                    loop {
+                        match value.checked_sub(step) {
+                            Some(c) if c > lo => offsets.push(c),
+                            _ => break,
+                        }
+                        match step.checked_mul(2) {
+                            Some(s) => step = s,
+                            None => break,
+                        }
+                    }
+                    out.extend(offsets.into_iter().rev());
+                }
+                out
+            }
         }
 
         impl Strategy for RangeInclusive<$t> {
@@ -131,6 +207,10 @@ macro_rules! impl_strategy_int_range {
             fn new_value(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                (*self.start()..*self.end()).shrink(value)
+            }
         }
     )*};
 }
@@ -138,11 +218,27 @@ impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_strategy_tuple {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
 
             fn new_value(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$idx.new_value(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one component at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};

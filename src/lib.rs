@@ -102,8 +102,9 @@ pub use prf_pdb as pdb;
 pub mod prelude {
     pub use prf_approx::{approximate_weights, DftApproxConfig, ExpMixture};
     pub use prf_core::query::{
-        Algorithm, CorrelationClass, EvalReport, NumericMode, ProbabilisticRelation, QueryError,
-        RankQuery, RankedResult, Semantics, TopSet, Values,
+        Algorithm, BatchCost, BatchPlan, BatchRoute, CorrelationClass, EvalReport, NumericMode,
+        ProbabilisticRelation, QueryBatch, QueryError, RankQuery, RankedResult, Semantics, TopSet,
+        Values,
     };
     pub use prf_core::{
         prf_rank, prf_rank_tree, prfe_rank, prfe_rank_log, prfe_rank_tree, Ranking, ValueOrder,

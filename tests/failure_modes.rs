@@ -7,6 +7,7 @@ use prf::pdb::{
     AndXorTree, AttributeUncertainDb, IndependentDb, NodeKind, PdbError, TreeBuilder,
     UncertainTuple,
 };
+use prf::prelude::{Algorithm, Complex, NumericMode, QueryBatch, QueryError, RankQuery, Semantics};
 
 // ---------------------------------------------------------------------
 // Invalid inputs
@@ -171,6 +172,124 @@ fn single_tuple_tree() {
     let er = prf::core::expected_ranks_tree(&tree);
     // Present (rank 1) w.p. .25; absent contributes |pw| = 0.
     assert!((er[0] - 0.25).abs() < 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Batched queries: API failure modes and degenerate interactions
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_batch_is_rejected_loudly() {
+    let db = IndependentDb::from_pairs([(1.0, 0.5)]).unwrap();
+    // Both compiling and running an empty batch are errors — never an
+    // empty answer that a caller could mistake for "no results found".
+    assert_eq!(
+        QueryBatch::new().run(&db).unwrap_err(),
+        QueryError::EmptyBatch
+    );
+    assert_eq!(
+        QueryBatch::new().compile(&db).unwrap_err(),
+        QueryError::EmptyBatch
+    );
+    let tree = AndXorTree::from_independent(&db);
+    assert_eq!(
+        QueryBatch::new().run(&tree).unwrap_err(),
+        QueryError::EmptyBatch
+    );
+}
+
+#[test]
+fn duplicate_semantics_are_answered_independently() {
+    let db = IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5)]).unwrap();
+    let results = QueryBatch::new()
+        .add(Semantics::Pt(2))
+        .add(Semantics::Pt(2))
+        .add_query(RankQuery::pt(2).top_k(1))
+        .run(&db)
+        .unwrap();
+    assert_eq!(results.len(), 3, "duplicates are not deduplicated");
+    assert_eq!(results[0].ranking.order(), results[1].ranking.order());
+    assert_eq!(
+        results[0].values.as_complex().unwrap(),
+        results[1].values.as_complex().unwrap()
+    );
+    // The third duplicate keeps its own option overrides.
+    assert_eq!(results[2].ranking.len(), 1);
+}
+
+#[test]
+fn batch_mixing_numeric_modes_keeps_each_entry_in_its_mode() {
+    let db = IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5)]).unwrap();
+    let results = QueryBatch::new()
+        .add_query(RankQuery::prfe(0.7).algorithm(Algorithm::ExactGf))
+        .add_query(RankQuery::prfe(0.7).algorithm(Algorithm::LogDomain))
+        .add_query(RankQuery::prfe(0.7).algorithm(Algorithm::Scaled))
+        .run(&db)
+        .unwrap();
+    assert_eq!(results[0].report.numeric_mode, NumericMode::Complex);
+    assert_eq!(results[1].report.numeric_mode, NumericMode::LogDomain);
+    assert_eq!(results[2].report.numeric_mode, NumericMode::Scaled);
+    // All three modes agree on the ranking, like the single queries do.
+    assert_eq!(results[0].ranking.order(), results[1].ranking.order());
+    assert_eq!(results[0].ranking.order(), results[2].ranking.order());
+    // …and a mode that is invalid for its parameters still fails the whole
+    // batch, exactly like the single query would.
+    let err = QueryBatch::new()
+        .add_query(RankQuery::prfe(0.7))
+        .add_query(RankQuery::prfe_complex(Complex::new(0.5, 0.5)).algorithm(Algorithm::LogDomain))
+        .run(&db)
+        .unwrap_err();
+    assert!(matches!(err, QueryError::InvalidParameter(_)), "{err}");
+}
+
+#[test]
+fn batch_top_k_interaction() {
+    let db = IndependentDb::from_pairs([(9.0, 0.4), (8.0, 0.8), (7.0, 0.5), (6.0, 0.9)]).unwrap();
+    let results = QueryBatch::new()
+        .add(Semantics::Pt(3)) // inherits the batch default below
+        .add_query(RankQuery::prfe(0.8).top_k(1)) // entry override wins
+        .add_query(RankQuery::erank().top_k(99)) // clamps to n, like singles
+        .top_k(2)
+        .run(&db)
+        .unwrap();
+    assert_eq!(results[0].ranking.len(), 2);
+    assert_eq!(results[0].report.truncated_to, Some(2));
+    assert_eq!(results[1].ranking.len(), 1);
+    assert_eq!(results[1].report.truncated_to, Some(1));
+    assert_eq!(results[2].ranking.len(), db.len());
+    assert_eq!(results[2].report.truncated_to, Some(99));
+    // Values are never truncated — only rankings are.
+    assert_eq!(results[1].values.len(), db.len());
+}
+
+#[test]
+fn parallel_batch_on_single_tuple_relation() {
+    // More threads than tuples: the sharded walk must clamp, not panic,
+    // and stay answer-equivalent to the serial single queries.
+    let tree = AndXorTree::from_x_tuples(&[vec![(42.0, 0.25)]]).unwrap();
+    let results = QueryBatch::new()
+        .add(Semantics::Pt(1))
+        .add(Semantics::Prfe(Complex::real(0.9)))
+        .add(Semantics::ERank)
+        .parallel(8)
+        .run(&tree)
+        .unwrap();
+    let pt = RankQuery::pt(1).run(&tree).unwrap();
+    assert_eq!(
+        results[0].values.as_complex().unwrap(),
+        pt.values.as_complex().unwrap()
+    );
+    let er = RankQuery::erank().run(&tree).unwrap();
+    assert_eq!(results[2].ranking.order(), er.ranking.order());
+    // The same holds on a 1-tuple independent relation.
+    let db = IndependentDb::from_pairs([(42.0, 0.25)]).unwrap();
+    let results = QueryBatch::new()
+        .add(Semantics::Pt(1))
+        .add(Semantics::ERank)
+        .parallel(8)
+        .run(&db)
+        .unwrap();
+    assert!((results[0].values.as_complex().unwrap()[0].re - 0.25).abs() < 1e-12);
 }
 
 #[test]
