@@ -1,0 +1,135 @@
+//! Criterion benchmarks for the serving layer: a [`RankServer`] replaying
+//! a mixed-semantics trace from 1/4/16 concurrent client threads vs the
+//! same trace dispatched as individual [`RankQuery`] runs.
+//!
+//! The acceptance workload (EXPERIMENTS.md "Serving layer") is the
+//! Syn-MED 10k tree with a 24-query trace mixing PT at several horizons,
+//! a tabulated PRFω, PRFe at several α, and E-Rank — the shapes a serving
+//! mix actually interleaves. Batched serving must reach **≥ 1.5×** the
+//! single-dispatch throughput: with a 2 ms deadline the whole trace
+//! collapses into a handful of flushes, each one shared score-order walk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::thread;
+use std::time::Duration;
+
+use prf_core::query::{Algorithm, RankQuery};
+use prf_core::weights::TabulatedWeight;
+use prf_datasets::syn_med_tree;
+use prf_serve::{RankServer, ServeConfig};
+
+/// `true` under `cargo bench` (measure mode), `false` under `cargo test`
+/// (smoke mode) — the same flag the criterion shim keys on. Smoke mode
+/// shrinks the workload: CI only needs every code path exercised once,
+/// not the acceptance-sized measurement.
+fn measure_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// The mixed-semantics serving trace: `len` queries cycling through six
+/// shared-walk shapes (every one exact on the tree backend).
+fn trace(len: usize) -> Vec<RankQuery> {
+    let omega: Vec<f64> = (0..100).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    (0..len)
+        .map(|i| match i % 6 {
+            0 => RankQuery::pt(100),
+            1 => RankQuery::pt(25 + (i % 4) * 25),
+            2 => RankQuery::prf(TabulatedWeight::from_real(&omega)),
+            3 => RankQuery::prfe(0.95).algorithm(Algorithm::ExactGf),
+            4 => RankQuery::prfe(0.80 + 0.01 * (i % 10) as f64).algorithm(Algorithm::ExactGf),
+            _ => RankQuery::erank(),
+        })
+        .collect()
+}
+
+/// Replays the trace through a fresh server from `clients` threads,
+/// blocking on every response (so a benchmark iteration measures complete
+/// end-to-end service, shutdown included).
+fn replay(tree: &prf_pdb::AndXorTree, queries: &[RankQuery], clients: usize) {
+    let server = RankServer::new(
+        ServeConfig::new()
+            .max_delay(Duration::from_millis(2))
+            .max_batch(32),
+    );
+    let rel = server.register("syn-med", tree.clone());
+    thread::scope(|s| {
+        for c in 0..clients {
+            let server = &server;
+            s.spawn(move || {
+                for (i, q) in queries.iter().enumerate() {
+                    if i % clients != c {
+                        continue;
+                    }
+                    let handle = server.submit(rel, q.clone()).expect("server is up");
+                    black_box(handle.recv().expect("query succeeds"));
+                }
+            });
+        }
+    });
+    server.shutdown();
+}
+
+fn bench_serve_vs_single_dispatch(c: &mut Criterion) {
+    // Acceptance size (Syn-MED 10k, 24 queries) when measuring; a small
+    // stand-in under `cargo test` so the smoke pass stays fast in debug.
+    let (n, len) = if measure_mode() {
+        (10_000, 24)
+    } else {
+        (500, 12)
+    };
+    let tree = syn_med_tree(n, 3);
+    let queries = trace(len);
+    let mut g = c.benchmark_group("serve_syn_med_10k");
+    g.sample_size(3); // each iteration answers 24 queries over 10k tuples
+
+    g.bench_function("single_dispatch_24", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(q.run(&tree).expect("single query on Syn-MED"));
+            }
+        })
+    });
+    for clients in [1usize, 4, 16] {
+        g.bench_function(format!("served_24/{clients}_clients"), |b| {
+            b.iter(|| replay(&tree, &queries, clients))
+        });
+    }
+    g.finish();
+}
+
+fn bench_serve_latency_floor(c: &mut Criterion) {
+    // The other end of the spectrum: a single client, zero deadline — the
+    // server degenerates to immediate dispatch, so this pins the serving
+    // layer's per-query overhead (queueing, wake-up, channel hop) against
+    // a direct run of the same query.
+    let tree = syn_med_tree(2_000, 3);
+    let q = RankQuery::prfe(0.9).algorithm(Algorithm::ExactGf);
+    let mut g = c.benchmark_group("serve_overhead_syn_med_2k");
+    g.sample_size(10);
+    g.bench_function("direct_prfe", |b| {
+        b.iter(|| black_box(q.run(&tree).expect("direct")))
+    });
+    g.bench_function("served_prfe_zero_deadline", |b| {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+        let rel = server.register("syn-med-2k", tree.clone());
+        b.iter(|| {
+            black_box(
+                server
+                    .submit(rel, q.clone())
+                    .expect("server is up")
+                    .recv()
+                    .expect("query succeeds"),
+            )
+        });
+        server.shutdown();
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serve_vs_single_dispatch,
+    bench_serve_latency_floor
+);
+criterion_main!(benches);

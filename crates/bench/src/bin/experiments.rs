@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments <table1|fig4|fig5|fig7|fig8|fig9|fig10|fig11|all> [--scale quick|full]
+//! experiments <table1|fig4|fig5|fig7|fig8|fig9|fig10|fig11|serve|all> [--scale quick|full]
 //! ```
 
 use prf_bench::{timed, Scale};
@@ -42,9 +42,10 @@ fn main() {
             "fig9" => prf_bench::fig9::run(scale),
             "fig10" => prf_bench::fig10::run(scale),
             "fig11" => prf_bench::fig11::run(scale),
+            "serve" => prf_bench::serve::run(scale),
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("available: table1 fig4 fig5 fig7 fig8 fig9 fig10 fig11 all");
+                eprintln!("available: table1 fig4 fig5 fig7 fig8 fig9 fig10 fig11 serve all");
                 return false;
             }
         }
@@ -54,7 +55,7 @@ fn main() {
     for name in &which {
         if name == "all" {
             for exp in [
-                "table1", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+                "table1", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "serve",
             ] {
                 let (_, t) = timed(|| run_one(exp));
                 println!("\n[{exp} completed in {t:.1}s]");

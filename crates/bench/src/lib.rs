@@ -8,10 +8,13 @@
 //! ```
 //!
 //! where `<experiment>` ∈ `table1 | fig4 | fig5 | fig7 | fig8 | fig9 |
-//! fig10 | fig11 | all`. The default `quick` scale finishes in minutes and
-//! preserves every qualitative shape; `full` matches the paper's dataset
-//! sizes (up to 10⁶ tuples) where that is feasible. EXPERIMENTS.md records
-//! the outputs next to the paper's numbers.
+//! fig10 | fig11 | serve | all`. The default `quick` scale finishes in
+//! minutes and preserves every qualitative shape; `full` matches the
+//! paper's dataset sizes (up to 10⁶ tuples) where that is feasible.
+//! EXPERIMENTS.md records the outputs next to the paper's numbers. The
+//! `serve` scenario goes beyond the paper: it replays a mixed-semantics
+//! trace through `prf-serve`'s deadline-batched `RankServer` and compares
+//! throughput with single-query dispatch.
 
 #![deny(missing_docs)]
 
@@ -22,6 +25,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod serve;
 pub mod table1;
 
 use std::time::Instant;

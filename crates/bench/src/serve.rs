@@ -1,0 +1,140 @@
+//! The `serve` scenario: replays a mixed-semantics query trace through the
+//! deadline-batched [`RankServer`] and compares end-to-end throughput with
+//! dispatching the same trace as individual queries — the serving-workload
+//! experiment the paper's amortization argument (one generating-function
+//! walk answering every PRF-family query) predicts and PR 4's batch layer
+//! enables. Reports per-client-count wall time, speedup, queue-wait
+//! distribution and the flush-trigger mix.
+
+use std::thread;
+use std::time::Duration;
+
+use prf_core::query::{Algorithm, FlushTrigger, RankQuery};
+use prf_core::weights::TabulatedWeight;
+use prf_datasets::syn_med_tree;
+use prf_serve::{RankServer, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{fmt, header, timed, Scale, SEED};
+
+/// A seeded mixed-semantics trace: the six shared-walk shapes in random
+/// order, as a serving workload would interleave them.
+fn trace(len: usize, seed: u64) -> Vec<RankQuery> {
+    let omega: Vec<f64> = (0..100).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| match rng.gen_range(0..6) {
+            0 => RankQuery::pt(100),
+            1 => RankQuery::pt(25 * rng.gen_range(1usize..=4)),
+            2 => RankQuery::prf(TabulatedWeight::from_real(&omega)),
+            3 => RankQuery::prfe(0.95).algorithm(Algorithm::ExactGf),
+            4 => RankQuery::prfe(rng.gen_range(0.5..0.99)).algorithm(Algorithm::ExactGf),
+            _ => RankQuery::erank(),
+        })
+        .collect()
+}
+
+/// Replays the trace from `clients` threads; returns (wall seconds,
+/// queue-wait seconds per query, queries answered per flush trigger).
+fn replay(
+    tree: &prf_pdb::AndXorTree,
+    queries: &[RankQuery],
+    clients: usize,
+) -> (f64, Vec<f64>, [usize; 3]) {
+    let server = RankServer::new(
+        ServeConfig::new()
+            .max_delay(Duration::from_millis(2))
+            .max_batch(32),
+    );
+    let rel = server.register("syn-med", tree.clone());
+    let (waits, wall) = timed(|| {
+        thread::scope(|s| {
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let server = &server;
+                    s.spawn(move || {
+                        let mut waits = Vec::new();
+                        for (i, q) in queries.iter().enumerate() {
+                            if i % clients != c {
+                                continue;
+                            }
+                            let result = server
+                                .submit(rel, q.clone())
+                                .expect("server is up")
+                                .recv()
+                                .expect("query succeeds");
+                            let serve = result.report.serve.expect("provenance");
+                            waits.push((serve.queue_seconds, serve.trigger, serve.flush_size));
+                        }
+                        waits
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("client thread"))
+                .collect::<Vec<_>>()
+        })
+    });
+    server.shutdown();
+
+    let mut triggers = [0usize; 3];
+    let mut queue_waits = Vec::with_capacity(waits.len());
+    for (wait, trigger, _flush_size) in waits {
+        queue_waits.push(wait);
+        let slot = match trigger {
+            FlushTrigger::Deadline => 0,
+            FlushTrigger::SizeLimit => 1,
+            FlushTrigger::Shutdown => 2,
+        };
+        triggers[slot] += 1;
+    }
+    (wall, queue_waits, triggers)
+}
+
+/// Runs the scenario.
+pub fn run(scale: Scale) {
+    header("serve: deadline-batched RankServer vs single dispatch");
+    let n = scale.pick(2_000, 10_000);
+    let len = scale.pick(24, 48);
+    println!("Syn-MED n = {n}, mixed-semantics trace of {len} queries");
+    println!("(deadline 2 ms, max batch 32, serial walks)\n");
+
+    let tree = syn_med_tree(n, 3);
+    let queries = trace(len, SEED);
+
+    let (_, t_single) = timed(|| {
+        for q in &queries {
+            q.run(&tree).expect("single query");
+        }
+    });
+    println!(
+        "single dispatch      {:>9} s   ({:.1} q/s)",
+        fmt(t_single),
+        len as f64 / t_single
+    );
+
+    for clients in [1usize, 4, 16] {
+        let (wall, mut waits, triggers) = replay(&tree, &queries, clients);
+        waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean = waits.iter().sum::<f64>() / waits.len() as f64;
+        let p95 = waits[((waits.len() as f64 * 0.95).ceil() as usize).clamp(1, waits.len()) - 1];
+        println!(
+            "served, {clients:>2} clients   {:>9} s   ({:.1} q/s, {:.2}x single) \
+             queue wait mean {} s / p95 {} s; triggers: deadline {} size {} shutdown {}",
+            fmt(wall),
+            len as f64 / wall,
+            t_single / wall,
+            fmt(mean),
+            fmt(p95),
+            triggers[0],
+            triggers[1],
+            triggers[2],
+        );
+    }
+    println!(
+        "\n(the 16-client row is the acceptance measurement: batched serving \
+         must reach >= 1.5x single-dispatch throughput)"
+    );
+}

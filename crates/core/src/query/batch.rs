@@ -321,23 +321,69 @@ impl QueryBatch {
     /// Runs every query, sharing one score-order walk between the entries
     /// the plan routes as [`BatchRoute::Shared`]. Results are in entry
     /// order and answer-equivalent to running each entry individually.
+    ///
+    /// Any per-entry failure — an unresolvable algorithm or a failing
+    /// individually-evaluated entry — fails the whole batch; serving
+    /// layers that must keep one bad query from poisoning a flush use
+    /// [`QueryBatch::run_isolated`] instead.
     pub fn run(
         &self,
         rel: &(impl ProbabilisticRelation + ?Sized),
     ) -> Result<Vec<RankedResult>, QueryError> {
         let plan = self.compile(rel)?;
+        let resolved: Vec<Result<(Algorithm, BatchRoute), QueryError>> =
+            plan.resolved.iter().map(|&r| Ok(r)).collect();
+        self.execute(rel, &resolved, true).into_iter().collect()
+    }
 
-        // Assemble the shared-walk spec from the Shared entries.
+    /// Runs every query with **per-entry error isolation**: each entry
+    /// resolves, routes, and (when necessary) falls back independently, so
+    /// one incompatible or failing query yields an `Err` in *its* slot
+    /// while every other entry still shares the walk. Results are in entry
+    /// order; an empty batch returns an empty vector (a serving layer never
+    /// flushes an empty queue, so there is no entry to report
+    /// [`QueryError::EmptyBatch`] through).
+    ///
+    /// Ok entries are answer-identical to what [`QueryBatch::run`] produces
+    /// for a batch containing only the valid queries.
+    pub fn run_isolated(
+        &self,
+        rel: &(impl ProbabilisticRelation + ?Sized),
+    ) -> Vec<Result<RankedResult, QueryError>> {
+        let resolved: Vec<Result<(Algorithm, BatchRoute), QueryError>> = self
+            .entries
+            .iter()
+            .map(|e| {
+                e.resolve_algorithm(rel)
+                    .map(|a| (a, route(e.semantics(), a)))
+            })
+            .collect();
+        self.execute(rel, &resolved, false)
+    }
+
+    /// The shared execution core of [`QueryBatch::run`] and
+    /// [`QueryBatch::run_isolated`]: entries whose resolution failed carry
+    /// their error through; the rest share one walk where routed.
+    /// `fail_fast` stops at the first errored entry (the all-or-nothing
+    /// `run` path discards everything after it anyway), leaving the
+    /// returned vector short.
+    fn execute(
+        &self,
+        rel: &(impl ProbabilisticRelation + ?Sized),
+        resolved: &[Result<(Algorithm, BatchRoute), QueryError>],
+        fail_fast: bool,
+    ) -> Vec<Result<RankedResult, QueryError>> {
+        // Assemble the shared-walk spec from the resolvable Shared entries.
         let mut spec = SharedWalkSpec {
             requests: Vec::new(),
             threads: self.threads,
         };
         let mut request_of = vec![usize::MAX; self.entries.len()];
         for (i, entry) in self.entries.iter().enumerate() {
-            if plan.route(i) == BatchRoute::Shared {
+            if let Ok((algorithm, BatchRoute::Shared)) = resolved[i] {
                 request_of[i] = spec.requests.len();
                 spec.requests
-                    .push(shared_request(entry.semantics(), plan.algorithm(i)));
+                    .push(shared_request(entry.semantics(), algorithm));
             }
         }
 
@@ -363,6 +409,16 @@ impl QueryBatch {
 
         let mut results = Vec::with_capacity(self.entries.len());
         for (i, entry) in self.entries.iter().enumerate() {
+            let (algorithm, _) = match &resolved[i] {
+                Ok(r) => *r,
+                Err(e) => {
+                    results.push(Err(e.clone()));
+                    if fail_fast {
+                        break;
+                    }
+                    continue;
+                }
+            };
             let answer = if answers.is_empty() {
                 None
             } else {
@@ -371,9 +427,9 @@ impl QueryBatch {
                     .and_then(std::option::Option::take)
             };
             let result = match answer {
-                Some(answer) => self.finalize_shared(
+                Some(answer) => Ok(self.finalize_shared(
                     entry,
-                    plan.algorithm(i),
+                    algorithm,
                     rel,
                     answer,
                     BatchCost {
@@ -381,14 +437,18 @@ impl QueryBatch {
                         consumers,
                     },
                     stats,
-                ),
+                )),
                 // Single-route entries (and every entry when the backend
                 // has no shared walk) run as the equivalent single query.
-                None => self.effective_single(entry).run(rel)?,
+                None => self.effective_single(entry).run(rel),
             };
+            let errored = result.is_err();
             results.push(result);
+            if fail_fast && errored {
+                break;
+            }
         }
-        Ok(results)
+        results
     }
 
     /// The single-query form of an entry with batch-level defaults filled
@@ -405,7 +465,13 @@ impl QueryBatch {
     }
 
     /// Builds the [`RankedResult`] of a shared entry from its walk answer,
-    /// mirroring the single-query value/ranking construction exactly.
+    /// mirroring the single-query value/ranking construction exactly. A
+    /// requested `top_k` is **pushed down** into the ranking construction:
+    /// only the best-`k` prefix is selected and sorted (the per-tuple
+    /// values stay complete, like the single-query path), which is
+    /// answer-identical to materialising the full ranking and truncating —
+    /// pinned by `batch_top_k_pushdown_agrees_with_full_rankings` and the
+    /// differential suite.
     fn finalize_shared(
         &self,
         entry: &RankQuery,
@@ -416,35 +482,48 @@ impl QueryBatch {
         stats: Option<GfStats>,
     ) -> RankedResult {
         let finalize_start = Instant::now();
+        let top_k = entry.top_k.or(self.top_k);
+        let n = rel.n_tuples();
+        // The pushdown cap: how much of the ranking to materialise.
+        let cap = top_k.unwrap_or(n).min(n);
         let (values, ranking) = match (&entry.semantics, answer) {
             (Semantics::Prf(_), SharedAnswer::Complex(vals)) => {
-                let ranking =
-                    Ranking::from_values(&vals, entry.value_order.unwrap_or(ValueOrder::Magnitude));
+                let ranking = Ranking::from_values_topk(
+                    &vals,
+                    entry.value_order.unwrap_or(ValueOrder::Magnitude),
+                    cap,
+                );
                 (Values::Complex(vals), ranking)
             }
             (Semantics::Pt(_) | Semantics::Consensus(_), SharedAnswer::Complex(vals)) => {
-                let ranking =
-                    Ranking::from_values(&vals, entry.value_order.unwrap_or(ValueOrder::RealPart));
+                let ranking = Ranking::from_values_topk(
+                    &vals,
+                    entry.value_order.unwrap_or(ValueOrder::RealPart),
+                    cap,
+                );
                 (Values::Complex(vals), ranking)
             }
             (Semantics::Prfe(_), SharedAnswer::Complex(vals)) => {
-                let ranking =
-                    Ranking::from_values(&vals, entry.value_order.unwrap_or(ValueOrder::Magnitude));
+                let ranking = Ranking::from_values_topk(
+                    &vals,
+                    entry.value_order.unwrap_or(ValueOrder::Magnitude),
+                    cap,
+                );
                 (Values::Complex(vals), ranking)
             }
             (Semantics::Prfe(_), SharedAnswer::Log(keys)) => {
-                let ranking = Ranking::from_keys(&keys);
+                let ranking = Ranking::from_keys_topk(&keys, cap);
                 (Values::LogDomain(keys), ranking)
             }
             (Semantics::Prfe(_), SharedAnswer::Scaled(vals)) => {
-                let ranking = entry.rank_scaled(&vals, ValueOrder::Magnitude);
+                let ranking = entry.rank_scaled_topk(&vals, ValueOrder::Magnitude, Some(cap));
                 (Values::Scaled(vals), ranking)
             }
             (Semantics::ERank, SharedAnswer::Ranks(er)) => {
                 // Negated so higher ranks better, like the single query.
                 let vals: Vec<Complex> = er.iter().map(|&e| Complex::real(-e)).collect();
                 let keys: Vec<f64> = er.into_iter().map(|e| -e).collect();
-                (Values::Complex(vals), Ranking::from_keys(&keys))
+                (Values::Complex(vals), Ranking::from_keys_topk(&keys, cap))
             }
             (sem, ans) => unreachable!(
                 "shared answer shape mismatch: {sem:?} got {}",
@@ -456,12 +535,6 @@ impl QueryBatch {
                 }
             ),
         };
-
-        let mut ranking = ranking;
-        let top_k = entry.top_k.or(self.top_k);
-        if let Some(k) = top_k {
-            ranking.truncate(k);
-        }
 
         let amortized = cost.amortized_seconds();
         let report = EvalReport {
@@ -478,6 +551,7 @@ impl QueryBatch {
             threads: self.threads,
             memory: stats,
             batch: Some(cost),
+            serve: None,
         };
         RankedResult {
             values,
@@ -661,6 +735,97 @@ mod tests {
         assert_eq!(results[1].ranking.len(), 1); // entry override wins
         assert_eq!(results[0].report.truncated_to, Some(2));
         assert_eq!(results[1].report.truncated_to, Some(1));
+    }
+
+    #[test]
+    fn run_isolated_isolates_bad_entries() {
+        let db = db();
+        let results = QueryBatch::new()
+            .add(Semantics::Pt(2))
+            // Incompatible: PT has no log-domain algorithm.
+            .add_query(RankQuery::pt(2).algorithm(Algorithm::LogDomain))
+            .add_query(RankQuery::prfe(0.9))
+            // Fails at evaluation time: k > n has no set answer.
+            .add(Semantics::UTop(99))
+            .run_isolated(&db);
+        assert_eq!(results.len(), 4);
+        assert!(matches!(
+            results[1],
+            Err(QueryError::IncompatibleAlgorithm { .. })
+        ));
+        assert!(matches!(results[3], Err(QueryError::NoSetAnswer)));
+        // The good entries still share the walk and match their single
+        // queries exactly.
+        let pt = RankQuery::pt(2).run(&db).unwrap();
+        let prfe = RankQuery::prfe(0.9).run(&db).unwrap();
+        let got_pt = results[0].as_ref().unwrap();
+        let got_prfe = results[2].as_ref().unwrap();
+        assert_eq!(got_pt.values.as_complex(), pt.values.as_complex());
+        assert_eq!(got_prfe.ranking.order(), prfe.ranking.order());
+        assert_eq!(got_pt.report.batch.unwrap().consumers, 2);
+        // An empty batch has no entry to report an error through.
+        assert!(QueryBatch::new().run_isolated(&db).is_empty());
+    }
+
+    #[test]
+    fn batch_top_k_pushdown_agrees_with_full_rankings() {
+        // Every entry requests top_k, so each shared ranking is built by
+        // partial selection — the result must be identical to the full
+        // ranking truncated afterwards, across every answer shape.
+        let db = db();
+        let tree = AndXorTree::from_independent(&db);
+        let entries = || {
+            vec![
+                RankQuery::pt(3),
+                RankQuery::prfe(0.8).algorithm(Algorithm::ExactGf),
+                RankQuery::prfe(0.8).algorithm(Algorithm::Scaled),
+                RankQuery::erank(),
+            ]
+        };
+        for k in [1usize, 2, 4, 100] {
+            let pushed = QueryBatch::new()
+                .add_queries(entries())
+                .top_k(k)
+                .run(&db)
+                .unwrap();
+            let full = QueryBatch::new().add_queries(entries()).run(&db).unwrap();
+            for (p, f) in pushed.iter().zip(&full) {
+                let mut truncated = f.ranking.clone();
+                truncated.truncate(k);
+                assert_eq!(p.ranking.order(), truncated.order(), "k={k}");
+                for pos in 0..p.ranking.len() {
+                    assert_eq!(p.ranking.key_at(pos), truncated.key_at(pos), "k={k}");
+                }
+                assert_eq!(p.values.len(), db.len(), "values stay complete");
+            }
+            // Log-domain PRFe only routes shared on the independent
+            // backend; trees cover the Complex/Scaled/Ranks shapes.
+            let pushed = QueryBatch::new()
+                .add_queries(entries())
+                .top_k(k)
+                .run(&tree)
+                .unwrap();
+            let full = QueryBatch::new().add_queries(entries()).run(&tree).unwrap();
+            for (p, f) in pushed.iter().zip(&full) {
+                let mut truncated = f.ranking.clone();
+                truncated.truncate(k);
+                assert_eq!(p.ranking.order(), truncated.order(), "tree k={k}");
+            }
+        }
+        // Log-domain answer shape on the independent fast path.
+        let pushed = QueryBatch::new()
+            .add_query(
+                RankQuery::prfe(0.7)
+                    .algorithm(Algorithm::LogDomain)
+                    .top_k(2),
+            )
+            .run(&db)
+            .unwrap();
+        let single = RankQuery::prfe(0.7)
+            .algorithm(Algorithm::LogDomain)
+            .run(&db)
+            .unwrap();
+        assert_eq!(pushed[0].ranking.order(), &single.ranking.order()[..2]);
     }
 
     #[test]

@@ -261,6 +261,46 @@ pub struct TopSet {
     pub log_prob: f64,
 }
 
+/// What fired a serving-layer batch flush — recorded by `prf-serve`'s
+/// `RankServer` in [`ServeCost`] so every answer carries its scheduling
+/// provenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// The oldest pending query reached the configured deadline (a zero
+    /// deadline flushes on the first wake-up after every submission).
+    Deadline,
+    /// The pending queue reached the configured maximum batch size.
+    SizeLimit,
+    /// The server was shut down and drained its in-flight queries.
+    Shutdown,
+}
+
+impl std::fmt::Display for FlushTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FlushTrigger::Deadline => "deadline",
+            FlushTrigger::SizeLimit => "size-limit",
+            FlushTrigger::Shutdown => "shutdown",
+        })
+    }
+}
+
+/// Serving-layer provenance recorded in a query's [`EvalReport`] by
+/// `prf-serve`: how long the query waited in the server's pending queue,
+/// what fired the flush that answered it, and how many queries that flush
+/// carried. `None` for queries that did not go through a `RankServer`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeCost {
+    /// Seconds between submission and the start of the flush that served
+    /// this query.
+    pub queue_seconds: f64,
+    /// What fired the flush.
+    pub trigger: FlushTrigger,
+    /// Number of queries in the flush (all relations' entries that were
+    /// compiled into the same [`QueryBatch`]).
+    pub flush_size: usize,
+}
+
 /// What the engine actually did: echoed parameters, resolved choices, and
 /// wall-clock timings.
 #[derive(Clone, Debug)]
@@ -293,6 +333,10 @@ pub struct EvalReport {
     /// the amortized share), `None` for single queries and for batch
     /// entries that were evaluated individually.
     pub batch: Option<BatchCost>,
+    /// Serving-layer provenance — `Some` when this query was answered by a
+    /// `prf-serve` `RankServer` flush (queue wait + flush trigger), `None`
+    /// for queries run directly.
+    pub serve: Option<ServeCost>,
 }
 
 /// The answer of a [`RankQuery`]: per-tuple values, the induced ranking,
@@ -335,6 +379,9 @@ pub enum QueryError {
     NoSetAnswer,
     /// A [`QueryBatch`] was run with no entries.
     EmptyBatch,
+    /// The query was submitted to (or still pending on) a `prf-serve`
+    /// `RankServer` that shut down before it could be evaluated.
+    Shutdown,
 }
 
 impl std::fmt::Display for QueryError {
@@ -355,6 +402,12 @@ impl std::fmt::Display for QueryError {
                 write!(f, "no set has positive probability of being the top-k")
             }
             QueryError::EmptyBatch => write!(f, "a query batch must contain at least one query"),
+            QueryError::Shutdown => {
+                write!(
+                    f,
+                    "the rank server shut down before the query was evaluated"
+                )
+            }
         }
     }
 }
@@ -592,6 +645,7 @@ impl RankQuery {
             threads: self.threads,
             memory,
             batch: None,
+            serve: None,
         };
         Ok(RankedResult {
             values,
@@ -776,14 +830,27 @@ impl RankQuery {
     }
 
     fn rank_scaled(&self, vals: &[Scaled<Complex>], default_order: ValueOrder) -> Ranking {
+        self.rank_scaled_topk(vals, default_order, None)
+    }
+
+    /// [`RankQuery::rank_scaled`] with the batch engine's top-k pushdown:
+    /// `Some(k)` constructs only the best-`k` prefix via partial selection
+    /// (identical to the full ranking truncated to `k`).
+    fn rank_scaled_topk(
+        &self,
+        vals: &[Scaled<Complex>],
+        default_order: ValueOrder,
+        top_k: Option<usize>,
+    ) -> Ranking {
+        let k = top_k.unwrap_or(vals.len());
         match self.value_order.unwrap_or(default_order) {
             ValueOrder::Magnitude => {
                 let keys: Vec<f64> = vals.iter().map(|v| v.magnitude_key()).collect();
-                Ranking::from_keys(&keys)
+                Ranking::from_keys_topk(&keys, k)
             }
             ValueOrder::RealPart => {
                 let keys: Vec<_> = vals.iter().map(|v| v.real_part_key()).collect();
-                Ranking::from_keys_by(&keys, |k| k.display())
+                Ranking::from_keys_by_topk(&keys, |k| k.display(), k)
             }
         }
     }

@@ -47,15 +47,26 @@ impl Ranking {
         Self::from_keys(&keys_by_id)
     }
 
+    /// The top-`k` prefix of [`Ranking::from_values`], without sorting the
+    /// other `n − k` tuples — the batch engine's `top_k` pushdown.
+    /// Identical (order and keys) to `from_values` followed by
+    /// [`Ranking::truncate`]`(k)`.
+    pub fn from_values_topk(values: &[Complex], order: ValueOrder, k: usize) -> Self {
+        let keys_by_id: Vec<f64> = values.iter().map(|&v| order.key(v)).collect();
+        Self::from_keys_topk(&keys_by_id, k)
+    }
+
     /// Ranks tuples by pre-computed real keys (higher is better).
     pub fn from_keys(keys_by_id: &[f64]) -> Self {
-        let mut idx: Vec<usize> = (0..keys_by_id.len()).collect();
-        idx.sort_by(|&a, &b| {
-            keys_by_id[b]
-                .partial_cmp(&keys_by_id[a])
-                .expect("ranking keys must not be NaN")
-                .then(a.cmp(&b))
-        });
+        Self::from_keys_topk(keys_by_id, keys_by_id.len())
+    }
+
+    /// The top-`k` prefix of [`Ranking::from_keys`] via partial selection
+    /// (`select_nth_unstable` + sorting only the selected prefix) —
+    /// identical to the full sort followed by [`Ranking::truncate`]`(k)`
+    /// because the comparator (key descending, ties by tuple id) is total.
+    pub fn from_keys_topk(keys_by_id: &[f64], k: usize) -> Self {
+        let idx = topk_indices(keys_by_id, k, "ranking keys must not be NaN");
         Ranking {
             keys: idx.iter().map(|&i| keys_by_id[i]).collect(),
             order: idx.into_iter().map(|i| TupleId(i as u32)).collect(),
@@ -71,13 +82,17 @@ impl Ranking {
         keys_by_id: &[K],
         display: impl Fn(K) -> f64,
     ) -> Self {
-        let mut idx: Vec<usize> = (0..keys_by_id.len()).collect();
-        idx.sort_by(|&a, &b| {
-            keys_by_id[b]
-                .partial_cmp(&keys_by_id[a])
-                .expect("ranking keys must be comparable")
-                .then(a.cmp(&b))
-        });
+        Self::from_keys_by_topk(keys_by_id, display, keys_by_id.len())
+    }
+
+    /// The top-`k` prefix of [`Ranking::from_keys_by`] via partial
+    /// selection (see [`Ranking::from_keys_topk`]).
+    pub fn from_keys_by_topk<K: PartialOrd + Copy>(
+        keys_by_id: &[K],
+        display: impl Fn(K) -> f64,
+        k: usize,
+    ) -> Self {
+        let idx = topk_indices(keys_by_id, k, "ranking keys must be comparable");
         Ranking {
             keys: idx.iter().map(|&i| display(keys_by_id[i])).collect(),
             order: idx.into_iter().map(|i| TupleId(i as u32)).collect(),
@@ -143,6 +158,29 @@ impl Ranking {
     }
 }
 
+/// Indices of the best `k` keys, ordered best-first (key descending, ties
+/// by index ascending). `k ≥ len` degenerates to the full sorted index
+/// vector; selection and sort use the *same* total comparator, so the
+/// prefix is bitwise-identical to the full sort's.
+fn topk_indices<K: PartialOrd + Copy>(keys_by_id: &[K], k: usize, expect: &str) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..keys_by_id.len()).collect();
+    let cmp = |a: &usize, b: &usize| {
+        keys_by_id[*b]
+            .partial_cmp(&keys_by_id[*a])
+            .expect(expect)
+            .then(a.cmp(b))
+    };
+    if k < idx.len() {
+        if k > 0 {
+            // Partition so positions 0..k hold the best k (unordered).
+            idx.select_nth_unstable_by(k - 1, cmp);
+        }
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(cmp);
+    idx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +215,51 @@ mod tests {
         assert_eq!(r.top_k(10).len(), 2);
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn topk_constructors_agree_with_full_sort_then_truncate() {
+        // Includes duplicate keys, so the id tie-break is exercised: the
+        // partial selection must produce the exact same prefix the full
+        // sort does.
+        let keys = [0.3, 0.9, 0.3, 0.0, 0.9, 0.5, 0.3, 1.0, 0.0];
+        for k in 0..=keys.len() + 2 {
+            let fast = Ranking::from_keys_topk(&keys, k);
+            let mut full = Ranking::from_keys(&keys);
+            full.truncate(k);
+            assert_eq!(fast.order(), full.order(), "k={k}");
+            for pos in 0..fast.len() {
+                assert_eq!(fast.key_at(pos), full.key_at(pos), "k={k} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_from_values_and_keys_by_agree_with_full() {
+        let values = [
+            Complex::real(1.0),
+            Complex::new(0.0, -2.0),
+            Complex::real(1.0),
+            Complex::real(-0.5),
+        ];
+        for order in [ValueOrder::Magnitude, ValueOrder::RealPart] {
+            for k in 0..=values.len() {
+                let fast = Ranking::from_values_topk(&values, order, k);
+                let mut full = Ranking::from_values(&values, order);
+                full.truncate(k);
+                assert_eq!(fast.order(), full.order(), "{order:?} k={k}");
+            }
+        }
+        // The generic-key constructor, with a display transform.
+        let raw = [3i64, 1, 3, 2];
+        for k in 0..=raw.len() {
+            let fast = Ranking::from_keys_by_topk(&raw, |v| v as f64, k);
+            let mut full = Ranking::from_keys_by(&raw, |v| v as f64);
+            full.truncate(k);
+            assert_eq!(fast.order(), full.order(), "k={k}");
+            for pos in 0..fast.len() {
+                assert_eq!(fast.key_at(pos), full.key_at(pos));
+            }
+        }
     }
 }

@@ -1,0 +1,104 @@
+//! Per-query response handles: the client side of a submission.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use prf_core::query::{QueryError, RankedResult};
+
+/// What a flush delivers for one submission.
+pub(crate) type Answer = Result<RankedResult, QueryError>;
+
+/// Server-assigned identifier of one submitted query — unique per
+/// [`crate::RankServer`] for its whole lifetime, so clients (and the
+/// response-accounting tests) can track that every submission resolves
+/// exactly once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub(crate) u64);
+
+impl QueryId {
+    /// The raw id value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// The client side of one submitted query: resolves **exactly once** to the
+/// query's [`RankedResult`] or its [`QueryError`].
+///
+/// Dropping a handle is always safe — the server detects the disconnected
+/// channel and discards the answer without stalling the flush. Conversely,
+/// if the server shuts down (or its flusher dies) before an answer is
+/// produced, the handle resolves to [`QueryError::Shutdown`] rather than
+/// blocking forever.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    id: QueryId,
+    rx: mpsc::Receiver<Answer>,
+    /// Caches the answer once observed, so a [`ResponseHandle::try_recv`]
+    /// poll followed by [`ResponseHandle::recv`] still resolves.
+    cached: Option<Answer>,
+}
+
+impl ResponseHandle {
+    pub(crate) fn new(id: QueryId, rx: mpsc::Receiver<Answer>) -> Self {
+        ResponseHandle {
+            id,
+            rx,
+            cached: None,
+        }
+    }
+
+    /// The server-assigned id of this query.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// Blocks until the answer arrives and returns it. Resolves to
+    /// [`QueryError::Shutdown`] if the server is torn down without ever
+    /// answering (it never is during an orderly [`crate::RankServer::shutdown`],
+    /// which drains pending queries by evaluating them).
+    pub fn recv(mut self) -> Answer {
+        if let Some(answer) = self.cached.take() {
+            return answer;
+        }
+        self.rx.recv().unwrap_or(Err(QueryError::Shutdown))
+    }
+
+    /// Like [`ResponseHandle::recv`], but gives up after `timeout`,
+    /// returning `None` when the answer has not arrived in time (the handle
+    /// stays usable).
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Answer> {
+        if self.cached.is_none() {
+            match self.rx.recv_timeout(timeout) {
+                Ok(answer) => self.cached = Some(answer),
+                Err(mpsc::RecvTimeoutError::Timeout) => return None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    self.cached = Some(Err(QueryError::Shutdown));
+                }
+            }
+        }
+        self.cached.clone()
+    }
+
+    /// Non-blocking poll: `None` while the answer is still pending, the
+    /// answer (a clone — it stays cached, so `recv` after a successful poll
+    /// still resolves) once it has arrived.
+    pub fn try_recv(&mut self) -> Option<Answer> {
+        if self.cached.is_none() {
+            match self.rx.try_recv() {
+                Ok(answer) => self.cached = Some(answer),
+                Err(mpsc::TryRecvError::Empty) => return None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    self.cached = Some(Err(QueryError::Shutdown));
+                }
+            }
+        }
+        self.cached.clone()
+    }
+}

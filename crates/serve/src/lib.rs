@@ -1,0 +1,66 @@
+//! Deadline-batched serving layer over the unified query engine.
+//!
+//! The paper's framework makes every PRF-family semantics a read-off of one
+//! generating-function walk, and [`prf_core::query::QueryBatch`] exploits
+//! that: N queries against one relation cost roughly one walk. What the
+//! batch layer cannot do is *collect* those N queries — a serving workload
+//! delivers them one at a time, from many client threads, against several
+//! relations. This crate adds the missing front end:
+//!
+//! * a [`RankServer`] owns registered [`ProbabilisticRelation`]s and
+//!   accepts [`RankQuery`] submissions concurrently from any number of
+//!   client threads;
+//! * pending queries are **grouped by relation** and flushed into one
+//!   `QueryBatch` when either the oldest query's **deadline**
+//!   ([`ServeConfig::max_delay`]) or the **maximum batch size**
+//!   ([`ServeConfig::max_batch`]) is hit — or immediately at shutdown;
+//! * every submission returns a [`ResponseHandle`] (blocking
+//!   [`ResponseHandle::recv`] plus non-blocking [`ResponseHandle::try_recv`])
+//!   carrying the [`prf_core::query::RankedResult`] or the per-query
+//!   [`prf_core::query::QueryError`] — one bad query never poisons its
+//!   flush (the batch runs with per-entry error isolation);
+//! * each answered query's report records its serving provenance
+//!   ([`prf_core::query::ServeCost`]): queue wait plus which
+//!   [`prf_core::query::FlushTrigger`] (`Deadline | SizeLimit | Shutdown`)
+//!   fired the flush that served it.
+//!
+//! The implementation is std-only — client threads and one flusher thread
+//! coordinating through a `Mutex`/`Condvar` pair, with per-query `mpsc`
+//! channels delivering answers.
+//!
+//! ```
+//! use prf_core::query::{RankQuery, Semantics};
+//! use prf_pdb::IndependentDb;
+//! use prf_serve::{RankServer, ServeConfig};
+//! use std::time::Duration;
+//!
+//! let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_millis(2)));
+//! let db = IndependentDb::from_pairs([(100.0, 0.5), (50.0, 1.0), (80.0, 0.8)])?;
+//! let rel = server.register("readings", db);
+//!
+//! // Submissions are non-blocking; many client threads may submit at once.
+//! let pt = server.submit(rel, RankQuery::pt(2))?;
+//! let prfe = server.submit(rel, RankQuery::prfe(0.9))?;
+//!
+//! // Both land in the same flush and share one score-order walk.
+//! let pt = pt.recv()?;
+//! let prfe = prfe.recv()?;
+//! assert_eq!(pt.ranking.len(), 3);
+//! let serve = pt.report.serve.expect("served answers carry provenance");
+//! assert!(serve.queue_seconds >= 0.0);
+//! server.shutdown(); // drains in-flight queries; Drop would do the same
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod handle;
+mod server;
+
+pub use handle::{QueryId, ResponseHandle};
+pub use server::{RankServer, RelationId, ServeConfig, SharedRelation};
+
+// Re-exported so serving code can name its whole vocabulary from one crate.
+pub use prf_core::query::{
+    FlushTrigger, ProbabilisticRelation, QueryError, RankQuery, RankedResult, Semantics, ServeCost,
+};

@@ -1,0 +1,557 @@
+//! The [`RankServer`]: concurrent submission, per-relation queues, and the
+//! deadline/size-triggered flusher thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use prf_core::query::{
+    FlushTrigger, ProbabilisticRelation, QueryBatch, QueryError, RankQuery, ServeCost,
+};
+
+use crate::handle::{Answer, QueryId, ResponseHandle};
+
+/// A relation as the server owns it: shared, type-erased, and usable from
+/// both client threads (registration) and the flusher.
+pub type SharedRelation = Arc<dyn ProbabilisticRelation + Send + Sync>;
+
+/// Tuning knobs of a [`RankServer`].
+///
+/// The defaults (2 ms deadline, 64-query batches, serial walks) suit a
+/// latency-sensitive serving mix; a zero [`ServeConfig::max_delay`] turns
+/// the server into an immediate dispatcher that still batches whatever has
+/// accumulated since the flusher last ran.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    pub(crate) max_delay: Duration,
+    pub(crate) max_batch: usize,
+    pub(crate) threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_delay: Duration::from_millis(2),
+            max_batch: 64,
+            threads: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration (2 ms deadline, 64-query batches).
+    pub fn new() -> Self {
+        ServeConfig::default()
+    }
+
+    /// How long the oldest pending query may wait before its relation's
+    /// queue is flushed. Zero flushes on the first flusher wake-up after
+    /// every submission.
+    pub fn max_delay(mut self, deadline: Duration) -> Self {
+        self.max_delay = deadline;
+        self
+    }
+
+    /// Queue size that triggers an immediate flush, regardless of the
+    /// deadline (clamped to at least 1).
+    pub fn max_batch(mut self, size: usize) -> Self {
+        self.max_batch = size.max(1);
+        self
+    }
+
+    /// Requests `threads` workers for each flush's shared walk (forwarded
+    /// to [`QueryBatch::parallel`]).
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+}
+
+/// Server-local identifier of a registered relation, returned by
+/// [`RankServer::register`] and presented with every submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RelationId(pub(crate) usize);
+
+impl std::fmt::Display for RelationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rel{}", self.0)
+    }
+}
+
+/// One submission waiting in a relation's queue.
+struct Pending {
+    query: RankQuery,
+    submitted_at: Instant,
+    tx: mpsc::Sender<Answer>,
+}
+
+/// A registered relation plus its pending queue.
+struct Slot {
+    name: String,
+    rel: SharedRelation,
+    queue: Vec<Pending>,
+}
+
+/// Mutex-guarded server state shared between clients and the flusher.
+struct State {
+    slots: Vec<Slot>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl Shared {
+    /// Locks the state, recovering from poisoning — a panicking client
+    /// thread must not wedge the flusher (or vice versa).
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A concurrent, deadline-batched front end over registered relations: see
+/// the [crate docs](crate) for the architecture and a usage example.
+///
+/// The server is `Sync` — share it across client threads by reference
+/// (e.g. `std::thread::scope`) or in an `Arc`. Dropping it shuts it down
+/// and drains in-flight queries.
+pub struct RankServer {
+    shared: Arc<Shared>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+    next_query: AtomicU64,
+}
+
+impl RankServer {
+    /// Starts a server (spawning its flusher thread) with the given
+    /// configuration.
+    pub fn new(config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                slots: Vec::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("prf-serve-flusher".into())
+                .spawn(move || {
+                    // Failsafe for an abnormal flusher death (a panicking
+                    // backend kernel): on unwind, reject future submissions
+                    // and drop every queued sender so pending handles
+                    // resolve to `Shutdown` instead of blocking forever.
+                    // After a normal exit the drain already emptied the
+                    // queues and set the flag, so the guard is a no-op.
+                    struct Failsafe<'a>(&'a Shared);
+                    impl Drop for Failsafe<'_> {
+                        fn drop(&mut self) {
+                            let mut state = self.0.lock();
+                            state.shutdown = true;
+                            for slot in state.slots.iter_mut() {
+                                slot.queue.clear();
+                            }
+                        }
+                    }
+                    let _failsafe = Failsafe(&shared);
+                    flusher_loop(&shared, &config);
+                })
+                .expect("spawning the flusher thread")
+        };
+        RankServer {
+            shared,
+            flusher: Mutex::new(Some(flusher)),
+            next_query: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a relation under `name`, transferring ownership to the
+    /// server. Relations may be registered at any time, including while
+    /// other threads are already submitting against earlier ones.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        rel: impl ProbabilisticRelation + Send + Sync + 'static,
+    ) -> RelationId {
+        self.register_shared(name, Arc::new(rel))
+    }
+
+    /// Registers an already-shared relation (the caller keeps its own
+    /// `Arc` for direct queries).
+    pub fn register_shared(&self, name: impl Into<String>, rel: SharedRelation) -> RelationId {
+        let mut state = self.shared.lock();
+        state.slots.push(Slot {
+            name: name.into(),
+            rel,
+            queue: Vec::new(),
+        });
+        RelationId(state.slots.len() - 1)
+    }
+
+    /// The registered name of a relation.
+    pub fn relation_name(&self, relation: RelationId) -> Option<String> {
+        self.shared
+            .lock()
+            .slots
+            .get(relation.0)
+            .map(|s| s.name.clone())
+    }
+
+    /// Submits a query against a registered relation. Never blocks on
+    /// evaluation: the query joins the relation's pending queue and the
+    /// returned [`ResponseHandle`] resolves when a flush answers it.
+    ///
+    /// Errors immediately with [`QueryError::Shutdown`] after
+    /// [`RankServer::shutdown`], and with
+    /// [`QueryError::InvalidParameter`] for a [`RelationId`] this server
+    /// never issued. Per-query evaluation errors (incompatible algorithm,
+    /// no set answer, …) are *not* reported here — they resolve through
+    /// the handle, leaving the rest of the flush unharmed.
+    pub fn submit(
+        &self,
+        relation: RelationId,
+        query: RankQuery,
+    ) -> Result<ResponseHandle, QueryError> {
+        let (tx, rx) = mpsc::channel();
+        let id = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
+        {
+            let mut state = self.shared.lock();
+            if state.shutdown {
+                return Err(QueryError::Shutdown);
+            }
+            let slot = state.slots.get_mut(relation.0).ok_or_else(|| {
+                QueryError::InvalidParameter(format!("unknown relation {relation}"))
+            })?;
+            slot.queue.push(Pending {
+                query,
+                submitted_at: Instant::now(),
+                tx,
+            });
+        }
+        // Wake the flusher: it re-computes deadlines (and flushes at once
+        // when the size limit or a zero deadline is hit).
+        self.shared.wake.notify_all();
+        Ok(ResponseHandle::new(id, rx))
+    }
+
+    /// Number of queries currently waiting in the pending queues (not
+    /// counting a flush already in flight).
+    pub fn pending(&self) -> usize {
+        self.shared.lock().slots.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Shuts the server down: rejects new submissions, lets the flusher
+    /// **drain** every pending queue — in-flight queries are evaluated
+    /// (their provenance records [`FlushTrigger::Shutdown`]), not dropped —
+    /// and joins the flusher thread. Blocks until the drain completes.
+    /// Idempotent; [`Drop`] calls it too.
+    pub fn shutdown(&self) {
+        self.shared.lock().shutdown = true;
+        self.shared.wake.notify_all();
+        let handle = self
+            .flusher
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            // If the flusher panicked instead of draining, its failsafe
+            // guard already cleared the queues (handles resolve to
+            // `Shutdown`); nothing to redo here.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RankServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for RankServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.shared.lock();
+        f.debug_struct("RankServer")
+            .field("relations", &state.slots.len())
+            .field(
+                "pending",
+                &state.slots.iter().map(|s| s.queue.len()).sum::<usize>(),
+            )
+            .field("shutdown", &state.shutdown)
+            .finish()
+    }
+}
+
+/// One flush's worth of work, taken from a slot under the lock and
+/// executed outside it.
+type FlushWork = (SharedRelation, Vec<Pending>, FlushTrigger);
+
+/// The flusher: waits for a deadline or size trigger, takes ready queues
+/// under the lock, and evaluates them with the lock released so clients
+/// keep submitting during the walk. Exits after draining on shutdown.
+fn flusher_loop(shared: &Shared, config: &ServeConfig) {
+    let mut state = shared.lock();
+    loop {
+        if state.shutdown {
+            let work: Vec<FlushWork> = state
+                .slots
+                .iter_mut()
+                .filter(|s| !s.queue.is_empty())
+                .map(|s| {
+                    (
+                        Arc::clone(&s.rel),
+                        std::mem::take(&mut s.queue),
+                        FlushTrigger::Shutdown,
+                    )
+                })
+                .collect();
+            drop(state);
+            for (rel, pending, trigger) in work {
+                execute_flush(&rel, pending, trigger, config);
+            }
+            return;
+        }
+
+        let now = Instant::now();
+        let mut work: Vec<FlushWork> = Vec::new();
+        let mut next_due: Option<Instant> = None;
+        for slot in state.slots.iter_mut() {
+            if slot.queue.is_empty() {
+                continue;
+            }
+            if slot.queue.len() >= config.max_batch {
+                work.push((
+                    Arc::clone(&slot.rel),
+                    std::mem::take(&mut slot.queue),
+                    FlushTrigger::SizeLimit,
+                ));
+                continue;
+            }
+            let due = slot.queue[0].submitted_at + config.max_delay;
+            if due <= now {
+                work.push((
+                    Arc::clone(&slot.rel),
+                    std::mem::take(&mut slot.queue),
+                    FlushTrigger::Deadline,
+                ));
+            } else {
+                next_due = Some(next_due.map_or(due, |d| d.min(due)));
+            }
+        }
+
+        if !work.is_empty() {
+            drop(state);
+            for (rel, pending, trigger) in work {
+                execute_flush(&rel, pending, trigger, config);
+            }
+            state = shared.lock();
+            continue; // re-check: queues may have refilled meanwhile
+        }
+
+        state = match next_due {
+            // Sleep exactly until the earliest pending deadline (spurious
+            // wake-ups just re-check).
+            Some(due) => {
+                shared
+                    .wake
+                    .wait_timeout(state, due.saturating_duration_since(now))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0
+            }
+            None => shared
+                .wake
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        };
+    }
+}
+
+/// Compiles one relation's drained queue into a [`QueryBatch`], runs it
+/// with per-entry error isolation, stamps serving provenance, and delivers
+/// every answer — ignoring channels whose [`ResponseHandle`] was dropped.
+fn execute_flush(
+    rel: &SharedRelation,
+    pending: Vec<Pending>,
+    trigger: FlushTrigger,
+    config: &ServeConfig,
+) {
+    let flush_size = pending.len();
+    let mut queries = Vec::with_capacity(flush_size);
+    let mut waiters = Vec::with_capacity(flush_size);
+    for p in pending {
+        queries.push(p.query);
+        waiters.push((p.submitted_at, p.tx));
+    }
+    let mut batch = QueryBatch::new().add_queries(queries);
+    if let Some(threads) = config.threads {
+        batch = batch.parallel(threads);
+    }
+    let flush_start = Instant::now();
+    let results = batch.run_isolated(&**rel);
+    debug_assert_eq!(results.len(), flush_size);
+    for ((submitted_at, tx), mut result) in waiters.into_iter().zip(results) {
+        if let Ok(res) = &mut result {
+            res.report.serve = Some(ServeCost {
+                queue_seconds: flush_start.duration_since(submitted_at).as_secs_f64(),
+                trigger,
+                flush_size,
+            });
+        }
+        // A dropped handle disconnects the channel; the failed send is the
+        // intended "discard the answer" path and must not stop the flush.
+        let _ = tx.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prf_pdb::IndependentDb;
+
+    fn db() -> IndependentDb {
+        IndependentDb::from_pairs([
+            (10.0, 0.4),
+            (9.0, 0.45),
+            (8.0, 0.8),
+            (7.0, 0.95),
+            (6.0, 0.3),
+            (5.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_matches_direct_query() {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        let rel = server.register("db", db());
+        assert_eq!(server.relation_name(rel).as_deref(), Some("db"));
+        let handle = server.submit(rel, RankQuery::pt(2)).unwrap();
+        let got = handle.recv().unwrap();
+        let want = RankQuery::pt(2).run(&db()).unwrap();
+        assert_eq!(got.ranking.order(), want.ranking.order());
+        assert_eq!(got.values.as_complex(), want.values.as_complex());
+        let serve = got.report.serve.expect("provenance stamped");
+        assert!(serve.queue_seconds >= 0.0);
+        assert!(serve.flush_size >= 1);
+    }
+
+    #[test]
+    fn size_limit_triggers_flush_without_deadline() {
+        // A one-hour deadline: only the size limit can flush.
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_secs(3600))
+                .max_batch(2),
+        );
+        let rel = server.register("db", db());
+        let a = server.submit(rel, RankQuery::pt(1)).unwrap();
+        let b = server.submit(rel, RankQuery::prfe(0.9)).unwrap();
+        let a = a.recv().unwrap();
+        let b = b.recv().unwrap();
+        assert_eq!(a.report.serve.unwrap().trigger, FlushTrigger::SizeLimit);
+        assert_eq!(b.report.serve.unwrap().flush_size, 2);
+        // Both shared one walk.
+        assert_eq!(a.report.batch.unwrap().consumers, 2);
+    }
+
+    #[test]
+    fn unknown_relation_errors_at_submission() {
+        let server = RankServer::new(ServeConfig::new());
+        let err = server.submit(RelationId(7), RankQuery::pt(1)).unwrap_err();
+        assert!(matches!(err, QueryError::InvalidParameter(_)), "{err}");
+    }
+
+    #[test]
+    fn per_query_errors_resolve_through_the_handle() {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO).max_batch(3));
+        let rel = server.register("db", db());
+        let bad = server
+            .submit(
+                rel,
+                RankQuery::pt(2).algorithm(prf_core::query::Algorithm::LogDomain),
+            )
+            .unwrap();
+        let good = server.submit(rel, RankQuery::pt(2)).unwrap();
+        assert!(matches!(
+            bad.recv(),
+            Err(QueryError::IncompatibleAlgorithm { .. })
+        ));
+        assert!(good.recv().is_ok());
+    }
+
+    #[test]
+    fn panicking_backend_resolves_handles_instead_of_hanging() {
+        use prf_core::query::CorrelationClass;
+        use prf_core::weights::WeightFunction;
+        use prf_numeric::Complex;
+
+        /// A backend whose kernels die — stands in for any bug that makes
+        /// a flush panic. The failsafe must then resolve every pending
+        /// handle to `Shutdown` and reject future submissions.
+        struct Poisoned;
+        impl ProbabilisticRelation for Poisoned {
+            fn n_tuples(&self) -> usize {
+                2
+            }
+            fn tuple_scores(&self) -> Vec<f64> {
+                vec![2.0, 1.0]
+            }
+            fn tuple_marginals(&self) -> Vec<f64> {
+                vec![0.5, 0.5]
+            }
+            fn correlation_class(&self) -> CorrelationClass {
+                CorrelationClass::Graphical
+            }
+            fn prf_values(
+                &self,
+                _omega: &(dyn WeightFunction + Sync),
+                _threads: Option<usize>,
+            ) -> Vec<Complex> {
+                panic!("injected kernel failure")
+            }
+            fn prfe_values(&self, _alpha: Complex) -> Vec<Complex> {
+                panic!("injected kernel failure")
+            }
+        }
+
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+        let rel = server.register("poisoned", Poisoned);
+        let first = server.submit(rel, RankQuery::pt(1)).unwrap();
+        // The flusher dies on this query; the handle must still resolve.
+        assert!(matches!(first.recv(), Err(QueryError::Shutdown)));
+        // …and the server now rejects instead of queueing into the void
+        // (the failsafe may still be mid-flight, so poll briefly).
+        let refused = (0..1000).any(|_| {
+            std::thread::yield_now();
+            matches!(
+                server.submit(rel, RankQuery::pt(1)),
+                Err(QueryError::Shutdown)
+            )
+        });
+        assert!(refused, "submissions must start failing after the panic");
+        server.shutdown(); // joins the dead flusher without hanging
+    }
+
+    #[test]
+    fn query_ids_are_unique_and_monotone() {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+        let rel = server.register("db", db());
+        let ids: Vec<u64> = (0..5)
+            .map(|_| {
+                server
+                    .submit(rel, RankQuery::escore())
+                    .unwrap()
+                    .id()
+                    .as_u64()
+            })
+            .collect();
+        for w in ids.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

@@ -80,6 +80,7 @@
 //! | [`graphical`] | `prf-graphical` | Markov networks, junction trees, §9 algorithms, `NetworkRelation` |
 //! | [`metrics`] | `prf-metrics` | normalized Kendall top-k distance and friends |
 //! | [`datasets`] | `prf-datasets` | simulated IIP, Syn-IND, Syn-XOR/LOW/MED/HIGH |
+//! | [`serve`] | `prf-serve` | deadline-batched concurrent `RankServer` over `QueryBatch` |
 //!
 //! The experiment harness that regenerates every table and figure of the
 //! paper lives in the `prf-bench` crate (`cargo run --release -p prf-bench
@@ -96,15 +97,16 @@ pub use prf_graphical as graphical;
 pub use prf_metrics as metrics;
 pub use prf_numeric as numeric;
 pub use prf_pdb as pdb;
+pub use prf_serve as serve;
 
 /// The most commonly used items, for glob import:
 /// `use prf::prelude::*;`.
 pub mod prelude {
     pub use prf_approx::{approximate_weights, DftApproxConfig, ExpMixture};
     pub use prf_core::query::{
-        Algorithm, BatchCost, BatchPlan, BatchRoute, CorrelationClass, EvalReport, NumericMode,
-        ProbabilisticRelation, QueryBatch, QueryError, RankQuery, RankedResult, Semantics, TopSet,
-        Values,
+        Algorithm, BatchCost, BatchPlan, BatchRoute, CorrelationClass, EvalReport, FlushTrigger,
+        NumericMode, ProbabilisticRelation, QueryBatch, QueryError, RankQuery, RankedResult,
+        Semantics, ServeCost, TopSet, Values,
     };
     pub use prf_core::{
         prf_rank, prf_rank_tree, prfe_rank, prfe_rank_log, prfe_rank_tree, Ranking, ValueOrder,
@@ -118,4 +120,5 @@ pub mod prelude {
     pub use prf_metrics::kendall_topk;
     pub use prf_numeric::Complex;
     pub use prf_pdb::{AndXorTree, IndependentDb, NodeKind, TreeBuilder, Tuple, TupleId};
+    pub use prf_serve::{RankServer, RelationId, ResponseHandle, ServeConfig};
 }
