@@ -98,6 +98,60 @@ fn bench_serve_vs_single_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serving layer v2: a multi-relation trace with 16 clients, 1 worker vs
+/// 4 — one worker serializes every relation's flushes behind each other;
+/// the pool overlaps them, which is where the v2 throughput comes from.
+fn bench_serve_worker_pool(c: &mut Criterion) {
+    let (n, len) = if measure_mode() {
+        (10_000, 24)
+    } else {
+        (500, 12)
+    };
+    let trees: Vec<prf_pdb::AndXorTree> = [n / 2, n / 3, n / 6]
+        .iter()
+        .map(|&m| syn_med_tree(m, 3))
+        .collect();
+    let queries = trace(3 * len);
+    let mut g = c.benchmark_group("serve_multi_relation_16_clients");
+    g.sample_size(3);
+    for workers in [1usize, 4] {
+        g.bench_function(format!("{workers}_workers"), |b| {
+            b.iter(|| {
+                let server = RankServer::new(
+                    ServeConfig::new()
+                        .max_delay(Duration::from_millis(2))
+                        .max_batch(32)
+                        .workers(workers),
+                );
+                let rels: Vec<_> = trees
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| server.register(format!("syn-med-{i}"), t.clone()))
+                    .collect();
+                thread::scope(|s| {
+                    for c in 0..16usize {
+                        let server = &server;
+                        let rels = &rels;
+                        let queries = &queries;
+                        s.spawn(move || {
+                            for (i, q) in queries.iter().enumerate() {
+                                if i % 16 != c {
+                                    continue;
+                                }
+                                let handle =
+                                    server.submit(rels[i % 3], q.clone()).expect("server is up");
+                                black_box(handle.recv().expect("query succeeds"));
+                            }
+                        });
+                    }
+                });
+                server.shutdown();
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_serve_latency_floor(c: &mut Criterion) {
     // The other end of the spectrum: a single client, zero deadline — the
     // server degenerates to immediate dispatch, so this pins the serving
@@ -130,6 +184,7 @@ fn bench_serve_latency_floor(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_serve_vs_single_dispatch,
+    bench_serve_worker_pool,
     bench_serve_latency_floor
 );
 criterion_main!(benches);

@@ -5,6 +5,11 @@
 //! walk answering every PRF-family query) predicts and PR 4's batch layer
 //! enables. Reports per-client-count wall time, speedup, queue-wait
 //! distribution and the flush-trigger mix.
+//!
+//! The serving-layer-v2 sections measure what the flush worker pool and
+//! prepared relations add: a **multi-relation** trace served with 1 vs 4
+//! workers (one worker serializes every relation's flushes; the pool
+//! overlaps them), and the zero-deadline per-query overhead floor.
 
 use std::thread;
 use std::time::Duration;
@@ -12,7 +17,7 @@ use std::time::Duration;
 use prf_core::query::{Algorithm, FlushTrigger, RankQuery};
 use prf_core::weights::TabulatedWeight;
 use prf_datasets::syn_med_tree;
-use prf_serve::{RankServer, ServeConfig};
+use prf_serve::{RankServer, RelationId, ServeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,37 +40,31 @@ fn trace(len: usize, seed: u64) -> Vec<RankQuery> {
         .collect()
 }
 
-/// Replays the trace from `clients` threads; returns (wall seconds,
-/// queue-wait seconds per query, queries answered per flush trigger).
-fn replay(
-    tree: &prf_pdb::AndXorTree,
-    queries: &[RankQuery],
+/// Replays `(relation, query)` pairs from `clients` threads against an
+/// already-registered server; returns (wall seconds, queue-wait seconds
+/// per query, queries answered per flush trigger).
+fn replay_on(
+    server: &RankServer,
+    trace: &[(RelationId, RankQuery)],
     clients: usize,
 ) -> (f64, Vec<f64>, [usize; 3]) {
-    let server = RankServer::new(
-        ServeConfig::new()
-            .max_delay(Duration::from_millis(2))
-            .max_batch(32),
-    );
-    let rel = server.register("syn-med", tree.clone());
     let (waits, wall) = timed(|| {
         thread::scope(|s| {
             let workers: Vec<_> = (0..clients)
                 .map(|c| {
-                    let server = &server;
                     s.spawn(move || {
                         let mut waits = Vec::new();
-                        for (i, q) in queries.iter().enumerate() {
+                        for (i, (rel, q)) in trace.iter().enumerate() {
                             if i % clients != c {
                                 continue;
                             }
                             let result = server
-                                .submit(rel, q.clone())
+                                .submit(*rel, q.clone())
                                 .expect("server is up")
                                 .recv()
                                 .expect("query succeeds");
                             let serve = result.report.serve.expect("provenance");
-                            waits.push((serve.queue_seconds, serve.trigger, serve.flush_size));
+                            waits.push((serve.queue_seconds, serve.trigger));
                         }
                         waits
                     })
@@ -77,11 +76,10 @@ fn replay(
                 .collect::<Vec<_>>()
         })
     });
-    server.shutdown();
 
     let mut triggers = [0usize; 3];
     let mut queue_waits = Vec::with_capacity(waits.len());
-    for (wait, trigger, _flush_size) in waits {
+    for (wait, trigger) in waits {
         queue_waits.push(wait);
         let slot = match trigger {
             FlushTrigger::Deadline => 0,
@@ -91,6 +89,11 @@ fn replay(
         triggers[slot] += 1;
     }
     (wall, queue_waits, triggers)
+}
+
+fn p95(waits: &mut [f64]) -> f64 {
+    waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    waits[((waits.len() as f64 * 0.95).ceil() as usize).clamp(1, waits.len()) - 1]
 }
 
 /// Runs the scenario.
@@ -116,10 +119,17 @@ pub fn run(scale: Scale) {
     );
 
     for clients in [1usize, 4, 16] {
-        let (wall, mut waits, triggers) = replay(&tree, &queries, clients);
-        waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_millis(2))
+                .max_batch(32),
+        );
+        let rel = server.register("syn-med", tree.clone());
+        let paired: Vec<_> = queries.iter().map(|q| (rel, q.clone())).collect();
+        let (wall, mut waits, triggers) = replay_on(&server, &paired, clients);
+        server.shutdown();
         let mean = waits.iter().sum::<f64>() / waits.len() as f64;
-        let p95 = waits[((waits.len() as f64 * 0.95).ceil() as usize).clamp(1, waits.len()) - 1];
+        let p95 = p95(&mut waits);
         println!(
             "served, {clients:>2} clients   {:>9} s   ({:.1} q/s, {:.2}x single) \
              queue wait mean {} s / p95 {} s; triggers: deadline {} size {} shutdown {}",
@@ -137,4 +147,104 @@ pub fn run(scale: Scale) {
         "\n(the 16-client row is the acceptance measurement: batched serving \
          must reach >= 1.5x single-dispatch throughput)"
     );
+
+    // -----------------------------------------------------------------
+    // Serving layer v2: multi-relation trace, 1 worker vs 4
+    // -----------------------------------------------------------------
+    header("serve v2: multi-relation trace, flush worker pool");
+    // The same aggregate data size as the single-relation acceptance
+    // trace (one Syn-MED n), split across three relations a real server
+    // would host side by side.
+    let sizes = [n / 2, n / 3, n / 6];
+    let total = 3 * len;
+    println!(
+        "three Syn-MED relations (n = {}, {}, {}; {n} tuples total), \
+         {total}-query mixed trace, 16 clients",
+        sizes[0], sizes[1], sizes[2]
+    );
+    println!("(deadline 2 ms, max batch 32, prepared relations)\n");
+    let trees: Vec<_> = sizes.iter().map(|&m| syn_med_tree(m, 3)).collect();
+    let mixed = trace(total, SEED ^ 1);
+
+    let mut single_worker_wall = None;
+    for workers in [1usize, 4] {
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_millis(2))
+                .max_batch(32)
+                .workers(workers),
+        );
+        let rels: Vec<_> = trees
+            .iter()
+            .enumerate()
+            .map(|(i, t)| server.register(format!("syn-med-{i}"), t.clone()))
+            .collect();
+        let paired: Vec<_> = mixed
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (rels[i % 3], q.clone()))
+            .collect();
+        let (wall, mut waits, triggers) = replay_on(&server, &paired, 16);
+        let shed = server.metrics().shed;
+        server.shutdown();
+        let speedup = match single_worker_wall {
+            None => {
+                single_worker_wall = Some(wall);
+                String::new()
+            }
+            Some(base) => format!(", {:.2}x one worker", base / wall),
+        };
+        let mean = waits.iter().sum::<f64>() / waits.len() as f64;
+        let p95 = p95(&mut waits);
+        println!(
+            "{workers} worker{}   {:>9} s   ({:.1} q/s{speedup}) queue wait mean {} s / p95 {} s; \
+             triggers: deadline {} size {} shutdown {}; shed {shed}",
+            if workers == 1 { " " } else { "s" },
+            fmt(wall),
+            total as f64 / wall,
+            fmt(mean),
+            fmt(p95),
+            triggers[0],
+            triggers[1],
+            triggers[2],
+        );
+    }
+    println!(
+        "\n(acceptance: the 4-worker row must reach >= 2x the single-flusher \
+         16-client acceptance throughput recorded for the serving layer v1 \
+         — same aggregate data size, now split across three relations)"
+    );
+
+    // -----------------------------------------------------------------
+    // Serving layer v2: zero-deadline overhead floor
+    // -----------------------------------------------------------------
+    header("serve v2: zero-deadline per-query overhead");
+    let small = syn_med_tree(scale.pick(500, 2_000), 3);
+    let q = RankQuery::prfe(0.9).algorithm(Algorithm::ExactGf);
+    let reps = scale.pick(50, 200);
+    let (_, t_direct) = timed(|| {
+        for _ in 0..reps {
+            q.run(&small).expect("direct");
+        }
+    });
+    let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+    let rel = server.register("small", small.clone());
+    let (_, t_served) = timed(|| {
+        for _ in 0..reps {
+            server
+                .submit(rel, q.clone())
+                .expect("server is up")
+                .recv()
+                .expect("query succeeds");
+        }
+    });
+    server.shutdown();
+    let overhead_us = (t_served - t_direct) / reps as f64 * 1e6;
+    println!(
+        "direct {} s, served {} s over {reps} queries: overhead {:.1} us/query",
+        fmt(t_direct / reps as f64),
+        fmt(t_served / reps as f64),
+        overhead_us
+    );
+    println!("(acceptance: below the PR 5 floor of ~21 us/query)");
 }

@@ -60,16 +60,27 @@ pub fn prf_rank_truncated(
     omega: &dyn WeightFunction,
     h: usize,
 ) -> Vec<Complex> {
+    prf_rank_truncated_prepared(db, omega, h, &db.ids_by_score_desc())
+}
+
+/// [`prf_rank_truncated`] against a pre-sorted descending score order (see
+/// [`batch_walk_independent_prepared`]).
+pub(crate) fn prf_rank_truncated_prepared(
+    db: &IndependentDb,
+    omega: &dyn WeightFunction,
+    h: usize,
+    order: &[prf_pdb::TupleId],
+) -> Vec<Complex> {
     let n = db.len();
     let mut result = vec![Complex::ZERO; n];
     if n == 0 || h == 0 {
         return result;
     }
-    let order = db.ids_by_score_desc();
+    debug_assert_eq!(order.len(), n, "prepared order must cover the relation");
     // G holds the first h coefficients of Π (1 − p + p·x) over tuples seen
     // so far.
     let mut g = Poly::one();
-    for &tid in &order {
+    for &tid in order {
         let t = db.tuple(tid);
         // Υ(t) = p(t)·Σ_{j=1..h} ω(t, j)·G[j−1].
         let mut upsilon = Complex::ZERO;
@@ -220,8 +231,22 @@ pub fn rank_distribution_of(db: &IndependentDb, target: prf_pdb::TupleId) -> Vec
 /// [`prfe_rank_scaled`], `expected_ranks_independent`): the loop bodies
 /// are the same operations in the same order.
 pub(crate) fn batch_walk_independent(db: &IndependentDb, spec: &SharedWalkSpec) -> SharedWalkOut {
+    batch_walk_independent_prepared(db, spec, &db.ids_by_score_desc())
+}
+
+/// [`batch_walk_independent`] against a pre-sorted score order: the
+/// `O(n log n)` sort (which [`IndependentDb::ids_by_score_desc`] redoes on
+/// every call) comes from the caller — a `PreparedRelation` amortizing it
+/// across flushes. `order` must be the relation's full descending score
+/// order.
+pub(crate) fn batch_walk_independent_prepared(
+    db: &IndependentDb,
+    spec: &SharedWalkSpec,
+    order: &[prf_pdb::TupleId],
+) -> SharedWalkOut {
     let start = std::time::Instant::now();
     let n = db.len();
+    debug_assert_eq!(order.len(), n, "prepared order must cover the relation");
 
     // Parse the requests into per-kind accumulators.
     enum Acc {
@@ -280,10 +305,9 @@ pub(crate) fn batch_walk_independent(db: &IndependentDb, spec: &SharedWalkSpec) 
     }
 
     if n > 0 {
-        let order = db.ids_by_score_desc();
         // The shared prefix polynomial, capped at the largest horizon.
         let mut g_poly = Poly::one();
-        for &tid in &order {
+        for &tid in order {
             let t = db.tuple(tid);
             for ((acc, answer), omega) in accs.iter_mut().zip(&mut answers).zip(&weights) {
                 match (acc, answer) {

@@ -81,11 +81,14 @@ pub use independent::{
     rank_distributions,
 };
 pub use mixture::{approximate_weights, DftApproxConfig, ExpMixture};
-pub use parallel::{prf_rank_tree_parallel, prf_rank_tree_parallel_stats};
+pub use parallel::{
+    effective_walk_threads, prf_rank_tree_parallel, prf_rank_tree_parallel_stats,
+    PARALLEL_MIN_SHARD_TUPLES,
+};
 pub use query::{
     Algorithm, BatchCost, BatchPlan, BatchRoute, CorrelationClass, EvalReport, NumericMode,
-    ProbabilisticRelation, QueryBatch, QueryError, RankQuery, RankedResult, Semantics, TopSet,
-    Values,
+    PreparedRelation, PreparedState, ProbabilisticRelation, QueryBatch, QueryError, RankQuery,
+    RankedResult, Semantics, TopSet, Values,
 };
 pub use spectrum::{crossing_point, prfe_spectrum, spectrum_endpoints, Crossing};
 pub use topk::{Ranking, ValueOrder};

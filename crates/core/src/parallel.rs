@@ -5,18 +5,47 @@
 //! position `i` is a pure function of the *labels* (tuples before `i` carry
 //! `x`, the rest `1`), so a worker can **fast-forward**: build its evaluator
 //! directly in the shard-start labelling with one `O(tree)` fold, then walk
-//! only its shard. All workers share one compiled [`EvalPlan`]; total work
-//! is one extra fold per worker on top of the serial incremental cost.
+//! only its shard. All workers share one compiled
+//! [`EvalPlan`](crate::incremental::EvalPlan); total work is one extra fold
+//! per worker on top of the serial incremental cost.
 
 use std::time::Instant;
 
 use prf_numeric::{Complex, RankPoly};
 use prf_pdb::{AndXorTree, TupleId};
 
-use crate::incremental::{EvalPlan, GfStats};
+use crate::incremental::GfStats;
 use crate::query::batch::{SharedAnswer, SharedWalkOut, SharedWalkSpec};
-use crate::tree::{score_order, BatchConsumers, BatchWalkers};
+use crate::tree::{BatchConsumers, BatchWalkers, TreePrepared};
 use crate::weights::WeightFunction;
+
+/// Minimum tuples **per shard** for the sharded batch walk to beat the
+/// serial incremental walk.
+///
+/// Sharding costs one extra `O(tree)` fast-forward fold per worker (per
+/// evaluator) before any shard work starts; the serial walk's per-step
+/// recombination is only `O(depth·log fanout)` ring operations. The folds
+/// therefore dominate until each shard amortizes its own: at `n = 10⁴`
+/// every thread count *loses* to serial (the ROADMAP item this gate
+/// closes — measured 1.5–2.5× slower at 2–8 threads on Syn-MED trees),
+/// breaking roughly even near `n/threads ≈ 3·10⁴` and winning beyond it.
+/// The gate is deliberately conservative: an under-sharded walk merely
+/// runs serial (correct, and the faster choice on small batches), while
+/// an over-eager shard burns `threads × fold` for nothing.
+pub const PARALLEL_MIN_SHARD_TUPLES: usize = 1 << 15;
+
+/// The worker count a shared walk **actually** runs with once sharding is
+/// gated on `n/threads` versus the fast-forward cost: the requested count
+/// when every shard clears [`PARALLEL_MIN_SHARD_TUPLES`], serial (1)
+/// otherwise. Exposed so callers (and the regression test pinning that
+/// small-`n` batches resolve to the serial route) can inspect the decision
+/// without running a walk.
+pub fn effective_walk_threads(n: usize, requested: Option<usize>) -> usize {
+    match requested {
+        Some(t) if t > 1 && n / t >= PARALLEL_MIN_SHARD_TUPLES => t,
+        _ => 1,
+    }
+}
 
 /// Parallel ANDXOR-PRF-RANK: identical output to
 /// [`crate::tree::prf_rank_tree`], computed with `threads` workers over
@@ -39,18 +68,33 @@ pub fn prf_rank_tree_parallel_stats(
     omega: &(dyn WeightFunction + Sync),
     threads: usize,
 ) -> (Vec<Complex>, GfStats) {
-    assert!(threads > 0, "need at least one thread");
-    let n = tree.n_tuples();
-    if n == 0 {
+    if tree.n_tuples() == 0 {
         return (Vec::new(), GfStats::default());
     }
+    prf_rank_tree_parallel_stats_prepared(tree, omega, threads, &TreePrepared::new(tree))
+}
+
+/// [`prf_rank_tree_parallel_stats`] against a pre-built [`TreePrepared`]
+/// (see [`batch_walk_tree_parallel_prepared`]).
+///
+/// # Panics
+/// Panics if `threads == 0` or the tree is empty (callers gate on `n > 0`).
+pub(crate) fn prf_rank_tree_parallel_stats_prepared(
+    tree: &AndXorTree,
+    omega: &(dyn WeightFunction + Sync),
+    threads: usize,
+    prep: &TreePrepared,
+) -> (Vec<Complex>, GfStats) {
+    assert!(threads > 0, "need at least one thread");
+    let n = tree.n_tuples();
     let cap = omega.truncation().unwrap_or(n).min(n);
     if cap == 0 {
         return (vec![Complex::ZERO; n], GfStats::default());
     }
-    let (order, pos) = score_order(tree);
-    let marginals = tree.marginals();
-    let plan = EvalPlan::new(tree);
+    let order = &prep.order;
+    let pos = &prep.pos;
+    let marginals = &prep.marginals;
+    let plan = &prep.plan;
 
     let threads = threads.min(n);
     let chunk = n.div_ceil(threads);
@@ -108,7 +152,8 @@ pub fn prf_rank_tree_parallel_stats(
 /// The sharded form of [`crate::tree::batch_walk_tree`]: every worker
 /// fast-forwards the full consumer set (the shared polynomial evaluator
 /// plus one scalar evaluator per PRFe/E-Rank request) into its shard-start
-/// labelling over **one** compiled [`EvalPlan`], walks only its shard, and
+/// labelling over **one** compiled [`EvalPlan`](crate::incremental::EvalPlan),
+/// walks only its shard, and
 /// the shards' answers are merged. The expected-ranks absent-worlds pass
 /// runs serially afterwards (it is `O(n)` scalar work).
 ///
@@ -119,21 +164,39 @@ pub(crate) fn batch_walk_tree_parallel(
     spec: &SharedWalkSpec,
     threads: usize,
 ) -> SharedWalkOut {
+    if tree.n_tuples() == 0 {
+        let start = Instant::now();
+        return SharedWalkOut {
+            answers: BatchConsumers::answer_buffers(spec, 0),
+            stats: None,
+            walk_seconds: start.elapsed().as_secs_f64(),
+        };
+    }
+    batch_walk_tree_parallel_prepared(tree, spec, threads, &TreePrepared::new(tree))
+}
+
+/// [`batch_walk_tree_parallel`] against a pre-built [`TreePrepared`]: the
+/// score sort, position index, marginals, and compiled plan come from the
+/// caller (a `PreparedRelation` amortizing them across flushes) instead of
+/// being rebuilt per walk.
+///
+/// # Panics
+/// Panics if `threads == 0` or the tree is empty (callers gate on `n > 0`).
+pub(crate) fn batch_walk_tree_parallel_prepared(
+    tree: &AndXorTree,
+    spec: &SharedWalkSpec,
+    threads: usize,
+    prep: &TreePrepared,
+) -> SharedWalkOut {
     assert!(threads > 0, "need at least one thread");
     let start = Instant::now();
     let n = tree.n_tuples();
     let consumers = BatchConsumers::parse(spec, n);
     let mut answers = BatchConsumers::answer_buffers(spec, n);
-    if n == 0 {
-        return SharedWalkOut {
-            answers,
-            stats: None,
-            walk_seconds: start.elapsed().as_secs_f64(),
-        };
-    }
-    let (order, pos) = score_order(tree);
-    let marginals = tree.marginals();
-    let plan = EvalPlan::new(tree);
+    let order = &prep.order;
+    let pos = &prep.pos;
+    let marginals = &prep.marginals;
+    let plan = &prep.plan;
 
     let threads = threads.min(n);
     let chunk = n.div_ceil(threads);
@@ -181,7 +244,7 @@ pub(crate) fn batch_walk_tree_parallel(
         }
         stats = stats.merge(shard_stats);
     }
-    crate::tree::finish_erank_answers(&consumers, &plan, n, &mut answers);
+    crate::tree::finish_erank_answers(&consumers, plan, n, &mut answers);
     SharedWalkOut {
         answers,
         stats: Some(stats),
@@ -237,6 +300,35 @@ mod tests {
         let par = prf_rank_tree_parallel(&tree, &w, 8);
         assert_eq!(par.len(), 1);
         assert!((par[0].re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharding_gate_boundary() {
+        // Below the per-shard floor the gate degrades to serial; at or
+        // above it the requested count passes through.
+        assert_eq!(
+            effective_walk_threads(10_000, Some(4)),
+            1,
+            "ROADMAP: n=10⁴ loses"
+        );
+        assert_eq!(effective_walk_threads(10_000, Some(2)), 1);
+        assert_eq!(
+            effective_walk_threads(2 * PARALLEL_MIN_SHARD_TUPLES, Some(2)),
+            2
+        );
+        assert_eq!(
+            effective_walk_threads(2 * PARALLEL_MIN_SHARD_TUPLES - 1, Some(2)),
+            1,
+            "one tuple short of two full shards"
+        );
+        assert_eq!(
+            effective_walk_threads(4 * PARALLEL_MIN_SHARD_TUPLES, Some(4)),
+            4
+        );
+        // Serial requests and degenerate counts are untouched.
+        assert_eq!(effective_walk_threads(usize::MAX, None), 1);
+        assert_eq!(effective_walk_threads(usize::MAX, Some(1)), 1);
+        assert_eq!(effective_walk_threads(0, Some(8)), 1);
     }
 
     #[test]

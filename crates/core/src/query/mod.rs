@@ -58,9 +58,11 @@ use crate::weights::{tabulate, StepWeight, WeightFunction};
 
 pub mod batch;
 pub mod kernels;
+mod prepared;
 mod relation;
 
 pub use batch::{BatchCost, BatchPlan, BatchRoute, QueryBatch};
+pub use prepared::{PreparedRelation, PreparedState};
 pub use relation::{CorrelationClass, ProbabilisticRelation};
 
 /// Largest `n` for which `Auto` keeps PRFe in plain complex arithmetic
@@ -287,8 +289,9 @@ impl std::fmt::Display for FlushTrigger {
 
 /// Serving-layer provenance recorded in a query's [`EvalReport`] by
 /// `prf-serve`: how long the query waited in the server's pending queue,
-/// what fired the flush that answered it, and how many queries that flush
-/// carried. `None` for queries that did not go through a `RankServer`.
+/// what fired the flush that answered it, how many queries that flush
+/// carried, and the admission-control counters of the relation's queue.
+/// `None` for queries that did not go through a `RankServer`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServeCost {
     /// Seconds between submission and the start of the flush that served
@@ -299,6 +302,13 @@ pub struct ServeCost {
     /// Number of queries in the flush (all relations' entries that were
     /// compiled into the same [`QueryBatch`]).
     pub flush_size: usize,
+    /// Depth of the relation's pending queue at the moment this query was
+    /// admitted (including the query itself) — the backpressure signal.
+    pub queue_depth: usize,
+    /// Cumulative count of submissions **shed** from this relation's
+    /// bounded queue ([`QueryError::Overloaded`]) up to the flush that
+    /// served this query.
+    pub shed: u64,
 }
 
 /// What the engine actually did: echoed parameters, resolved choices, and
@@ -382,6 +392,10 @@ pub enum QueryError {
     /// The query was submitted to (or still pending on) a `prf-serve`
     /// `RankServer` that shut down before it could be evaluated.
     Shutdown,
+    /// The query was **shed** by a `prf-serve` `RankServer` under admission
+    /// control: the target relation's bounded pending queue was full, and
+    /// the submission reported overload instead of growing the queue.
+    Overloaded,
 }
 
 impl std::fmt::Display for QueryError {
@@ -406,6 +420,12 @@ impl std::fmt::Display for QueryError {
                 write!(
                     f,
                     "the rank server shut down before the query was evaluated"
+                )
+            }
+            QueryError::Overloaded => {
+                write!(
+                    f,
+                    "the relation's pending queue is full; the query was shed"
                 )
             }
         }

@@ -1,0 +1,404 @@
+//! Prepared relations: amortizing per-walk setup across repeated queries.
+//!
+//! Every walk kernel in the engine starts the same way — sort the tuples by
+//! score, compile the tree into an [`EvalPlan`](crate::incremental::EvalPlan),
+//! gather marginals — and then throws that work away when the walk returns.
+//! A one-shot query cannot avoid it, but a *server* evaluating thousands of
+//! flushes against the same registered relation pays the `O(n log n)` sort
+//! and `O(tree)` plan compilation over and over for identical inputs.
+//!
+//! [`PreparedRelation`] fixes that: it wraps any
+//! [`ProbabilisticRelation`] together with the backend's reusable state
+//! (built once by [`ProbabilisticRelation::prepare`]) and implements the
+//! trait itself, threading the cached state into every walk. Callers —
+//! [`RankQuery::run`](super::RankQuery::run), [`QueryBatch`](super::QueryBatch),
+//! the `prf-serve` flush pool — need no new API: a `&PreparedRelation` is a
+//! relation, just one whose sorts and plans are already built.
+//!
+//! Backends without cacheable setup (e.g. `prf-graphical`'s junction-tree
+//! adapter, whose ranking cost is dominated by message passing) return the
+//! empty [`PreparedState`] and behave exactly as before.
+
+use std::sync::Arc;
+
+use prf_numeric::{Complex, Scaled};
+use prf_pdb::TupleId;
+
+use super::batch::{SharedAnswer, SharedRequest, SharedWalkOut, SharedWalkSpec};
+use super::kernels;
+use super::relation::{CorrelationClass, ProbabilisticRelation};
+use super::QueryError;
+use crate::incremental::GfStats;
+use crate::tree::TreePrepared;
+use crate::weights::WeightFunction;
+
+// ---------------------------------------------------------------------
+// PreparedState: the backend-built cache
+// ---------------------------------------------------------------------
+
+/// Opaque reusable evaluation state built by
+/// [`ProbabilisticRelation::prepare`] — the score sort, compiled plan, and
+/// marginals a backend's walk kernels would otherwise rebuild per call.
+///
+/// The state is backend-private: callers hold it and hand it back through
+/// [`ProbabilisticRelation::run_shared_walk_prepared`] /
+/// [`ProbabilisticRelation::prf_values_prepared`], they never inspect it.
+/// Backends receiving a foreign state (another backend's, or
+/// [`PreparedState::empty`]) must fall back to their unprepared paths.
+pub struct PreparedState {
+    inner: Inner,
+}
+
+enum Inner {
+    /// No cacheable setup — every prepared hook falls back.
+    Empty,
+    /// And/xor tree: score order + positions + marginals + compiled plan.
+    Tree(TreePrepared),
+    /// Independent relation: the descending score order (the only setup
+    /// its closed-form kernels repeat per call).
+    Independent(Vec<TupleId>),
+}
+
+impl PreparedState {
+    /// The empty state: nothing cached, every prepared hook falls back to
+    /// its unprepared path. The default for backends without reusable
+    /// setup.
+    pub fn empty() -> Self {
+        PreparedState {
+            inner: Inner::Empty,
+        }
+    }
+
+    /// `true` when the state caches nothing.
+    pub fn is_empty(&self) -> bool {
+        matches!(self.inner, Inner::Empty)
+    }
+
+    pub(crate) fn tree(tp: TreePrepared) -> Self {
+        PreparedState {
+            inner: Inner::Tree(tp),
+        }
+    }
+
+    pub(crate) fn independent(order: Vec<TupleId>) -> Self {
+        PreparedState {
+            inner: Inner::Independent(order),
+        }
+    }
+
+    pub(crate) fn tree_prepared(&self) -> Option<&TreePrepared> {
+        match &self.inner {
+            Inner::Tree(tp) => Some(tp),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn independent_order(&self) -> Option<&[TupleId]> {
+        match &self.inner {
+            Inner::Independent(order) => Some(order),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for PreparedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Inner::Empty => f.write_str("PreparedState::Empty"),
+            Inner::Tree(tp) => write!(f, "PreparedState::Tree({} tuples)", tp.order.len()),
+            Inner::Independent(order) => {
+                write!(f, "PreparedState::Independent({} tuples)", order.len())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PreparedRelation: a relation whose setup is already paid
+// ---------------------------------------------------------------------
+
+/// A [`ProbabilisticRelation`] bundled with its backend's prepared state,
+/// built **once** at construction and reused by every query.
+///
+/// `PreparedRelation` implements `ProbabilisticRelation` itself, so it
+/// drops into every existing entry point — [`RankQuery::run`],
+/// [`QueryBatch::run`](super::QueryBatch::run), `prf-serve` registration —
+/// and repeated queries against it skip the per-call sort/plan rebuild:
+///
+/// ```
+/// use std::sync::Arc;
+/// use prf_core::query::{PreparedRelation, RankQuery};
+/// use prf_pdb::IndependentDb;
+///
+/// let db = IndependentDb::from_pairs([(10.0, 0.5), (5.0, 0.4)]).unwrap();
+/// let prepared = PreparedRelation::new(Arc::new(db));
+/// // The score sort happened once, above; these queries reuse it.
+/// let a = RankQuery::pt(2).run(&prepared)?;
+/// let b = RankQuery::prfe(0.9).run(&prepared)?;
+/// assert_eq!(a.ranking.order().len(), 2);
+/// assert_eq!(b.ranking.order().len(), 2);
+/// # Ok::<(), prf_core::query::QueryError>(())
+/// ```
+///
+/// Answers are **identical** to querying the wrapped relation directly —
+/// preparation changes where the setup cost is paid, never the numbers
+/// (pinned by the `prepared_equivalence` differential suite).
+///
+/// [`RankQuery::run`]: super::RankQuery::run
+pub struct PreparedRelation {
+    rel: Arc<dyn ProbabilisticRelation + Send + Sync>,
+    state: PreparedState,
+}
+
+impl PreparedRelation {
+    /// Prepares `rel`: builds its reusable state (sort, plan, marginals)
+    /// once. `O(n log n + tree)` for the built-in backends.
+    pub fn new(rel: Arc<dyn ProbabilisticRelation + Send + Sync>) -> Self {
+        let state = rel.prepare();
+        PreparedRelation { rel, state }
+    }
+
+    /// Convenience: prepare an owned relation (wraps it in an [`Arc`]).
+    pub fn from_relation<R>(rel: R) -> Self
+    where
+        R: ProbabilisticRelation + Send + Sync + 'static,
+    {
+        Self::new(Arc::new(rel))
+    }
+
+    /// The wrapped relation.
+    pub fn relation(&self) -> &Arc<dyn ProbabilisticRelation + Send + Sync> {
+        &self.rel
+    }
+
+    /// The cached state ([`PreparedState::is_empty`] when the backend has
+    /// no reusable setup).
+    pub fn state(&self) -> &PreparedState {
+        &self.state
+    }
+
+    /// Serves one request through the prepared shared walk, or `None` when
+    /// the backend has no shared kernel (the caller then falls back to the
+    /// backend's single kernel — correct, just unamortized).
+    fn one_request_walk(&self, req: SharedRequest) -> Option<(SharedAnswer, Option<GfStats>)> {
+        let spec = SharedWalkSpec {
+            requests: vec![req],
+            threads: None,
+        };
+        let mut out: SharedWalkOut = self.rel.run_shared_walk_prepared(&spec, &self.state)?;
+        debug_assert_eq!(out.answers.len(), 1);
+        Some((out.answers.pop()?, out.stats))
+    }
+}
+
+impl std::fmt::Debug for PreparedRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedRelation")
+            .field("n_tuples", &self.rel.n_tuples())
+            .field("class", &self.rel.correlation_class())
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl ProbabilisticRelation for PreparedRelation {
+    fn n_tuples(&self) -> usize {
+        self.rel.n_tuples()
+    }
+
+    fn tuple_scores(&self) -> Vec<f64> {
+        self.rel.tuple_scores()
+    }
+
+    fn tuple_marginals(&self) -> Vec<f64> {
+        self.rel.tuple_marginals()
+    }
+
+    fn correlation_class(&self) -> CorrelationClass {
+        self.rel.correlation_class()
+    }
+
+    fn prf_values(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        threads: Option<usize>,
+    ) -> Vec<Complex> {
+        self.prf_values_with_stats(omega, threads).0
+    }
+
+    fn prf_values_with_stats(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        threads: Option<usize>,
+    ) -> (Vec<Complex>, Option<GfStats>) {
+        self.rel.prf_values_prepared(omega, threads, &self.state)
+    }
+
+    fn prfe_values(&self, alpha: Complex) -> Vec<Complex> {
+        self.prfe_values_with_stats(alpha).0
+    }
+
+    fn prfe_values_with_stats(&self, alpha: Complex) -> (Vec<Complex>, Option<GfStats>) {
+        match self.one_request_walk(SharedRequest::PrfeComplex(alpha)) {
+            Some((SharedAnswer::Complex(v), stats)) => (v, stats),
+            _ => self.rel.prfe_values_with_stats(alpha),
+        }
+    }
+
+    fn prfe_values_scaled(&self, alpha: Complex) -> Vec<Scaled<Complex>> {
+        self.prfe_values_scaled_with_stats(alpha).0
+    }
+
+    fn prfe_values_scaled_with_stats(
+        &self,
+        alpha: Complex,
+    ) -> (Vec<Scaled<Complex>>, Option<GfStats>) {
+        match self.one_request_walk(SharedRequest::PrfeScaled(alpha)) {
+            Some((SharedAnswer::Scaled(v), stats)) => (v, stats),
+            _ => self.rel.prfe_values_scaled_with_stats(alpha),
+        }
+    }
+
+    fn prfe_log_keys(&self, alpha: f64) -> Vec<f64> {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "log-domain PRFe requires α ∈ [0, 1], got {alpha}"
+        );
+        match self.one_request_walk(SharedRequest::PrfeLog(alpha)) {
+            Some((SharedAnswer::Log(v), _)) => v,
+            _ => self.rel.prfe_log_keys(alpha),
+        }
+    }
+
+    fn expected_ranks(&self) -> Option<Vec<f64>> {
+        match self.one_request_walk(SharedRequest::ExpectedRanks) {
+            Some((SharedAnswer::Ranks(v), _)) => Some(v),
+            _ => self.rel.expected_ranks(),
+        }
+    }
+
+    fn most_probable_topk(&self, k: usize) -> Result<(Vec<TupleId>, f64), QueryError> {
+        self.rel.most_probable_topk(k)
+    }
+
+    fn positional_candidates(&self, k: usize) -> kernels::PositionalCandidates {
+        self.rel.positional_candidates(k)
+    }
+
+    fn run_shared_walk(&self, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
+        self.rel.run_shared_walk_prepared(spec, &self.state)
+    }
+
+    fn run_shared_walk_prepared(
+        &self,
+        spec: &SharedWalkSpec,
+        _prep: &PreparedState,
+    ) -> Option<SharedWalkOut> {
+        // Our own state always wins: a foreign state cannot describe the
+        // wrapped relation better than the one built from it.
+        self.rel.run_shared_walk_prepared(spec, &self.state)
+    }
+
+    fn prepare(&self) -> PreparedState {
+        // Already prepared; re-wrapping finds nothing new to cache (the
+        // overrides above keep routing through the existing state).
+        PreparedState::empty()
+    }
+
+    fn prf_values_prepared(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        _threads: Option<usize>,
+        _prep: &PreparedState,
+    ) -> (Vec<Complex>, Option<GfStats>) {
+        self.rel.prf_values_prepared(omega, _threads, &self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{QueryBatch, RankQuery, Semantics};
+    use crate::weights::StepWeight;
+    use prf_pdb::{AndXorTree, IndependentDb};
+
+    fn assert_complex_eq(a: &[Complex], b: &[Complex], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(x.approx_eq(*y, 1e-12), "{ctx}: tuple {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn prepared_state_reports_backend() {
+        let db = IndependentDb::from_pairs([(10.0, 0.5), (5.0, 0.4)]).unwrap();
+        assert!(ProbabilisticRelation::prepare(&db)
+            .independent_order()
+            .is_some());
+        let tree = AndXorTree::from_x_tuples(&[vec![(10.0, 0.5)], vec![(5.0, 0.4)]]).unwrap();
+        assert!(ProbabilisticRelation::prepare(&tree)
+            .tree_prepared()
+            .is_some());
+        assert!(PreparedState::empty().is_empty());
+    }
+
+    #[test]
+    fn prepared_independent_matches_unprepared() {
+        let db = IndependentDb::from_pairs([
+            (10.0, 0.5),
+            (9.0, 0.25),
+            (8.0, 0.9),
+            (7.0, 0.1),
+            (6.0, 0.75),
+        ])
+        .unwrap();
+        let prepared = PreparedRelation::from_relation(db.clone());
+        let w = StepWeight { h: 3 };
+        assert_complex_eq(
+            &prepared.prf_values(&w, None),
+            &db.prf_values(&w, None),
+            "prf",
+        );
+        let alpha = Complex::real(0.9);
+        assert_complex_eq(&prepared.prfe_values(alpha), &db.prfe_values(alpha), "prfe");
+        assert_eq!(prepared.prfe_log_keys(0.9), db.prfe_log_keys(0.9));
+        assert_eq!(prepared.expected_ranks(), db.expected_ranks());
+    }
+
+    #[test]
+    fn prepared_tree_matches_unprepared_across_reuse() {
+        let tree = AndXorTree::from_x_tuples(&[
+            vec![(10.0, 0.4), (9.0, 0.3)],
+            vec![(8.0, 0.9)],
+            vec![(7.0, 0.5), (6.0, 0.2), (5.0, 0.1)],
+        ])
+        .unwrap();
+        let prepared = PreparedRelation::from_relation(tree.clone());
+        // Reuse the same prepared state across several queries and a batch.
+        for h in [1usize, 2, 5] {
+            let w = StepWeight { h };
+            assert_complex_eq(
+                &prepared.prf_values(&w, None),
+                &ProbabilisticRelation::prf_values(&tree, &w, None),
+                &format!("prf h={h}"),
+            );
+        }
+        let direct = QueryBatch::new()
+            .add(Semantics::Pt(2))
+            .add(Semantics::ERank)
+            .run(&tree)
+            .unwrap();
+        let via_prepared = QueryBatch::new()
+            .add(Semantics::Pt(2))
+            .add(Semantics::ERank)
+            .run(&prepared)
+            .unwrap();
+        for (d, p) in direct.iter().zip(&via_prepared) {
+            assert_eq!(d.ranking.order(), p.ranking.order());
+        }
+        // Single queries keep working after batch reuse.
+        let q = RankQuery::prfe(0.7).run(&prepared).unwrap();
+        let qd = RankQuery::prfe(0.7).run(&tree).unwrap();
+        assert_eq!(q.ranking.order(), qd.ranking.order());
+    }
+}

@@ -180,6 +180,46 @@ pub trait ProbabilisticRelation {
         None
     }
 
+    /// Builds the backend's reusable evaluation state — the score sort,
+    /// compiled [`crate::incremental::EvalPlan`], and whatever else the
+    /// backend's walk kernels rebuild per call. A
+    /// [`super::PreparedRelation`] calls this **once** at registration and
+    /// threads the result through every later walk via
+    /// [`Self::run_shared_walk_prepared`] / [`Self::prf_values_prepared`].
+    /// The default is the empty state: backends without cacheable
+    /// preparation stay correct (the prepared hooks fall back to the
+    /// unprepared paths).
+    fn prepare(&self) -> super::PreparedState {
+        super::PreparedState::empty()
+    }
+
+    /// [`Self::run_shared_walk`] against state built by [`Self::prepare`].
+    /// The default ignores the state and runs the unprepared walk, so
+    /// backends that don't cache anything need no override; backends that
+    /// do must also handle foreign state (another backend's, or empty) by
+    /// falling back.
+    fn run_shared_walk_prepared(
+        &self,
+        spec: &SharedWalkSpec,
+        prep: &super::PreparedState,
+    ) -> Option<SharedWalkOut> {
+        let _ = prep;
+        self.run_shared_walk(spec)
+    }
+
+    /// [`Self::prf_values_with_stats`] against state built by
+    /// [`Self::prepare`] (same contract as
+    /// [`Self::run_shared_walk_prepared`]).
+    fn prf_values_prepared(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        threads: Option<usize>,
+        prep: &super::PreparedState,
+    ) -> (Vec<Complex>, Option<GfStats>) {
+        let _ = prep;
+        self.prf_values_with_stats(omega, threads)
+    }
+
     /// Bounded per-position candidate lists `Pr(r(t) = j)` for `j ≤ k` —
     /// the substrate of U-Rank. The default runs `k` PRF passes with the
     /// position-indicator weight `ω(i) = δ(i = j)` (the paper's reduction);
@@ -248,6 +288,41 @@ impl ProbabilisticRelation for IndependentDb {
     fn run_shared_walk(&self, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
         Some(crate::independent::batch_walk_independent(self, spec))
     }
+
+    fn prepare(&self) -> super::PreparedState {
+        super::PreparedState::independent(self.ids_by_score_desc())
+    }
+
+    fn run_shared_walk_prepared(
+        &self,
+        spec: &SharedWalkSpec,
+        prep: &super::PreparedState,
+    ) -> Option<SharedWalkOut> {
+        match prep.independent_order() {
+            Some(order) if order.len() == self.len() => Some(
+                crate::independent::batch_walk_independent_prepared(self, spec, order),
+            ),
+            _ => self.run_shared_walk(spec),
+        }
+    }
+
+    fn prf_values_prepared(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        threads: Option<usize>,
+        prep: &super::PreparedState,
+    ) -> (Vec<Complex>, Option<GfStats>) {
+        match prep.independent_order() {
+            Some(order) if order.len() == self.len() => {
+                let h = omega.truncation().unwrap_or(self.len());
+                (
+                    crate::independent::prf_rank_truncated_prepared(self, omega, h, order),
+                    None,
+                )
+            }
+            _ => self.prf_values_with_stats(omega, threads),
+        }
+    }
 }
 
 impl ProbabilisticRelation for AndXorTree {
@@ -289,15 +364,17 @@ impl ProbabilisticRelation for AndXorTree {
         threads: Option<usize>,
     ) -> (Vec<Complex>, Option<GfStats>) {
         // Priority: the O(n·h·log n) x-tuple fast path (when truncated and
-        // applicable), then the explicitly requested parallel walk, then
-        // the serial incremental walk.
+        // applicable), then the requested parallel walk (gated — sharding
+        // below `PARALLEL_MIN_SHARD_TUPLES` per shard loses to serial, so
+        // small relations degrade to the serial route), then the serial
+        // incremental walk.
         if omega.truncation().is_some() {
             if let Some(v) = crate::xtuple::prf_omega_rank_xtuple(self, omega) {
                 return (v, None);
             }
         }
-        match threads {
-            Some(t) if t > 1 => {
+        match crate::parallel::effective_walk_threads(AndXorTree::n_tuples(self), threads) {
+            t if t > 1 => {
                 let (v, s) = crate::parallel::prf_rank_tree_parallel_stats(self, omega, t);
                 (v, Some(s))
             }
@@ -348,10 +425,77 @@ impl ProbabilisticRelation for AndXorTree {
     }
 
     fn run_shared_walk(&self, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
-        Some(match spec.threads {
-            Some(t) if t > 1 => crate::parallel::batch_walk_tree_parallel(self, spec, t),
-            _ => crate::tree::batch_walk_tree(self, spec),
-        })
+        // Sharding is *gated*, not merely clamped: each worker pays an
+        // O(tree) fast-forward fold before its shard starts, so below
+        // `PARALLEL_MIN_SHARD_TUPLES` tuples per shard the parallel walk
+        // loses to serial outright and the request degrades to the serial
+        // route (identical answers, strictly less work).
+        let n = AndXorTree::n_tuples(self);
+        Some(
+            match crate::parallel::effective_walk_threads(n, spec.threads) {
+                t if t > 1 => crate::parallel::batch_walk_tree_parallel(self, spec, t),
+                _ => crate::tree::batch_walk_tree(self, spec),
+            },
+        )
+    }
+
+    fn prepare(&self) -> super::PreparedState {
+        if AndXorTree::n_tuples(self) == 0 {
+            return super::PreparedState::empty();
+        }
+        super::PreparedState::tree(crate::tree::TreePrepared::new(self))
+    }
+
+    fn run_shared_walk_prepared(
+        &self,
+        spec: &SharedWalkSpec,
+        prep: &super::PreparedState,
+    ) -> Option<SharedWalkOut> {
+        let n = AndXorTree::n_tuples(self);
+        match prep.tree_prepared() {
+            Some(tp) if tp.order.len() == n && n > 0 => Some(
+                match crate::parallel::effective_walk_threads(n, spec.threads) {
+                    t if t > 1 => {
+                        crate::parallel::batch_walk_tree_parallel_prepared(self, spec, t, tp)
+                    }
+                    _ => crate::tree::batch_walk_tree_prepared(self, spec, tp),
+                },
+            ),
+            _ => self.run_shared_walk(spec),
+        }
+    }
+
+    fn prf_values_prepared(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        threads: Option<usize>,
+        prep: &super::PreparedState,
+    ) -> (Vec<Complex>, Option<GfStats>) {
+        let n = AndXorTree::n_tuples(self);
+        // Same priority order as the unprepared path: the x-tuple fast
+        // path needs no plan, so preparation doesn't change its route.
+        if omega.truncation().is_some() {
+            if let Some(v) = crate::xtuple::prf_omega_rank_xtuple(self, omega) {
+                return (v, None);
+            }
+        }
+        match prep.tree_prepared() {
+            Some(tp) if tp.order.len() == n && n > 0 => {
+                match crate::parallel::effective_walk_threads(n, threads) {
+                    t if t > 1 => {
+                        let (v, s) = crate::parallel::prf_rank_tree_parallel_stats_prepared(
+                            self, omega, t, tp,
+                        );
+                        (v, Some(s))
+                    }
+                    _ => {
+                        let (v, s) = crate::tree::prf_rank_tree_stats_prepared(self, omega, tp);
+                        (v, Some(s))
+                    }
+                }
+            }
+            _ => self.prf_values_with_stats(omega, threads),
+        }
     }
 }
 

@@ -68,6 +68,33 @@ pub(crate) fn tuple_view(tree: &AndXorTree, marginals: &[f64], t: TupleId) -> Tu
     }
 }
 
+/// Cached per-relation walk artifacts — everything a tree walk otherwise
+/// rebuilds on every call: the score order and its inverse permutation, the
+/// tuple marginals, and the compiled combine plan. One `TreePrepared`
+/// serves any number of serial, sharded, single-query, or batched walks
+/// over the same tree (per-walk evaluator *state* is built fresh each walk;
+/// only this immutable skeleton is shared), which is what lets a serving
+/// layer amortize the `O(n log n)` sort and `O(tree)` plan compilation
+/// across flushes instead of paying them per flush.
+pub(crate) struct TreePrepared {
+    pub(crate) order: Vec<TupleId>,
+    pub(crate) pos: Vec<usize>,
+    pub(crate) marginals: Vec<f64>,
+    pub(crate) plan: EvalPlan,
+}
+
+impl TreePrepared {
+    pub(crate) fn new(tree: &AndXorTree) -> Self {
+        let (order, pos) = score_order(tree);
+        TreePrepared {
+            order,
+            pos,
+            marginals: tree.marginals(),
+            plan: EvalPlan::new(tree),
+        }
+    }
+}
+
 /// `Υ(t) = Σ_{j ≤ cap} ω(t, j)·[x^{j−1}] B(x)` read off one generating
 /// function — shared by the serial and parallel walks.
 pub(crate) fn upsilon_from_gf(
@@ -109,6 +136,21 @@ pub fn prf_rank_tree_stats(
     omega: &dyn WeightFunction,
 ) -> (Vec<Complex>, GfStats) {
     let n = tree.n_tuples();
+    if n == 0 {
+        return (Vec::new(), GfStats::default());
+    }
+    prf_rank_tree_stats_prepared(tree, omega, &TreePrepared::new(tree))
+}
+
+/// [`prf_rank_tree_stats`] over cached walk artifacts: identical output,
+/// but the sort, marginals, and compiled plan come from `prep` instead of
+/// being rebuilt — the single-query form a `PreparedRelation` runs.
+pub(crate) fn prf_rank_tree_stats_prepared(
+    tree: &AndXorTree,
+    omega: &dyn WeightFunction,
+    prep: &TreePrepared,
+) -> (Vec<Complex>, GfStats) {
+    let n = tree.n_tuples();
     let mut out = vec![Complex::ZERO; n];
     if n == 0 {
         return (out, GfStats::default());
@@ -117,18 +159,15 @@ pub fn prf_rank_tree_stats(
     if cap == 0 {
         return (out, GfStats::default());
     }
-    let (order, _) = score_order(tree);
-    let marginals = tree.marginals();
-    let plan = EvalPlan::new(tree);
-    let mut inc = plan.evaluator(|_| RankPoly::one().with_cap(cap));
-    for (i, &t) in order.iter().enumerate() {
+    let mut inc = prep.plan.evaluator(|_| RankPoly::one().with_cap(cap));
+    for (i, &t) in prep.order.iter().enumerate() {
         if i > 0 {
             // Previous tuple's label moves from y to x.
-            inc.set_leaf(order[i - 1], RankPoly::x().with_cap(cap));
+            inc.set_leaf(prep.order[i - 1], RankPoly::x().with_cap(cap));
         }
         // Current tuple's label moves from 1 to y.
         inc.set_leaf(t, RankPoly::y().with_cap(cap));
-        let tv = tuple_view(tree, &marginals, t);
+        let tv = tuple_view(tree, &prep.marginals, t);
         out[t.index()] = upsilon_from_gf(inc.root(), &tv, omega, cap);
     }
     let stats = inc.stats();
@@ -664,6 +703,25 @@ pub(crate) fn finish_erank_answers(
 /// `tests/batch_equivalence.rs`).
 pub(crate) fn batch_walk_tree(tree: &AndXorTree, spec: &SharedWalkSpec) -> SharedWalkOut {
     let start = Instant::now();
+    if tree.n_tuples() == 0 {
+        return SharedWalkOut {
+            answers: BatchConsumers::answer_buffers(spec, 0),
+            stats: None,
+            walk_seconds: start.elapsed().as_secs_f64(),
+        };
+    }
+    batch_walk_tree_prepared(tree, spec, &TreePrepared::new(tree))
+}
+
+/// [`batch_walk_tree`] over cached walk artifacts (see [`TreePrepared`]):
+/// identical answers, but the sort, marginals, and compiled plan are reused
+/// across calls — a serving flush pays only the walk itself.
+pub(crate) fn batch_walk_tree_prepared(
+    tree: &AndXorTree,
+    spec: &SharedWalkSpec,
+    prep: &TreePrepared,
+) -> SharedWalkOut {
+    let start = Instant::now();
     let n = tree.n_tuples();
     let consumers = BatchConsumers::parse(spec, n);
     let mut answers = BatchConsumers::answer_buffers(spec, n);
@@ -674,20 +732,17 @@ pub(crate) fn batch_walk_tree(tree: &AndXorTree, spec: &SharedWalkSpec) -> Share
             walk_seconds: start.elapsed().as_secs_f64(),
         };
     }
-    let (order, _) = score_order(tree);
-    let marginals = tree.marginals();
-    let plan = EvalPlan::new(tree);
-    let mut walkers = BatchWalkers::fast_forward(&plan, &consumers, |_| false);
-    for (i, &t) in order.iter().enumerate() {
-        walkers.step((i > 0).then(|| order[i - 1]), t);
-        let tv = tuple_view(tree, &marginals, t);
+    let mut walkers = BatchWalkers::fast_forward(&prep.plan, &consumers, |_| false);
+    for (i, &t) in prep.order.iter().enumerate() {
+        walkers.step((i > 0).then(|| prep.order[i - 1]), t);
+        let tv = tuple_view(tree, &prep.marginals, t);
         walkers.extract(&consumers, &tv, &mut answers, t.index());
     }
     let stats = walkers.stats();
     // The E-Rank absent-worlds pass holds one transient scalar evaluator;
     // like the serial single-query path, it is not part of the reported
     // walk accounting (and the parallel walk reports identically).
-    finish_erank_answers(&consumers, &plan, n, &mut answers);
+    finish_erank_answers(&consumers, &prep.plan, n, &mut answers);
     SharedWalkOut {
         answers,
         stats: Some(stats),

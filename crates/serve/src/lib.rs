@@ -20,13 +20,26 @@
 //!   [`prf_core::query::QueryError`] — one bad query never poisons its
 //!   flush (the batch runs with per-entry error isolation);
 //! * each answered query's report records its serving provenance
-//!   ([`prf_core::query::ServeCost`]): queue wait plus which
+//!   ([`prf_core::query::ServeCost`]): queue wait, admission-time queue
+//!   depth, the relation's cumulative shed count, plus which
 //!   [`prf_core::query::FlushTrigger`] (`Deadline | SizeLimit | Shutdown`)
-//!   fired the flush that served it.
+//!   fired the flush that served it;
+//! * flushes execute on a **worker pool** ([`ServeConfig::workers`]) with
+//!   per-relation FIFO ordering — a slow relation's walk occupies one
+//!   worker while every other relation keeps flushing on the rest;
+//! * registration **prepares** each relation
+//!   ([`prf_core::query::PreparedRelation`]): the score sort and compiled
+//!   evaluation plan are built once and reused by every flush;
+//! * queues can be **bounded** ([`ServeConfig::max_pending`]) — admission
+//!   control: [`RankServer::submit`] blocks at the bound (backpressure)
+//!   and [`RankServer::try_submit`] sheds with
+//!   [`prf_core::query::QueryError::Overloaded`]; serving counters are
+//!   visible through [`RankServer::metrics`].
 //!
-//! The implementation is std-only — client threads and one flusher thread
-//! coordinating through a `Mutex`/`Condvar` pair, with per-query `mpsc`
-//! channels delivering answers.
+//! The implementation is std-only — client threads, one deadline
+//! scheduler thread, and N flush workers coordinating through a
+//! `Mutex`/`Condvar` pair, with per-query `mpsc` channels delivering
+//! answers.
 //!
 //! ```
 //! use prf_core::query::{RankQuery, Semantics};
@@ -58,9 +71,10 @@ mod handle;
 mod server;
 
 pub use handle::{QueryId, ResponseHandle};
-pub use server::{RankServer, RelationId, ServeConfig, SharedRelation};
+pub use server::{RankServer, RelationId, ServeConfig, ServeMetrics, SharedRelation};
 
 // Re-exported so serving code can name its whole vocabulary from one crate.
 pub use prf_core::query::{
-    FlushTrigger, ProbabilisticRelation, QueryError, RankQuery, RankedResult, Semantics, ServeCost,
+    FlushTrigger, PreparedRelation, ProbabilisticRelation, QueryError, RankQuery, RankedResult,
+    Semantics, ServeCost,
 };

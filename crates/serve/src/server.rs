@@ -1,32 +1,64 @@
-//! The [`RankServer`]: concurrent submission, per-relation queues, and the
-//! deadline/size-triggered flusher thread.
+//! The [`RankServer`]: concurrent submission, bounded per-relation queues,
+//! the deadline scheduler, and the flush worker pool.
+//!
+//! # Architecture (v2)
+//!
+//! Three thread roles share one mutex-guarded [`State`]:
+//!
+//! - **Clients** call [`RankServer::submit`] / [`RankServer::try_submit`]:
+//!   the query joins its relation's pending queue (bounded when
+//!   [`ServeConfig::max_pending`] is set — `submit` then applies
+//!   *backpressure* by blocking until space frees, `try_submit` *sheds*
+//!   with [`QueryError::Overloaded`]). A submission that completes a size
+//!   trigger — or arrives under a zero deadline — enqueues the flush
+//!   itself, so the fast path hands work straight to a worker without a
+//!   scheduler hop.
+//! - The **scheduler** thread only computes deadlines: it sleeps until the
+//!   earliest pending deadline, moves due queues onto the work queue, and
+//!   never executes a flush itself.
+//! - **Workers** (N = [`ServeConfig::workers`]) pop flushes off the work
+//!   queue and evaluate them with the lock released. Per-relation FIFO is
+//!   preserved by an `in_flight` latch: a relation's next flush is not
+//!   enqueued until its previous one completed, so one relation's flushes
+//!   never race each other — but a slow relation's walk occupies only one
+//!   worker, and every other relation keeps flushing on the rest.
+//!
+//! Registration wraps each relation in a
+//! [`PreparedRelation`](prf_core::query::PreparedRelation): the score sort
+//! and compiled evaluation plan are built **once** and reused by every
+//! flush, instead of being rebuilt per walk.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use prf_core::query::{
-    FlushTrigger, ProbabilisticRelation, QueryBatch, QueryError, RankQuery, ServeCost,
+    FlushTrigger, PreparedRelation, ProbabilisticRelation, QueryBatch, QueryError, RankQuery,
+    ServeCost,
 };
 
 use crate::handle::{Answer, QueryId, ResponseHandle};
 
 /// A relation as the server owns it: shared, type-erased, and usable from
-/// both client threads (registration) and the flusher.
+/// both client threads (registration) and the flush workers.
 pub type SharedRelation = Arc<dyn ProbabilisticRelation + Send + Sync>;
 
 /// Tuning knobs of a [`RankServer`].
 ///
-/// The defaults (2 ms deadline, 64-query batches, serial walks) suit a
-/// latency-sensitive serving mix; a zero [`ServeConfig::max_delay`] turns
-/// the server into an immediate dispatcher that still batches whatever has
-/// accumulated since the flusher last ran.
+/// The defaults (2 ms deadline, 64-query batches, 2 flush workers,
+/// unbounded queues, serial walks) suit a latency-sensitive serving mix; a
+/// zero [`ServeConfig::max_delay`] turns the server into an immediate
+/// dispatcher that still batches whatever has accumulated since a worker
+/// last took the queue.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     pub(crate) max_delay: Duration,
     pub(crate) max_batch: usize,
     pub(crate) threads: Option<usize>,
+    pub(crate) workers: usize,
+    pub(crate) max_pending: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -35,19 +67,21 @@ impl Default for ServeConfig {
             max_delay: Duration::from_millis(2),
             max_batch: 64,
             threads: None,
+            workers: 2,
+            max_pending: None,
         }
     }
 }
 
 impl ServeConfig {
-    /// The default configuration (2 ms deadline, 64-query batches).
+    /// The default configuration (2 ms deadline, 64-query batches, 2 flush
+    /// workers, unbounded queues).
     pub fn new() -> Self {
         ServeConfig::default()
     }
 
     /// How long the oldest pending query may wait before its relation's
-    /// queue is flushed. Zero flushes on the first flusher wake-up after
-    /// every submission.
+    /// queue is flushed. Zero flushes on admission.
     pub fn max_delay(mut self, deadline: Duration) -> Self {
         self.max_delay = deadline;
         self
@@ -61,9 +95,28 @@ impl ServeConfig {
     }
 
     /// Requests `threads` workers for each flush's shared walk (forwarded
-    /// to [`QueryBatch::parallel`]).
+    /// to [`QueryBatch::parallel`]; the engine degrades small walks to the
+    /// serial route, so over-asking costs nothing).
     pub fn parallel(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Number of flush worker threads (clamped to at least 1). Flushes of
+    /// *different* relations run concurrently across workers; flushes of
+    /// the same relation stay FIFO.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Bounds every relation's pending queue to `cap` queries (clamped to
+    /// at least 1) — the admission-control knob. At the bound,
+    /// [`RankServer::submit`] blocks until a flush frees space
+    /// (backpressure) and [`RankServer::try_submit`] sheds with
+    /// [`QueryError::Overloaded`]. The default is unbounded.
+    pub fn max_pending(mut self, cap: usize) -> Self {
+        self.max_pending = Some(cap.max(1));
         self
     }
 }
@@ -79,39 +132,120 @@ impl std::fmt::Display for RelationId {
     }
 }
 
+/// A point-in-time snapshot of the server's serving counters, summed over
+/// all registered relations (see [`RankServer::metrics`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Queries waiting in pending queues right now.
+    pub pending: usize,
+    /// Relations with a flush currently executing on a worker.
+    pub in_flight: usize,
+    /// Cumulative submissions shed with [`QueryError::Overloaded`].
+    pub shed: u64,
+    /// Cumulative completed flushes.
+    pub flushes: u64,
+    /// Cumulative queries answered through completed flushes.
+    pub flushed_queries: u64,
+}
+
 /// One submission waiting in a relation's queue.
 struct Pending {
     query: RankQuery,
     submitted_at: Instant,
+    /// Queue depth at admission, including this query — the backpressure
+    /// signal stamped into [`ServeCost::queue_depth`].
+    depth_at_admit: usize,
     tx: mpsc::Sender<Answer>,
 }
 
-/// A registered relation plus its pending queue.
+/// A registered relation plus its pending queue and serving counters.
 struct Slot {
     name: String,
     rel: SharedRelation,
     queue: Vec<Pending>,
+    /// `true` while a flush of this relation sits on the work queue or
+    /// executes on a worker — the per-relation FIFO latch.
+    in_flight: bool,
+    /// Cumulative submissions shed from this slot's bounded queue.
+    shed: u64,
+    /// Cumulative completed flushes of this slot.
+    flushes: u64,
+    /// Cumulative queries answered through this slot's completed flushes.
+    flushed_queries: u64,
 }
 
-/// Mutex-guarded server state shared between clients and the flusher.
+/// One flush's worth of work, taken from a slot under the lock and
+/// executed by a worker outside it.
+struct FlushWork {
+    slot: usize,
+    rel: SharedRelation,
+    pending: Vec<Pending>,
+    trigger: FlushTrigger,
+    /// Snapshot of the slot's shed counter when the flush was taken.
+    shed: u64,
+}
+
+/// Mutex-guarded server state shared between clients, the scheduler, and
+/// the workers.
 struct State {
     slots: Vec<Slot>,
+    /// Flushes ready for a worker, in take order.
+    work: VecDeque<FlushWork>,
+    /// Set by [`RankServer::shutdown`] (or a failsafe): rejects new
+    /// submissions; the scheduler then drains and stops the pool.
     shutdown: bool,
+    /// Set by the scheduler once the drain completed (or by a failsafe):
+    /// idle workers exit.
+    pool_stop: bool,
 }
 
 struct Shared {
+    config: ServeConfig,
     state: Mutex<State>,
     wake: Condvar,
 }
 
 impl Shared {
     /// Locks the state, recovering from poisoning — a panicking client
-    /// thread must not wedge the flusher (or vice versa).
+    /// thread must not wedge the scheduler or the workers (or vice versa).
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+
+    fn wait<'a>(&self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        self.wake
+            .wait(guard)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn wait_timeout<'a>(
+        &self,
+        guard: MutexGuard<'a, State>,
+        timeout: Duration,
+    ) -> MutexGuard<'a, State> {
+        self.wake
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .0
+    }
+}
+
+/// Moves `slot`'s queue onto the work queue as one flush (setting the FIFO
+/// latch). Callers have checked the trigger and the latch.
+fn take_flush(state: &mut State, slot_idx: usize, trigger: FlushTrigger) {
+    let slot = &mut state.slots[slot_idx];
+    debug_assert!(!slot.in_flight && !slot.queue.is_empty());
+    slot.in_flight = true;
+    let work = FlushWork {
+        slot: slot_idx,
+        rel: Arc::clone(&slot.rel),
+        pending: std::mem::take(&mut slot.queue),
+        trigger,
+        shed: slot.shed,
+    };
+    state.work.push_back(work);
 }
 
 /// A concurrent, deadline-batched front end over registered relations: see
@@ -122,57 +256,62 @@ impl Shared {
 /// and drains in-flight queries.
 pub struct RankServer {
     shared: Arc<Shared>,
-    flusher: Mutex<Option<JoinHandle<()>>>,
+    scheduler: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
     next_query: AtomicU64,
 }
 
 impl RankServer {
-    /// Starts a server (spawning its flusher thread) with the given
+    /// Starts a server — spawning its scheduler thread and
+    /// [`ServeConfig::workers`] flush workers — with the given
     /// configuration.
     pub fn new(config: ServeConfig) -> Self {
+        let worker_count = config.workers;
         let shared = Arc::new(Shared {
+            config,
             state: Mutex::new(State {
                 slots: Vec::new(),
+                work: VecDeque::new(),
                 shutdown: false,
+                pool_stop: false,
             }),
             wake: Condvar::new(),
         });
-        let flusher = {
+        let scheduler = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name("prf-serve-flusher".into())
+                .name("prf-serve-scheduler".into())
                 .spawn(move || {
-                    // Failsafe for an abnormal flusher death (a panicking
-                    // backend kernel): on unwind, reject future submissions
-                    // and drop every queued sender so pending handles
-                    // resolve to `Shutdown` instead of blocking forever.
-                    // After a normal exit the drain already emptied the
-                    // queues and set the flag, so the guard is a no-op.
-                    struct Failsafe<'a>(&'a Shared);
-                    impl Drop for Failsafe<'_> {
-                        fn drop(&mut self) {
-                            let mut state = self.0.lock();
-                            state.shutdown = true;
-                            for slot in state.slots.iter_mut() {
-                                slot.queue.clear();
-                            }
-                        }
-                    }
                     let _failsafe = Failsafe(&shared);
-                    flusher_loop(&shared, &config);
+                    scheduler_loop(&shared);
                 })
-                .expect("spawning the flusher thread")
+                .expect("spawning the scheduler thread")
         };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("prf-serve-worker-{i}"))
+                    .spawn(move || {
+                        let _failsafe = Failsafe(&shared);
+                        worker_loop(&shared);
+                    })
+                    .expect("spawning a flush worker thread")
+            })
+            .collect();
         RankServer {
             shared,
-            flusher: Mutex::new(Some(flusher)),
+            scheduler: Mutex::new(Some(scheduler)),
+            workers: Mutex::new(workers),
             next_query: AtomicU64::new(0),
         }
     }
 
     /// Registers a relation under `name`, transferring ownership to the
-    /// server. Relations may be registered at any time, including while
-    /// other threads are already submitting against earlier ones.
+    /// server. Registration **prepares** the relation — builds its score
+    /// sort and evaluation plan once, so every later flush skips them.
+    /// Relations may be registered at any time, including while other
+    /// threads are already submitting against earlier ones.
     pub fn register(
         &self,
         name: impl Into<String>,
@@ -182,13 +321,18 @@ impl RankServer {
     }
 
     /// Registers an already-shared relation (the caller keeps its own
-    /// `Arc` for direct queries).
+    /// `Arc` for direct queries). Prepares it like [`RankServer::register`].
     pub fn register_shared(&self, name: impl Into<String>, rel: SharedRelation) -> RelationId {
+        let prepared: SharedRelation = Arc::new(PreparedRelation::new(rel));
         let mut state = self.shared.lock();
         state.slots.push(Slot {
             name: name.into(),
-            rel,
+            rel: prepared,
             queue: Vec::new(),
+            in_flight: false,
+            shed: 0,
+            flushes: 0,
+            flushed_queries: 0,
         });
         RelationId(state.slots.len() - 1)
     }
@@ -204,64 +348,138 @@ impl RankServer {
 
     /// Submits a query against a registered relation. Never blocks on
     /// evaluation: the query joins the relation's pending queue and the
-    /// returned [`ResponseHandle`] resolves when a flush answers it.
+    /// returned [`ResponseHandle`] resolves when a flush answers it. When
+    /// the queue is bounded ([`ServeConfig::max_pending`]) and full, the
+    /// call **blocks until a flush frees space** — backpressure, not
+    /// unbounded growth; use [`RankServer::try_submit`] to shed instead.
     ///
     /// Errors immediately with [`QueryError::Shutdown`] after
-    /// [`RankServer::shutdown`], and with
-    /// [`QueryError::InvalidParameter`] for a [`RelationId`] this server
-    /// never issued. Per-query evaluation errors (incompatible algorithm,
-    /// no set answer, …) are *not* reported here — they resolve through
-    /// the handle, leaving the rest of the flush unharmed.
+    /// [`RankServer::shutdown`] (including while blocked on a full queue),
+    /// and with [`QueryError::InvalidParameter`] for a [`RelationId`] this
+    /// server never issued. Per-query evaluation errors (incompatible
+    /// algorithm, no set answer, …) are *not* reported here — they resolve
+    /// through the handle, leaving the rest of the flush unharmed.
     pub fn submit(
         &self,
         relation: RelationId,
         query: RankQuery,
     ) -> Result<ResponseHandle, QueryError> {
+        self.admit(relation, query, true)
+    }
+
+    /// Like [`RankServer::submit`], but **never blocks**: a full bounded
+    /// queue sheds the query immediately with [`QueryError::Overloaded`]
+    /// (counted in [`ServeCost::shed`] / [`ServeMetrics::shed`]). With
+    /// unbounded queues it is identical to `submit`.
+    pub fn try_submit(
+        &self,
+        relation: RelationId,
+        query: RankQuery,
+    ) -> Result<ResponseHandle, QueryError> {
+        self.admit(relation, query, false)
+    }
+
+    fn admit(
+        &self,
+        relation: RelationId,
+        query: RankQuery,
+        block: bool,
+    ) -> Result<ResponseHandle, QueryError> {
         let (tx, rx) = mpsc::channel();
         let id = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
-        {
-            let mut state = self.shared.lock();
+        let mut state = self.shared.lock();
+        loop {
             if state.shutdown {
                 return Err(QueryError::Shutdown);
             }
             let slot = state.slots.get_mut(relation.0).ok_or_else(|| {
                 QueryError::InvalidParameter(format!("unknown relation {relation}"))
             })?;
-            slot.queue.push(Pending {
-                query,
-                submitted_at: Instant::now(),
-                tx,
-            });
+            match self.shared.config.max_pending {
+                Some(cap) if slot.queue.len() >= cap => {
+                    if !block {
+                        slot.shed += 1;
+                        return Err(QueryError::Overloaded);
+                    }
+                    // Backpressure: wait for a worker to take the queue
+                    // (or for shutdown). Spurious wake-ups just re-check.
+                    state = self.shared.wait(state);
+                }
+                _ => break,
+            }
         }
-        // Wake the flusher: it re-computes deadlines (and flushes at once
-        // when the size limit or a zero deadline is hit).
+        let slot = &mut state.slots[relation.0];
+        slot.queue.push(Pending {
+            query,
+            submitted_at: Instant::now(),
+            depth_at_admit: slot.queue.len() + 1,
+            tx,
+        });
+        // Fast path: a submission that completes a trigger enqueues the
+        // flush itself — no scheduler hop between admission and a worker.
+        // A latched relation leaves the re-check to its worker's
+        // completion (which wakes the scheduler).
+        if !slot.in_flight {
+            if slot.queue.len() >= self.shared.config.max_batch {
+                take_flush(&mut state, relation.0, FlushTrigger::SizeLimit);
+            } else if self.shared.config.max_delay.is_zero() {
+                take_flush(&mut state, relation.0, FlushTrigger::Deadline);
+            }
+        }
+        drop(state);
+        // Wake a worker (flush enqueued) or the scheduler (deadline
+        // bookkeeping) — one condvar serves both roles.
         self.shared.wake.notify_all();
         Ok(ResponseHandle::new(id, rx))
     }
 
     /// Number of queries currently waiting in the pending queues (not
-    /// counting a flush already in flight).
+    /// counting flushes already handed to workers).
     pub fn pending(&self) -> usize {
         self.shared.lock().slots.iter().map(|s| s.queue.len()).sum()
     }
 
-    /// Shuts the server down: rejects new submissions, lets the flusher
-    /// **drain** every pending queue — in-flight queries are evaluated
-    /// (their provenance records [`FlushTrigger::Shutdown`]), not dropped —
-    /// and joins the flusher thread. Blocks until the drain completes.
-    /// Idempotent; [`Drop`] calls it too.
+    /// A point-in-time snapshot of the serving counters, summed over all
+    /// registered relations.
+    pub fn metrics(&self) -> ServeMetrics {
+        let state = self.shared.lock();
+        let mut m = ServeMetrics::default();
+        for slot in &state.slots {
+            m.pending += slot.queue.len();
+            m.in_flight += slot.in_flight as usize;
+            m.shed += slot.shed;
+            m.flushes += slot.flushes;
+            m.flushed_queries += slot.flushed_queries;
+        }
+        m
+    }
+
+    /// Shuts the server down: rejects new submissions, lets the scheduler
+    /// **drain** every pending queue through the worker pool — in-flight
+    /// queries are evaluated (their provenance records
+    /// [`FlushTrigger::Shutdown`]), not dropped — and joins every thread.
+    /// Blocks until the drain completes. Idempotent; [`Drop`] calls it too.
     pub fn shutdown(&self) {
         self.shared.lock().shutdown = true;
         self.shared.wake.notify_all();
-        let handle = self
-            .flusher
+        let scheduler = self
+            .scheduler
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .take();
-        if let Some(handle) = handle {
-            // If the flusher panicked instead of draining, its failsafe
-            // guard already cleared the queues (handles resolve to
-            // `Shutdown`); nothing to redo here.
+        if let Some(handle) = scheduler {
+            // If the scheduler panicked instead of draining, its failsafe
+            // already cleared the queues (handles resolve to `Shutdown`)
+            // and stopped the pool; nothing to redo here.
+            let _ = handle.join();
+        }
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for handle in workers {
             let _ = handle.join();
         }
     }
@@ -282,92 +500,141 @@ impl std::fmt::Debug for RankServer {
                 "pending",
                 &state.slots.iter().map(|s| s.queue.len()).sum::<usize>(),
             )
+            .field("workers", &self.shared.config.workers)
             .field("shutdown", &state.shutdown)
             .finish()
     }
 }
 
-/// One flush's worth of work, taken from a slot under the lock and
-/// executed outside it.
-type FlushWork = (SharedRelation, Vec<Pending>, FlushTrigger);
+/// Failsafe for an abnormal scheduler/worker death (a panicking backend
+/// kernel): on unwind, reject future submissions, stop the pool, release
+/// every FIFO latch, and drop every queued sender so pending handles
+/// resolve to `Shutdown` instead of blocking forever. After a normal exit
+/// the drain already emptied the queues and set the flags, so the guard is
+/// a no-op.
+struct Failsafe<'a>(&'a Shared);
 
-/// The flusher: waits for a deadline or size trigger, takes ready queues
-/// under the lock, and evaluates them with the lock released so clients
-/// keep submitting during the walk. Exits after draining on shutdown.
-fn flusher_loop(shared: &Shared, config: &ServeConfig) {
+impl Drop for Failsafe<'_> {
+    fn drop(&mut self) {
+        let mut state = self.0.lock();
+        state.shutdown = true;
+        state.pool_stop = true;
+        state.work.clear();
+        for slot in state.slots.iter_mut() {
+            slot.queue.clear();
+            slot.in_flight = false;
+        }
+        drop(state);
+        self.0.wake.notify_all();
+    }
+}
+
+/// The scheduler: pure deadline bookkeeping. Sleeps until the earliest
+/// pending deadline, moves due (and size-triggered) queues onto the work
+/// queue, and hands them to the pool — it never evaluates a flush itself.
+/// On shutdown it keeps feeding the pool until every queue is empty and
+/// every flush completed, then stops the pool and exits.
+fn scheduler_loop(shared: &Shared) {
+    let config = &shared.config;
     let mut state = shared.lock();
     loop {
         if state.shutdown {
-            let work: Vec<FlushWork> = state
-                .slots
-                .iter_mut()
-                .filter(|s| !s.queue.is_empty())
-                .map(|s| {
-                    (
-                        Arc::clone(&s.rel),
-                        std::mem::take(&mut s.queue),
-                        FlushTrigger::Shutdown,
-                    )
-                })
-                .collect();
-            drop(state);
-            for (rel, pending, trigger) in work {
-                execute_flush(&rel, pending, trigger, config);
+            // Drain: move every unlatched queue to the pool, then wait for
+            // the latches to clear (workers re-notify on completion). A
+            // latched relation's refilled queue becomes eligible once its
+            // in-flight flush completes.
+            loop {
+                let mut fed = false;
+                for i in 0..state.slots.len() {
+                    if !state.slots[i].queue.is_empty() && !state.slots[i].in_flight {
+                        take_flush(&mut state, i, FlushTrigger::Shutdown);
+                        fed = true;
+                    }
+                }
+                if fed {
+                    shared.wake.notify_all();
+                }
+                let drained = state.work.is_empty()
+                    && state
+                        .slots
+                        .iter()
+                        .all(|s| s.queue.is_empty() && !s.in_flight);
+                if drained {
+                    state.pool_stop = true;
+                    drop(state);
+                    shared.wake.notify_all();
+                    return;
+                }
+                state = shared.wait(state);
             }
-            return;
         }
 
         let now = Instant::now();
-        let mut work: Vec<FlushWork> = Vec::new();
         let mut next_due: Option<Instant> = None;
-        for slot in state.slots.iter_mut() {
-            if slot.queue.is_empty() {
+        let mut fed = false;
+        for i in 0..state.slots.len() {
+            let slot = &state.slots[i];
+            if slot.queue.is_empty() || slot.in_flight {
                 continue;
             }
             if slot.queue.len() >= config.max_batch {
-                work.push((
-                    Arc::clone(&slot.rel),
-                    std::mem::take(&mut slot.queue),
-                    FlushTrigger::SizeLimit,
-                ));
+                take_flush(&mut state, i, FlushTrigger::SizeLimit);
+                fed = true;
                 continue;
             }
             let due = slot.queue[0].submitted_at + config.max_delay;
             if due <= now {
-                work.push((
-                    Arc::clone(&slot.rel),
-                    std::mem::take(&mut slot.queue),
-                    FlushTrigger::Deadline,
-                ));
+                take_flush(&mut state, i, FlushTrigger::Deadline);
+                fed = true;
             } else {
                 next_due = Some(next_due.map_or(due, |d| d.min(due)));
             }
         }
-
-        if !work.is_empty() {
-            drop(state);
-            for (rel, pending, trigger) in work {
-                execute_flush(&rel, pending, trigger, config);
-            }
-            state = shared.lock();
-            continue; // re-check: queues may have refilled meanwhile
+        if fed {
+            shared.wake.notify_all();
         }
 
         state = match next_due {
             // Sleep exactly until the earliest pending deadline (spurious
             // wake-ups just re-check).
-            Some(due) => {
-                shared
-                    .wake
-                    .wait_timeout(state, due.saturating_duration_since(now))
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .0
-            }
-            None => shared
-                .wake
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            Some(due) => shared.wait_timeout(state, due.saturating_duration_since(now)),
+            None => shared.wait(state),
         };
+    }
+}
+
+/// A flush worker: pops flushes off the work queue, evaluates them with
+/// the lock released, releases the relation's FIFO latch, and re-notifies
+/// — the scheduler re-checks the (possibly refilled) queue, and blocked
+/// submitters re-check the bound.
+fn worker_loop(shared: &Shared) {
+    let mut state = shared.lock();
+    loop {
+        if let Some(work) = state.work.pop_front() {
+            drop(state);
+            let flush_size = work.pending.len();
+            execute_flush(
+                &work.rel,
+                work.pending,
+                work.trigger,
+                work.shed,
+                shared.config.threads,
+            );
+            state = shared.lock();
+            if let Some(slot) = state.slots.get_mut(work.slot) {
+                slot.in_flight = false;
+                slot.flushes += 1;
+                slot.flushed_queries += flush_size as u64;
+            }
+            drop(state);
+            shared.wake.notify_all();
+            state = shared.lock();
+            continue;
+        }
+        if state.pool_stop {
+            return;
+        }
+        state = shared.wait(state);
     }
 }
 
@@ -378,28 +645,31 @@ fn execute_flush(
     rel: &SharedRelation,
     pending: Vec<Pending>,
     trigger: FlushTrigger,
-    config: &ServeConfig,
+    shed: u64,
+    threads: Option<usize>,
 ) {
     let flush_size = pending.len();
     let mut queries = Vec::with_capacity(flush_size);
     let mut waiters = Vec::with_capacity(flush_size);
     for p in pending {
         queries.push(p.query);
-        waiters.push((p.submitted_at, p.tx));
+        waiters.push((p.submitted_at, p.depth_at_admit, p.tx));
     }
     let mut batch = QueryBatch::new().add_queries(queries);
-    if let Some(threads) = config.threads {
+    if let Some(threads) = threads {
         batch = batch.parallel(threads);
     }
     let flush_start = Instant::now();
     let results = batch.run_isolated(&**rel);
     debug_assert_eq!(results.len(), flush_size);
-    for ((submitted_at, tx), mut result) in waiters.into_iter().zip(results) {
+    for ((submitted_at, depth_at_admit, tx), mut result) in waiters.into_iter().zip(results) {
         if let Ok(res) = &mut result {
             res.report.serve = Some(ServeCost {
                 queue_seconds: flush_start.duration_since(submitted_at).as_secs_f64(),
                 trigger,
                 flush_size,
+                queue_depth: depth_at_admit,
+                shed,
             });
         }
         // A dropped handle disconnects the channel; the failed send is the
@@ -438,6 +708,8 @@ mod tests {
         let serve = got.report.serve.expect("provenance stamped");
         assert!(serve.queue_seconds >= 0.0);
         assert!(serve.flush_size >= 1);
+        assert!(serve.queue_depth >= 1);
+        assert_eq!(serve.shed, 0);
     }
 
     #[test]
@@ -457,12 +729,19 @@ mod tests {
         assert_eq!(b.report.serve.unwrap().flush_size, 2);
         // Both shared one walk.
         assert_eq!(a.report.batch.unwrap().consumers, 2);
+        // Admission depths record the queue growing.
+        assert_eq!(a.report.serve.unwrap().queue_depth, 1);
+        assert_eq!(b.report.serve.unwrap().queue_depth, 2);
     }
 
     #[test]
     fn unknown_relation_errors_at_submission() {
         let server = RankServer::new(ServeConfig::new());
         let err = server.submit(RelationId(7), RankQuery::pt(1)).unwrap_err();
+        assert!(matches!(err, QueryError::InvalidParameter(_)), "{err}");
+        let err = server
+            .try_submit(RelationId(7), RankQuery::pt(1))
+            .unwrap_err();
         assert!(matches!(err, QueryError::InvalidParameter(_)), "{err}");
     }
 
@@ -485,14 +764,60 @@ mod tests {
     }
 
     #[test]
+    fn try_submit_sheds_at_the_bound() {
+        // A one-hour deadline and a high batch limit: nothing flushes, so
+        // the 2-slot bound must fill and shed.
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_secs(3600))
+                .max_batch(1000)
+                .max_pending(2),
+        );
+        let rel = server.register("db", db());
+        let a = server.try_submit(rel, RankQuery::pt(1)).unwrap();
+        let b = server.try_submit(rel, RankQuery::pt(1)).unwrap();
+        let shed = server.try_submit(rel, RankQuery::pt(1));
+        assert!(matches!(shed, Err(QueryError::Overloaded)), "{shed:?}");
+        assert_eq!(server.metrics().shed, 1);
+        // The accepted queries still resolve (shutdown drains them) and
+        // carry the shed counter in their provenance.
+        server.shutdown();
+        let a = a.recv().unwrap();
+        let b = b.recv().unwrap();
+        assert_eq!(a.report.serve.unwrap().trigger, FlushTrigger::Shutdown);
+        assert_eq!(a.report.serve.unwrap().shed, 1);
+        assert_eq!(b.report.serve.unwrap().shed, 1);
+    }
+
+    #[test]
+    fn blocked_submit_resumes_after_a_flush_frees_space() {
+        let server = Arc::new(RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_millis(1))
+                .max_pending(1),
+        ));
+        let rel = server.register("db", db());
+        // Saturate the queue, then submit from another thread: the call
+        // must block until the deadline flush frees the slot, then admit.
+        let first = server.submit(rel, RankQuery::pt(1)).unwrap();
+        let blocked = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.submit(rel, RankQuery::pt(2)))
+        };
+        let second = blocked.join().unwrap().unwrap();
+        assert!(first.recv().is_ok());
+        assert!(second.recv().is_ok());
+    }
+
+    #[test]
     fn panicking_backend_resolves_handles_instead_of_hanging() {
         use prf_core::query::CorrelationClass;
         use prf_core::weights::WeightFunction;
         use prf_numeric::Complex;
 
         /// A backend whose kernels die — stands in for any bug that makes
-        /// a flush panic. The failsafe must then resolve every pending
-        /// handle to `Shutdown` and reject future submissions.
+        /// a flush panic. The worker's failsafe must then resolve every
+        /// pending handle to `Shutdown` and reject future submissions.
         struct Poisoned;
         impl ProbabilisticRelation for Poisoned {
             fn n_tuples(&self) -> usize {
@@ -522,7 +847,7 @@ mod tests {
         let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
         let rel = server.register("poisoned", Poisoned);
         let first = server.submit(rel, RankQuery::pt(1)).unwrap();
-        // The flusher dies on this query; the handle must still resolve.
+        // The worker dies on this query; the handle must still resolve.
         assert!(matches!(first.recv(), Err(QueryError::Shutdown)));
         // …and the server now rejects instead of queueing into the void
         // (the failsafe may still be mid-flight, so poll briefly).
@@ -534,7 +859,7 @@ mod tests {
             )
         });
         assert!(refused, "submissions must start failing after the panic");
-        server.shutdown(); // joins the dead flusher without hanging
+        server.shutdown(); // joins the dead worker without hanging
     }
 
     #[test]
@@ -553,5 +878,23 @@ mod tests {
         for w in ids.windows(2) {
             assert!(w[1] > w[0]);
         }
+    }
+
+    #[test]
+    fn metrics_count_flushes_and_queries() {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO).workers(3));
+        let rel = server.register("db", db());
+        let handles: Vec<_> = (0..6)
+            .map(|_| server.submit(rel, RankQuery::pt(1)).unwrap())
+            .collect();
+        for h in handles {
+            assert!(h.recv().is_ok());
+        }
+        server.shutdown();
+        let m = server.metrics();
+        assert_eq!(m.flushed_queries, 6);
+        assert!(m.flushes >= 1 && m.flushes <= 6, "{m:?}");
+        assert_eq!(m.pending, 0);
+        assert_eq!(m.in_flight, 0);
     }
 }

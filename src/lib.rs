@@ -80,7 +80,7 @@
 //! | [`graphical`] | `prf-graphical` | Markov networks, junction trees, §9 algorithms, `NetworkRelation` |
 //! | [`metrics`] | `prf-metrics` | normalized Kendall top-k distance and friends |
 //! | [`datasets`] | `prf-datasets` | simulated IIP, Syn-IND, Syn-XOR/LOW/MED/HIGH |
-//! | [`serve`] | `prf-serve` | deadline-batched concurrent `RankServer` over `QueryBatch` |
+//! | [`serve`] | `prf-serve` | concurrent `RankServer`: deadline batching, flush worker pool, prepared relations, admission control |
 //!
 //! The experiment harness that regenerates every table and figure of the
 //! paper lives in the `prf-bench` crate (`cargo run --release -p prf-bench
@@ -105,12 +105,12 @@ pub mod prelude {
     pub use prf_approx::{approximate_weights, DftApproxConfig, ExpMixture};
     pub use prf_core::query::{
         Algorithm, BatchCost, BatchPlan, BatchRoute, CorrelationClass, EvalReport, FlushTrigger,
-        NumericMode, ProbabilisticRelation, QueryBatch, QueryError, RankQuery, RankedResult,
-        Semantics, ServeCost, TopSet, Values,
+        NumericMode, PreparedRelation, PreparedState, ProbabilisticRelation, QueryBatch,
+        QueryError, RankQuery, RankedResult, Semantics, ServeCost, TopSet, Values,
     };
     pub use prf_core::{
-        prf_rank, prf_rank_tree, prfe_rank, prfe_rank_log, prfe_rank_tree, Ranking, ValueOrder,
-        WeightFunction,
+        effective_walk_threads, prf_rank, prf_rank_tree, prfe_rank, prfe_rank_log, prfe_rank_tree,
+        Ranking, ValueOrder, WeightFunction, PARALLEL_MIN_SHARD_TUPLES,
     };
     pub use prf_core::{
         ConstantWeight, ExponentialWeight, LinearWeight, PositionWeight, ScoreWeight, StepWeight,
@@ -120,5 +120,5 @@ pub mod prelude {
     pub use prf_metrics::kendall_topk;
     pub use prf_numeric::Complex;
     pub use prf_pdb::{AndXorTree, IndependentDb, NodeKind, TreeBuilder, Tuple, TupleId};
-    pub use prf_serve::{RankServer, RelationId, ResponseHandle, ServeConfig};
+    pub use prf_serve::{RankServer, RelationId, ResponseHandle, ServeConfig, ServeMetrics};
 }

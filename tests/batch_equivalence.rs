@@ -298,6 +298,43 @@ fn parallel_batch_equals_serial_batch_and_singles() {
     }
 }
 
+#[test]
+fn small_batches_gate_to_the_serial_route() {
+    // Regression for the ROADMAP item "parallel loses to serial at
+    // n = 10⁴": sharding pays one O(tree) fast-forward fold per worker, so
+    // below `PARALLEL_MIN_SHARD_TUPLES` tuples per shard the engine must
+    // degrade a `.parallel(t)` batch to the serial route. The observable
+    // is the evaluator accounting — a sharded walk holds `t` concurrent
+    // evaluators, so its merged `plan_nodes` is `t×` the serial walk's.
+    let tree = random_general_tree(44, 64);
+    assert!(tree.n_tuples() / 8 < PARALLEL_MIN_SHARD_TUPLES);
+    let serial = QueryBatch::new().add(Semantics::Pt(4)).run(&tree).unwrap();
+    let gated = QueryBatch::new()
+        .add(Semantics::Pt(4))
+        .parallel(8)
+        .run(&tree)
+        .unwrap();
+    let s = serial[0]
+        .report
+        .memory
+        .expect("serial walk accounts memory");
+    let g = gated[0].report.memory.expect("gated walk accounts memory");
+    assert_eq!(
+        g.plan_nodes, s.plan_nodes,
+        "a gated batch must hold one evaluator, not one per shard"
+    );
+    // Values are bit-identical — it literally ran the serial walk.
+    assert_eq!(
+        serial[0].values.as_complex().unwrap(),
+        gated[0].values.as_complex().unwrap()
+    );
+    // The same request on a relation clearing the floor does shard.
+    assert_eq!(
+        effective_walk_threads(2 * PARALLEL_MIN_SHARD_TUPLES, Some(2)),
+        2
+    );
+}
+
 // ---------------------------------------------------------------------
 // NetworkRelation: no shared-walk kernel — everything falls back, and the
 // batch must still equal the sequential runs (including error behaviour)
