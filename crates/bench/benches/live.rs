@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the live-relation mutation pipeline: a
+//! single-tuple reweight followed by a requery against [`LiveRelation`]'s
+//! patched caches (log keys + merged ranking) vs tearing the backend down
+//! and rebuilding it. The acceptance workload (EXPERIMENTS.md "Live
+//! relations") is n = 10⁴ with a PRFe(0.95) log-domain requery — the live
+//! path must beat the rebuild by ≥ 10×, which it only does because the
+//! requery serves a merged (never re-sorted) ranking in O(n).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use prf_core::live::{LiveRelation, Mutation};
+use prf_core::query::{Algorithm, RankQuery};
+use prf_pdb::{IndependentDb, TupleId};
+
+const N: usize = 10_000;
+const ALPHA: f64 = 0.95;
+
+/// Distinct scores, well-separated probabilities — the same shape the
+/// `experiments live` scenario and tests/live_equivalence.rs use.
+fn seeded_pairs(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            (
+                n as f64 - i as f64,
+                0.05 + 0.9 * ((i * 7919) % 997) as f64 / 997.0,
+            )
+        })
+        .collect()
+}
+
+/// The reweight each iteration applies: cycle a deterministic tuple/prob
+/// stream so the relation never drifts toward a degenerate state.
+fn churn(step: usize) -> (usize, f64) {
+    (
+        (step * 4099) % N,
+        0.02 + 0.95 * ((step * 131) % 89) as f64 / 89.0,
+    )
+}
+
+fn bench_reweight_requery(c: &mut Criterion) {
+    let query = RankQuery::prfe(ALPHA).algorithm(Algorithm::LogDomain);
+    let mut g = c.benchmark_group("live_reweight_10k");
+
+    let live = LiveRelation::new(IndependentDb::from_pairs(seeded_pairs(N)).unwrap());
+    query.run(&live).unwrap(); // warm the log-key cache: the serving steady state
+    let mut step = 0usize;
+    g.bench_function("live_reweight_then_requery", |b| {
+        b.iter(|| {
+            let (t, p) = churn(step);
+            step += 1;
+            live.apply(&Mutation::Reweight(TupleId(t as u32), p))
+                .unwrap();
+            black_box(query.run(&live).unwrap())
+        })
+    });
+
+    let mut pairs = seeded_pairs(N);
+    let mut step = 0usize;
+    g.bench_function("rebuild_then_query", |b| {
+        b.iter(|| {
+            let (t, p) = churn(step);
+            step += 1;
+            pairs[t].1 = p;
+            let db = IndependentDb::from_pairs(pairs.clone()).unwrap();
+            black_box(query.run(&db).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reweight_requery);
+criterion_main!(benches);

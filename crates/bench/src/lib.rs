@@ -25,6 +25,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod live;
 pub mod serve;
 pub mod table1;
 

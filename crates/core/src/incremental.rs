@@ -77,12 +77,40 @@ struct PlanNode {
     child_hi: u32,
 }
 
+/// Where a subtree's folded value lives during compilation: the plan node
+/// carrying it plus the affine transform `value = a·plan + b` accumulated by
+/// collapsing unary spines (single-child ∨/∧ chains) without materializing
+/// them.
+#[derive(Clone, Copy, Debug)]
+struct Folded {
+    plan: u32,
+    a: f64,
+    b: f64,
+    chain: LeafChain,
+}
+
+/// Tracks whether a folded subtree is a pure leaf spine, so the leaf's edge
+/// probability can later be re-written in place ([`EvalPlan::reweight_leaf`]).
+#[derive(Clone, Copy, Debug)]
+enum LeafChain {
+    /// Not a single-leaf spine (or the leaf's own edge is ∧-pinned).
+    Opaque,
+    /// The bare leaf of tuple `t`; its edge probability not yet consumed.
+    Bare(TupleId),
+    /// A spine over tuple `t`'s leaf whose folded edge is `scale · p(t)` and
+    /// whose folded constant shifts by `scale·(p − p')` under a reweight.
+    /// `bottom` is the tree index of the leaf's direct ∨ parent — the node
+    /// future children of which can still be spliced in.
+    Spine(TupleId, f64, u32),
+}
+
 /// A compiled, reusable evaluation plan for one [`AndXorTree`]: the
 /// binarised combine structure shared by every [`IncrementalGf`] built over
 /// the tree (parallel shards, PRFe mixture terms, repeated queries).
 ///
 /// Plan indices are topological — every child precedes its parent — so a
-/// single forward scan initialises an evaluator.
+/// single forward scan initialises an evaluator. (Leaf splices may orphan a
+/// node: orphans keep valid child ranges and are skipped by updates.)
 #[derive(Clone, Debug)]
 pub struct EvalPlan {
     nodes: Vec<PlanNode>,
@@ -91,24 +119,62 @@ pub struct EvalPlan {
     leaf_node: Vec<u32>,
     /// Plan index of the root value.
     root: u32,
+    /// Per tuple: `Some(scale)` when the leaf's edge probability can be
+    /// patched in place (its plan edge is `scale·p` under a materialized ∨
+    /// plan node whose slack absorbs `scale·(1−p)`).
+    leaf_patch: Vec<Option<f64>>,
+    /// Per tree node: `Some((plan, scale))` for ∨ nodes a new leaf can be
+    /// spliced under — a child inserted there with edge probability `p`
+    /// becomes a child of plan node `plan` with edge `scale·p` while its
+    /// slack drops by `scale·p`. Covers materialized ∨ nodes (`scale = 1`)
+    /// and the bottom of every compressed spine.
+    xor_splice: Vec<Option<(u32, f64)>>,
+    /// Nodes orphaned by splices — their storage is reclaimed only by a
+    /// recompile, so callers bound splice counts (see [`EvalPlan::splices`]).
+    splices: u32,
 }
 
 impl EvalPlan {
     /// Compiles the combine plan: ∨ nodes map 1:1, ∧ nodes with `k ≥ 2`
     /// children become balanced `k − 1`-node product tournaments,
-    /// single-child ∧ nodes collapse onto their child, and childless inner
-    /// nodes become constants.
+    /// single-child ∧ nodes collapse onto their child, childless inner
+    /// nodes become constants, and **unary spines compress**: a chain of
+    /// single-child ∨ nodes folds into one affine transform `a·child + b`
+    /// absorbed into the consuming edge (∨ parents) or one wrapper node (∧
+    /// parents / the root), so a depth-`d` chain costs O(1) plan depth
+    /// instead of O(d) per update.
     pub fn new(tree: &AndXorTree) -> EvalPlan {
+        Self::compile(tree, true)
+    }
+
+    /// Compiles without unary-spine compression (every ∨ node materializes
+    /// 1:1, the pre-compression behaviour). Kept as the ablation baseline
+    /// for the path-compression benchmark; prefer [`EvalPlan::new`].
+    pub fn new_uncompressed(tree: &AndXorTree) -> EvalPlan {
+        Self::compile(tree, false)
+    }
+
+    fn compile(tree: &AndXorTree, compress: bool) -> EvalPlan {
         let nn = tree.node_count();
         let mut nodes: Vec<PlanNode> = Vec::with_capacity(2 * nn);
         let mut children: Vec<u32> = Vec::with_capacity(2 * nn);
-        let mut plan_of: Vec<u32> = vec![0; nn];
+        let mut folded: Vec<Folded> = vec![
+            Folded {
+                plan: 0,
+                a: 1.0,
+                b: 0.0,
+                chain: LeafChain::Opaque,
+            };
+            nn
+        ];
+        let mut xor_splice: Vec<Option<(u32, f64)>> = vec![None; nn];
         let mut leaf_node = vec![0u32; tree.n_tuples()];
+        let mut leaf_patch: Vec<Option<f64>> = vec![None; tree.n_tuples()];
         // Builder invariant: children have larger ids than parents, so a
         // reverse scan visits children first.
         for idx in (0..nn).rev() {
             let node = prf_pdb::NodeId(idx as u32);
-            let plan_id = match tree.kind(node) {
+            let f = match tree.kind(node) {
                 NodeKind::Leaf(t) => {
                     let id = nodes.len() as u32;
                     nodes.push(PlanNode {
@@ -120,29 +186,70 @@ impl EvalPlan {
                         child_hi: 0,
                     });
                     leaf_node[t.index()] = id;
-                    id
+                    Folded {
+                        plan: id,
+                        a: 1.0,
+                        b: 0.0,
+                        chain: LeafChain::Bare(t),
+                    }
                 }
                 NodeKind::Xor => {
-                    let lo = children.len() as u32;
-                    for &c in tree.children(node) {
-                        children.push(plan_of[c.index()]);
+                    let kids = tree.children(node);
+                    if compress && kids.len() == 1 {
+                        // Unary spine step: fold the edge and slack into the
+                        // child's affine instead of materializing a node.
+                        let c = kids[0];
+                        let cf = folded[c.index()];
+                        let p = tree.edge_prob(c);
+                        Folded {
+                            plan: cf.plan,
+                            a: p * cf.a,
+                            b: tree.xor_slack(node) + p * cf.b,
+                            chain: match cf.chain {
+                                LeafChain::Bare(t) => LeafChain::Spine(t, 1.0, idx as u32),
+                                LeafChain::Spine(t, s, bot) => LeafChain::Spine(t, p * s, bot),
+                                LeafChain::Opaque => LeafChain::Opaque,
+                            },
+                        }
+                    } else {
+                        let lo = children.len() as u32;
+                        for &c in kids {
+                            children.push(folded[c.index()].plan);
+                        }
+                        let hi = children.len() as u32;
+                        let id = nodes.len() as u32;
+                        nodes.push(PlanNode {
+                            parent: NO_PARENT,
+                            edge_prob: 1.0,
+                            combine: Combine::Xor,
+                            slack: tree.xor_slack(node),
+                            child_lo: lo,
+                            child_hi: hi,
+                        });
+                        for &c in kids {
+                            let cf = folded[c.index()];
+                            let p = tree.edge_prob(c);
+                            let cp = cf.plan as usize;
+                            nodes[cp].parent = id;
+                            nodes[cp].edge_prob = p * cf.a;
+                            nodes[id as usize].slack += p * cf.b;
+                            match cf.chain {
+                                LeafChain::Bare(t) => leaf_patch[t.index()] = Some(1.0),
+                                LeafChain::Spine(t, s, bot) => {
+                                    leaf_patch[t.index()] = Some(p * s);
+                                    xor_splice[bot as usize] = Some((id, p * s));
+                                }
+                                LeafChain::Opaque => {}
+                            }
+                        }
+                        xor_splice[idx] = Some((id, 1.0));
+                        Folded {
+                            plan: id,
+                            a: 1.0,
+                            b: 0.0,
+                            chain: LeafChain::Opaque,
+                        }
                     }
-                    let hi = children.len() as u32;
-                    let id = nodes.len() as u32;
-                    nodes.push(PlanNode {
-                        parent: NO_PARENT,
-                        edge_prob: 1.0,
-                        combine: Combine::Xor,
-                        slack: tree.xor_slack(node),
-                        child_lo: lo,
-                        child_hi: hi,
-                    });
-                    for &c in tree.children(node) {
-                        let cp = plan_of[c.index()] as usize;
-                        nodes[cp].parent = id;
-                        nodes[cp].edge_prob = tree.edge_prob(c);
-                    }
-                    id
                 }
                 NodeKind::And => match tree.children(node) {
                     [] => {
@@ -157,16 +264,44 @@ impl EvalPlan {
                             child_lo: 0,
                             child_hi: 0,
                         });
-                        id
+                        Folded {
+                            plan: id,
+                            a: 1.0,
+                            b: 0.0,
+                            chain: LeafChain::Opaque,
+                        }
                     }
                     // Single-child ∧ ≡ the child itself (∧ edges carry no
-                    // probability); the parent wires the collapsed node
-                    // with the ∧'s own edge probability.
-                    [only] => plan_of[only.index()],
+                    // probability). A bare leaf loses patchability here: its
+                    // own edge is ∧-pinned at 1.0, and any probability above
+                    // belongs to this ∧ node.
+                    [only] => {
+                        let cf = folded[only.index()];
+                        Folded {
+                            chain: match cf.chain {
+                                LeafChain::Bare(_) => LeafChain::Opaque,
+                                other => other,
+                            },
+                            ..cf
+                        }
+                    }
                     kids => {
-                        // Balanced tournament: pair adjacent survivors per
-                        // round; an odd leftover is promoted unchanged.
-                        let mut level: Vec<u32> = kids.iter().map(|c| plan_of[c.index()]).collect();
+                        // Products need concrete values: materialize each
+                        // child's affine (one wrapper regardless of spine
+                        // depth), then pair adjacent survivors per round —
+                        // an odd leftover is promoted unchanged.
+                        let mut level: Vec<u32> = kids
+                            .iter()
+                            .map(|c| {
+                                Self::wrap_affine(
+                                    &mut nodes,
+                                    &mut children,
+                                    &mut leaf_patch,
+                                    &mut xor_splice,
+                                    folded[c.index()],
+                                )
+                            })
+                            .collect();
                         while level.len() > 1 {
                             let mut next = Vec::with_capacity(level.len().div_ceil(2));
                             for pair in level.chunks(2) {
@@ -192,19 +327,253 @@ impl EvalPlan {
                             }
                             level = next;
                         }
-                        level[0]
+                        Folded {
+                            plan: level[0],
+                            a: 1.0,
+                            b: 0.0,
+                            chain: LeafChain::Opaque,
+                        }
                     }
                 },
             };
-            plan_of[idx] = plan_id;
+            folded[idx] = f;
         }
-        let root = plan_of[0];
+        // The root value must be concrete; a root-spanning spine gets one
+        // wrapper node.
+        let root = Self::wrap_affine(
+            &mut nodes,
+            &mut children,
+            &mut leaf_patch,
+            &mut xor_splice,
+            folded[0],
+        );
         EvalPlan {
             nodes,
             children,
             leaf_node,
             root,
+            leaf_patch,
+            xor_splice,
+            splices: 0,
         }
+    }
+
+    /// Materializes a folded value as a plan node: identity affines pass
+    /// through; anything else becomes one single-child ∨ wrapper
+    /// (`slack = b`, edge `a`) — the whole spine in one node.
+    fn wrap_affine(
+        nodes: &mut Vec<PlanNode>,
+        children: &mut Vec<u32>,
+        leaf_patch: &mut [Option<f64>],
+        xor_splice: &mut [Option<(u32, f64)>],
+        cf: Folded,
+    ) -> u32 {
+        if cf.a == 1.0 && cf.b == 0.0 {
+            return cf.plan;
+        }
+        let lo = children.len() as u32;
+        children.push(cf.plan);
+        let id = nodes.len() as u32;
+        nodes.push(PlanNode {
+            parent: NO_PARENT,
+            edge_prob: 1.0,
+            combine: Combine::Xor,
+            slack: cf.b,
+            child_lo: lo,
+            child_hi: lo + 1,
+        });
+        nodes[cf.plan as usize].parent = id;
+        nodes[cf.plan as usize].edge_prob = cf.a;
+        if let LeafChain::Spine(t, s, bot) = cf.chain {
+            leaf_patch[t.index()] = Some(s);
+            xor_splice[bot as usize] = Some((id, s));
+        }
+        id
+    }
+
+    /// Patches the plan in place after tuple `t`'s edge probability changed
+    /// from `old_prob` to `new_prob` (the tree must already be mutated, e.g.
+    /// via `AndXorTree::reweight_leaf`): the leaf's plan edge becomes
+    /// `scale·new_prob` and its ∨ parent's slack absorbs the linear delta —
+    /// O(1), no recompilation, every evaluator built afterwards sees the new
+    /// probabilities.
+    ///
+    /// Returns `false` when the leaf is not patchable (its edge is ∧-pinned
+    /// or was folded non-linearly); the caller should recompile with
+    /// [`EvalPlan::new`].
+    pub fn reweight_leaf(&mut self, t: TupleId, old_prob: f64, new_prob: f64) -> bool {
+        let Some(Some(scale)) = self.leaf_patch.get(t.index()).copied() else {
+            return false;
+        };
+        let leaf = self.leaf_node[t.index()] as usize;
+        let parent = self.nodes[leaf].parent;
+        if parent == NO_PARENT {
+            return false;
+        }
+        self.nodes[leaf].edge_prob = scale * new_prob;
+        self.nodes[parent as usize].slack += scale * (old_prob - new_prob);
+        true
+    }
+
+    /// Splices a freshly inserted leaf (tuple `t`, which must be the
+    /// highest tuple id) into the compiled plan after the tree mutation,
+    /// without recompiling. Two shapes are handled:
+    ///
+    /// * the leaf joined a **materialized ∨ node** — the ∨ plan node is
+    ///   re-emitted with the extra child (the stale node is orphaned) and
+    ///   its slack drops by the new edge probability;
+    /// * the leaf is a **fresh singleton ∨ group under an ∧ root** (the
+    ///   x-tuple / independent shape) — one wrapper and one product node
+    ///   join it against the current root, rebalancing locally.
+    ///
+    /// Returns `false` for any other shape; the caller should recompile.
+    /// Each splice orphans one leaf-to-root chain of stale nodes (or adds a
+    /// root tournament level), so callers recompile once
+    /// [`EvalPlan::splices`] grows past a small budget.
+    pub fn splice_insert(&mut self, tree: &AndXorTree, t: TupleId) -> bool {
+        if t.index() != self.leaf_node.len() || tree.n_tuples() != self.leaf_node.len() + 1 {
+            return false;
+        }
+        let leaf_tree = tree.leaf_of(t);
+        let p = tree.edge_prob(leaf_tree);
+        let Some(parent_tree) = tree.parent(leaf_tree) else {
+            return false;
+        };
+        self.xor_splice.resize(tree.node_count(), None);
+        let pt = parent_tree.index();
+        if let Some((pid, scale)) = self.xor_splice[pt] {
+            // Re-emit the consuming ∨ node at the tail with the extra
+            // child (edge = spine scale × p, slack sheds exactly what the
+            // edge gains), then re-emit its whole ancestor chain too —
+            // plan order must stay topological, so every node whose child
+            // moved past it must itself move past that child. Stale
+            // copies are orphaned in place.
+            let old = self.nodes[pid as usize].clone();
+            let leaf_id = self.nodes.len() as u32;
+            let new_id = leaf_id + 1;
+            self.nodes.push(PlanNode {
+                parent: new_id,
+                edge_prob: scale * p,
+                combine: Combine::Leaf(t),
+                slack: 1.0,
+                child_lo: 0,
+                child_hi: 0,
+            });
+            let lo = self.children.len() as u32;
+            for i in old.child_lo..old.child_hi {
+                let c = self.children[i as usize];
+                self.children.push(c);
+                self.nodes[c as usize].parent = new_id;
+            }
+            self.children.push(leaf_id);
+            let hi = self.children.len() as u32;
+            self.nodes.push(PlanNode {
+                parent: old.parent,
+                edge_prob: old.edge_prob,
+                combine: Combine::Xor,
+                slack: old.slack - scale * p,
+                child_lo: lo,
+                child_hi: hi,
+            });
+            self.nodes[pid as usize].parent = NO_PARENT;
+            let mut remaps = vec![(pid, new_id)];
+            let mut old_cur = pid;
+            let mut new_cur = new_id;
+            let mut parent = old.parent;
+            while parent != NO_PARENT {
+                let anc = self.nodes[parent as usize].clone();
+                let anc_new = self.nodes.len() as u32;
+                let lo = self.children.len() as u32;
+                for i in anc.child_lo..anc.child_hi {
+                    let c = self.children[i as usize];
+                    let c = if c == old_cur { new_cur } else { c };
+                    self.children.push(c);
+                    self.nodes[c as usize].parent = anc_new;
+                }
+                let hi = self.children.len() as u32;
+                self.nodes.push(PlanNode {
+                    parent: anc.parent,
+                    edge_prob: anc.edge_prob,
+                    combine: anc.combine,
+                    slack: anc.slack,
+                    child_lo: lo,
+                    child_hi: hi,
+                });
+                self.nodes[parent as usize].parent = NO_PARENT;
+                remaps.push((parent, anc_new));
+                old_cur = parent;
+                new_cur = anc_new;
+                parent = anc.parent;
+            }
+            if self.root == old_cur {
+                self.root = new_cur;
+            }
+            for entry in self.xor_splice.iter_mut().flatten() {
+                if let Some(&(_, n)) = remaps.iter().find(|(o, _)| *o == entry.0) {
+                    entry.0 = n;
+                }
+            }
+            self.leaf_node.push(leaf_id);
+            self.leaf_patch.push(Some(scale));
+            self.splices += 1;
+            return true;
+        }
+        // Fresh singleton ∨ group directly under an ∧ root: multiply the
+        // current root by the group's wrapper via one new product node.
+        let is_fresh_group = tree.kind(parent_tree) == NodeKind::Xor
+            && tree.children(parent_tree) == [leaf_tree]
+            && tree.parent(parent_tree) == Some(tree.root())
+            && tree.kind(tree.root()) == NodeKind::And
+            && tree.children(tree.root()).len() > 1;
+        if !is_fresh_group {
+            return false;
+        }
+        let leaf_id = self.nodes.len() as u32;
+        let wrapper_id = leaf_id + 1;
+        let root_id = leaf_id + 2;
+        self.nodes.push(PlanNode {
+            parent: wrapper_id,
+            edge_prob: p,
+            combine: Combine::Leaf(t),
+            slack: 1.0,
+            child_lo: 0,
+            child_hi: 0,
+        });
+        let lo = self.children.len() as u32;
+        self.children.push(leaf_id);
+        self.nodes.push(PlanNode {
+            parent: root_id,
+            edge_prob: 1.0,
+            combine: Combine::Xor,
+            slack: tree.xor_slack(parent_tree),
+            child_lo: lo,
+            child_hi: lo + 1,
+        });
+        let old_root = self.root;
+        self.children.push(old_root);
+        self.children.push(wrapper_id);
+        self.nodes.push(PlanNode {
+            parent: NO_PARENT,
+            edge_prob: 1.0,
+            combine: Combine::And,
+            slack: 1.0,
+            child_lo: lo + 1,
+            child_hi: lo + 3,
+        });
+        self.nodes[old_root as usize].parent = root_id;
+        self.root = root_id;
+        self.xor_splice[pt] = Some((wrapper_id, 1.0));
+        self.leaf_node.push(leaf_id);
+        self.leaf_patch.push(Some(1.0));
+        self.splices += 1;
+        true
+    }
+
+    /// Number of leaf splices applied since compilation. Each one orphans
+    /// a stale chain of nodes and may deepen the root locally; recompiling
+    /// resets the plan to its balanced, garbage-free form.
+    pub fn splices(&self) -> u32 {
+        self.splices
     }
 
     /// Number of plan nodes (≤ 2× the tree's node count).
@@ -554,6 +923,115 @@ mod tests {
             merged.peak_coefficients,
             at_build.peak_coefficients + after.peak_coefficients
         );
+    }
+
+    /// root ∧ → (∨ chain of depth `d`) → leaf, plus one direct leaf.
+    fn chain_tree(depth: usize) -> AndXorTree {
+        let mut b = TreeBuilder::new(NodeKind::And);
+        let root = b.root();
+        let mut cur = b.add_inner(root, NodeKind::Xor, 1.0).unwrap();
+        for _ in 1..depth {
+            cur = b.add_inner(cur, NodeKind::Xor, 0.9).unwrap();
+        }
+        b.add_leaf(cur, 0.8, 5.0).unwrap();
+        b.add_leaf(root, 1.0, 3.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unary_spines_compress_to_constant_size() {
+        for depth in [1usize, 2, 8, 64] {
+            let tree = chain_tree(depth);
+            let plan = EvalPlan::new(&tree);
+            // 2 leaves + 1 spine wrapper + 1 ∧ pair, regardless of depth.
+            assert_eq!(plan.node_count(), 4, "depth {depth}");
+            let flat = EvalPlan::new_uncompressed(&tree);
+            assert_eq!(flat.node_count(), 3 + depth, "depth {depth}");
+            // Both agree with the refold oracle under relabelings.
+            let mut labels = vec![1.0f64, 1.0];
+            let mut inc = plan.evaluator(|t| labels[t.index()]);
+            let mut unc = flat.evaluator(|t| labels[t.index()]);
+            for (t, v) in [(0usize, 0.25), (1, 0.5), (0, 2.0)] {
+                labels[t] = v;
+                inc.set_leaf(TupleId(t as u32), v);
+                unc.set_leaf(TupleId(t as u32), v);
+                let direct: f64 = refold(&tree, &labels);
+                assert!((inc.root() - direct).abs() < 1e-12, "depth {depth}");
+                assert!((unc.root() - direct).abs() < 1e-12, "depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn reweight_leaf_patch_matches_recompile() {
+        // Direct ∨ child (figure 1) and a spine-folded leaf (chain tree).
+        let mut tree = figure1_tree();
+        let mut plan = EvalPlan::new(&tree);
+        let old = tree.reweight_leaf(TupleId(3), 0.15).unwrap();
+        assert!(plan.reweight_leaf(TupleId(3), old, 0.15));
+        let fresh = EvalPlan::new(&tree);
+        let labels: Vec<f64> = (0..6).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let patched = plan.evaluator(|t| labels[t.index()]);
+        let direct = fresh.evaluator(|t| labels[t.index()]);
+        assert!((patched.root() - direct.root()).abs() < 1e-12);
+
+        let mut chain = chain_tree(5);
+        let mut cplan = EvalPlan::new(&chain);
+        let old = chain.reweight_leaf(TupleId(0), 0.1).unwrap();
+        assert!(cplan.reweight_leaf(TupleId(0), old, 0.1));
+        let cfresh = EvalPlan::new(&chain);
+        let patched = cplan.evaluator(|t| labels[t.index()]);
+        let direct = cfresh.evaluator(|t| labels[t.index()]);
+        assert!((patched.root() - direct.root()).abs() < 1e-12);
+
+        // A leaf whose edge is ∧-pinned is not patchable.
+        let mut b = TreeBuilder::new(NodeKind::And);
+        let root = b.root();
+        b.add_leaf(root, 1.0, 2.0).unwrap();
+        b.add_leaf(root, 1.0, 1.0).unwrap();
+        let pinned = b.build().unwrap();
+        let mut pplan = EvalPlan::new(&pinned);
+        assert!(!pplan.reweight_leaf(TupleId(0), 1.0, 1.0));
+    }
+
+    #[test]
+    fn splice_insert_matches_recompile() {
+        let mut tree = figure1_tree();
+        let mut plan = EvalPlan::new(&tree);
+        // Case 1: join an existing materialized ∨ group (t1's, slack .6).
+        let x1 = tree.parent(tree.leaf_of(TupleId(0))).unwrap();
+        let t6 = tree.insert_leaf(x1, 0.5, 99.0).unwrap();
+        assert!(plan.splice_insert(&tree, t6));
+        // Case 2: fresh singleton group under the ∧ root.
+        let g = tree.insert_inner(tree.root(), NodeKind::Xor, 1.0).unwrap();
+        let t7 = tree.insert_leaf(g, 0.25, 50.0).unwrap();
+        assert!(plan.splice_insert(&tree, t7));
+        assert_eq!(plan.splices(), 2);
+        // Spliced plan ≡ recompiled plan under arbitrary relabelings,
+        // including updates through the spliced leaves.
+        let fresh = EvalPlan::new(&tree);
+        let n = tree.n_tuples();
+        let mut labels: Vec<f64> = (0..n).map(|i| 0.2 + 0.09 * i as f64).collect();
+        let mut spliced = plan.evaluator(|t| labels[t.index()]);
+        let mut direct = fresh.evaluator(|t| labels[t.index()]);
+        assert!((spliced.root() - direct.root()).abs() < 1e-12);
+        for (t, v) in [(t6, 0.0), (t7, 2.0), (TupleId(0), 0.7), (t6, 1.3)] {
+            labels[t.index()] = v;
+            spliced.set_leaf(t, v);
+            direct.set_leaf(t, v);
+            let oracle: f64 = refold(&tree, &labels);
+            assert!((spliced.root() - oracle).abs() < 1e-12);
+            assert!((direct.root() - oracle).abs() < 1e-12);
+        }
+        // Reweighting a spliced leaf patches in place too.
+        let old = tree.reweight_leaf(t6, 0.2).unwrap();
+        assert!(plan.reweight_leaf(t6, old, 0.2));
+        let refreshed = EvalPlan::new(&tree);
+        let a = plan.evaluator(|t| labels[t.index()]);
+        let b = refreshed.evaluator(|t| labels[t.index()]);
+        assert!((a.root() - b.root()).abs() < 1e-12);
+        // Only the newest tuple can splice.
+        assert!(!plan.splice_insert(&tree, TupleId(0)));
     }
 
     #[test]

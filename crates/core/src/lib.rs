@@ -48,6 +48,9 @@
 //! * [`incremental`] — the incremental generating-function engine: cached
 //!   fold state over a binarised combine plan, two leaf-to-root path
 //!   recombinations per tuple, division-free, generic over the ring;
+//! * [`live`] — live relations: insert/delete/reweight mutations patched
+//!   into the cached score order, marginals, compiled plan, and log-domain
+//!   keys, with generation counters for stale-cache invalidation;
 //! * [`tree`] — Algorithms 2 and 3 on and/xor trees as walks of the
 //!   incremental engine (full-refold oracles retained); expected ranks via
 //!   dual numbers;
@@ -65,6 +68,7 @@
 pub mod attribute;
 pub mod incremental;
 pub mod independent;
+pub mod live;
 pub mod mixture;
 pub mod parallel;
 pub mod query;
@@ -80,11 +84,13 @@ pub use independent::{
     prf_rank, prf_rank_full, prf_rank_truncated, prfe_rank, prfe_rank_log, prfe_rank_scaled,
     rank_distributions,
 };
+pub use live::{LiveApply, LiveRelation, MutableRelation, Mutation, MutationEffect};
 pub use mixture::{approximate_weights, DftApproxConfig, ExpMixture};
 pub use parallel::{
     effective_walk_threads, prf_rank_tree_parallel, prf_rank_tree_parallel_stats,
     PARALLEL_MIN_SHARD_TUPLES,
 };
+pub use prf_pdb::TupleId;
 pub use query::{
     Algorithm, BatchCost, BatchPlan, BatchRoute, CorrelationClass, EvalReport, NumericMode,
     PreparedRelation, PreparedState, ProbabilisticRelation, QueryBatch, QueryError, RankQuery,

@@ -43,7 +43,10 @@
 //! than silently degrading (`DftApprox` additionally rejects
 //! *tuple-dependent* weight functions, which a PRFe mixture cannot
 //! represent); [`Algorithm::Auto`] (the default) always picks a compatible
-//! member and is exact for every relation with `n ≤ 1024`.
+//! member, and for PRFe keeps the plain-complex exact route only while the
+//! walk provably stays clear of `f64` underflow (an α-aware threshold
+//! `≈ 620/(−ln α)`, capped at 4096) before switching to the
+//! underflow-free log-domain/scaled routes.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,9 +68,42 @@ pub use batch::{BatchCost, BatchPlan, BatchRoute, QueryBatch};
 pub use prepared::{PreparedRelation, PreparedState};
 pub use relation::{CorrelationClass, ProbabilisticRelation};
 
-/// Largest `n` for which `Auto` keeps PRFe in plain complex arithmetic
-/// (well inside the underflow-free regime for any α).
+/// Fallback ceiling of [`auto_prfe_exact_max`] for complex or edge-case α
+/// (`α ∉ (0, 1)`), where the per-tuple magnitude decay has no simple
+/// closed form — the pre-profiling hand-set value, kept as the
+/// conservative legacy bound.
 const AUTO_PRFE_EXACT_MAX: usize = 1024;
+/// Ceiling of [`auto_prfe_exact_max`] for well-conditioned α: past this
+/// size the log-domain/scaled routes are just as fast, so there is nothing
+/// to win by staying in plain complex arithmetic.
+const AUTO_PRFE_EXACT_CAP: usize = 4096;
+/// Magnitude budget (in nats) of the plain-complex PRFe walk: the walk's
+/// running generating-function values decay at worst like `αᵏ`, and
+/// `e^(−620) ≈ 10^(−269)` keeps them ~35 decades above `f64`'s subnormal
+/// cliff (`≈ 4.9·10^(−324)`) where ranking keys lose all precision.
+const AUTO_PRFE_LN_BUDGET: f64 = 620.0;
+
+/// Largest `n` for which `Auto` keeps PRFe(α) in plain complex
+/// arithmetic, α-aware: `min(4096, 620 / (−ln α))` for real `α ∈ (0, 1)`,
+/// the legacy 1024 otherwise.
+///
+/// Profiled with the `live` experiment scenario (`cargo run --release -p
+/// prf-bench --bin experiments -- live`), which finds the smallest `n*`
+/// where the plain-complex ranking actually diverges from scaled ground
+/// truth. Measured `n*` tracks `Θ(1/(−ln α))` and sits a 2.5–6× factor
+/// above this bound (α = 0.01: bound 134, measured n* = 847; α = 0.1:
+/// 269 vs 1015; α = 0.5: 894 vs 2473; α = 0.9: capped 4096 vs 14744) —
+/// so the bound switches to the underflow-free routes well before
+/// precision is lost, never after. The old hand-set threshold (1024) was
+/// *unsafe* for α ≤ 0.05 (measured divergence at n* = 847 and 882, below
+/// 1024) and needlessly conservative for α near 1.
+fn auto_prfe_exact_max(alpha: Complex) -> usize {
+    if alpha.im != 0.0 || !(alpha.re > 0.0 && alpha.re < 1.0) {
+        return AUTO_PRFE_EXACT_MAX;
+    }
+    let bound = AUTO_PRFE_LN_BUDGET / -alpha.re.ln();
+    (bound as usize).clamp(1, AUTO_PRFE_EXACT_CAP)
+}
 /// `Auto` switches PT(h)/Consensus(k) on *general* trees to the DFT
 /// mixture approximation beyond this size. With the incremental engine the
 /// old `O(n²·h)` wall is gone — both paths are near-linear in `n` (exact
@@ -149,7 +185,9 @@ impl std::fmt::Debug for Semantics {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Algorithm {
     /// Let the engine choose, keyed on `n`, the backend's correlation
-    /// class, and (for PRFe) α. Exact for every relation with `n ≤ 1024`.
+    /// class, and (for PRFe) α — plain-complex exact only while `n` is
+    /// under the α-aware underflow threshold (`≈ 620/(−ln α)`, capped at
+    /// 4096), the log-domain/scaled routes beyond it.
     Auto,
     /// The exact generating-function algorithms in plain complex
     /// arithmetic (Algorithms 1–3 of the paper).
@@ -571,7 +609,7 @@ impl RankQuery {
                     // scaled kernel (the trait default merely wraps the
                     // plain values) and their junction-tree DP bounds
                     // feasible n far below the underflow regime anyway.
-                    if n <= AUTO_PRFE_EXACT_MAX || class == CorrelationClass::Graphical {
+                    if n <= auto_prfe_exact_max(*alpha) || class == CorrelationClass::Graphical {
                         Algorithm::ExactGf
                     } else if alpha.im == 0.0
                         && (0.0..=1.0).contains(&alpha.re)
@@ -772,6 +810,14 @@ impl RankQuery {
                 Ok((Values::Complex(vals), ranking, None))
             }
             Algorithm::LogDomain => {
+                // A live backend may hold a merged-in-place ranking next to
+                // its key cache; taking it skips the O(n log n) sort below.
+                if let Some((keys, order)) = timed(kernel_seconds, || rel.prfe_log_ranked(alpha.re))
+                {
+                    let ranked_keys = order.iter().map(|t| keys[t.index()]).collect();
+                    let ranking = Ranking::from_order_and_keys(order, ranked_keys);
+                    return Ok((Values::LogDomain(keys), ranking, None));
+                }
                 let keys = timed(kernel_seconds, || rel.prfe_log_keys(alpha.re));
                 let ranking = Ranking::from_keys(&keys);
                 Ok((Values::LogDomain(keys), ranking, None))
@@ -1141,5 +1187,28 @@ mod tests {
         let r = RankQuery::prfe(0.5).run(&db).unwrap();
         assert!(r.values.is_empty());
         assert!(r.ranking.is_empty());
+    }
+
+    /// The α-aware exact ceiling: `min(4096, 620/−ln α)` for real
+    /// α ∈ (0, 1), the legacy 1024 otherwise — and `Auto` must route
+    /// accordingly on independent relations.
+    #[test]
+    fn auto_prfe_threshold_is_alpha_aware() {
+        assert_eq!(auto_prfe_exact_max(Complex::real(0.01)), 134);
+        assert_eq!(auto_prfe_exact_max(Complex::real(0.1)), 269);
+        assert_eq!(auto_prfe_exact_max(Complex::real(0.5)), 894);
+        // Near 1 the bound grows past the cap; past 1 or complex α fall
+        // back to the legacy ceiling.
+        assert_eq!(auto_prfe_exact_max(Complex::real(0.9)), 4096);
+        assert_eq!(auto_prfe_exact_max(Complex::real(1.5)), 1024);
+        assert_eq!(auto_prfe_exact_max(Complex::new(0.5, 0.1)), 1024);
+
+        // n = 500: plain complex is unsafe at α = 0.01 (divergence was
+        // measured at n* = 847, the bound trips at 134) but fine at
+        // α = 0.5 (bound 894).
+        let db = IndependentDb::from_pairs((0..500).map(|i| (500.0 - i as f64, 0.5))).unwrap();
+        let resolve = |a: f64| RankQuery::prfe(a).resolve_algorithm(&db).unwrap();
+        assert_eq!(resolve(0.01), Algorithm::LogDomain);
+        assert_eq!(resolve(0.5), Algorithm::ExactGf);
     }
 }

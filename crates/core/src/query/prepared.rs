@@ -19,7 +19,8 @@
 //! adapter, whose ranking cost is dominated by message passing) return the
 //! empty [`PreparedState`] and behave exactly as before.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 use prf_numeric::{Complex, Scaled};
 use prf_pdb::TupleId;
@@ -45,10 +46,12 @@ use crate::weights::WeightFunction;
 /// [`ProbabilisticRelation::prf_values_prepared`], they never inspect it.
 /// Backends receiving a foreign state (another backend's, or
 /// [`PreparedState::empty`]) must fall back to their unprepared paths.
+#[derive(Clone)]
 pub struct PreparedState {
     inner: Inner,
 }
 
+#[derive(Clone)]
 enum Inner {
     /// No cacheable setup — every prepared hook falls back.
     Empty,
@@ -99,6 +102,20 @@ impl PreparedState {
             _ => None,
         }
     }
+
+    pub(crate) fn tree_prepared_mut(&mut self) -> Option<&mut TreePrepared> {
+        match &mut self.inner {
+            Inner::Tree(tp) => Some(tp),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn independent_order_mut(&mut self) -> Option<&mut Vec<TupleId>> {
+        match &mut self.inner {
+            Inner::Independent(order) => Some(order),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Debug for PreparedState {
@@ -144,18 +161,37 @@ impl std::fmt::Debug for PreparedState {
 /// preparation changes where the setup cost is paid, never the numbers
 /// (pinned by the `prepared_equivalence` differential suite).
 ///
+/// # Staleness
+///
+/// The cached state is keyed by the wrapped relation's
+/// [`ProbabilisticRelation::generation`] counter. Immutable backends never
+/// move it, so the state built at construction lives forever; a mutable
+/// backend (one bumping its generation, e.g. via interior mutability or
+/// [`crate::live::LiveRelation`]) triggers a transparent re-prepare on the
+/// next query instead of being served a stale sort/plan/marginal cache.
+///
 /// [`RankQuery::run`]: super::RankQuery::run
 pub struct PreparedRelation {
     rel: Arc<dyn ProbabilisticRelation + Send + Sync>,
-    state: PreparedState,
+    state: RwLock<PreparedState>,
+    /// The `rel.generation()` the cached state was built from. Read
+    /// *before* `rel.prepare()` when refreshing, so a mutation racing the
+    /// rebuild at worst records an older generation than the state it
+    /// labels — causing one harmless extra re-prepare, never staleness.
+    seen_generation: AtomicU64,
 }
 
 impl PreparedRelation {
     /// Prepares `rel`: builds its reusable state (sort, plan, marginals)
     /// once. `O(n log n + tree)` for the built-in backends.
     pub fn new(rel: Arc<dyn ProbabilisticRelation + Send + Sync>) -> Self {
+        let generation = rel.generation();
         let state = rel.prepare();
-        PreparedRelation { rel, state }
+        PreparedRelation {
+            rel,
+            state: RwLock::new(state),
+            seen_generation: AtomicU64::new(generation),
+        }
     }
 
     /// Convenience: prepare an owned relation (wraps it in an [`Arc`]).
@@ -172,9 +208,30 @@ impl PreparedRelation {
     }
 
     /// The cached state ([`PreparedState::is_empty`] when the backend has
-    /// no reusable setup).
-    pub fn state(&self) -> &PreparedState {
-        &self.state
+    /// no reusable setup), refreshed first if the wrapped relation's
+    /// generation moved since it was built.
+    pub fn state(&self) -> RwLockReadGuard<'_, PreparedState> {
+        self.snapshot()
+    }
+
+    /// A read guard over state that is current for `rel.generation()`;
+    /// re-prepares under the write lock when the generation moved.
+    fn snapshot(&self) -> RwLockReadGuard<'_, PreparedState> {
+        if self.rel.generation() != self.seen_generation.load(Ordering::Acquire) {
+            let mut state = self
+                .state
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Re-check: another thread may have refreshed while we waited.
+            let generation = self.rel.generation();
+            if generation != self.seen_generation.load(Ordering::Acquire) {
+                *state = self.rel.prepare();
+                self.seen_generation.store(generation, Ordering::Release);
+            }
+        }
+        self.state
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Serves one request through the prepared shared walk, or `None` when
@@ -185,7 +242,7 @@ impl PreparedRelation {
             requests: vec![req],
             threads: None,
         };
-        let mut out: SharedWalkOut = self.rel.run_shared_walk_prepared(&spec, &self.state)?;
+        let mut out: SharedWalkOut = self.rel.run_shared_walk_prepared(&spec, &self.snapshot())?;
         debug_assert_eq!(out.answers.len(), 1);
         Some((out.answers.pop()?, out.stats))
     }
@@ -196,7 +253,7 @@ impl std::fmt::Debug for PreparedRelation {
         f.debug_struct("PreparedRelation")
             .field("n_tuples", &self.rel.n_tuples())
             .field("class", &self.rel.correlation_class())
-            .field("state", &self.state)
+            .field("state", &*self.snapshot())
             .finish()
     }
 }
@@ -231,7 +288,8 @@ impl ProbabilisticRelation for PreparedRelation {
         omega: &(dyn WeightFunction + Sync),
         threads: Option<usize>,
     ) -> (Vec<Complex>, Option<GfStats>) {
-        self.rel.prf_values_prepared(omega, threads, &self.state)
+        self.rel
+            .prf_values_prepared(omega, threads, &self.snapshot())
     }
 
     fn prfe_values(&self, alpha: Complex) -> Vec<Complex> {
@@ -270,6 +328,12 @@ impl ProbabilisticRelation for PreparedRelation {
         }
     }
 
+    fn prfe_log_ranked(&self, alpha: f64) -> Option<(Vec<f64>, Vec<TupleId>)> {
+        // The shared walk answers keys, never an order; the inner relation
+        // (a live cache, say) is the only party that can beat the sort.
+        self.rel.prfe_log_ranked(alpha)
+    }
+
     fn expected_ranks(&self) -> Option<Vec<f64>> {
         match self.one_request_walk(SharedRequest::ExpectedRanks) {
             Some((SharedAnswer::Ranks(v), _)) => Some(v),
@@ -285,8 +349,12 @@ impl ProbabilisticRelation for PreparedRelation {
         self.rel.positional_candidates(k)
     }
 
+    fn generation(&self) -> u64 {
+        self.rel.generation()
+    }
+
     fn run_shared_walk(&self, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
-        self.rel.run_shared_walk_prepared(spec, &self.state)
+        self.rel.run_shared_walk_prepared(spec, &self.snapshot())
     }
 
     fn run_shared_walk_prepared(
@@ -296,7 +364,7 @@ impl ProbabilisticRelation for PreparedRelation {
     ) -> Option<SharedWalkOut> {
         // Our own state always wins: a foreign state cannot describe the
         // wrapped relation better than the one built from it.
-        self.rel.run_shared_walk_prepared(spec, &self.state)
+        self.rel.run_shared_walk_prepared(spec, &self.snapshot())
     }
 
     fn prepare(&self) -> PreparedState {
@@ -311,7 +379,8 @@ impl ProbabilisticRelation for PreparedRelation {
         _threads: Option<usize>,
         _prep: &PreparedState,
     ) -> (Vec<Complex>, Option<GfStats>) {
-        self.rel.prf_values_prepared(omega, _threads, &self.state)
+        self.rel
+            .prf_values_prepared(omega, _threads, &self.snapshot())
     }
 }
 
@@ -400,5 +469,95 @@ mod tests {
         let q = RankQuery::prfe(0.7).run(&prepared).unwrap();
         let qd = RankQuery::prfe(0.7).run(&tree).unwrap();
         assert_eq!(q.ranking.order(), qd.ranking.order());
+    }
+
+    #[test]
+    fn generation_bump_invalidates_cached_state() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Mutex;
+
+        // A mutable backend whose *scores* can change: the cached
+        // descending order goes genuinely stale, so serving it would
+        // produce wrong PRF values — the generation bump must force a
+        // re-prepare.
+        struct Versioned {
+            db: Mutex<IndependentDb>,
+            generation: AtomicU64,
+        }
+        impl Versioned {
+            fn swap(&self, db: IndependentDb) {
+                *self.db.lock().unwrap() = db;
+                self.generation.fetch_add(1, Ordering::Release);
+            }
+        }
+        impl ProbabilisticRelation for Versioned {
+            fn n_tuples(&self) -> usize {
+                self.db.lock().unwrap().len()
+            }
+            fn tuple_scores(&self) -> Vec<f64> {
+                self.db.lock().unwrap().scores()
+            }
+            fn tuple_marginals(&self) -> Vec<f64> {
+                self.db.lock().unwrap().probabilities()
+            }
+            fn correlation_class(&self) -> CorrelationClass {
+                CorrelationClass::Independent
+            }
+            fn prf_values(
+                &self,
+                omega: &(dyn crate::weights::WeightFunction + Sync),
+                threads: Option<usize>,
+            ) -> Vec<Complex> {
+                self.db.lock().unwrap().prf_values(omega, threads)
+            }
+            fn prfe_values(&self, alpha: Complex) -> Vec<Complex> {
+                self.db.lock().unwrap().prfe_values(alpha)
+            }
+            fn generation(&self) -> u64 {
+                self.generation.load(Ordering::Acquire)
+            }
+            fn prepare(&self) -> PreparedState {
+                ProbabilisticRelation::prepare(&*self.db.lock().unwrap())
+            }
+            fn run_shared_walk_prepared(
+                &self,
+                spec: &SharedWalkSpec,
+                prep: &PreparedState,
+            ) -> Option<SharedWalkOut> {
+                self.db.lock().unwrap().run_shared_walk_prepared(spec, prep)
+            }
+            fn prf_values_prepared(
+                &self,
+                omega: &(dyn crate::weights::WeightFunction + Sync),
+                threads: Option<usize>,
+                prep: &PreparedState,
+            ) -> (Vec<Complex>, Option<GfStats>) {
+                self.db
+                    .lock()
+                    .unwrap()
+                    .prf_values_prepared(omega, threads, prep)
+            }
+        }
+
+        let v1 = IndependentDb::from_pairs([(10.0, 0.9), (5.0, 0.4), (1.0, 0.7)]).unwrap();
+        // Same tuple count, permuted scores: a stale order is silently
+        // wrong (no length guard can catch it).
+        let v2 = IndependentDb::from_pairs([(1.0, 0.9), (5.0, 0.4), (10.0, 0.7)]).unwrap();
+        let rel = Arc::new(Versioned {
+            db: Mutex::new(v1),
+            generation: AtomicU64::new(0),
+        });
+        let prepared = PreparedRelation::new(rel.clone());
+        let w = StepWeight { h: 1 };
+        assert_complex_eq(
+            &prepared.prf_values(&w, None),
+            &rel.db.lock().unwrap().prf_values(&w, None),
+            "v1",
+        );
+        rel.swap(v2);
+        // The wrapper must rebuild its state and agree with a direct query.
+        let direct = rel.db.lock().unwrap().prf_values(&w, None);
+        assert_complex_eq(&prepared.prf_values(&w, None), &direct, "v2");
+        assert_eq!(ProbabilisticRelation::generation(&prepared), 1);
     }
 }

@@ -134,6 +134,22 @@ pub trait ProbabilisticRelation {
             .collect()
     }
 
+    /// [`Self::prfe_log_keys`] together with the tuple order they induce
+    /// (best first, ties by tuple id — the exact order
+    /// [`crate::topk::Ranking::from_keys`] produces), when the backend can
+    /// deliver that order cheaper than the engine's own sort. `None` (the
+    /// default) sends the engine down the ordinary keys-then-sort path.
+    ///
+    /// [`crate::live::LiveRelation`] overrides this: after a reweight it
+    /// re-ranks by an O(n) three-way merge (the mutation shifts every
+    /// lower-scored key by one shared constant, so relative order inside
+    /// the prefix and suffix survives), which is what makes
+    /// requery-after-mutation asymptotically cheaper than rebuilding.
+    fn prfe_log_ranked(&self, alpha: f64) -> Option<(Vec<f64>, Vec<TupleId>)> {
+        let _ = alpha;
+        None
+    }
+
     /// Scaled Υ values of a PRFe mixture: `Υ(t) = Σ_l u_l·Υ_{PRFe(α_l)}(t)`.
     /// Backends get this for free on top of [`Self::prfe_values_scaled`]
     /// (it is the same accumulation `ExpMixture::upsilons_*` performs, so
@@ -166,6 +182,17 @@ pub trait ProbabilisticRelation {
             semantics: "U-Top",
             backend: self.correlation_class(),
         })
+    }
+
+    /// A monotone counter identifying the current *version* of the
+    /// relation's data. Immutable backends return `0` forever (the
+    /// default); mutable wrappers like [`crate::live::LiveRelation`] bump
+    /// it on every applied [`crate::live::Mutation`]. A
+    /// [`super::PreparedRelation`] compares this against the generation its
+    /// cached state was built from and re-prepares on mismatch instead of
+    /// silently serving a stale sort/plan/marginal cache.
+    fn generation(&self) -> u64 {
+        0
     }
 
     /// Serves every request of a [`super::QueryBatch`] from **one** shared

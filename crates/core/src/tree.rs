@@ -76,6 +76,7 @@ pub(crate) fn tuple_view(tree: &AndXorTree, marginals: &[f64], t: TupleId) -> Tu
 /// only this immutable skeleton is shared), which is what lets a serving
 /// layer amortize the `O(n log n)` sort and `O(tree)` plan compilation
 /// across flushes instead of paying them per flush.
+#[derive(Clone)]
 pub(crate) struct TreePrepared {
     pub(crate) order: Vec<TupleId>,
     pub(crate) pos: Vec<usize>,

@@ -9,7 +9,7 @@ use rand::Rng;
 
 use crate::tuple::{sort_indices_by_score_desc, Tuple, TupleId};
 use crate::worlds::{PossibleWorld, WorldEnumeration};
-use crate::PdbError;
+use crate::{check_probability, PdbError};
 
 /// A probabilistic relation with mutually independent tuples.
 #[derive(Clone, Debug, Default)]
@@ -82,6 +82,44 @@ impl IndependentDb {
     /// ranks).
     pub fn expected_world_size(&self) -> f64 {
         self.tuples.iter().map(|t| t.prob).sum()
+    }
+
+    /// Replaces the existence probability of tuple `id`, returning the old
+    /// value. Scores (and therefore every cached score order) are untouched.
+    pub fn set_prob(&mut self, id: TupleId, prob: f64) -> Result<f64, PdbError> {
+        let idx = id.index();
+        if idx >= self.tuples.len() {
+            return Err(PdbError::Structure(format!("no tuple with id {idx}")));
+        }
+        check_probability(prob, || format!("tuple {idx}"))?;
+        let old = self.tuples[idx].prob;
+        self.tuples[idx].prob = prob;
+        Ok(old)
+    }
+
+    /// Appends a new tuple with the next dense id, returning that id.
+    pub fn push_tuple(&mut self, score: f64, prob: f64) -> Result<TupleId, PdbError> {
+        let id = TupleId(self.tuples.len() as u32);
+        self.tuples.push(Tuple::new(id, score, prob)?);
+        Ok(id)
+    }
+
+    /// Removes tuple `id` and renumbers every larger id down by one so ids
+    /// stay the dense range `0..n`. Returns the removed tuple.
+    ///
+    /// Renumbering preserves the relative `(score desc, id asc)` order of the
+    /// survivors, so a cached score order can be patched by deletion plus
+    /// decrement instead of a re-sort.
+    pub fn remove_tuple(&mut self, id: TupleId) -> Result<Tuple, PdbError> {
+        let idx = id.index();
+        if idx >= self.tuples.len() {
+            return Err(PdbError::Structure(format!("no tuple with id {idx}")));
+        }
+        let removed = self.tuples.remove(idx);
+        for t in &mut self.tuples[idx..] {
+            t.id = TupleId(t.id.0 - 1);
+        }
+        Ok(removed)
     }
 
     /// Draws one possible world.
@@ -205,6 +243,35 @@ mod tests {
             db.enumerate_worlds(1 << 20),
             Err(PdbError::TooManyWorlds { limit }) if limit == 1 << 20
         ));
+    }
+
+    #[test]
+    fn mutations_keep_ids_dense_and_validate() {
+        let mut db = db3();
+        assert_eq!(db.set_prob(TupleId(1), 0.9).unwrap(), 0.6);
+        assert_eq!(db.probabilities(), vec![0.5, 0.9, 0.4]);
+        assert!(db.set_prob(TupleId(1), 1.5).is_err());
+        assert!(db.set_prob(TupleId(9), 0.5).is_err());
+
+        let id = db.push_tuple(25.0, 0.3).unwrap();
+        assert_eq!(id, TupleId(3));
+        assert_eq!(
+            db.ids_by_score_desc(),
+            vec![TupleId(0), TupleId(3), TupleId(1), TupleId(2)]
+        );
+        assert!(db.push_tuple(f64::NAN, 0.5).is_err());
+
+        let removed = db.remove_tuple(TupleId(1)).unwrap();
+        assert_eq!(removed.score, 20.0);
+        assert_eq!(db.len(), 3);
+        // Survivors are renumbered densely and keep their relative order.
+        assert_eq!(db.scores(), vec![30.0, 10.0, 25.0]);
+        assert!(db
+            .tuples()
+            .iter()
+            .enumerate()
+            .all(|(i, t)| t.id.index() == i));
+        assert!(db.remove_tuple(TupleId(3)).is_err());
     }
 
     #[test]

@@ -1,12 +1,22 @@
-//! Per-query response handles: the client side of a submission.
+//! Per-query response handles: the client side of a submission, a
+//! mutation, or a standing-query subscription.
 
 use std::sync::mpsc;
 use std::time::Duration;
 
+use prf_core::live::MutationEffect;
 use prf_core::query::{QueryError, RankedResult};
+use prf_core::topk::Ranking;
+use prf_core::TupleId;
 
 /// What a flush delivers for one submission.
 pub(crate) type Answer = Result<RankedResult, QueryError>;
+
+/// What a flush delivers for one applied mutation.
+pub(crate) type MutationAnswer = Result<MutationEffect, QueryError>;
+
+/// What a flush delivers to one subscriber.
+pub(crate) type DeltaAnswer = Result<RankingDelta, QueryError>;
 
 /// Server-assigned identifier of one submitted query — unique per
 /// [`crate::RankServer`] for its whole lifetime, so clients (and the
@@ -100,5 +110,141 @@ impl ResponseHandle {
             }
         }
         self.cached.clone()
+    }
+}
+
+/// The client side of one mutation routed through
+/// [`crate::RankServer::apply`]: resolves **exactly once** to the
+/// [`MutationEffect`] the backend reported, or to the [`QueryError`] that
+/// rejected the mutation (validation failures arrive here, not at `apply`,
+/// because mutations are applied on the flush pipeline, serialized with
+/// query evaluation).
+///
+/// Dropping the handle is safe — the mutation is still applied; only its
+/// acknowledgement is discarded. If the server dies before the mutation's
+/// flush runs, the handle resolves to [`QueryError::Shutdown`] (an orderly
+/// [`crate::RankServer::shutdown`] drains pending mutations first).
+#[derive(Debug)]
+pub struct MutationHandle {
+    id: QueryId,
+    rx: mpsc::Receiver<MutationAnswer>,
+}
+
+impl MutationHandle {
+    pub(crate) fn new(id: QueryId, rx: mpsc::Receiver<MutationAnswer>) -> Self {
+        MutationHandle { id, rx }
+    }
+
+    /// The server-assigned id of this mutation (drawn from the same
+    /// sequence as query ids).
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// Blocks until the mutation's flush applied (or rejected) it and
+    /// returns the outcome.
+    pub fn recv(self) -> MutationAnswer {
+        self.rx.recv().unwrap_or(Err(QueryError::Shutdown))
+    }
+
+    /// Like [`MutationHandle::recv`], but gives up after `timeout`,
+    /// returning `None` when the acknowledgement has not arrived in time
+    /// (the handle stays usable).
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<MutationAnswer> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(answer) => Some(answer),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(QueryError::Shutdown)),
+        }
+    }
+}
+
+/// What one flush changed in a standing query's ranking, pushed to the
+/// subscription's [`SubscriptionHandle`].
+///
+/// The first delta a subscriber receives is its **initial snapshot**: every
+/// tuple of the ranking is in [`RankingDelta::entered`] and
+/// [`RankingDelta::seq`] is 0. Later deltas are diffs against the order the
+/// same subscriber last saw.
+#[derive(Clone, Debug)]
+pub struct RankingDelta {
+    /// Per-subscription sequence number, starting at 0 with the initial
+    /// snapshot and incrementing by 1 per pushed delta — gap-free, so a
+    /// subscriber can assert it missed nothing.
+    pub seq: u64,
+    /// Tuples ranked now that were absent from the previous ranking, in
+    /// ranking order.
+    pub entered: Vec<TupleId>,
+    /// Tuples of the previous ranking that are absent now, in their old
+    /// order.
+    pub left: Vec<TupleId>,
+    /// Tuples present in both rankings at different positions:
+    /// `(tuple, old_position, new_position)`, positions 0-based, in new
+    /// ranking order.
+    pub moved: Vec<(TupleId, usize, usize)>,
+    /// The full ranking after this delta — always consistent with applying
+    /// `entered`/`left`/`moved` to the previous one.
+    pub ranking: Ranking,
+}
+
+impl RankingDelta {
+    /// `true` when the ranking did not change (no tuple entered, left, or
+    /// moved) — pushed only as an initial snapshot of an empty ranking.
+    pub fn is_empty(&self) -> bool {
+        self.entered.is_empty() && self.left.is_empty() && self.moved.is_empty()
+    }
+}
+
+/// The client side of one standing query: a stream of [`RankingDelta`]s,
+/// one per flush that re-evaluated the subscription (the initial snapshot,
+/// then every mutation batch applied to the relation).
+///
+/// After [`crate::RankServer::shutdown`] (orderly or failsafe) the stream
+/// ends: every further [`SubscriptionHandle::recv`] returns
+/// [`QueryError::Shutdown`]. A standing query whose evaluation errors
+/// terminates its own subscription by delivering that error once, then
+/// `Shutdown`. Dropping the handle is safe — the server notices the
+/// disconnected channel at its next push and unregisters the subscription.
+#[derive(Debug)]
+pub struct SubscriptionHandle {
+    id: QueryId,
+    rx: mpsc::Receiver<DeltaAnswer>,
+}
+
+impl SubscriptionHandle {
+    pub(crate) fn new(id: QueryId, rx: mpsc::Receiver<DeltaAnswer>) -> Self {
+        SubscriptionHandle { id, rx }
+    }
+
+    /// The server-assigned id of this subscription (drawn from the same
+    /// sequence as query ids).
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// Blocks until the next delta (or the subscription's terminal error)
+    /// arrives. Returns [`QueryError::Shutdown`] once the server — or this
+    /// subscription — is gone.
+    pub fn recv(&self) -> DeltaAnswer {
+        self.rx.recv().unwrap_or(Err(QueryError::Shutdown))
+    }
+
+    /// Like [`SubscriptionHandle::recv`], but gives up after `timeout`,
+    /// returning `None` when no delta arrived in time.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<DeltaAnswer> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(delta) => Some(delta),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(QueryError::Shutdown)),
+        }
+    }
+
+    /// Non-blocking poll: `None` while no delta is waiting.
+    pub fn try_recv(&self) -> Option<DeltaAnswer> {
+        match self.rx.try_recv() {
+            Ok(delta) => Some(delta),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(QueryError::Shutdown)),
+        }
     }
 }

@@ -34,7 +34,15 @@
 //!   control: [`RankServer::submit`] blocks at the bound (backpressure)
 //!   and [`RankServer::try_submit`] sheds with
 //!   [`prf_core::query::QueryError::Overloaded`]; serving counters are
-//!   visible through [`RankServer::metrics`].
+//!   visible through [`RankServer::metrics`];
+//! * **live relations** ([`RankServer::register_live`]) accept
+//!   insert/delete/reweight [`Mutation`]s through [`RankServer::apply`] —
+//!   applied on the flush pipeline, serialized with query evaluation, and
+//!   acknowledged through a [`MutationHandle`];
+//! * **standing queries** ([`RankServer::subscribe`]) stream a
+//!   [`RankingDelta`] (entered / left / moved tuples plus the new ranking)
+//!   to their [`SubscriptionHandle`] after every mutated flush, starting
+//!   from an initial snapshot.
 //!
 //! The implementation is std-only — client threads, one deadline
 //! scheduler thread, and N flush workers coordinating through a
@@ -70,11 +78,13 @@
 mod handle;
 mod server;
 
-pub use handle::{QueryId, ResponseHandle};
+pub use handle::{MutationHandle, QueryId, RankingDelta, ResponseHandle, SubscriptionHandle};
 pub use server::{RankServer, RelationId, ServeConfig, ServeMetrics, SharedRelation};
 
 // Re-exported so serving code can name its whole vocabulary from one crate.
+pub use prf_core::live::{LiveApply, LiveRelation, MutableRelation, Mutation, MutationEffect};
 pub use prf_core::query::{
     FlushTrigger, PreparedRelation, ProbabilisticRelation, QueryError, RankQuery, RankedResult,
     Semantics, ServeCost,
 };
+pub use prf_core::TupleId;

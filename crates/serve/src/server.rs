@@ -27,19 +27,37 @@
 //! [`PreparedRelation`](prf_core::query::PreparedRelation): the score sort
 //! and compiled evaluation plan are built **once** and reused by every
 //! flush, instead of being rebuilt per walk.
+//!
+//! # Live relations and standing queries
+//!
+//! [`RankServer::register_live`] registers a
+//! [`LiveRelation`](prf_core::live::LiveRelation): mutations submitted via
+//! [`RankServer::apply`] join the relation's flush pipeline and are applied
+//! by the worker **at flush start, under the per-relation FIFO latch** —
+//! never concurrently with that relation's query evaluation. Every query
+//! batched into the same flush therefore observes every mutation batched
+//! with it, and the sequence of flushes is a serialization of all
+//! mutations. [`RankServer::subscribe`] registers a **standing query**: it
+//! receives an initial ranking snapshot, then a [`RankingDelta`] after
+//! every flush that applied mutations to its relation.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use prf_core::live::{LiveApply, LiveRelation, MutableRelation, Mutation};
 use prf_core::query::{
     FlushTrigger, PreparedRelation, ProbabilisticRelation, QueryBatch, QueryError, RankQuery,
     ServeCost,
 };
+use prf_core::TupleId;
 
-use crate::handle::{Answer, QueryId, ResponseHandle};
+use crate::handle::{
+    Answer, DeltaAnswer, MutationAnswer, MutationHandle, QueryId, RankingDelta, ResponseHandle,
+    SubscriptionHandle,
+};
 
 /// A relation as the server owns it: shared, type-erased, and usable from
 /// both client threads (registration) and the flush workers.
@@ -146,6 +164,13 @@ pub struct ServeMetrics {
     pub flushes: u64,
     /// Cumulative queries answered through completed flushes.
     pub flushed_queries: u64,
+    /// Cumulative mutations applied successfully through
+    /// [`RankServer::apply`] (rejected mutations are not counted).
+    pub mutations_applied: u64,
+    /// Cumulative [`RankingDelta`]s pushed to standing-query subscribers.
+    pub deltas_pushed: u64,
+    /// Standing-query subscriptions currently registered.
+    pub subscribers_live: usize,
 }
 
 /// One submission waiting in a relation's queue.
@@ -158,11 +183,41 @@ struct Pending {
     tx: mpsc::Sender<Answer>,
 }
 
+/// One mutation waiting in a relation's pipeline.
+struct PendingMut {
+    mutation: Mutation,
+    submitted_at: Instant,
+    tx: mpsc::Sender<MutationAnswer>,
+}
+
+/// One standing query registered on a slot.
+struct Subscription {
+    id: QueryId,
+    query: RankQuery,
+    /// The ranking order this subscriber last saw — `None` until its
+    /// initial snapshot was pushed.
+    last: Option<Vec<TupleId>>,
+    /// Sequence number of the next delta to push.
+    seq: u64,
+    tx: mpsc::Sender<DeltaAnswer>,
+}
+
 /// A registered relation plus its pending queue and serving counters.
 struct Slot {
     name: String,
     rel: SharedRelation,
+    /// The mutation entry point of a live relation ([`RankServer::apply`]
+    /// rejects mutations when `None`).
+    live: Option<Arc<dyn LiveApply>>,
     queue: Vec<Pending>,
+    /// Mutations awaiting the next flush, in submission order.
+    muts: Vec<PendingMut>,
+    /// Standing queries registered on this relation.
+    subs: Vec<Subscription>,
+    /// Set while a subscriber awaits its initial snapshot — makes the slot
+    /// due even with empty queues, so the snapshot flush happens within
+    /// one deadline.
+    sync_since: Option<Instant>,
     /// `true` while a flush of this relation sits on the work queue or
     /// executes on a worker — the per-relation FIFO latch.
     in_flight: bool,
@@ -172,6 +227,50 @@ struct Slot {
     flushes: u64,
     /// Cumulative queries answered through this slot's completed flushes.
     flushed_queries: u64,
+    /// Cumulative mutations applied successfully on this slot.
+    mutations_applied: u64,
+    /// Cumulative deltas pushed to this slot's subscribers.
+    deltas_pushed: u64,
+}
+
+impl Slot {
+    /// Whether this slot has work that must eventually flush.
+    fn due(&self) -> bool {
+        !self.queue.is_empty() || !self.muts.is_empty() || self.sync_since.is_some()
+    }
+
+    /// Queued queries plus queued mutations — the size-trigger load.
+    fn load(&self) -> usize {
+        self.queue.len() + self.muts.len()
+    }
+
+    /// The earliest admission instant among queued queries, queued
+    /// mutations, and a pending initial snapshot — the deadline anchor.
+    fn anchor(&self) -> Option<Instant> {
+        let mut anchor: Option<Instant> = None;
+        let candidates = self
+            .queue
+            .first()
+            .map(|p| p.submitted_at)
+            .into_iter()
+            .chain(self.muts.first().map(|m| m.submitted_at))
+            .chain(self.sync_since);
+        for t in candidates {
+            anchor = Some(anchor.map_or(t, |a| a.min(t)));
+        }
+        anchor
+    }
+}
+
+/// A standing query's snapshot carried into one flush: the worker
+/// re-evaluates `query`, diffs against `last`, and pushes the delta; the
+/// slot's [`Subscription`] is updated under the lock afterwards.
+struct SubTask {
+    id: QueryId,
+    query: RankQuery,
+    last: Option<Vec<TupleId>>,
+    seq: u64,
+    tx: mpsc::Sender<DeltaAnswer>,
 }
 
 /// One flush's worth of work, taken from a slot under the lock and
@@ -179,7 +278,13 @@ struct Slot {
 struct FlushWork {
     slot: usize,
     rel: SharedRelation,
+    live: Option<Arc<dyn LiveApply>>,
     pending: Vec<Pending>,
+    /// Mutations to apply before evaluating, in submission order.
+    muts: Vec<PendingMut>,
+    /// Standing queries to re-evaluate — non-empty only when this flush
+    /// carries mutations or a subscriber awaits its initial snapshot.
+    subs: Vec<SubTask>,
     trigger: FlushTrigger,
     /// Snapshot of the slot's shed counter when the flush was taken.
     shed: u64,
@@ -232,16 +337,38 @@ impl Shared {
     }
 }
 
-/// Moves `slot`'s queue onto the work queue as one flush (setting the FIFO
-/// latch). Callers have checked the trigger and the latch.
+/// Moves `slot`'s queues (queries **and** mutations) onto the work queue
+/// as one flush (setting the FIFO latch). Standing queries are snapshotted
+/// into the flush when it carries mutations — their rankings may change —
+/// or when a new subscriber awaits its initial snapshot. Callers have
+/// checked the trigger and the latch.
 fn take_flush(state: &mut State, slot_idx: usize, trigger: FlushTrigger) {
     let slot = &mut state.slots[slot_idx];
-    debug_assert!(!slot.in_flight && !slot.queue.is_empty());
+    debug_assert!(!slot.in_flight && slot.due());
     slot.in_flight = true;
+    let muts = std::mem::take(&mut slot.muts);
+    let syncing = slot.sync_since.take().is_some();
+    let subs = if !muts.is_empty() || syncing {
+        slot.subs
+            .iter()
+            .map(|s| SubTask {
+                id: s.id,
+                query: s.query.clone(),
+                last: s.last.clone(),
+                seq: s.seq,
+                tx: s.tx.clone(),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let work = FlushWork {
         slot: slot_idx,
         rel: Arc::clone(&slot.rel),
+        live: slot.live.clone(),
         pending: std::mem::take(&mut slot.queue),
+        muts,
+        subs,
         trigger,
         shed: slot.shed,
     };
@@ -324,15 +451,54 @@ impl RankServer {
     /// `Arc` for direct queries). Prepares it like [`RankServer::register`].
     pub fn register_shared(&self, name: impl Into<String>, rel: SharedRelation) -> RelationId {
         let prepared: SharedRelation = Arc::new(PreparedRelation::new(rel));
+        self.push_slot(name.into(), prepared, None)
+    }
+
+    /// Registers a **live** relation: [`RankServer::apply`] then accepts
+    /// mutations against it, and standing queries
+    /// ([`RankServer::subscribe`]) receive a [`RankingDelta`] after every
+    /// mutated flush. The caller keeps its own `Arc` for direct queries
+    /// and offline mutation.
+    ///
+    /// A `LiveRelation` maintains (and incrementally patches) its own
+    /// prepared state, so — unlike [`RankServer::register`] — it is *not*
+    /// wrapped in a [`PreparedRelation`].
+    ///
+    /// Mutating the relation **directly** through a retained `Arc` while
+    /// the server is flushing it is not torn-read safe (a flush makes
+    /// several backend calls); route mutations through
+    /// [`RankServer::apply`], which serializes them with evaluation on the
+    /// relation's FIFO flush pipeline.
+    pub fn register_live<B>(&self, name: impl Into<String>, rel: Arc<LiveRelation<B>>) -> RelationId
+    where
+        B: MutableRelation + Send + Sync + 'static,
+    {
+        let shared_rel: SharedRelation = rel.clone();
+        let live: Arc<dyn LiveApply> = rel;
+        self.push_slot(name.into(), shared_rel, Some(live))
+    }
+
+    fn push_slot(
+        &self,
+        name: String,
+        rel: SharedRelation,
+        live: Option<Arc<dyn LiveApply>>,
+    ) -> RelationId {
         let mut state = self.shared.lock();
         state.slots.push(Slot {
-            name: name.into(),
-            rel: prepared,
+            name,
+            rel,
+            live,
             queue: Vec::new(),
+            muts: Vec::new(),
+            subs: Vec::new(),
+            sync_since: None,
             in_flight: false,
             shed: 0,
             flushes: 0,
             flushed_queries: 0,
+            mutations_applied: 0,
+            deltas_pushed: 0,
         });
         RelationId(state.slots.len() - 1)
     }
@@ -420,7 +586,7 @@ impl RankServer {
         // A latched relation leaves the re-check to its worker's
         // completion (which wakes the scheduler).
         if !slot.in_flight {
-            if slot.queue.len() >= self.shared.config.max_batch {
+            if slot.load() >= self.shared.config.max_batch {
                 take_flush(&mut state, relation.0, FlushTrigger::SizeLimit);
             } else if self.shared.config.max_delay.is_zero() {
                 take_flush(&mut state, relation.0, FlushTrigger::Deadline);
@@ -431,6 +597,107 @@ impl RankServer {
         // bookkeeping) — one condvar serves both roles.
         self.shared.wake.notify_all();
         Ok(ResponseHandle::new(id, rx))
+    }
+
+    /// Submits a mutation against a live relation (see
+    /// [`RankServer::register_live`]). Never blocks on application: the
+    /// mutation joins the relation's flush pipeline and is applied by a
+    /// worker **before** that flush's queries evaluate, so batched queries
+    /// observe it and the per-relation FIFO latch serializes it against
+    /// every other flush. The returned [`MutationHandle`] resolves to the
+    /// backend's [`MutationEffect`](prf_core::live::MutationEffect) — or
+    /// the validation error that rejected the mutation, which deliberately
+    /// leaves the relation unchanged.
+    ///
+    /// Errors immediately with [`QueryError::Shutdown`] after
+    /// [`RankServer::shutdown`] and with [`QueryError::InvalidParameter`]
+    /// for an unknown relation or one not registered via `register_live`.
+    /// Mutations are exempt from [`ServeConfig::max_pending`] — they are
+    /// lightweight; await the handle for application-level backpressure.
+    pub fn apply(
+        &self,
+        relation: RelationId,
+        mutation: Mutation,
+    ) -> Result<MutationHandle, QueryError> {
+        let (tx, rx) = mpsc::channel();
+        let id = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
+        let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(QueryError::Shutdown);
+        }
+        let slot = state
+            .slots
+            .get_mut(relation.0)
+            .ok_or_else(|| QueryError::InvalidParameter(format!("unknown relation {relation}")))?;
+        if slot.live.is_none() {
+            return Err(QueryError::InvalidParameter(format!(
+                "relation {relation} (`{}`) is not live; register it with `register_live` \
+                 to accept mutations",
+                slot.name
+            )));
+        }
+        slot.muts.push(PendingMut {
+            mutation,
+            submitted_at: Instant::now(),
+            tx,
+        });
+        if !slot.in_flight {
+            if slot.load() >= self.shared.config.max_batch {
+                take_flush(&mut state, relation.0, FlushTrigger::SizeLimit);
+            } else if self.shared.config.max_delay.is_zero() {
+                take_flush(&mut state, relation.0, FlushTrigger::Deadline);
+            }
+        }
+        drop(state);
+        self.shared.wake.notify_all();
+        Ok(MutationHandle::new(id, rx))
+    }
+
+    /// Registers a **standing query** against a relation. The returned
+    /// [`SubscriptionHandle`] first receives an initial ranking snapshot
+    /// (within one [`ServeConfig::max_delay`] deadline), then a
+    /// [`RankingDelta`] after **every** flush that applied mutations to the
+    /// relation — even when the ranking did not change, so subscribers can
+    /// count mutation batches by counting deltas. Subscribing to a non-live
+    /// relation is allowed: the stream delivers the snapshot and then stays
+    /// silent until shutdown.
+    ///
+    /// Errors immediately with [`QueryError::Shutdown`] after
+    /// [`RankServer::shutdown`] and with [`QueryError::InvalidParameter`]
+    /// for an unknown relation. A query that fails to *evaluate* reports
+    /// the error through the handle and terminates only its own
+    /// subscription.
+    pub fn subscribe(
+        &self,
+        relation: RelationId,
+        query: RankQuery,
+    ) -> Result<SubscriptionHandle, QueryError> {
+        let (tx, rx) = mpsc::channel();
+        let id = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
+        let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(QueryError::Shutdown);
+        }
+        let slot = state
+            .slots
+            .get_mut(relation.0)
+            .ok_or_else(|| QueryError::InvalidParameter(format!("unknown relation {relation}")))?;
+        slot.subs.push(Subscription {
+            id,
+            query,
+            last: None,
+            seq: 0,
+            tx,
+        });
+        if slot.sync_since.is_none() {
+            slot.sync_since = Some(Instant::now());
+        }
+        if !slot.in_flight && self.shared.config.max_delay.is_zero() {
+            take_flush(&mut state, relation.0, FlushTrigger::Deadline);
+        }
+        drop(state);
+        self.shared.wake.notify_all();
+        Ok(SubscriptionHandle::new(id, rx))
     }
 
     /// Number of queries currently waiting in the pending queues (not
@@ -450,6 +717,9 @@ impl RankServer {
             m.shed += slot.shed;
             m.flushes += slot.flushes;
             m.flushed_queries += slot.flushed_queries;
+            m.mutations_applied += slot.mutations_applied;
+            m.deltas_pushed += slot.deltas_pushed;
+            m.subscribers_live += slot.subs.len();
         }
         m
     }
@@ -522,6 +792,11 @@ impl Drop for Failsafe<'_> {
         state.work.clear();
         for slot in state.slots.iter_mut() {
             slot.queue.clear();
+            slot.muts.clear();
+            // Dropping the subscriptions' senders disconnects the
+            // subscribers' channels: their `recv` resolves to `Shutdown`.
+            slot.subs.clear();
+            slot.sync_since = None;
             slot.in_flight = false;
         }
         drop(state);
@@ -546,7 +821,7 @@ fn scheduler_loop(shared: &Shared) {
             loop {
                 let mut fed = false;
                 for i in 0..state.slots.len() {
-                    if !state.slots[i].queue.is_empty() && !state.slots[i].in_flight {
+                    if state.slots[i].due() && !state.slots[i].in_flight {
                         take_flush(&mut state, i, FlushTrigger::Shutdown);
                         fed = true;
                     }
@@ -554,13 +829,17 @@ fn scheduler_loop(shared: &Shared) {
                 if fed {
                     shared.wake.notify_all();
                 }
-                let drained = state.work.is_empty()
-                    && state
-                        .slots
-                        .iter()
-                        .all(|s| s.queue.is_empty() && !s.in_flight);
+                let drained =
+                    state.work.is_empty() && state.slots.iter().all(|s| !s.due() && !s.in_flight);
                 if drained {
                     state.pool_stop = true;
+                    // End every subscription stream: dropping the senders
+                    // disconnects the channels, so subscribers' `recv`
+                    // resolves to `Shutdown` after any final deltas the
+                    // drain already delivered.
+                    for slot in state.slots.iter_mut() {
+                        slot.subs.clear();
+                    }
                     drop(state);
                     shared.wake.notify_all();
                     return;
@@ -574,15 +853,16 @@ fn scheduler_loop(shared: &Shared) {
         let mut fed = false;
         for i in 0..state.slots.len() {
             let slot = &state.slots[i];
-            if slot.queue.is_empty() || slot.in_flight {
+            if !slot.due() || slot.in_flight {
                 continue;
             }
-            if slot.queue.len() >= config.max_batch {
+            if slot.load() >= config.max_batch {
                 take_flush(&mut state, i, FlushTrigger::SizeLimit);
                 fed = true;
                 continue;
             }
-            let due = slot.queue[0].submitted_at + config.max_delay;
+            let anchor = slot.anchor().expect("a due slot has an anchor");
+            let due = anchor + config.max_delay;
             if due <= now {
                 take_flush(&mut state, i, FlushTrigger::Deadline);
                 fed = true;
@@ -612,19 +892,30 @@ fn worker_loop(shared: &Shared) {
     loop {
         if let Some(work) = state.work.pop_front() {
             drop(state);
+            let slot_idx = work.slot;
             let flush_size = work.pending.len();
-            execute_flush(
-                &work.rel,
-                work.pending,
-                work.trigger,
-                work.shed,
-                shared.config.threads,
-            );
+            let outcome = execute_flush(work, shared.config.threads);
             state = shared.lock();
-            if let Some(slot) = state.slots.get_mut(work.slot) {
+            if let Some(slot) = state.slots.get_mut(slot_idx) {
                 slot.in_flight = false;
                 slot.flushes += 1;
                 slot.flushed_queries += flush_size as u64;
+                slot.mutations_applied += outcome.mutations_applied;
+                slot.deltas_pushed += outcome.deltas_pushed;
+                // Write the subscriptions' new sync points back (the FIFO
+                // latch guarantees no other flush touched them meanwhile);
+                // drop subscriptions that errored or disconnected.
+                for (id, update) in outcome.subs {
+                    match update {
+                        Some((last, seq)) => {
+                            if let Some(sub) = slot.subs.iter_mut().find(|s| s.id == id) {
+                                sub.last = Some(last);
+                                sub.seq = seq;
+                            }
+                        }
+                        None => slot.subs.retain(|s| s.id != id),
+                    }
+                }
             }
             drop(state);
             shared.wake.notify_all();
@@ -638,31 +929,90 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Compiles one relation's drained queue into a [`QueryBatch`], runs it
-/// with per-entry error isolation, stamps serving provenance, and delivers
-/// every answer — ignoring channels whose [`ResponseHandle`] was dropped.
-fn execute_flush(
-    rel: &SharedRelation,
-    pending: Vec<Pending>,
-    trigger: FlushTrigger,
-    shed: u64,
-    threads: Option<usize>,
-) {
+/// Per-subscription write-back entry of a [`FlushOutcome`]:
+/// `Some((last_order, next_seq))` keeps the subscription with a new sync
+/// point, `None` unregisters it (evaluation error or disconnected handle).
+type SubWriteBack = (QueryId, Option<(Vec<TupleId>, u64)>);
+
+/// What one flush did beyond answering its queries, reported back to the
+/// slot under the lock.
+struct FlushOutcome {
+    /// Mutations this flush applied successfully.
+    mutations_applied: u64,
+    /// Deltas this flush delivered to live subscribers.
+    deltas_pushed: u64,
+    /// Per-subscription write-back.
+    subs: Vec<SubWriteBack>,
+}
+
+/// Applies the flush's mutations (acknowledging each through its
+/// [`MutationHandle`]), compiles the drained queue **plus** the standing
+/// queries into one [`QueryBatch`], runs it with per-entry error isolation,
+/// stamps serving provenance, delivers every answer — ignoring channels
+/// whose [`ResponseHandle`] was dropped — and pushes ranking deltas to the
+/// subscribers.
+fn execute_flush(work: FlushWork, threads: Option<usize>) -> FlushOutcome {
+    let FlushWork {
+        rel,
+        live,
+        pending,
+        muts,
+        subs,
+        trigger,
+        shed,
+        ..
+    } = work;
+    let mut out = FlushOutcome {
+        mutations_applied: 0,
+        deltas_pushed: 0,
+        subs: Vec::with_capacity(subs.len()),
+    };
+    // Mutations first: every query evaluated in this flush observes every
+    // mutation batched with it. The per-relation FIFO latch means no other
+    // flush of this relation runs concurrently, so applying here is
+    // serialized against all evaluation.
+    for m in muts {
+        let result = match &live {
+            Some(live) => live.apply_dyn(&m.mutation),
+            // `apply` only admits mutations on live slots; tolerate an
+            // impossible mismatch rather than losing the acknowledgement.
+            None => Err(QueryError::InvalidParameter(
+                "relation is not live".to_string(),
+            )),
+        };
+        if result.is_ok() {
+            out.mutations_applied += 1;
+        }
+        let _ = m.tx.send(result);
+    }
+    // A failed (rejected) mutation leaves the relation unchanged, so
+    // deltas go out only when at least one mutation actually applied —
+    // plus initial snapshots, which are pushed unconditionally.
+    let mutated = out.mutations_applied > 0;
+
     let flush_size = pending.len();
-    let mut queries = Vec::with_capacity(flush_size);
+    let mut queries = Vec::with_capacity(flush_size + subs.len());
     let mut waiters = Vec::with_capacity(flush_size);
     for p in pending {
         queries.push(p.query);
         waiters.push((p.submitted_at, p.depth_at_admit, p.tx));
+    }
+    for s in &subs {
+        queries.push(s.query.clone());
+    }
+    if queries.is_empty() {
+        // A mutation-only flush with no subscribers: nothing to evaluate.
+        return out;
     }
     let mut batch = QueryBatch::new().add_queries(queries);
     if let Some(threads) = threads {
         batch = batch.parallel(threads);
     }
     let flush_start = Instant::now();
-    let results = batch.run_isolated(&**rel);
-    debug_assert_eq!(results.len(), flush_size);
-    for ((submitted_at, depth_at_admit, tx), mut result) in waiters.into_iter().zip(results) {
+    let results = batch.run_isolated(&*rel);
+    debug_assert_eq!(results.len(), flush_size + subs.len());
+    let mut results = results.into_iter();
+    for ((submitted_at, depth_at_admit, tx), mut result) in waiters.into_iter().zip(&mut results) {
         if let Ok(res) = &mut result {
             res.report.serve = Some(ServeCost {
                 queue_seconds: flush_start.duration_since(submitted_at).as_secs_f64(),
@@ -676,6 +1026,68 @@ fn execute_flush(
         // intended "discard the answer" path and must not stop the flush.
         let _ = tx.send(result);
     }
+    for (sub, result) in subs.into_iter().zip(results) {
+        match result {
+            Err(err) => {
+                // A standing query that stops evaluating terminates its
+                // own subscription with the error.
+                let _ = sub.tx.send(Err(err));
+                out.subs.push((sub.id, None));
+            }
+            Ok(res) => {
+                let order = res.ranking.order().to_vec();
+                if sub.last.is_none() || mutated {
+                    let (entered, left, moved) = diff_orders(sub.last.as_deref(), &order);
+                    let delta = RankingDelta {
+                        seq: sub.seq,
+                        entered,
+                        left,
+                        moved,
+                        ranking: res.ranking,
+                    };
+                    if sub.tx.send(Ok(delta)).is_ok() {
+                        out.deltas_pushed += 1;
+                        out.subs.push((sub.id, Some((order, sub.seq + 1))));
+                    } else {
+                        // The subscriber dropped its handle: unregister.
+                        out.subs.push((sub.id, None));
+                    }
+                } else {
+                    // Re-evaluated for a sibling's initial snapshot with no
+                    // mutation in between: the ranking is unchanged — no
+                    // push, but refresh the sync point.
+                    out.subs.push((sub.id, Some((order, sub.seq))));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The `(entered, left, moved)` payload of a [`RankingDelta`].
+type OrderDiff = (Vec<TupleId>, Vec<TupleId>, Vec<(TupleId, usize, usize)>);
+
+/// Position-level diff between a subscriber's previous ranking order and
+/// the freshly evaluated one — the payload of a [`RankingDelta`].
+fn diff_orders(old: Option<&[TupleId]>, new: &[TupleId]) -> OrderDiff {
+    let old = old.unwrap_or(&[]);
+    let old_pos: HashMap<TupleId, usize> = old.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut entered = Vec::new();
+    let mut moved = Vec::new();
+    for (i, &t) in new.iter().enumerate() {
+        match old_pos.get(&t) {
+            None => entered.push(t),
+            Some(&j) if j != i => moved.push((t, j, i)),
+            _ => {}
+        }
+    }
+    let new_set: HashSet<TupleId> = new.iter().copied().collect();
+    let left = old
+        .iter()
+        .copied()
+        .filter(|t| !new_set.contains(t))
+        .collect();
+    (entered, left, moved)
 }
 
 #[cfg(test)]
@@ -878,6 +1290,160 @@ mod tests {
         for w in ids.windows(2) {
             assert!(w[1] > w[0]);
         }
+    }
+
+    #[test]
+    fn live_mutations_apply_and_notify_subscribers() {
+        use prf_core::live::{LiveRelation, Mutation};
+
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        let live = Arc::new(LiveRelation::new(db()));
+        let rel = server.register_live("live", Arc::clone(&live));
+
+        // The subscription's initial snapshot: everything "enters".
+        let sub = server.subscribe(rel, RankQuery::pt(3)).unwrap();
+        let snapshot = sub.recv().unwrap();
+        assert_eq!(snapshot.seq, 0);
+        assert_eq!(snapshot.entered.len(), snapshot.ranking.len());
+        assert!(snapshot.left.is_empty() && snapshot.moved.is_empty());
+
+        // Push the lowest-probability tuple to certainty: the PT(3) top set
+        // must change, and the subscriber must see a delta for it.
+        let before = snapshot.ranking.order().to_vec();
+        let target = *before.last().unwrap();
+        let effect = server
+            .apply(rel, Mutation::Reweight(target, 1.0))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert!(matches!(
+            effect,
+            prf_core::live::MutationEffect::Reweighted { tuple, new_prob, .. }
+                if tuple == target && new_prob == 1.0
+        ));
+        let delta = sub.recv().unwrap();
+        assert_eq!(delta.seq, 1);
+        assert_ne!(delta.ranking.order(), &before[..]);
+        assert!(!delta.is_empty());
+
+        // Ordinary queries against the mutated relation agree with a
+        // rebuilt offline copy.
+        let served = server
+            .submit(rel, RankQuery::pt(3))
+            .unwrap()
+            .recv()
+            .unwrap();
+        let rebuilt = RankQuery::pt(3).run(&live.snapshot_backend()).unwrap();
+        assert_eq!(served.ranking.order(), rebuilt.ranking.order());
+        assert_eq!(delta.ranking.order(), rebuilt.ranking.order());
+
+        let m = server.metrics();
+        assert_eq!(m.mutations_applied, 1);
+        assert!(m.deltas_pushed >= 2, "{m:?}");
+        assert_eq!(m.subscribers_live, 1);
+        server.shutdown();
+        // Shutdown ends the stream.
+        assert!(matches!(sub.recv(), Err(QueryError::Shutdown)));
+    }
+
+    #[test]
+    fn apply_rejects_non_live_relations() {
+        use prf_core::live::Mutation;
+
+        let server = RankServer::new(ServeConfig::new());
+        let rel = server.register("static", db());
+        let err = server
+            .apply(rel, Mutation::Reweight(prf_core::TupleId(0), 0.5))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidParameter(_)), "{err}");
+        let err = server
+            .apply(RelationId(9), Mutation::Reweight(prf_core::TupleId(0), 0.5))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidParameter(_)), "{err}");
+    }
+
+    #[test]
+    fn rejected_mutation_resolves_through_handle_and_pushes_no_delta() {
+        use prf_core::live::{LiveRelation, Mutation};
+
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        let live = Arc::new(LiveRelation::new(db()));
+        let rel = server.register_live("live", Arc::clone(&live));
+        let sub = server.subscribe(rel, RankQuery::pt(2)).unwrap();
+        let snapshot = sub.recv().unwrap();
+
+        // An out-of-range probability: the backend rejects, the relation
+        // is unchanged, and subscribers see no delta.
+        let ack = server
+            .apply(rel, Mutation::Reweight(prf_core::TupleId(0), 1.5))
+            .unwrap()
+            .recv();
+        assert!(
+            matches!(ack, Err(QueryError::InvalidParameter(_))),
+            "{ack:?}"
+        );
+        assert!(sub.recv_timeout(Duration::from_millis(50)).is_none());
+        assert_eq!(server.metrics().mutations_applied, 0);
+
+        let served = server
+            .submit(rel, RankQuery::pt(2))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert_eq!(served.ranking.order(), snapshot.ranking.order());
+    }
+
+    #[test]
+    fn shutdown_drains_pending_mutations() {
+        use prf_core::live::{LiveRelation, Mutation};
+
+        // A one-hour deadline: only the shutdown drain can flush.
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_secs(3600)));
+        let live = Arc::new(LiveRelation::new(db()));
+        let rel = server.register_live("live", Arc::clone(&live));
+        let ack = server
+            .apply(
+                rel,
+                Mutation::Insert {
+                    score: 11.0,
+                    prob: 0.25,
+                },
+            )
+            .unwrap();
+        server.shutdown();
+        assert!(ack.recv().is_ok());
+        assert_eq!(live.snapshot_backend().len(), 7);
+        assert_eq!(server.metrics().mutations_applied, 1);
+    }
+
+    #[test]
+    fn standing_query_evaluation_error_terminates_only_that_subscription() {
+        use prf_core::live::{LiveRelation, Mutation};
+        use prf_core::query::Algorithm;
+
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        let live = Arc::new(LiveRelation::new(db()));
+        let rel = server.register_live("live", Arc::clone(&live));
+        // PT with a log-domain algorithm is incompatible — the standing
+        // query fails at its first evaluation and self-terminates.
+        let bad = server
+            .subscribe(rel, RankQuery::pt(2).algorithm(Algorithm::LogDomain))
+            .unwrap();
+        let good = server.subscribe(rel, RankQuery::pt(2)).unwrap();
+        assert!(matches!(
+            bad.recv(),
+            Err(QueryError::IncompatibleAlgorithm { .. })
+        ));
+        assert!(matches!(bad.recv(), Err(QueryError::Shutdown)));
+        assert!(good.recv().is_ok());
+        // The healthy subscriber keeps receiving deltas.
+        server
+            .apply(rel, Mutation::Reweight(prf_core::TupleId(4), 0.9))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert_eq!(good.recv().unwrap().seq, 1);
+        assert_eq!(server.metrics().subscribers_live, 1);
     }
 
     #[test]

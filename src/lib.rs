@@ -74,13 +74,13 @@
 //! |---|---|---|
 //! | [`numeric`] | `prf-numeric` | complex/dual/scaled scalars, FFT, polynomials |
 //! | [`pdb`] | `prf-pdb` | tuples, possible worlds, and/xor trees, attribute uncertainty |
-//! | [`core`] | `prf-core` | the unified `RankQuery` engine + PRF/PRFω/PRFe algorithms |
+//! | [`core`] | `prf-core` | the unified `RankQuery` engine + PRF/PRFω/PRFe algorithms; `core::live` adds mutable relations with incrementally patched plans |
 //! | [`baselines`] | `prf-baselines` | U-Top, U-Rank, PT(h), E-Rank, E-Score, k-selection, consensus |
 //! | [`approx`] | `prf-approx` | DFT-based PRFe mixtures, learning α / ω |
 //! | [`graphical`] | `prf-graphical` | Markov networks, junction trees, §9 algorithms, `NetworkRelation` |
 //! | [`metrics`] | `prf-metrics` | normalized Kendall top-k distance and friends |
 //! | [`datasets`] | `prf-datasets` | simulated IIP, Syn-IND, Syn-XOR/LOW/MED/HIGH |
-//! | [`serve`] | `prf-serve` | concurrent `RankServer`: deadline batching, flush worker pool, prepared relations, admission control |
+//! | [`serve`] | `prf-serve` | concurrent `RankServer`: deadline batching, flush worker pool, prepared relations, admission control, live mutations + standing queries |
 //!
 //! The experiment harness that regenerates every table and figure of the
 //! paper lives in the `prf-bench` crate (`cargo run --release -p prf-bench
@@ -116,9 +116,13 @@ pub mod prelude {
         ConstantWeight, ExponentialWeight, LinearWeight, PositionWeight, ScoreWeight, StepWeight,
         TabulatedWeight,
     };
+    pub use prf_core::{LiveApply, LiveRelation, MutableRelation, Mutation, MutationEffect};
     pub use prf_graphical::NetworkRelation;
     pub use prf_metrics::kendall_topk;
     pub use prf_numeric::Complex;
     pub use prf_pdb::{AndXorTree, IndependentDb, NodeKind, TreeBuilder, Tuple, TupleId};
-    pub use prf_serve::{RankServer, RelationId, ResponseHandle, ServeConfig, ServeMetrics};
+    pub use prf_serve::{
+        MutationHandle, RankServer, RankingDelta, RelationId, ResponseHandle, ServeConfig,
+        ServeMetrics, SubscriptionHandle,
+    };
 }

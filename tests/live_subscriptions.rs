@@ -1,0 +1,294 @@
+//! Schedule-shaking proptest for the live-mutation serving path: seeded
+//! random interleavings of `apply` / `subscribe` / `submit` / `shutdown`
+//! across threads (same approach as tests/serve_stress.rs — no loom-style
+//! model checker in a std-only workspace, so interleaving coverage comes
+//! from repeated seeded schedules that replay deterministically).
+//!
+//! The invariants under test:
+//! * every **accepted** mutation resolves to its effect — the shutdown
+//!   drain applies pending mutations, none are lost;
+//! * every subscriber's delta stream is **gap-free from seq 0**, opens
+//!   with a full snapshot (`entered` = the whole ranking), and each later
+//!   delta's `entered`/`left`/`moved` is exactly the diff of its
+//!   neighbours' orders;
+//! * mutators touch **disjoint tuples** (the mutations commute), so when
+//!   they all finish before shutdown every subscriber's *final* delta
+//!   must rank exactly like an offline rebuild of the final state — i.e.
+//!   the stream is consistent with some serialization of the mutations;
+//! * shutdown resolves **every** handle: plain submissions drain, and
+//!   every subscription terminates with the clean `Shutdown` error.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use prf::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 24;
+
+/// Distinct scores and well-spread probabilities: rankings are tie-free,
+/// so the final state after commuting reweights is schedule-independent.
+fn seed_pairs() -> Vec<(f64, f64)> {
+    (0..N)
+        .map(|i| {
+            (
+                100.0 - i as f64,
+                0.05 + 0.9 * ((i * 7919) % 997) as f64 / 997.0,
+            )
+        })
+        .collect()
+}
+
+fn sub_query(which: usize) -> RankQuery {
+    match which % 3 {
+        0 => RankQuery::prfe(0.9),
+        1 => RankQuery::pt(6),
+        _ => RankQuery::escore(),
+    }
+}
+
+/// The `(entered, left, moved)` shape of a delta.
+type OrderDiff = (Vec<TupleId>, Vec<TupleId>, Vec<(TupleId, usize, usize)>);
+
+/// Local mirror of the server's delta diff, to check every consecutive
+/// pair of orders in a subscriber's stream.
+fn expected_diff(old: Option<&[TupleId]>, new: &[TupleId]) -> OrderDiff {
+    let old = old.unwrap_or(&[]);
+    let old_pos: HashMap<TupleId, usize> = old.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut entered = Vec::new();
+    let mut moved = Vec::new();
+    for (i, &t) in new.iter().enumerate() {
+        match old_pos.get(&t) {
+            None => entered.push(t),
+            Some(&j) if j != i => moved.push((t, j, i)),
+            _ => {}
+        }
+    }
+    let new_set: HashSet<TupleId> = new.iter().copied().collect();
+    let left = old
+        .iter()
+        .copied()
+        .filter(|t| !new_set.contains(t))
+        .collect();
+    (entered, left, moved)
+}
+
+/// One seeded schedule. Returns, per subscriber, the query index and the
+/// collected delta stream; plus the mutation count actually accepted and
+/// the final per-tuple probabilities (only meaningful when the schedule
+/// did not race shutdown into the mutators).
+struct ScheduleOutcome {
+    streams: Vec<(usize, Vec<RankingDelta>)>,
+    accepted_muts: usize,
+    final_pairs: Vec<(f64, f64)>,
+    clean: bool,
+}
+
+fn run_schedule(seed: u64) -> ScheduleOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let deadline = match rng.gen_range(0..4) {
+        0 => Duration::ZERO,
+        1 => Duration::from_micros(50),
+        2 => Duration::from_millis(1),
+        _ => Duration::from_secs(3600), // only size limit / shutdown flush
+    };
+    let mut config = ServeConfig::new()
+        .max_delay(deadline)
+        .max_batch(rng.gen_range(1..7));
+    if rng.gen_bool(0.25) {
+        config = config.parallel(2);
+    }
+    let mutators = rng.gen_range(1..4usize);
+    let subscribers = rng.gen_range(1..4usize);
+    let submitters = rng.gen_range(0..3usize);
+    let shutdown_mid = rng.gen_bool(0.3);
+
+    // Pre-draw every mutator's schedule. Mutator `m` owns tuples with
+    // `t % mutators == m`, so all mutations commute; a global draw index
+    // keeps every new probability distinct.
+    let mut draw = 0usize;
+    let schedules: Vec<Vec<(usize, f64, bool)>> = (0..mutators)
+        .map(|m| {
+            let count = rng.gen_range(0..10usize);
+            (0..count)
+                .map(|_| {
+                    let t = (rng.gen_range(0..N) / mutators) * mutators + m;
+                    debug_assert!(t < N);
+                    draw += 1;
+                    (t, 0.02 + 0.9 * draw as f64 / 256.0, rng.gen_bool(0.3))
+                })
+                .collect()
+        })
+        .collect();
+    let total_muts: usize = schedules.iter().map(Vec::len).sum();
+    let mut final_pairs = seed_pairs();
+    for schedule in &schedules {
+        for &(t, p, _) in schedule {
+            final_pairs[t].1 = p;
+        }
+    }
+
+    let server = RankServer::new(config);
+    let rel = server.register_live(
+        "live",
+        Arc::new(LiveRelation::new(
+            IndependentDb::from_pairs(seed_pairs()).unwrap(),
+        )),
+    );
+
+    let (streams, mut_handles, query_handles) = thread::scope(|s| {
+        let sub_workers: Vec<_> = (0..subscribers)
+            .map(|which| {
+                let server = &server;
+                s.spawn(move || {
+                    if which % 2 == 1 {
+                        thread::yield_now();
+                    }
+                    let Ok(handle) = server.subscribe(rel, sub_query(which)) else {
+                        return None; // lost the race with shutdown: clean rejection
+                    };
+                    let mut deltas = Vec::new();
+                    loop {
+                        match handle.recv() {
+                            Ok(delta) => deltas.push(delta),
+                            Err(e) => {
+                                assert_eq!(e, QueryError::Shutdown, "subscriber {which}");
+                                return Some((which, deltas));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut_workers: Vec<_> = schedules
+            .iter()
+            .map(|schedule| {
+                let server = &server;
+                s.spawn(move || {
+                    let mut handles = Vec::new();
+                    for &(t, p, pause) in schedule {
+                        if pause {
+                            thread::yield_now();
+                        }
+                        match server.apply(rel, Mutation::Reweight(TupleId(t as u32), p)) {
+                            Ok(h) => handles.push(h),
+                            Err(e) => {
+                                assert_eq!(e, QueryError::Shutdown, "only clean rejections");
+                                break;
+                            }
+                        }
+                    }
+                    handles
+                })
+            })
+            .collect();
+        let submit_workers: Vec<_> = (0..submitters)
+            .map(|c| {
+                let server = &server;
+                s.spawn(move || {
+                    let mut handles = Vec::new();
+                    for i in 0..4usize {
+                        match server.submit(rel, RankQuery::pt(1 + (c + i) % 8)) {
+                            Ok(h) => handles.push(h),
+                            Err(e) => {
+                                assert_eq!(e, QueryError::Shutdown, "only clean rejections");
+                                break;
+                            }
+                        }
+                    }
+                    handles
+                })
+            })
+            .collect();
+        if shutdown_mid {
+            let server = &server;
+            s.spawn(move || {
+                thread::yield_now();
+                server.shutdown();
+            });
+        }
+        // Join producers first (handles are answered by flushes or the
+        // drain, so recv must wait until after shutdown), then stop the
+        // server, then let the subscriber loops run to their Shutdown.
+        let mut_handles: Vec<_> = mut_workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("mutator"))
+            .collect();
+        let query_handles: Vec<_> = submit_workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("submitter"))
+            .collect();
+        server.shutdown();
+        let streams: Vec<_> = sub_workers
+            .into_iter()
+            .filter_map(|w| w.join().expect("subscriber"))
+            .collect();
+        (streams, mut_handles, query_handles)
+    });
+
+    let accepted_muts = mut_handles.len();
+    let clean = !shutdown_mid;
+    assert!(
+        !clean || accepted_muts == total_muts,
+        "without a shutdown race every mutation is accepted"
+    );
+    for (i, h) in mut_handles.into_iter().enumerate() {
+        let effect = h.recv().expect("accepted mutations are applied");
+        assert!(
+            matches!(effect, MutationEffect::Reweighted { .. }),
+            "mutation {i}"
+        );
+    }
+    for h in query_handles {
+        h.recv().expect("accepted submissions drain");
+    }
+    ScheduleOutcome {
+        streams,
+        accepted_muts,
+        final_pairs,
+        clean,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn delta_streams_are_serializations_of_the_mutations(seed in 0u64..100_000) {
+        let out = run_schedule(seed);
+        for (which, deltas) in &out.streams {
+            prop_assert!(!deltas.is_empty() || !out.clean,
+                "subscriber {} got no snapshot before an orderly shutdown", which);
+            let mut prev: Option<Vec<TupleId>> = None;
+            for (k, delta) in deltas.iter().enumerate() {
+                prop_assert_eq!(delta.seq, k as u64, "subscriber {} seq gap", which);
+                let order = delta.ranking.order().to_vec();
+                let (entered, left, moved) = expected_diff(prev.as_deref(), &order);
+                prop_assert_eq!(&delta.entered, &entered, "subscriber {} delta {}", which, k);
+                prop_assert_eq!(&delta.left, &left, "subscriber {} delta {}", which, k);
+                prop_assert_eq!(&delta.moved, &moved, "subscriber {} delta {}", which, k);
+                if k == 0 {
+                    prop_assert_eq!(delta.entered.len(), N,
+                        "subscriber {} first delta must be the full snapshot", which);
+                }
+                prev = Some(order);
+            }
+            // Mutators own disjoint tuples, so the mutations commute and
+            // the final state is schedule-independent: the last delta any
+            // subscriber saw must rank like an offline rebuild.
+            if out.clean {
+                let rebuilt = IndependentDb::from_pairs(out.final_pairs.clone()).unwrap();
+                let expected = sub_query(*which).run(&rebuilt).unwrap();
+                let last = deltas.last().expect("checked non-empty above");
+                prop_assert_eq!(last.ranking.order(), expected.ranking.order(),
+                    "subscriber {} final delta diverges from the rebuilt final state", which);
+            }
+        }
+        // Accepted-mutation accounting survives the drain.
+        prop_assert!(out.accepted_muts <= N * 10);
+    }
+}
