@@ -17,7 +17,7 @@ use std::time::Duration;
 use prf_core::query::{Algorithm, RankQuery};
 use prf_core::weights::TabulatedWeight;
 use prf_datasets::syn_med_tree;
-use prf_serve::{RankServer, ServeConfig};
+use prf_serve::{QueryError, RankServer, ServeConfig, SubmitOptions};
 
 /// `true` under `cargo bench` (measure mode), `false` under `cargo test`
 /// (smoke mode) — the same flag the criterion shim keys on. Smoke mode
@@ -181,10 +181,102 @@ fn bench_serve_latency_floor(c: &mut Criterion) {
     g.finish();
 }
 
+/// Deadline classes (serving v3): what per-query deadline tracking costs,
+/// and what an expired deadline saves.
+///
+/// * `tracked_vs_plain` — the same zero-deadline PRF^e round-trip through
+///   `submit_with(SubmitOptions::deadline(..))` vs plain `submit`: the
+///   tracked path allocates a cancel token and checks it at dequeue, and
+///   that delta is the whole timeout-enforcement overhead.
+/// * `expired_shed` — a burst of 64 already-expired submissions resolves
+///   entirely to `TimedOut` at dequeue, *without* touching the kernels;
+///   against the same burst evaluated for real, the gap is the work an
+///   enforced deadline sheds.
+fn bench_serve_deadline_classes(c: &mut Criterion) {
+    let n = if measure_mode() { 2_000 } else { 300 };
+    let tree = syn_med_tree(n, 3);
+    let q = RankQuery::prfe(0.9).algorithm(Algorithm::ExactGf);
+    let mut g = c.benchmark_group("serve_deadline_classes");
+    g.sample_size(10);
+
+    g.bench_function("plain_prfe_zero_deadline", |b| {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+        let rel = server.register("syn-med", tree.clone());
+        b.iter(|| {
+            black_box(
+                server
+                    .submit(rel, q.clone())
+                    .expect("server is up")
+                    .recv()
+                    .expect("query succeeds"),
+            )
+        });
+        server.shutdown();
+    });
+    g.bench_function("tracked_prfe_zero_deadline", |b| {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+        let rel = server.register("syn-med", tree.clone());
+        let opts = SubmitOptions::new().deadline(Duration::from_secs(3600));
+        b.iter(|| {
+            black_box(
+                server
+                    .submit_with(rel, q.clone(), opts)
+                    .expect("server is up")
+                    .recv()
+                    .expect("query succeeds"),
+            )
+        });
+        server.shutdown();
+    });
+
+    let burst = if measure_mode() { 64usize } else { 8 };
+    g.bench_function(format!("expired_shed_{burst}"), |b| {
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_millis(1))
+                .max_batch(burst),
+        );
+        let rel = server.register("syn-med", tree.clone());
+        let opts = SubmitOptions::new().deadline(Duration::ZERO);
+        b.iter(|| {
+            let handles: Vec<_> = (0..burst)
+                .map(|_| {
+                    server
+                        .submit_with(rel, q.clone(), opts)
+                        .expect("server is up")
+                })
+                .collect();
+            for h in handles {
+                assert!(matches!(h.recv(), Err(QueryError::TimedOut)));
+            }
+        });
+        server.shutdown();
+    });
+    g.bench_function(format!("evaluated_burst_{burst}"), |b| {
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_millis(1))
+                .max_batch(burst),
+        );
+        let rel = server.register("syn-med", tree.clone());
+        b.iter(|| {
+            let handles: Vec<_> = (0..burst)
+                .map(|_| server.submit(rel, q.clone()).expect("server is up"))
+                .collect();
+            for h in handles {
+                black_box(h.recv().expect("query succeeds"));
+            }
+        });
+        server.shutdown();
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_serve_vs_single_dispatch,
     bench_serve_worker_pool,
-    bench_serve_latency_floor
+    bench_serve_latency_floor,
+    bench_serve_deadline_classes
 );
 criterion_main!(benches);

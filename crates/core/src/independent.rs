@@ -230,7 +230,13 @@ pub fn rank_distribution_of(db: &IndependentDb, target: prf_pdb::TupleId) -> Vec
 /// kernels ([`prf_rank`], [`prfe_rank`], [`prfe_rank_log`],
 /// [`prfe_rank_scaled`], `expected_ranks_independent`): the loop bodies
 /// are the same operations in the same order.
-pub(crate) fn batch_walk_independent(db: &IndependentDb, spec: &SharedWalkSpec) -> SharedWalkOut {
+///
+/// Returns `None` when the spec's cancellation token trips mid-walk (every
+/// consumer gave up — see `SharedWalkSpec::cancel`).
+pub(crate) fn batch_walk_independent(
+    db: &IndependentDb,
+    spec: &SharedWalkSpec,
+) -> Option<SharedWalkOut> {
     batch_walk_independent_prepared(db, spec, &db.ids_by_score_desc())
 }
 
@@ -243,7 +249,7 @@ pub(crate) fn batch_walk_independent_prepared(
     db: &IndependentDb,
     spec: &SharedWalkSpec,
     order: &[prf_pdb::TupleId],
-) -> SharedWalkOut {
+) -> Option<SharedWalkOut> {
     let start = std::time::Instant::now();
     let n = db.len();
     debug_assert_eq!(order.len(), n, "prepared order must cover the relation");
@@ -307,7 +313,12 @@ pub(crate) fn batch_walk_independent_prepared(
     if n > 0 {
         // The shared prefix polynomial, capped at the largest horizon.
         let mut g_poly = Poly::one();
-        for &tid in order {
+        for (step, &tid) in order.iter().enumerate() {
+            // Cooperative cancellation: abandon the walk once every
+            // consumer has given up (polled every 256 score steps).
+            if step & 0xFF == 0 && spec.is_cancelled() {
+                return None;
+            }
             let t = db.tuple(tid);
             for ((acc, answer), omega) in accs.iter_mut().zip(&mut answers).zip(&weights) {
                 match (acc, answer) {
@@ -348,11 +359,11 @@ pub(crate) fn batch_walk_independent_prepared(
         }
     }
 
-    SharedWalkOut {
+    Some(SharedWalkOut {
         answers,
         stats: None, // closed-form kernels: no incremental evaluator
         walk_seconds: start.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 /// Evaluates Υ from an explicit rank distribution — the textbook definition,

@@ -92,9 +92,9 @@ pub use parallel::{
 };
 pub use prf_pdb::TupleId;
 pub use query::{
-    Algorithm, BatchCost, BatchPlan, BatchRoute, CorrelationClass, EvalReport, NumericMode,
-    PreparedRelation, PreparedState, ProbabilisticRelation, QueryBatch, QueryError, RankQuery,
-    RankedResult, Semantics, TopSet, Values,
+    Algorithm, BatchCost, BatchPlan, BatchRoute, CancelToken, CorrelationClass, EvalReport,
+    NumericMode, PreparedRelation, PreparedState, ProbabilisticRelation, QueryBatch, QueryError,
+    RankQuery, RankedResult, Semantics, TopSet, Values,
 };
 pub use spectrum::{crossing_point, prfe_spectrum, spectrum_endpoints, Crossing};
 pub use topk::{Ranking, ValueOrder};

@@ -419,6 +419,7 @@ impl<B: MutableRelation> LiveInner<B> {
         let spec = SharedWalkSpec {
             requests: vec![req],
             threads: None,
+            cancel: None,
         };
         let mut out = self.walk(&spec)?;
         debug_assert_eq!(out.answers.len(), 1);
@@ -528,6 +529,29 @@ impl<B: MutableRelation> LiveRelation<B> {
         }
         self.generation.fetch_add(1, Ordering::Release);
         Ok(effect)
+    }
+
+    /// Discards every piece of derived state — prepared walk artifacts and
+    /// the log-key cache — and rebuilds the prepared state from the backend.
+    ///
+    /// This is the serving layer's recovery hook after a panic escaped from
+    /// a flush that was applying mutations: [`MutableRelation::apply_mutation`]
+    /// guarantees the *backend* is unchanged on error, but a panic between
+    /// the backend mutation and the cache patches could leave `prepared` /
+    /// `log_cache` describing a relation that no longer exists. Repairing
+    /// re-derives both from the (always-consistent) backend, so a recovered
+    /// relation can never serve a half-patched ranking — pinned by the
+    /// chaos differential suite (`tests/serve_chaos.rs`).
+    pub fn repair(&self) {
+        let mut inner = self.write();
+        let LiveInner {
+            backend,
+            prepared,
+            log_cache,
+        } = &mut *inner;
+        *prepared = backend.prepare();
+        *log_cache = None;
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// A clone of the current backend — the "rebuild from scratch" side of
@@ -760,12 +784,21 @@ pub trait LiveApply: ProbabilisticRelation + Send + Sync {
     /// Applies one mutation (see [`LiveRelation::apply`]), mapping backend
     /// validation failures into [`QueryError::InvalidParameter`].
     fn apply_dyn(&self, m: &Mutation) -> Result<MutationEffect, QueryError>;
+
+    /// Rebuilds all derived state from the backend (see
+    /// [`LiveRelation::repair`]) — the serving layer's recovery hook after
+    /// a panic escaped from a mutation-applying flush.
+    fn repair_dyn(&self);
 }
 
 impl<B: MutableRelation + Send + Sync> LiveApply for LiveRelation<B> {
     fn apply_dyn(&self, m: &Mutation) -> Result<MutationEffect, QueryError> {
         self.apply(m)
             .map_err(|e| QueryError::InvalidParameter(e.to_string()))
+    }
+
+    fn repair_dyn(&self) {
+        self.repair();
     }
 }
 

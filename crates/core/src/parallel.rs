@@ -163,14 +163,14 @@ pub(crate) fn batch_walk_tree_parallel(
     tree: &AndXorTree,
     spec: &SharedWalkSpec,
     threads: usize,
-) -> SharedWalkOut {
+) -> Option<SharedWalkOut> {
     if tree.n_tuples() == 0 {
         let start = Instant::now();
-        return SharedWalkOut {
+        return Some(SharedWalkOut {
             answers: BatchConsumers::answer_buffers(spec, 0),
             stats: None,
             walk_seconds: start.elapsed().as_secs_f64(),
-        };
+        });
     }
     batch_walk_tree_parallel_prepared(tree, spec, threads, &TreePrepared::new(tree))
 }
@@ -187,7 +187,7 @@ pub(crate) fn batch_walk_tree_parallel_prepared(
     spec: &SharedWalkSpec,
     threads: usize,
     prep: &TreePrepared,
-) -> SharedWalkOut {
+) -> Option<SharedWalkOut> {
     assert!(threads > 0, "need at least one thread");
     let start = Instant::now();
     let n = tree.n_tuples();
@@ -200,7 +200,8 @@ pub(crate) fn batch_walk_tree_parallel_prepared(
 
     let threads = threads.min(n);
     let chunk = n.div_ceil(threads);
-    let mut shards: Vec<(usize, usize, Vec<SharedAnswer>, GfStats)> = Vec::with_capacity(threads);
+    type Shard = Option<(usize, usize, Vec<SharedAnswer>, GfStats)>;
+    let mut shards: Vec<Shard> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for w in 0..threads {
@@ -223,11 +224,16 @@ pub(crate) fn batch_walk_tree_parallel_prepared(
                 let mut walkers =
                     BatchWalkers::fast_forward(plan, consumers, |u| pos[u.index()] < lo);
                 for (i, &t) in order.iter().enumerate().take(hi).skip(lo) {
+                    // Cooperative cancellation: every shard polls, and any
+                    // tripped poll abandons the whole walk after the join.
+                    if (i - lo) & 0xFF == 0 && spec.is_cancelled() {
+                        return None;
+                    }
                     walkers.step((i > lo).then(|| order[i - 1]), t);
                     let tv = crate::tree::tuple_view(tree, marginals, t);
                     walkers.extract(consumers, &tv, &mut local, i - lo);
                 }
-                (lo, hi, local, walkers.stats())
+                Some((lo, hi, local, walkers.stats()))
             }));
         }
         for h in handles {
@@ -236,7 +242,8 @@ pub(crate) fn batch_walk_tree_parallel_prepared(
     });
 
     let mut stats = GfStats::default();
-    for (lo, hi, local, shard_stats) in shards {
+    for shard in shards {
+        let (lo, hi, local, shard_stats) = shard?; // any cancelled shard abandons the walk
         for (j, &t) in order[lo..hi].iter().enumerate() {
             for (dst, src) in answers.iter_mut().zip(&local) {
                 copy_answer_at(dst, src, t.index(), j);
@@ -245,11 +252,11 @@ pub(crate) fn batch_walk_tree_parallel_prepared(
         stats = stats.merge(shard_stats);
     }
     crate::tree::finish_erank_answers(&consumers, plan, n, &mut answers);
-    SharedWalkOut {
+    Some(SharedWalkOut {
         answers,
         stats: Some(stats),
         walk_seconds: start.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 /// Copies one tuple's value from a shard-local answer buffer (indexed by

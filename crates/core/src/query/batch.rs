@@ -48,7 +48,10 @@ use std::time::Instant;
 use prf_numeric::{Complex, Scaled};
 
 use super::relation::ProbabilisticRelation;
-use super::{Algorithm, EvalReport, QueryError, RankQuery, RankedResult, Semantics, Values};
+use super::{
+    panic_reason, Algorithm, CancelToken, EvalReport, QueryError, RankQuery, RankedResult,
+    Semantics, Values,
+};
 use crate::incremental::GfStats;
 use crate::topk::{Ranking, ValueOrder};
 use crate::weights::WeightFunction;
@@ -109,6 +112,21 @@ pub struct SharedWalkSpec {
     pub requests: Vec<SharedRequest>,
     /// Worker threads requested for shard-parallel walks.
     pub threads: Option<usize>,
+    /// Cooperative cancellation, polled between score steps. For a batch
+    /// this is the **all-of** composite of the consumers' tokens (the walk
+    /// serves everyone, so it only aborts once *every* consumer has given
+    /// up); a tripped token makes the kernel return `None`, demoting the
+    /// entries to individual evaluation where each reports its own
+    /// [`QueryError::TimedOut`].
+    pub cancel: Option<CancelToken>,
+}
+
+impl SharedWalkSpec {
+    /// `true` once the walk's composite cancellation token has tripped —
+    /// the kernels' periodic poll.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
 }
 
 /// The per-request answer of a shared walk, indexed by tuple id.
@@ -374,25 +392,51 @@ impl QueryBatch {
         fail_fast: bool,
     ) -> Vec<Result<RankedResult, QueryError>> {
         // Assemble the shared-walk spec from the resolvable Shared entries.
+        // Entries whose cancellation token already tripped are answered
+        // `TimedOut` without joining the walk (or evaluating at all).
         let mut spec = SharedWalkSpec {
             requests: Vec::new(),
             threads: self.threads,
+            cancel: None,
         };
         let mut request_of = vec![usize::MAX; self.entries.len()];
+        let mut expired = vec![false; self.entries.len()];
+        let mut shared_tokens: Vec<CancelToken> = Vec::new();
+        let mut shared_untracked = 0usize;
         for (i, entry) in self.entries.iter().enumerate() {
+            if entry.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                expired[i] = true;
+                continue;
+            }
             if let Ok((algorithm, BatchRoute::Shared)) = resolved[i] {
                 request_of[i] = spec.requests.len();
                 spec.requests
                     .push(shared_request(entry.semantics(), algorithm));
+                match &entry.cancel {
+                    Some(token) => shared_tokens.push(token.clone()),
+                    None => shared_untracked += 1,
+                }
             }
         }
+        // The walk aborts only once *every* consumer has cancelled — with
+        // any token-less consumer aboard it can never be abandoned.
+        if shared_untracked == 0 && !shared_tokens.is_empty() {
+            spec.cancel = Some(CancelToken::all_of(shared_tokens));
+        }
 
-        // One walk serves every shared entry; `None` (no backend kernel)
-        // demotes them all to individual evaluation.
+        // One walk serves every shared entry; `None` (no backend kernel, or
+        // a walk abandoned because every consumer cancelled) demotes them
+        // all to individual evaluation. In isolated mode a panicking walk is
+        // caught and demoted the same way: each entry then re-runs (and
+        // re-panics) alone, so the failure lands on the culpable entries as
+        // [`QueryError::Internal`] instead of unwinding through the caller.
         let walk = if spec.requests.is_empty() {
             None
-        } else {
+        } else if fail_fast {
             rel.run_shared_walk(&spec)
+        } else {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rel.run_shared_walk(&spec)))
+                .unwrap_or(None)
         };
         let (mut answers, stats, walk_seconds, consumers) = match walk {
             Some(out) => {
@@ -409,6 +453,13 @@ impl QueryBatch {
 
         let mut results = Vec::with_capacity(self.entries.len());
         for (i, entry) in self.entries.iter().enumerate() {
+            if expired[i] {
+                results.push(Err(QueryError::TimedOut));
+                if fail_fast {
+                    break;
+                }
+                continue;
+            }
             let (algorithm, _) = match &resolved[i] {
                 Ok(r) => *r,
                 Err(e) => {
@@ -419,7 +470,7 @@ impl QueryBatch {
                     continue;
                 }
             };
-            let answer = if answers.is_empty() {
+            let answer = if answers.is_empty() || request_of[i] == usize::MAX {
                 None
             } else {
                 answers
@@ -439,8 +490,19 @@ impl QueryBatch {
                     stats,
                 )),
                 // Single-route entries (and every entry when the backend
-                // has no shared walk) run as the equivalent single query.
-                None => self.effective_single(entry).run(rel),
+                // has no shared walk) run as the equivalent single query —
+                // in isolated mode with the panic caught, so a poisonous
+                // entry fails alone instead of unwinding the flush.
+                None if fail_fast => self.effective_single(entry).run(rel),
+                None => {
+                    let single = self.effective_single(entry);
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| single.run(rel)))
+                        .unwrap_or_else(|payload| {
+                            Err(QueryError::Internal {
+                                reason: panic_reason(payload.as_ref()),
+                            })
+                        })
+                }
             };
             let errored = result.is_err();
             results.push(result);

@@ -434,6 +434,19 @@ pub enum QueryError {
     /// control: the target relation's bounded pending queue was full, and
     /// the submission reported overload instead of growing the queue.
     Overloaded,
+    /// The query's deadline expired (or its [`CancelToken`] was tripped)
+    /// before evaluation finished: enforced without evaluation at a
+    /// `prf-serve` flush dequeue, and cooperatively mid-walk inside the
+    /// shared-walk kernels.
+    TimedOut,
+    /// The evaluation **panicked** (or the serving layer hit an otherwise
+    /// impossible state). A `prf-serve` `RankServer` catches the panic,
+    /// delivers this error to the one affected handle, and keeps serving —
+    /// the panic never takes down the worker pool or poisons shared state.
+    Internal {
+        /// Best-effort panic payload / diagnostic description.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -466,11 +479,127 @@ impl std::fmt::Display for QueryError {
                     "the relation's pending queue is full; the query was shed"
                 )
             }
+            QueryError::TimedOut => {
+                write!(f, "the query's deadline expired before it was evaluated")
+            }
+            QueryError::Internal { reason } => {
+                write!(f, "internal evaluation failure: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+/// A cooperative cancellation token checked by the query engine between
+/// evaluation steps.
+///
+/// Three things can trip a token: an explicit [`CancelToken::cancel`]
+/// (e.g. `prf-serve` trips a query's token when its `ResponseHandle` is
+/// dropped — nobody is left to read the answer), an attached **deadline**
+/// (the token reads as cancelled once the instant passes), or — for the
+/// composite form built by [`CancelToken::all_of`] — *every* member token
+/// being cancelled. The composite form is what a [`QueryBatch`] hands to a
+/// shared score-order walk: the walk serves many consumers at once, so it
+/// only aborts when **all** of them have given up.
+///
+/// Cancellation is cooperative and best-effort: kernels poll the token
+/// every few hundred steps, so a cancelled query stops *promptly*, not
+/// *instantly*. A tripped token surfaces as [`QueryError::TimedOut`].
+///
+/// ```
+/// use prf_core::query::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+///
+/// // The composite form trips only when every member has.
+/// let (a, b) = (CancelToken::new(), CancelToken::new());
+/// let walk = CancelToken::all_of(vec![a.clone(), b.clone()]);
+/// a.cancel();
+/// assert!(!walk.is_cancelled());
+/// b.cancel();
+/// assert!(walk.is_cancelled());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: std::sync::atomic::AtomicBool,
+    deadline: Option<Instant>,
+    all_of: Vec<CancelToken>,
+}
+
+impl CancelToken {
+    /// A fresh token with no deadline; trips only via [`Self::cancel`].
+    pub fn new() -> Self {
+        Self::build(None, Vec::new())
+    }
+
+    /// A token that additionally reads as cancelled once `deadline`
+    /// passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self::build(Some(deadline), Vec::new())
+    }
+
+    /// A composite token that reads as cancelled only when **all**
+    /// `members` are cancelled (or it is cancelled directly). An empty
+    /// member list never trips on its members' account.
+    pub fn all_of(members: Vec<CancelToken>) -> Self {
+        Self::build(None, members)
+    }
+
+    fn build(deadline: Option<Instant>, all_of: Vec<CancelToken>) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: std::sync::atomic::AtomicBool::new(false),
+                deadline,
+                all_of,
+            }),
+        }
+    }
+
+    /// Trips the token. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.inner
+            .cancelled
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// `true` once the token is tripped, its deadline has passed, or (for
+    /// the composite form) every member token is cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        if self
+            .inner
+            .cancelled
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            return true;
+        }
+        if self.inner.deadline.is_some_and(|d| Instant::now() >= d) {
+            // Latch, so later polls skip the clock read.
+            self.cancel();
+            return true;
+        }
+        !self.inner.all_of.is_empty() && self.inner.all_of.iter().all(|t| t.is_cancelled())
+    }
+
+    /// The deadline attached at construction, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Builder-style ranking query: a [`Semantics`], an [`Algorithm`], and
 /// options — run against any [`ProbabilisticRelation`].
@@ -496,6 +625,7 @@ pub struct RankQuery {
     top_k: Option<usize>,
     threads: Option<usize>,
     value_order: Option<ValueOrder>,
+    cancel: Option<CancelToken>,
 }
 
 impl RankQuery {
@@ -508,6 +638,7 @@ impl RankQuery {
             top_k: None,
             threads: None,
             value_order: None,
+            cancel: None,
         }
     }
 
@@ -586,6 +717,19 @@ impl RankQuery {
     pub fn value_order(mut self, order: ValueOrder) -> Self {
         self.value_order = Some(order);
         self
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: [`Self::run`] checks it up
+    /// front (and batch shared walks poll it mid-walk), returning
+    /// [`QueryError::TimedOut`] once it trips.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token_ref(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// The configured semantics.
@@ -678,6 +822,9 @@ impl RankQuery {
         rel: &(impl ProbabilisticRelation + ?Sized),
     ) -> Result<RankedResult, QueryError> {
         let total_start = Instant::now();
+        if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            return Err(QueryError::TimedOut);
+        }
         let algorithm = self.resolve_algorithm(rel)?;
         let auto_selected = matches!(self.algorithm, Algorithm::Auto);
 
@@ -919,6 +1066,20 @@ impl RankQuery {
                 Ranking::from_keys_by_topk(&keys, |k| k.display(), k)
             }
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message — the `reason` a
+/// caught evaluation panic surfaces through [`QueryError::Internal`].
+/// Handles the two payload shapes `panic!` produces (`&'static str` and
+/// formatted `String`); anything else gets a generic description.
+pub fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 

@@ -241,6 +241,7 @@ impl PreparedRelation {
         let spec = SharedWalkSpec {
             requests: vec![req],
             threads: None,
+            cancel: None,
         };
         let mut out: SharedWalkOut = self.rel.run_shared_walk_prepared(&spec, &self.snapshot())?;
         debug_assert_eq!(out.answers.len(), 1);

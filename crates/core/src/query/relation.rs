@@ -313,7 +313,7 @@ impl ProbabilisticRelation for IndependentDb {
     }
 
     fn run_shared_walk(&self, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
-        Some(crate::independent::batch_walk_independent(self, spec))
+        crate::independent::batch_walk_independent(self, spec)
     }
 
     fn prepare(&self) -> super::PreparedState {
@@ -326,9 +326,9 @@ impl ProbabilisticRelation for IndependentDb {
         prep: &super::PreparedState,
     ) -> Option<SharedWalkOut> {
         match prep.independent_order() {
-            Some(order) if order.len() == self.len() => Some(
-                crate::independent::batch_walk_independent_prepared(self, spec, order),
-            ),
+            Some(order) if order.len() == self.len() => {
+                crate::independent::batch_walk_independent_prepared(self, spec, order)
+            }
             _ => self.run_shared_walk(spec),
         }
     }
@@ -458,12 +458,10 @@ impl ProbabilisticRelation for AndXorTree {
         // loses to serial outright and the request degrades to the serial
         // route (identical answers, strictly less work).
         let n = AndXorTree::n_tuples(self);
-        Some(
-            match crate::parallel::effective_walk_threads(n, spec.threads) {
-                t if t > 1 => crate::parallel::batch_walk_tree_parallel(self, spec, t),
-                _ => crate::tree::batch_walk_tree(self, spec),
-            },
-        )
+        match crate::parallel::effective_walk_threads(n, spec.threads) {
+            t if t > 1 => crate::parallel::batch_walk_tree_parallel(self, spec, t),
+            _ => crate::tree::batch_walk_tree(self, spec),
+        }
     }
 
     fn prepare(&self) -> super::PreparedState {
@@ -480,14 +478,14 @@ impl ProbabilisticRelation for AndXorTree {
     ) -> Option<SharedWalkOut> {
         let n = AndXorTree::n_tuples(self);
         match prep.tree_prepared() {
-            Some(tp) if tp.order.len() == n && n > 0 => Some(
+            Some(tp) if tp.order.len() == n && n > 0 => {
                 match crate::parallel::effective_walk_threads(n, spec.threads) {
                     t if t > 1 => {
                         crate::parallel::batch_walk_tree_parallel_prepared(self, spec, t, tp)
                     }
                     _ => crate::tree::batch_walk_tree_prepared(self, spec, tp),
-                },
-            ),
+                }
+            }
             _ => self.run_shared_walk(spec),
         }
     }

@@ -702,14 +702,17 @@ pub(crate) fn finish_erank_answers(
 /// [`prfe_rank_tree`] / [`expected_ranks_tree`], answer-equivalent to
 /// running each request's single-query kernel (within 1e-9 — see
 /// `tests/batch_equivalence.rs`).
-pub(crate) fn batch_walk_tree(tree: &AndXorTree, spec: &SharedWalkSpec) -> SharedWalkOut {
+///
+/// Returns `None` when the spec's cancellation token trips mid-walk (every
+/// consumer gave up — see `SharedWalkSpec::cancel`).
+pub(crate) fn batch_walk_tree(tree: &AndXorTree, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
     let start = Instant::now();
     if tree.n_tuples() == 0 {
-        return SharedWalkOut {
+        return Some(SharedWalkOut {
             answers: BatchConsumers::answer_buffers(spec, 0),
             stats: None,
             walk_seconds: start.elapsed().as_secs_f64(),
-        };
+        });
     }
     batch_walk_tree_prepared(tree, spec, &TreePrepared::new(tree))
 }
@@ -721,20 +724,25 @@ pub(crate) fn batch_walk_tree_prepared(
     tree: &AndXorTree,
     spec: &SharedWalkSpec,
     prep: &TreePrepared,
-) -> SharedWalkOut {
+) -> Option<SharedWalkOut> {
     let start = Instant::now();
     let n = tree.n_tuples();
     let consumers = BatchConsumers::parse(spec, n);
     let mut answers = BatchConsumers::answer_buffers(spec, n);
     if n == 0 {
-        return SharedWalkOut {
+        return Some(SharedWalkOut {
             answers,
             stats: None,
             walk_seconds: start.elapsed().as_secs_f64(),
-        };
+        });
     }
     let mut walkers = BatchWalkers::fast_forward(&prep.plan, &consumers, |_| false);
     for (i, &t) in prep.order.iter().enumerate() {
+        // Cooperative cancellation: abandon the walk once every consumer
+        // has given up (polled every 256 score steps).
+        if i & 0xFF == 0 && spec.is_cancelled() {
+            return None;
+        }
         walkers.step((i > 0).then(|| prep.order[i - 1]), t);
         let tv = tuple_view(tree, &prep.marginals, t);
         walkers.extract(&consumers, &tv, &mut answers, t.index());
@@ -744,11 +752,11 @@ pub(crate) fn batch_walk_tree_prepared(
     // like the serial single-query path, it is not part of the reported
     // walk accounting (and the parallel walk reports identically).
     finish_erank_answers(&consumers, &prep.plan, n, &mut answers);
-    SharedWalkOut {
+    Some(SharedWalkOut {
         answers,
         stats: Some(stats),
         walk_seconds: start.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use std::sync::mpsc;
 use std::time::Duration;
 
 use prf_core::live::MutationEffect;
-use prf_core::query::{QueryError, RankedResult};
+use prf_core::query::{CancelToken, QueryError, RankedResult};
 use prf_core::topk::Ranking;
 use prf_core::TupleId;
 
@@ -42,7 +42,11 @@ impl std::fmt::Display for QueryId {
 /// query's [`RankedResult`] or its [`QueryError`].
 ///
 /// Dropping a handle is always safe — the server detects the disconnected
-/// channel and discards the answer without stalling the flush. Conversely,
+/// channel and discards the answer without stalling the flush. For a
+/// **tracked** submission ([`crate::RankServer::submit_with`]) the drop
+/// additionally trips the query's cancellation token, so an unevaluated
+/// query is shed at dequeue and an in-flight walk abandons it at the next
+/// cooperative check — abandoning the handle abandons the work. Conversely,
 /// if the server shuts down (or its flusher dies) before an answer is
 /// produced, the handle resolves to [`QueryError::Shutdown`] rather than
 /// blocking forever.
@@ -53,14 +57,29 @@ pub struct ResponseHandle {
     /// Caches the answer once observed, so a [`ResponseHandle::try_recv`]
     /// poll followed by [`ResponseHandle::recv`] still resolves.
     cached: Option<Answer>,
+    /// The tracked submission's cancellation token, tripped on drop.
+    cancel: Option<CancelToken>,
+}
+
+impl Drop for ResponseHandle {
+    fn drop(&mut self) {
+        if let Some(token) = &self.cancel {
+            token.cancel();
+        }
+    }
 }
 
 impl ResponseHandle {
-    pub(crate) fn new(id: QueryId, rx: mpsc::Receiver<Answer>) -> Self {
+    pub(crate) fn new(
+        id: QueryId,
+        rx: mpsc::Receiver<Answer>,
+        cancel: Option<CancelToken>,
+    ) -> Self {
         ResponseHandle {
             id,
             rx,
             cached: None,
+            cancel,
         }
     }
 
@@ -203,17 +222,40 @@ impl RankingDelta {
 /// ends: every further [`SubscriptionHandle::recv`] returns
 /// [`QueryError::Shutdown`]. A standing query whose evaluation errors
 /// terminates its own subscription by delivering that error once, then
-/// `Shutdown`. Dropping the handle is safe — the server notices the
-/// disconnected channel at its next push and unregisters the subscription.
-#[derive(Debug)]
+/// `Shutdown`. Dropping the handle **unsubscribes immediately**: the
+/// server's subscription entry (its retained query, last-seen ranking, and
+/// sender) is removed at the drop itself, not lazily at the next push — a
+/// churning subscriber population cannot accumulate dead subscriptions.
 pub struct SubscriptionHandle {
     id: QueryId,
     rx: mpsc::Receiver<DeltaAnswer>,
+    /// Unregisters the subscription server-side; run on drop.
+    on_drop: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl Drop for SubscriptionHandle {
+    fn drop(&mut self) {
+        if let Some(unsubscribe) = self.on_drop.take() {
+            unsubscribe();
+        }
+    }
+}
+
+impl std::fmt::Debug for SubscriptionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubscriptionHandle")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SubscriptionHandle {
-    pub(crate) fn new(id: QueryId, rx: mpsc::Receiver<DeltaAnswer>) -> Self {
-        SubscriptionHandle { id, rx }
+    pub(crate) fn new(
+        id: QueryId,
+        rx: mpsc::Receiver<DeltaAnswer>,
+        on_drop: Option<Box<dyn FnOnce() + Send>>,
+    ) -> Self {
+        SubscriptionHandle { id, rx, on_drop }
     }
 
     /// The server-assigned id of this subscription (drawn from the same

@@ -42,12 +42,32 @@
 //! * **standing queries** ([`RankServer::subscribe`]) stream a
 //!   [`RankingDelta`] (entered / left / moved tuples plus the new ranking)
 //!   to their [`SubscriptionHandle`] after every mutated flush, starting
-//!   from an initial snapshot.
+//!   from an initial snapshot — dropping the handle unsubscribes
+//!   immediately;
+//! * the serving layer is **fault tolerant**: a panic anywhere in a flush
+//!   is contained to the flush (undelivered entries re-queue; the panicking
+//!   entry alone resolves to [`prf_core::query::QueryError::Internal`]), a
+//!   panic while applying a mutation repairs the live relation's prepared
+//!   state before anything is served from it, poisoned locks are recovered
+//!   and counted, and a **supervisor** thread respawns dead flush workers
+//!   and compensates stuck ones ([`ServeConfig::stuck_after`]);
+//! * submissions can carry **per-query deadlines and priority classes**
+//!   ([`RankServer::submit_with`] + [`SubmitOptions`]): an expired query is
+//!   shed with [`prf_core::query::QueryError::TimedOut`] *without being
+//!   evaluated*, in-flight walks abandon it at the next cooperative
+//!   cancellation check, dropping its [`ResponseHandle`] cancels the same
+//!   way, and [`Priority::Bulk`] traffic waits on its own longer cadence
+//!   ([`ServeConfig::bulk_delay`]) instead of dictating the latency class's;
+//! * a deterministic **fault-injection harness** (`FaultPlan`, compiled
+//!   under `cfg(any(test, feature = "chaos"))`) arms panics, delays,
+//!   overloads, and worker kills at six named sites of the flush path, so
+//!   chaos tests can prove exactly-once handle resolution under seeded
+//!   fault schedules.
 //!
 //! The implementation is std-only — client threads, one deadline
-//! scheduler thread, and N flush workers coordinating through a
-//! `Mutex`/`Condvar` pair, with per-query `mpsc` channels delivering
-//! answers.
+//! scheduler thread, one supervisor thread, and N flush workers
+//! coordinating through a `Mutex`/`Condvar` pair, with per-query `mpsc`
+//! channels delivering answers.
 //!
 //! ```
 //! use prf_core::query::{RankQuery, Semantics};
@@ -75,11 +95,18 @@
 
 #![deny(missing_docs)]
 
+#[cfg(any(test, feature = "chaos"))]
+pub mod fault;
 mod handle;
 mod server;
+mod supervisor;
 
+#[cfg(any(test, feature = "chaos"))]
+pub use fault::{FaultKind, FaultPlan};
 pub use handle::{MutationHandle, QueryId, RankingDelta, ResponseHandle, SubscriptionHandle};
-pub use server::{RankServer, RelationId, ServeConfig, ServeMetrics, SharedRelation};
+pub use server::{
+    Priority, RankServer, RelationId, ServeConfig, ServeMetrics, SharedRelation, SubmitOptions,
+};
 
 // Re-exported so serving code can name its whole vocabulary from one crate.
 pub use prf_core::live::{LiveApply, LiveRelation, MutableRelation, Mutation, MutationEffect};

@@ -1,18 +1,18 @@
 //! The [`RankServer`]: concurrent submission, bounded per-relation queues,
-//! the deadline scheduler, and the flush worker pool.
+//! the deadline scheduler, and the supervised flush worker pool.
 //!
-//! # Architecture (v2)
+//! # Architecture (v3)
 //!
 //! Three thread roles share one mutex-guarded [`State`]:
 //!
-//! - **Clients** call [`RankServer::submit`] / [`RankServer::try_submit`]:
-//!   the query joins its relation's pending queue (bounded when
-//!   [`ServeConfig::max_pending`] is set — `submit` then applies
-//!   *backpressure* by blocking until space frees, `try_submit` *sheds*
-//!   with [`QueryError::Overloaded`]). A submission that completes a size
-//!   trigger — or arrives under a zero deadline — enqueues the flush
-//!   itself, so the fast path hands work straight to a worker without a
-//!   scheduler hop.
+//! - **Clients** call [`RankServer::submit`] / [`RankServer::try_submit`] /
+//!   [`RankServer::submit_with`]: the query joins its relation's pending
+//!   queue (bounded when [`ServeConfig::max_pending`] is set — `submit`
+//!   then applies *backpressure* by blocking until space frees,
+//!   `try_submit` *sheds* with [`QueryError::Overloaded`]). A submission
+//!   that completes a size trigger — or arrives under a zero deadline —
+//!   enqueues the flush itself, so the fast path hands work straight to a
+//!   worker without a scheduler hop.
 //! - The **scheduler** thread only computes deadlines: it sleeps until the
 //!   earliest pending deadline, moves due queues onto the work queue, and
 //!   never executes a flush itself.
@@ -23,10 +23,40 @@
 //!   never race each other — but a slow relation's walk occupies only one
 //!   worker, and every other relation keeps flushing on the rest.
 //!
-//! Registration wraps each relation in a
-//! [`PreparedRelation`](prf_core::query::PreparedRelation): the score sort
-//! and compiled evaluation plan are built **once** and reused by every
-//! flush, instead of being rebuilt per walk.
+//! # Fault tolerance
+//!
+//! A panic anywhere in a flush is **contained to the flush**, never fatal
+//! to the server:
+//!
+//! - a panic *inside evaluation* is caught per entry by the batch layer and
+//!   resolves only that entry's handle to [`QueryError::Internal`];
+//! - a panic *escaping the flush* (a dying mutation backend, an injected
+//!   fault) is caught by the worker, which **re-queues the flush's
+//!   undelivered entries** at the front of their queues for the next flush
+//!   — an entry interrupted twice resolves to `Internal` instead of
+//!   looping;
+//! - a panic while *applying a mutation* additionally calls
+//!   [`LiveRelation::repair`](prf_core::live::LiveRelation::repair), so a
+//!   half-patched prepared ranking is rebuilt before anything is served
+//!   from it.
+//!
+//! A **supervisor** thread watches worker heartbeats (see
+//! [`crate::supervisor`]): dead workers are joined and respawned, stuck
+//! workers (no heartbeat for [`ServeConfig::stuck_after`] while mid-flush)
+//! are compensated with a fresh worker. [`ServeMetrics`] exposes
+//! [`ServeMetrics::panics_caught`] and [`ServeMetrics::workers_respawned`].
+//!
+//! # Deadline classes
+//!
+//! [`RankServer::submit_with`] attaches [`SubmitOptions`]: a per-query
+//! **deadline** and a **priority class**. [`Priority::Latency`] traffic
+//! flushes on [`ServeConfig::max_delay`]; [`Priority::Bulk`] traffic waits
+//! in a second queue for the (longer) [`ServeConfig::bulk_delay`] cadence
+//! and piggybacks on latency flushes already due. A query whose deadline
+//! expires before a worker dequeues it is shed with
+//! [`QueryError::TimedOut`] **without being evaluated**; mid-walk, the
+//! deadline is checked cooperatively by the batch kernels. Dropping a
+//! tracked [`ResponseHandle`] trips the same cancellation token.
 //!
 //! # Live relations and standing queries
 //!
@@ -42,6 +72,7 @@
 //! every flush that applied mutations to its relation.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -49,44 +80,64 @@ use std::time::{Duration, Instant};
 
 use prf_core::live::{LiveApply, LiveRelation, MutableRelation, Mutation};
 use prf_core::query::{
-    FlushTrigger, PreparedRelation, ProbabilisticRelation, QueryBatch, QueryError, RankQuery,
-    ServeCost,
+    panic_reason, CancelToken, FlushTrigger, PreparedRelation, ProbabilisticRelation, QueryBatch,
+    QueryError, RankQuery, ServeCost,
 };
 use prf_core::TupleId;
 
+#[cfg(any(test, feature = "chaos"))]
+use crate::fault::{FaultKind, FaultPlan};
 use crate::handle::{
     Answer, DeltaAnswer, MutationAnswer, MutationHandle, QueryId, RankingDelta, ResponseHandle,
     SubscriptionHandle,
 };
+use crate::supervisor::{supervisor_loop, WorkerCtl, WorkerTable};
 
 /// A relation as the server owns it: shared, type-erased, and usable from
 /// both client threads (registration) and the flush workers.
 pub type SharedRelation = Arc<dyn ProbabilisticRelation + Send + Sync>;
 
+/// Locks a mutex, recovering from poisoning and counting each recovery in
+/// `poisoned` (surfaced as [`ServeMetrics::poisoned_locks`]). The serving
+/// layer's only sanctioned way to lock — a panicking thread must never
+/// wedge the scheduler, the workers, or a client, and never silently: the
+/// counter makes every recovery observable.
+pub(crate) fn lock_recover<'a, T>(m: &'a Mutex<T>, poisoned: &AtomicU64) -> MutexGuard<'a, T> {
+    #[allow(clippy::disallowed_methods)] // the one sanctioned raw `lock` in this crate
+    m.lock().unwrap_or_else(|err| {
+        poisoned.fetch_add(1, Ordering::Relaxed);
+        err.into_inner()
+    })
+}
+
 /// Tuning knobs of a [`RankServer`].
 ///
-/// The defaults (2 ms deadline, 64-query batches, 2 flush workers,
-/// unbounded queues, serial walks) suit a latency-sensitive serving mix; a
-/// zero [`ServeConfig::max_delay`] turns the server into an immediate
-/// dispatcher that still batches whatever has accumulated since a worker
-/// last took the queue.
+/// The defaults (2 ms deadline, 20 ms bulk deadline, 64-query batches, 2
+/// flush workers, unbounded queues, serial walks, 30 s stuck detection)
+/// suit a latency-sensitive serving mix; a zero [`ServeConfig::max_delay`]
+/// turns the server into an immediate dispatcher that still batches
+/// whatever has accumulated since a worker last took the queue.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     pub(crate) max_delay: Duration,
+    pub(crate) bulk_delay: Duration,
     pub(crate) max_batch: usize,
     pub(crate) threads: Option<usize>,
     pub(crate) workers: usize,
     pub(crate) max_pending: Option<usize>,
+    pub(crate) stuck_after: Duration,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             max_delay: Duration::from_millis(2),
+            bulk_delay: Duration::from_millis(20),
             max_batch: 64,
             threads: None,
             workers: 2,
             max_pending: None,
+            stuck_after: Duration::from_secs(30),
         }
     }
 }
@@ -98,15 +149,24 @@ impl ServeConfig {
         ServeConfig::default()
     }
 
-    /// How long the oldest pending query may wait before its relation's
-    /// queue is flushed. Zero flushes on admission.
+    /// How long the oldest pending [`Priority::Latency`] query may wait
+    /// before its relation's queue is flushed. Zero flushes on admission.
     pub fn max_delay(mut self, deadline: Duration) -> Self {
         self.max_delay = deadline;
         self
     }
 
+    /// How long the oldest pending [`Priority::Bulk`] query may wait before
+    /// its relation's bulk queue is flushed (default 20 ms). Bulk queries
+    /// also piggyback on any flush of their relation once this deadline has
+    /// passed, so the two classes share walks without sharing a cadence.
+    pub fn bulk_delay(mut self, deadline: Duration) -> Self {
+        self.bulk_delay = deadline;
+        self
+    }
+
     /// Queue size that triggers an immediate flush, regardless of the
-    /// deadline (clamped to at least 1).
+    /// deadline (clamped to at least 1). Applies to each class queue.
     pub fn max_batch(mut self, size: usize) -> Self {
         self.max_batch = size.max(1);
         self
@@ -128,13 +188,82 @@ impl ServeConfig {
         self
     }
 
-    /// Bounds every relation's pending queue to `cap` queries (clamped to
-    /// at least 1) — the admission-control knob. At the bound,
+    /// Bounds every relation's pending queue to `cap` queries per class
+    /// (clamped to at least 1) — the admission-control knob. At the bound,
     /// [`RankServer::submit`] blocks until a flush frees space
     /// (backpressure) and [`RankServer::try_submit`] sheds with
     /// [`QueryError::Overloaded`]. The default is unbounded.
     pub fn max_pending(mut self, cap: usize) -> Self {
         self.max_pending = Some(cap.max(1));
+        self
+    }
+
+    /// How long a worker may run one flush without a heartbeat before the
+    /// supervisor declares it **stuck** and spawns a compensating worker
+    /// (default 30 s). Detection granularity is an eighth of this window,
+    /// clamped to 2–250 ms.
+    pub fn stuck_after(mut self, window: Duration) -> Self {
+        self.stuck_after = window;
+        self
+    }
+}
+
+/// Scheduling class of one submission (see [`SubmitOptions::priority`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Flushes on [`ServeConfig::max_delay`] — the default, and the class
+    /// of every [`RankServer::submit`] call.
+    #[default]
+    Latency,
+    /// Waits in a separate queue for [`ServeConfig::bulk_delay`]; joins a
+    /// flush only once that longer deadline has passed. Analytics traffic
+    /// in this class stops dictating the latency class's cadence.
+    Bulk,
+}
+
+/// Per-submission options for [`RankServer::submit_with`] /
+/// [`RankServer::try_submit_with`]: a deadline and a priority class.
+///
+/// Every submission made through these carries a cancellation token:
+/// dropping the returned [`ResponseHandle`] trips it, and an expired
+/// deadline trips it too — either way the query is shed with
+/// [`QueryError::TimedOut`] at dequeue instead of being evaluated, and
+/// abandoned mid-walk by the cooperative cancellation checks in the batch
+/// kernels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    deadline: Option<Duration>,
+    priority: Priority,
+}
+
+impl SubmitOptions {
+    /// Default options: no deadline, [`Priority::Latency`] — but tracked
+    /// by a cancellation token (unlike plain [`RankServer::submit`]).
+    pub fn new() -> Self {
+        SubmitOptions::default()
+    }
+
+    /// Shorthand for the latency class.
+    pub fn latency() -> Self {
+        SubmitOptions::default()
+    }
+
+    /// Shorthand for the bulk class.
+    pub fn bulk() -> Self {
+        SubmitOptions::default().priority(Priority::Bulk)
+    }
+
+    /// Sheds the query with [`QueryError::TimedOut`] if it has not been
+    /// dequeued within `deadline` of submission (and abandons it mid-walk
+    /// at the next cooperative cancellation check).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The scheduling class (default [`Priority::Latency`]).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -154,7 +283,7 @@ impl std::fmt::Display for RelationId {
 /// all registered relations (see [`RankServer::metrics`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeMetrics {
-    /// Queries waiting in pending queues right now.
+    /// Queries waiting in pending queues right now (both classes).
     pub pending: usize,
     /// Relations with a flush currently executing on a worker.
     pub in_flight: usize,
@@ -171,6 +300,19 @@ pub struct ServeMetrics {
     pub deltas_pushed: u64,
     /// Standing-query subscriptions currently registered.
     pub subscribers_live: usize,
+    /// Cumulative panics contained by the serving layer: per-entry
+    /// evaluation panics resolved as [`QueryError::Internal`], plus panics
+    /// that escaped a flush and were caught by its worker.
+    pub panics_caught: u64,
+    /// Cumulative queries shed with [`QueryError::TimedOut`]: their
+    /// deadline expired (or their handle was dropped) before evaluation.
+    pub timed_out: u64,
+    /// Cumulative workers (re)spawned by the supervisor: replacements for
+    /// dead workers plus compensations for stuck ones.
+    pub workers_respawned: u64,
+    /// Cumulative poisoned-lock recoveries (a thread panicked while
+    /// holding a serving-layer mutex; the lock was recovered, not wedged).
+    pub poisoned_locks: u64,
 }
 
 /// One submission waiting in a relation's queue.
@@ -180,13 +322,30 @@ struct Pending {
     /// Queue depth at admission, including this query — the backpressure
     /// signal stamped into [`ServeCost::queue_depth`].
     depth_at_admit: usize,
+    class: Priority,
+    /// Set when an interrupted flush put this entry back on its queue —
+    /// a second interruption resolves it with [`QueryError::Internal`]
+    /// instead of re-queueing forever.
+    requeued: bool,
     tx: mpsc::Sender<Answer>,
+}
+
+impl Pending {
+    /// Whether this entry's cancellation token has tripped (deadline
+    /// expired, or the client dropped its handle).
+    fn cancelled(&self) -> bool {
+        self.query
+            .cancel_token_ref()
+            .is_some_and(CancelToken::is_cancelled)
+    }
 }
 
 /// One mutation waiting in a relation's pipeline.
 struct PendingMut {
     mutation: Mutation,
     submitted_at: Instant,
+    /// See [`Pending::requeued`].
+    requeued: bool,
     tx: mpsc::Sender<MutationAnswer>,
 }
 
@@ -202,14 +361,18 @@ struct Subscription {
     tx: mpsc::Sender<DeltaAnswer>,
 }
 
-/// A registered relation plus its pending queue and serving counters.
+/// A registered relation plus its pending queues and serving counters.
 struct Slot {
     name: String,
     rel: SharedRelation,
     /// The mutation entry point of a live relation ([`RankServer::apply`]
     /// rejects mutations when `None`).
     live: Option<Arc<dyn LiveApply>>,
+    /// [`Priority::Latency`] submissions, in admission order.
     queue: Vec<Pending>,
+    /// [`Priority::Bulk`] submissions, in admission order — flushed on
+    /// their own (longer) cadence.
+    bulk: Vec<Pending>,
     /// Mutations awaiting the next flush, in submission order.
     muts: Vec<PendingMut>,
     /// Standing queries registered on this relation.
@@ -236,16 +399,21 @@ struct Slot {
 impl Slot {
     /// Whether this slot has work that must eventually flush.
     fn due(&self) -> bool {
-        !self.queue.is_empty() || !self.muts.is_empty() || self.sync_since.is_some()
+        !self.queue.is_empty()
+            || !self.bulk.is_empty()
+            || !self.muts.is_empty()
+            || self.sync_since.is_some()
     }
 
-    /// Queued queries plus queued mutations — the size-trigger load.
+    /// Queued latency queries plus queued mutations — the latency-class
+    /// size-trigger load.
     fn load(&self) -> usize {
         self.queue.len() + self.muts.len()
     }
 
-    /// The earliest admission instant among queued queries, queued
-    /// mutations, and a pending initial snapshot — the deadline anchor.
+    /// The earliest admission instant among queued latency queries, queued
+    /// mutations, and a pending initial snapshot — the latency deadline
+    /// anchor. Bulk queries have their own anchor ([`Slot::bulk_due_at`]).
     fn anchor(&self) -> Option<Instant> {
         let mut anchor: Option<Instant> = None;
         let candidates = self
@@ -259,6 +427,19 @@ impl Slot {
             anchor = Some(anchor.map_or(t, |a| a.min(t)));
         }
         anchor
+    }
+
+    /// When the oldest bulk query's cadence deadline passes, if any.
+    fn bulk_due_at(&self, bulk_delay: Duration) -> Option<Instant> {
+        self.bulk.first().map(|p| p.submitted_at + bulk_delay)
+    }
+
+    /// Whether a flush taken *now* should carry the bulk queue along.
+    fn take_bulk_now(&self, config: &ServeConfig, now: Instant) -> bool {
+        self.bulk.len() >= config.max_batch
+            || self
+                .bulk_due_at(config.bulk_delay)
+                .is_some_and(|d| d <= now)
     }
 }
 
@@ -274,7 +455,9 @@ struct SubTask {
 }
 
 /// One flush's worth of work, taken from a slot under the lock and
-/// executed by a worker outside it.
+/// executed by a worker outside it. Entries stay inside until the moment
+/// their answer is delivered, so a panic escaping the flush leaves the
+/// undelivered remainder here for the worker to re-queue.
 struct FlushWork {
     slot: usize,
     rel: SharedRelation,
@@ -292,7 +475,7 @@ struct FlushWork {
 
 /// Mutex-guarded server state shared between clients, the scheduler, and
 /// the workers.
-struct State {
+pub(crate) struct State {
     slots: Vec<Slot>,
     /// Flushes ready for a worker, in take order.
     work: VecDeque<FlushWork>,
@@ -300,23 +483,42 @@ struct State {
     /// submissions; the scheduler then drains and stops the pool.
     shutdown: bool,
     /// Set by the scheduler once the drain completed (or by a failsafe):
-    /// idle workers exit.
-    pool_stop: bool,
+    /// idle workers and the supervisor exit.
+    pub(crate) pool_stop: bool,
 }
 
-struct Shared {
+/// What an armed fault makes the consulting thread do, beyond the panics
+/// and delays [`Shared::chaos`] performs on the spot.
+// Without injection hooks compiled in, `chaos` is a constant `None` and
+// never constructs these.
+#[cfg_attr(not(any(test, feature = "chaos")), allow(dead_code))]
+enum FaultAction {
+    /// Shed the admission with [`QueryError::Overloaded`].
+    Overload,
+    /// Exit the worker thread (after re-queueing its flush).
+    Die,
+}
+
+pub(crate) struct Shared {
     config: ServeConfig,
     state: Mutex<State>,
     wake: Condvar,
+    /// Cumulative poisoned-lock recoveries (see [`lock_recover`]).
+    poisoned: AtomicU64,
+    /// Cumulative contained panics (see [`ServeMetrics::panics_caught`]).
+    panics_caught: AtomicU64,
+    /// Cumulative dequeue-time deadline sheds.
+    timed_out: AtomicU64,
+    /// Cumulative supervisor respawns.
+    respawned: AtomicU64,
+    /// The armed fault-injection plan (test / `chaos` builds only).
+    #[cfg(any(test, feature = "chaos"))]
+    faults: Mutex<FaultPlan>,
 }
 
 impl Shared {
-    /// Locks the state, recovering from poisoning — a panicking client
-    /// thread must not wedge the scheduler or the workers (or vice versa).
-    fn lock(&self) -> MutexGuard<'_, State> {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    pub(crate) fn lock(&self) -> MutexGuard<'_, State> {
+        lock_recover(&self.state, &self.poisoned)
     }
 
     fn wait<'a>(&self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
@@ -325,7 +527,7 @@ impl Shared {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    fn wait_timeout<'a>(
+    pub(crate) fn wait_timeout<'a>(
         &self,
         guard: MutexGuard<'a, State>,
         timeout: Duration,
@@ -335,14 +537,55 @@ impl Shared {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .0
     }
+
+    pub(crate) fn notify(&self) {
+        self.wake.notify_all();
+    }
+
+    pub(crate) fn poisoned(&self) -> &AtomicU64 {
+        &self.poisoned
+    }
+
+    pub(crate) fn stuck_after(&self) -> Duration {
+        self.config.stuck_after
+    }
+
+    pub(crate) fn count_respawned(&self, n: u64) {
+        self.respawned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Consults the fault plan at `site`. Panics and delays happen right
+    /// here; overload and kill actions are returned for the caller to act
+    /// on. Release builds without the `chaos` feature compile this to a
+    /// constant `None`.
+    #[cfg(any(test, feature = "chaos"))]
+    fn chaos(&self, site: &str) -> Option<FaultAction> {
+        let plan = lock_recover(&self.faults, &self.poisoned).clone();
+        match plan.fire(site)? {
+            FaultKind::Panic => panic!("injected fault at `{site}`"),
+            FaultKind::Delay(d) => {
+                std::thread::sleep(d);
+                None
+            }
+            FaultKind::Overloaded => Some(FaultAction::Overload),
+            FaultKind::KillWorker => Some(FaultAction::Die),
+        }
+    }
+
+    #[cfg(not(any(test, feature = "chaos")))]
+    #[inline(always)]
+    fn chaos(&self, _site: &str) -> Option<FaultAction> {
+        None
+    }
 }
 
-/// Moves `slot`'s queues (queries **and** mutations) onto the work queue
-/// as one flush (setting the FIFO latch). Standing queries are snapshotted
-/// into the flush when it carries mutations — their rankings may change —
-/// or when a new subscriber awaits its initial snapshot. Callers have
-/// checked the trigger and the latch.
-fn take_flush(state: &mut State, slot_idx: usize, trigger: FlushTrigger) {
+/// Moves `slot`'s queues onto the work queue as one flush (setting the
+/// FIFO latch): latency queries and mutations always, bulk queries only
+/// when `take_bulk` (their own cadence is due). Standing queries are
+/// snapshotted into the flush when it carries mutations — their rankings
+/// may change — or when a new subscriber awaits its initial snapshot.
+/// Callers have checked the trigger and the latch.
+fn take_flush(state: &mut State, slot_idx: usize, trigger: FlushTrigger, take_bulk: bool) {
     let slot = &mut state.slots[slot_idx];
     debug_assert!(!slot.in_flight && slot.due());
     slot.in_flight = true;
@@ -362,17 +605,44 @@ fn take_flush(state: &mut State, slot_idx: usize, trigger: FlushTrigger) {
     } else {
         Vec::new()
     };
+    let mut pending = std::mem::take(&mut slot.queue);
+    if take_bulk {
+        pending.append(&mut slot.bulk);
+    }
     let work = FlushWork {
         slot: slot_idx,
         rel: Arc::clone(&slot.rel),
         live: slot.live.clone(),
-        pending: std::mem::take(&mut slot.queue),
+        pending,
         muts,
         subs,
         trigger,
         shed: slot.shed,
     };
     state.work.push_back(work);
+}
+
+/// The admission-side flush trigger: mirrors the scheduler's immediate
+/// conditions so a submission that completes one enqueues the flush itself
+/// — no scheduler hop between admission and a worker. A latched relation
+/// leaves the re-check to its worker's completion (which wakes the
+/// scheduler).
+fn maybe_flush(state: &mut State, slot_idx: usize, config: &ServeConfig) {
+    let slot = &state.slots[slot_idx];
+    if slot.in_flight || !slot.due() {
+        return;
+    }
+    let now = Instant::now();
+    let take_bulk = slot.take_bulk_now(config, now);
+    if slot.load() >= config.max_batch || slot.bulk.len() >= config.max_batch {
+        take_flush(state, slot_idx, FlushTrigger::SizeLimit, take_bulk);
+    } else if config.max_delay.is_zero()
+        && (!slot.queue.is_empty() || !slot.muts.is_empty() || slot.sync_since.is_some())
+    {
+        take_flush(state, slot_idx, FlushTrigger::Deadline, take_bulk);
+    } else if config.bulk_delay.is_zero() && !slot.bulk.is_empty() {
+        take_flush(state, slot_idx, FlushTrigger::Deadline, true);
+    }
 }
 
 /// A concurrent, deadline-batched front end over registered relations: see
@@ -384,14 +654,15 @@ fn take_flush(state: &mut State, slot_idx: usize, trigger: FlushTrigger) {
 pub struct RankServer {
     shared: Arc<Shared>,
     scheduler: Mutex<Option<JoinHandle<()>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    workers: Arc<WorkerTable>,
     next_query: AtomicU64,
 }
 
 impl RankServer {
-    /// Starts a server — spawning its scheduler thread and
-    /// [`ServeConfig::workers`] flush workers — with the given
-    /// configuration.
+    /// Starts a server — spawning its scheduler thread,
+    /// [`ServeConfig::workers`] flush workers, and the worker supervisor —
+    /// with the given configuration.
     pub fn new(config: ServeConfig) -> Self {
         let worker_count = config.workers;
         let shared = Arc::new(Shared {
@@ -403,6 +674,12 @@ impl RankServer {
                 pool_stop: false,
             }),
             wake: Condvar::new(),
+            poisoned: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
+            #[cfg(any(test, feature = "chaos"))]
+            faults: Mutex::new(FaultPlan::new()),
         });
         let scheduler = {
             let shared = Arc::clone(&shared);
@@ -414,24 +691,34 @@ impl RankServer {
                 })
                 .expect("spawning the scheduler thread")
         };
-        let workers = (0..worker_count)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("prf-serve-worker-{i}"))
-                    .spawn(move || {
-                        let _failsafe = Failsafe(&shared);
-                        worker_loop(&shared);
-                    })
-                    .expect("spawning a flush worker thread")
-            })
-            .collect();
+        let workers = Arc::new(WorkerTable::new());
+        for _ in 0..worker_count {
+            workers.spawn(&shared);
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let workers = Arc::clone(&workers);
+            std::thread::Builder::new()
+                .name("prf-serve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared, &workers))
+                .expect("spawning the supervisor thread")
+        };
         RankServer {
             shared,
             scheduler: Mutex::new(Some(scheduler)),
-            workers: Mutex::new(workers),
+            supervisor: Mutex::new(Some(supervisor)),
+            workers,
             next_query: AtomicU64::new(0),
         }
+    }
+
+    /// Arms a fault-injection plan: the serving path consults it at six
+    /// named sites (see [`crate::fault`]) and panics, sleeps, sheds, or
+    /// kills a worker where the plan says to. Replaces any previous plan.
+    /// Available only in test builds and under the `chaos` feature.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        *lock_recover(&self.shared.faults, &self.shared.poisoned) = plan;
     }
 
     /// Registers a relation under `name`, transferring ownership to the
@@ -490,6 +777,7 @@ impl RankServer {
             rel,
             live,
             queue: Vec::new(),
+            bulk: Vec::new(),
             muts: Vec::new(),
             subs: Vec::new(),
             sync_since: None,
@@ -530,7 +818,7 @@ impl RankServer {
         relation: RelationId,
         query: RankQuery,
     ) -> Result<ResponseHandle, QueryError> {
-        self.admit(relation, query, true)
+        self.admit(relation, query, None, true)
     }
 
     /// Like [`RankServer::submit`], but **never blocks**: a full bounded
@@ -542,15 +830,58 @@ impl RankServer {
         relation: RelationId,
         query: RankQuery,
     ) -> Result<ResponseHandle, QueryError> {
-        self.admit(relation, query, false)
+        self.admit(relation, query, None, false)
+    }
+
+    /// Like [`RankServer::submit`], with per-submission [`SubmitOptions`]:
+    /// a deadline (expired ⇒ shed with [`QueryError::TimedOut`] at
+    /// dequeue, without evaluation) and a [`Priority`] class. Submissions
+    /// made this way are **tracked**: dropping the returned handle cancels
+    /// the query the same way an expired deadline does.
+    pub fn submit_with(
+        &self,
+        relation: RelationId,
+        query: RankQuery,
+        opts: SubmitOptions,
+    ) -> Result<ResponseHandle, QueryError> {
+        self.admit(relation, query, Some(opts), true)
+    }
+
+    /// Like [`RankServer::submit_with`], but shedding at a full bounded
+    /// queue (the [`RankServer::try_submit`] behavior).
+    pub fn try_submit_with(
+        &self,
+        relation: RelationId,
+        query: RankQuery,
+        opts: SubmitOptions,
+    ) -> Result<ResponseHandle, QueryError> {
+        self.admit(relation, query, Some(opts), false)
     }
 
     fn admit(
         &self,
         relation: RelationId,
         query: RankQuery,
+        opts: Option<SubmitOptions>,
         block: bool,
     ) -> Result<ResponseHandle, QueryError> {
+        if matches!(self.shared.chaos("admit"), Some(FaultAction::Overload)) {
+            return Err(QueryError::Overloaded);
+        }
+        let (cancel, class) = match &opts {
+            Some(o) => {
+                let token = match o.deadline {
+                    Some(d) => CancelToken::with_deadline(Instant::now() + d),
+                    None => CancelToken::new(),
+                };
+                (Some(token), o.priority)
+            }
+            None => (None, Priority::Latency),
+        };
+        let query = match &cancel {
+            Some(token) => query.cancel_token(token.clone()),
+            None => query,
+        };
         let (tx, rx) = mpsc::channel();
         let id = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
         let mut state = self.shared.lock();
@@ -561,8 +892,12 @@ impl RankServer {
             let slot = state.slots.get_mut(relation.0).ok_or_else(|| {
                 QueryError::InvalidParameter(format!("unknown relation {relation}"))
             })?;
+            let depth = match class {
+                Priority::Latency => slot.queue.len(),
+                Priority::Bulk => slot.bulk.len(),
+            };
             match self.shared.config.max_pending {
-                Some(cap) if slot.queue.len() >= cap => {
+                Some(cap) if depth >= cap => {
                     if !block {
                         slot.shed += 1;
                         return Err(QueryError::Overloaded);
@@ -575,28 +910,25 @@ impl RankServer {
             }
         }
         let slot = &mut state.slots[relation.0];
-        slot.queue.push(Pending {
+        let target = match class {
+            Priority::Latency => &mut slot.queue,
+            Priority::Bulk => &mut slot.bulk,
+        };
+        let depth_at_admit = target.len() + 1;
+        target.push(Pending {
             query,
             submitted_at: Instant::now(),
-            depth_at_admit: slot.queue.len() + 1,
+            depth_at_admit,
+            class,
+            requeued: false,
             tx,
         });
-        // Fast path: a submission that completes a trigger enqueues the
-        // flush itself — no scheduler hop between admission and a worker.
-        // A latched relation leaves the re-check to its worker's
-        // completion (which wakes the scheduler).
-        if !slot.in_flight {
-            if slot.load() >= self.shared.config.max_batch {
-                take_flush(&mut state, relation.0, FlushTrigger::SizeLimit);
-            } else if self.shared.config.max_delay.is_zero() {
-                take_flush(&mut state, relation.0, FlushTrigger::Deadline);
-            }
-        }
+        maybe_flush(&mut state, relation.0, &self.shared.config);
         drop(state);
         // Wake a worker (flush enqueued) or the scheduler (deadline
         // bookkeeping) — one condvar serves both roles.
-        self.shared.wake.notify_all();
-        Ok(ResponseHandle::new(id, rx))
+        self.shared.notify();
+        Ok(ResponseHandle::new(id, rx, cancel))
     }
 
     /// Submits a mutation against a live relation (see
@@ -619,6 +951,9 @@ impl RankServer {
         relation: RelationId,
         mutation: Mutation,
     ) -> Result<MutationHandle, QueryError> {
+        if matches!(self.shared.chaos("admit"), Some(FaultAction::Overload)) {
+            return Err(QueryError::Overloaded);
+        }
         let (tx, rx) = mpsc::channel();
         let id = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
         let mut state = self.shared.lock();
@@ -639,17 +974,12 @@ impl RankServer {
         slot.muts.push(PendingMut {
             mutation,
             submitted_at: Instant::now(),
+            requeued: false,
             tx,
         });
-        if !slot.in_flight {
-            if slot.load() >= self.shared.config.max_batch {
-                take_flush(&mut state, relation.0, FlushTrigger::SizeLimit);
-            } else if self.shared.config.max_delay.is_zero() {
-                take_flush(&mut state, relation.0, FlushTrigger::Deadline);
-            }
-        }
+        maybe_flush(&mut state, relation.0, &self.shared.config);
         drop(state);
-        self.shared.wake.notify_all();
+        self.shared.notify();
         Ok(MutationHandle::new(id, rx))
     }
 
@@ -661,6 +991,10 @@ impl RankServer {
     /// count mutation batches by counting deltas. Subscribing to a non-live
     /// relation is allowed: the stream delivers the snapshot and then stays
     /// silent until shutdown.
+    ///
+    /// Dropping the handle **unsubscribes immediately**: the subscription
+    /// and its queued deltas are freed at the drop, not at the server's
+    /// next push.
     ///
     /// Errors immediately with [`QueryError::Shutdown`] after
     /// [`RankServer::shutdown`] and with [`QueryError::InvalidParameter`]
@@ -692,27 +1026,50 @@ impl RankServer {
         if slot.sync_since.is_none() {
             slot.sync_since = Some(Instant::now());
         }
-        if !slot.in_flight && self.shared.config.max_delay.is_zero() {
-            take_flush(&mut state, relation.0, FlushTrigger::Deadline);
-        }
+        maybe_flush(&mut state, relation.0, &self.shared.config);
         drop(state);
-        self.shared.wake.notify_all();
-        Ok(SubscriptionHandle::new(id, rx))
+        self.shared.notify();
+        let unsubscribe = {
+            let shared = Arc::downgrade(&self.shared);
+            let slot_idx = relation.0;
+            Box::new(move || {
+                if let Some(shared) = shared.upgrade() {
+                    let mut state = shared.lock();
+                    if let Some(slot) = state.slots.get_mut(slot_idx) {
+                        slot.subs.retain(|s| s.id != id);
+                    }
+                    drop(state);
+                    shared.notify();
+                }
+            })
+        };
+        Ok(SubscriptionHandle::new(id, rx, Some(unsubscribe)))
     }
 
-    /// Number of queries currently waiting in the pending queues (not
-    /// counting flushes already handed to workers).
+    /// Number of queries currently waiting in the pending queues (both
+    /// classes; not counting flushes already handed to workers).
     pub fn pending(&self) -> usize {
-        self.shared.lock().slots.iter().map(|s| s.queue.len()).sum()
+        self.shared
+            .lock()
+            .slots
+            .iter()
+            .map(|s| s.queue.len() + s.bulk.len())
+            .sum()
     }
 
     /// A point-in-time snapshot of the serving counters, summed over all
     /// registered relations.
     pub fn metrics(&self) -> ServeMetrics {
         let state = self.shared.lock();
-        let mut m = ServeMetrics::default();
+        let mut m = ServeMetrics {
+            panics_caught: self.shared.panics_caught.load(Ordering::Relaxed),
+            timed_out: self.shared.timed_out.load(Ordering::Relaxed),
+            workers_respawned: self.shared.respawned.load(Ordering::Relaxed),
+            poisoned_locks: self.shared.poisoned.load(Ordering::Relaxed),
+            ..ServeMetrics::default()
+        };
         for slot in &state.slots {
-            m.pending += slot.queue.len();
+            m.pending += slot.queue.len() + slot.bulk.len();
             m.in_flight += slot.in_flight as usize;
             m.shed += slot.shed;
             m.flushes += slot.flushes;
@@ -727,31 +1084,24 @@ impl RankServer {
     /// Shuts the server down: rejects new submissions, lets the scheduler
     /// **drain** every pending queue through the worker pool — in-flight
     /// queries are evaluated (their provenance records
-    /// [`FlushTrigger::Shutdown`]), not dropped — and joins every thread.
-    /// Blocks until the drain completes. Idempotent; [`Drop`] calls it too.
+    /// [`FlushTrigger::Shutdown`]), not dropped — and joins every thread,
+    /// supervisor included. Blocks until the drain completes. Idempotent;
+    /// [`Drop`] calls it too.
     pub fn shutdown(&self) {
         self.shared.lock().shutdown = true;
-        self.shared.wake.notify_all();
-        let scheduler = self
-            .scheduler
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .take();
+        self.shared.notify();
+        let scheduler = lock_recover(&self.scheduler, &self.shared.poisoned).take();
         if let Some(handle) = scheduler {
             // If the scheduler panicked instead of draining, its failsafe
             // already cleared the queues (handles resolve to `Shutdown`)
             // and stopped the pool; nothing to redo here.
             let _ = handle.join();
         }
-        let workers: Vec<_> = self
-            .workers
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .drain(..)
-            .collect();
-        for handle in workers {
+        let supervisor = lock_recover(&self.supervisor, &self.shared.poisoned).take();
+        if let Some(handle) = supervisor {
             let _ = handle.join();
         }
+        self.workers.join_all(&self.shared);
     }
 }
 
@@ -768,7 +1118,11 @@ impl std::fmt::Debug for RankServer {
             .field("relations", &state.slots.len())
             .field(
                 "pending",
-                &state.slots.iter().map(|s| s.queue.len()).sum::<usize>(),
+                &state
+                    .slots
+                    .iter()
+                    .map(|s| s.queue.len() + s.bulk.len())
+                    .sum::<usize>(),
             )
             .field("workers", &self.shared.config.workers)
             .field("shutdown", &state.shutdown)
@@ -776,12 +1130,12 @@ impl std::fmt::Debug for RankServer {
     }
 }
 
-/// Failsafe for an abnormal scheduler/worker death (a panicking backend
-/// kernel): on unwind, reject future submissions, stop the pool, release
-/// every FIFO latch, and drop every queued sender so pending handles
-/// resolve to `Shutdown` instead of blocking forever. After a normal exit
-/// the drain already emptied the queues and set the flags, so the guard is
-/// a no-op.
+/// Failsafe for an abnormal **scheduler** death: on unwind, reject future
+/// submissions, stop the pool, release every FIFO latch, and drop every
+/// queued sender so pending handles resolve to `Shutdown` instead of
+/// blocking forever. After a normal exit the drain already emptied the
+/// queues and set the flags, so the guard is a no-op. (Workers need no
+/// failsafe: their panics are caught and converted into re-queues.)
 struct Failsafe<'a>(&'a Shared);
 
 impl Drop for Failsafe<'_> {
@@ -792,6 +1146,7 @@ impl Drop for Failsafe<'_> {
         state.work.clear();
         for slot in state.slots.iter_mut() {
             slot.queue.clear();
+            slot.bulk.clear();
             slot.muts.clear();
             // Dropping the subscriptions' senders disconnects the
             // subscribers' channels: their `recv` resolves to `Shutdown`.
@@ -800,15 +1155,16 @@ impl Drop for Failsafe<'_> {
             slot.in_flight = false;
         }
         drop(state);
-        self.0.wake.notify_all();
+        self.0.notify();
     }
 }
 
 /// The scheduler: pure deadline bookkeeping. Sleeps until the earliest
-/// pending deadline, moves due (and size-triggered) queues onto the work
-/// queue, and hands them to the pool — it never evaluates a flush itself.
-/// On shutdown it keeps feeding the pool until every queue is empty and
-/// every flush completed, then stops the pool and exits.
+/// pending deadline (latency or bulk), moves due (and size-triggered)
+/// queues onto the work queue, and hands them to the pool — it never
+/// evaluates a flush itself. On shutdown it keeps feeding the pool until
+/// every queue is empty and every flush completed, then stops the pool and
+/// exits.
 fn scheduler_loop(shared: &Shared) {
     let config = &shared.config;
     let mut state = shared.lock();
@@ -822,12 +1178,12 @@ fn scheduler_loop(shared: &Shared) {
                 let mut fed = false;
                 for i in 0..state.slots.len() {
                     if state.slots[i].due() && !state.slots[i].in_flight {
-                        take_flush(&mut state, i, FlushTrigger::Shutdown);
+                        take_flush(&mut state, i, FlushTrigger::Shutdown, true);
                         fed = true;
                     }
                 }
                 if fed {
-                    shared.wake.notify_all();
+                    shared.notify();
                 }
                 let drained =
                     state.work.is_empty() && state.slots.iter().all(|s| !s.due() && !s.in_flight);
@@ -841,7 +1197,7 @@ fn scheduler_loop(shared: &Shared) {
                         slot.subs.clear();
                     }
                     drop(state);
-                    shared.wake.notify_all();
+                    shared.notify();
                     return;
                 }
                 state = shared.wait(state);
@@ -856,22 +1212,26 @@ fn scheduler_loop(shared: &Shared) {
             if !slot.due() || slot.in_flight {
                 continue;
             }
-            if slot.load() >= config.max_batch {
-                take_flush(&mut state, i, FlushTrigger::SizeLimit);
+            let take_bulk = slot.take_bulk_now(config, now);
+            if slot.load() >= config.max_batch || slot.bulk.len() >= config.max_batch {
+                take_flush(&mut state, i, FlushTrigger::SizeLimit, take_bulk);
                 fed = true;
                 continue;
             }
-            let anchor = slot.anchor().expect("a due slot has an anchor");
-            let due = anchor + config.max_delay;
+            let mut earliest: Option<Instant> = slot.anchor().map(|a| a + config.max_delay);
+            if let Some(bulk_due) = slot.bulk_due_at(config.bulk_delay) {
+                earliest = Some(earliest.map_or(bulk_due, |e| e.min(bulk_due)));
+            }
+            let due = earliest.expect("a due slot has an anchor");
             if due <= now {
-                take_flush(&mut state, i, FlushTrigger::Deadline);
+                take_flush(&mut state, i, FlushTrigger::Deadline, take_bulk);
                 fed = true;
             } else {
                 next_due = Some(next_due.map_or(due, |d| d.min(due)));
             }
         }
         if fed {
-            shared.wake.notify_all();
+            shared.notify();
         }
 
         state = match next_due {
@@ -883,42 +1243,124 @@ fn scheduler_loop(shared: &Shared) {
     }
 }
 
+/// How one worker round ended.
+enum WorkerRun {
+    /// The flush executed (possibly with per-entry errors contained).
+    Done(FlushOutcome),
+    /// An injected `KillWorker` fault: re-queue and exit the thread.
+    Die,
+}
+
+/// Puts an interrupted flush's undelivered entries back at the front of
+/// their queues (entries already re-queued once resolve to
+/// [`QueryError::Internal`] instead), releases the FIFO latch, and re-arms
+/// the initial-snapshot trigger for subscribers whose snapshot never went
+/// out. Mutations consumed by the flush were already acknowledged; only
+/// unprocessed ones return to the pipeline.
+fn requeue_interrupted(state: &mut State, work: &mut FlushWork, reason: &str) {
+    let Some(slot) = state.slots.get_mut(work.slot) else {
+        return;
+    };
+    slot.in_flight = false;
+    let mut latency = Vec::new();
+    let mut bulk = Vec::new();
+    for mut p in work.pending.drain(..) {
+        if p.requeued {
+            let _ = p.tx.send(Err(QueryError::Internal {
+                reason: format!("flush interrupted twice: {reason}"),
+            }));
+        } else {
+            p.requeued = true;
+            match p.class {
+                Priority::Latency => latency.push(p),
+                Priority::Bulk => bulk.push(p),
+            }
+        }
+    }
+    slot.queue.splice(0..0, latency);
+    slot.bulk.splice(0..0, bulk);
+    let mut muts = Vec::new();
+    for mut m in work.muts.drain(..) {
+        if m.requeued {
+            let _ = m.tx.send(Err(QueryError::Internal {
+                reason: format!("flush interrupted twice: {reason}"),
+            }));
+        } else {
+            m.requeued = true;
+            muts.push(m);
+        }
+    }
+    slot.muts.splice(0..0, muts);
+    if work.subs.iter().any(|s| s.last.is_none()) && slot.sync_since.is_none() {
+        slot.sync_since = Some(Instant::now());
+    }
+}
+
 /// A flush worker: pops flushes off the work queue, evaluates them with
 /// the lock released, releases the relation's FIFO latch, and re-notifies
 /// — the scheduler re-checks the (possibly refilled) queue, and blocked
-/// submitters re-check the bound.
-fn worker_loop(shared: &Shared) {
+/// submitters re-check the bound. A panic escaping a flush is caught here:
+/// the undelivered entries are re-queued and the worker lives on.
+pub(crate) fn worker_loop(shared: &Shared, ctl: &WorkerCtl) {
     let mut state = shared.lock();
     loop {
-        if let Some(work) = state.work.pop_front() {
+        ctl.beats.fetch_add(1, Ordering::Release);
+        if ctl.superseded.load(Ordering::Acquire) {
+            // A compensating worker replaced this one while it was stuck;
+            // exit to keep the pool at its configured size.
+            return;
+        }
+        if let Some(mut work) = state.work.pop_front() {
             drop(state);
-            let slot_idx = work.slot;
-            let flush_size = work.pending.len();
-            let outcome = execute_flush(work, shared.config.threads);
+            ctl.busy.store(true, Ordering::Release);
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                if matches!(shared.chaos("worker"), Some(FaultAction::Die)) {
+                    return WorkerRun::Die;
+                }
+                WorkerRun::Done(execute_flush(&mut work, shared))
+            }));
+            ctl.busy.store(false, Ordering::Release);
+            ctl.beats.fetch_add(1, Ordering::Release);
             state = shared.lock();
-            if let Some(slot) = state.slots.get_mut(slot_idx) {
-                slot.in_flight = false;
-                slot.flushes += 1;
-                slot.flushed_queries += flush_size as u64;
-                slot.mutations_applied += outcome.mutations_applied;
-                slot.deltas_pushed += outcome.deltas_pushed;
-                // Write the subscriptions' new sync points back (the FIFO
-                // latch guarantees no other flush touched them meanwhile);
-                // drop subscriptions that errored or disconnected.
-                for (id, update) in outcome.subs {
-                    match update {
-                        Some((last, seq)) => {
-                            if let Some(sub) = slot.subs.iter_mut().find(|s| s.id == id) {
-                                sub.last = Some(last);
-                                sub.seq = seq;
+            match run {
+                Ok(WorkerRun::Done(outcome)) => {
+                    if let Some(slot) = state.slots.get_mut(work.slot) {
+                        slot.in_flight = false;
+                        slot.flushes += 1;
+                        slot.flushed_queries += outcome.answered;
+                        slot.mutations_applied += outcome.mutations_applied;
+                        slot.deltas_pushed += outcome.deltas_pushed;
+                        // Write the subscriptions' new sync points back
+                        // (the FIFO latch guarantees no other flush touched
+                        // them meanwhile); drop subscriptions that errored
+                        // or disconnected.
+                        for (id, update) in outcome.subs {
+                            match update {
+                                Some((last, seq)) => {
+                                    if let Some(sub) = slot.subs.iter_mut().find(|s| s.id == id) {
+                                        sub.last = Some(last);
+                                        sub.seq = seq;
+                                    }
+                                }
+                                None => slot.subs.retain(|s| s.id != id),
                             }
                         }
-                        None => slot.subs.retain(|s| s.id != id),
                     }
+                }
+                Ok(WorkerRun::Die) => {
+                    requeue_interrupted(&mut state, &mut work, "worker killed by injected fault");
+                    drop(state);
+                    shared.notify();
+                    return;
+                }
+                Err(payload) => {
+                    shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    let reason = panic_reason(payload.as_ref());
+                    requeue_interrupted(&mut state, &mut work, &reason);
                 }
             }
             drop(state);
-            shared.wake.notify_all();
+            shared.notify();
             state = shared.lock();
             continue;
         }
@@ -941,44 +1383,66 @@ struct FlushOutcome {
     mutations_applied: u64,
     /// Deltas this flush delivered to live subscribers.
     deltas_pushed: u64,
+    /// Query answers this flush delivered (evaluated entries, not
+    /// deadline sheds).
+    answered: u64,
     /// Per-subscription write-back.
     subs: Vec<SubWriteBack>,
 }
 
 /// Applies the flush's mutations (acknowledging each through its
-/// [`MutationHandle`]), compiles the drained queue **plus** the standing
-/// queries into one [`QueryBatch`], runs it with per-entry error isolation,
+/// [`MutationHandle`]; a panicking backend resolves only that mutation to
+/// [`QueryError::Internal`] and triggers a prepared-state repair), sheds
+/// entries whose deadline expired with [`QueryError::TimedOut`] **before**
+/// evaluation, compiles the rest **plus** the standing queries into one
+/// [`QueryBatch`], runs it with per-entry error and panic isolation,
 /// stamps serving provenance, delivers every answer — ignoring channels
 /// whose [`ResponseHandle`] was dropped — and pushes ranking deltas to the
 /// subscribers.
-fn execute_flush(work: FlushWork, threads: Option<usize>) -> FlushOutcome {
-    let FlushWork {
-        rel,
-        live,
-        pending,
-        muts,
-        subs,
-        trigger,
-        shed,
-        ..
-    } = work;
+///
+/// Entries stay in `work` until the moment their answer is delivered: if a
+/// panic escapes (an injected fault at the eval or deliver site), the
+/// caller re-queues whatever remains.
+fn execute_flush(work: &mut FlushWork, shared: &Shared) -> FlushOutcome {
+    let _ = shared.chaos("flush-take");
     let mut out = FlushOutcome {
         mutations_applied: 0,
         deltas_pushed: 0,
-        subs: Vec::with_capacity(subs.len()),
+        answered: 0,
+        subs: Vec::with_capacity(work.subs.len()),
     };
     // Mutations first: every query evaluated in this flush observes every
     // mutation batched with it. The per-relation FIFO latch means no other
     // flush of this relation runs concurrently, so applying here is
-    // serialized against all evaluation.
+    // serialized against all evaluation. Each application is isolated: a
+    // panicking backend costs that one mutation (resolved `Internal`), and
+    // the relation's derived state is rebuilt before anything reads it —
+    // a mid-patch panic can never serve a half-patched ranking.
+    let muts = std::mem::take(&mut work.muts);
     for m in muts {
-        let result = match &live {
-            Some(live) => live.apply_dyn(&m.mutation),
-            // `apply` only admits mutations on live slots; tolerate an
-            // impossible mismatch rather than losing the acknowledgement.
-            None => Err(QueryError::InvalidParameter(
-                "relation is not live".to_string(),
-            )),
+        let applied = catch_unwind(AssertUnwindSafe(|| {
+            let _ = shared.chaos("apply");
+            match &work.live {
+                Some(live) => live.apply_dyn(&m.mutation),
+                // `apply` only admits mutations on live slots; tolerate an
+                // impossible mismatch rather than losing the
+                // acknowledgement.
+                None => Err(QueryError::InvalidParameter(
+                    "relation is not live".to_string(),
+                )),
+            }
+        }));
+        let result = match applied {
+            Ok(result) => result,
+            Err(payload) => {
+                shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+                if let Some(live) = &work.live {
+                    live.repair_dyn();
+                }
+                Err(QueryError::Internal {
+                    reason: panic_reason(payload.as_ref()),
+                })
+            }
         };
         if result.is_ok() {
             out.mutations_applied += 1;
@@ -990,45 +1454,70 @@ fn execute_flush(work: FlushWork, threads: Option<usize>) -> FlushOutcome {
     // plus initial snapshots, which are pushed unconditionally.
     let mutated = out.mutations_applied > 0;
 
-    let flush_size = pending.len();
-    let mut queries = Vec::with_capacity(flush_size + subs.len());
-    let mut waiters = Vec::with_capacity(flush_size);
-    for p in pending {
-        queries.push(p.query);
-        waiters.push((p.submitted_at, p.depth_at_admit, p.tx));
-    }
-    for s in &subs {
-        queries.push(s.query.clone());
-    }
-    if queries.is_empty() {
-        // A mutation-only flush with no subscribers: nothing to evaluate.
+    // Deadline enforcement at dequeue: an expired (or client-abandoned)
+    // entry is shed with `TimedOut` without ever being evaluated.
+    work.pending.retain(|p| {
+        if p.cancelled() {
+            shared.timed_out.fetch_add(1, Ordering::Relaxed);
+            let _ = p.tx.send(Err(QueryError::TimedOut));
+            false
+        } else {
+            true
+        }
+    });
+
+    let flush_size = work.pending.len();
+    if flush_size == 0 && work.subs.is_empty() {
+        // A mutation-only flush with no subscribers (or one shed whole):
+        // nothing to evaluate.
         return out;
     }
+    let mut queries = Vec::with_capacity(flush_size + work.subs.len());
+    for p in &work.pending {
+        queries.push(p.query.clone());
+    }
+    for s in &work.subs {
+        queries.push(s.query.clone());
+    }
     let mut batch = QueryBatch::new().add_queries(queries);
-    if let Some(threads) = threads {
+    if let Some(threads) = shared.config.threads {
         batch = batch.parallel(threads);
     }
     let flush_start = Instant::now();
-    let results = batch.run_isolated(&*rel);
-    debug_assert_eq!(results.len(), flush_size + subs.len());
+    let _ = shared.chaos("eval");
+    let results = batch.run_isolated(&*work.rel);
+    debug_assert_eq!(results.len(), flush_size + work.subs.len());
+    let _ = shared.chaos("deliver");
     let mut results = results.into_iter();
-    for ((submitted_at, depth_at_admit, tx), mut result) in waiters.into_iter().zip(&mut results) {
-        if let Ok(res) = &mut result {
-            res.report.serve = Some(ServeCost {
-                queue_seconds: flush_start.duration_since(submitted_at).as_secs_f64(),
-                trigger,
-                flush_size,
-                queue_depth: depth_at_admit,
-                shed,
-            });
+    for (p, mut result) in work.pending.drain(..).zip(&mut results) {
+        match &mut result {
+            Ok(res) => {
+                res.report.serve = Some(ServeCost {
+                    queue_seconds: flush_start.duration_since(p.submitted_at).as_secs_f64(),
+                    trigger: work.trigger,
+                    flush_size,
+                    queue_depth: p.depth_at_admit,
+                    shed: work.shed,
+                });
+            }
+            Err(QueryError::Internal { .. }) => {
+                // The batch layer converted an evaluation panic into this
+                // entry's answer; count it with the contained panics.
+                shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {}
         }
+        out.answered += 1;
         // A dropped handle disconnects the channel; the failed send is the
         // intended "discard the answer" path and must not stop the flush.
-        let _ = tx.send(result);
+        let _ = p.tx.send(result);
     }
-    for (sub, result) in subs.into_iter().zip(results) {
+    for (sub, result) in std::mem::take(&mut work.subs).into_iter().zip(results) {
         match result {
             Err(err) => {
+                if matches!(err, QueryError::Internal { .. }) {
+                    shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+                }
                 // A standing query that stops evaluating terminates its
                 // own subscription with the error.
                 let _ = sub.tx.send(Err(err));
@@ -1222,14 +1711,14 @@ mod tests {
     }
 
     #[test]
-    fn panicking_backend_resolves_handles_instead_of_hanging() {
+    fn panicking_backend_resolves_to_internal_and_server_survives() {
         use prf_core::query::CorrelationClass;
         use prf_core::weights::WeightFunction;
         use prf_numeric::Complex;
 
         /// A backend whose kernels die — stands in for any bug that makes
-        /// a flush panic. The worker's failsafe must then resolve every
-        /// pending handle to `Shutdown` and reject future submissions.
+        /// evaluation panic. Panic isolation must resolve the doomed
+        /// query's handle to `Internal` and leave the server serving.
         struct Poisoned;
         impl ProbabilisticRelation for Poisoned {
             fn n_tuples(&self) -> usize {
@@ -1259,19 +1748,23 @@ mod tests {
         let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
         let rel = server.register("poisoned", Poisoned);
         let first = server.submit(rel, RankQuery::pt(1)).unwrap();
-        // The worker dies on this query; the handle must still resolve.
-        assert!(matches!(first.recv(), Err(QueryError::Shutdown)));
-        // …and the server now rejects instead of queueing into the void
-        // (the failsafe may still be mid-flight, so poll briefly).
-        let refused = (0..1000).any(|_| {
-            std::thread::yield_now();
-            matches!(
-                server.submit(rel, RankQuery::pt(1)),
-                Err(QueryError::Shutdown)
-            )
-        });
-        assert!(refused, "submissions must start failing after the panic");
-        server.shutdown(); // joins the dead worker without hanging
+        // The panic is contained to this entry: its handle resolves to
+        // `Internal` (never hangs), and the panic message survives.
+        match first.recv() {
+            Err(QueryError::Internal { reason }) => {
+                assert!(reason.contains("injected kernel failure"), "{reason}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // The server is still alive: healthy relations keep serving, and
+        // the doomed one keeps resolving (not hanging) per submission.
+        let healthy = server.register("db", db());
+        let ok = server.submit(healthy, RankQuery::pt(1)).unwrap();
+        assert!(ok.recv().is_ok());
+        let again = server.submit(rel, RankQuery::prfe(0.9)).unwrap();
+        assert!(matches!(again.recv(), Err(QueryError::Internal { .. })));
+        assert!(server.metrics().panics_caught >= 2);
+        server.shutdown();
     }
 
     #[test]
@@ -1462,5 +1955,210 @@ mod tests {
         assert!(m.flushes >= 1 && m.flushes <= 6, "{m:?}");
         assert_eq!(m.pending, 0);
         assert_eq!(m.in_flight, 0);
+    }
+
+    #[test]
+    fn expired_deadline_sheds_without_evaluation() {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_millis(1)));
+        let rel = server.register("db", db());
+        let handle = server
+            .submit_with(
+                rel,
+                RankQuery::pt(2),
+                SubmitOptions::new().deadline(Duration::ZERO),
+            )
+            .unwrap();
+        assert!(matches!(handle.recv(), Err(QueryError::TimedOut)));
+        let m = server.metrics();
+        assert_eq!(m.timed_out, 1);
+        // Shed at dequeue: the query was never evaluated.
+        assert_eq!(m.flushed_queries, 0);
+    }
+
+    #[test]
+    fn dropped_tracked_handle_cancels_the_query() {
+        // A one-hour deadline: only the shutdown drain dequeues, and by
+        // then the handle is gone.
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_secs(3600)));
+        let rel = server.register("db", db());
+        let handle = server
+            .submit_with(rel, RankQuery::pt(2), SubmitOptions::new())
+            .unwrap();
+        drop(handle); // trips the cancellation token
+        server.shutdown();
+        let m = server.metrics();
+        assert_eq!(m.timed_out, 1);
+        assert_eq!(m.flushed_queries, 0);
+    }
+
+    #[test]
+    fn untracked_submissions_carry_no_cancel_token() {
+        // Plain `submit` must stay on the PR 7 fast path: no token, so a
+        // dropped handle only discards the answer, never the work.
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_secs(3600)));
+        let rel = server.register("db", db());
+        let handle = server.submit(rel, RankQuery::pt(2)).unwrap();
+        drop(handle);
+        server.shutdown();
+        let m = server.metrics();
+        assert_eq!(m.timed_out, 0);
+        assert_eq!(m.flushed_queries, 1);
+    }
+
+    #[test]
+    fn bulk_class_waits_for_its_own_cadence() {
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_micros(200))
+                .bulk_delay(Duration::from_secs(3600)),
+        );
+        let rel = server.register("db", db());
+        let mut bulk = server
+            .submit_with(rel, RankQuery::pt(2), SubmitOptions::bulk())
+            .unwrap();
+        // The latency class flushes on its 200 µs deadline; the bulk query
+        // does not ride along — its hour-long cadence is nowhere near due.
+        let latency = server.submit(rel, RankQuery::pt(1)).unwrap();
+        assert!(latency.recv().is_ok());
+        assert!(bulk.recv_timeout(Duration::from_millis(50)).is_none());
+        // Shutdown still drains the bulk queue.
+        server.shutdown();
+        let got = bulk.recv().unwrap();
+        assert_eq!(got.report.serve.unwrap().trigger, FlushTrigger::Shutdown);
+    }
+
+    #[test]
+    fn bulk_deadline_flushes_bulk_on_its_own() {
+        // Latency deadline an hour out: only the bulk cadence can flush.
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_secs(3600))
+                .bulk_delay(Duration::from_micros(200)),
+        );
+        let rel = server.register("db", db());
+        let bulk = server
+            .submit_with(rel, RankQuery::pt(2), SubmitOptions::bulk())
+            .unwrap();
+        let got = bulk.recv().unwrap();
+        assert_eq!(got.report.serve.unwrap().trigger, FlushTrigger::Deadline);
+        let want = RankQuery::pt(2).run(&db()).unwrap();
+        assert_eq!(got.ranking.order(), want.ranking.order());
+    }
+
+    #[test]
+    fn dropping_a_subscription_unsubscribes_immediately() {
+        use prf_core::live::LiveRelation;
+
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        let live = Arc::new(LiveRelation::new(db()));
+        let rel = server.register_live("live", Arc::clone(&live));
+        let sub = server.subscribe(rel, RankQuery::pt(2)).unwrap();
+        assert!(sub.recv().is_ok()); // initial snapshot delivered
+        assert_eq!(server.metrics().subscribers_live, 1);
+        drop(sub);
+        // No flush in between: the drop itself removed the subscription.
+        assert_eq!(server.metrics().subscribers_live, 0);
+    }
+
+    #[test]
+    fn injected_eval_panic_requeues_and_answers() {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        server.inject_faults(FaultPlan::new().once("eval", FaultKind::Panic));
+        let rel = server.register("db", db());
+        let handle = server.submit(rel, RankQuery::pt(2)).unwrap();
+        // The first flush attempt panics at the eval site (escaping the
+        // batch layer); the worker re-queues the entry and the retry
+        // answers it correctly.
+        let got = handle.recv().unwrap();
+        let want = RankQuery::pt(2).run(&db()).unwrap();
+        assert_eq!(got.ranking.order(), want.ranking.order());
+        assert!(server.metrics().panics_caught >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_apply_panic_resolves_mutation_and_repairs() {
+        use prf_core::live::{LiveRelation, Mutation};
+
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        server.inject_faults(FaultPlan::new().once("apply", FaultKind::Panic));
+        let live = Arc::new(LiveRelation::new(db()));
+        let rel = server.register_live("live", Arc::clone(&live));
+        let ack = server
+            .apply(
+                rel,
+                Mutation::Insert {
+                    score: 11.0,
+                    prob: 0.25,
+                },
+            )
+            .unwrap()
+            .recv();
+        assert!(matches!(ack, Err(QueryError::Internal { .. })), "{ack:?}");
+        // The panic fired before the backend changed, and the prepared
+        // state was repaired: served answers still match an offline
+        // rebuild of the (unchanged) relation.
+        let served = server
+            .submit(rel, RankQuery::pt(3))
+            .unwrap()
+            .recv()
+            .unwrap();
+        let rebuilt = RankQuery::pt(3).run(&live.snapshot_backend()).unwrap();
+        assert_eq!(served.ranking.order(), rebuilt.ranking.order());
+        let m = server.metrics();
+        assert_eq!(m.mutations_applied, 0);
+        assert!(m.panics_caught >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn killed_worker_is_respawned_and_the_flush_retried() {
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_micros(200))
+                .workers(1)
+                .stuck_after(Duration::from_millis(100)),
+        );
+        server.inject_faults(FaultPlan::new().once("worker", FaultKind::KillWorker));
+        let rel = server.register("db", db());
+        let handle = server.submit(rel, RankQuery::pt(1)).unwrap();
+        // The only worker exits while holding this flush; the supervisor
+        // must respawn one, which retries the re-queued entry.
+        assert!(handle.recv().is_ok());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.metrics().workers_respawned == 0 {
+            assert!(Instant::now() < deadline, "respawn never observed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn twice_interrupted_entry_resolves_internal() {
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_micros(200))
+                .workers(1)
+                .stuck_after(Duration::from_millis(100)),
+        );
+        server.inject_faults(FaultPlan::new().times("worker", FaultKind::KillWorker, 2));
+        let rel = server.register("db", db());
+        let handle = server.submit(rel, RankQuery::pt(1)).unwrap();
+        // First kill re-queues the entry; the second interruption must
+        // resolve it to `Internal` instead of re-queueing forever.
+        let got = handle.recv();
+        assert!(matches!(got, Err(QueryError::Internal { .. })), "{got:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_admit_overload_sheds_the_submission() {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        server.inject_faults(FaultPlan::new().once("admit", FaultKind::Overloaded));
+        let rel = server.register("db", db());
+        let shed = server.submit(rel, RankQuery::pt(1));
+        assert!(matches!(shed, Err(QueryError::Overloaded)), "{shed:?}");
+        // One-shot: the next submission is admitted and served.
+        assert!(server.submit(rel, RankQuery::pt(1)).unwrap().recv().is_ok());
     }
 }

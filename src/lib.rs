@@ -104,9 +104,9 @@ pub use prf_serve as serve;
 pub mod prelude {
     pub use prf_approx::{approximate_weights, DftApproxConfig, ExpMixture};
     pub use prf_core::query::{
-        Algorithm, BatchCost, BatchPlan, BatchRoute, CorrelationClass, EvalReport, FlushTrigger,
-        NumericMode, PreparedRelation, PreparedState, ProbabilisticRelation, QueryBatch,
-        QueryError, RankQuery, RankedResult, Semantics, ServeCost, TopSet, Values,
+        Algorithm, BatchCost, BatchPlan, BatchRoute, CancelToken, CorrelationClass, EvalReport,
+        FlushTrigger, NumericMode, PreparedRelation, PreparedState, ProbabilisticRelation,
+        QueryBatch, QueryError, RankQuery, RankedResult, Semantics, ServeCost, TopSet, Values,
     };
     pub use prf_core::{
         effective_walk_threads, prf_rank, prf_rank_tree, prfe_rank, prfe_rank_log, prfe_rank_tree,
@@ -122,7 +122,7 @@ pub mod prelude {
     pub use prf_numeric::Complex;
     pub use prf_pdb::{AndXorTree, IndependentDb, NodeKind, TreeBuilder, Tuple, TupleId};
     pub use prf_serve::{
-        MutationHandle, RankServer, RankingDelta, RelationId, ResponseHandle, ServeConfig,
-        ServeMetrics, SubscriptionHandle,
+        MutationHandle, Priority, RankServer, RankingDelta, RelationId, ResponseHandle,
+        ServeConfig, ServeMetrics, SubmitOptions, SubscriptionHandle,
     };
 }

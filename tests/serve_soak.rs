@@ -325,3 +325,103 @@ fn mixed_trace_conserves_queries_under_overload() {
     assert_eq!(metrics.pending, 0);
     assert_eq!(metrics.in_flight, 0);
 }
+
+// ---------------------------------------------------------------------
+// Injected-fault soak (chaos builds only)
+// ---------------------------------------------------------------------
+
+/// Soak the pool with a burst of panics, a mutation-path panic, and two
+/// worker kills while many clients submit: **zero wedged handles** — every
+/// accepted submission resolves within the timeout, to a sanctioned
+/// outcome, and the pool is healthy enough afterwards to serve cleanly.
+#[cfg(feature = "chaos")]
+#[test]
+fn injected_fault_soak_leaves_no_wedged_handles() {
+    use prf::serve::{FaultKind, FaultPlan};
+
+    let server = RankServer::new(
+        ServeConfig::new()
+            .max_delay(Duration::from_micros(100))
+            .max_batch(8)
+            .workers(2)
+            .stuck_after(Duration::from_millis(200)),
+    );
+    server.inject_faults(
+        FaultPlan::new()
+            .times("eval", FaultKind::Panic, 5)
+            .times("deliver", FaultKind::Panic, 3)
+            .times("apply", FaultKind::Panic, 2)
+            .times("worker", FaultKind::KillWorker, 2)
+            .times(
+                "flush-take",
+                FaultKind::Delay(Duration::from_micros(200)),
+                4,
+            ),
+    );
+    let live = Arc::new(LiveRelation::new(small_db(6)));
+    let rels = [
+        server.register("a", small_db(7)),
+        server.register_live("live", Arc::clone(&live)),
+    ];
+
+    let (handles, acks) = thread::scope(|s| {
+        let workers: Vec<_> = (0..6)
+            .map(|c: usize| {
+                let server = &server;
+                let rels = &rels;
+                s.spawn(move || {
+                    let mut handles = Vec::new();
+                    let mut acks = Vec::new();
+                    for i in 0..40usize {
+                        if (c + i) % 10 == 0 {
+                            let m = Mutation::Reweight(TupleId((i % 6) as u32), 0.5);
+                            acks.push(server.apply(rels[1], m).expect("accepted"));
+                        } else {
+                            let q = RankQuery::pt(1 + i % 6);
+                            handles.push(server.submit(rels[(c + i) % 2], q).expect("accepted"));
+                        }
+                    }
+                    (handles, acks)
+                })
+            })
+            .collect();
+        let mut handles = Vec::new();
+        let mut acks = Vec::new();
+        for w in workers {
+            let (h, a) = w.join().expect("client");
+            handles.extend(h);
+            acks.extend(a);
+        }
+        (handles, acks)
+    });
+
+    let mut wedged = 0usize;
+    for mut handle in handles {
+        match handle.recv_timeout(Duration::from_secs(30)) {
+            Some(Ok(_)) | Some(Err(QueryError::Internal { .. })) => {}
+            Some(Err(e)) => panic!("soak handle resolved uncleanly: {e}"),
+            None => wedged += 1,
+        }
+    }
+    for mut ack in acks {
+        match ack.recv_timeout(Duration::from_secs(30)) {
+            Some(Ok(_)) | Some(Err(QueryError::Internal { .. })) => {}
+            Some(Err(e)) => panic!("soak mutation resolved uncleanly: {e}"),
+            None => wedged += 1,
+        }
+    }
+    assert_eq!(wedged, 0, "every handle must resolve under injected faults");
+
+    // The pool recovered: once the (finite) plan exhausts, a clean query
+    // round-trips. Early retries may still absorb leftover armed faults.
+    let recovered = (0..20).any(|_| {
+        let after = server.submit(rels[0], RankQuery::pt(2)).expect("accepted");
+        after.recv().is_ok()
+    });
+    assert!(
+        recovered,
+        "pool serves cleanly once the fault plan is exhausted"
+    );
+    assert!(server.metrics().panics_caught >= 1);
+    server.shutdown();
+}

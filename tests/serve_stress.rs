@@ -11,9 +11,12 @@
 //! * a zero deadline flushes immediately;
 //! * a dropped [`ResponseHandle`] never wedges the flusher;
 //! * submissions after shutdown error cleanly;
-//! * no response is ever lost, duplicated, or routed to the wrong query.
+//! * no response is ever lost, duplicated, or routed to the wrong query;
+//! * mutations racing the shutdown are either rejected cleanly or applied
+//!   and acknowledged — never accepted-then-lost.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -184,9 +187,11 @@ fn polling_before_the_flush_then_blocking_still_resolves() {
 type ResolvedSchedule = Vec<(String, usize, Result<RankedResult, QueryError>)>;
 
 /// One seeded schedule: random server config, client count, per-client
-/// submission bursts against two relations of different sizes, and a
-/// shutdown point that may race the submissions. Returns the resolved
-/// submissions plus the count of clean `Shutdown` rejections.
+/// submission bursts against two relations of different sizes (the first
+/// one **live**, with a mutator thread reweighting it mid-schedule), and a
+/// shutdown point that may race everything. Returns the resolved
+/// submissions plus the count of clean `Shutdown` rejections; accepted
+/// mutations are asserted inside (they must all acknowledge).
 fn run_schedule(seed: u64) -> (ResolvedSchedule, usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let deadline = match rng.gen_range(0..4) {
@@ -207,8 +212,9 @@ fn run_schedule(seed: u64) -> (ResolvedSchedule, usize) {
     let sizes = [7usize, 4usize];
 
     let server = RankServer::new(config);
+    let live = Arc::new(LiveRelation::new(small_db(sizes[0])));
     let rels = [
-        server.register("a", small_db(sizes[0])),
+        server.register_live("a", Arc::clone(&live)),
         server.register("b", small_db(sizes[1])),
     ];
     // Pre-draw each client's schedule so the worker threads stay free of
@@ -224,8 +230,19 @@ fn run_schedule(seed: u64) -> (ResolvedSchedule, usize) {
                 .collect()
         })
         .collect();
+    // A mutator schedule against the live relation: reweights only, so the
+    // tuple count the queries are checked against never changes.
+    let mutations: Vec<(usize, f64, bool)> = (0..rng.gen_range(0..7usize))
+        .map(|_| {
+            (
+                rng.gen_range(0..sizes[0]),
+                rng.gen_range(0.1..0.9),
+                rng.gen_bool(0.3),
+            )
+        })
+        .collect();
 
-    let (answers, rejected) = thread::scope(|s| {
+    let (answers, rejected, acks) = thread::scope(|s| {
         let mut workers = Vec::new();
         for schedule in &schedules {
             let server = &server;
@@ -244,6 +261,23 @@ fn run_schedule(seed: u64) -> (ResolvedSchedule, usize) {
                 accepted
             }));
         }
+        let mutator = {
+            let server = &server;
+            let mutations = &mutations;
+            s.spawn(move || {
+                let mut acks = Vec::new();
+                for &(t, p, pause) in mutations {
+                    if pause {
+                        thread::yield_now();
+                    }
+                    match server.apply(rels[0], Mutation::Reweight(TupleId(t as u32), p)) {
+                        Ok(handle) => acks.push(handle),
+                        Err(e) => assert_eq!(e, QueryError::Shutdown, "only clean rejections"),
+                    }
+                }
+                acks
+            })
+        };
         if shutdown_mid {
             let server = &server;
             s.spawn(move || {
@@ -251,6 +285,7 @@ fn run_schedule(seed: u64) -> (ResolvedSchedule, usize) {
                 server.shutdown();
             });
         }
+        let acks = mutator.join().expect("mutator thread");
         let mut answers = Vec::new();
         for w in workers {
             for (name, r, handle) in w.join().expect("client thread") {
@@ -261,9 +296,16 @@ fn run_schedule(seed: u64) -> (ResolvedSchedule, usize) {
         // count of clean `Shutdown` rejections.
         let total: usize = per_client.iter().sum();
         let rejected = total - answers.len();
-        (answers, rejected)
+        (answers, rejected, acks)
     });
     server.shutdown(); // idempotent; guarantees the drain before recv
+
+    // Accepted mutations must acknowledge even when shutdown raced the
+    // schedule: the drain applies pending mutations, never drops them.
+    for ack in acks {
+        ack.recv()
+            .expect("accepted reweights apply (valid tuple, valid probability)");
+    }
 
     let resolved = answers
         .into_iter()
