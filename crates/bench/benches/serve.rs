@@ -47,10 +47,13 @@ fn trace(len: usize) -> Vec<RankQuery> {
 /// blocking on every response (so a benchmark iteration measures complete
 /// end-to-end service, shutdown included).
 fn replay(tree: &prf_pdb::AndXorTree, queries: &[RankQuery], clients: usize) {
+    // Cache off: the trace repeats query shapes, and this group measures
+    // walk sharing, not result reuse (that's `serve_cache`).
     let server = RankServer::new(
         ServeConfig::new()
             .max_delay(Duration::from_millis(2))
-            .max_batch(32),
+            .max_batch(32)
+            .cache_enabled(false),
     );
     let rel = server.register("syn-med", tree.clone());
     thread::scope(|s| {
@@ -121,7 +124,8 @@ fn bench_serve_worker_pool(c: &mut Criterion) {
                     ServeConfig::new()
                         .max_delay(Duration::from_millis(2))
                         .max_batch(32)
-                        .workers(workers),
+                        .workers(workers)
+                        .cache_enabled(false),
                 );
                 let rels: Vec<_> = trees
                     .iter()
@@ -165,7 +169,13 @@ fn bench_serve_latency_floor(c: &mut Criterion) {
         b.iter(|| black_box(q.run(&tree).expect("direct")))
     });
     g.bench_function("served_prfe_zero_deadline", |b| {
-        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+        // Cache off: every iteration repeats the same query, and the floor
+        // being pinned is the *evaluated* round trip.
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::ZERO)
+                .cache_enabled(false),
+        );
         let rel = server.register("syn-med-2k", tree.clone());
         b.iter(|| {
             black_box(
@@ -200,7 +210,11 @@ fn bench_serve_deadline_classes(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("plain_prfe_zero_deadline", |b| {
-        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::ZERO)
+                .cache_enabled(false),
+        );
         let rel = server.register("syn-med", tree.clone());
         b.iter(|| {
             black_box(
@@ -214,7 +228,11 @@ fn bench_serve_deadline_classes(c: &mut Criterion) {
         server.shutdown();
     });
     g.bench_function("tracked_prfe_zero_deadline", |b| {
-        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::ZERO)
+                .cache_enabled(false),
+        );
         let rel = server.register("syn-med", tree.clone());
         let opts = SubmitOptions::new().deadline(Duration::from_secs(3600));
         b.iter(|| {
@@ -253,10 +271,13 @@ fn bench_serve_deadline_classes(c: &mut Criterion) {
         server.shutdown();
     });
     g.bench_function(format!("evaluated_burst_{burst}"), |b| {
+        // Cache (and with it coalescing) off: the burst is 64 *identical*
+        // queries, and this side of the comparison must evaluate them all.
         let server = RankServer::new(
             ServeConfig::new()
                 .max_delay(Duration::from_millis(1))
-                .max_batch(burst),
+                .max_batch(burst)
+                .cache_enabled(false),
         );
         let rel = server.register("syn-med", tree.clone());
         b.iter(|| {
@@ -272,11 +293,103 @@ fn bench_serve_deadline_classes(c: &mut Criterion) {
     g.finish();
 }
 
+/// Result cache: a repeated identical query on an unchanged relation is
+/// served straight from the per-relation cache — no walk, no batch plan.
+///
+/// * `repeat_evaluated_cache_off` — the baseline: the same PRF^e query
+///   round-tripped with the cache disabled, re-evaluated every time.
+/// * `repeat_cache_hit` — the cache warm, every iteration a hit (asserted
+///   through `served_from_cache` and the `cache_hits` counter).
+///
+/// Beyond the criterion numbers, the group **enforces** the acceptance
+/// bound outright: on the 10k-tuple relation the cached round trip must be
+/// at least 10× faster than re-evaluating (in practice it is orders of
+/// magnitude — microseconds of channel hop against a 10k-tuple walk).
+fn bench_serve_cache(c: &mut Criterion) {
+    let n = if measure_mode() { 10_000 } else { 2_000 };
+    let tree = syn_med_tree(n, 3);
+    let q = RankQuery::prfe(0.9).algorithm(Algorithm::ExactGf);
+    let mut g = c.benchmark_group("serve_cache");
+    g.sample_size(10);
+
+    g.bench_function("repeat_evaluated_cache_off", |b| {
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::ZERO)
+                .cache_enabled(false),
+        );
+        let rel = server.register("syn-med", tree.clone());
+        b.iter(|| {
+            let r = server
+                .submit(rel, q.clone())
+                .expect("server is up")
+                .recv()
+                .expect("query succeeds");
+            assert!(!r.report.serve.as_ref().expect("served").served_from_cache);
+            black_box(r)
+        });
+        server.shutdown();
+    });
+    g.bench_function("repeat_cache_hit", |b| {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+        let rel = server.register("syn-med", tree.clone());
+        // Warm: the first submission evaluates and populates the cache.
+        server
+            .submit(rel, q.clone())
+            .expect("server is up")
+            .recv()
+            .expect("warm-up succeeds");
+        b.iter(|| {
+            let r = server
+                .submit(rel, q.clone())
+                .expect("server is up")
+                .recv()
+                .expect("query succeeds");
+            assert!(r.report.serve.as_ref().expect("served").served_from_cache);
+            black_box(r)
+        });
+        assert!(server.metrics().cache_hits > 0, "hits were really counted");
+        server.shutdown();
+    });
+    g.finish();
+
+    // The enforced bound. Minimum evaluated time (most favorable to the
+    // baseline) against the median cached time: ≥ 10× is a generous floor
+    // for a walk vs a lookup, and holds in debug smoke builds too.
+    let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+    let rel = server.register("syn-med", tree.clone());
+    let timed = |expect_hit: bool| {
+        let start = std::time::Instant::now();
+        let r = server
+            .submit(rel, q.clone())
+            .expect("server is up")
+            .recv()
+            .expect("query succeeds");
+        assert_eq!(
+            r.report.serve.as_ref().expect("served").served_from_cache,
+            expect_hit
+        );
+        start.elapsed()
+    };
+    let evaluated = timed(false); // cold: populates the cache
+    let mut hits: Vec<Duration> = (0..15).map(|_| timed(true)).collect();
+    hits.sort();
+    let hit_median = hits[hits.len() / 2];
+    let metrics = server.metrics();
+    assert!(metrics.cache_hits >= 15, "every repeat hit the cache");
+    server.shutdown();
+    assert!(
+        evaluated >= 10 * hit_median,
+        "cached round trip must be ≥10× faster: evaluated {evaluated:?}, hit median {hit_median:?}"
+    );
+}
+
 criterion_group!(
     benches,
     bench_serve_vs_single_dispatch,
     bench_serve_worker_pool,
     bench_serve_latency_floor,
-    bench_serve_deadline_classes
+    bench_serve_deadline_classes,
+    bench_serve_cache
 );
 criterion_main!(benches);

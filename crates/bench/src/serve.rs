@@ -10,6 +10,13 @@
 //! prepared relations add: a **multi-relation** trace served with 1 vs 4
 //! workers (one worker serializes every relation's flushes; the pool
 //! overlaps them), and the zero-deadline per-query overhead floor.
+//!
+//! The result-cache section measures what the per-relation answer cache
+//! saves on a repeated query (a cached round trip vs a full walk) and
+//! what a mutation costs it (the next answer re-evaluates). The earlier
+//! sections run with the cache **off**: their traces repeat query shapes,
+//! and the quantities they pin — walk sharing, worker overlap, the
+//! per-query overhead floor — are evaluation-path properties.
 
 use std::thread;
 use std::time::Duration;
@@ -122,7 +129,8 @@ pub fn run(scale: Scale) {
         let server = RankServer::new(
             ServeConfig::new()
                 .max_delay(Duration::from_millis(2))
-                .max_batch(32),
+                .max_batch(32)
+                .cache_enabled(false),
         );
         let rel = server.register("syn-med", tree.clone());
         let paired: Vec<_> = queries.iter().map(|q| (rel, q.clone())).collect();
@@ -172,7 +180,8 @@ pub fn run(scale: Scale) {
             ServeConfig::new()
                 .max_delay(Duration::from_millis(2))
                 .max_batch(32)
-                .workers(workers),
+                .workers(workers)
+                .cache_enabled(false),
         );
         let rels: Vec<_> = trees
             .iter()
@@ -227,7 +236,11 @@ pub fn run(scale: Scale) {
             q.run(&small).expect("direct");
         }
     });
-    let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+    let server = RankServer::new(
+        ServeConfig::new()
+            .max_delay(Duration::ZERO)
+            .cache_enabled(false),
+    );
     let rel = server.register("small", small.clone());
     let (_, t_served) = timed(|| {
         for _ in 0..reps {
@@ -247,4 +260,112 @@ pub fn run(scale: Scale) {
         overhead_us
     );
     println!("(acceptance: below the PR 5 floor of ~21 us/query)");
+
+    // -----------------------------------------------------------------
+    // Result cache: repeated queries, and what a mutation costs
+    // -----------------------------------------------------------------
+    header("serve: result cache on repeated queries");
+    println!("repeated PRF^e(0.9, exact GF) on Syn-MED n = {n}, zero deadline\n");
+    let q = RankQuery::prfe(0.9).algorithm(Algorithm::ExactGf);
+    let reps = scale.pick(20, 50);
+
+    let server = RankServer::new(
+        ServeConfig::new()
+            .max_delay(Duration::ZERO)
+            .cache_enabled(false),
+    );
+    let rel = server.register("syn-med", tree.clone());
+    let (_, t_eval) = timed(|| {
+        for _ in 0..reps {
+            server
+                .submit(rel, q.clone())
+                .expect("server is up")
+                .recv()
+                .expect("query succeeds");
+        }
+    });
+    server.shutdown();
+
+    let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+    let rel = server.register("syn-med", tree.clone());
+    server
+        .submit(rel, q.clone())
+        .expect("server is up")
+        .recv()
+        .expect("warm-up succeeds");
+    let (_, t_hit) = timed(|| {
+        for _ in 0..reps {
+            let r = server
+                .submit(rel, q.clone())
+                .expect("server is up")
+                .recv()
+                .expect("query succeeds");
+            assert!(r.report.serve.expect("provenance").served_from_cache);
+        }
+    });
+    let hits = server.metrics().cache_hits;
+    server.shutdown();
+    println!(
+        "evaluated (cache off) {} s/query; cached repeat {} s/query: {:.0}x faster \
+         ({hits} hits counted)",
+        fmt(t_eval / reps as f64),
+        fmt(t_hit / reps as f64),
+        t_eval / t_hit,
+    );
+    println!("(acceptance: the cached repeat must be >= 10x faster)\n");
+
+    // What a mutation costs the cache: each write invalidates, the next
+    // query pays a full walk, the one after that hits again.
+    let live = std::sync::Arc::new(prf_serve::LiveRelation::new(
+        prf_pdb::IndependentDb::from_pairs((0..n).map(|i| {
+            (
+                1000.0 + i as f64,
+                0.05 + 0.9 * ((i * 7919) % 997) as f64 / 997.0,
+            )
+        }))
+        .expect("valid pairs"),
+    ));
+    let server = RankServer::new(ServeConfig::new().max_delay(Duration::ZERO));
+    let rel = server.register_live("live", std::sync::Arc::clone(&live));
+    server
+        .submit(rel, q.clone())
+        .expect("server is up")
+        .recv()
+        .expect("warm-up succeeds");
+    let rounds = scale.pick(5, 10);
+    let (_, t_churn) = timed(|| {
+        for i in 0..rounds {
+            server
+                .apply(
+                    rel,
+                    prf_serve::Mutation::Reweight(prf_serve::TupleId((i % n) as u32), 0.5),
+                )
+                .expect("server is up")
+                .recv()
+                .expect("mutation applies");
+            let first = server
+                .submit(rel, q.clone())
+                .expect("server is up")
+                .recv()
+                .expect("query succeeds");
+            assert!(!first.report.serve.expect("provenance").served_from_cache);
+            let repeat = server
+                .submit(rel, q.clone())
+                .expect("server is up")
+                .recv()
+                .expect("query succeeds");
+            assert!(repeat.report.serve.expect("provenance").served_from_cache);
+        }
+    });
+    let m = server.metrics();
+    server.shutdown();
+    println!(
+        "mutate-query-repeat x{rounds} on a live relation (n = {n}): {} s/round; \
+         invalidations {}, hits {}, misses {}",
+        fmt(t_churn / rounds as f64),
+        m.cache_invalidations,
+        m.cache_hits,
+        m.cache_misses,
+    );
+    println!("(every mutation invalidates; the first post-mutation query re-evaluates)");
 }

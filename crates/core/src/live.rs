@@ -268,13 +268,25 @@ impl MutableRelation for AndXorTree {
 // ---------------------------------------------------------------------
 
 /// Cached log-domain PRFe ranking keys for one `α`, patched in O(n) float
-/// adds on a reweight instead of recomputed.
+/// adds on every mutation kind instead of recomputed.
 ///
 /// For independent tuples in score order, `key(t_k) = ln α + ln p_k +
-/// Σ_{i<k} ln f_i` with `f = 1 − p + p·α`. Reweighting the tuple at sorted
-/// position `k` shifts its own key by `ln p_new − ln p_old` and every
-/// *later* key by `ln f_new − ln f_old`; keys at `−∞` (zero-probability
-/// tuples) stay `−∞` under the unconditional add.
+/// Σ_{i<k} ln f_i` with `f = 1 − p + p·α`. All three mutations are local
+/// in this form:
+///
+/// * **reweight** of the tuple at sorted position `k` shifts its own key
+///   by `ln p_new − ln p_old` and every *later* key by `ln f_new − ln
+///   f_old`; keys at `−∞` (zero-probability tuples) stay `−∞` under the
+///   unconditional add;
+/// * **insert** at sorted position `k` recovers the prefix sum `Σ_{i<k}
+///   ln f_i` from the predecessor's key, forms the new key from it, and
+///   shifts every later key by `+ln f_new`;
+/// * **delete** from sorted position `k` shifts every later key by
+///   `−ln f_old` and drops the tuple's own entry.
+///
+/// Coverage is guarded (`α > 0`, the probabilities a recovery divides by
+/// strictly positive, shapes consistent); outside it the cache drops and
+/// the next query recomputes — never patches with garbage.
 struct PrfeLogCache {
     alpha: f64,
     keys: Vec<f64>,
@@ -311,64 +323,177 @@ impl PrfeLogCache {
         true
     }
 
-    /// Re-ranks after a reweight of the tuple at score position `k` in
-    /// O(n), no sort: keys before `k` are untouched and keys after `k` all
-    /// moved by the *same* constant, so the old ranked order restricted to
-    /// either side is still sorted. The new order is the merge of the two
-    /// sides plus one binary-search insert of `t` itself. (A uniform float
-    /// shift can collapse a strict inequality into a tie, flipping an
-    /// id-tiebreak relative to a fresh sort — the same sub-ulp ambiguity
-    /// the patched keys already carry versus recomputed ones.)
+    /// Patches the cache for an insert of `t` (the relation's new largest
+    /// id) into the post-insert descending score order `order`, with
+    /// `probs` the post-insert probabilities by id. The closed form
+    /// extends one prefix product: the prefix sum `Σ_{i<k} ln f_i` is
+    /// recovered from the predecessor's key (`key_v − ln α − ln p_v +
+    /// ln f_v`), the new key is `ln α + ln p_t` plus that prefix, and
+    /// every later key shifts by the shared constant `+ln f_t`. Returns
+    /// `false` (cache must drop) when the recovery is not covered:
+    /// `α = 0`, a zero-probability or `−∞`-keyed predecessor, or a shape
+    /// mismatch.
+    fn patch_insert(&mut self, order: &[TupleId], t: TupleId, probs: &[f64]) -> bool {
+        if self.alpha <= 0.0
+            || t.index() != self.keys.len()
+            || order.len() != self.keys.len() + 1
+            || probs.len() != order.len()
+        {
+            return false;
+        }
+        let Some(k) = order.iter().position(|&o| o == t) else {
+            return false;
+        };
+        let p_new = probs[t.index()];
+        if !(0.0..=1.0).contains(&p_new) {
+            return false;
+        }
+        let prefix = if k == 0 {
+            0.0
+        } else {
+            let v = order[k - 1];
+            let (p_v, key_v) = (probs[v.index()], self.keys[v.index()]);
+            if p_v <= 0.0 || p_v.is_nan() || !key_v.is_finite() {
+                return false;
+            }
+            key_v - self.alpha.ln() - p_v.ln() + (1.0 - p_v + p_v * self.alpha).ln()
+        };
+        let df = (1.0 - p_new + p_new * self.alpha).ln();
+        if df != 0.0 {
+            for &o in &order[k + 1..] {
+                self.keys[o.index()] += df;
+            }
+        }
+        self.keys.push(self.alpha.ln() + p_new.ln() + prefix);
+        self.remerge(order, k, t);
+        true
+    }
+
+    /// Patches the cache for a delete of old id `t` from sorted position
+    /// `k_old` in the *pre-delete* order, with pre-delete probability
+    /// `p_old`; `order` is the post-delete score order over renumbered
+    /// ids. Every key after the vacated position shifts back by
+    /// `−ln f_old`, the merged ranking drops `t` and renumbers, and the
+    /// tuple's own key entry is removed. Covered only for `α > 0` (where
+    /// `f_old > 0`) and a consistent shape.
+    fn patch_delete(&mut self, order: &[TupleId], t: TupleId, k_old: usize, p_old: f64) -> bool {
+        if self.alpha <= 0.0
+            || !(0.0..=1.0).contains(&p_old)
+            || order.len() + 1 != self.keys.len()
+            || t.index() >= self.keys.len()
+            || k_old > order.len()
+        {
+            return false;
+        }
+        let df = (1.0 - p_old + p_old * self.alpha).ln();
+        if df != 0.0 {
+            // `order` carries post-delete ids; keys are still indexed by
+            // pre-delete ids, so map across the dense-id renumbering.
+            for &o in &order[k_old..] {
+                self.keys[o.index() + (o.index() >= t.index()) as usize] -= df;
+            }
+        }
+        self.remerge_delete(order, k_old, t);
+        self.keys.remove(t.index());
+        true
+    }
+
+    /// Re-ranks after a mutation touching score position `k` in O(n), no
+    /// sort: keys before `k` are untouched and keys after `k` all moved by
+    /// the *same* constant, so the old ranked order restricted to either
+    /// side is still sorted. The new order is the merge of the two sides
+    /// plus one binary-search insert of `t` itself — which also covers
+    /// inserts, where `t` is simply absent from the old ranking. (A
+    /// uniform float shift can collapse a strict inequality into a tie,
+    /// flipping an id-tiebreak relative to a fresh sort — the same sub-ulp
+    /// ambiguity the patched keys already carry versus recomputed ones.)
     fn remerge(&mut self, order: &[TupleId], k: usize, t: TupleId) {
         let Some(old) = self.ranked.take() else {
             return;
         };
         let mut suffix = vec![false; old.len()];
         for &o in &order[k + 1..] {
-            suffix[o.index()] = true;
-        }
-        let keys = &self.keys;
-        let before = |a: TupleId, b: TupleId| {
-            let (ka, kb) = (keys[a.index()], keys[b.index()]);
-            ka > kb || (ka == kb && a < b)
-        };
-        let mut merged = Vec::with_capacity(old.len());
-        let mut hi = old
-            .iter()
-            .copied()
-            .filter(|&o| o != t && !suffix[o.index()])
-            .peekable();
-        let mut lo = old
-            .iter()
-            .copied()
-            .filter(|&o| o != t && suffix[o.index()])
-            .peekable();
-        loop {
-            match (hi.peek(), lo.peek()) {
-                (Some(&x), Some(&y)) => {
-                    if before(x, y) {
-                        merged.push(x);
-                        hi.next();
-                    } else {
-                        merged.push(y);
-                        lo.next();
-                    }
-                }
-                (Some(_), None) => {
-                    merged.extend(hi);
-                    break;
-                }
-                (None, Some(_)) => {
-                    merged.extend(lo);
-                    break;
-                }
-                (None, None) => break,
+            if o != t {
+                suffix[o.index()] = true;
             }
         }
-        let pos = merged.partition_point(|&o| before(o, t));
+        let mut merged = merge_ranked(&old, &self.keys, &suffix, t);
+        let pos = merged.partition_point(|&o| ranks_before(&self.keys, o, t));
         merged.insert(pos, t);
         self.ranked = Some(merged);
     }
+
+    /// Delete-side counterpart of [`PrfeLogCache::remerge`]: merges the
+    /// prefix and (uniformly shifted) suffix sides of the old ranking,
+    /// leaves the deleted tuple out, and renumbers surviving ids down
+    /// across the vacated one. Runs against pre-delete keys — call before
+    /// removing `t`'s key entry.
+    fn remerge_delete(&mut self, order: &[TupleId], k_old: usize, t: TupleId) {
+        let Some(old) = self.ranked.take() else {
+            return;
+        };
+        let mut suffix = vec![false; old.len()];
+        for &o in &order[k_old..] {
+            suffix[o.index() + (o.index() >= t.index()) as usize] = true;
+        }
+        let mut merged = merge_ranked(&old, &self.keys, &suffix, t);
+        for o in merged.iter_mut() {
+            if o.0 > t.0 {
+                *o = TupleId(o.0 - 1);
+            }
+        }
+        self.ranked = Some(merged);
+    }
+}
+
+/// `true` when `a` ranks strictly before `b` under `keys` (higher key
+/// first, ties by tuple id) — the comparator [`crate::topk::Ranking::from_keys`]
+/// uses, so merged orders match fresh sorts exactly.
+fn ranks_before(keys: &[f64], a: TupleId, b: TupleId) -> bool {
+    let (ka, kb) = (keys[a.index()], keys[b.index()]);
+    ka > kb || (ka == kb && a < b)
+}
+
+/// Merges an old best-first ranking whose `suffix`-marked tuples all moved
+/// by one shared key constant: both restrictions of `old` are still
+/// sorted, so a single linear merge (on the already-patched `keys`)
+/// rebuilds the order. `skip` is left out entirely — the mutated tuple,
+/// re-inserted or dropped by the caller.
+fn merge_ranked(old: &[TupleId], keys: &[f64], suffix: &[bool], skip: TupleId) -> Vec<TupleId> {
+    let mut merged = Vec::with_capacity(old.len());
+    let mut hi = old
+        .iter()
+        .copied()
+        .filter(|&o| o != skip && !suffix[o.index()])
+        .peekable();
+    let mut lo = old
+        .iter()
+        .copied()
+        .filter(|&o| o != skip && suffix[o.index()])
+        .peekable();
+    loop {
+        match (hi.peek(), lo.peek()) {
+            (Some(&x), Some(&y)) => {
+                if ranks_before(keys, x, y) {
+                    merged.push(x);
+                    hi.next();
+                } else {
+                    merged.push(y);
+                    lo.next();
+                }
+            }
+            (Some(_), None) => {
+                merged.extend(hi);
+                break;
+            }
+            (None, Some(_)) => {
+                merged.extend(lo);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    merged
 }
 
 // ---------------------------------------------------------------------
@@ -463,6 +588,11 @@ impl<B: MutableRelation> LiveInner<B> {
 pub struct LiveRelation<B> {
     inner: RwLock<LiveInner<B>>,
     generation: AtomicU64,
+    /// Chaos/test hook fired inside [`LiveRelation::apply`] between the
+    /// prepared-plan patch and the log-key cache patch; see
+    /// [`LiveRelation::arm_mutation_probe`].
+    #[cfg(any(test, feature = "chaos"))]
+    mutation_probe: std::sync::Mutex<Option<std::sync::Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl<B: MutableRelation> LiveRelation<B> {
@@ -476,6 +606,36 @@ impl<B: MutableRelation> LiveRelation<B> {
                 log_cache: None,
             }),
             generation: AtomicU64::new(0),
+            #[cfg(any(test, feature = "chaos"))]
+            mutation_probe: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// Arms a probe invoked inside every subsequent [`LiveRelation::apply`],
+    /// between the prepared-plan patch and the log-key cache patch. A
+    /// panicking probe models a crash mid-apply: the backend has mutated
+    /// and the plan is patched, but the key cache and the generation
+    /// counter still describe the pre-mutation relation — exactly the
+    /// half-applied state [`LiveRelation::repair`] (driven by the serving
+    /// layer's panic recovery) must fix before anything is served.
+    /// Compiled only under `cfg(any(test, feature = "chaos"))`.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn arm_mutation_probe(&self, probe: impl Fn() + Send + Sync + 'static) {
+        *self
+            .mutation_probe
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(std::sync::Arc::new(probe));
+    }
+
+    #[cfg(any(test, feature = "chaos"))]
+    fn fire_mutation_probe(&self) {
+        let probe = self
+            .mutation_probe
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        if let Some(p) = probe {
+            p();
         }
     }
 
@@ -496,6 +656,18 @@ impl<B: MutableRelation> LiveRelation<B> {
     /// On error nothing changes.
     pub fn apply(&self, m: &Mutation) -> Result<MutationEffect, PdbError> {
         let mut inner = self.write();
+        // A delete's key patch needs the tuple's sorted position and
+        // probability from the *pre-mutation* relation — both are gone
+        // once the backend applies the delete — so capture them up front
+        // (only when there is a cache to patch).
+        let del_ctx = match (m, &inner.log_cache) {
+            (Mutation::Delete(t), Some(_)) => inner
+                .prepared
+                .independent_order()
+                .and_then(|o| o.iter().position(|&x| x == *t))
+                .zip(inner.backend.tuple_marginals().get(t.index()).copied()),
+            _ => None,
+        };
         let effect = inner.backend.apply_mutation(m)?;
         let LiveInner {
             backend,
@@ -505,8 +677,14 @@ impl<B: MutableRelation> LiveRelation<B> {
         if !backend.patch_prepared(prepared, &effect) {
             *prepared = backend.prepare();
         }
-        // The log-key closed form only survives a pure reweight over an
-        // independent score order; anything else invalidates the cache.
+        // Chaos hook: a panic here models a crash between the plan patch
+        // and the key-cache patch — the half-applied state `repair` fixes.
+        #[cfg(any(test, feature = "chaos"))]
+        self.fire_mutation_probe();
+        // The log-key closed form covers all three mutations over an
+        // independent score order (away from the α = 0 / zero-probability
+        // edge cases each patch guards); anything else invalidates the
+        // cache rather than patching with garbage.
         let patched = match (&effect, &mut *log_cache) {
             (
                 MutationEffect::Reweighted {
@@ -521,8 +699,19 @@ impl<B: MutableRelation> LiveRelation<B> {
                 }
                 _ => false,
             },
+            (MutationEffect::Inserted(t), Some(cache)) => match prepared.independent_order() {
+                Some(order) => cache.patch_insert(order, *t, &backend.tuple_marginals()),
+                _ => false,
+            },
+            (MutationEffect::Deleted(t), Some(cache)) => {
+                match (prepared.independent_order(), del_ctx) {
+                    (Some(order), Some((k_old, p_old))) => {
+                        cache.patch_delete(order, *t, k_old, p_old)
+                    }
+                    _ => false,
+                }
+            }
             (_, None) => true,
-            _ => false,
         };
         if !patched {
             *log_cache = None;
@@ -914,13 +1103,23 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "patched {a} vs fresh {b}");
             }
         }
-        // Inserts invalidate: the closed form does not cover them.
+        // Inserts and deletes are covered by the closed-form patch too.
         live.apply(&Mutation::Insert {
-            score: 1.0,
+            score: 35.0,
             prob: 0.5,
         })
         .unwrap();
-        assert!(live.read().log_cache.is_none());
+        assert!(live.read().log_cache.is_some(), "cache survives insert");
+        let fresh = LiveRelation::new(live.snapshot_backend()).prfe_log_keys(0.7);
+        for (a, b) in live.prfe_log_keys(0.7).iter().zip(fresh) {
+            assert!((a - b).abs() < 1e-9, "insert-patched {a} vs fresh {b}");
+        }
+        live.apply(&Mutation::Delete(TupleId(1))).unwrap();
+        assert!(live.read().log_cache.is_some(), "cache survives delete");
+        let fresh = LiveRelation::new(live.snapshot_backend()).prfe_log_keys(0.7);
+        for (a, b) in live.prfe_log_keys(0.7).iter().zip(fresh) {
+            assert!((a - b).abs() < 1e-9, "delete-patched {a} vs fresh {b}");
+        }
     }
 
     #[test]
@@ -1058,5 +1257,109 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The key cache (keys *and* merged ranking) must survive a mixed
+    /// insert/delete/reweight churn: after every step the merged order
+    /// equals a fresh sort of the patched keys, and the keys track a
+    /// rebuilt backend to 1e-9 relative.
+    #[test]
+    fn ranked_cache_survives_insert_delete_churn() {
+        let pairs: Vec<(f64, f64)> = (0..48)
+            .map(|i| {
+                (
+                    1000.0 - 3.0 * i as f64,
+                    0.05 + 0.9 * ((i * 7919) % 997) as f64 / 997.0,
+                )
+            })
+            .collect();
+        let live = LiveRelation::new(IndependentDb::from_pairs(pairs).unwrap());
+        let alpha = 0.8;
+        let _ = live.prfe_log_ranked(alpha).expect("live serves ranked");
+        for step in 0..150usize {
+            let n = live.n_tuples();
+            match step % 3 {
+                // Interior scores so inserts land at every sorted position.
+                0 => {
+                    live.apply(&Mutation::Insert {
+                        score: 1000.0 - ((step * 41) % 160) as f64,
+                        prob: 0.03 + 0.9 * ((step * 131) % 89) as f64 / 89.0,
+                    })
+                    .unwrap();
+                }
+                1 => {
+                    live.apply(&Mutation::Delete(TupleId(((step * 13) % n) as u32)))
+                        .unwrap();
+                }
+                _ => {
+                    live.apply(&Mutation::Reweight(
+                        TupleId(((step * 31) % n) as u32),
+                        0.02 + 0.95 * ((step * 71) % 53) as f64 / 53.0,
+                    ))
+                    .unwrap();
+                }
+            }
+            assert!(
+                live.read().log_cache.is_some(),
+                "step {step}: cache must survive covered mutations"
+            );
+            let (keys, order) = live.prfe_log_ranked(alpha).expect("cache present");
+            let fresh = crate::topk::Ranking::from_keys(&keys);
+            assert_eq!(
+                order,
+                fresh.order(),
+                "step {step}: merged order must equal a fresh sort of the patched keys"
+            );
+            let rebuilt = live.snapshot_backend().prfe_log_keys(alpha);
+            assert_eq!(keys.len(), rebuilt.len(), "step {step}");
+            for (a, b) in keys.iter().zip(rebuilt) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                    "step {step}: patched key {a} drifted from rebuilt {b}"
+                );
+            }
+        }
+    }
+
+    /// A panic between the plan patch and the key-cache patch (the armed
+    /// mutation probe) leaves the backend mutated but the generation and
+    /// key cache stale; [`LiveRelation::repair`] must restore full
+    /// consistency with a rebuild.
+    #[test]
+    fn mid_apply_panic_repairs_to_rebuild() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let live = Arc::new(LiveRelation::new(db5()));
+        let _ = live.prfe_log_keys(0.7); // populate the key cache
+        let armed = Arc::new(AtomicBool::new(true));
+        let once = armed.clone();
+        live.arm_mutation_probe(move || {
+            if once.swap(false, Ordering::SeqCst) {
+                panic!("injected mid-apply fault");
+            }
+        });
+        let gen_before = live.mutations_applied();
+        let hit = catch_unwind(AssertUnwindSafe(|| {
+            live.apply(&Mutation::Reweight(TupleId(0), 0.02))
+        }));
+        assert!(hit.is_err(), "the armed probe must escape apply");
+        // Half-applied: the backend holds the new probability, but the
+        // generation never bumped, so wrappers would serve stale state.
+        assert_eq!(live.mutations_applied(), gen_before);
+        live.repair();
+        assert!(
+            live.read().log_cache.is_none(),
+            "repair discards derived state"
+        );
+        assert!(
+            live.mutations_applied() > gen_before,
+            "repair must advance the generation so wrappers re-prepare"
+        );
+        assert_live_matches_rebuild(&live, "post-repair");
+        // The disarmed probe lets later mutations through unharmed.
+        live.apply(&Mutation::Reweight(TupleId(1), 0.9)).unwrap();
+        assert_live_matches_rebuild(&live, "after-repair mutation");
     }
 }

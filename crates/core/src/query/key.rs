@@ -1,0 +1,206 @@
+//! Canonical cache keys for ranking queries.
+//!
+//! A serving layer that caches answers needs a notion of "the same query":
+//! two [`RankQuery`]s must map to the same key **iff** they are guaranteed
+//! to produce the same [`crate::query::RankedResult`] against the same
+//! relation state. [`RankQuery::cache_key`] builds that canonical form:
+//!
+//! * the semantics parameters are normalized bit-exactly (`−0.0` folds
+//!   into `+0.0` for PRFe's α, so the two spellings of zero share a key);
+//! * the requested [`Algorithm`] is part of the key — an explicit
+//!   `LogDomain` request and an `Auto` request are distinct keys even when
+//!   `Auto` would resolve to `LogDomain`, because resolution depends on
+//!   the relation and the report echoes the request;
+//! * `top_k` and the [`ValueOrder`] override are part of the key (they
+//!   change the answer); the `threads` hint and any cancellation token are
+//!   **not** (they change only how the answer is computed);
+//! * `PT(h)` and `Consensus(h)` keep **distinct** keys even though they
+//!   are value-identical by Theorem 2 — the report's semantics echo
+//!   differs, and a cache must return byte-faithful answers.
+//!
+//! Two query shapes are deliberately **uncacheable** (`cache_key` returns
+//! `None`): PRFω with an arbitrary weight function (closure identity is
+//! not canonicalizable) and an explicit [`Algorithm::DftApprox`] request
+//! (its config carries free-form floats; the `Auto` route that *resolves*
+//! to a DFT mixture stays cacheable because resolution is deterministic).
+
+use crate::topk::ValueOrder;
+
+use super::{Algorithm, RankQuery, Semantics};
+
+/// Bit pattern of an `f64` with `−0.0` folded into `+0.0`, so the two
+/// zeros — which compare equal and evaluate identically — share a key.
+fn canon_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+/// The semantics part of a [`QueryKey`]: every cacheable variant with its
+/// parameters in canonical (bit-exact, hashable) form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum SemanticsKey {
+    /// PRFe(α), α as canonical `(re, im)` bit patterns.
+    Prfe(u64, u64),
+    Pt(usize),
+    UTop(usize),
+    URank(usize),
+    ERank,
+    EScore,
+    Consensus(usize),
+}
+
+/// The algorithm part of a [`QueryKey`]: the *requested* strategy.
+/// `DftApprox` has no entry — explicit requests are uncacheable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum AlgorithmKey {
+    Auto,
+    ExactGf,
+    LogDomain,
+    Scaled,
+}
+
+/// Canonical identity of a cacheable [`RankQuery`]: equal keys guarantee
+/// value-identical answers against the same relation state (same
+/// generation). Built by [`RankQuery::cache_key`]; opaque beyond
+/// `Eq + Hash` — the serving layer uses it purely as a map key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    semantics: SemanticsKey,
+    algorithm: AlgorithmKey,
+    top_k: Option<usize>,
+    value_order: Option<ValueOrder>,
+}
+
+impl RankQuery {
+    /// The query's canonical cache key, or `None` for query shapes whose
+    /// identity cannot be canonicalized — PRFω with an arbitrary weight
+    /// function, and explicit [`Algorithm::DftApprox`] requests.
+    ///
+    /// Equal keys guarantee value-identical answers against the same
+    /// relation state: the semantics parameters enter bit-exactly (with
+    /// `−0.0` folded into `+0.0`), the *requested* algorithm, `top_k`,
+    /// and any [`ValueOrder`] override are part of the key, while the
+    /// `threads` hint and cancellation token (which change only how the
+    /// answer is computed, never its value) are not. `PT(h)` and
+    /// `Consensus(h)` keep distinct keys: value-identical by Theorem 2,
+    /// but their reports echo different semantics names and a cached
+    /// answer must be byte-faithful.
+    pub fn cache_key(&self) -> Option<QueryKey> {
+        let semantics = match self.semantics() {
+            // An arbitrary ω is a closure behind an `Arc`: no canonical
+            // identity, so no key — such queries always evaluate.
+            Semantics::Prf(_) => return None,
+            Semantics::Prfe(alpha) => {
+                SemanticsKey::Prfe(canon_bits(alpha.re), canon_bits(alpha.im))
+            }
+            Semantics::Pt(h) => SemanticsKey::Pt(*h),
+            Semantics::UTop(k) => SemanticsKey::UTop(*k),
+            Semantics::URank(k) => SemanticsKey::URank(*k),
+            Semantics::ERank => SemanticsKey::ERank,
+            Semantics::EScore => SemanticsKey::EScore,
+            Semantics::Consensus(k) => SemanticsKey::Consensus(*k),
+        };
+        let algorithm = match self.algorithm {
+            Algorithm::Auto => AlgorithmKey::Auto,
+            Algorithm::ExactGf => AlgorithmKey::ExactGf,
+            Algorithm::LogDomain => AlgorithmKey::LogDomain,
+            Algorithm::Scaled => AlgorithmKey::Scaled,
+            // The mixture config carries free-form floats (oversampling,
+            // damping); keep explicit requests out of the cache rather
+            // than guess at their equivalence classes.
+            Algorithm::DftApprox(_) => return None,
+        };
+        Some(QueryKey {
+            semantics,
+            algorithm,
+            top_k: self.top_k,
+            value_order: self.value_order,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prf_numeric::Complex;
+
+    use crate::weights::StepWeight;
+
+    #[test]
+    fn identical_queries_share_a_key() {
+        let a = RankQuery::prfe(0.9).top_k(3);
+        let b = RankQuery::prfe(0.9).top_k(3);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert!(a.cache_key().is_some());
+    }
+
+    #[test]
+    fn parameters_that_change_the_answer_change_the_key() {
+        let base = RankQuery::pt(2).cache_key().unwrap();
+        assert_ne!(RankQuery::pt(3).cache_key().unwrap(), base);
+        assert_ne!(RankQuery::pt(2).top_k(1).cache_key().unwrap(), base);
+        assert_ne!(
+            RankQuery::pt(2)
+                .value_order(ValueOrder::RealPart)
+                .cache_key()
+                .unwrap(),
+            base
+        );
+        assert_ne!(
+            RankQuery::pt(2)
+                .algorithm(Algorithm::ExactGf)
+                .cache_key()
+                .unwrap(),
+            base
+        );
+    }
+
+    #[test]
+    fn threads_and_cancellation_do_not_change_the_key() {
+        let base = RankQuery::prfe(0.5).cache_key().unwrap();
+        assert_eq!(RankQuery::prfe(0.5).parallel(4).cache_key().unwrap(), base);
+        assert_eq!(
+            RankQuery::prfe(0.5)
+                .cancel_token(crate::query::CancelToken::new())
+                .cache_key()
+                .unwrap(),
+            base
+        );
+    }
+
+    #[test]
+    fn negative_zero_alpha_folds_into_positive_zero() {
+        assert_eq!(
+            RankQuery::prfe(0.0).cache_key(),
+            RankQuery::prfe(-0.0).cache_key()
+        );
+        assert_eq!(
+            RankQuery::prfe_complex(Complex::new(0.5, -0.0)).cache_key(),
+            RankQuery::prfe_complex(Complex::new(0.5, 0.0)).cache_key()
+        );
+    }
+
+    #[test]
+    fn pt_and_consensus_stay_distinct() {
+        // Value-identical by Theorem 2, but the report's semantics echo
+        // differs — a cache hit must be byte-faithful.
+        assert_ne!(
+            RankQuery::pt(4).cache_key().unwrap(),
+            RankQuery::consensus(4).cache_key().unwrap()
+        );
+    }
+
+    #[test]
+    fn uncacheable_shapes_have_no_key() {
+        assert!(RankQuery::prf(StepWeight { h: 2 }).cache_key().is_none());
+        assert!(RankQuery::pt(300)
+            .algorithm(Algorithm::DftApprox(
+                crate::mixture::DftApproxConfig::refined(40)
+            ))
+            .cache_key()
+            .is_none());
+    }
+}

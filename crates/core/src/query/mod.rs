@@ -61,10 +61,12 @@ use crate::weights::{tabulate, StepWeight, WeightFunction};
 
 pub mod batch;
 pub mod kernels;
+mod key;
 mod prepared;
 mod relation;
 
 pub use batch::{BatchCost, BatchPlan, BatchRoute, QueryBatch};
+pub use key::QueryKey;
 pub use prepared::{PreparedRelation, PreparedState};
 pub use relation::{CorrelationClass, ProbabilisticRelation};
 
@@ -347,6 +349,12 @@ pub struct ServeCost {
     /// bounded queue ([`QueryError::Overloaded`]) up to the flush that
     /// served this query.
     pub shed: u64,
+    /// `true` when this answer was served from the relation's result cache
+    /// (same [`QueryKey`], same relation generation) instead of joining
+    /// the flush's shared walk — the timing fields of the surrounding
+    /// [`EvalReport`] then describe the evaluation that *populated* the
+    /// cache, not this delivery.
+    pub served_from_cache: bool,
 }
 
 /// What the engine actually did: echoed parameters, resolved choices, and

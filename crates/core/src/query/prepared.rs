@@ -174,10 +174,18 @@ impl std::fmt::Debug for PreparedState {
 pub struct PreparedRelation {
     rel: Arc<dyn ProbabilisticRelation + Send + Sync>,
     state: RwLock<PreparedState>,
-    /// The `rel.generation()` the cached state was built from. Read
-    /// *before* `rel.prepare()` when refreshing, so a mutation racing the
-    /// rebuild at worst records an older generation than the state it
-    /// labels — causing one harmless extra re-prepare, never staleness.
+    /// The `rel.generation()` the cached state was built from.
+    ///
+    /// Invariant: `seen_generation` is never *newer* than the state it
+    /// labels. Both rebuild sites ([`PreparedRelation::new`] and the
+    /// refresh in `snapshot`) read the generation **before** calling
+    /// `rel.prepare()`, so a mutation racing the rebuild at worst tags a
+    /// post-mutation snapshot with a pre-mutation generation — causing one
+    /// harmless extra re-prepare on the next query, never staleness. (The
+    /// opposite order would label a pre-mutation snapshot as current and
+    /// serve a stale sort/plan forever; pinned by the
+    /// `mutation_racing_a_rebuild_never_labels_state_too_new` regression
+    /// test.)
     seen_generation: AtomicU64,
 }
 
@@ -223,6 +231,9 @@ impl PreparedRelation {
                 .write()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             // Re-check: another thread may have refreshed while we waited.
+            // The generation MUST be read before `prepare()` (see the
+            // `seen_generation` invariant): a mutation landing mid-prepare
+            // then re-triggers a refresh instead of being masked.
             let generation = self.rel.generation();
             if generation != self.seen_generation.load(Ordering::Acquire) {
                 *state = self.rel.prepare();
@@ -560,5 +571,120 @@ mod tests {
         let direct = rel.db.lock().unwrap().prf_values(&w, None);
         assert_complex_eq(&prepared.prf_values(&w, None), &direct, "v2");
         assert_eq!(ProbabilisticRelation::generation(&prepared), 1);
+    }
+
+    /// Regression test for the generation/prepare race: when a mutation
+    /// lands *during* `prepare()` — the snapshot describes the pre-swap
+    /// relation while the generation counter has already moved on — the
+    /// wrapper must tag the state with the generation read *before* the
+    /// snapshot, so the next query re-prepares instead of serving the
+    /// stale sort forever. (Recording the post-prepare generation would
+    /// label the pre-swap snapshot as current: silent staleness.)
+    #[test]
+    fn mutation_racing_a_rebuild_never_labels_state_too_new() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Mutex;
+
+        struct RacingPrepare {
+            db: Mutex<IndependentDb>,
+            generation: AtomicU64,
+            /// Databases swapped in mid-`prepare()`, one per call: the
+            /// returned state then describes the relation from *before*
+            /// the swap while the generation already counts it.
+            swap_mid_prepare: Mutex<Vec<IndependentDb>>,
+        }
+        impl RacingPrepare {
+            fn swap(&self, db: IndependentDb) {
+                *self.db.lock().unwrap() = db;
+                self.generation.fetch_add(1, Ordering::Release);
+            }
+        }
+        impl ProbabilisticRelation for RacingPrepare {
+            fn n_tuples(&self) -> usize {
+                self.db.lock().unwrap().len()
+            }
+            fn tuple_scores(&self) -> Vec<f64> {
+                self.db.lock().unwrap().scores()
+            }
+            fn tuple_marginals(&self) -> Vec<f64> {
+                self.db.lock().unwrap().probabilities()
+            }
+            fn correlation_class(&self) -> CorrelationClass {
+                CorrelationClass::Independent
+            }
+            fn prf_values(
+                &self,
+                omega: &(dyn crate::weights::WeightFunction + Sync),
+                threads: Option<usize>,
+            ) -> Vec<Complex> {
+                self.db.lock().unwrap().prf_values(omega, threads)
+            }
+            fn prfe_values(&self, alpha: Complex) -> Vec<Complex> {
+                self.db.lock().unwrap().prfe_values(alpha)
+            }
+            fn generation(&self) -> u64 {
+                self.generation.load(Ordering::Acquire)
+            }
+            fn prepare(&self) -> PreparedState {
+                let state = ProbabilisticRelation::prepare(&*self.db.lock().unwrap());
+                if let Some(next) = self.swap_mid_prepare.lock().unwrap().pop() {
+                    self.swap(next);
+                }
+                state // describes the pre-swap relation
+            }
+            fn run_shared_walk_prepared(
+                &self,
+                spec: &SharedWalkSpec,
+                prep: &PreparedState,
+            ) -> Option<SharedWalkOut> {
+                self.db.lock().unwrap().run_shared_walk_prepared(spec, prep)
+            }
+            fn prf_values_prepared(
+                &self,
+                omega: &(dyn crate::weights::WeightFunction + Sync),
+                threads: Option<usize>,
+                prep: &PreparedState,
+            ) -> (Vec<Complex>, Option<GfStats>) {
+                self.db
+                    .lock()
+                    .unwrap()
+                    .prf_values_prepared(omega, threads, prep)
+            }
+        }
+
+        // v1 → v2 → v3 permute the same scores, so a stale cached order is
+        // silently wrong (no length guard can catch it).
+        let v1 = IndependentDb::from_pairs([(10.0, 0.9), (5.0, 0.4), (1.0, 0.7)]).unwrap();
+        let v2 = IndependentDb::from_pairs([(1.0, 0.9), (10.0, 0.4), (5.0, 0.7)]).unwrap();
+        let v3 = IndependentDb::from_pairs([(5.0, 0.9), (1.0, 0.4), (10.0, 0.7)]).unwrap();
+        let rel = Arc::new(RacingPrepare {
+            db: Mutex::new(v1),
+            generation: AtomicU64::new(0),
+            swap_mid_prepare: Mutex::new(vec![]),
+        });
+        let prepared = PreparedRelation::new(rel.clone());
+        let w = StepWeight { h: 1 };
+
+        // Mutation 1 applies normally; mutation 2 is armed to land in the
+        // middle of the refresh that mutation 1 triggers.
+        rel.swap(v2);
+        rel.swap_mid_prepare.lock().unwrap().push(v3);
+        let mid_race = prepared.prf_values(&w, None);
+        assert_eq!(
+            ProbabilisticRelation::generation(&prepared),
+            2,
+            "the armed swap fired during the refresh"
+        );
+        // That answer came from the v2 snapshot — current when the walk
+        // was admitted (mutation 2 linearizes after it). The bug under
+        // test is what happens *next*: the state must not be labeled with
+        // the post-race generation.
+        drop(mid_race);
+        let direct = rel.db.lock().unwrap().prf_values(&w, None);
+        assert_complex_eq(
+            &prepared.prf_values(&w, None),
+            &direct,
+            "query after the race must re-prepare, not serve the stale v2 order",
+        );
     }
 }

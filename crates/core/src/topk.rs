@@ -9,7 +9,7 @@ use prf_numeric::Complex;
 use prf_pdb::TupleId;
 
 /// How complex Υ values are mapped to the totally ordered ranking key.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ValueOrder {
     /// Rank by `|Υ|` (the paper's Definition 3).
     #[default]

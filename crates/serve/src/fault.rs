@@ -2,16 +2,23 @@
 //!
 //! A [`FaultPlan`] names **sites** in the flush path and arms each with a
 //! [`FaultKind`]. The server consults the plan (via
-//! [`crate::RankServer::inject_faults`]) at six fixed sites:
+//! [`crate::RankServer::inject_faults`]) at seven fixed sites:
 //!
 //! | site | where it fires |
 //! |---|---|
 //! | `"admit"` | in `submit`/`apply`/`subscribe`, before admission |
 //! | `"flush-take"` | on a worker, right after it pops a flush |
 //! | `"apply"` | on a worker, before each mutation is applied |
+//! | `"cache"` | on a worker, before the result cache is purged/consulted |
 //! | `"eval"` | on a worker, before the flush's batch evaluates |
 //! | `"deliver"` | on a worker, before answers are delivered |
 //! | `"worker"` | on a worker, before it starts a flush (kill point) |
+//!
+//! Tests can additionally route the same plan through hooks *outside* the
+//! server — e.g. a [`FaultPlan::consult`] call from a closure armed on
+//! `LiveRelation::arm_mutation_probe` turns any custom site name (such as
+//! `"mutate"`, between a live relation's plan splice and its key-cache
+//! patch) into part of the same seeded schedule.
 //!
 //! Injections are **one-shot by default** ([`FaultPlan::once`]) with an
 //! optional skip count ([`FaultPlan::after`]), so a seeded chaos schedule
@@ -110,6 +117,17 @@ impl FaultPlan {
     /// `true` once every armed injection has fired.
     pub fn exhausted(&self) -> bool {
         self.lock().iter().all(|i| i.remaining == 0)
+    }
+
+    /// Consults the plan at a caller-defined site, for injection points
+    /// *outside* the server's seven built-in ones: returns the armed
+    /// [`FaultKind`] when an injection fires there, and leaves acting on
+    /// it (panicking, sleeping, …) to the caller. This is how chaos tests
+    /// extend a seeded schedule into foreign hooks — e.g. a closure armed
+    /// via `LiveRelation::arm_mutation_probe` consulting a `"mutate"` site
+    /// and panicking mid-apply when the plan says to.
+    pub fn consult(&self, site: &str) -> Option<FaultKind> {
+        self.fire(site)
     }
 
     /// Consults the plan at `site`: decrements skip counts, and returns the

@@ -58,10 +58,19 @@
 //!   cancellation check, dropping its [`ResponseHandle`] cancels the same
 //!   way, and [`Priority::Bulk`] traffic waits on its own longer cadence
 //!   ([`ServeConfig::bulk_delay`]) instead of dictating the latency class's;
+//! * each relation carries a **result cache**: queries that canonicalize
+//!   to a [`prf_core::query::QueryKey`] are remembered per relation
+//!   generation and served on repeat *without joining a walk*
+//!   ([`prf_core::query::ServeCost::served_from_cache`] marks them);
+//!   entries are consulted generation-exactly — any mutation-applying
+//!   flush invalidates them, so a mutate-then-query sequence can never be
+//!   served stale — and identical untracked queries inside one flush
+//!   coalesce onto a single walk slot
+//!   ([`ServeConfig::cache_enabled`] / [`ServeConfig::cache_entries`]);
 //! * a deterministic **fault-injection harness** (`FaultPlan`, compiled
 //!   under `cfg(any(test, feature = "chaos"))`) arms panics, delays,
-//!   overloads, and worker kills at six named sites of the flush path, so
-//!   chaos tests can prove exactly-once handle resolution under seeded
+//!   overloads, and worker kills at seven named sites of the flush path,
+//!   so chaos tests can prove exactly-once handle resolution under seeded
 //!   fault schedules.
 //!
 //! The implementation is std-only — client threads, one deadline
@@ -111,7 +120,7 @@ pub use server::{
 // Re-exported so serving code can name its whole vocabulary from one crate.
 pub use prf_core::live::{LiveApply, LiveRelation, MutableRelation, Mutation, MutationEffect};
 pub use prf_core::query::{
-    FlushTrigger, PreparedRelation, ProbabilisticRelation, QueryError, RankQuery, RankedResult,
-    Semantics, ServeCost,
+    FlushTrigger, PreparedRelation, ProbabilisticRelation, QueryError, QueryKey, RankQuery,
+    RankedResult, Semantics, ServeCost,
 };
 pub use prf_core::TupleId;

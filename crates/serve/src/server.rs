@@ -70,6 +70,23 @@
 //! mutations. [`RankServer::subscribe`] registers a **standing query**: it
 //! receives an initial ranking snapshot, then a [`RankingDelta`] after
 //! every flush that applied mutations to its relation.
+//!
+//! # Result cache
+//!
+//! Each registered relation carries a keyed **answer cache**: queries that
+//! canonicalize to a [`QueryKey`] (every semantics except `PRF^omega`, and
+//! every exact algorithm) are remembered per `(key, generation)` and served
+//! on repeat without joining a walk — [`ServeCost::served_from_cache`]
+//! marks such answers. Entries are stamped with the relation's
+//! [`generation`](ProbabilisticRelation::generation) at evaluation time and
+//! consulted **generation-exactly**: any flush that touches the relation's
+//! state purges the cache, and a stale entry that survives (e.g. after an
+//! offline mutation through a retained handle) is discarded at lookup
+//! rather than served. Within one flush, identical untracked queries
+//! **coalesce**: one representative joins the walk and the rest alias its
+//! answer. [`ServeConfig::cache_enabled`] / [`ServeConfig::cache_entries`]
+//! tune the cache; [`ServeMetrics`] counts hits, misses, and
+//! invalidations.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -81,7 +98,7 @@ use std::time::{Duration, Instant};
 use prf_core::live::{LiveApply, LiveRelation, MutableRelation, Mutation};
 use prf_core::query::{
     panic_reason, CancelToken, FlushTrigger, PreparedRelation, ProbabilisticRelation, QueryBatch,
-    QueryError, RankQuery, ServeCost,
+    QueryError, QueryKey, RankQuery, RankedResult, ServeCost,
 };
 use prf_core::TupleId;
 
@@ -126,6 +143,8 @@ pub struct ServeConfig {
     pub(crate) workers: usize,
     pub(crate) max_pending: Option<usize>,
     pub(crate) stuck_after: Duration,
+    pub(crate) cache_enabled: bool,
+    pub(crate) cache_entries: usize,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +157,8 @@ impl Default for ServeConfig {
             workers: 2,
             max_pending: None,
             stuck_after: Duration::from_secs(30),
+            cache_enabled: true,
+            cache_entries: 128,
         }
     }
 }
@@ -204,6 +225,24 @@ impl ServeConfig {
     /// clamped to 2–250 ms.
     pub fn stuck_after(mut self, window: Duration) -> Self {
         self.stuck_after = window;
+        self
+    }
+
+    /// Enables or disables the per-relation result cache (default
+    /// **enabled**). Disabling also disables within-flush coalescing of
+    /// identical queries, so every submission pays its own share of a walk
+    /// — the right setting for benchmarks that repeat a query to measure
+    /// evaluation cost.
+    pub fn cache_enabled(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// Caps each relation's result cache at `entries` distinct query keys
+    /// (clamped to at least 1; default 128). At the cap the oldest-inserted
+    /// key is evicted.
+    pub fn cache_entries(mut self, entries: usize) -> Self {
+        self.cache_entries = entries.max(1);
         self
     }
 }
@@ -313,6 +352,18 @@ pub struct ServeMetrics {
     /// Cumulative poisoned-lock recoveries (a thread panicked while
     /// holding a serving-layer mutex; the lock was recovered, not wedged).
     pub poisoned_locks: u64,
+    /// Cumulative queries answered straight from a relation's result cache
+    /// (same canonical [`QueryKey`], same relation generation) without
+    /// joining a walk.
+    pub cache_hits: u64,
+    /// Cumulative cacheable queries that were *not* served from the cache
+    /// (no entry for their key at the relation's current generation) and
+    /// went to evaluation instead.
+    pub cache_misses: u64,
+    /// Cumulative result-cache entries discarded because the relation's
+    /// state moved: entries purged by a mutation-applying flush, plus any
+    /// stale entry caught by the generation-exact check at lookup.
+    pub cache_invalidations: u64,
 }
 
 /// One submission waiting in a relation's queue.
@@ -361,6 +412,96 @@ struct Subscription {
     tx: mpsc::Sender<DeltaAnswer>,
 }
 
+/// One remembered answer: the result as evaluated, stamped with the
+/// relation generation that produced it.
+struct CacheEntry {
+    result: RankedResult,
+    generation: u64,
+}
+
+/// What [`ResultCache::lookup`] found for a key (the hit is boxed so the
+/// enum stays pointer-sized next to its unit variants).
+enum CacheLookup {
+    /// A current entry — a clone of the remembered answer, ready to serve.
+    Hit(Box<RankedResult>),
+    /// An entry existed but its generation is not the relation's current
+    /// one; it has been removed (the caller counts it as an invalidation).
+    Stale,
+    /// No entry for this key.
+    Miss,
+}
+
+/// A relation's keyed answer cache: canonical [`QueryKey`] → remembered
+/// [`RankedResult`], consulted and populated by flush workers under the
+/// per-relation FIFO latch.
+///
+/// Correctness rests on the **generation-exact** lookup, not on eager
+/// purging: an entry is served only when its stored generation equals the
+/// relation's generation read in the consulting flush, so a purge that is
+/// skipped (or raced by an offline mutation through a retained handle)
+/// degrades to a lazy discard at lookup, never to a stale answer.
+struct ResultCache {
+    entries: HashMap<QueryKey, CacheEntry>,
+    /// Insertion order of the keys in `entries`, oldest first — the
+    /// eviction queue ([`ServeConfig::cache_entries`] caps `entries`).
+    order: VecDeque<QueryKey>,
+    cap: usize,
+}
+
+impl ResultCache {
+    fn new(cap: usize) -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The remembered answer for `key` at exactly `generation`. A present
+    /// entry stamped with any other generation is discarded here rather
+    /// than returned.
+    fn lookup(&mut self, key: &QueryKey, generation: u64) -> CacheLookup {
+        match self.entries.get(key) {
+            Some(entry) if entry.generation == generation => {
+                CacheLookup::Hit(Box::new(entry.result.clone()))
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.order.retain(|k| k != key);
+                CacheLookup::Stale
+            }
+            None => CacheLookup::Miss,
+        }
+    }
+
+    /// Drops every entry (the relation's state moved), returning how many
+    /// were discarded.
+    fn purge(&mut self) -> u64 {
+        let n = self.entries.len() as u64;
+        self.entries.clear();
+        self.order.clear();
+        n
+    }
+
+    /// Remembers `result` for `key` as of `generation`, evicting the
+    /// oldest-inserted key once the cap is reached.
+    fn insert(&mut self, key: QueryKey, generation: u64, result: RankedResult) {
+        if self
+            .entries
+            .insert(key.clone(), CacheEntry { result, generation })
+            .is_none()
+        {
+            self.order.push_back(key);
+        }
+        while self.entries.len() > self.cap {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.entries.remove(&oldest);
+        }
+    }
+}
+
 /// A registered relation plus its pending queues and serving counters.
 struct Slot {
     name: String,
@@ -394,6 +535,10 @@ struct Slot {
     mutations_applied: u64,
     /// Cumulative deltas pushed to this slot's subscribers.
     deltas_pushed: u64,
+    /// This relation's result cache, shared with in-flight flushes (the
+    /// FIFO latch keeps use single-flush at a time; the mutex makes the
+    /// sharing sound).
+    cache: Arc<Mutex<ResultCache>>,
 }
 
 impl Slot {
@@ -471,6 +616,8 @@ struct FlushWork {
     trigger: FlushTrigger,
     /// Snapshot of the slot's shed counter when the flush was taken.
     shed: u64,
+    /// The slot's result cache (see [`Slot::cache`]).
+    cache: Arc<Mutex<ResultCache>>,
 }
 
 /// Mutex-guarded server state shared between clients, the scheduler, and
@@ -511,6 +658,13 @@ pub(crate) struct Shared {
     timed_out: AtomicU64,
     /// Cumulative supervisor respawns.
     respawned: AtomicU64,
+    /// Cumulative result-cache hits (see [`ServeMetrics::cache_hits`]).
+    cache_hits: AtomicU64,
+    /// Cumulative result-cache misses (see [`ServeMetrics::cache_misses`]).
+    cache_misses: AtomicU64,
+    /// Cumulative result-cache entries discarded (see
+    /// [`ServeMetrics::cache_invalidations`]).
+    cache_invalidations: AtomicU64,
     /// The armed fault-injection plan (test / `chaos` builds only).
     #[cfg(any(test, feature = "chaos"))]
     faults: Mutex<FaultPlan>,
@@ -618,6 +772,7 @@ fn take_flush(state: &mut State, slot_idx: usize, trigger: FlushTrigger, take_bu
         subs,
         trigger,
         shed: slot.shed,
+        cache: Arc::clone(&slot.cache),
     };
     state.work.push_back(work);
 }
@@ -678,6 +833,9 @@ impl RankServer {
             panics_caught: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
             respawned: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_invalidations: AtomicU64::new(0),
             #[cfg(any(test, feature = "chaos"))]
             faults: Mutex::new(FaultPlan::new()),
         });
@@ -712,7 +870,7 @@ impl RankServer {
         }
     }
 
-    /// Arms a fault-injection plan: the serving path consults it at six
+    /// Arms a fault-injection plan: the serving path consults it at seven
     /// named sites (see [`crate::fault`]) and panics, sleeps, sheds, or
     /// kills a worker where the plan says to. Replaces any previous plan.
     /// Available only in test builds and under the `chaos` feature.
@@ -787,6 +945,9 @@ impl RankServer {
             flushed_queries: 0,
             mutations_applied: 0,
             deltas_pushed: 0,
+            cache: Arc::new(Mutex::new(ResultCache::new(
+                self.shared.config.cache_entries,
+            ))),
         });
         RelationId(state.slots.len() - 1)
     }
@@ -1059,13 +1220,34 @@ impl RankServer {
 
     /// A point-in-time snapshot of the serving counters, summed over all
     /// registered relations.
+    ///
+    /// # Consistency
+    ///
+    /// The per-relation counters (`pending`, `in_flight`, `shed`,
+    /// `flushes`, `flushed_queries`, `mutations_applied`, `deltas_pushed`,
+    /// `subscribers_live`) are read in **one pass under a single
+    /// acquisition of the server's state lock** — the same lock every
+    /// flush's completion write-back holds — so they are mutually
+    /// consistent: a snapshot observes each flush either entirely before
+    /// or entirely after its write-back, never a half-recorded one. The
+    /// process-wide counters (`panics_caught`, `timed_out`,
+    /// `workers_respawned`, `poisoned_locks`, `cache_*`) are lock-free
+    /// atomics updated outside that lock; each is individually monotone,
+    /// but they may run ahead of the slot view by whatever an in-flight
+    /// flush has already done (e.g. `cache_hits` can count an answer whose
+    /// flush has not yet written back to `flushes`).
     pub fn metrics(&self) -> ServeMetrics {
+        // The lock is taken first: every slot-derived field below comes
+        // from this one critical section.
         let state = self.shared.lock();
         let mut m = ServeMetrics {
             panics_caught: self.shared.panics_caught.load(Ordering::Relaxed),
             timed_out: self.shared.timed_out.load(Ordering::Relaxed),
             workers_respawned: self.shared.respawned.load(Ordering::Relaxed),
             poisoned_locks: self.shared.poisoned.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.shared.cache_misses.load(Ordering::Relaxed),
+            cache_invalidations: self.shared.cache_invalidations.load(Ordering::Relaxed),
             ..ServeMetrics::default()
         };
         for slot in &state.slots {
@@ -1376,6 +1558,17 @@ pub(crate) fn worker_loop(shared: &Shared, ctl: &WorkerCtl) {
 /// point, `None` unregisters it (evaluation error or disconnected handle).
 type SubWriteBack = (QueryId, Option<(Vec<TupleId>, u64)>);
 
+/// Where one pending entry's answer comes from in a flush's evaluation.
+#[derive(Clone, Copy)]
+enum Src {
+    /// The entry joined the walk: its answer is the batch result at this
+    /// index.
+    Eval(usize),
+    /// The entry coalesced onto an identical earlier untracked entry; its
+    /// answer is a copy of the batch result at this index.
+    Alias(usize),
+}
+
 /// What one flush did beyond answering its queries, reported back to the
 /// slot under the lock.
 struct FlushOutcome {
@@ -1394,8 +1587,11 @@ struct FlushOutcome {
 /// [`MutationHandle`]; a panicking backend resolves only that mutation to
 /// [`QueryError::Internal`] and triggers a prepared-state repair), sheds
 /// entries whose deadline expired with [`QueryError::TimedOut`] **before**
-/// evaluation, compiles the rest **plus** the standing queries into one
-/// [`QueryBatch`], runs it with per-entry error and panic isolation,
+/// evaluation, purges and consults the relation's **result cache**
+/// (serving current entries without a walk, generation-exactly), compiles
+/// the rest **plus** the standing queries into one [`QueryBatch`] —
+/// coalescing identical untracked queries onto one walk slot — runs it
+/// with per-entry error and panic isolation, remembers cacheable answers,
 /// stamps serving provenance, delivers every answer — ignoring channels
 /// whose [`ResponseHandle`] was dropped — and pushes ranking deltas to the
 /// subscribers.
@@ -1419,6 +1615,11 @@ fn execute_flush(work: &mut FlushWork, shared: &Shared) -> FlushOutcome {
     // the relation's derived state is rebuilt before anything reads it —
     // a mid-patch panic can never serve a half-patched ranking.
     let muts = std::mem::take(&mut work.muts);
+    // Whether this flush may have moved the relation's state at all —
+    // successful applications *and* panicked ones (a backend may mutate
+    // before dying; the repair bumps the generation). Drives the cache
+    // purge below, which must never under-trigger.
+    let mut relation_touched = false;
     for m in muts {
         let applied = catch_unwind(AssertUnwindSafe(|| {
             let _ = shared.chaos("apply");
@@ -1436,6 +1637,7 @@ fn execute_flush(work: &mut FlushWork, shared: &Shared) -> FlushOutcome {
             Ok(result) => result,
             Err(payload) => {
                 shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+                relation_touched = true;
                 if let Some(live) = &work.live {
                     live.repair_dyn();
                 }
@@ -1446,6 +1648,7 @@ fn execute_flush(work: &mut FlushWork, shared: &Shared) -> FlushOutcome {
         };
         if result.is_ok() {
             out.mutations_applied += 1;
+            relation_touched = true;
         }
         let _ = m.tx.send(result);
     }
@@ -1466,16 +1669,107 @@ fn execute_flush(work: &mut FlushWork, shared: &Shared) -> FlushOutcome {
         }
     });
 
+    // Result cache. With the relation's post-mutation generation in hand:
+    // purge on any state movement, then serve every entry whose key has a
+    // current remembered answer — no walk, no scheduler hop.
+    let cache_on = shared.config.cache_enabled;
+    let _ = shared.chaos("cache");
+    let generation = work.rel.generation();
+    if relation_touched {
+        // Eager purge keeps the cache small and the invalidation counter
+        // honest; correctness never rests on it — the lookup below is
+        // generation-exact either way, so a skipped purge degrades to a
+        // lazy per-key discard, never to a stale answer.
+        let purged = lock_recover(&work.cache, &shared.poisoned).purge();
+        if purged > 0 {
+            shared
+                .cache_invalidations
+                .fetch_add(purged, Ordering::Relaxed);
+        }
+    }
+    let admitted = work.pending.len();
+    if cache_on && admitted > 0 {
+        let mut cache = lock_recover(&work.cache, &shared.poisoned);
+        let now = Instant::now();
+        let mut i = 0;
+        // Index loop with immediate delivery: an entry leaves
+        // `work.pending` only in the same step that sends its answer, so a
+        // panic anywhere here leaves the undelivered remainder in place
+        // for the worker to re-queue.
+        while i < work.pending.len() {
+            let Some(key) = work.pending[i].query.cache_key() else {
+                i += 1;
+                continue;
+            };
+            match cache.lookup(&key, generation) {
+                CacheLookup::Hit(res) => {
+                    let mut res = *res;
+                    let p = work.pending.remove(i);
+                    res.report.serve = Some(ServeCost {
+                        queue_seconds: now.duration_since(p.submitted_at).as_secs_f64(),
+                        trigger: work.trigger,
+                        flush_size: admitted,
+                        queue_depth: p.depth_at_admit,
+                        shed: work.shed,
+                        served_from_cache: true,
+                    });
+                    shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    out.answered += 1;
+                    let _ = p.tx.send(Ok(res));
+                }
+                CacheLookup::Stale => {
+                    shared.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+                    shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+                CacheLookup::Miss => {
+                    shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            }
+        }
+    }
+
     let flush_size = work.pending.len();
     if flush_size == 0 && work.subs.is_empty() {
-        // A mutation-only flush with no subscribers (or one shed whole):
-        // nothing to evaluate.
+        // Nothing left to evaluate: a mutation-only flush with no
+        // subscribers, one shed whole, or one answered entirely from the
+        // cache.
         return out;
     }
+    // Compile the walk. Identical untracked queries coalesce: the first
+    // occurrence evaluates, later ones alias its result slot. Tracked
+    // entries never coalesce (in either role) — each keeps its own
+    // cancellation semantics, and an alias must never inherit a sibling's
+    // `TimedOut`.
+    let mut plan: Vec<Src> = Vec::with_capacity(flush_size);
+    let mut keys: Vec<Option<QueryKey>> = Vec::with_capacity(flush_size);
+    let mut first_by_key: HashMap<QueryKey, usize> = HashMap::new();
     let mut queries = Vec::with_capacity(flush_size + work.subs.len());
     for p in &work.pending {
-        queries.push(p.query.clone());
+        let key = if cache_on { p.query.cache_key() } else { None };
+        let untracked = p.query.cancel_token_ref().is_none();
+        let alias = key
+            .as_ref()
+            .filter(|_| untracked)
+            .and_then(|k| first_by_key.get(k).copied());
+        let src = match alias {
+            Some(ri) => Src::Alias(ri),
+            None => {
+                let ri = queries.len();
+                queries.push(p.query.clone());
+                if untracked {
+                    if let Some(k) = &key {
+                        first_by_key.insert(k.clone(), ri);
+                    }
+                }
+                Src::Eval(ri)
+            }
+        };
+        plan.push(src);
+        keys.push(key);
     }
+    let n_eval = queries.len();
     for s in &work.subs {
         queries.push(s.query.clone());
     }
@@ -1486,10 +1780,47 @@ fn execute_flush(work: &mut FlushWork, shared: &Shared) -> FlushOutcome {
     let flush_start = Instant::now();
     let _ = shared.chaos("eval");
     let results = batch.run_isolated(&*work.rel);
-    debug_assert_eq!(results.len(), flush_size + work.subs.len());
+    debug_assert_eq!(results.len(), n_eval + work.subs.len());
+    let mut results: Vec<Option<Answer>> = results.into_iter().map(Some).collect();
+    let sub_results = results.split_off(n_eval);
+
+    // Remember cacheable answers before delivering: a remembered answer is
+    // correct for `(key, generation)` whether or not delivery completes.
+    // The generation re-read guards the offline edge (a retained handle
+    // mutating the relation directly, outside the FIFO latch): a moved
+    // generation skips population instead of mislabeling entries.
+    if cache_on && work.rel.generation() == generation {
+        let mut cache = lock_recover(&work.cache, &shared.poisoned);
+        for (key, src) in keys.iter().zip(&plan) {
+            let (Some(key), Src::Eval(ri)) = (key, src) else {
+                continue;
+            };
+            if let Some(Some(Ok(res))) = results.get(*ri) {
+                cache.insert(key.clone(), generation, res.clone());
+            }
+        }
+    }
+
     let _ = shared.chaos("deliver");
-    let mut results = results.into_iter();
-    for (p, mut result) in work.pending.drain(..).zip(&mut results) {
+    // Each walk slot is delivered once per use (its evaluating entry plus
+    // any aliases): the last use takes the result, earlier ones clone it.
+    let mut uses = vec![0usize; n_eval];
+    for src in &plan {
+        let (Src::Eval(ri) | Src::Alias(ri)) = src;
+        uses[*ri] += 1;
+    }
+    let mut srcs = plan.into_iter();
+    while !work.pending.is_empty() {
+        let src = srcs.next().expect("plan parallels pending");
+        let (Src::Eval(ri) | Src::Alias(ri)) = src;
+        uses[ri] -= 1;
+        let taken = if uses[ri] == 0 {
+            results[ri].take()
+        } else {
+            results[ri].clone()
+        };
+        let mut result = taken.expect("each walk slot outlives its uses");
+        let p = work.pending.remove(0);
         match &mut result {
             Ok(res) => {
                 res.report.serve = Some(ServeCost {
@@ -1498,12 +1829,17 @@ fn execute_flush(work: &mut FlushWork, shared: &Shared) -> FlushOutcome {
                     flush_size,
                     queue_depth: p.depth_at_admit,
                     shed: work.shed,
+                    served_from_cache: false,
                 });
             }
             Err(QueryError::Internal { .. }) => {
                 // The batch layer converted an evaluation panic into this
-                // entry's answer; count it with the contained panics.
-                shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+                // entry's answer; count it with the contained panics —
+                // once per walk slot, so aliases don't multiply the one
+                // panic they share.
+                if matches!(src, Src::Eval(_)) {
+                    shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+                }
             }
             Err(_) => {}
         }
@@ -1512,7 +1848,8 @@ fn execute_flush(work: &mut FlushWork, shared: &Shared) -> FlushOutcome {
         // intended "discard the answer" path and must not stop the flush.
         let _ = p.tx.send(result);
     }
-    for (sub, result) in std::mem::take(&mut work.subs).into_iter().zip(results) {
+    for (sub, result) in std::mem::take(&mut work.subs).into_iter().zip(sub_results) {
+        let result = result.expect("sub slots are never aliased or taken");
         match result {
             Err(err) => {
                 if matches!(err, QueryError::Internal { .. }) {
@@ -2160,5 +2497,184 @@ mod tests {
         assert!(matches!(shed, Err(QueryError::Overloaded)), "{shed:?}");
         // One-shot: the next submission is admitted and served.
         assert!(server.submit(rel, RankQuery::pt(1)).unwrap().recv().is_ok());
+    }
+
+    #[test]
+    fn result_cache_is_generation_exact_and_bounded() {
+        let res = RankQuery::pt(1).run(&db()).unwrap();
+        let key = RankQuery::pt(1).cache_key().unwrap();
+        let key2 = RankQuery::pt(2).cache_key().unwrap();
+        let mut cache = ResultCache::new(1);
+        cache.insert(key.clone(), 3, res.clone());
+        assert!(matches!(cache.lookup(&key, 3), CacheLookup::Hit(_)));
+        // A generation mismatch discards the entry rather than serving it.
+        assert!(matches!(cache.lookup(&key, 4), CacheLookup::Stale));
+        assert!(matches!(cache.lookup(&key, 3), CacheLookup::Miss));
+        // The cap evicts the oldest-inserted key.
+        cache.insert(key.clone(), 5, res.clone());
+        cache.insert(key2.clone(), 5, res.clone());
+        assert!(matches!(cache.lookup(&key, 5), CacheLookup::Miss));
+        assert!(matches!(cache.lookup(&key2, 5), CacheLookup::Hit(_)));
+        assert_eq!(cache.purge(), 1);
+        assert!(matches!(cache.lookup(&key2, 5), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn repeated_query_is_served_from_cache() {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        let rel = server.register("db", db());
+        let first = server
+            .submit(rel, RankQuery::prfe(0.9))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert!(!first.report.serve.unwrap().served_from_cache);
+        let second = server
+            .submit(rel, RankQuery::prfe(0.9))
+            .unwrap()
+            .recv()
+            .unwrap();
+        let serve = second.report.serve.unwrap();
+        assert!(
+            serve.served_from_cache,
+            "repeat of an identical query on an unchanged relation must hit"
+        );
+        assert!(serve.queue_seconds >= 0.0);
+        assert_eq!(second.ranking.order(), first.ranking.order());
+        assert_eq!(second.values.as_complex(), first.values.as_complex());
+        let m = server.metrics();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        // The hit still counts as a served query.
+        server.shutdown();
+        assert_eq!(server.metrics().flushed_queries, 2);
+    }
+
+    #[test]
+    fn mutation_invalidates_the_cache_before_the_next_answer() {
+        use prf_core::live::{LiveRelation, Mutation};
+
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        let live = Arc::new(LiveRelation::new(db()));
+        let rel = server.register_live("live", Arc::clone(&live));
+        let before = server
+            .submit(rel, RankQuery::pt(3))
+            .unwrap()
+            .recv()
+            .unwrap();
+        let target = *before.ranking.order().last().unwrap();
+        server
+            .apply(rel, Mutation::Reweight(target, 1.0))
+            .unwrap()
+            .recv()
+            .unwrap();
+        let after = server
+            .submit(rel, RankQuery::pt(3))
+            .unwrap()
+            .recv()
+            .unwrap();
+        // The mutated flush purged the entry: the repeat re-evaluates and
+        // matches a rebuilt offline copy, never the remembered answer.
+        assert!(!after.report.serve.unwrap().served_from_cache);
+        let rebuilt = RankQuery::pt(3).run(&live.snapshot_backend()).unwrap();
+        assert_eq!(after.ranking.order(), rebuilt.ranking.order());
+        assert_eq!(after.values.as_complex(), rebuilt.values.as_complex());
+        assert!(server.metrics().cache_invalidations >= 1);
+        // Unchanged since the mutation: the re-populated entry now hits.
+        let again = server
+            .submit(rel, RankQuery::pt(3))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert!(again.report.serve.unwrap().served_from_cache);
+        assert_eq!(again.values.as_complex(), rebuilt.values.as_complex());
+    }
+
+    #[test]
+    fn identical_untracked_queries_coalesce_onto_one_walk_slot() {
+        // A one-hour deadline with a 4-query size trigger: all four land
+        // in one flush. Identical and untracked, they coalesce — the walk
+        // sees a single consumer.
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_secs(3600))
+                .max_batch(4),
+        );
+        let rel = server.register("db", db());
+        let handles: Vec<_> = (0..4)
+            .map(|_| server.submit(rel, RankQuery::prfe(0.9)).unwrap())
+            .collect();
+        let answers: Vec<_> = handles.into_iter().map(|h| h.recv().unwrap()).collect();
+        for a in &answers {
+            assert_eq!(a.values.as_complex(), answers[0].values.as_complex());
+            assert_eq!(a.report.batch.as_ref().unwrap().consumers, 1);
+            // Coalesced answers are evaluated answers, not cache hits.
+            assert!(!a.report.serve.as_ref().unwrap().served_from_cache);
+        }
+        assert_eq!(server.metrics().flushed_queries, 4);
+    }
+
+    #[test]
+    fn disabling_the_cache_disables_hits_and_coalescing() {
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_secs(3600))
+                .max_batch(2)
+                .cache_enabled(false),
+        );
+        let rel = server.register("db", db());
+        let a = server.submit(rel, RankQuery::pt(2)).unwrap();
+        let b = server.submit(rel, RankQuery::pt(2)).unwrap();
+        let a = a.recv().unwrap();
+        let b = b.recv().unwrap();
+        // Identical queries in one flush each pay their own walk share.
+        assert_eq!(a.report.batch.unwrap().consumers, 2);
+        assert_eq!(b.report.batch.unwrap().consumers, 2);
+        // And a repeat across flushes re-evaluates.
+        let c = server.submit(rel, RankQuery::pt(2)).unwrap();
+        let d = server.submit(rel, RankQuery::pt(2)).unwrap();
+        assert!(!c.recv().unwrap().report.serve.unwrap().served_from_cache);
+        assert!(!d.recv().unwrap().report.serve.unwrap().served_from_cache);
+        let m = server.metrics();
+        assert_eq!(
+            (m.cache_hits, m.cache_misses, m.cache_invalidations),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn cache_entries_cap_bounds_remembered_keys() {
+        let server = RankServer::new(
+            ServeConfig::new()
+                .max_delay(Duration::from_micros(200))
+                .cache_entries(1),
+        );
+        let rel = server.register("db", db());
+        let roundtrip = |q: RankQuery| server.submit(rel, q).unwrap().recv().unwrap();
+        roundtrip(RankQuery::pt(1)); // populate {pt(1)}
+        roundtrip(RankQuery::pt(2)); // evict pt(1), populate {pt(2)}
+        let repeat = roundtrip(RankQuery::pt(1)); // evicted: a miss again
+        assert!(!repeat.report.serve.unwrap().served_from_cache);
+        assert_eq!(server.metrics().cache_hits, 0);
+        let repeat = roundtrip(RankQuery::pt(1)); // now remembered again
+        assert!(repeat.report.serve.unwrap().served_from_cache);
+        assert_eq!(server.metrics().cache_hits, 1);
+    }
+
+    #[test]
+    fn injected_cache_panic_requeues_and_answers() {
+        let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+        server.inject_faults(FaultPlan::new().once("cache", FaultKind::Panic));
+        let rel = server.register("db", db());
+        // The panic fires before the cache is consulted; the entry is
+        // re-queued and the retry answers normally.
+        let got = server
+            .submit(rel, RankQuery::pt(2))
+            .unwrap()
+            .recv()
+            .unwrap();
+        let want = RankQuery::pt(2).run(&db()).unwrap();
+        assert_eq!(got.values.as_complex(), want.values.as_complex());
+        assert!(server.metrics().panics_caught >= 1);
     }
 }

@@ -106,7 +106,8 @@ pub mod prelude {
     pub use prf_core::query::{
         Algorithm, BatchCost, BatchPlan, BatchRoute, CancelToken, CorrelationClass, EvalReport,
         FlushTrigger, NumericMode, PreparedRelation, PreparedState, ProbabilisticRelation,
-        QueryBatch, QueryError, RankQuery, RankedResult, Semantics, ServeCost, TopSet, Values,
+        QueryBatch, QueryError, QueryKey, RankQuery, RankedResult, Semantics, ServeCost, TopSet,
+        Values,
     };
     pub use prf_core::{
         effective_walk_threads, prf_rank, prf_rank_tree, prfe_rank, prfe_rank_log, prfe_rank_tree,

@@ -359,3 +359,54 @@ fn served_mutations_match_offline_rebuild() {
     }
     server.shutdown();
 }
+
+#[test]
+fn log_prfe_answers_stay_exact_across_cache_patched_churn() {
+    // Focused regression for the log-domain PRFe key cache: once a
+    // log-domain query has warmed the cache, every subsequent insert and
+    // delete takes the O(n) patch path (closed-form key update plus a
+    // rank-preserving merge) instead of a rebuild. Drive a long churn
+    // script through that path and pin each step's answer to a fresh
+    // rebuild at 1e-9 — before the patch fix, inserts and deletes silently
+    // invalidated the cache and the comparison drifted.
+    let live = LiveRelation::new(seed_db(24));
+    let log_probe = || {
+        vec![(
+            "prfe-log",
+            RankQuery::prfe(0.85).algorithm(Algorithm::LogDomain),
+        )]
+    };
+
+    // Warm the log key cache so the churn below patches it rather than
+    // building it from scratch each step.
+    RankQuery::prfe(0.85)
+        .algorithm(Algorithm::LogDomain)
+        .run(&live)
+        .expect("warm-up query");
+
+    for step in 0..60usize {
+        let n = live.n_tuples();
+        match step % 4 {
+            // Distinct probabilities so ranking ties can't mask a diff.
+            0 => {
+                let t = TupleId(((step * 13) % n) as u32);
+                let p = 0.03 + 0.9 * (((step * 577) % 331) as f64 / 331.0);
+                live.apply(&Mutation::Reweight(t, p)).unwrap();
+            }
+            1 | 2 => {
+                live.apply(&Mutation::Insert {
+                    score: 2000.0 + 17.3 * step as f64,
+                    prob: 0.04 + 0.9 * (((step * 733) % 211) as f64 / 211.0),
+                })
+                .unwrap();
+            }
+            _ => {
+                let t = TupleId(((step * 7) % n) as u32);
+                live.apply(&Mutation::Delete(t)).unwrap();
+            }
+        }
+        assert_live_matches_rebuild_with(&live, &format!("log-churn-{step}"), log_probe());
+    }
+    // The cache survived sixty patches; the full battery still agrees.
+    assert_live_matches_rebuild(&live, "log-churn/final");
+}

@@ -1,0 +1,326 @@
+//! Differential suite for the serving layer's **result cache**: repeated
+//! queries must be served from the cache with provenance
+//! ([`ServeCost::served_from_cache`]), cached answers must be
+//! value-identical (1e-9) to direct evaluation, and — the staleness
+//! contract — a **mutate-then-query** sequence must *never* observe a
+//! pre-mutation answer, whether the mutation went through
+//! [`RankServer::apply`] (eager purge) or directly through a retained
+//! `Arc` between flushes (caught lazily by the generation-exact lookup).
+//!
+//! The direct side never touches `prf-serve`, so the comparison pins the
+//! whole cached path: canonical keying, generation stamping, purge on
+//! mutation, and hit delivery without a walk.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use prf::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= TOL * b.abs().max(1.0) || (a.is_infinite() && b.is_infinite() && a == b)
+}
+
+/// Value-identical within `TOL`, identical order and numeric mode.
+fn assert_equivalent(got: &RankedResult, want: &RankedResult, ctx: &str) {
+    assert_eq!(
+        got.report.numeric_mode, want.report.numeric_mode,
+        "{ctx}: numeric mode"
+    );
+    assert_eq!(got.ranking.order(), want.ranking.order(), "{ctx}: order");
+    for pos in 0..got.ranking.len() {
+        let (g, w) = (got.ranking.key_at(pos), want.ranking.key_at(pos));
+        assert!(close(g, w), "{ctx}: key at {pos}: {g} vs {w}");
+    }
+    match (&got.values, &want.values) {
+        (Values::Complex(g), Values::Complex(w)) => {
+            for (t, (a, b)) in g.iter().zip(w).enumerate() {
+                assert!(
+                    close(a.re, b.re) && close(a.im, b.im),
+                    "{ctx}: complex value t{t}: {a} vs {b}"
+                );
+            }
+        }
+        (Values::LogDomain(g), Values::LogDomain(w)) => {
+            for (t, (&a, &b)) in g.iter().zip(w).enumerate() {
+                assert!(close(a, b), "{ctx}: log key t{t}: {a} vs {b}");
+            }
+        }
+        (Values::Scaled(g), Values::Scaled(w)) => {
+            for (t, (a, b)) in g.iter().zip(w).enumerate() {
+                let (ka, kb) = (a.magnitude_key(), b.magnitude_key());
+                assert!(close(ka, kb), "{ctx}: scaled magnitude t{t}: {ka} vs {kb}");
+            }
+        }
+        (g, w) => panic!("{ctx}: value shape mismatch: {g:?} vs {w:?}"),
+    }
+}
+
+fn random_db(seed: u64, n: usize) -> IndependentDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    IndependentDb::from_pairs(
+        (0..n).map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.01..1.0))),
+    )
+    .expect("valid pairs")
+}
+
+fn random_xtuple_tree(seed: u64, groups: usize) -> AndXorTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec: Vec<Vec<(f64, f64)>> = (0..groups)
+        .map(|_| {
+            let alts = rng.gen_range(1..4);
+            let mut budget = 1.0f64;
+            (0..alts)
+                .map(|_| {
+                    let p = rng.gen_range(0.0..budget.min(0.7));
+                    budget -= p;
+                    (rng.gen_range(0.0..1000.0), p)
+                })
+                .collect()
+        })
+        .collect();
+    AndXorTree::from_x_tuples(&spec).expect("valid groups")
+}
+
+/// Every cacheable shared-walk semantics across the numeric modes, plus
+/// `top_k` variants.
+fn cacheable_battery(n: usize) -> Vec<(&'static str, RankQuery)> {
+    vec![
+        ("pt", RankQuery::pt(n.min(5))),
+        ("pt-topk", RankQuery::pt(n.min(5)).top_k(n.min(4))),
+        ("consensus", RankQuery::consensus(n.min(3))),
+        ("prfe-auto", RankQuery::prfe(0.7)),
+        (
+            "prfe-exact",
+            RankQuery::prfe(0.85).algorithm(Algorithm::ExactGf),
+        ),
+        (
+            "prfe-log",
+            RankQuery::prfe(0.85).algorithm(Algorithm::LogDomain),
+        ),
+        (
+            "prfe-scaled",
+            RankQuery::prfe_complex(Complex::new(0.6, 0.3)).algorithm(Algorithm::Scaled),
+        ),
+        ("erank", RankQuery::erank()),
+        ("escore", RankQuery::escore()),
+        ("urank", RankQuery::urank(n.min(3))),
+    ]
+}
+
+/// Submit-and-recv one query through the server.
+fn roundtrip(server: &RankServer, rel: RelationId, q: RankQuery) -> RankedResult {
+    server
+        .submit(rel, q)
+        .unwrap()
+        .recv()
+        .expect("served answer")
+}
+
+/// For each cacheable semantics on each backend: the first submission
+/// evaluates, the repeat is served from the cache, and both match a direct
+/// offline evaluation at 1e-9. An uncacheable control (`PRF^omega`)
+/// re-evaluates every time.
+#[test]
+fn repeats_hit_across_semantics_and_backends() {
+    type Direct = Box<dyn Fn(&RankQuery) -> RankedResult>;
+
+    let db = random_db(71, 30);
+    let tree = random_xtuple_tree(72, 12);
+    let tree_n = AndXorTree::n_tuples(&tree);
+
+    let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+    let db_rel = server.register("db", db.clone());
+    let tree_rel = server.register("tree", tree.clone());
+    let db_direct: Direct = Box::new(move |q| q.run(&db).expect("direct evaluation"));
+    let tree_direct: Direct = Box::new(move |q| q.run(&tree).expect("direct evaluation"));
+    let backends: Vec<(&str, Direct, RelationId, usize)> = vec![
+        ("independent", db_direct, db_rel, 30),
+        ("xtuple", tree_direct, tree_rel, tree_n),
+    ];
+
+    let mut expected_hits = 0;
+    for (backend, direct, rel, n) in &backends {
+        for (label, q) in cacheable_battery(*n) {
+            let ctx = format!("{backend}/{label}");
+            let first = roundtrip(&server, *rel, q.clone());
+            assert!(
+                !first.report.serve.as_ref().unwrap().served_from_cache,
+                "{ctx}: first submission must evaluate"
+            );
+            let repeat = roundtrip(&server, *rel, q.clone());
+            assert!(
+                repeat.report.serve.as_ref().unwrap().served_from_cache,
+                "{ctx}: repeat on an unchanged relation must hit"
+            );
+            expected_hits += 1;
+            let want = direct(&q);
+            assert_equivalent(&first, &want, &format!("{ctx}/evaluated"));
+            assert_equivalent(&repeat, &want, &format!("{ctx}/cached"));
+        }
+        // Uncacheable control: a general-ω PRF query has no canonical key
+        // and must re-evaluate on every submission.
+        let q = RankQuery::prf(TabulatedWeight::from_real(&[2.0, 1.0, 0.5]));
+        for round in 0..2 {
+            let got = roundtrip(&server, *rel, q.clone());
+            assert!(
+                !got.report.serve.as_ref().unwrap().served_from_cache,
+                "{backend}: PRF^omega round {round} must not be served from cache"
+            );
+            assert_equivalent(&got, &direct(&q), &format!("{backend}/prf-omega/{round}"));
+        }
+    }
+    let m = server.metrics();
+    assert_eq!(
+        m.cache_hits, expected_hits,
+        "every repeat (and nothing else) hits"
+    );
+    assert!(m.cache_misses >= expected_hits, "each hit had a first miss");
+    server.shutdown();
+}
+
+/// The staleness contract, end to end: interleave server-applied
+/// mutations (reweight / insert / delete) with queries — every answer,
+/// hit or evaluated, must match an offline rebuild of the backend as it
+/// stood *after* the preceding mutation. Repeats between mutations verify
+/// the cache actually participates.
+#[test]
+fn mutate_then_query_is_never_served_stale() {
+    let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+    let live = Arc::new(LiveRelation::new(random_db(81, 24)));
+    let rel = server.register_live("live", Arc::clone(&live));
+    let mut rng = StdRng::seed_from_u64(82);
+
+    let probes = |n: usize| {
+        vec![
+            ("pt", RankQuery::pt(n.min(4))),
+            (
+                "prfe-log",
+                RankQuery::prfe(0.85).algorithm(Algorithm::LogDomain),
+            ),
+            ("erank", RankQuery::erank()),
+        ]
+    };
+    for step in 0..24 {
+        let n = live.n_tuples();
+        let mutation = match rng.gen_range(0..3u8) {
+            0 => Mutation::Reweight(
+                TupleId(rng.gen_range(0..n as u32)),
+                rng.gen_range(0.01..1.0),
+            ),
+            1 => Mutation::Insert {
+                score: rng.gen_range(0.0..1000.0),
+                prob: rng.gen_range(0.01..1.0),
+            },
+            _ if n > 8 => Mutation::Delete(TupleId(rng.gen_range(0..n as u32))),
+            _ => Mutation::Reweight(TupleId(0), rng.gen_range(0.01..1.0)),
+        };
+        server
+            .apply(rel, mutation)
+            .unwrap()
+            .recv()
+            .expect("mutation applies");
+        let rebuilt = live.snapshot_backend();
+        for (label, q) in probes(live.n_tuples()) {
+            let ctx = format!("step {step}/{label}");
+            let served = roundtrip(&server, rel, q.clone());
+            assert!(
+                !served.report.serve.as_ref().unwrap().served_from_cache,
+                "{ctx}: the first query after a mutation must re-evaluate"
+            );
+            let want = q.run(&rebuilt).expect("offline rebuild");
+            assert_equivalent(&served, &want, &ctx);
+            // The repeat must hit — and hit with the *post-mutation*
+            // answer.
+            let repeat = roundtrip(&server, rel, q.clone());
+            assert!(
+                repeat.report.serve.as_ref().unwrap().served_from_cache,
+                "{ctx}: repeat between mutations must hit"
+            );
+            assert_equivalent(&repeat, &want, &format!("{ctx}/cached"));
+        }
+    }
+    let m = server.metrics();
+    assert!(m.cache_hits >= 24 * 3, "the cache participated every step");
+    assert!(
+        m.cache_invalidations >= 24,
+        "every mutated flush invalidated"
+    );
+    server.shutdown();
+}
+
+/// A mutation applied *directly* through a retained `Arc` — outside
+/// [`RankServer::apply`], so no flush purges the cache — must still never
+/// cause a stale answer: the generation-exact lookup discards the
+/// pre-mutation entry lazily.
+#[test]
+fn offline_mutation_is_caught_by_the_generation_check() {
+    let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+    let live = Arc::new(LiveRelation::new(random_db(91, 16)));
+    let rel = server.register_live("live", Arc::clone(&live));
+    let q = || RankQuery::prfe(0.85).algorithm(Algorithm::LogDomain);
+
+    // Populate, then confirm the entry is really live.
+    roundtrip(&server, rel, q());
+    assert!(
+        roundtrip(&server, rel, q())
+            .report
+            .serve
+            .unwrap()
+            .served_from_cache
+    );
+
+    // Mutate directly, between flushes (the server is idle: every prior
+    // submission was received, so no flush is in flight to race).
+    live.apply(&Mutation::Reweight(TupleId(2), 0.999))
+        .expect("offline mutation");
+
+    let after = roundtrip(&server, rel, q());
+    assert!(
+        !after.report.serve.as_ref().unwrap().served_from_cache,
+        "a post-mutation query must not be served from the stale entry"
+    );
+    let want = q().run(&live.snapshot_backend()).expect("offline rebuild");
+    assert_equivalent(&after, &want, "offline-mutation answer");
+    assert!(
+        server.metrics().cache_invalidations >= 1,
+        "the stale entry was discarded at lookup"
+    );
+    // And the re-populated entry serves the fresh answer.
+    let repeat = roundtrip(&server, rel, q());
+    assert!(repeat.report.serve.as_ref().unwrap().served_from_cache);
+    assert_equivalent(&repeat, &want, "re-populated answer");
+    server.shutdown();
+}
+
+/// Identical untracked queries submitted into one flush coalesce onto a
+/// single walk slot; tracked submissions keep their own slots. Either
+/// way, every answer matches direct evaluation.
+#[test]
+fn within_flush_coalescing_matches_direct_evaluation() {
+    let server = RankServer::new(
+        ServeConfig::new()
+            .max_delay(Duration::from_secs(3600))
+            .max_batch(6),
+    );
+    let db = random_db(95, 20);
+    let rel = server.register("db", db.clone());
+    // Six identical untracked submissions fill the size trigger at once.
+    let handles: Vec<_> = (0..6)
+        .map(|_| server.submit(rel, RankQuery::prfe(0.7)).unwrap())
+        .collect();
+    let want = RankQuery::prfe(0.7).run(&db).expect("direct evaluation");
+    for (i, h) in handles.into_iter().enumerate() {
+        let got = h.recv().expect("coalesced answer");
+        assert_eq!(
+            got.report.batch.as_ref().unwrap().consumers,
+            1,
+            "identical untracked queries share one walk slot"
+        );
+        assert_equivalent(&got, &want, &format!("coalesced/{i}"));
+    }
+    server.shutdown();
+}

@@ -3,21 +3,28 @@
 //!
 //! Each schedule arms a deterministic [`FaultPlan`] — always at least one
 //! injected **panic** and one injected **delay**, plus optional worker
-//! kills and admission overloads — and then drives a mixed workload of
-//! plain submissions, deadline/priority submissions, and live-relation
-//! inserts from several client threads, with shutdown racing half the
-//! schedules. The pinned invariants:
+//! kills, admission overloads, and a **mid-apply `mutate` probe** (a
+//! `LiveRelation::arm_mutation_probe` closure consulting the same plan,
+//! firing between the live relation's plan splice and its log-PRFe
+//! key-cache patch) — and then drives a mixed workload of plain
+//! submissions, deadline/priority submissions, and live-relation inserts
+//! from several client threads, with shutdown racing half the schedules.
+//! The panic sites include `cache` (before the result cache is purged and
+//! consulted), so the schedules also pin the cache path's requeue and
+//! staleness behavior. The pinned invariants:
 //!
 //! * **exactly-once resolution**: every accepted query handle resolves to
 //!   `Ok`, `Internal`, or `TimedOut` — never lost, never `Shutdown`
 //!   (accepted work survives contained panics and killed workers);
 //! * **static answers stay correct under faults**: every `Ok` answer from
-//!   the immutable relation matches a direct offline evaluation to 1e-9;
+//!   the immutable relation matches a direct offline evaluation to 1e-9 —
+//!   whether it was evaluated or served from the result cache;
 //! * **live state is never torn**: after the dust settles, the live
-//!   relation's backend holds exactly the base tuples plus the
-//!   acknowledged inserts, and a post-fault query agrees with an offline
-//!   rebuild from those pairs to 1e-9 — a mutation that panicked mid-apply
-//!   either acknowledged `Internal` and left no trace, or repaired;
+//!   relation's backend holds the base tuples, every `Ok`-acknowledged
+//!   insert, and at most the `Internal`-acknowledged ones (a mid-apply
+//!   panic may land after the backend splice; repair then makes the
+//!   derived state consistent with it) — and a post-fault query agrees
+//!   with an offline rebuild from the final pairs to 1e-9;
 //! * **supervision restores the pool**: killed workers are respawned and a
 //!   stuck worker is compensated, in bounded time.
 
@@ -56,8 +63,8 @@ fn assert_values_close(got: &[Complex], want: &[Complex], what: &str) {
 /// Builds one seeded fault plan with at least one panic and one delay.
 /// Returns the plan (a clone stays with the caller for `fired()`).
 fn seeded_plan(rng: &mut StdRng) -> FaultPlan {
-    let panic_sites = ["flush-take", "apply", "eval", "deliver"];
-    let delay_sites = ["admit", "eval", "deliver"];
+    let panic_sites = ["flush-take", "apply", "cache", "eval", "deliver"];
+    let delay_sites = ["admit", "cache", "eval", "deliver"];
     let mut plan = FaultPlan::new();
     for _ in 0..rng.gen_range(1..4u32) {
         let site = panic_sites[rng.gen_range(0..panic_sites.len())];
@@ -73,6 +80,12 @@ fn seeded_plan(rng: &mut StdRng) -> FaultPlan {
     }
     if rng.gen_bool(0.3) {
         plan = plan.after("admit", FaultKind::Overloaded, rng.gen_range(0..4));
+    }
+    if rng.gen_bool(0.35) {
+        // Fired by the live relation's mutation probe (armed below in
+        // `run_chaos_schedule`): a panic *between* the backend/plan splice
+        // and the log-PRFe key-cache patch.
+        plan = plan.after("mutate", FaultKind::Panic, rng.gen_range(0..3));
     }
     plan
 }
@@ -93,6 +106,18 @@ fn run_chaos_schedule(seed: u64) -> u64 {
     let static_n = 7usize;
     let live_base = 6usize;
     let live = Arc::new(LiveRelation::new(small_db(live_base)));
+    // Route the same seeded plan into the live relation's mid-apply hook:
+    // a `mutate` injection panics between the plan splice and the key-cache
+    // patch, exercising the server's catch + repair of a half-applied
+    // mutation.
+    {
+        let plan = plan.clone();
+        live.arm_mutation_probe(move || match plan.consult("mutate") {
+            Some(FaultKind::Panic) => panic!("injected fault at `mutate`"),
+            Some(FaultKind::Delay(d)) => thread::sleep(d),
+            _ => {}
+        });
+    }
     let stat_rel = server.register("static", small_db(static_n));
     let live_rel = server.register_live("live", Arc::clone(&live));
 
@@ -236,26 +261,42 @@ fn run_chaos_schedule(seed: u64) -> u64 {
     }
 
     // Every accepted insert acknowledges exactly once: applied (`Ok`) or
-    // rejected by an injected panic (`Internal`) — and the final backend
-    // holds exactly base + acknowledged inserts.
+    // interrupted by an injected panic (`Internal`). An `Internal` ack from
+    // the `mutate` probe fires *after* the backend splice, so such an
+    // insert may legitimately be present (repair makes the derived state
+    // consistent with it) — the backend must hold the base tuples, every
+    // `Ok` insert, and nothing beyond base ∪ Ok ∪ Internal.
     let mut applied: Vec<f64> = Vec::new();
+    let mut maybe_applied: Vec<f64> = Vec::new();
     for (score, ack) in acked_inserts {
         match ack.recv() {
             Ok(_) => applied.push(score),
-            Err(QueryError::Internal { .. }) => {}
+            Err(QueryError::Internal { .. }) => maybe_applied.push(score),
             Err(e) => panic!("accepted insert resolved uncleanly: {e}"),
         }
     }
     let snapshot = live.snapshot_backend();
-    let mut want_scores: Vec<f64> = small_db(live_base).tuple_scores();
-    want_scores.extend(&applied);
-    want_scores.sort_by(f64::total_cmp);
-    let mut got_scores = snapshot.tuple_scores();
-    got_scores.sort_by(f64::total_cmp);
-    assert_eq!(
-        got_scores, want_scores,
-        "live backend must hold exactly base + acknowledged inserts"
-    );
+    let to_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<HashSet<u64>>();
+    let got = to_bits(&snapshot.tuple_scores());
+    let base = to_bits(&small_db(live_base).tuple_scores());
+    for b in &base {
+        assert!(got.contains(b), "live backend lost a base tuple");
+    }
+    for s in &applied {
+        assert!(
+            got.contains(&s.to_bits()),
+            "acknowledged insert {s} missing from live backend"
+        );
+    }
+    let mut allowed = base;
+    allowed.extend(applied.iter().map(|s| s.to_bits()));
+    allowed.extend(maybe_applied.iter().map(|s| s.to_bits()));
+    for b in &got {
+        assert!(
+            allowed.contains(b),
+            "live backend holds a tuple no acknowledgement explains (score bits {b:#x})"
+        );
+    }
 
     // Post-fault differential: the live relation (with its incrementally
     // patched, possibly repaired prepared state) agrees with an offline
@@ -367,5 +408,76 @@ fn stuck_worker_is_compensated_while_it_sleeps() {
     assert!(server.metrics().workers_respawned >= 1);
     // The stuck walk still completes and delivers.
     assert!(slow.recv().is_ok());
+    server.shutdown();
+}
+
+/// A panic injected *between* a live relation's plan splice and its
+/// log-PRFe key-cache patch (the `mutate` probe): the server acknowledges
+/// the mutation `Internal`, repairs the derived state, and the very next
+/// log-domain PRFe answer — the semantics whose incremental key cache the
+/// panic stranded — matches an offline rebuild of the final backend to
+/// 1e-9. The result cache must not serve the pre-mutation answer either:
+/// repair bumps the generation, so the stale entry can never pass the
+/// generation-exact lookup.
+#[test]
+fn mid_splice_panic_repairs_and_next_answer_matches_rebuild() {
+    let server = RankServer::new(ServeConfig::new().max_delay(Duration::from_micros(200)));
+    let live = Arc::new(LiveRelation::new(small_db(8)));
+    let plan = FaultPlan::new().once("mutate", FaultKind::Panic);
+    {
+        let plan = plan.clone();
+        live.arm_mutation_probe(move || {
+            if let Some(FaultKind::Panic) = plan.consult("mutate") {
+                panic!("injected fault at `mutate`");
+            }
+        });
+    }
+    let rel = server.register_live("live", Arc::clone(&live));
+    let query = || RankQuery::prfe(0.9).algorithm(Algorithm::LogDomain);
+
+    // Warm both caches: the live relation's incremental log-PRFe keys and
+    // the server's result cache.
+    let before = server.submit(rel, query()).unwrap().recv().unwrap();
+    assert!(!before.report.serve.as_ref().unwrap().served_from_cache);
+
+    // The mutation applies to the backend, then the probe panics before
+    // the key-cache patch: the server must contain it, ack `Internal`,
+    // and repair.
+    let ack = server
+        .apply(rel, Mutation::Reweight(TupleId(0), 0.9))
+        .unwrap()
+        .recv();
+    assert!(
+        matches!(ack, Err(QueryError::Internal { .. })),
+        "mid-splice panic must resolve the mutation Internal, got {ack:?}"
+    );
+    assert!(plan.exhausted(), "the armed mutate fault never fired");
+    assert!(server.metrics().panics_caught >= 1);
+
+    // The next answer reflects the repaired state — never the stranded key
+    // cache, never the pre-mutation result cache entry.
+    let after = server.submit(rel, query()).unwrap().recv().unwrap();
+    assert!(!after.report.serve.as_ref().unwrap().served_from_cache);
+    let rebuilt = IndependentDb::from_pairs(
+        live.snapshot_backend()
+            .tuple_scores()
+            .into_iter()
+            .zip(live.snapshot_backend().tuple_marginals()),
+    )
+    .expect("valid snapshot pairs");
+    let want = query().run(&rebuilt).expect("offline rebuild");
+    let got_keys = after.values.as_log().expect("log-domain answers");
+    let want_keys = want.values.as_log().expect("log-domain answers");
+    assert_eq!(got_keys.len(), want_keys.len());
+    for (i, (g, w)) in got_keys.iter().zip(want_keys).enumerate() {
+        let (g, w) = (*g, *w);
+        if g.is_infinite() && w.is_infinite() && g.signum() == w.signum() {
+            continue;
+        }
+        assert!(
+            (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+            "post-repair log key {i} diverged: {g} vs {w}"
+        );
+    }
     server.shutdown();
 }
