@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments <table1|fig4|fig5|fig7|fig8|fig9|fig10|fig11|serve|live|all> [--scale quick|full]
+//! experiments <table1|fig4|fig5|fig7|fig8|fig9|fig10|fig11|serve|live|shard|all> [--scale quick|full]
 //! ```
 
 use prf_bench::{timed, Scale};
@@ -44,9 +44,12 @@ fn main() {
             "fig11" => prf_bench::fig11::run(scale),
             "serve" => prf_bench::serve::run(scale),
             "live" => prf_bench::live::run(scale),
+            "shard" => prf_bench::shard::run(scale),
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("available: table1 fig4 fig5 fig7 fig8 fig9 fig10 fig11 serve live all");
+                eprintln!(
+                    "available: table1 fig4 fig5 fig7 fig8 fig9 fig10 fig11 serve live shard all"
+                );
                 return false;
             }
         }
@@ -56,7 +59,8 @@ fn main() {
     for name in &which {
         if name == "all" {
             for exp in [
-                "table1", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "serve", "live",
+                "table1", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "serve",
+                "live", "shard",
             ] {
                 let (_, t) = timed(|| run_one(exp));
                 println!("\n[{exp} completed in {t:.1}s]");

@@ -8,13 +8,15 @@
 //! ```
 //!
 //! where `<experiment>` ∈ `table1 | fig4 | fig5 | fig7 | fig8 | fig9 |
-//! fig10 | fig11 | serve | all`. The default `quick` scale finishes in
-//! minutes and preserves every qualitative shape; `full` matches the
-//! paper's dataset sizes (up to 10⁶ tuples) where that is feasible.
-//! EXPERIMENTS.md records the outputs next to the paper's numbers. The
-//! `serve` scenario goes beyond the paper: it replays a mixed-semantics
-//! trace through `prf-serve`'s deadline-batched `RankServer` and compares
-//! throughput with single-query dispatch.
+//! fig10 | fig11 | serve | live | shard | all`. The default `quick` scale
+//! finishes in minutes and preserves every qualitative shape; `full`
+//! matches the paper's dataset sizes (up to 10⁶ tuples) where that is
+//! feasible. EXPERIMENTS.md records the outputs next to the paper's
+//! numbers. The `serve`, `live` and `shard` scenarios go beyond the
+//! paper: `serve` replays a mixed-semantics trace through `prf-serve`'s
+//! deadline-batched `RankServer` and compares throughput with
+//! single-query dispatch; `shard` measures the fig 11-style scaling of a
+//! `ShardedRelation` over 1/2/4 shard workers.
 
 #![deny(missing_docs)]
 
@@ -27,6 +29,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod live;
 pub mod serve;
+pub mod shard;
 pub mod table1;
 
 use std::time::Instant;

@@ -56,6 +56,8 @@
 //!   dual numbers;
 //! * [`xtuple`] — `O(n·h·log n)` PRFω(h) on x-tuples by a division-free
 //!   divide-and-conquer over the score sweep;
+//! * [`shard`] — sharded relations: score-contiguous shards walked by a
+//!   persistent worker pool and merged via the presence-GF monoid;
 //! * [`attribute`] — ranking with uncertain scores (Section 4.4);
 //! * [`mixture`] — DFT-based approximation of PRFω by PRFe mixtures
 //!   (Section 5.1);
@@ -72,6 +74,7 @@ pub mod live;
 pub mod mixture;
 pub mod parallel;
 pub mod query;
+pub mod shard;
 pub mod spectrum;
 pub mod topk;
 pub mod tree;
@@ -96,6 +99,7 @@ pub use query::{
     NumericMode, PreparedRelation, PreparedState, ProbabilisticRelation, QueryBatch, QueryError,
     RankQuery, RankedResult, Semantics, TopSet, Values,
 };
+pub use shard::{ShardError, ShardHandle, ShardPool, ShardedRelation};
 pub use spectrum::{crossing_point, prfe_spectrum, spectrum_endpoints, Crossing};
 pub use topk::{Ranking, ValueOrder};
 pub use tree::{

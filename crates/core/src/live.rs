@@ -953,6 +953,18 @@ impl<B: MutableRelation> ProbabilisticRelation for LiveRelation<B> {
         PreparedState::empty()
     }
 
+    fn presence_gf_coeffs(&self, cap: usize) -> Option<Vec<f64>> {
+        // Forwarded so a live relation can serve as a shard of a
+        // [`crate::shard::ShardedRelation`]. Mutations must then preserve
+        // the shard's score band; the sharded walk itself is not atomic
+        // with respect to concurrent mutations across shards.
+        self.read().backend.presence_gf_coeffs(cap)
+    }
+
+    fn presence_gf_point(&self, alpha: Complex) -> Option<Scaled<Complex>> {
+        self.read().backend.presence_gf_point(alpha)
+    }
+
     fn prf_values_prepared(
         &self,
         omega: &(dyn WeightFunction + Sync),

@@ -22,17 +22,20 @@ use crate::weights::WeightFunction;
 /// Minimum tuples **per shard** for the sharded batch walk to beat the
 /// serial incremental walk.
 ///
-/// Sharding costs one extra `O(tree)` fast-forward fold per worker (per
-/// evaluator) before any shard work starts; the serial walk's per-step
-/// recombination is only `O(depth·log fanout)` ring operations. The folds
-/// therefore dominate until each shard amortizes its own: at `n = 10⁴`
-/// every thread count *loses* to serial (the ROADMAP item this gate
-/// closes — measured 1.5–2.5× slower at 2–8 threads on Syn-MED trees),
-/// breaking roughly even near `n/threads ≈ 3·10⁴` and winning beyond it.
-/// The gate is deliberately conservative: an under-sharded walk merely
-/// runs serial (correct, and the faster choice on small batches), while
-/// an over-eager shard burns `threads × fold` for nothing.
-pub const PARALLEL_MIN_SHARD_TUPLES: usize = 1 << 15;
+/// Shard setup used to cost one full `O(tree)` fast-forward fold per
+/// worker per evaluator — 1.5–2.5× *slower* than serial at `n = 10⁴`
+/// on Syn-MED trees, which put the original floor at `2¹⁵`. The workers
+/// now share the fold prefix (one all-ones fold, bulk-advanced one chunk
+/// per shard boundary and cloned — see
+/// [`crate::incremental::IncrementalGf::set_leaves_bulk`]), leaving only
+/// the serial sweep, one snapshot copy per worker, and the merge:
+/// measured 8–19% total-work overhead at 2–4 threads for shards of
+/// 2¹¹–2¹⁴ tuples (Syn-MED, PT(50)), i.e. an expected ≥ 3.4× four-way
+/// speedup once cores are available. The floor drops 8× accordingly;
+/// below 2¹² the per-shard walk no longer amortizes the snapshot copy
+/// and scheduling granularity. An under-sharded walk merely runs serial
+/// (correct, and still the faster choice on tiny batches).
+pub const PARALLEL_MIN_SHARD_TUPLES: usize = 1 << 12;
 
 /// The worker count a shared walk **actually** runs with once sharding is
 /// gated on `n/threads` versus the fast-forward cost: the requested count
@@ -98,29 +101,39 @@ pub(crate) fn prf_rank_tree_parallel_stats_prepared(
 
     let threads = threads.min(n);
     let chunk = n.div_ceil(threads);
-    let mut results: Vec<(Vec<(TupleId, Complex)>, GfStats)> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
+    // Shared fold prefix: ONE trivial all-ones fold, then each shard's
+    // start state is the previous one advanced by a single chunk of `x`
+    // labels (bulk bottom-up sweep) and cloned. Total setup ring work is
+    // one fold plus one sweep over the walked prefix — previously every
+    // worker re-folded the whole plan from scratch, `threads ×` the work.
+    let mut snapshots = Vec::with_capacity(threads);
+    {
+        let mut base = plan.evaluator(|_| RankPoly::one().with_cap(cap));
+        let mut prev_lo = 0usize;
         for w in 0..threads {
             let lo = w * chunk;
             let hi = ((w + 1) * chunk).min(n);
             if lo >= hi {
                 continue; // rounding can leave trailing shards empty
             }
+            if lo > prev_lo {
+                base.set_leaves_bulk(|u| {
+                    let p = pos[u.index()];
+                    (prev_lo <= p && p < lo).then(|| RankPoly::x().with_cap(cap))
+                });
+                prev_lo = lo;
+            }
+            snapshots.push((lo, hi, base.clone()));
+        }
+    }
+    let mut results: Vec<(Vec<(TupleId, Complex)>, GfStats)> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(snapshots.len());
+        for (lo, hi, mut inc) in snapshots {
             let order = &order;
-            let pos = &pos;
             let marginals = &marginals;
-            let plan = &plan;
             handles.push(scope.spawn(move || {
                 let mut out = Vec::with_capacity(hi - lo);
-                // Fast-forward: tuples before the shard already carry x.
-                let mut inc = plan.evaluator(|u| {
-                    if pos[u.index()] < lo {
-                        RankPoly::x().with_cap(cap)
-                    } else {
-                        RankPoly::one().with_cap(cap)
-                    }
-                });
                 for (i, &t) in order.iter().enumerate().take(hi).skip(lo) {
                     if i > lo {
                         inc.set_leaf(order[i - 1], RankPoly::x().with_cap(cap));
@@ -200,29 +213,43 @@ pub(crate) fn batch_walk_tree_parallel_prepared(
 
     let threads = threads.min(n);
     let chunk = n.div_ceil(threads);
-    type Shard = Option<(usize, usize, Vec<SharedAnswer>, GfStats)>;
-    let mut shards: Vec<Shard> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
+    // Shared fold prefix across shards (see the single-query variant
+    // above): one all-ones fast-forward, bulk-advanced one chunk per
+    // boundary, with a snapshot cloned for each worker — instead of every
+    // worker re-folding the full consumer set from scratch.
+    let mut snapshots = Vec::with_capacity(threads);
+    {
+        let mut base = BatchWalkers::fast_forward(plan, &consumers, |_| false);
+        let mut prev_lo = 0usize;
         for w in 0..threads {
             let lo = w * chunk;
             let hi = ((w + 1) * chunk).min(n);
             if lo >= hi {
                 continue; // rounding can leave trailing shards empty
             }
+            if lo > prev_lo {
+                base.advance_bulk(|u| {
+                    let p = pos[u.index()];
+                    prev_lo <= p && p < lo
+                });
+                prev_lo = lo;
+            }
+            snapshots.push((lo, hi, base.clone()));
+        }
+    }
+    type Shard = Option<(usize, usize, Vec<SharedAnswer>, GfStats)>;
+    let mut shards: Vec<Shard> = Vec::with_capacity(snapshots.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(snapshots.len());
+        for (lo, hi, mut walkers) in snapshots {
             let order = &order;
-            let pos = &pos;
             let marginals = &marginals;
-            let plan = &plan;
             let consumers = &consumers;
             let spec = &spec;
             handles.push(scope.spawn(move || {
                 // Shard-sized buffers (position `i − lo`), like the
                 // single-query parallel walk — not full-length per worker.
                 let mut local = BatchConsumers::answer_buffers(spec, hi - lo);
-                // Fast-forward: tuples before the shard already carry x/α.
-                let mut walkers =
-                    BatchWalkers::fast_forward(plan, consumers, |u| pos[u.index()] < lo);
                 for (i, &t) in order.iter().enumerate().take(hi).skip(lo) {
                     // Cooperative cancellation: every shard polls, and any
                     // tripped poll abandons the whole walk after the join.
@@ -312,13 +339,12 @@ mod tests {
     #[test]
     fn sharding_gate_boundary() {
         // Below the per-shard floor the gate degrades to serial; at or
-        // above it the requested count passes through.
-        assert_eq!(
-            effective_walk_threads(10_000, Some(4)),
-            1,
-            "ROADMAP: n=10⁴ loses"
-        );
-        assert_eq!(effective_walk_threads(10_000, Some(2)), 1);
+        // above it the requested count passes through. With the shared
+        // fold prefix the floor sits at 2¹² tuples per shard, so n = 10⁴
+        // now shards two ways (it used to lose outright) but still not
+        // four.
+        assert_eq!(effective_walk_threads(10_000, Some(4)), 1);
+        assert_eq!(effective_walk_threads(10_000, Some(2)), 2);
         assert_eq!(
             effective_walk_threads(2 * PARALLEL_MIN_SHARD_TUPLES, Some(2)),
             2

@@ -47,7 +47,7 @@ use std::time::Instant;
 
 use prf_numeric::{Complex, Scaled};
 
-use super::relation::ProbabilisticRelation;
+use super::relation::{CorrelationClass, ProbabilisticRelation};
 use super::{
     panic_reason, Algorithm, CancelToken, EvalReport, QueryError, RankQuery, RankedResult,
     Semantics, Values,
@@ -451,6 +451,102 @@ impl QueryBatch {
             None => (Vec::new(), None, 0.0, 0),
         };
 
+        // Take every answered entry's walk answer up front: per-entry
+        // finalization (value vector + ranking construction) is
+        // independent O(n)–O(n·log n) work that dominates the post-walk
+        // wall on multi-entry batches over large relations, so it fans
+        // out over scoped threads under the same opt-in contract as the
+        // shard-parallel walk (`parallel(t)` requested and every
+        // worker's share clearing the parallel floor). Results scatter
+        // back by entry index, so entry order is untouched.
+        let cost = BatchCost {
+            walk_seconds,
+            consumers,
+        };
+        let n_rel = rel.n_tuples();
+        let backend = rel.correlation_class();
+        let mut jobs: Vec<(usize, Algorithm, SharedAnswer)> = Vec::new();
+        for i in 0..self.entries.len() {
+            if expired[i] || request_of[i] == usize::MAX || answers.is_empty() {
+                continue;
+            }
+            if let Ok((algorithm, _)) = resolved[i] {
+                if let Some(answer) = answers
+                    .get_mut(request_of[i])
+                    .and_then(std::option::Option::take)
+                {
+                    jobs.push((i, algorithm, answer));
+                }
+            }
+        }
+        let mut shared_results: Vec<Option<RankedResult>> =
+            self.entries.iter().map(|_| None).collect();
+        let finalize_threads =
+            crate::parallel::effective_walk_threads(n_rel, self.threads).min(jobs.len().max(1));
+        if finalize_threads > 1 {
+            let mut buckets: Vec<Vec<(usize, Algorithm, SharedAnswer)>> =
+                (0..finalize_threads).map(|_| Vec::new()).collect();
+            for (j, job) in jobs.into_iter().enumerate() {
+                buckets[j % finalize_threads].push(job);
+            }
+            let outs = std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            bucket
+                                .into_iter()
+                                .map(|(i, algorithm, answer)| {
+                                    (
+                                        i,
+                                        self.finalize_shared(
+                                            &self.entries[i],
+                                            algorithm,
+                                            n_rel,
+                                            backend,
+                                            answer,
+                                            cost,
+                                            stats,
+                                        ),
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(std::thread::ScopedJoinHandle::join)
+                    .collect::<Vec<_>>()
+            });
+            for out in outs {
+                match out {
+                    Ok(list) => {
+                        for (i, r) in list {
+                            shared_results[i] = Some(r);
+                        }
+                    }
+                    // A finalize panic propagates exactly like the serial
+                    // path's would (finalization is infallible assembly;
+                    // a panic there is an internal bug, not an entry
+                    // error).
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        } else {
+            for (i, algorithm, answer) in jobs {
+                shared_results[i] = Some(self.finalize_shared(
+                    &self.entries[i],
+                    algorithm,
+                    n_rel,
+                    backend,
+                    answer,
+                    cost,
+                    stats,
+                ));
+            }
+        }
+
         let mut results = Vec::with_capacity(self.entries.len());
         for (i, entry) in self.entries.iter().enumerate() {
             if expired[i] {
@@ -460,35 +556,15 @@ impl QueryBatch {
                 }
                 continue;
             }
-            let (algorithm, _) = match &resolved[i] {
-                Ok(r) => *r,
-                Err(e) => {
-                    results.push(Err(e.clone()));
-                    if fail_fast {
-                        break;
-                    }
-                    continue;
+            if let Err(e) = &resolved[i] {
+                results.push(Err(e.clone()));
+                if fail_fast {
+                    break;
                 }
-            };
-            let answer = if answers.is_empty() || request_of[i] == usize::MAX {
-                None
-            } else {
-                answers
-                    .get_mut(request_of[i])
-                    .and_then(std::option::Option::take)
-            };
-            let result = match answer {
-                Some(answer) => Ok(self.finalize_shared(
-                    entry,
-                    algorithm,
-                    rel,
-                    answer,
-                    BatchCost {
-                        walk_seconds,
-                        consumers,
-                    },
-                    stats,
-                )),
+                continue;
+            }
+            let result = match shared_results[i].take() {
+                Some(result) => Ok(result),
                 // Single-route entries (and every entry when the backend
                 // has no shared walk) run as the equivalent single query —
                 // in isolated mode with the panic caught, so a poisonous
@@ -534,18 +610,19 @@ impl QueryBatch {
     /// answer-identical to materialising the full ranking and truncating —
     /// pinned by `batch_top_k_pushdown_agrees_with_full_rankings` and the
     /// differential suite.
+    #[allow(clippy::too_many_arguments)]
     fn finalize_shared(
         &self,
         entry: &RankQuery,
         algorithm: Algorithm,
-        rel: &(impl ProbabilisticRelation + ?Sized),
+        n: usize,
+        backend: CorrelationClass,
         answer: SharedAnswer,
         cost: BatchCost,
         stats: Option<GfStats>,
     ) -> RankedResult {
         let finalize_start = Instant::now();
         let top_k = entry.top_k.or(self.top_k);
-        let n = rel.n_tuples();
         // The pushdown cap: how much of the ranking to materialise.
         let cap = top_k.unwrap_or(n).min(n);
         let (values, ranking) = match (&entry.semantics, answer) {
@@ -601,7 +678,7 @@ impl QueryBatch {
         let amortized = cost.amortized_seconds();
         let report = EvalReport {
             semantics: entry.semantics.name(),
-            backend: rel.correlation_class(),
+            backend,
             algorithm,
             auto_selected: matches!(entry.algorithm, Algorithm::Auto),
             numeric_mode: values.numeric_mode(),
@@ -827,6 +904,54 @@ mod tests {
         assert_eq!(got_pt.report.batch.unwrap().consumers, 2);
         // An empty batch has no entry to report an error through.
         assert!(QueryBatch::new().run_isolated(&db).is_empty());
+    }
+
+    #[test]
+    fn parallel_finalize_matches_serial() {
+        // Large enough that `parallel(2)` clears the per-worker floor, so
+        // the shared entries' finalization actually fans out over scoped
+        // threads — the results must be bit-identical to the serial
+        // batch (same assembly code on the same walk answers).
+        let n = 2 * crate::parallel::PARALLEL_MIN_SHARD_TUPLES;
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let db = IndependentDb::from_pairs((0..n).map(|i| ((n - i) as f64, 0.05 + 0.9 * next())))
+            .unwrap();
+        assert_eq!(
+            crate::parallel::effective_walk_threads(n, Some(2)),
+            2,
+            "gate must open at this size or the test exercises nothing"
+        );
+        let entries = || {
+            vec![
+                RankQuery::pt(3),
+                RankQuery::prfe(0.9).algorithm(Algorithm::LogDomain),
+                RankQuery::erank(),
+            ]
+        };
+        let parallel = QueryBatch::new()
+            .add_queries(entries())
+            .parallel(2)
+            .run(&db)
+            .unwrap();
+        let serial = QueryBatch::new().add_queries(entries()).run(&db).unwrap();
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(
+                p.ranking.order(),
+                s.ranking.order(),
+                "{}",
+                s.report.semantics
+            );
+            for pos in 0..p.ranking.len() {
+                assert_eq!(p.ranking.key_at(pos), s.ranking.key_at(pos));
+            }
+            assert_eq!(p.values.len(), s.values.len());
+        }
     }
 
     #[test]

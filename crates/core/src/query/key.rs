@@ -28,11 +28,16 @@ use crate::topk::ValueOrder;
 
 use super::{Algorithm, RankQuery, Semantics};
 
-/// Bit pattern of an `f64` with `−0.0` folded into `+0.0`, so the two
-/// zeros — which compare equal and evaluate identically — share a key.
+/// Bit pattern of an `f64` with `−0.0` folded into `+0.0` and every NaN
+/// folded into the one canonical quiet NaN: the two zeros compare equal
+/// and evaluate identically, and all NaN payloads evaluate identically (a
+/// degenerate PRFe α), so each family shares one key — distinct payloads
+/// would otherwise hash to distinct `QueryKey`s that can never hit.
 fn canon_bits(x: f64) -> u64 {
     if x == 0.0 {
         0.0f64.to_bits()
+    } else if x.is_nan() {
+        f64::NAN.to_bits()
     } else {
         x.to_bits()
     }
@@ -180,6 +185,31 @@ mod tests {
         assert_eq!(
             RankQuery::prfe_complex(Complex::new(0.5, -0.0)).cache_key(),
             RankQuery::prfe_complex(Complex::new(0.5, 0.0)).cache_key()
+        );
+    }
+
+    #[test]
+    fn nan_alpha_payloads_fold_into_one_key() {
+        // Every NaN bit pattern (signalling-ish payloads, negative NaN)
+        // evaluates identically, so all must share one canonical key.
+        let payload_nan = f64::from_bits(f64::NAN.to_bits() | 0xdead_beef);
+        assert!(payload_nan.is_nan());
+        assert_eq!(
+            RankQuery::prfe(f64::NAN).cache_key(),
+            RankQuery::prfe(payload_nan).cache_key()
+        );
+        assert_eq!(
+            RankQuery::prfe(f64::NAN).cache_key(),
+            RankQuery::prfe(-f64::NAN).cache_key()
+        );
+        assert_eq!(
+            RankQuery::prfe_complex(Complex::new(0.5, f64::NAN)).cache_key(),
+            RankQuery::prfe_complex(Complex::new(0.5, payload_nan)).cache_key()
+        );
+        // But NaN stays distinct from every number.
+        assert_ne!(
+            RankQuery::prfe(f64::NAN).cache_key(),
+            RankQuery::prfe(0.0).cache_key()
         );
     }
 

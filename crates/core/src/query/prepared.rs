@@ -60,6 +60,10 @@ enum Inner {
     /// Independent relation: the descending score order (the only setup
     /// its closed-form kernels repeat per call).
     Independent(Vec<TupleId>),
+    /// Sharded relation: one prepared state per shard, in shard order.
+    /// `Arc`-wrapped so shard-worker jobs (which need `'static` captures)
+    /// can share them without cloning a compiled plan.
+    Sharded(Vec<Arc<PreparedState>>),
 }
 
 impl PreparedState {
@@ -103,6 +107,19 @@ impl PreparedState {
         }
     }
 
+    pub(crate) fn sharded(states: Vec<Arc<PreparedState>>) -> Self {
+        PreparedState {
+            inner: Inner::Sharded(states),
+        }
+    }
+
+    pub(crate) fn sharded_states(&self) -> Option<&[Arc<PreparedState>]> {
+        match &self.inner {
+            Inner::Sharded(states) => Some(states),
+            _ => None,
+        }
+    }
+
     pub(crate) fn tree_prepared_mut(&mut self) -> Option<&mut TreePrepared> {
         match &mut self.inner {
             Inner::Tree(tp) => Some(tp),
@@ -125,6 +142,9 @@ impl std::fmt::Debug for PreparedState {
             Inner::Tree(tp) => write!(f, "PreparedState::Tree({} tuples)", tp.order.len()),
             Inner::Independent(order) => {
                 write!(f, "PreparedState::Independent({} tuples)", order.len())
+            }
+            Inner::Sharded(states) => {
+                write!(f, "PreparedState::Sharded({} shards)", states.len())
             }
         }
     }

@@ -247,6 +247,29 @@ pub trait ProbabilisticRelation {
         self.prf_values_with_stats(omega, threads)
     }
 
+    /// Coefficients of the presence-count generating function
+    /// `G(x) = Σ_a Pr(|pw ∩ R| = a)·xᵃ`, truncated to `cap` coefficients
+    /// (degrees `< cap`; trailing zeros may be trimmed, missing entries are
+    /// zero). This is the *monoid element* sharding composes: across
+    /// independent score-contiguous shards the global GF is the product of
+    /// the per-shard GFs, so [`crate::shard::ShardedRelation`] folds these
+    /// to build each shard's incoming prefix state. `None` (the default)
+    /// marks a backend that cannot be sharded over.
+    fn presence_gf_coeffs(&self, cap: usize) -> Option<Vec<f64>> {
+        let _ = cap;
+        None
+    }
+
+    /// The presence-count generating function evaluated at the point `α`,
+    /// in scaled arithmetic: `G(α) = Σ_a Pr(|pw ∩ R| = a)·αᵃ` — the scalar
+    /// monoid element PRFe sharding composes (see
+    /// [`Self::presence_gf_coeffs`]). `None` (the default) marks a backend
+    /// that cannot be sharded over.
+    fn presence_gf_point(&self, alpha: Complex) -> Option<Scaled<Complex>> {
+        let _ = alpha;
+        None
+    }
+
     /// Bounded per-position candidate lists `Pr(r(t) = j)` for `j ≤ k` —
     /// the substrate of U-Rank. The default runs `k` PRF passes with the
     /// position-indicator weight `ω(i) = δ(i = j)` (the paper's reduction);
@@ -331,6 +354,22 @@ impl ProbabilisticRelation for IndependentDb {
             }
             _ => self.run_shared_walk(spec),
         }
+    }
+
+    fn presence_gf_coeffs(&self, cap: usize) -> Option<Vec<f64>> {
+        let mut g = prf_numeric::Poly::one();
+        for p in self.probabilities() {
+            g.mul_linear_in_place(1.0 - p, p, cap.max(1));
+        }
+        Some(g.coeffs().to_vec())
+    }
+
+    fn presence_gf_point(&self, alpha: Complex) -> Option<Scaled<Complex>> {
+        let mut g = Scaled::<Complex>::one();
+        for p in self.probabilities() {
+            g = g.mul(&Scaled::new(Complex::real(1.0 - p) + alpha * p));
+        }
+        Some(g)
     }
 
     fn prf_values_prepared(
@@ -452,8 +491,8 @@ impl ProbabilisticRelation for AndXorTree {
     }
 
     fn run_shared_walk(&self, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
-        // Sharding is *gated*, not merely clamped: each worker pays an
-        // O(tree) fast-forward fold before its shard starts, so below
+        // Sharding is *gated*, not merely clamped: setup pays one shared
+        // prefix sweep plus a snapshot clone per worker, so below
         // `PARALLEL_MIN_SHARD_TUPLES` tuples per shard the parallel walk
         // loses to serial outright and the request degrades to the serial
         // route (identical answers, strictly less work).
@@ -488,6 +527,21 @@ impl ProbabilisticRelation for AndXorTree {
             }
             _ => self.run_shared_walk(spec),
         }
+    }
+
+    fn presence_gf_coeffs(&self, cap: usize) -> Option<Vec<f64>> {
+        if AndXorTree::n_tuples(self) == 0 {
+            return Some(vec![1.0]);
+        }
+        let g = self.generating_function(|_| prf_numeric::RankPoly::x().with_cap(cap.max(1)));
+        Some(g.a.coeffs().to_vec())
+    }
+
+    fn presence_gf_point(&self, alpha: Complex) -> Option<Scaled<Complex>> {
+        if AndXorTree::n_tuples(self) == 0 {
+            return Some(Scaled::one());
+        }
+        Some(self.generating_function(|_| Scaled::new(alpha)))
     }
 
     fn prf_values_prepared(

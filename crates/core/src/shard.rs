@@ -1,0 +1,1185 @@
+//! Sharded relations: score-contiguous shards merged as a GF monoid.
+//!
+//! The independent-db prefix walk is a prefix product of per-tuple
+//! polynomials — an associative monoid — so a relation split into
+//! score-contiguous shards can be walked by independent workers whose
+//! partial generating functions merge by polynomial multiplication,
+//! exactly the shape of the ∧ combine of PAPER.md Algorithm 2.
+//!
+//! # The monoid
+//!
+//! Let shard `k` hold the tuples ranked `k`-th by score block (every score
+//! in shard `k` is ≥ every score in shard `k+1`), with the shards mutually
+//! independent (each is its own [`IndependentDb`](prf_pdb::IndependentDb)
+//! or [`AndXorTree`](prf_pdb::AndXorTree)). The *presence-count generating
+//! function* of shard `k`,
+//!
+//! ```text
+//! G_k(x) = Σ_a Pr(|pw ∩ shard_k| = a) · xᵃ,
+//! ```
+//!
+//! factorizes the global one: `G(x) = Π_k G_k(x)`. Every PRF consumer of a
+//! shared walk needs only its shard's **incoming prefix state** — the
+//! product `P_k(x) = Π_{j<k} G_j(x)` of the *higher-scored* shards — and
+//! that product is an associative fold:
+//!
+//! * **PRFω / PT / U-Rank** (coefficient consumers): shard `k` runs its
+//!   ordinary local walk with the *shifted* weight
+//!   `W_k(t, j) = Σ_a P_k[a] · ω(t, a + j)` — marginalizing the prefix's
+//!   presence count into the weight — and its local answers *are* the
+//!   global `Υ_ω` values. Truncation survives (`ω` zero beyond `h` makes
+//!   `W_k` zero beyond `h`), so the `O(n·h)` paths stay `O(n·h)`.
+//! * **PRFe(α)** (point consumers): the prefix collapses to the scalar
+//!   `P_k(α)`, and global values are `local · P_k(α)` (log-domain: add
+//!   `ln P_k(α)`).
+//! * **E-Rank**: `er(t) = er_loc(t) + p_t·C_pre + (1−p_t)·(C − C_k)` with
+//!   `C_pre`/`C_k`/`C` the expected world sizes of the prefix, the shard,
+//!   and the whole relation — both closed-form terms decompose across
+//!   independent shards.
+//!
+//! # Execution
+//!
+//! [`ShardedRelation`] owns a persistent [`ShardPool`] of worker threads.
+//! A shared walk runs in two pool-parallel phases: **phase A** computes
+//! each shard's monoid elements (`G_k` coefficients, `G_k(α)` points,
+//! expected sizes — order-independent, no sort needed), a cheap serial
+//! fold turns them into exclusive prefix products (a balanced product
+//! tournament for the coefficient merge, mirroring `Poly::product`), and
+//! **phase B** walks every shard concurrently with its prefix-adjusted
+//! consumers, scattering local answers into the global tuple-id space.
+//! The [`SharedWalkSpec`] consumer machinery is reused unchanged, so
+//! [`QueryBatch`](crate::query::QueryBatch) and the `prf-serve` server
+//! work against a sharded relation exactly as against any other backend.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use prf_numeric::{Complex, GfValue, Poly, Scaled};
+use prf_pdb::{Tuple, TupleId};
+
+use crate::incremental::GfStats;
+use crate::query::batch::{SharedAnswer, SharedRequest, SharedWalkOut, SharedWalkSpec};
+use crate::query::{CorrelationClass, PreparedState, ProbabilisticRelation};
+use crate::weights::{tabulate, TabulatedWeight, WeightFunction};
+
+/// A shard handle: any backend that exposes the presence-GF monoid hooks
+/// ([`ProbabilisticRelation::presence_gf_coeffs`] /
+/// [`ProbabilisticRelation::presence_gf_point`]).
+pub type ShardHandle = Arc<dyn ProbabilisticRelation + Send + Sync>;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why a [`ShardedRelation`] could not be assembled.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardError {
+    /// Consecutive shards overlap in score: every score of shard `k` must
+    /// be ≥ every score of shard `k+1`, or the global score order would
+    /// interleave shards and the prefix monoid would not apply.
+    NotContiguous {
+        /// Index of the lower (later, lower-scored) shard of the violating
+        /// pair.
+        shard: usize,
+        /// Minimum score of the shard above the boundary.
+        upper_min: f64,
+        /// Maximum score of the shard below the boundary.
+        lower_max: f64,
+    },
+    /// The shard's backend does not implement the presence-GF monoid hooks
+    /// (both [`ProbabilisticRelation::presence_gf_coeffs`] and
+    /// [`ProbabilisticRelation::presence_gf_point`] are required).
+    Unsupported {
+        /// Index of the offending shard.
+        shard: usize,
+        /// Its correlation class, for diagnostics.
+        class: CorrelationClass,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NotContiguous {
+                shard,
+                upper_min,
+                lower_max,
+            } => write!(
+                f,
+                "shards are not score-contiguous at boundary {shard}: \
+                 min score {upper_min} above < max score {lower_max} below"
+            ),
+            ShardError::Unsupported { shard, class } => write!(
+                f,
+                "shard {shard} ({class} backend) lacks the presence-GF hooks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+// ---------------------------------------------------------------------
+// The persistent worker pool
+// ---------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of shard-walk workers.
+///
+/// Workers share one job queue behind a mutex; [`ShardPool::run`] fans a
+/// batch of closures out and gathers their results in submission order.
+/// Panics inside a job are caught on the worker (keeping it alive for the
+/// next walk) and re-raised on the submitting thread.
+pub struct ShardPool {
+    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns a pool of `workers.max(1)` threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the queue lock only for the dequeue, never while
+                    // running a job.
+                    let job = rx.lock().expect("shard queue poisoned").recv();
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break, // pool dropped
+                    }
+                })
+            })
+            .collect();
+        ShardPool {
+            tx: Mutex::new(Some(tx)),
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every job on the pool and returns their results in submission
+    /// order. Re-raises the first job panic on the caller.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let njobs = jobs.len();
+        let (out_tx, out_rx) = mpsc::channel();
+        {
+            let guard = self.tx.lock().expect("shard pool poisoned");
+            let tx = guard.as_ref().expect("shard pool already shut down");
+            for (i, job) in jobs.into_iter().enumerate() {
+                let out = out_tx.clone();
+                tx.send(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    let _ = out.send((i, result));
+                }))
+                .expect("shard workers alive");
+            }
+        }
+        drop(out_tx);
+        let mut slots: Vec<Option<T>> = (0..njobs).map(|_| None).collect();
+        for _ in 0..njobs {
+            let (i, result) = out_rx.recv().expect("shard worker delivered");
+            match result {
+                Ok(v) => slots[i] = Some(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every shard job reports"))
+            .collect()
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        *self.tx.lock().expect("shard pool poisoned") = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shifted weights: marginalizing the prefix into ω
+// ---------------------------------------------------------------------
+
+/// `W(t, j) = Σ_a P[a] · ω(t, a + j)` — the local weight that makes a
+/// shard's walk produce *global* Υ values (the prefix's presence count is
+/// independent of the shard's local rank, so the convolution is exact).
+/// Tuple ids are shifted back to the global id space before `ω` sees them.
+struct ShiftedWeight {
+    inner: Arc<dyn WeightFunction + Send + Sync>,
+    prefix: Vec<f64>,
+    trunc: Option<usize>,
+    id_offset: u32,
+}
+
+fn shifted_weight_value(
+    inner: &(dyn WeightFunction + '_),
+    prefix: &[f64],
+    trunc: Option<usize>,
+    id_offset: u32,
+    tuple: &Tuple,
+    rank: usize,
+) -> Complex {
+    let global = Tuple {
+        id: TupleId(tuple.id.0 + id_offset),
+        score: tuple.score,
+        prob: tuple.prob,
+    };
+    let cap = trunc.unwrap_or(usize::MAX);
+    let mut acc = Complex::ZERO;
+    for (a, &pa) in prefix.iter().enumerate() {
+        let Some(global_rank) = rank.checked_add(a) else {
+            break;
+        };
+        if global_rank > cap {
+            break; // ω is zero beyond its truncation
+        }
+        if pa != 0.0 {
+            acc += inner.weight(&global, global_rank) * pa;
+        }
+    }
+    acc
+}
+
+impl WeightFunction for ShiftedWeight {
+    fn weight(&self, tuple: &Tuple, rank: usize) -> Complex {
+        shifted_weight_value(
+            &*self.inner,
+            &self.prefix,
+            self.trunc,
+            self.id_offset,
+            tuple,
+            rank,
+        )
+    }
+    fn truncation(&self) -> Option<usize> {
+        self.trunc
+    }
+    fn name(&self) -> String {
+        format!("shifted({})", self.inner.name())
+    }
+}
+
+/// Borrowed variant of [`ShiftedWeight`] for the single-query
+/// [`ProbabilisticRelation::prf_values`] path, whose `ω` is a borrow that
+/// cannot cross into `'static` pool jobs — tuple-dependent weights run
+/// serially across shards with this wrapper instead.
+struct ShiftedWeightRef<'a> {
+    inner: &'a (dyn WeightFunction + Sync),
+    prefix: &'a [f64],
+    trunc: Option<usize>,
+    id_offset: u32,
+}
+
+impl WeightFunction for ShiftedWeightRef<'_> {
+    fn weight(&self, tuple: &Tuple, rank: usize) -> Complex {
+        shifted_weight_value(
+            self.inner,
+            self.prefix,
+            self.trunc,
+            self.id_offset,
+            tuple,
+            rank,
+        )
+    }
+    fn truncation(&self) -> Option<usize> {
+        self.trunc
+    }
+    fn name(&self) -> String {
+        format!("shifted({})", self.inner.name())
+    }
+}
+
+/// `true` when a prefix is the monoid identity `P(x) = 1` — the first
+/// non-empty shard's case, where `ω` passes through unchanged.
+fn is_identity_prefix(prefix: &[f64]) -> bool {
+    prefix.len() == 1 && prefix[0] == 1.0
+}
+
+/// Materializes the shifted weight of a *rank-only* `ω` as an explicit
+/// table `W[j−1] = Σ_a P[a]·ω(a+j)` of length `min(cap, n_loc)` — an
+/// owned, `Send + Sync` weight that pool workers can share, at tabulation
+/// cost `O(len·|P|)` (never more than the walk that consumes it).
+fn tabulate_shifted(
+    omega: &(dyn WeightFunction + '_),
+    prefix: &[f64],
+    cap: usize,
+    n_loc: usize,
+) -> TabulatedWeight {
+    let len = cap.min(n_loc);
+    // ω values at global ranks 1 ..= len + |P| − 1 (zero beyond cap).
+    let glob_len = cap.min(len + prefix.len().saturating_sub(1));
+    let glob = tabulate(omega, glob_len);
+    let mut table = vec![Complex::ZERO; len];
+    for (j, slot) in table.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (a, &pa) in prefix.iter().enumerate() {
+            let i = j + a; // 0-based index of global rank j+a+1
+            if i >= glob_len {
+                break;
+            }
+            if pa != 0.0 {
+                acc += glob[i] * pa;
+            }
+        }
+        *slot = acc;
+    }
+    TabulatedWeight::new(table)
+}
+
+// ---------------------------------------------------------------------
+// Prefix folds
+// ---------------------------------------------------------------------
+
+/// Balanced product tournament over presence-GF coefficient vectors,
+/// truncated to `cap` coefficients — the associative combine of the shard
+/// monoid (the same divide-and-conquer shape as `Poly::product`, with
+/// truncation).
+fn coeff_tournament(mut factors: Vec<Poly>, cap: usize) -> Poly {
+    if factors.is_empty() {
+        return Poly::one();
+    }
+    while factors.len() > 1 {
+        factors = factors
+            .chunks(2)
+            .map(|pair| match pair {
+                [a, b] => a.mul_truncated(b, cap),
+                [a] => a.clone(),
+                _ => unreachable!("chunks(2)"),
+            })
+            .collect();
+    }
+    factors.pop().expect("non-empty")
+}
+
+// ---------------------------------------------------------------------
+// ShardedRelation
+// ---------------------------------------------------------------------
+
+/// A relation assembled from score-contiguous, mutually independent
+/// shards, walked concurrently by a persistent worker pool and merged via
+/// the presence-GF monoid (module docs).
+///
+/// Global tuple ids are shard-major: shard `k`'s local tuple `i` is global
+/// tuple `offset_k + i`, with `offset_k = Σ_{j<k} n_j`. Because earlier
+/// shards hold higher scores *and* lower global ids, the global score
+/// order (score descending, id ascending) is exactly the concatenation of
+/// the shards' local orders — ties at shard boundaries included.
+///
+/// `ShardedRelation` implements [`ProbabilisticRelation`], so it drops
+/// into [`RankQuery`](crate::query::RankQuery),
+/// [`QueryBatch`](crate::query::QueryBatch), and `prf-serve` registration
+/// unchanged. U-Top (`most_probable_topk`) is the one unsupported
+/// semantics: the most probable top-k *set* does not decompose over the
+/// prefix monoid.
+///
+/// ```
+/// use std::sync::Arc;
+/// use prf_core::query::RankQuery;
+/// use prf_core::shard::ShardedRelation;
+/// use prf_pdb::IndependentDb;
+///
+/// // Two score-contiguous shards: scores [10, 8] ≥ [5, 3].
+/// let hi = IndependentDb::from_pairs([(10.0, 0.5), (8.0, 0.7)]).unwrap();
+/// let lo = IndependentDb::from_pairs([(5.0, 0.9), (3.0, 0.4)]).unwrap();
+/// let sharded = ShardedRelation::new(vec![Arc::new(hi), Arc::new(lo)], 2)?;
+/// let top = RankQuery::prfe(0.9).top_k(2).run(&sharded)?;
+/// assert_eq!(top.ranking.order().len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ShardedRelation {
+    shards: Vec<ShardHandle>,
+    pool: ShardPool,
+    generations: Mutex<GenTracker>,
+}
+
+impl std::fmt::Debug for ShardedRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRelation")
+            .field("shards", &self.shards.len())
+            .field("workers", &self.pool.size())
+            .field("n_tuples", &self.n_tuples())
+            .finish()
+    }
+}
+
+struct GenTracker {
+    last_seen: Vec<u64>,
+    counter: u64,
+    /// Per-shard prepared state, stamped with the shard generation it was
+    /// built from. [`ShardedRelation::prepare`] consults this so a
+    /// re-preparation after a mutation rebuilds **exactly** the changed
+    /// shards' states and reuses the rest by `Arc` handle.
+    prepared: Vec<Option<(u64, Arc<PreparedState>)>>,
+}
+
+/// Per-shard monoid elements computed by phase A.
+struct ShardPre {
+    coeffs: Option<Vec<f64>>,
+    points: Vec<Scaled<Complex>>,
+    expected_size: f64,
+}
+
+/// Per-shard prefix state handed to phase B.
+#[derive(Clone)]
+struct ShardPrefix {
+    /// `P_k` coefficients (when any weight consumer needs them).
+    coeffs: Option<Vec<f64>>,
+    /// `P_k(α)` per distinct evaluation point.
+    points: Vec<Scaled<Complex>>,
+    /// Expected present count of the prefix (`C_pre`).
+    c_pre: f64,
+    /// Expected present count of every *other* shard (`C − C_k`).
+    c_other: f64,
+    /// Global id of the shard's first tuple.
+    offset: usize,
+}
+
+impl ShardedRelation {
+    /// Assembles a sharded relation over `shards` (highest-scored shard
+    /// first) with a persistent pool of `workers` walk threads.
+    ///
+    /// Validates that every shard implements the presence-GF monoid hooks
+    /// and that consecutive non-empty shards are score-contiguous
+    /// (`min score` above ≥ `max score` below — ties at the boundary are
+    /// fine, they resolve by shard order exactly as the global sort
+    /// would).
+    pub fn new(shards: Vec<ShardHandle>, workers: usize) -> Result<Self, ShardError> {
+        for (k, shard) in shards.iter().enumerate() {
+            if shard.presence_gf_coeffs(1).is_none()
+                || shard.presence_gf_point(Complex::ONE).is_none()
+            {
+                return Err(ShardError::Unsupported {
+                    shard: k,
+                    class: shard.correlation_class(),
+                });
+            }
+        }
+        let mut prev_min: Option<(usize, f64)> = None;
+        for (k, shard) in shards.iter().enumerate() {
+            let scores = shard.tuple_scores();
+            if scores.is_empty() {
+                continue;
+            }
+            let min = scores.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if let Some((_, upper_min)) = prev_min {
+                if upper_min < max {
+                    return Err(ShardError::NotContiguous {
+                        shard: k,
+                        upper_min,
+                        lower_max: max,
+                    });
+                }
+            }
+            prev_min = Some((k, min));
+        }
+        let generations = Mutex::new(GenTracker {
+            last_seen: shards.iter().map(|s| s.generation()).collect(),
+            counter: 0,
+            prepared: vec![None; shards.len()],
+        });
+        Ok(ShardedRelation {
+            shards,
+            pool: ShardPool::new(workers),
+            generations,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of pool worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// Global id offsets per shard (exclusive prefix sums of shard sizes),
+    /// recomputed per operation because live shards may resize.
+    fn offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.shards.len());
+        let mut acc = 0usize;
+        for s in &self.shards {
+            offsets.push(acc);
+            acc += s.n_tuples();
+        }
+        offsets
+    }
+
+    // -----------------------------------------------------------------
+    // Phase A: per-shard monoid elements + the prefix fold
+    // -----------------------------------------------------------------
+
+    /// Computes every shard's monoid elements on the pool, then folds
+    /// them into exclusive prefix states.
+    fn prefixes(
+        &self,
+        coeff_cap: Option<usize>,
+        alphas: &[Complex],
+        want_expected_size: bool,
+    ) -> Vec<ShardPrefix> {
+        let jobs: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let shard = Arc::clone(shard);
+                let alphas = alphas.to_vec();
+                move || ShardPre {
+                    coeffs: coeff_cap.map(|cap| {
+                        shard
+                            .presence_gf_coeffs(cap)
+                            .expect("validated at construction")
+                    }),
+                    points: alphas
+                        .iter()
+                        .map(|&a| {
+                            shard
+                                .presence_gf_point(a)
+                                .expect("validated at construction")
+                        })
+                        .collect(),
+                    expected_size: if want_expected_size {
+                        shard.tuple_marginals().iter().sum()
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        let pres = self.pool.run(jobs);
+
+        let offsets = self.offsets();
+        let c_total: f64 = pres.iter().map(|p| p.expected_size).sum();
+        let mut coeff_acc = Poly::one();
+        let mut point_acc = vec![Scaled::<Complex>::one(); alphas.len()];
+        let mut c_pre = 0.0f64;
+        let mut out = Vec::with_capacity(pres.len());
+        for (k, pre) in pres.iter().enumerate() {
+            out.push(ShardPrefix {
+                coeffs: coeff_cap.map(|_| coeff_acc.coeffs().to_vec()),
+                points: point_acc.clone(),
+                c_pre,
+                c_other: c_total - pre.expected_size,
+                offset: offsets[k],
+            });
+            if let (Some(cap), Some(coeffs)) = (coeff_cap, &pre.coeffs) {
+                coeff_acc = coeff_acc.mul_truncated(&Poly::from_coeffs(coeffs.clone()), cap);
+            }
+            for (acc, point) in point_acc.iter_mut().zip(&pre.points) {
+                *acc = acc.mul(point);
+            }
+            c_pre += pre.expected_size;
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Phase B: the merged shared walk
+    // -----------------------------------------------------------------
+
+    /// The whole two-phase merged walk. `preps` carries per-shard prepared
+    /// states when the caller has them (matching shard count), else the
+    /// shards walk unprepared.
+    fn merged_walk(
+        &self,
+        spec: &SharedWalkSpec,
+        preps: Option<&[Arc<PreparedState>]>,
+    ) -> Option<SharedWalkOut> {
+        let start = Instant::now();
+        if spec.is_cancelled() {
+            return None;
+        }
+        let n: usize = self.shards.iter().map(|s| s.n_tuples()).sum();
+        if self.shards.len() == 1 {
+            // One shard: the prefix is the identity, delegate wholesale.
+            let shard = &self.shards[0];
+            return match preps.and_then(|p| p.first()) {
+                Some(prep) => shard.run_shared_walk_prepared(spec, prep),
+                None => shard.run_shared_walk(spec),
+            };
+        }
+
+        // What the prefix fold must produce.
+        let coeff_cap = spec
+            .requests
+            .iter()
+            .filter_map(|r| r.weight_cap(n))
+            .max()
+            .map(|c| c.max(1));
+        let mut alphas: Vec<Complex> = Vec::new();
+        let mut alpha_of_request: Vec<Option<usize>> = Vec::with_capacity(spec.requests.len());
+        for req in &spec.requests {
+            let alpha = match req {
+                SharedRequest::PrfeComplex(a) | SharedRequest::PrfeScaled(a) => Some(*a),
+                SharedRequest::PrfeLog(a) => Some(Complex::real(*a)),
+                _ => None,
+            };
+            alpha_of_request.push(alpha.map(|a| {
+                let key = (a.re.to_bits(), a.im.to_bits());
+                match alphas
+                    .iter()
+                    .position(|b| (b.re.to_bits(), b.im.to_bits()) == key)
+                {
+                    Some(i) => i,
+                    None => {
+                        alphas.push(a);
+                        alphas.len() - 1
+                    }
+                }
+            }));
+        }
+        let want_erank = spec
+            .requests
+            .iter()
+            .any(|r| matches!(r, SharedRequest::ExpectedRanks));
+
+        let prefixes = self.prefixes(coeff_cap, &alphas, want_erank);
+
+        // Phase B: walk every non-empty shard on the pool.
+        let mut jobs = Vec::new();
+        let mut job_shards = Vec::new();
+        for (k, shard) in self.shards.iter().enumerate() {
+            if shard.n_tuples() == 0 {
+                continue;
+            }
+            job_shards.push(k);
+            let shard = Arc::clone(shard);
+            let requests = spec.requests.clone();
+            let cancel = spec.cancel.clone();
+            let prefix = prefixes[k].clone();
+            let alpha_of_request = alpha_of_request.clone();
+            let prep = preps.and_then(|p| p.get(k).cloned());
+            jobs.push(move || {
+                shard_walk(
+                    &*shard,
+                    requests,
+                    cancel,
+                    prefix,
+                    &alpha_of_request,
+                    n,
+                    prep.as_deref(),
+                )
+            });
+        }
+        let outs = self.pool.run(jobs);
+
+        // Scatter local answers into the global tuple-id space.
+        let mut answers: Vec<SharedAnswer> = spec
+            .requests
+            .iter()
+            .map(|req| match req {
+                SharedRequest::Weight(_) | SharedRequest::PrfeComplex(_) => {
+                    SharedAnswer::Complex(vec![Complex::ZERO; n])
+                }
+                SharedRequest::PrfeLog(_) => SharedAnswer::Log(vec![f64::NEG_INFINITY; n]),
+                SharedRequest::PrfeScaled(_) => SharedAnswer::Scaled(vec![Scaled::zero(); n]),
+                SharedRequest::ExpectedRanks => SharedAnswer::Ranks(vec![0.0; n]),
+            })
+            .collect();
+        let mut stats: Option<GfStats> = None;
+        for (k, out) in job_shards.into_iter().zip(outs) {
+            let (local_answers, local_stats) = out?;
+            let offset = prefixes[k].offset;
+            for (global, local) in answers.iter_mut().zip(local_answers) {
+                scatter(global, local, offset);
+            }
+            stats = match (stats, local_stats) {
+                (Some(a), Some(b)) => Some(a.merge(b)),
+                (s, t) => s.or(t),
+            };
+        }
+        Some(SharedWalkOut {
+            answers,
+            stats,
+            walk_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Single-query merges (the non-batch trait surface)
+    // -----------------------------------------------------------------
+
+    /// PRFω across shards: rank-only `ω` tabulates its shifted weights and
+    /// fans out on the pool; tuple-dependent `ω` (a borrow that cannot
+    /// cross into `'static` jobs) runs the shards serially with the
+    /// borrowed shifted wrapper.
+    fn prf_values_merged(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        preps: Option<&[Arc<PreparedState>]>,
+    ) -> (Vec<Complex>, Option<GfStats>) {
+        let n: usize = self.shards.iter().map(|s| s.n_tuples()).sum();
+        if n == 0 {
+            return (Vec::new(), None);
+        }
+        let cap = omega.truncation().unwrap_or(n).min(n).max(1);
+        let prefixes = self.prefixes(Some(cap), &[], false);
+        let mut result = vec![Complex::ZERO; n];
+        let mut stats: Option<GfStats> = None;
+
+        let mut merge = |offset: usize, vals: Vec<Complex>, s: Option<GfStats>| {
+            result[offset..offset + vals.len()].copy_from_slice(&vals);
+            stats = match (stats.take(), s) {
+                (Some(a), Some(b)) => Some(a.merge(b)),
+                (a, b) => a.or(b),
+            };
+        };
+
+        if omega.rank_only() {
+            let jobs: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.n_tuples() > 0)
+                .map(|(k, shard)| {
+                    let shard = Arc::clone(shard);
+                    let prefix = prefixes[k].coeffs.clone().expect("coeffs requested");
+                    let prep = preps.and_then(|p| p.get(k).cloned());
+                    let offset = prefixes[k].offset;
+                    let tab = tabulate_shifted(omega, &prefix, cap, shard.n_tuples());
+                    move || {
+                        let (vals, s) = match &prep {
+                            Some(prep) => shard.prf_values_prepared(&tab, None, prep),
+                            None => shard.prf_values_with_stats(&tab, None),
+                        };
+                        (offset, vals, s)
+                    }
+                })
+                .collect();
+            for (offset, vals, s) in self.pool.run(jobs) {
+                merge(offset, vals, s);
+            }
+        } else {
+            for (k, shard) in self.shards.iter().enumerate() {
+                if shard.n_tuples() == 0 {
+                    continue;
+                }
+                let prefix = prefixes[k].coeffs.as_deref().expect("coeffs requested");
+                let offset = prefixes[k].offset;
+                let shifted = ShiftedWeightRef {
+                    inner: omega,
+                    prefix,
+                    trunc: omega.truncation(),
+                    id_offset: offset as u32,
+                };
+                let (vals, s) = if is_identity_prefix(prefix) && offset == 0 {
+                    match preps.and_then(|p| p.get(k)) {
+                        Some(prep) => shard.prf_values_prepared(omega, None, prep),
+                        None => shard.prf_values_with_stats(omega, None),
+                    }
+                } else {
+                    match preps.and_then(|p| p.get(k)) {
+                        Some(prep) => shard.prf_values_prepared(&shifted, None, prep),
+                        None => shard.prf_values_with_stats(&shifted, None),
+                    }
+                };
+                merge(offset, vals, s);
+            }
+        }
+        (result, stats)
+    }
+
+    /// Fans `f(shard)` out on the pool over non-empty shards and scatters
+    /// each shard's tuple-indexed output into a global buffer primed with
+    /// `fill`.
+    fn scatter_map<T, F>(&self, fill: T, f: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&ShardHandle, usize) -> Vec<T> + Send + Sync + 'static,
+    {
+        let offsets = self.offsets();
+        let n: usize = self.shards.iter().map(|s| s.n_tuples()).sum();
+        let f = Arc::new(f);
+        let jobs: Vec<_> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.n_tuples() > 0)
+            .map(|(k, shard)| {
+                let shard = Arc::clone(shard);
+                let f = Arc::clone(&f);
+                let offset = offsets[k];
+                move || (offset, f(&shard, k))
+            })
+            .collect();
+        let mut out = vec![fill; n];
+        for (offset, vals) in self.pool.run(jobs) {
+            out[offset..offset + vals.len()].clone_from_slice(&vals);
+        }
+        out
+    }
+}
+
+/// One shard's phase-B work: map the requests through the prefix state,
+/// run the shard's own shared walk (falling back to its single-query
+/// kernels when it has no shared kernel), post-process the scalar
+/// consumers, and hand back shard-local answers.
+#[allow(clippy::too_many_arguments)]
+fn shard_walk(
+    shard: &(dyn ProbabilisticRelation + Send + Sync),
+    requests: Vec<SharedRequest>,
+    cancel: Option<crate::query::CancelToken>,
+    prefix: ShardPrefix,
+    alpha_of_request: &[Option<usize>],
+    global_n: usize,
+    prep: Option<&PreparedState>,
+) -> Option<(Vec<SharedAnswer>, Option<GfStats>)> {
+    let n_loc = shard.n_tuples();
+    let local_requests: Vec<SharedRequest> = requests
+        .iter()
+        .map(|req| match req {
+            SharedRequest::Weight(w) => {
+                let coeffs = prefix.coeffs.as_deref().expect("coeffs requested");
+                if is_identity_prefix(coeffs) && (prefix.offset == 0 || w.rank_only()) {
+                    SharedRequest::Weight(Arc::clone(w))
+                } else if w.rank_only() {
+                    let cap = w.truncation().unwrap_or(global_n).min(global_n).max(1);
+                    SharedRequest::Weight(Arc::new(tabulate_shifted(&**w, coeffs, cap, n_loc)))
+                } else {
+                    SharedRequest::Weight(Arc::new(ShiftedWeight {
+                        inner: Arc::clone(w),
+                        prefix: coeffs.to_vec(),
+                        trunc: w.truncation(),
+                        id_offset: prefix.offset as u32,
+                    }))
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    let local_spec = SharedWalkSpec {
+        requests: local_requests,
+        threads: None,
+        cancel,
+    };
+    let out = match prep {
+        Some(prep) => shard.run_shared_walk_prepared(&local_spec, prep),
+        None => shard.run_shared_walk(&local_spec),
+    };
+    let (mut answers, stats) = match out {
+        Some(out) => (out.answers, out.stats),
+        None => {
+            // No shared kernel (or cancelled): cancelled walks demote the
+            // whole batch; a backend without a shared kernel answers each
+            // request through its single-query surface instead.
+            if local_spec.is_cancelled() {
+                return None;
+            }
+            let mut answers = Vec::with_capacity(local_spec.requests.len());
+            for req in &local_spec.requests {
+                answers.push(match req {
+                    SharedRequest::Weight(w) => SharedAnswer::Complex(shard.prf_values(&**w, None)),
+                    SharedRequest::PrfeComplex(a) => SharedAnswer::Complex(shard.prfe_values(*a)),
+                    SharedRequest::PrfeLog(a) => SharedAnswer::Log(shard.prfe_log_keys(*a)),
+                    SharedRequest::PrfeScaled(a) => {
+                        SharedAnswer::Scaled(shard.prfe_values_scaled(*a))
+                    }
+                    // No exact E-Rank on this shard: the merged walk
+                    // cannot serve the batch; demote to single queries.
+                    SharedRequest::ExpectedRanks => SharedAnswer::Ranks(shard.expected_ranks()?),
+                });
+            }
+            (answers, None)
+        }
+    };
+
+    // Post-process the scalar consumers with the prefix state.
+    let marginals = if requests
+        .iter()
+        .any(|r| matches!(r, SharedRequest::ExpectedRanks))
+    {
+        shard.tuple_marginals()
+    } else {
+        Vec::new()
+    };
+    for ((req, answer), alpha_idx) in requests
+        .iter()
+        .zip(answers.iter_mut())
+        .zip(alpha_of_request)
+    {
+        match (req, answer) {
+            (SharedRequest::PrfeComplex(_), SharedAnswer::Complex(vals)) => {
+                let point = &prefix.points[alpha_idx.expect("α recorded")];
+                for v in vals.iter_mut() {
+                    *v = Scaled::new(*v).mul(point).to_plain();
+                }
+            }
+            (SharedRequest::PrfeScaled(_), SharedAnswer::Scaled(vals)) => {
+                let point = &prefix.points[alpha_idx.expect("α recorded")];
+                for v in vals.iter_mut() {
+                    *v = v.mul(point);
+                }
+            }
+            (SharedRequest::PrfeLog(_), SharedAnswer::Log(vals)) => {
+                let point = &prefix.points[alpha_idx.expect("α recorded")];
+                let ln_prefix = point.magnitude_key() * std::f64::consts::LN_2;
+                for v in vals.iter_mut() {
+                    *v += ln_prefix;
+                }
+            }
+            (SharedRequest::ExpectedRanks, SharedAnswer::Ranks(vals)) => {
+                for (v, &p) in vals.iter_mut().zip(&marginals) {
+                    *v += p * prefix.c_pre + (1.0 - p) * prefix.c_other;
+                }
+            }
+            _ => {} // weight answers are already global (shifted ω)
+        }
+    }
+    Some((answers, stats))
+}
+
+/// Copies a shard's local answer block into the global buffer at `offset`.
+fn scatter(global: &mut SharedAnswer, local: SharedAnswer, offset: usize) {
+    match (global, local) {
+        (SharedAnswer::Complex(g), SharedAnswer::Complex(l)) => {
+            g[offset..offset + l.len()].copy_from_slice(&l);
+        }
+        (SharedAnswer::Log(g), SharedAnswer::Log(l)) => {
+            g[offset..offset + l.len()].copy_from_slice(&l);
+        }
+        (SharedAnswer::Scaled(g), SharedAnswer::Scaled(l)) => {
+            g[offset..offset + l.len()].clone_from_slice(&l);
+        }
+        (SharedAnswer::Ranks(g), SharedAnswer::Ranks(l)) => {
+            g[offset..offset + l.len()].copy_from_slice(&l);
+        }
+        _ => unreachable!("answer shape fixed by the request kind"),
+    }
+}
+
+impl ProbabilisticRelation for ShardedRelation {
+    fn n_tuples(&self) -> usize {
+        self.shards.iter().map(|s| s.n_tuples()).sum()
+    }
+
+    fn tuple_scores(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_tuples());
+        for s in &self.shards {
+            out.extend(s.tuple_scores());
+        }
+        out
+    }
+
+    fn tuple_marginals(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_tuples());
+        for s in &self.shards {
+            out.extend(s.tuple_marginals());
+        }
+        out
+    }
+
+    fn correlation_class(&self) -> CorrelationClass {
+        fn severity(c: CorrelationClass) -> u8 {
+            match c {
+                CorrelationClass::Independent => 0,
+                CorrelationClass::XTuple => 1,
+                CorrelationClass::Tree => 2,
+                CorrelationClass::Graphical => 3,
+            }
+        }
+        // Shards are mutually independent, so the union's class is the
+        // worst shard's: all-independent unions stay independent, x-tuple
+        // shards form one big x-tuple relation, and so on.
+        self.shards
+            .iter()
+            .map(|s| s.correlation_class())
+            .max_by_key(|&c| severity(c))
+            .unwrap_or(CorrelationClass::Independent)
+    }
+
+    fn prf_values(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        _threads: Option<usize>,
+    ) -> Vec<Complex> {
+        self.prf_values_merged(omega, None).0
+    }
+
+    fn prf_values_with_stats(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        _threads: Option<usize>,
+    ) -> (Vec<Complex>, Option<GfStats>) {
+        self.prf_values_merged(omega, None)
+    }
+
+    fn prf_values_prepared(
+        &self,
+        omega: &(dyn WeightFunction + Sync),
+        _threads: Option<usize>,
+        prep: &PreparedState,
+    ) -> (Vec<Complex>, Option<GfStats>) {
+        match prep.sharded_states() {
+            Some(states) if states.len() == self.shards.len() => {
+                self.prf_values_merged(omega, Some(states))
+            }
+            _ => self.prf_values_merged(omega, None),
+        }
+    }
+
+    fn prfe_values(&self, alpha: Complex) -> Vec<Complex> {
+        let prefixes = self.prefixes(None, &[alpha], false);
+        self.scatter_map(Complex::ZERO, move |shard, k| {
+            let point = prefixes[k].points[0];
+            shard
+                .prfe_values(alpha)
+                .into_iter()
+                .map(|v| Scaled::new(v).mul(&point).to_plain())
+                .collect()
+        })
+    }
+
+    fn prfe_values_scaled(&self, alpha: Complex) -> Vec<Scaled<Complex>> {
+        let prefixes = self.prefixes(None, &[alpha], false);
+        self.scatter_map(Scaled::zero(), move |shard, k| {
+            let point = prefixes[k].points[0];
+            shard
+                .prfe_values_scaled(alpha)
+                .into_iter()
+                .map(|v| v.mul(&point))
+                .collect()
+        })
+    }
+
+    fn prfe_log_keys(&self, alpha: f64) -> Vec<f64> {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "log-domain PRFe requires α ∈ [0, 1], got {alpha}"
+        );
+        let prefixes = self.prefixes(None, &[Complex::real(alpha)], false);
+        self.scatter_map(f64::NEG_INFINITY, move |shard, k| {
+            let ln_prefix = prefixes[k].points[0].magnitude_key() * std::f64::consts::LN_2;
+            shard
+                .prfe_log_keys(alpha)
+                .into_iter()
+                .map(|v| v + ln_prefix)
+                .collect()
+        })
+    }
+
+    fn expected_ranks(&self) -> Option<Vec<f64>> {
+        // Every shard must have an exact algorithm; the affine cross-shard
+        // adjustment (module docs) is exact for any mix of backends.
+        let prefixes = self.prefixes(None, &[], true);
+        let n = self.n_tuples();
+        let jobs: Vec<_> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.n_tuples() > 0)
+            .map(|(k, shard)| {
+                let shard = Arc::clone(shard);
+                let c_pre = prefixes[k].c_pre;
+                let c_other = prefixes[k].c_other;
+                let offset = prefixes[k].offset;
+                move || {
+                    let er = shard.expected_ranks()?;
+                    let adjusted: Vec<f64> = er
+                        .into_iter()
+                        .zip(shard.tuple_marginals())
+                        .map(|(v, p)| v + p * c_pre + (1.0 - p) * c_other)
+                        .collect();
+                    Some((offset, adjusted))
+                }
+            })
+            .collect();
+        let mut out = vec![0.0; n];
+        for res in self.pool.run(jobs) {
+            let (offset, vals) = res?;
+            out[offset..offset + vals.len()].copy_from_slice(&vals);
+        }
+        Some(out)
+    }
+
+    fn generation(&self) -> u64 {
+        let mut tracker = self.generations.lock().expect("generation tracker");
+        let current: Vec<u64> = self.shards.iter().map(|s| s.generation()).collect();
+        if current != tracker.last_seen {
+            tracker.last_seen = current;
+            tracker.counter += 1;
+        }
+        tracker.counter
+    }
+
+    fn run_shared_walk(&self, spec: &SharedWalkSpec) -> Option<SharedWalkOut> {
+        self.merged_walk(spec, None)
+    }
+
+    fn prepare(&self) -> PreparedState {
+        // Incremental: rebuild only the shards whose generation moved
+        // since their cached state was built (for immutable shards, never),
+        // so a re-prepare after one live shard's mutation is `O(changed
+        // shard)`, not `O(n)`. The generation is read *before* `prepare()`
+        // (the same never-too-new invariant `PreparedRelation` keeps), so a
+        // mutation racing the rebuild at worst causes one extra rebuild.
+        let mut tracker = self.generations.lock().expect("generation tracker");
+        let states: Vec<Arc<PreparedState>> = self
+            .shards
+            .iter()
+            .zip(tracker.prepared.iter_mut())
+            .map(|(shard, slot)| {
+                let generation = shard.generation();
+                match slot {
+                    Some((g, state)) if *g == generation => Arc::clone(state),
+                    _ => {
+                        let state = Arc::new(shard.prepare());
+                        *slot = Some((generation, Arc::clone(&state)));
+                        state
+                    }
+                }
+            })
+            .collect();
+        PreparedState::sharded(states)
+    }
+
+    fn run_shared_walk_prepared(
+        &self,
+        spec: &SharedWalkSpec,
+        prep: &PreparedState,
+    ) -> Option<SharedWalkOut> {
+        match prep.sharded_states() {
+            Some(states) if states.len() == self.shards.len() => {
+                self.merged_walk(spec, Some(states))
+            }
+            _ => self.merged_walk(spec, None),
+        }
+    }
+
+    fn presence_gf_coeffs(&self, cap: usize) -> Option<Vec<f64>> {
+        let factors = self
+            .shards
+            .iter()
+            .map(|s| s.presence_gf_coeffs(cap).map(Poly::from_coeffs))
+            .collect::<Option<Vec<_>>>()?;
+        Some(coeff_tournament(factors, cap.max(1)).coeffs().to_vec())
+    }
+
+    fn presence_gf_point(&self, alpha: Complex) -> Option<Scaled<Complex>> {
+        let mut acc = Scaled::<Complex>::one();
+        for s in &self.shards {
+            acc = acc.mul(&s.presence_gf_point(alpha)?);
+        }
+        Some(acc)
+    }
+}

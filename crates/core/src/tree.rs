@@ -483,12 +483,17 @@ impl BatchConsumers {
 /// The mutable per-shard state of a batched walk: one polynomial evaluator
 /// (if any weight consumer exists) plus one scalar evaluator per
 /// PRFe/E-Rank consumer — all over ONE shared [`EvalPlan`].
+/// Cloning snapshots every evaluator's fold state over the shared plan —
+/// the parallel batch walk advances ONE walker set chunk by chunk and
+/// clones a per-shard snapshot at each boundary.
+#[derive(Clone)]
 pub(crate) struct BatchWalkers<'p> {
     poly: Option<IncrementalGf<'p, RankPoly>>,
     scalars: Vec<ScalarWalker<'p>>,
     cap: usize,
 }
 
+#[derive(Clone)]
 enum ScalarWalker<'p> {
     Complex(IncrementalGf<'p, YLin<Complex>>, Complex),
     Scaled(
@@ -563,6 +568,34 @@ impl<'p> BatchWalkers<'p> {
             })
             .collect();
         BatchWalkers { poly, scalars, cap }
+    }
+
+    /// Advances every evaluator so the leaves selected by `advance` carry
+    /// their post-walk label (`x` / `α`), in one bulk bottom-up sweep per
+    /// evaluator ([`IncrementalGf::set_leaves_bulk`]) — how the parallel
+    /// batch walk extends the shared fold prefix from one shard boundary
+    /// to the next before cloning a snapshot.
+    pub(crate) fn advance_bulk(&mut self, mut advance: impl FnMut(TupleId) -> bool) {
+        let cap = self.cap;
+        if let Some(inc) = &mut self.poly {
+            inc.set_leaves_bulk(|t| advance(t).then(|| RankPoly::x().with_cap(cap)));
+        }
+        for s in &mut self.scalars {
+            match s {
+                ScalarWalker::Complex(inc, a) => {
+                    let a = *a;
+                    inc.set_leaves_bulk(|t| advance(t).then(|| YLin::pure(a)));
+                }
+                ScalarWalker::Scaled(inc, a, _) => {
+                    let a = *a;
+                    inc.set_leaves_bulk(|t| advance(t).then(|| YLin::pure(a)));
+                }
+                ScalarWalker::Dual(inc, a) => {
+                    let a = *a;
+                    inc.set_leaves_bulk(|t| advance(t).then(|| YLin::pure(a)));
+                }
+            }
+        }
     }
 
     /// One walk step: the previous tuple's label moves `y → x`/`α`, the

@@ -32,6 +32,15 @@ pub trait WeightFunction {
         None
     }
 
+    /// `true` when the weight ignores its tuple argument (`ω(t, i) = ω(i)`).
+    /// Rank-only weights can be materialised once with [`tabulate`] and
+    /// shared across workers — [`crate::shard::ShardedRelation`] uses this
+    /// to route PRFω queries through its parallel pool. Conservative
+    /// default: `false` (tuple-dependent).
+    fn rank_only(&self) -> bool {
+        false
+    }
+
     /// A short human-readable name for diagnostics.
     fn name(&self) -> String {
         "ω".to_string()
@@ -45,6 +54,9 @@ pub struct ConstantWeight;
 impl WeightFunction for ConstantWeight {
     fn weight(&self, _tuple: &Tuple, _rank: usize) -> Complex {
         Complex::ONE
+    }
+    fn rank_only(&self) -> bool {
+        true
     }
     fn name(&self) -> String {
         "probability".into()
@@ -83,6 +95,9 @@ impl WeightFunction for StepWeight {
     fn truncation(&self) -> Option<usize> {
         Some(self.h)
     }
+    fn rank_only(&self) -> bool {
+        true
+    }
     fn name(&self) -> String {
         format!("PT({})", self.h)
     }
@@ -107,6 +122,9 @@ impl WeightFunction for PositionWeight {
     fn truncation(&self) -> Option<usize> {
         Some(self.j)
     }
+    fn rank_only(&self) -> bool {
+        true
+    }
     fn name(&self) -> String {
         format!("rank={}", self.j)
     }
@@ -121,6 +139,9 @@ impl WeightFunction for LinearWeight {
     fn weight(&self, _tuple: &Tuple, rank: usize) -> Complex {
         Complex::real(-(rank as f64))
     }
+    fn rank_only(&self) -> bool {
+        true
+    }
     fn name(&self) -> String {
         "PRF-linear".into()
     }
@@ -134,6 +155,9 @@ pub struct DcgWeight;
 impl WeightFunction for DcgWeight {
     fn weight(&self, _tuple: &Tuple, rank: usize) -> Complex {
         Complex::real(std::f64::consts::LN_2 / ((rank + 1) as f64).ln())
+    }
+    fn rank_only(&self) -> bool {
+        true
     }
     fn name(&self) -> String {
         "discount".into()
@@ -161,6 +185,9 @@ impl ExponentialWeight {
 impl WeightFunction for ExponentialWeight {
     fn weight(&self, _tuple: &Tuple, rank: usize) -> Complex {
         self.alpha.powi(rank as i64)
+    }
+    fn rank_only(&self) -> bool {
+        true
     }
     fn name(&self) -> String {
         format!("PRFe({})", self.alpha)
@@ -228,6 +255,9 @@ impl WeightFunction for TabulatedWeight {
     }
     fn truncation(&self) -> Option<usize> {
         Some(self.weights.len())
+    }
+    fn rank_only(&self) -> bool {
+        true
     }
     fn name(&self) -> String {
         format!("PRFω({})", self.weights.len())

@@ -100,6 +100,7 @@ use prf_core::query::{
     panic_reason, CancelToken, FlushTrigger, PreparedRelation, ProbabilisticRelation, QueryBatch,
     QueryError, QueryKey, RankQuery, RankedResult, ServeCost,
 };
+use prf_core::shard::{ShardError, ShardHandle, ShardedRelation};
 use prf_core::TupleId;
 
 #[cfg(any(test, feature = "chaos"))]
@@ -897,6 +898,27 @@ impl RankServer {
     pub fn register_shared(&self, name: impl Into<String>, rel: SharedRelation) -> RelationId {
         let prepared: SharedRelation = Arc::new(PreparedRelation::new(rel));
         self.push_slot(name.into(), prepared, None)
+    }
+
+    /// Assembles a [`ShardedRelation`] over score-contiguous shards and
+    /// registers it under `name`. Preparation builds every shard's state
+    /// (sort/plan) once; flushes then fan each shared walk out over the
+    /// relation's persistent pool of `workers` shard threads. Generation
+    /// tracking is per shard set — a bump in **any** shard's generation
+    /// bumps the sharded relation's, so the result cache stays
+    /// generation-exact and re-preparation rebuilds exactly the changed
+    /// shard states.
+    ///
+    /// Fails (without registering) if the shards overlap in score or a
+    /// shard's backend lacks the presence-GF hooks.
+    pub fn register_sharded(
+        &self,
+        name: impl Into<String>,
+        shards: Vec<ShardHandle>,
+        workers: usize,
+    ) -> Result<RelationId, ShardError> {
+        let sharded = ShardedRelation::new(shards, workers)?;
+        Ok(self.register_shared(name, Arc::new(sharded)))
     }
 
     /// Registers a **live** relation: [`RankServer::apply`] then accepts

@@ -14,13 +14,15 @@
 //! Semantics: each test runs `cases` deterministic random cases (seeded from
 //! the test name, so failures reproduce across runs). Rejected cases
 //! ([`prop_assume!`]) are retried up to a bounded number of extra attempts.
-//! Failing cases are **shrunk**: the runner greedily re-runs the simpler
-//! candidates proposed by [`strategy::Strategy::shrink`] (halving towards
-//! the range minimum for numbers, halving/removal plus element-wise
-//! shrinking for vectors, component-wise for tuples) and reports the
-//! minimal case's assertion message, together with the raw case's. Mapped
-//! strategies ([`strategy::Strategy::prop_map`]) do not shrink — the
-//! mapping is not invertible.
+//! Failing cases are **shrunk** through [`strategy::ValueTree`]s: every
+//! generated value carries its shrink state (range minima, per-element
+//! subtrees, mapping closures), and the runner greedily re-runs the simpler
+//! candidate trees (halving towards the range minimum for numbers,
+//! halving/removal plus element-wise shrinking for vectors, component-wise
+//! for tuples) and reports the minimal case's assertion message, together
+//! with the raw case's. Mapped strategies
+//! ([`strategy::Strategy::prop_map`]) shrink too: the tree shrinks the
+//! *pre-map* value and re-applies the mapping, so no inverse is needed.
 
 #![deny(missing_docs)]
 
@@ -28,7 +30,7 @@ pub mod strategy;
 
 /// Strategies producing collections.
 pub mod collection {
-    use crate::strategy::Strategy;
+    use crate::strategy::{Strategy, ValueTree};
     use rand::{rngs::StdRng, Rng};
     use std::ops::Range;
 
@@ -72,39 +74,61 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S>
-    where
-        S::Value: Clone,
-    {
+    impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
+        type Tree = VecTree<S::Tree>;
 
-        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        fn new_tree(&self, rng: &mut StdRng) -> Self::Tree {
             let len = rng.gen_range(self.size.lo..self.size.hi);
-            (0..len).map(|_| self.element.new_value(rng)).collect()
+            VecTree {
+                min_len: self.size.lo,
+                elems: (0..len).map(|_| self.element.new_tree(rng)).collect(),
+            }
+        }
+    }
+
+    /// The tree of a [`VecStrategy`] value: one subtree per element plus
+    /// the minimum admissible length, so structural shrinks never go below
+    /// the strategy's size floor.
+    #[derive(Clone, Debug)]
+    pub struct VecTree<T> {
+        min_len: usize,
+        elems: Vec<T>,
+    }
+
+    impl<T: ValueTree> ValueTree for VecTree<T> {
+        type Value = Vec<T::Value>;
+
+        fn current(&self) -> Self::Value {
+            self.elems.iter().map(ValueTree::current).collect()
         }
 
-        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-            let n = value.len();
-            let min = self.size.lo;
-            let mut out: Vec<Self::Value> = Vec::new();
+        fn shrink(&self) -> Vec<Self> {
+            let n = self.elems.len();
+            let min = self.min_len;
+            let mut out: Vec<Self> = Vec::new();
+            let with = |elems: Vec<T>| VecTree {
+                min_len: min,
+                elems,
+            };
             // Structural shrinks first (smaller vectors), then element-wise.
             if n > min {
                 let half = (n / 2).max(min);
                 if half < n {
-                    out.push(value[..half].to_vec());
-                    out.push(value[n - half..].to_vec());
+                    out.push(with(self.elems[..half].to_vec()));
+                    out.push(with(self.elems[n - half..].to_vec()));
                 }
                 for i in 0..n {
-                    let mut v = value.clone();
+                    let mut v = self.elems.clone();
                     v.remove(i);
-                    out.push(v);
+                    out.push(with(v));
                 }
             }
-            for (i, elem) in value.iter().enumerate() {
-                for cand in self.element.shrink(elem) {
-                    let mut v = value.clone();
+            for (i, elem) in self.elems.iter().enumerate() {
+                for cand in elem.shrink() {
+                    let mut v = self.elems.clone();
                     v[i] = cand;
-                    out.push(v);
+                    out.push(with(v));
                 }
             }
             out
@@ -140,8 +164,9 @@ pub mod sample {
 
     impl<T: Clone> Strategy for Subsequence<T> {
         type Value = Vec<T>;
+        type Tree = crate::strategy::NoShrink<Vec<T>>;
 
-        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        fn new_tree(&self, rng: &mut StdRng) -> Self::Tree {
             // Floyd's algorithm would avoid the index vec, but n is tiny in
             // practice; partial Fisher–Yates then sort keeps it simple.
             let n = self.values.len();
@@ -152,7 +177,7 @@ pub mod sample {
             }
             let mut chosen = idx[..self.len].to_vec();
             chosen.sort_unstable();
-            chosen.iter().map(|&i| self.values[i].clone()).collect()
+            crate::strategy::NoShrink(chosen.iter().map(|&i| self.values[i].clone()).collect())
         }
     }
 }
@@ -243,10 +268,8 @@ pub mod test_runner {
         test_name: &str,
         strategy: &S,
         case: &mut impl FnMut(S::Value) -> Result<(), TestCaseError>,
-    ) -> Result<(), Failure>
-    where
-        S::Value: Clone,
-    {
+    ) -> Result<(), Failure> {
+        use crate::strategy::ValueTree;
         let base = fnv1a(test_name);
         let mut passed: u32 = 0;
         let mut rejected: u64 = 0;
@@ -256,8 +279,8 @@ pub mod test_runner {
             let seed = base.wrapping_add(attempt);
             let mut rng = StdRng::seed_from_u64(seed);
             attempt += 1;
-            let value = strategy.new_value(&mut rng);
-            match case(value.clone()) {
+            let tree = strategy.new_tree(&mut rng);
+            match case(tree.current()) {
                 Ok(()) => passed += 1,
                 Err(TestCaseError::Reject(_)) => {
                     rejected += 1;
@@ -268,8 +291,7 @@ pub mod test_runner {
                     );
                 }
                 Err(TestCaseError::Fail(raw_message)) => {
-                    let (message, shrink_steps) =
-                        shrink_failure(strategy, value, raw_message.clone(), case);
+                    let (message, shrink_steps) = shrink_failure(tree, raw_message.clone(), case);
                     return Err(Failure {
                         seed,
                         case: passed,
@@ -283,23 +305,20 @@ pub mod test_runner {
         Ok(())
     }
 
-    /// Greedy shrinking: repeatedly replace the failing value by the first
-    /// simpler candidate that still fails, until no candidate fails (a
-    /// local minimum) or the step backstop is hit. `prop_assume!`
-    /// rejections and passing candidates are skipped.
-    fn shrink_failure<S: crate::strategy::Strategy>(
-        strategy: &S,
-        mut current: S::Value,
+    /// Greedy shrinking over [`crate::strategy::ValueTree`]s: repeatedly
+    /// replace the failing tree by the first simpler candidate whose value
+    /// still fails, until no candidate fails (a local minimum) or the step
+    /// backstop is hit. `prop_assume!` rejections and passing candidates
+    /// are skipped.
+    fn shrink_failure<T: crate::strategy::ValueTree>(
+        mut current: T,
         mut message: String,
-        case: &mut impl FnMut(S::Value) -> Result<(), TestCaseError>,
-    ) -> (String, usize)
-    where
-        S::Value: Clone,
-    {
+        case: &mut impl FnMut(T::Value) -> Result<(), TestCaseError>,
+    ) -> (String, usize) {
         let mut steps = 0usize;
         'outer: while steps < MAX_SHRINK_STEPS {
-            for candidate in strategy.shrink(&current) {
-                if let Err(TestCaseError::Fail(msg)) = case(candidate.clone()) {
+            for candidate in current.shrink() {
+                if let Err(TestCaseError::Fail(msg)) = case(candidate.current()) {
                     current = candidate;
                     message = msg;
                     steps += 1;
@@ -320,9 +339,7 @@ pub mod test_runner {
         test_name: &str,
         strategy: &S,
         mut case: impl FnMut(S::Value) -> Result<(), TestCaseError>,
-    ) where
-        S::Value: Clone,
-    {
+    ) {
         if let Err(f) = run_collect(config, test_name, strategy, &mut case) {
             if f.shrink_steps == 0 {
                 panic!(
@@ -347,7 +364,7 @@ pub mod test_runner {
 
 /// Everything a property test normally imports.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Strategy, ValueTree};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
@@ -625,6 +642,55 @@ mod tests {
         let (a, b) = f.message.split_once('+').unwrap();
         let (a, b): (u32, u32) = (a.parse().unwrap(), b.parse().unwrap());
         assert_eq!(a + b, 10, "minimal failing sum; raw: {}", f.raw_message);
+    }
+
+    #[test]
+    fn mapped_strategies_shrink_through_the_mapping() {
+        // The mapping doubles the raw integer; shrinking must descend the
+        // *pre-map* value and re-apply the map, landing on the exact
+        // smallest failing output (2n ≥ 1000 ⇔ n ≥ 500 ⇒ minimal v = 1000)
+        // — the old eager design reported the raw case unshrunk here.
+        let strategy = ((0u64..1_000_000).prop_map(|n| n * 2),);
+        let f = collect_failure("map_shrink", &strategy, |(v,)| {
+            if v >= 1000 {
+                Err(TestCaseError::fail(format!("v = {v}")))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(f.message, "v = 1000", "raw case: {}", f.raw_message);
+        assert!(f.shrink_steps > 0, "the mapped case must actually shrink");
+    }
+
+    #[test]
+    fn mapped_collections_shrink_structurally_and_elementwise() {
+        // A vec collapsed to its sum by prop_map: the tree must shrink the
+        // underlying vector (length and elements) until the sum sits
+        // exactly on the failure boundary.
+        let strategy =
+            (crate::collection::vec(0u32..1000, 1..20).prop_map(|v| v.iter().sum::<u32>()),);
+        let f = collect_failure("map_vec_shrink", &strategy, |(sum,)| {
+            if sum >= 50 {
+                Err(TestCaseError::fail(format!("sum = {sum}")))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(f.message, "sum = 50", "raw case: {}", f.raw_message);
+    }
+
+    #[test]
+    fn chained_maps_shrink_through_both_layers() {
+        let strategy = ((0u64..1_000_000).prop_map(|n| n + 3).prop_map(|n| n * 10),);
+        let f = collect_failure("map_chain_shrink", &strategy, |(v,)| {
+            if v >= 1000 {
+                Err(TestCaseError::fail(format!("{v}")))
+            } else {
+                Ok(())
+            }
+        });
+        // 10·(n+3) ≥ 1000 ⇔ n ≥ 97 ⇒ minimal output 1000.
+        assert_eq!(f.message, "1000", "raw case: {}", f.raw_message);
     }
 
     #[test]

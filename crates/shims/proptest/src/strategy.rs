@@ -1,40 +1,64 @@
-//! The [`Strategy`] trait and its combinators, with greedy shrinking.
+//! The [`Strategy`] trait, its combinators, and [`ValueTree`]-based
+//! shrinking.
 
-use rand::{rngs::StdRng, Rng};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generated value plus everything needed to simplify it: the shrinking
+/// state lives in the tree (range minima, per-element subtrees, the mapping
+/// closure), so combinators like [`Strategy::prop_map`] shrink by shrinking
+/// their *inner* tree and re-deriving the output — no inverse of the
+/// mapping required.
+pub trait ValueTree: Clone {
+    /// The type of the value this tree represents.
+    type Value;
+
+    /// The value the tree currently represents.
+    fn current(&self) -> Self::Value;
+
+    /// Proposes strictly simpler candidate trees, simplest first. An empty
+    /// vector means the value is fully shrunk (the default, for values that
+    /// cannot be simplified).
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
 
 /// A recipe for generating random values of an output type.
 ///
-/// Unlike real proptest there is no lazy value tree: a strategy is a
-/// deterministic function of an [`StdRng`] state, plus an eager
-/// [`Strategy::shrink`] that proposes *simpler* candidates for a failing
-/// value. The test runner greedily re-runs candidates and keeps the first
-/// one that still fails, so reported counterexamples are (locally) minimal.
+/// Unlike real proptest the tree is not lazy: a strategy deterministically
+/// produces a [`ValueTree`] from an [`StdRng`] state, and the test runner
+/// greedily re-runs the tree's shrink candidates, keeping the first one
+/// that still fails, so reported counterexamples are (locally) minimal.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
-    /// Generates one value.
-    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+    /// The tree type carrying a generated value and its shrink state.
+    type Tree: ValueTree<Value = Self::Value>;
 
-    /// Proposes strictly simpler candidate values for a failing `value`,
-    /// simplest first (greedy halving towards the strategy's minimum).
-    /// An empty vector means the value is fully shrunk. The default — used
-    /// by strategies whose values cannot be simplified generically, such as
-    /// [`Map`] (the mapping is not invertible) — never shrinks.
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        let _ = value;
-        Vec::new()
+    /// Generates one value together with its shrink state.
+    fn new_tree(&self, rng: &mut StdRng) -> Self::Tree;
+
+    /// Generates one bare value (no shrink state) — convenience for code
+    /// that never shrinks.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        self.new_tree(rng).current()
     }
 
-    /// Maps generated values through `f`. Mapped strategies do not shrink
-    /// (the inverse of `f` is unknown); put `prop_map` as late as possible.
+    /// Maps generated values through `f`. Mapped strategies shrink by
+    /// shrinking the *inner* value and re-applying `f` ([`MapTree`]), so
+    /// counterexamples stay minimal through arbitrary constructions.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
     }
 
     /// Uniformly permutes generated collections (Fisher–Yates).
@@ -48,10 +72,19 @@ pub trait Strategy {
 }
 
 /// See [`Strategy::prop_map`].
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Map<S, F> {
     inner: S,
-    f: F,
+    f: Rc<F>,
+}
+
+impl<S: Clone, F> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
 }
 
 impl<S, O, F> Strategy for Map<S, F>
@@ -60,9 +93,54 @@ where
     F: Fn(S::Value) -> O,
 {
     type Value = O;
+    type Tree = MapTree<S::Tree, F>;
 
-    fn new_value(&self, rng: &mut StdRng) -> O {
-        (self.f)(self.inner.new_value(rng))
+    fn new_tree(&self, rng: &mut StdRng) -> Self::Tree {
+        MapTree {
+            inner: self.inner.new_tree(rng),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+/// The tree of a mapped strategy: the inner tree plus the (shared) mapping.
+/// Shrinking shrinks the inner tree and re-derives the output — the fix for
+/// the old eager design, where mapped counterexamples were reported raw.
+#[derive(Debug)]
+pub struct MapTree<T, F> {
+    inner: T,
+    f: Rc<F>,
+}
+
+impl<T: Clone, F> Clone for MapTree<T, F> {
+    fn clone(&self) -> Self {
+        MapTree {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T, O, F> ValueTree for MapTree<T, F>
+where
+    T: ValueTree,
+    F: Fn(T::Value) -> O,
+{
+    type Value = O;
+
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        self.inner
+            .shrink()
+            .into_iter()
+            .map(|t| MapTree {
+                inner: t,
+                f: Rc::clone(&self.f),
+            })
+            .collect()
     }
 }
 
@@ -93,17 +171,50 @@ where
     S::Value: Shuffleable,
 {
     type Value = S::Value;
+    type Tree = ShuffleTree<S::Tree>;
 
-    fn new_value(&self, rng: &mut StdRng) -> S::Value {
-        let mut v = self.inner.new_value(rng);
-        v.shuffle(rng);
+    fn new_tree(&self, rng: &mut StdRng) -> Self::Tree {
+        ShuffleTree {
+            inner: self.inner.new_tree(rng),
+            seed: rng.gen(),
+        }
+    }
+}
+
+/// The tree of a shuffled strategy: the inner tree plus the permutation's
+/// seed, so the same permutation replays on every [`ValueTree::current`].
+/// Shrink candidates keep the seed; if the inner shrink changes the
+/// collection's *length* the replayed permutation differs — acceptable, as
+/// order is re-randomised rather than corrupted, and the candidate only
+/// survives if it still fails.
+#[derive(Clone, Debug)]
+pub struct ShuffleTree<T> {
+    inner: T,
+    seed: u64,
+}
+
+impl<T> ValueTree for ShuffleTree<T>
+where
+    T: ValueTree,
+    T::Value: Shuffleable,
+{
+    type Value = T::Value;
+
+    fn current(&self) -> T::Value {
+        let mut v = self.inner.current();
+        v.shuffle(&mut StdRng::seed_from_u64(self.seed));
         v
     }
 
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        // A shuffled value is still a value of the inner strategy's type;
-        // delegate (order is part of the failing case and is preserved).
-        self.inner.shrink(value)
+    fn shrink(&self) -> Vec<Self> {
+        self.inner
+            .shrink()
+            .into_iter()
+            .map(|t| ShuffleTree {
+                inner: t,
+                seed: self.seed,
+            })
+            .collect()
     }
 }
 
@@ -113,68 +224,98 @@ pub struct Just<T>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
+    type Tree = NoShrink<T>;
 
-    fn new_value(&self, _rng: &mut StdRng) -> T {
+    fn new_tree(&self, _rng: &mut StdRng) -> NoShrink<T> {
+        NoShrink(self.0.clone())
+    }
+}
+
+/// A tree holding a value with no shrink state ([`Just`], fixed samples).
+#[derive(Clone, Debug)]
+pub struct NoShrink<T>(pub(crate) T);
+
+impl<T: Clone> ValueTree for NoShrink<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
         self.0.clone()
+    }
+}
+
+/// The tree of a numeric range strategy: the range minimum (the shrink
+/// target) plus the current value.
+#[derive(Clone, Copy, Debug)]
+pub struct NumTree<T> {
+    lo: T,
+    current: T,
+}
+
+impl ValueTree for NumTree<f64> {
+    type Value = f64;
+
+    fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Candidates for a failing `f64`: the range minimum, then a ladder of
+    /// fractions of the distance to it (1/2, 3/4, 7/8, 15/16, 31/32). The
+    /// greedy runner keeps the first candidate that still fails, so
+    /// repeated shrinking bisects towards the failure boundary.
+    fn shrink(&self) -> Vec<Self> {
+        let (lo, value) = (self.lo, self.current);
+        // NaN (incomparable) and values at/below the minimum never shrink.
+        if value.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+            return Vec::new();
+        }
+        let mut out = vec![NumTree { lo, current: lo }];
+        for frac in [0.5, 0.75, 0.875, 0.9375, 0.96875] {
+            let cand = lo + (value - lo) * frac;
+            if cand > lo && cand < value {
+                out.push(NumTree { lo, current: cand });
+            }
+        }
+        out
     }
 }
 
 impl Strategy for Range<f64> {
     type Value = f64;
+    type Tree = NumTree<f64>;
 
-    fn new_value(&self, rng: &mut StdRng) -> f64 {
-        rng.gen_range(self.clone())
-    }
-
-    fn shrink(&self, value: &f64) -> Vec<f64> {
-        shrink_f64_towards(self.start, *value)
+    fn new_tree(&self, rng: &mut StdRng) -> NumTree<f64> {
+        NumTree {
+            lo: self.start,
+            current: rng.gen_range(self.clone()),
+        }
     }
 }
 
 impl Strategy for RangeInclusive<f64> {
     type Value = f64;
+    type Tree = NumTree<f64>;
 
-    fn new_value(&self, rng: &mut StdRng) -> f64 {
-        rng.gen_range(self.clone())
-    }
-
-    fn shrink(&self, value: &f64) -> Vec<f64> {
-        shrink_f64_towards(*self.start(), *value)
-    }
-}
-
-/// Candidates for a failing `f64`: the range minimum, then a ladder of
-/// fractions of the distance to it (1/2, 3/4, 7/8, 15/16, 31/32). The
-/// greedy runner keeps the first candidate that still fails, so repeated
-/// shrinking bisects towards the failure boundary.
-fn shrink_f64_towards(lo: f64, value: f64) -> Vec<f64> {
-    // NaN (incomparable) and values at/below the minimum never shrink.
-    if value.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
-        return Vec::new();
-    }
-    let mut out = vec![lo];
-    for frac in [0.5, 0.75, 0.875, 0.9375, 0.96875] {
-        let cand = lo + (value - lo) * frac;
-        if cand > lo && cand < value {
-            out.push(cand);
+    fn new_tree(&self, rng: &mut StdRng) -> NumTree<f64> {
+        NumTree {
+            lo: *self.start(),
+            current: rng.gen_range(self.clone()),
         }
     }
-    out
 }
 
 macro_rules! impl_strategy_int_range {
     ($($t:ty),*) => {$(
-        impl Strategy for Range<$t> {
+        impl ValueTree for NumTree<$t> {
             type Value = $t;
 
-            fn new_value(&self, rng: &mut StdRng) -> $t {
-                rng.gen_range(self.clone())
+            fn current(&self) -> $t {
+                self.current
             }
 
-            fn shrink(&self, value: &$t) -> Vec<$t> {
-                let lo = self.start;
-                let mut out: Vec<$t> = Vec::new();
-                if *value > lo {
+            fn shrink(&self) -> Vec<Self> {
+                let (lo, value) = (self.lo, self.current);
+                let mut out: Vec<Self> = Vec::new();
+                if value > lo {
                     // Simplest first: the minimum, then `value − 2^k` for
                     // descending k (ascending candidate values). The greedy
                     // runner keeps the smallest candidate that still fails,
@@ -182,7 +323,7 @@ macro_rules! impl_strategy_int_range {
                     // halves per step — logarithmic convergence onto the
                     // exact smallest failing value (the 2⁰ = 1 offset does
                     // the final step), from any distance.
-                    out.push(lo);
+                    out.push(NumTree { lo, current: lo });
                     let mut offsets: Vec<$t> = Vec::new();
                     let mut step: $t = 1;
                     loop {
@@ -195,21 +336,38 @@ macro_rules! impl_strategy_int_range {
                             None => break,
                         }
                     }
-                    out.extend(offsets.into_iter().rev());
+                    out.extend(
+                        offsets
+                            .into_iter()
+                            .rev()
+                            .map(|current| NumTree { lo, current }),
+                    );
                 }
                 out
             }
         }
 
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            type Tree = NumTree<$t>;
+
+            fn new_tree(&self, rng: &mut StdRng) -> NumTree<$t> {
+                NumTree {
+                    lo: self.start,
+                    current: rng.gen_range(self.clone()),
+                }
+            }
+        }
+
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
+            type Tree = NumTree<$t>;
 
-            fn new_value(&self, rng: &mut StdRng) -> $t {
-                rng.gen_range(self.clone())
-            }
-
-            fn shrink(&self, value: &$t) -> Vec<$t> {
-                (*self.start()..*self.end()).shrink(value)
+            fn new_tree(&self, rng: &mut StdRng) -> NumTree<$t> {
+                NumTree {
+                    lo: *self.start(),
+                    current: rng.gen_range(self.clone()),
+                }
             }
         }
     )*};
@@ -218,22 +376,28 @@ impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_strategy_tuple {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+)
-        where
-            $($s::Value: Clone,)+
-        {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            type Tree = ($($s::Tree,)+);
+
+            fn new_tree(&self, rng: &mut StdRng) -> Self::Tree {
+                ($(self.$idx.new_tree(rng),)+)
+            }
+        }
+
+        impl<$($s: ValueTree),+> ValueTree for ($($s,)+) {
             type Value = ($($s::Value,)+);
 
-            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
-                ($(self.$idx.new_value(rng),)+)
+            fn current(&self) -> Self::Value {
+                ($(self.$idx.current(),)+)
             }
 
-            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            fn shrink(&self) -> Vec<Self> {
                 // Shrink one component at a time, the others held fixed.
                 let mut out = Vec::new();
                 $(
-                    for cand in self.$idx.shrink(&value.$idx) {
-                        let mut next = value.clone();
+                    for cand in self.$idx.shrink() {
+                        let mut next = self.clone();
                         next.$idx = cand;
                         out.push(next);
                     }

@@ -118,6 +118,7 @@ pub mod prelude {
         TabulatedWeight,
     };
     pub use prf_core::{LiveApply, LiveRelation, MutableRelation, Mutation, MutationEffect};
+    pub use prf_core::{ShardError, ShardHandle, ShardPool, ShardedRelation};
     pub use prf_graphical::NetworkRelation;
     pub use prf_metrics::kendall_topk;
     pub use prf_numeric::Complex;

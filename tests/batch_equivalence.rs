@@ -301,8 +301,9 @@ fn parallel_batch_equals_serial_batch_and_singles() {
 #[test]
 fn small_batches_gate_to_the_serial_route() {
     // Regression for the ROADMAP item "parallel loses to serial at
-    // n = 10⁴": sharding pays one O(tree) fast-forward fold per worker, so
-    // below `PARALLEL_MIN_SHARD_TUPLES` tuples per shard the engine must
+    // n = 10⁴": sharding pays a shared prefix sweep plus one snapshot
+    // clone per worker, so below `PARALLEL_MIN_SHARD_TUPLES` tuples per
+    // shard the engine must
     // degrade a `.parallel(t)` batch to the serial route. The observable
     // is the evaluator accounting — a sharded walk holds `t` concurrent
     // evaluators, so its merged `plan_nodes` is `t×` the serial walk's.
